@@ -1,0 +1,27 @@
+# Convenience targets for the repro library.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments experiments-md examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.experiments.runner
+
+experiments-md:
+	$(PYTHON) -m repro.experiments.report
+
+examples:
+	@set -e; for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f > /dev/null; done; echo all examples OK
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis out
+	find . -name __pycache__ -type d -exec rm -rf {} +

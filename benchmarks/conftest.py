@@ -1,0 +1,25 @@
+"""Benchmark-harness plumbing.
+
+Each benchmark regenerates one paper table/figure.  Because pytest
+captures stdout, the rendered rows are collected here and printed in
+the terminal summary, so ``pytest benchmarks/ --benchmark-only``
+shows both the timing table and the reproduced data.
+"""
+
+from __future__ import annotations
+
+_RENDERED: list[str] = []
+
+
+def record_result(result) -> None:
+    """Register an ExperimentResult for end-of-run display."""
+    _RENDERED.append(result.render())
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RENDERED:
+        return
+    terminalreporter.section("reproduced paper tables/figures")
+    for text in _RENDERED:
+        terminalreporter.write(text)
+        terminalreporter.write("\n")

@@ -1,0 +1,113 @@
+"""Bench: ablations A1–A6 (DESIGN.md §4)."""
+
+import numpy as np
+
+from conftest import record_result
+from repro.analysis.sweeps import (
+    alpha_sweep,
+    duty_cycle_sweep,
+    frequency_sweep,
+    leafpush_ablation,
+    table_size_sweep,
+    utilization_sweep,
+)
+
+
+def test_a1_utilization_skew(benchmark):
+    result = benchmark(utilization_sweep)
+    record_result(result)
+    totals = result.get("model_total_W")
+    assert totals.max() - totals.min() < 1e-9  # Assumption-1 invariance
+    assert (np.diff(result.get("sustainable_aggregate_Gbps")) < 0).all()
+
+
+def test_a2_alpha_sensitivity(benchmark):
+    result = benchmark(alpha_sweep)
+    record_result(result)
+    for k in (2, 8, 15):
+        memory = result.get(f"memory_Mb K={k}")
+        finite = memory[np.isfinite(memory)]
+        assert (np.diff(finite) < 0).all()  # memory falls as overlap grows
+
+
+def test_a3_frequency_tradeoff(benchmark):
+    result = benchmark(frequency_sweep)
+    record_result(result)
+    assert (np.diff(result.get("model_total_W")) > 0).all()
+    assert (np.diff(result.get("model_mW_per_Gbps")) < 0).all()
+
+
+def test_a4_table_size_scaling(benchmark):
+    result = benchmark.pedantic(table_size_sweep, rounds=1, iterations=1)
+    record_result(result)
+    assert (np.diff(result.get("separate_memory_Mb")) > 0).all()
+    # merged with alpha=0.8 always below separate
+    assert (result.get("merged_memory_Mb") < result.get("separate_memory_Mb")).all()
+
+
+def test_a5_clock_gating(benchmark):
+    result = benchmark(duty_cycle_sweep)
+    record_result(result)
+    gated = result.get("gated_dynamic_W")
+    ungated = result.get("ungated_dynamic_W")
+    assert (ungated >= gated).all()
+    # at 5 % duty the paper's gating saves the vast majority of dynamic power
+    assert gated[0] < 0.05 * ungated[0]
+
+
+def test_a6_leaf_pushing(benchmark):
+    result = benchmark(leafpush_ablation)
+    record_result(result)
+    assert result.get("pushed_nodes")[0] > result.get("plain_nodes")[0]
+
+
+def test_a7_stride_tradeoff(benchmark):
+    from repro.analysis.sweeps import stride_sweep
+
+    result = benchmark.pedantic(stride_sweep, rounds=1, iterations=1)
+    record_result(result)
+    assert (np.diff(result.get("pipeline_stages")) < 0).all()
+    assert (np.diff(result.get("logic_W")) < 0).all()
+
+
+def test_a8_temperature(benchmark):
+    from repro.analysis.sweeps import temperature_sweep
+
+    result = benchmark(temperature_sweep)
+    record_result(result)
+    assert (np.diff(result.get("static_W")) > 0).all()
+
+
+def test_a9_heterogeneity(benchmark):
+    from repro.analysis.sweeps import heterogeneity_sweep
+
+    result = benchmark.pedantic(
+        heterogeneity_sweep, kwargs={"k": 4}, rounds=1, iterations=1
+    )
+    record_result(result)
+    assert (result.get("merged_memory_Mb") < result.get("separate_memory_Mb")).all()
+
+
+def test_a10_structure_comparison(benchmark):
+    from repro.analysis.sweeps import structure_comparison
+
+    result = benchmark.pedantic(structure_comparison, rounds=1, iterations=1)
+    record_result(result)
+    nodes = result.get("nodes")
+    # patricia (row 2) compresses below the plain trie (row 0);
+    # multibit stride-4 (row 3) has fewest nodes but most memory/node
+    assert nodes[2] < nodes[0]
+    assert result.get("pipeline_stages")[3] < result.get("pipeline_stages")[0]
+
+
+def test_a11_memory_balancing(benchmark):
+    from repro.analysis.sweeps import balancing_sweep
+
+    result = benchmark.pedantic(
+        balancing_sweep, kwargs={"ks": (4,)}, rounds=1, iterations=1
+    )
+    record_result(result)
+    assert (result.get("balanced_fmax_MHz") > result.get("naive_fmax_MHz")).all()
+    assert (
+        result.get("balanced_mW_per_Gbps") < result.get("naive_mW_per_Gbps")
+    ).all()

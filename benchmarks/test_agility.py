@@ -1,0 +1,20 @@
+"""Bench: provisioning agility per scheme."""
+
+import numpy as np
+
+from conftest import record_result
+from repro.analysis.agility import run
+from repro.iplookup.synth import SyntheticTableConfig
+
+
+def test_agility(benchmark):
+    result = benchmark.pedantic(
+        run,
+        kwargs={"ks": (2, 4, 8), "table": SyntheticTableConfig(n_prefixes=1000, seed=99)},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    # separate provisions without interrupting service; merged stalls
+    assert (result.get("VS_interruption_ms") == 0).all()
+    assert (result.get("VM_interruption_ms") > 0).all()

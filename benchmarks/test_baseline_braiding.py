@@ -1,0 +1,16 @@
+"""Bench: B2 — braided vs plain merging efficiency."""
+
+import numpy as np
+
+from conftest import record_result
+from repro.experiments.braiding_gain import run
+
+
+def test_baseline_braiding(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(result)
+    plain = result.get("plain_alpha")
+    braided = result.get("braided_alpha")
+    # braiding never does much worse, and alpha grows with real overlap
+    assert (braided >= plain - 0.05).all()
+    assert plain[-1] > plain[0]

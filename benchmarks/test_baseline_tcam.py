@@ -1,0 +1,52 @@
+"""Bench: B1 — TCAM baseline vs the trie pipeline (related work)."""
+
+import numpy as np
+
+from conftest import record_result
+from repro.baselines.tcam import TcamModel
+from repro.core.estimator import base_trie_stats
+from repro.core.power import AnalyticalPowerModel
+from repro.core.resources import engine_stage_map
+from repro.fpga.speedgrade import SpeedGrade
+from repro.iplookup.synth import SyntheticTableConfig
+from repro.reporting.result import ExperimentResult
+
+
+def run_tcam_comparison(search_rates=(50.0, 100.0, 150.0, 200.0)) -> ExperimentResult:
+    """Dynamic lookup power: trie pipeline vs TCAM variants."""
+    rates = tuple(search_rates)
+    stats = base_trie_stats(SyntheticTableConfig())
+    stage_map = engine_stage_map(stats, 28)
+    model = AnalyticalPowerModel(SpeedGrade.G2)
+    result = ExperimentResult(
+        experiment_id="baseline_tcam",
+        title="B1: lookup dynamic power — trie pipeline vs TCAM (W)",
+        x_label="search_rate_MHz",
+        x_values=np.asarray(rates, dtype=float),
+    )
+    result.add_series(
+        "trie_pipeline",
+        [model.power_vs([stage_map], f, np.array([1.0])).dynamic_w for f in rates],
+    )
+    for label, tcam in (
+        ("tcam_conventional", TcamModel.conventional(3725)),
+        ("tcam_blocked_8", TcamModel.blocked(3725, 8)),
+        ("tcam_ipstash", TcamModel.ipstash(3725)),
+    ):
+        result.add_series(label, [tcam.dynamic_power_w(f) for f in rates])
+    result.add_note(
+        "paper Section II-B: TCAM is power hungry due to massively parallel "
+        "search; partitioning ([20]) and IPStash ([10]) narrow but do not "
+        "close the gap to the trie pipeline"
+    )
+    return result
+
+
+def test_baseline_tcam(benchmark):
+    result = benchmark(run_tcam_comparison)
+    record_result(result)
+    trie = result.get("trie_pipeline")
+    conventional = result.get("tcam_conventional")
+    ipstash = result.get("tcam_ipstash")
+    assert (trie < conventional).all()
+    assert np.allclose(ipstash / conventional, 0.65)

@@ -1,0 +1,21 @@
+"""Bench: headline claims C1 (savings ∝ K) and C2 (-1L tradeoff)."""
+
+import numpy as np
+
+from conftest import record_result
+from repro.experiments.claims import run
+
+
+def test_claims(benchmark):
+    result = benchmark(run)
+    record_result(result)
+    k = result.x_values
+    savings = result.get("savings_NV_minus_VS_W")
+    # C1: proportional to K with slope ≈ one device's static power
+    slope, intercept = np.polyfit(k, savings, 1)
+    assert 4.0 <= slope <= 5.0
+    residual = savings - (slope * k + intercept)
+    assert np.abs(residual).max() < 0.1
+    # C2: -1L ≈ 30 % less power, near-equal mW/Gbps
+    assert np.abs(result.get("power_ratio_1L_over_2") - 0.70).max() < 0.06
+    assert np.abs(result.get("mw_per_gbps_ratio_1L_over_2") - 1.0).max() < 0.10

@@ -1,0 +1,16 @@
+"""Bench: device exploration across the Virtex-6 catalog."""
+
+import numpy as np
+
+from conftest import record_result
+from repro.experiments.device_choice import run
+
+
+def test_device_choice(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(result)
+    max_k = result.get("max_K")
+    # the paper's LX760 (largest pin budget) reaches the paper's K=15
+    assert max_k.max() == 15
+    # at least one smaller part cannot host the K=8 deployment
+    assert result.get("fits_K8").min() == 0.0

@@ -1,0 +1,16 @@
+"""Bench: Fig. 2 — BRAM power vs frequency."""
+
+import numpy as np
+
+from conftest import record_result
+from repro.experiments.fig2_bram_power import run
+
+
+def test_fig2_bram_power(benchmark):
+    result = benchmark(run)
+    record_result(result)
+    # paper shape: monotone in frequency, 36 Kb above 18 Kb, -1L below -2
+    for label in result.labels():
+        assert (np.diff(result.get(label)) > 0).all()
+    assert (result.get("36Kb (-2)") > result.get("18Kb (-2)")).all()
+    assert (result.get("18Kb (-1L)") < result.get("18Kb (-2)")).all()

@@ -1,0 +1,15 @@
+"""Bench: Fig. 3 — per-stage logic and signal power vs frequency."""
+
+import numpy as np
+
+from conftest import record_result
+from repro.experiments.fig3_logic_power import run
+
+
+def test_fig3_logic_power(benchmark):
+    result = benchmark(run)
+    record_result(result)
+    f = result.x_values
+    # the published per-stage lines (Section V-C)
+    assert np.allclose(result.get("total (-2)"), 5.180 * f / 1000)
+    assert np.allclose(result.get("total (-1L)"), 3.937 * f / 1000)

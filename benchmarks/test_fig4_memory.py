@@ -1,0 +1,17 @@
+"""Bench: Fig. 4 — pointer and NHI memory vs K."""
+
+from conftest import record_result
+from repro.experiments.fig4_memory import run
+
+
+def test_fig4_memory(benchmark):
+    result = benchmark(run)
+    record_result(result)
+    sep = result.get("pointer separate")
+    vm80 = result.get("pointer merged a=80%")
+    vm20 = result.get("pointer merged a=20%")
+    # paper shape: pointer saving grows with alpha
+    assert (vm80[1:] < vm20[1:]).all()
+    assert (vm20[1:] < sep[1:]).all()
+    # NHI: merged never below separate (K-wide leaf vectors)
+    assert (result.get("NHI merged a=20%")[1:] >= result.get("NHI separate")[1:]).all()

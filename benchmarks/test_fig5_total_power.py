@@ -1,0 +1,22 @@
+"""Bench: Fig. 5 — total power, all schemes, both speed grades."""
+
+import numpy as np
+import pytest
+
+from conftest import record_result
+from repro.experiments.fig5_total_power import run
+from repro.fpga.speedgrade import SpeedGrade
+
+
+@pytest.mark.parametrize("grade", [SpeedGrade.G2, SpeedGrade.G1L], ids=["g2", "g1l"])
+def test_fig5_total_power(benchmark, grade):
+    result = benchmark(run, grade)
+    record_result(result)
+    nv = result.get("NV")
+    vs = result.get("VS")
+    # paper shape: NV proportional to K, virtualized near one device
+    assert nv[-1] > 10 * vs[-1]
+    slope = np.polyfit(result.x_values, nv, 1)[0]
+    assert slope > 0
+    # VM(20%) above VM(80%) for K > 1
+    assert (result.get("VM(a=20%)")[1:] > result.get("VM(a=80%)")[1:]).all()

@@ -1,0 +1,21 @@
+"""Bench: Fig. 6 — total power of the virtualized schemes."""
+
+import numpy as np
+import pytest
+
+from conftest import record_result
+from repro.experiments.fig6_virtualized_power import run
+from repro.fpga.speedgrade import SpeedGrade
+
+
+@pytest.mark.parametrize("grade", [SpeedGrade.G2, SpeedGrade.G1L], ids=["g2", "g1l"])
+def test_fig6_virtualized_power(benchmark, grade):
+    result = benchmark(run, grade)
+    record_result(result)
+    vs = result.get("VS")
+    # paper: experimental VS power *decreases* with K
+    assert vs[-1] < vs[0]
+    assert np.polyfit(result.x_values, vs, 1)[0] < 0
+    # merged grows with K
+    for label in ("VM(a=80%)", "VM(a=20%)"):
+        assert result.get(label)[-1] > result.get(label)[0]

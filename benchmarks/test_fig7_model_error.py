@@ -1,0 +1,24 @@
+"""Bench: Fig. 7 — model error vs experimental, ≤ ±3 %."""
+
+import numpy as np
+import pytest
+
+from conftest import record_result
+from repro.experiments.fig7_model_error import run
+from repro.fpga.speedgrade import SpeedGrade
+
+
+@pytest.mark.parametrize("grade", [SpeedGrade.G2, SpeedGrade.G1L], ids=["g2", "g1l"])
+def test_fig7_model_error(benchmark, grade):
+    result = benchmark(run, grade)
+    record_result(result)
+    # claim C3: every point within the paper's ±3 % bound
+    for label in result.labels():
+        assert np.abs(result.get(label)).max() <= 3.0
+    # NV/VS error below the merged error (paper Section VI-A)
+    nv_vs = max(np.abs(result.get("NV")).max(), np.abs(result.get("VS")).max())
+    vm = max(
+        np.abs(result.get("VM(a=80%)")).max(),
+        np.abs(result.get("VM(a=20%)")).max(),
+    )
+    assert vm > nv_vs

@@ -1,0 +1,19 @@
+"""Bench: Fig. 8 — power per unit throughput (mW/Gbps)."""
+
+import numpy as np
+import pytest
+
+from conftest import record_result
+from repro.experiments.fig8_power_efficiency import run
+from repro.fpga.speedgrade import SpeedGrade
+
+
+@pytest.mark.parametrize("grade", [SpeedGrade.G2, SpeedGrade.G1L], ids=["g2", "g1l"])
+def test_fig8_power_efficiency(benchmark, grade):
+    result = benchmark(run, grade)
+    record_result(result)
+    # paper ordering at high K: VS best, NV second, merged worst
+    at_max = {label: result.get(label)[-1] for label in result.labels()}
+    assert at_max["VS"] < at_max["NV"] < at_max["VM(a=80%)"] < at_max["VM(a=20%)"]
+    # VS efficiency improves monotonically with K
+    assert (np.diff(result.get("VS")) < 0).all()

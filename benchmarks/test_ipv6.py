@@ -1,0 +1,14 @@
+"""Bench: IPv6 outlook — the paper's architecture at 128 bits."""
+
+from conftest import record_result
+from repro.experiments.ipv6_outlook import run
+
+
+def test_ipv6_outlook(benchmark):
+    result = benchmark.pedantic(
+        run, kwargs={"n_prefixes": 1000, "k": 8}, rounds=1, iterations=1
+    )
+    record_result(result)
+    # IPv6 needs a deeper pipeline and more memory at equal table size
+    assert result.get("stages")[1] > result.get("stages")[0]
+    assert result.get("merged_memory_Mb")[1] > result.get("merged_memory_Mb")[0]

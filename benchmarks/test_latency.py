@@ -1,0 +1,17 @@
+"""Bench: latency transparency under load."""
+
+import numpy as np
+
+from conftest import record_result
+from repro.experiments.latency import run
+
+
+def test_latency(benchmark):
+    result = benchmark.pedantic(run, kwargs={"k": 8}, rounds=1, iterations=1)
+    record_result(result)
+    vs = result.get("VS_total_ns")
+    vm = result.get("VM_total_ns")
+    finite = np.isfinite(vm)
+    # separate stays near the pipeline floor; merged climbs with load
+    assert (vm[finite] >= vs[finite]).all()
+    assert np.nanmax(vm) > 1.2 * np.nanmin(vm)

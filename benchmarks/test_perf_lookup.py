@@ -1,0 +1,82 @@
+"""Performance benches: lookup-substrate throughput.
+
+Unlike the figure benches, these time the library's hot paths — trie
+construction, batch lookups, leaf pushing, merging — so performance
+regressions in the data structures are caught alongside the science.
+"""
+
+import numpy as np
+import pytest
+
+from repro.iplookup.leafpush import leaf_push
+from repro.iplookup.multibit import MultibitTrie
+from repro.iplookup.patricia import PatriciaTrie
+from repro.iplookup.synth import SyntheticTableConfig, generate_table, generate_virtual_tables
+from repro.iplookup.trie import UnibitTrie
+from repro.virt.merged import merge_tries
+
+TABLE = SyntheticTableConfig(n_prefixes=2000, seed=5)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return generate_table(TABLE)
+
+
+@pytest.fixture(scope="module")
+def pushed(table):
+    return leaf_push(UnibitTrie(table))
+
+
+@pytest.fixture(scope="module")
+def addresses():
+    rng = np.random.default_rng(9)
+    return rng.integers(0, 2**32, size=20_000, dtype=np.uint64).astype(np.uint32)
+
+
+def test_perf_table_generation(benchmark):
+    table = benchmark(generate_table, TABLE)
+    assert len(table) == 2000
+
+
+def test_perf_trie_build(benchmark, table):
+    trie = benchmark(UnibitTrie, table)
+    assert trie.num_prefixes == 2000
+
+
+def test_perf_leaf_push(benchmark, table):
+    trie = UnibitTrie(table)
+    pushed = benchmark(leaf_push, trie)
+    assert pushed.is_leaf_pushed()
+
+
+def test_perf_batch_lookup(benchmark, pushed, addresses):
+    """Vectorized lookup rate over 20 k addresses."""
+    results = benchmark(pushed.lookup_batch, addresses)
+    assert len(results) == len(addresses)
+
+
+def test_perf_scalar_lookup(benchmark, pushed, addresses):
+    def run_1000():
+        for a in addresses[:1000]:
+            pushed.lookup(int(a))
+
+    benchmark(run_1000)
+
+
+def test_perf_multibit_batch_lookup(benchmark, table, addresses):
+    trie = MultibitTrie(table, stride=4)
+    results = benchmark(trie.lookup_batch, addresses)
+    assert len(results) == len(addresses)
+
+
+def test_perf_patricia_build(benchmark, table):
+    patricia = benchmark(PatriciaTrie, table)
+    assert patricia.num_nodes > 0
+
+
+def test_perf_merge_four_tables(benchmark):
+    tables = generate_virtual_tables(4, 0.5, SyntheticTableConfig(n_prefixes=800, seed=6))
+    tries = [UnibitTrie(t) for t in tables]
+    merged = benchmark(merge_tries, tries)
+    assert merged.k == 4

@@ -1,0 +1,18 @@
+"""Bench: model error bound across independent tables."""
+
+import numpy as np
+
+from conftest import record_result
+from repro.experiments.robustness import run
+
+
+def test_robustness(benchmark):
+    result = benchmark.pedantic(
+        run,
+        kwargs={"cases": ((101, 2000), (202, 3725), (303, 5000)), "ks": (2, 8, 15)},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    for label in result.labels():
+        assert (result.get(label) <= 3.0).all(), f"{label} broke the paper bound"

@@ -1,0 +1,14 @@
+"""Bench: scalability walls (Sections IV-B/IV-C, VI-A discussion)."""
+
+from conftest import record_result
+from repro.experiments.scalability import run
+
+
+def test_scalability(benchmark):
+    result = benchmark.pedantic(run, kwargs={"sizes": (1000, 3725)}, rounds=1, iterations=1)
+    record_result(result)
+    vs = result.get("max_K VS")
+    # the paper's K=15 pin wall for virtualized-separate
+    assert (vs == 15).all()
+    # merged walls tighten with lower alpha
+    assert (result.get("max_K VM(a=20%)") < result.get("max_K VM(a=80%)")).all()

@@ -1,0 +1,12 @@
+"""Bench: Table II — device specs."""
+
+import numpy as np
+
+from conftest import record_result
+from repro.experiments.table2_device import run
+
+
+def test_table2_device_specs(benchmark):
+    result = benchmark(run)
+    record_result(result)
+    assert np.array_equal(result.get("paper"), result.get("catalog"))

@@ -1,0 +1,12 @@
+"""Bench: Table III — BRAM power-model fit."""
+
+import numpy as np
+
+from conftest import record_result
+from repro.experiments.table3_bram_model import run
+
+
+def test_table3_bram_model(benchmark):
+    result = benchmark(run)
+    record_result(result)
+    assert np.allclose(result.get("paper"), result.get("fitted"), rtol=1e-9)

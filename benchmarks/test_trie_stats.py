@@ -1,0 +1,14 @@
+"""Bench: Section V-E reference trie statistics."""
+
+from conftest import record_result
+from repro.experiments.trie_stats import run
+
+
+def test_trie_stats(benchmark):
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    record_result(result)
+    paper = result.get("paper")
+    synth = result.get("synthetic")
+    assert synth[0] == paper[0]  # 3725 prefixes exactly
+    assert abs(synth[1] - paper[1]) / paper[1] < 0.20
+    assert abs(synth[2] - paper[2]) / paper[2] < 0.05

@@ -1,0 +1,14 @@
+"""Bench: voltage scaling behind the -1L grade."""
+
+import numpy as np
+
+from conftest import record_result
+from repro.experiments.voltage import run
+
+
+def test_voltage(benchmark):
+    result = benchmark(run)
+    record_result(result)
+    assert (np.diff(result.get("dynamic_ratio")) > 0).all()
+    # static falls below dynamic at reduced voltage (cubic vs quadratic)
+    assert (result.get("static_ratio")[:-1] < result.get("dynamic_ratio")[:-1]).all()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""BGP churn: route updates, incremental tries, and the write-rate loop.
+
+The paper's BRAM model assumes a 1 % write rate ("low update rate",
+Section V-B).  This example derives that number instead of assuming
+it: it runs a BGP-like announce/withdraw stream against a 4-network
+virtualized router, maintains the per-VN tries incrementally (pruning
+withdrawn branches), measures the memory writes per update, converts
+the update rate into an effective BRAM write rate, and shows its
+(deliberately tiny) effect on the power estimate.
+
+Run:  python examples/bgp_churn.py
+"""
+
+import numpy as np
+
+from repro import SyntheticTableConfig, generate_virtual_tables
+from repro.core.estimator import base_trie_stats
+from repro.core.power import AnalyticalPowerModel
+from repro.core.resources import engine_stage_map
+from repro.fpga.speedgrade import SpeedGrade
+from repro.iplookup.updates import synthesize_churn
+from repro.virt.manager import VirtualRouterManager
+
+K = 4
+TABLE = SyntheticTableConfig(n_prefixes=800, seed=21)
+UPDATES_PER_VN = 500
+UPDATES_PER_SECOND = 250_000  # an aggressive BGP feed
+LOOKUP_RATE_MHZ = 300.0
+
+
+def main() -> None:
+    tables = generate_virtual_tables(K, 0.5, TABLE)
+    manager = VirtualRouterManager(tables)
+    print(f"managing {K} virtual networks, {len(tables[0])} prefixes each")
+
+    # 1. apply churn per VN, keeping the data plane consistent ------------
+    for vn in range(K):
+        updates = synthesize_churn(manager.table(vn), UPDATES_PER_VN, seed=vn)
+        manager.apply(vn, updates)
+        stats = manager.update_stats(vn)
+        print(
+            f"  vn{vn}: {stats.announces} announces, {stats.withdraws} withdraws, "
+            f"{stats.no_ops} no-ops -> {stats.memory_writes} memory writes "
+            f"(mean {stats.mean_writes_per_update():.1f}/update, "
+            f"worst {stats.max_writes_per_update()})"
+        )
+    assert manager.verify_consistency(), "data plane must match the RIBs"
+    print(f"consistency verified; merged view rebuilt {manager.merged_rebuilds}x")
+
+    # 2. update rate → effective BRAM write rate ---------------------------
+    write_rate = manager.write_rate(UPDATES_PER_SECOND, LOOKUP_RATE_MHZ)
+    print(
+        f"\n{UPDATES_PER_SECOND:,} updates/s at {LOOKUP_RATE_MHZ:.0f} MHz "
+        f"-> effective write rate {write_rate:.4%} "
+        f"(paper assumes 1%)"
+    )
+
+    # 3. effect on the power estimate --------------------------------------
+    stats = base_trie_stats(TABLE)
+    stage_map = engine_stage_map(stats, 28)
+    mu = np.full(K, 1.0 / K)
+    idle_model = AnalyticalPowerModel(SpeedGrade.G2, write_rate=0.0)
+    churn_model = AnalyticalPowerModel(SpeedGrade.G2, write_rate=write_rate)
+    paper_model = AnalyticalPowerModel(SpeedGrade.G2, write_rate=0.01)
+    for label, model in (
+        ("no updates", idle_model),
+        ("measured churn", churn_model),
+        ("paper's 1%", paper_model),
+    ):
+        p = model.power_vs([stage_map] * K, LOOKUP_RATE_MHZ, mu)
+        print(f"  VS power, write rate = {label:>14}: {p.total_w:.4f} W")
+    print(
+        "\nwrite traffic barely moves total power — the paper's 'low update\n"
+        "rate' assumption is safe even under aggressive BGP churn."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Capacity planning: demands → admission → operating point → frontier.
+
+A planning session for an operator consolidating 10 edge networks with
+known worst-case demands:
+
+1. check which schemes can *admit* the demand vector (the merged
+   scheme's single engine must carry the aggregate — the paper's
+   Section IV-C throughput-sharing limit);
+2. verify the admitted shares are actually deliverable with the
+   weighted-round-robin scheduler simulation;
+3. ask the governor for the cheapest (scheme, grade, frequency)
+   operating point meeting the aggregate demand;
+4. print the power/throughput Pareto frontier so the operator can see
+   what headroom costs.
+
+Run:  python examples/capacity_planning.py
+"""
+
+import numpy as np
+
+from repro import ScenarioConfig, ScenarioEstimator, Scheme, SpeedGrade
+from repro.analysis.governor import pareto_frontier, plan_operating_point
+from repro.virt.qos import WeightedScheduler, check_admission
+
+K = 10
+#: worst-case per-network demands in Gbps (skewed, as edge networks are)
+DEMANDS = np.array([18.0, 12.0, 9.0, 7.0, 5.0, 4.0, 3.0, 2.0, 1.5, 1.0])
+
+
+def admission() -> None:
+    print("=== 1. admission: can one merged engine carry this? ===")
+    estimator = ScenarioEstimator()
+    vm = estimator.evaluate(ScenarioConfig(scheme=Scheme.VM, k=K, alpha=0.8))
+    report = check_admission(vm.throughput_gbps, DEMANDS)
+    print(
+        f"merged engine capacity {report.capacity_gbps:.1f} Gbps, "
+        f"aggregate demand {sum(report.demands_gbps):.1f} Gbps -> "
+        f"{'ADMIT' if report.admissible else 'REJECT'} "
+        f"(utilization {report.utilization:.0%}, headroom {report.headroom_gbps:.1f} Gbps)"
+    )
+
+    vs = estimator.evaluate(ScenarioConfig(scheme=Scheme.VS, k=K))
+    per_engine = vs.throughput_gbps / K
+    ok = (DEMANDS <= per_engine).all()
+    print(
+        f"separate engines: {per_engine:.1f} Gbps each vs max demand "
+        f"{DEMANDS.max():.1f} Gbps -> {'ADMIT' if ok else 'REJECT'}"
+    )
+
+
+def scheduling() -> None:
+    print("\n=== 2. scheduling: are the admitted shares deliverable? ===")
+    estimator = ScenarioEstimator()
+    vm = estimator.evaluate(ScenarioConfig(scheme=Scheme.VM, k=K, alpha=0.8))
+    fractions = DEMANDS / vm.throughput_gbps
+    scheduler = WeightedScheduler(DEMANDS)
+    ok = scheduler.verify_guarantee(fractions, cycles=6000, seed=3)
+    print(
+        f"weighted round robin at {fractions.sum():.0%} load: "
+        f"{'every VN receives its guarantee' if ok else 'GUARANTEE VIOLATED'}"
+    )
+
+
+def operating_point() -> None:
+    print("\n=== 3. cheapest operating point for the aggregate demand ===")
+    demand = float(DEMANDS.sum())
+    point = plan_operating_point(demand, k=K, alpha=0.8, frequency_steps=6)
+    print(f"demand {demand:.1f} Gbps -> {point.describe()}")
+    print(f"efficiency: {point.mw_per_gbps:.1f} mW/Gbps")
+
+
+def frontier() -> None:
+    print("\n=== 4. power/throughput Pareto frontier (K=10) ===")
+    for point in pareto_frontier(k=K, alpha=0.8, frequency_steps=5)[:10]:
+        print(f"  {point.describe()}")
+    print("  ... pick the cheapest point above your demand line.")
+
+
+if __name__ == "__main__":
+    admission()
+    scheduling()
+    operating_point()
+    frontier()

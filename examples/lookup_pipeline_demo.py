@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Inside the lookup engine: trie, leaf pushing, pipeline, activity.
+
+A functional walk through the paper's data plane (Section V-D):
+build the uni-bit trie for one edge table, leaf-push it, map trie
+levels to the 28-stage pipeline, stream packets through the
+cycle-level simulator, and show how per-stage memory accesses (the
+duty cycle of each stage) feed the power model's activity factors.
+
+Run:  python examples/lookup_pipeline_demo.py
+"""
+
+import numpy as np
+
+from repro import SyntheticTableConfig, UnibitTrie, generate_table, leaf_push
+from repro.iplookup.mapping import map_trie_to_stages
+from repro.iplookup.pipeline import LookupPipeline
+from repro.units import bits_to_mb
+from repro.virt.traffic import TrafficModel
+
+
+def main() -> None:
+    # 1. table → trie → leaf-pushed trie -----------------------------------
+    table = generate_table(SyntheticTableConfig(n_prefixes=2000, seed=3))
+    trie = UnibitTrie(table)
+    pushed = leaf_push(trie)
+    print(f"table: {len(table)} prefixes")
+    print(f"uni-bit trie: {trie.num_nodes} nodes, depth {trie.depth()}")
+    print(
+        f"leaf-pushed:  {pushed.num_nodes} nodes "
+        f"({pushed.stats().internal_nodes} pointer + {pushed.stats().leaf_nodes} NHI)"
+    )
+
+    # 2. map levels onto the 28-stage pipeline ------------------------------
+    stage_map = map_trie_to_stages(pushed.stats(), n_stages=28)
+    print(f"\nstage memories: total {bits_to_mb(stage_map.total_bits):.3f} Mb")
+    widest = int(np.argmax(stage_map.bits_per_stage))
+    print(
+        f"widest stage: {widest} "
+        f"({stage_map.bits_per_stage[widest] / 1024:.1f} Kb — sets the BRAM mux depth)"
+    )
+
+    # 3. stream packets through the cycle-level simulator -------------------
+    pipeline = LookupPipeline(pushed, n_stages=28)
+    traffic = TrafficModel.uniform(1, duty_cycle=0.5)
+    addresses, _ = traffic.generate(4000, [table], seed=11)
+    trace = pipeline.run(addresses, inter_arrival_gap=traffic.inter_arrival_gap())
+
+    oracle = table.lookup_linear_batch(addresses)
+    assert np.array_equal(trace.results, oracle), "pipeline must match the RIB oracle"
+    print(f"\nsimulated {trace.n_packets} packets in {trace.total_cycles} cycles")
+    print(f"per-packet latency: {trace.latency_cycles} cycles")
+    print(f"admission rate: {trace.throughput_packets_per_cycle():.2f} packets/cycle")
+
+    # 4. per-stage activity → power-model duty cycles -----------------------
+    duty = trace.stage_duty_cycle()
+    print("\nstage duty cycles (first 12 stages):")
+    for stage in range(12):
+        bar = "#" * int(duty[stage] * 40)
+        print(f"  stage {stage:2d}: {duty[stage]:5.1%} {bar}")
+    print(
+        "\ndeep stages see fewer accesses (short walks exit early) — with\n"
+        "clock gating, exactly that fraction of their dynamic power is saved."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation.
+
+Runs the full experiment registry — Tables II–III, Figures 2–8 (both
+speed-grade panels), the trie statistics and the headline-claim checks
+— prints each as an ASCII table, and exports CSVs to ``out/figures``.
+
+Equivalent CLI:  repro-experiments --csv out/figures
+
+Run:  python examples/paper_figures.py
+"""
+
+import os
+
+from repro.experiments.runner import run_experiment
+from repro.reporting.registry import all_experiments
+
+OUT_DIR = os.path.join("out", "figures")
+
+#: run in the paper's presentation order
+ORDER = [
+    "table2",
+    "fig2",
+    "table3",
+    "fig3",
+    "trie_stats",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "claims",
+]
+
+
+def main() -> None:
+    os.makedirs(OUT_DIR, exist_ok=True)
+    registered = all_experiments()
+    missing = [e for e in ORDER if e not in registered]
+    assert not missing, f"experiments not registered: {missing}"
+
+    for experiment_id in ORDER:
+        results = run_experiment(experiment_id)
+        for i, result in enumerate(results):
+            print(result.render())
+            suffix = f"_{i}" if len(results) > 1 else ""
+            path = os.path.join(OUT_DIR, f"{experiment_id}{suffix}.csv")
+            result.write_csv(path)
+    print(f"CSV exports written to {OUT_DIR}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e . --no-use-pep517`` in offline environments
+whose setuptools predates the built-in bdist_wheel (no ``wheel``
+package available).  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,116 @@
+"""repro — reproduction of "FPGA-based Router Virtualization: A Power
+Perspective" (Ganegedara & Prasanna, IEEE IPDPSW 2012).
+
+The library models Layer-3 lookup power on FPGA under three router
+deployment schemes — non-virtualized (NV), virtualized-separate (VS)
+and virtualized-merged (VM) — and reproduces every table and figure of
+the paper's evaluation.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart
+----------
+>>> from repro import ScenarioConfig, ScenarioEstimator, Scheme, SpeedGrade
+>>> result = ScenarioEstimator().evaluate(
+...     ScenarioConfig(scheme=Scheme.VS, k=8, grade=SpeedGrade.G2))
+>>> round(result.model.total_w, 1) > 0
+True
+"""
+
+from repro.core.config import ScenarioConfig
+from repro.core.estimator import ExperimentalPower, ScenarioEstimator, ScenarioResult
+from repro.core.metrics import energy_per_packet_nj, mw_per_gbps, throughput_gbps
+from repro.core.power import AnalyticalPowerModel, PowerBreakdown
+from repro.core.resources import SchemeResources, merged_multiplier, scheme_resources
+from repro.core.validation import ErrorSummary, percentage_error, summarize_errors
+from repro.errors import (
+    CalibrationError,
+    CapacityError,
+    ConfigurationError,
+    ExperimentError,
+    MergeError,
+    PlacementError,
+    PrefixError,
+    ReproError,
+    ResourceExhaustedError,
+    TimingError,
+    TrieError,
+)
+from repro.fpga.catalog import DEVICE_CATALOG, XC6VLX760, get_device
+from repro.fpga.device import DeviceSpec, ResourceUsage
+from repro.fpga.speedgrade import SpeedGrade, grade_data
+from repro.iplookup.leafpush import leaf_push
+from repro.iplookup.prefix import Prefix, parse_prefix
+from repro.iplookup.rib import Route, RoutingTable
+from repro.iplookup.synth import (
+    SyntheticTableConfig,
+    generate_table,
+    generate_virtual_tables,
+    paper_reference_table,
+)
+from repro.iplookup.trie import TrieStats, UnibitTrie
+from repro.virt.merged import MergedTrie, merge_tries
+from repro.virt.schemes import Scheme
+from repro.virt.separate import SeparateVirtualRouter
+from repro.virt.traffic import TrafficModel, uniform_utilization, zipf_utilization
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "ScenarioConfig",
+    "ScenarioEstimator",
+    "ScenarioResult",
+    "ExperimentalPower",
+    "AnalyticalPowerModel",
+    "PowerBreakdown",
+    "SchemeResources",
+    "scheme_resources",
+    "merged_multiplier",
+    "throughput_gbps",
+    "mw_per_gbps",
+    "energy_per_packet_nj",
+    "percentage_error",
+    "ErrorSummary",
+    "summarize_errors",
+    # fpga
+    "DeviceSpec",
+    "ResourceUsage",
+    "DEVICE_CATALOG",
+    "XC6VLX760",
+    "get_device",
+    "SpeedGrade",
+    "grade_data",
+    # iplookup
+    "Prefix",
+    "parse_prefix",
+    "Route",
+    "RoutingTable",
+    "UnibitTrie",
+    "TrieStats",
+    "leaf_push",
+    "SyntheticTableConfig",
+    "generate_table",
+    "generate_virtual_tables",
+    "paper_reference_table",
+    # virt
+    "Scheme",
+    "MergedTrie",
+    "merge_tries",
+    "SeparateVirtualRouter",
+    "TrafficModel",
+    "uniform_utilization",
+    "zipf_utilization",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "ResourceExhaustedError",
+    "CapacityError",
+    "PrefixError",
+    "TrieError",
+    "MergeError",
+    "PlacementError",
+    "TimingError",
+    "CalibrationError",
+    "ExperimentError",
+]

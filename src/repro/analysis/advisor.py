@@ -1,0 +1,122 @@
+"""Deployment-scheme advisor.
+
+Given a consolidation problem — K virtual networks, an expected
+merging efficiency, per-network throughput demand — rank the three
+schemes the way the paper's Section VI discussion would: check the
+hard gates first (device resources for VS/VM, shared-engine capacity
+for VM), then order the feasible options by power efficiency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ScenarioConfig
+from repro.core.estimator import ScenarioEstimator, ScenarioResult
+from repro.errors import ConfigurationError, ReproError
+from repro.fpga.speedgrade import SpeedGrade
+from repro.virt.schemes import Scheme
+
+__all__ = ["Recommendation", "recommend_scheme"]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One scheme's evaluation for a consolidation problem."""
+
+    scheme: Scheme
+    alpha: float | None
+    feasible: bool
+    reason: str
+    result: ScenarioResult | None = None
+
+    @property
+    def mw_per_gbps(self) -> float:
+        """Efficiency of the feasible configuration (inf if infeasible)."""
+        if self.result is None:
+            return float("inf")
+        return self.result.experimental_mw_per_gbps
+
+    @property
+    def total_w(self) -> float:
+        """Total power of the feasible configuration (inf if infeasible)."""
+        if self.result is None:
+            return float("inf")
+        return self.result.experimental.total_w
+
+    def describe(self) -> str:
+        """One-line human-readable summary of this recommendation."""
+        label = f"VM(a={self.alpha:g})" if self.scheme is Scheme.VM and self.alpha is not None else self.scheme.name
+        if not self.feasible:
+            return f"{label}: infeasible — {self.reason}"
+        return (
+            f"{label}: {self.total_w:.2f} W, {self.mw_per_gbps:.1f} mW/Gbps — {self.reason}"
+        )
+
+
+def recommend_scheme(
+    k: int,
+    *,
+    alpha: float = 0.5,
+    per_network_gbps: float = 1.0,
+    grade: SpeedGrade = SpeedGrade.G2,
+) -> list[Recommendation]:
+    """Rank NV/VS/VM for a consolidation problem.
+
+    Parameters
+    ----------
+    k:
+        Number of networks to consolidate.
+    alpha:
+        Expected (pairwise) merging efficiency of the routing tables.
+    per_network_gbps:
+        Worst-case per-network throughput demand.  NV and VS give each
+        network a dedicated engine; VM's single engine must carry the
+        aggregate ``k × per_network_gbps``.
+    grade:
+        Speed grade to evaluate on.
+
+    Returns the recommendations sorted best-first: feasible schemes by
+    mW/Gbps, infeasible ones last.
+    """
+    if per_network_gbps <= 0:
+        raise ConfigurationError("per_network_gbps must be positive")
+    est = ScenarioEstimator()
+    recommendations: list[Recommendation] = []
+    for scheme, a in ((Scheme.NV, None), (Scheme.VS, None), (Scheme.VM, alpha)):
+        try:
+            result = est.evaluate(ScenarioConfig(scheme=scheme, k=k, grade=grade, alpha=a))
+        except ReproError as exc:
+            recommendations.append(
+                Recommendation(scheme=scheme, alpha=a, feasible=False, reason=str(exc))
+            )
+            continue
+        demand = k * per_network_gbps if scheme is Scheme.VM else per_network_gbps
+        capacity_per_engine = result.throughput_gbps / result.n_engines
+        if capacity_per_engine < demand:
+            recommendations.append(
+                Recommendation(
+                    scheme=scheme,
+                    alpha=a,
+                    feasible=False,
+                    reason=(
+                        f"engine capacity {capacity_per_engine:.1f} Gbps below "
+                        f"required {demand:.1f} Gbps"
+                    ),
+                    result=result,
+                )
+            )
+            continue
+        if scheme is Scheme.NV:
+            reason = f"needs {k} devices; dedicated capacity per network"
+        elif scheme is Scheme.VS:
+            reason = "one device, per-network engines; best power efficiency"
+        else:
+            reason = f"one shared engine; memory scaled by measured overlap a={alpha:g}"
+        recommendations.append(
+            Recommendation(scheme=scheme, alpha=a, feasible=True, reason=reason, result=result)
+        )
+    return sorted(
+        recommendations,
+        key=lambda r: (not r.feasible, r.mw_per_gbps),
+    )

@@ -1,0 +1,82 @@
+"""Crossover detection along the K axis.
+
+The paper's qualitative findings are mostly *orderings* ("VS best, NV
+second, merged worst") and the interesting engineering question is
+*where* the orderings flip — e.g. at what K a merged deployment stops
+beating a conventional one in mW/Gbps.  These helpers locate such
+crossovers on sampled series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import ScenarioConfig
+from repro.core.estimator import ScenarioEstimator
+from repro.errors import ConfigurationError
+from repro.fpga.speedgrade import SpeedGrade
+from repro.virt.schemes import Scheme
+
+__all__ = ["find_crossover", "scheme_crossover_k"]
+
+
+def find_crossover(x, a, b) -> float | None:
+    """First x where series ``a`` rises above series ``b``.
+
+    Linear interpolation between samples; ``None`` when ``a`` never
+    exceeds ``b`` on the sampled range.  If ``a`` starts above ``b``,
+    the first x is returned.
+    """
+    x = np.asarray(x, dtype=float)
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if not (x.shape == a.shape == b.shape):
+        raise ConfigurationError("series must have identical shapes")
+    if len(x) == 0:
+        return None
+    diff = a - b
+    if diff[0] > 0:
+        return float(x[0])
+    for i in range(1, len(x)):
+        if diff[i] > 0:
+            # interpolate the zero crossing between i-1 and i
+            d0, d1 = diff[i - 1], diff[i]
+            if d1 == d0:
+                return float(x[i])
+            t = -d0 / (d1 - d0)
+            return float(x[i - 1] + t * (x[i] - x[i - 1]))
+    return None
+
+
+def scheme_crossover_k(
+    scheme_a: Scheme,
+    scheme_b: Scheme,
+    *,
+    alpha_a: float | None = None,
+    alpha_b: float | None = None,
+    metric: str = "mw_per_gbps",
+    ks=tuple(range(1, 16)),
+    grade: SpeedGrade = SpeedGrade.G2,
+) -> float | None:
+    """K at which ``scheme_a``'s metric overtakes ``scheme_b``'s.
+
+    ``metric`` is one of ``"mw_per_gbps"`` (experimental efficiency) or
+    ``"total_w"`` (experimental total power); for both, larger = worse,
+    so the crossover is where A becomes worse than B.
+    """
+    if metric not in ("mw_per_gbps", "total_w"):
+        raise ConfigurationError(f"unknown metric {metric!r}")
+    est = ScenarioEstimator()
+
+    def series(scheme: Scheme, alpha: float | None) -> np.ndarray:
+        values = []
+        for k in ks:
+            r = est.evaluate(ScenarioConfig(scheme=scheme, k=k, grade=grade, alpha=alpha))
+            values.append(
+                r.experimental_mw_per_gbps if metric == "mw_per_gbps" else r.experimental.total_w
+            )
+        return np.asarray(values)
+
+    return find_crossover(
+        np.asarray(ks, dtype=float), series(scheme_a, alpha_a), series(scheme_b, alpha_b)
+    )

@@ -1,0 +1,227 @@
+"""Consolidation study: one report answering "should we virtualize?".
+
+Stitches the library's pieces into the document an operator would
+actually want: given K networks with demands and duty cycles, evaluate
+every scheme's feasibility (device fit + admission), power (model and
+measured, with tolerance bounds), efficiency, latency at the offered
+load, and provisioning agility — then rank and recommend.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.agility import provisioning_downtime_ms
+from repro.core.config import ScenarioConfig
+from repro.core.estimator import ScenarioEstimator, ScenarioResult
+from repro.core.power import AnalyticalPowerModel
+from repro.core.uncertainty import PowerBounds, power_bounds
+from repro.errors import CapacityError, ConfigurationError, ReproError
+from repro.fpga.speedgrade import SpeedGrade
+from repro.iplookup.synth import SyntheticTableConfig
+from repro.reporting.tables import render_kv, render_table
+from repro.virt.qos import check_admission
+from repro.virt.queueing import scheme_latency_ns
+from repro.virt.schemes import Scheme
+
+__all__ = ["SchemeAssessment", "ConsolidationStudy", "run_study"]
+
+
+@dataclass(frozen=True)
+class SchemeAssessment:
+    """One scheme's complete evaluation inside a study."""
+
+    scheme: Scheme
+    alpha: float | None
+    feasible: bool
+    reason: str
+    result: ScenarioResult | None = None
+    bounds: PowerBounds | None = None
+    latency_ns: float | None = None
+    interruption_ms: float | None = None
+
+    @property
+    def label(self) -> str:
+        if self.scheme is Scheme.VM and self.alpha is not None:
+            return f"VM(a={self.alpha:g})"
+        return self.scheme.name
+
+    @property
+    def sort_key(self) -> tuple:
+        power = self.result.experimental.total_w if self.result else float("inf")
+        return (not self.feasible, power)
+
+
+@dataclass(frozen=True)
+class ConsolidationStudy:
+    """The full study: inputs, per-scheme assessments, recommendation."""
+
+    k: int
+    demands_gbps: tuple[float, ...]
+    duty_cycle: float
+    grade: SpeedGrade
+    assessments: tuple[SchemeAssessment, ...]
+
+    @property
+    def recommendation(self) -> SchemeAssessment:
+        """The feasible scheme with the lowest measured power."""
+        ranked = sorted(self.assessments, key=lambda a: a.sort_key)
+        best = ranked[0]
+        if not best.feasible:
+            raise CapacityError("no scheme can host this consolidation")
+        return best
+
+    def render(self) -> str:
+        """Human-readable study report."""
+        out = io.StringIO()
+        out.write(f"== consolidation study: K={self.k}, grade {self.grade} ==\n")
+        out.write(
+            render_kv(
+                [
+                    ("aggregate demand", f"{sum(self.demands_gbps):.1f} Gbps"),
+                    ("hottest network", f"{max(self.demands_gbps):.1f} Gbps"),
+                    ("duty cycle", f"{self.duty_cycle:.0%}"),
+                ]
+            )
+        )
+        rows = [
+            [
+                "scheme",
+                "feasible",
+                "power_W",
+                "bounds_W",
+                "mW/Gbps",
+                "latency_ns",
+                "provision_ms",
+            ]
+        ]
+        for a in sorted(self.assessments, key=lambda a: a.sort_key):
+            if a.result is None:
+                rows.append([a.label, "no", "-", "-", "-", "-", "-"])
+                continue
+            bounds = (
+                f"[{a.bounds.low_w:.2f}, {a.bounds.high_w:.2f}]" if a.bounds else "-"
+            )
+            rows.append(
+                [
+                    a.label,
+                    "yes" if a.feasible else "no",
+                    f"{a.result.experimental.total_w:.2f}",
+                    bounds,
+                    f"{a.result.experimental_mw_per_gbps:.1f}",
+                    f"{a.latency_ns:.0f}" if a.latency_ns is not None else "-",
+                    f"{a.interruption_ms:.2f}" if a.interruption_ms is not None else "-",
+                ]
+            )
+        out.write(render_table(rows))
+        for a in self.assessments:
+            if not a.feasible:
+                out.write(f"  {a.label}: {a.reason}\n")
+        best = self.recommendation
+        out.write(f"  recommendation: {best.label} — {best.reason}\n")
+        return out.getvalue()
+
+
+def run_study(
+    demands_gbps,
+    *,
+    alpha: float = 0.8,
+    duty_cycle: float = 1.0,
+    grade: SpeedGrade = SpeedGrade.G2,
+    table: SyntheticTableConfig | None = None,
+) -> ConsolidationStudy:
+    """Evaluate all schemes for a consolidation problem."""
+    demands = tuple(float(d) for d in demands_gbps)
+    if not demands or any(d <= 0 for d in demands):
+        raise ConfigurationError("demands must be a non-empty positive vector")
+    k = len(demands)
+    table = table or SyntheticTableConfig()
+    estimator = ScenarioEstimator()
+    aggregate = sum(demands)
+
+    assessments: list[SchemeAssessment] = []
+    for scheme, a in ((Scheme.NV, None), (Scheme.VS, None), (Scheme.VM, alpha)):
+        try:
+            result = estimator.evaluate(
+                ScenarioConfig(
+                    scheme=scheme,
+                    k=k,
+                    alpha=a,
+                    grade=grade,
+                    duty_cycle=duty_cycle,
+                    table=table,
+                )
+            )
+        except ReproError as exc:
+            assessments.append(
+                SchemeAssessment(
+                    scheme=scheme, alpha=a, feasible=False, reason=str(exc)
+                )
+            )
+            continue
+        n_engines = result.n_engines
+        per_engine_capacity = result.throughput_gbps / n_engines
+        if scheme is Scheme.VM:
+            admission = check_admission(result.throughput_gbps, demands)
+            feasible = admission.admissible
+            reason = (
+                "shared engine admits all demands"
+                if feasible
+                else f"aggregate {aggregate:.1f} Gbps exceeds the shared engine"
+            )
+        else:
+            feasible = max(demands) <= per_engine_capacity
+            reason = (
+                "per-network engines cover the hottest demand"
+                if feasible
+                else "hottest network exceeds one engine's line rate"
+            )
+        latency = None
+        if feasible:
+            try:
+                latency = scheme_latency_ns(
+                    scheme.name,
+                    aggregate,
+                    per_engine_capacity,
+                    n_engines,
+                    result.frequency_mhz,
+                    result.config.n_stages,
+                ).total_ns
+            except CapacityError:
+                latency = None
+        model = AnalyticalPowerModel(grade)
+        bounds = power_bounds(
+            model,
+            scheme,
+            list(result.resources.engine_maps),
+            result.frequency_mhz,
+            result.config.utilization_vector(),
+            duty_cycle=duty_cycle,
+        )
+        interruption, _ = provisioning_downtime_ms(
+            scheme, k, alpha=alpha if a is not None else 0.8, grade=grade, table=table
+        )
+        if scheme is Scheme.NV:
+            reason += f"; {k} devices"
+        assessments.append(
+            SchemeAssessment(
+                scheme=scheme,
+                alpha=a,
+                feasible=feasible,
+                reason=reason,
+                result=result,
+                bounds=bounds,
+                latency_ns=latency,
+                interruption_ms=interruption,
+            )
+        )
+    return ConsolidationStudy(
+        k=k,
+        demands_gbps=demands,
+        duty_cycle=duty_cycle,
+        grade=grade,
+        assessments=tuple(assessments),
+    )

@@ -1,0 +1,12 @@
+"""Comparison baselines from the paper's related work.
+
+The paper positions trie-based FPGA lookup against TCAM solutions
+([20] Zheng et al., [10] IPStash), which are "known to be power hungry
+due to massively parallel search".  :mod:`repro.baselines.tcam` models
+a TCAM lookup engine's power so the analysis benches can quantify that
+comparison on the same routing tables.
+"""
+
+from repro.baselines.tcam import TcamConfig, TcamModel
+
+__all__ = ["TcamConfig", "TcamModel"]

@@ -1,0 +1,40 @@
+"""Core contribution: the paper's analytical power models (Eqs. 1–6).
+
+* :mod:`repro.core.resources` — resource models R_NV, R_VS, R_VM.
+* :mod:`repro.core.power` — power models P_NV, P_VS, P_VM.
+* :mod:`repro.core.metrics` — throughput and mW/Gbps (Section VI-B).
+* :mod:`repro.core.estimator` — scenario evaluation tying the models
+  to the FPGA and lookup substrates, producing both the analytical
+  estimate and the simulated post-P&R "experimental" measurement.
+* :mod:`repro.core.validation` — model-vs-experimental error (Fig. 7).
+"""
+
+from repro.core.config import ScenarioConfig
+from repro.core.resources import SchemeResources, engine_stage_map, merged_stage_map, scheme_resources
+from repro.core.power import AnalyticalPowerModel, PowerBreakdown
+from repro.core.metrics import throughput_gbps, mw_per_gbps, energy_per_packet_nj
+from repro.core.estimator import ScenarioEstimator, ScenarioResult, ExperimentalPower
+from repro.core.validation import percentage_error, ErrorSummary, summarize_errors
+from repro.core.uncertainty import Tolerances, PowerBounds, power_bounds
+
+__all__ = [
+    "ScenarioConfig",
+    "SchemeResources",
+    "engine_stage_map",
+    "merged_stage_map",
+    "scheme_resources",
+    "AnalyticalPowerModel",
+    "PowerBreakdown",
+    "throughput_gbps",
+    "mw_per_gbps",
+    "energy_per_packet_nj",
+    "ScenarioEstimator",
+    "ScenarioResult",
+    "ExperimentalPower",
+    "percentage_error",
+    "ErrorSummary",
+    "summarize_errors",
+    "Tolerances",
+    "PowerBounds",
+    "power_bounds",
+]

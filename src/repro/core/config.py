@@ -1,0 +1,110 @@
+"""Scenario configuration (paper Section III assumptions, as data).
+
+A :class:`ScenarioConfig` pins down everything needed to evaluate one
+point of the paper's evaluation: scheme, number of virtual networks,
+speed grade, merging efficiency (merged scheme only), pipeline depth,
+utilization vector and operating frequency policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fpga.catalog import XC6VLX760
+from repro.fpga.device import DeviceSpec
+from repro.fpga.speedgrade import SpeedGrade
+from repro.iplookup.mapping import DEFAULT_NODE_FORMAT, PAPER_PIPELINE_STAGES, NodeFormat
+from repro.iplookup.synth import SyntheticTableConfig
+from repro.virt.schemes import Scheme
+
+__all__ = ["ScenarioConfig"]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One evaluation point of the paper's design space.
+
+    Attributes
+    ----------
+    scheme:
+        NV, VS or VM.
+    k:
+        Number of (virtual) networks, K.
+    grade:
+        Speed grade (-2 or -1L).
+    alpha:
+        Merging efficiency — the *pairwise/model* α swept in the
+        figures (20 % and 80 %).  Required for VM, ignored otherwise.
+    n_stages:
+        Pipeline depth N (paper: 28).
+    device:
+        Target FPGA part.
+    node_format:
+        Stage-memory node encoding.
+    utilizations:
+        Per-VN load vector µ; ``None`` means Assumption 1 (uniform).
+    duty_cycle:
+        Overall offered-load fraction (1 = saturated line rate).
+    frequency_mhz:
+        Operating clock; ``None`` means "run at the achieved fmax",
+        which is what the paper's post-P&R numbers report.
+    table:
+        Synthetic-table generator parameters for the per-VN routing
+        tables (the paper's 3 725-prefix worst case by default).
+    """
+
+    scheme: Scheme
+    k: int
+    grade: SpeedGrade = SpeedGrade.G2
+    alpha: float | None = None
+    n_stages: int = PAPER_PIPELINE_STAGES
+    device: DeviceSpec = XC6VLX760
+    node_format: NodeFormat = DEFAULT_NODE_FORMAT
+    utilizations: tuple[float, ...] | None = None
+    duty_cycle: float = 1.0
+    frequency_mhz: float | None = None
+    table: SyntheticTableConfig = field(default_factory=SyntheticTableConfig)
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {self.k}")
+        if self.n_stages < 1:
+            raise ConfigurationError(f"n_stages must be >= 1, got {self.n_stages}")
+        if self.scheme is Scheme.VM:
+            if self.k > 1 and self.alpha is None:
+                raise ConfigurationError("merged scheme requires a merging efficiency alpha")
+            if self.alpha is not None and not 0.0 <= self.alpha <= 1.0:
+                raise ConfigurationError(f"alpha must be in [0, 1], got {self.alpha}")
+        if self.utilizations is not None:
+            mu = np.asarray(self.utilizations, dtype=float)
+            if len(mu) != self.k:
+                raise ConfigurationError(
+                    f"utilizations must have length k={self.k}, got {len(mu)}"
+                )
+            if (mu < 0).any() or abs(mu.sum() - 1.0) > 1e-9:
+                raise ConfigurationError("utilizations must be non-negative and sum to 1")
+        if not 0.0 < self.duty_cycle <= 1.0:
+            raise ConfigurationError("duty_cycle must be in (0, 1]")
+        if self.frequency_mhz is not None and self.frequency_mhz <= 0:
+            raise ConfigurationError("frequency_mhz must be positive")
+
+    def utilization_vector(self) -> np.ndarray:
+        """The effective µ vector (Assumption 1 when unspecified)."""
+        if self.utilizations is None:
+            return np.full(self.k, 1.0 / self.k)
+        return np.asarray(self.utilizations, dtype=float)
+
+    def label(self) -> str:
+        """Short human-readable identifier, e.g. ``"VM(a=0.8) K=8 -2"``."""
+        if self.scheme is Scheme.VM and self.alpha is not None:
+            scheme = f"VM(a={self.alpha:g})"
+        else:
+            scheme = self.scheme.name
+        return f"{scheme} K={self.k} {self.grade}"
+
+    def with_k(self, k: int) -> "ScenarioConfig":
+        """Copy of this config at a different K (sweep helper)."""
+        return replace(self, k=k, utilizations=None if self.utilizations is None else None)

@@ -1,0 +1,212 @@
+"""Scenario estimator: one config → model + "experimental" results.
+
+This is the library's front door.  A :class:`ScenarioEstimator`
+evaluates a :class:`~repro.core.config.ScenarioConfig` end to end:
+
+1. build (and cache) the reference trie statistics from the synthetic
+   routing table;
+2. size every engine's stage memories (Eqs. 1/3/5 resource models);
+3. run the place-and-route simulator to get the achieved clock and
+   the implemented design;
+4. evaluate the analytical power model (Eqs. 2/4/6) at the operating
+   frequency — the paper's *estimation*;
+5. run the XPower-Analyzer-like reporter over the placed design — the
+   paper's *experimental* value;
+6. derive throughput, mW/Gbps and the model's percentage error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.config import ScenarioConfig
+from repro.core.metrics import mw_per_gbps, throughput_gbps
+from repro.core.power import AnalyticalPowerModel, PowerBreakdown
+from repro.core.resources import SchemeResources, scheme_resources
+from repro.errors import ConfigurationError
+from repro.fpga.placer import ENGINE_IO_PINS, EngineNetlist, PlaceAndRoute, PlacedDesign
+from repro.fpga.power_report import PowerReport, XPowerAnalyzer
+from repro.iplookup.leafpush import leaf_push
+from repro.iplookup.synth import SyntheticTableConfig, generate_table
+from repro.iplookup.trie import TrieStats, UnibitTrie
+from repro.virt.schemes import Scheme
+
+__all__ = ["ScenarioEstimator", "ScenarioResult", "ExperimentalPower", "base_trie_stats"]
+
+
+@lru_cache(maxsize=16)
+def base_trie_stats(table_config: SyntheticTableConfig) -> TrieStats:
+    """Leaf-pushed trie statistics of the reference table (cached).
+
+    Assumption 2 makes every virtual network's table structurally
+    identical to this worst-case table.
+    """
+    table = generate_table(table_config)
+    return leaf_push(UnibitTrie(table)).stats()
+
+
+@dataclass(frozen=True)
+class ExperimentalPower:
+    """Aggregated post-P&R power over all devices of a scenario."""
+
+    static_w: float
+    logic_w: float
+    signal_w: float
+    bram_w: float
+
+    @property
+    def dynamic_w(self) -> float:
+        return self.logic_w + self.signal_w + self.bram_w
+
+    @property
+    def total_w(self) -> float:
+        return self.static_w + self.dynamic_w
+
+    @classmethod
+    def from_reports(cls, reports: list[PowerReport]) -> "ExperimentalPower":
+        return cls(
+            static_w=sum(r.static_w for r in reports),
+            logic_w=sum(r.logic_w for r in reports),
+            signal_w=sum(r.signal_w for r in reports),
+            bram_w=sum(r.bram_w for r in reports),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Everything the experiments need about one evaluated scenario."""
+
+    config: ScenarioConfig
+    base_stats: TrieStats
+    resources: SchemeResources
+    placed: PlacedDesign
+    fmax_mhz: float
+    frequency_mhz: float
+    model: PowerBreakdown
+    experimental: ExperimentalPower
+    throughput_gbps: float
+
+    @property
+    def n_engines(self) -> int:
+        """Parallel pipelines contributing capacity."""
+        return self.config.scheme.engines_required(self.config.k)
+
+    @property
+    def model_mw_per_gbps(self) -> float:
+        """Efficiency metric from the analytical model."""
+        return mw_per_gbps(self.model.total_w, self.throughput_gbps)
+
+    @property
+    def experimental_mw_per_gbps(self) -> float:
+        """Efficiency metric from the post-P&R measurement."""
+        return mw_per_gbps(self.experimental.total_w, self.throughput_gbps)
+
+    @property
+    def percentage_error(self) -> float:
+        """Fig. 7's metric: (model − experimental)/experimental × 100."""
+        return (
+            (self.model.total_w - self.experimental.total_w)
+            / self.experimental.total_w
+            * 100.0
+        )
+
+
+class ScenarioEstimator:
+    """Evaluate scenarios against one cached reference table."""
+
+    def __init__(self) -> None:
+        self._analyzer = XPowerAnalyzer()
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _netlists(config: ScenarioConfig, resources: SchemeResources) -> list[EngineNetlist]:
+        width = config.node_format.pointer_bits
+        netlists = []
+        for i, stage_map in enumerate(resources.engine_maps):
+            netlists.append(
+                EngineNetlist(
+                    label=f"{config.scheme.name.lower()}-engine-{i}",
+                    stage_memory_bits=np.asarray(stage_map.bits_per_stage),
+                    word_width=width,
+                    io_pins=ENGINE_IO_PINS,
+                )
+            )
+        return netlists
+
+    def evaluate(self, config: ScenarioConfig) -> ScenarioResult:
+        """Run the full pipeline for one scenario configuration."""
+        stats = base_trie_stats(config.table)
+        resources = scheme_resources(
+            config.scheme,
+            config.k,
+            stats,
+            alpha=config.alpha,
+            n_stages=config.n_stages,
+            node_format=config.node_format,
+        )
+        netlists = self._netlists(config, resources)
+        pnr = PlaceAndRoute(config.device, config.grade)
+        mu = config.utilization_vector()
+
+        if config.scheme is Scheme.NV:
+            # K identical single-engine devices; place one and replicate.
+            placed = pnr.place([netlists[0]], name=config.label())
+            fmax = placed.fmax_mhz
+            f = config.frequency_mhz if config.frequency_mhz is not None else fmax
+            if f > fmax + 1e-9:
+                raise ConfigurationError(
+                    f"requested {f} MHz exceeds achievable fmax {fmax:.1f} MHz"
+                )
+            reports = [
+                self._analyzer.report(
+                    placed, f, np.array([mu_i * config.duty_cycle])
+                )
+                for mu_i in mu
+            ]
+            experimental = ExperimentalPower.from_reports(reports)
+        else:
+            placed = pnr.place(netlists, name=config.label())
+            fmax = placed.fmax_mhz
+            f = config.frequency_mhz if config.frequency_mhz is not None else fmax
+            if f > fmax + 1e-9:
+                raise ConfigurationError(
+                    f"requested {f} MHz exceeds achievable fmax {fmax:.1f} MHz"
+                )
+            if config.scheme is Scheme.VS:
+                activities = mu * config.duty_cycle
+            else:  # VM: one engine at the aggregate duty cycle
+                activities = np.array([config.duty_cycle])
+            report = self._analyzer.report(placed, f, activities)
+            experimental = ExperimentalPower.from_reports([report])
+
+        model_eval = AnalyticalPowerModel(config.grade, config.device)
+        engine_maps = list(resources.engine_maps)
+        if config.scheme is Scheme.NV:
+            model = model_eval.power_nv(engine_maps, f, mu, config.duty_cycle)
+        elif config.scheme is Scheme.VS:
+            model = model_eval.power_vs(engine_maps, f, mu, config.duty_cycle)
+        else:
+            model = model_eval.power_vm(engine_maps[0], f, config.duty_cycle)
+
+        capacity = throughput_gbps(f, config.scheme.engines_required(config.k))
+        return ScenarioResult(
+            config=config,
+            base_stats=stats,
+            resources=resources,
+            placed=placed,
+            fmax_mhz=fmax,
+            frequency_mhz=f,
+            model=model,
+            experimental=experimental,
+            throughput_gbps=capacity,
+        )
+
+    def sweep_k(self, template: ScenarioConfig, ks: list[int]) -> list[ScenarioResult]:
+        """Evaluate ``template`` at each K in ``ks`` (figure sweeps)."""
+        from dataclasses import replace
+
+        return [self.evaluate(replace(template, k=k)) for k in ks]

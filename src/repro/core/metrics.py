@@ -1,0 +1,77 @@
+"""Throughput and power-efficiency metrics (paper Section VI-B).
+
+The paper's efficiency metric is power per unit throughput, mW/Gbps,
+with throughput computed from the packet handling rate at minimum
+packet size (40 bytes): a linear pipeline admits one lookup per clock,
+so one engine at ``f`` MHz handles ``f × 10⁶`` packets/s, i.e.
+``f × 320 × 10⁻³`` Gbps.  Lower mW/Gbps is better.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.units import MIN_PACKET_BYTES, gbps
+
+__all__ = [
+    "throughput_gbps",
+    "mw_per_gbps",
+    "energy_per_packet_nj",
+    "watts_per_gbps",
+    "lookup_latency_ns",
+]
+
+
+def throughput_gbps(
+    frequency_mhz: float,
+    n_engines: int = 1,
+    packet_bytes: int = MIN_PACKET_BYTES,
+) -> float:
+    """Aggregate lookup capacity of ``n_engines`` parallel pipelines.
+
+    NV and VS deployments aggregate K engines; the merged scheme has a
+    single time-shared engine (its throughput is *shared* among the
+    virtual networks — the scalability limit of Section IV-C).
+    """
+    if n_engines < 0:
+        raise ConfigurationError(f"n_engines must be non-negative, got {n_engines}")
+    return n_engines * gbps(frequency_mhz, packet_bytes)
+
+
+def mw_per_gbps(total_power_w: float, capacity_gbps: float) -> float:
+    """The paper's efficiency metric: milliwatts per Gbps of capacity."""
+    if total_power_w < 0:
+        raise ConfigurationError("power must be non-negative")
+    if capacity_gbps <= 0:
+        raise ConfigurationError("capacity must be positive")
+    return total_power_w * 1e3 / capacity_gbps
+
+
+def watts_per_gbps(total_power_w: float, capacity_gbps: float) -> float:
+    """Same metric in W/Gbps (the unit the paper names in prose)."""
+    return mw_per_gbps(total_power_w, capacity_gbps) / 1e3
+
+
+def lookup_latency_ns(frequency_mhz: float, n_stages: int = 28) -> float:
+    """Per-packet lookup latency of the linear pipeline, in ns.
+
+    One cycle per stage plus the exit register ("pipelining improves
+    the performance while reducing the latency", Section II-A —
+    relative to a sequential N-access walk at the same clock).
+    """
+    if frequency_mhz <= 0:
+        raise ConfigurationError("frequency must be positive")
+    if n_stages < 1:
+        raise ConfigurationError("n_stages must be >= 1")
+    return (n_stages + 1) / (frequency_mhz * 1e6) * 1e9
+
+
+def energy_per_packet_nj(
+    total_power_w: float,
+    frequency_mhz: float,
+    n_engines: int = 1,
+) -> float:
+    """Energy spent per forwarded packet, in nanojoules."""
+    if frequency_mhz <= 0 or n_engines <= 0:
+        raise ConfigurationError("frequency and engine count must be positive")
+    packets_per_second = frequency_mhz * 1e6 * n_engines
+    return total_power_w / packets_per_second * 1e9

@@ -1,0 +1,254 @@
+"""Analytical power models: P_NV, P_VS, P_VM (paper Eqs. 2, 4, 6).
+
+Power decomposes into three components (paper Section IV):
+
+* **static** — ``P_L`` per powered device, paid regardless of load;
+* **logic** — per-stage PE power, linear in frequency (Section V-C);
+* **memory** — per-stage BRAM power from the Table III block model.
+
+Dynamic components scale with each virtual router's utilization µᵢ
+(Assumption 1: µᵢ = 1/K), because idle resources are flag-disabled or
+clock-gated (Section IV).  The models are:
+
+* **Eq. 2** — P_NV = Σᵢ (P_L + µᵢ Σⱼ (P(L_{i,j}) + P(M_{i,j})))
+* **Eq. 4** — P_VS = P_L + Σᵢ µᵢ Σⱼ (P(L_{i,j}) + P(M_{i,j}))
+* **Eq. 6** — P_VM = P_L + Σⱼ (P(L_{0,j}) + P(M̃ⱼ))
+
+The merged engine's dynamic power carries no µ factor: the single
+pipeline serves the aggregate stream at full duty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fpga.bram import (
+    PAPER_WRITE_RATE,
+    BramKind,
+    bram_dynamic_power_uw,
+    pack_stage_memory,
+)
+from repro.fpga.catalog import XC6VLX760
+from repro.fpga.clocking import PAPER_CLOCK_GATING, ClockGating
+from repro.fpga.device import DeviceSpec
+from repro.fpga.logic import PAPER_PE_FOOTPRINT, PeFootprint, stage_logic_power_uw
+from repro.fpga.speedgrade import SpeedGrade, grade_data
+from repro.fpga.static_power import static_power_w
+from repro.iplookup.mapping import StageMemoryMap
+from repro.units import uw_to_w
+from repro.virt.schemes import Scheme
+
+__all__ = ["PowerBreakdown", "AnalyticalPowerModel"]
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Model output: power by component, in watts."""
+
+    scheme: Scheme
+    k: int
+    frequency_mhz: float
+    static_w: float
+    logic_w: float
+    memory_w: float
+
+    @property
+    def dynamic_w(self) -> float:
+        return self.logic_w + self.memory_w
+
+    @property
+    def total_w(self) -> float:
+        return self.static_w + self.dynamic_w
+
+
+class AnalyticalPowerModel:
+    """Evaluator of Eqs. 2, 4 and 6 over stage memory maps.
+
+    Parameters
+    ----------
+    grade:
+        Speed grade (selects P_L and all dynamic coefficients).
+    device:
+        FPGA part (scales static power for non-LX760 parts).
+    clock_gating:
+        Idle-resource policy; the paper's default gates everything,
+        making dynamic power proportional to utilization.
+    write_rate:
+        Routing-table update rate applied to every stage memory.
+    footprint:
+        Per-stage PE resource counts.
+    """
+
+    def __init__(
+        self,
+        grade: SpeedGrade,
+        device: DeviceSpec = XC6VLX760,
+        clock_gating: ClockGating = PAPER_CLOCK_GATING,
+        write_rate: float = PAPER_WRITE_RATE,
+        footprint: PeFootprint = PAPER_PE_FOOTPRINT,
+    ):
+        self.grade = grade
+        self.device = device
+        self.clock_gating = clock_gating
+        self.write_rate = write_rate
+        self.footprint = footprint
+
+    # -- component terms ----------------------------------------------------
+
+    @property
+    def static_w(self) -> float:
+        """P_L: the representative per-device leakage (Section V-A)."""
+        return static_power_w(self.grade, usage=None, device=self.device)
+
+    def stage_logic_power_w(self, frequency_mhz: float, activity: float = 1.0) -> float:
+        """P(L_{i,j}): one stage's logic + signal power."""
+        effective = self.clock_gating.logic_activity(activity)
+        return uw_to_w(
+            stage_logic_power_uw(frequency_mhz, self.grade, self.footprint, effective)
+        )
+
+    def stage_memory_power_w(
+        self, bits: int, frequency_mhz: float, activity: float = 1.0, width: int | None = None
+    ) -> float:
+        """P(M_{i,j}): one stage memory's BRAM power (Table III).
+
+        The stage's bits are packed into 36 Kb blocks with a trailing
+        18 Kb primitive (the ⌈M/18K⌉ / ⌈M/36K⌉ quantization of
+        Table III), each priced at its per-block coefficient.
+        """
+        width = width or 18
+        enable = self.clock_gating.memory_activity(activity)
+        packing = pack_stage_memory(bits, width)
+        power_uw = bram_dynamic_power_uw(
+            frequency_mhz,
+            self.grade,
+            BramKind.B36,
+            packing.blocks36,
+            write_rate=self.write_rate,
+            read_width=width,
+            enable_rate=enable,
+        ) + bram_dynamic_power_uw(
+            frequency_mhz,
+            self.grade,
+            BramKind.B18,
+            packing.blocks18,
+            write_rate=self.write_rate,
+            read_width=width,
+            enable_rate=enable,
+        )
+        return uw_to_w(power_uw)
+
+    def engine_dynamic_power_w(
+        self, stage_map: StageMemoryMap, frequency_mhz: float, activity: float = 1.0
+    ) -> tuple[float, float]:
+        """(logic, memory) dynamic power of one engine at ``activity``.
+
+        Implements the inner Σⱼ (P(L_{i,j}) + P(M_{i,j})) of the
+        equations; the µᵢ factor is the ``activity`` argument.
+        """
+        width = stage_map.node_format.pointer_bits
+        logic = stage_map.n_stages * self.stage_logic_power_w(frequency_mhz, activity)
+        memory = sum(
+            self.stage_memory_power_w(int(bits), frequency_mhz, activity, width)
+            for bits in stage_map.bits_per_stage
+        )
+        return logic, memory
+
+    # -- scheme models --------------------------------------------------------
+
+    def _check_inputs(
+        self, engine_maps, utilizations: np.ndarray, duty_cycle: float
+    ) -> np.ndarray:
+        mu = np.asarray(utilizations, dtype=float)
+        if len(mu) != len(engine_maps):
+            raise ConfigurationError(
+                f"need one utilization per engine: {len(engine_maps)} engines, "
+                f"{len(mu)} utilizations"
+            )
+        if (mu < 0).any() or mu.sum() > 1.0 + 1e-9:
+            raise ConfigurationError("utilizations must be non-negative and sum to <= 1")
+        if not 0.0 < duty_cycle <= 1.0:
+            raise ConfigurationError("duty_cycle must be in (0, 1]")
+        return mu
+
+    def power_nv(
+        self,
+        engine_maps: list[StageMemoryMap],
+        frequency_mhz: float,
+        utilizations: np.ndarray,
+        duty_cycle: float = 1.0,
+    ) -> PowerBreakdown:
+        """Eq. 2: K devices, device i at activity µᵢ·duty."""
+        mu = self._check_inputs(engine_maps, utilizations, duty_cycle)
+        k = len(engine_maps)
+        logic = memory = 0.0
+        for stage_map, mu_i in zip(engine_maps, mu):
+            l, m = self.engine_dynamic_power_w(
+                stage_map, frequency_mhz, float(mu_i) * duty_cycle
+            )
+            logic += l
+            memory += m
+        return PowerBreakdown(
+            scheme=Scheme.NV,
+            k=k,
+            frequency_mhz=frequency_mhz,
+            static_w=k * self.static_w,
+            logic_w=logic,
+            memory_w=memory,
+        )
+
+    def power_vs(
+        self,
+        engine_maps: list[StageMemoryMap],
+        frequency_mhz: float,
+        utilizations: np.ndarray,
+        duty_cycle: float = 1.0,
+    ) -> PowerBreakdown:
+        """Eq. 4: one device, K engines, engine i at activity µᵢ·duty."""
+        mu = self._check_inputs(engine_maps, utilizations, duty_cycle)
+        logic = memory = 0.0
+        for stage_map, mu_i in zip(engine_maps, mu):
+            l, m = self.engine_dynamic_power_w(
+                stage_map, frequency_mhz, float(mu_i) * duty_cycle
+            )
+            logic += l
+            memory += m
+        return PowerBreakdown(
+            scheme=Scheme.VS,
+            k=len(engine_maps),
+            frequency_mhz=frequency_mhz,
+            static_w=self.static_w,
+            logic_w=logic,
+            memory_w=memory,
+        )
+
+    def power_vm(
+        self,
+        merged_map: StageMemoryMap,
+        frequency_mhz: float,
+        duty_cycle: float = 1.0,
+    ) -> PowerBreakdown:
+        """Eq. 6: one device, one engine at the aggregate duty cycle."""
+        if not 0.0 < duty_cycle <= 1.0:
+            raise ConfigurationError("duty_cycle must be in (0, 1]")
+        logic, memory = self.engine_dynamic_power_w(merged_map, frequency_mhz, duty_cycle)
+        return PowerBreakdown(
+            scheme=Scheme.VM,
+            k=merged_map.nhi_vector_width,
+            frequency_mhz=frequency_mhz,
+            static_w=self.static_w,
+            logic_w=logic,
+            memory_w=memory,
+        )
+
+    def grade_summary(self) -> str:
+        """One-line description of the model's calibration point."""
+        data = grade_data(self.grade)
+        return (
+            f"grade {self.grade}: PL={data.static_power_w} W, "
+            f"logic {data.logic_stage_uw_per_mhz} uW/MHz/stage, "
+            f"BRAM {data.bram18_uw_per_mhz}/{data.bram36_uw_per_mhz} uW/MHz/block"
+        )

@@ -1,0 +1,316 @@
+"""Resource models: R_NV, R_VS, R_VM (paper Eqs. 1, 3, 5).
+
+The resource model turns trie statistics into device-level resource
+consumption for each scheme:
+
+* **Eq. 1** — R_NV = Σᵢ (D + Σⱼ (L_{i,j} + M_{i,j})): K devices, each
+  carrying one engine.
+* **Eq. 3** — R_VS = D + Σᵢ Σⱼ (L_{i,j} + M_{i,j}): one device, K
+  engines.
+* **Eq. 5** — R_VM = D + Σⱼ (L_{0,j} + M̃ⱼ): one device, one engine
+  over the merged memory M̃.  Following DESIGN.md §2, merged node
+  counts scale by ``1 + (K−1)(1−α)`` (α = pairwise merging
+  efficiency) and each merged leaf stores a K-wide NHI vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.fpga.bram import pack_stage_memory
+from repro.fpga.device import DeviceSpec, ResourceUsage
+from repro.fpga.logic import PAPER_PE_FOOTPRINT, PeFootprint
+from repro.fpga.placer import ENGINE_IO_PINS, SHARED_IO_PINS
+from repro.iplookup.mapping import (
+    DEFAULT_NODE_FORMAT,
+    NodeFormat,
+    StageMemoryMap,
+    map_trie_to_stages,
+)
+from repro.iplookup.trie import TrieStats
+from repro.virt.schemes import Scheme
+
+__all__ = [
+    "merged_multiplier",
+    "engine_stage_map",
+    "merged_stage_map",
+    "merged_stage_map_hetero",
+    "SchemeResources",
+    "scheme_resources",
+    "scheme_resources_hetero",
+]
+
+import numpy as np
+
+
+def merged_multiplier(k: int, alpha: float) -> float:
+    """Merged-trie node multiplier: ``1 + (K−1)(1−α)``.
+
+    α = 1 (identical tables) collapses K tries into one; α = 0 (no
+    overlap) stores all K in full.  See DESIGN.md §2 for why this is
+    the consistent reading of the paper's Eq. 5.
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    if not 0.0 <= alpha <= 1.0:
+        raise ConfigurationError(f"alpha must be in [0, 1], got {alpha}")
+    return 1.0 + (k - 1) * (1.0 - alpha)
+
+
+def engine_stage_map(
+    stats: TrieStats,
+    n_stages: int,
+    node_format: NodeFormat = DEFAULT_NODE_FORMAT,
+) -> StageMemoryMap:
+    """Per-stage memory of one non-merged engine (the M_{i,j})."""
+    return map_trie_to_stages(stats, n_stages, node_format, nhi_vector_width=1)
+
+
+def merged_stage_map(
+    stats: TrieStats,
+    k: int,
+    alpha: float,
+    n_stages: int,
+    node_format: NodeFormat = DEFAULT_NODE_FORMAT,
+) -> StageMemoryMap:
+    """Analytical per-stage memory of the merged engine (the M̃ⱼ).
+
+    Scales the base trie's per-level internal and leaf counts by the
+    merged multiplier and widens each leaf to a K-entry NHI vector.
+    For K = 1 this reduces exactly to :func:`engine_stage_map`.
+    """
+    mult = merged_multiplier(k, alpha if k > 1 else 1.0)
+    if stats.depth > n_stages:
+        raise ConfigurationError(
+            f"trie depth {stats.depth} exceeds pipeline depth {n_stages}"
+        )
+    pointer_bits = np.zeros(n_stages, dtype=np.int64)
+    nhi_bits = np.zeros(n_stages, dtype=np.int64)
+    nodes = np.zeros(n_stages, dtype=np.int64)
+    internal_bits = node_format.internal_node_bits()
+    leaf_bits = node_format.leaf_node_bits(nhi_vector_width=k)
+    for level in range(1, stats.depth + 1):
+        stage = level - 1
+        n_internal = int(round(stats.internal_per_level[level] * mult))
+        n_leaves = int(round(stats.leaves_per_level[level] * mult))
+        pointer_bits[stage] = n_internal * internal_bits
+        nhi_bits[stage] = n_leaves * leaf_bits
+        nodes[stage] = n_internal + n_leaves
+    return StageMemoryMap(
+        n_stages=n_stages,
+        pointer_bits_per_stage=pointer_bits,
+        nhi_bits_per_stage=nhi_bits,
+        nodes_per_stage=nodes,
+        node_format=node_format,
+        nhi_vector_width=k,
+    )
+
+
+def merged_stage_map_hetero(
+    stats_list: list[TrieStats],
+    alpha: float,
+    n_stages: int,
+    node_format: NodeFormat = DEFAULT_NODE_FORMAT,
+) -> StageMemoryMap:
+    """Analytical merged memory for *heterogeneous* tables.
+
+    Relaxes Assumption 2: per level, the union holds the largest
+    table's nodes in full plus a fraction ``(1 − α)`` of every other
+    table's — which reduces to :func:`merged_stage_map` when all
+    tables are identical (α = 1 → the largest table alone; α = 0 →
+    the plain sum).  Leaves still widen to a K-entry NHI vector.
+    """
+    if not stats_list:
+        raise ConfigurationError("need at least one table's statistics")
+    if not 0.0 <= alpha <= 1.0:
+        raise ConfigurationError(f"alpha must be in [0, 1], got {alpha}")
+    k = len(stats_list)
+    depth = max(stats.depth for stats in stats_list)
+    if depth > n_stages:
+        raise ConfigurationError(f"trie depth {depth} exceeds pipeline depth {n_stages}")
+    pointer_bits = np.zeros(n_stages, dtype=np.int64)
+    nhi_bits = np.zeros(n_stages, dtype=np.int64)
+    nodes = np.zeros(n_stages, dtype=np.int64)
+    internal_bits = node_format.internal_node_bits()
+    leaf_bits = node_format.leaf_node_bits(nhi_vector_width=k)
+
+    def level_counts(stats: TrieStats, level: int, kind: str) -> int:
+        per_level = (
+            stats.internal_per_level if kind == "internal" else stats.leaves_per_level
+        )
+        return per_level[level] if level <= stats.depth else 0
+
+    for level in range(1, depth + 1):
+        merged = {}
+        for kind in ("internal", "leaf"):
+            counts = sorted(
+                (level_counts(stats, level, kind) for stats in stats_list),
+                reverse=True,
+            )
+            merged[kind] = int(round(counts[0] + (1.0 - alpha) * sum(counts[1:])))
+        stage = level - 1
+        pointer_bits[stage] = merged["internal"] * internal_bits
+        nhi_bits[stage] = merged["leaf"] * leaf_bits
+        nodes[stage] = merged["internal"] + merged["leaf"]
+    return StageMemoryMap(
+        n_stages=n_stages,
+        pointer_bits_per_stage=pointer_bits,
+        nhi_bits_per_stage=nhi_bits,
+        nodes_per_stage=nodes,
+        node_format=node_format,
+        nhi_vector_width=k,
+    )
+
+
+@dataclass(frozen=True)
+class SchemeResources:
+    """Resource consumption of one scenario (Eqs. 1/3/5 evaluated).
+
+    Attributes
+    ----------
+    scheme, k:
+        The configuration.
+    devices:
+        Physical device count (K for NV, 1 otherwise).
+    per_device_usage:
+        Resources on each device (identical across NV devices).
+    engine_maps:
+        Stage memory map per engine (one entry for VM).
+    """
+
+    scheme: Scheme
+    k: int
+    devices: int
+    per_device_usage: ResourceUsage
+    engine_maps: tuple[StageMemoryMap, ...]
+
+    @property
+    def total_usage(self) -> ResourceUsage:
+        """Aggregate usage across all devices."""
+        return self.per_device_usage.scaled(self.devices)
+
+    @property
+    def total_memory_bits(self) -> int:
+        """Lookup memory across all engines (Fig. 4 quantities)."""
+        return sum(m.total_bits for m in self.engine_maps)
+
+    def fits(self, device: DeviceSpec) -> bool:
+        """True if each device's share fits the part."""
+        return device.fits(self.per_device_usage)
+
+
+def _engine_usage(
+    stage_map: StageMemoryMap,
+    footprint: PeFootprint,
+    word_width: int,
+) -> ResourceUsage:
+    """Logic + packed BRAM usage of one engine."""
+    usage = footprint.usage(stage_map.n_stages, io_pins=ENGINE_IO_PINS)
+    blocks36 = 0
+    blocks18 = 0
+    for bits in stage_map.bits_per_stage:
+        packing = pack_stage_memory(int(bits), word_width)
+        blocks36 += packing.blocks36
+        blocks18 += packing.blocks18
+    return usage + ResourceUsage(bram36=blocks36, bram18=blocks18)
+
+
+def scheme_resources_hetero(
+    scheme: Scheme,
+    stats_list: list[TrieStats],
+    *,
+    alpha: float | None = None,
+    n_stages: int = 28,
+    node_format: NodeFormat = DEFAULT_NODE_FORMAT,
+    footprint: PeFootprint = PAPER_PE_FOOTPRINT,
+) -> SchemeResources:
+    """Eq. 1 / 3 / 5 with *per-VN* table statistics (Assumption 2 relaxed).
+
+    NV/VS get one engine per table sized from that table's own trie;
+    VM uses :func:`merged_stage_map_hetero`.
+    """
+    if not stats_list:
+        raise ConfigurationError("need at least one table's statistics")
+    k = len(stats_list)
+    word_width = node_format.pointer_bits
+    if scheme is Scheme.VM:
+        if k > 1 and alpha is None:
+            raise ConfigurationError("merged scheme requires alpha")
+        merged = merged_stage_map_hetero(
+            stats_list, alpha if alpha is not None else 1.0, n_stages, node_format
+        )
+        usage = _engine_usage(merged, footprint, word_width) + ResourceUsage(
+            io_pins=SHARED_IO_PINS
+        )
+        return SchemeResources(
+            scheme=scheme, k=k, devices=1, per_device_usage=usage, engine_maps=(merged,)
+        )
+    maps = tuple(
+        engine_stage_map(stats, n_stages, node_format) for stats in stats_list
+    )
+    engines = [_engine_usage(m, footprint, word_width) for m in maps]
+    if scheme is Scheme.NV:
+        # devices differ in memory; report the largest as the per-device
+        # envelope (each network still needs its own chip)
+        biggest = max(engines, key=lambda usage: usage.bram18_equivalent)
+        per_device = biggest + ResourceUsage(io_pins=SHARED_IO_PINS)
+        return SchemeResources(
+            scheme=scheme, k=k, devices=k, per_device_usage=per_device, engine_maps=maps
+        )
+    total = ResourceUsage(io_pins=SHARED_IO_PINS)
+    for engine in engines:
+        total = total + engine
+    return SchemeResources(
+        scheme=scheme, k=k, devices=1, per_device_usage=total, engine_maps=maps
+    )
+
+
+def scheme_resources(
+    scheme: Scheme,
+    k: int,
+    base_stats: TrieStats,
+    *,
+    alpha: float | None = None,
+    n_stages: int = 28,
+    node_format: NodeFormat = DEFAULT_NODE_FORMAT,
+    footprint: PeFootprint = PAPER_PE_FOOTPRINT,
+) -> SchemeResources:
+    """Evaluate Eq. 1 / 3 / 5 for a scenario.
+
+    ``base_stats`` describes one virtual network's (leaf-pushed) trie;
+    Assumption 2 makes all K tables structurally identical.
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    word_width = node_format.pointer_bits
+    if scheme is Scheme.VM:
+        if k > 1 and alpha is None:
+            raise ConfigurationError("merged scheme requires alpha")
+        merged = merged_stage_map(base_stats, k, alpha if alpha is not None else 1.0, n_stages, node_format)
+        usage = _engine_usage(merged, footprint, word_width)
+        usage = usage + ResourceUsage(io_pins=SHARED_IO_PINS)
+        return SchemeResources(
+            scheme=scheme, k=k, devices=1, per_device_usage=usage, engine_maps=(merged,)
+        )
+
+    base_map = engine_stage_map(base_stats, n_stages, node_format)
+    engine = _engine_usage(base_map, footprint, word_width)
+    if scheme is Scheme.NV:
+        per_device = engine + ResourceUsage(io_pins=SHARED_IO_PINS)
+        return SchemeResources(
+            scheme=scheme,
+            k=k,
+            devices=k,
+            per_device_usage=per_device,
+            engine_maps=tuple(base_map for _ in range(k)),
+        )
+    # VS: K engines plus the shared pins on one device
+    per_device = engine.scaled(k) + ResourceUsage(io_pins=SHARED_IO_PINS)
+    return SchemeResources(
+        scheme=scheme,
+        k=k,
+        devices=1,
+        per_device_usage=per_device,
+        engine_maps=tuple(base_map for _ in range(k)),
+    )

@@ -1,0 +1,132 @@
+"""Uncertainty propagation through the power models.
+
+The paper quotes tolerances rather than point values: static power is
+"4.5 ± 5 % W" (Section V-A) and the model validates within ±3 %
+(Section VI-A).  This module propagates component tolerances through
+Eqs. 2/4/6 by interval arithmetic — every dynamic term is monotone in
+its coefficient, so evaluating the model at the coefficient extremes
+bounds the output exactly — yielding power *bounds* instead of point
+estimates, and a check that the simulated "experimental" values fall
+inside them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.power import AnalyticalPowerModel, PowerBreakdown
+from repro.errors import ConfigurationError
+from repro.fpga.static_power import STATIC_VARIATION
+from repro.iplookup.mapping import StageMemoryMap
+from repro.virt.schemes import Scheme
+
+__all__ = ["Tolerances", "PowerBounds", "power_bounds"]
+
+
+@dataclass(frozen=True, slots=True)
+class Tolerances:
+    """Relative component tolerances (fractions, not percent).
+
+    Defaults follow the paper: ±5 % static (Section V-A) and a ±3 %
+    envelope on the dynamic coefficients (the Fig. 7 validation bound,
+    which subsumes placement/optimization variation).
+    """
+
+    static: float = STATIC_VARIATION
+    logic: float = 0.03
+    memory: float = 0.03
+
+    def __post_init__(self) -> None:
+        for name in ("static", "logic", "memory"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ConfigurationError(f"{name} tolerance must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class PowerBounds:
+    """Interval estimate for one scenario's total power."""
+
+    scheme: Scheme
+    k: int
+    nominal_w: float
+    low_w: float
+    high_w: float
+
+    def __post_init__(self) -> None:
+        # tiny epsilon: the nominal sums its components in a different
+        # association order than the bounds, so allow float slack
+        eps = 1e-12 * max(1.0, abs(self.nominal_w))
+        if not self.low_w - eps <= self.nominal_w <= self.high_w + eps:
+            raise ConfigurationError("bounds must bracket the nominal value")
+
+    @property
+    def width_w(self) -> float:
+        """Interval width."""
+        return self.high_w - self.low_w
+
+    @property
+    def half_width_pct(self) -> float:
+        """Symmetric half-width as a percentage of nominal."""
+        if self.nominal_w == 0:
+            return 0.0
+        return self.width_w / 2 / self.nominal_w * 100.0
+
+    def contains(self, value_w: float) -> bool:
+        """True if a measured value falls inside the bounds."""
+        return self.low_w <= value_w <= self.high_w
+
+
+def _evaluate(
+    model: AnalyticalPowerModel,
+    scheme: Scheme,
+    engine_maps: list[StageMemoryMap],
+    frequency_mhz: float,
+    utilizations: np.ndarray,
+    duty_cycle: float,
+) -> PowerBreakdown:
+    if scheme is Scheme.NV:
+        return model.power_nv(engine_maps, frequency_mhz, utilizations, duty_cycle)
+    if scheme is Scheme.VS:
+        return model.power_vs(engine_maps, frequency_mhz, utilizations, duty_cycle)
+    return model.power_vm(engine_maps[0], frequency_mhz, duty_cycle)
+
+
+def power_bounds(
+    model: AnalyticalPowerModel,
+    scheme: Scheme,
+    engine_maps: list[StageMemoryMap],
+    frequency_mhz: float,
+    utilizations,
+    *,
+    duty_cycle: float = 1.0,
+    tolerances: Tolerances = Tolerances(),
+) -> PowerBounds:
+    """Propagate component tolerances through one scheme evaluation.
+
+    Every term of Eqs. 2/4/6 is a non-negative coefficient times a
+    non-negative activity, so the total is monotone in each component:
+    scaling all components down (up) by their tolerances gives the
+    exact lower (upper) bound of the interval extension.
+    """
+    mu = np.asarray(utilizations, dtype=float)
+    nominal = _evaluate(model, scheme, engine_maps, frequency_mhz, mu, duty_cycle)
+    low = (
+        nominal.static_w * (1 - tolerances.static)
+        + nominal.logic_w * (1 - tolerances.logic)
+        + nominal.memory_w * (1 - tolerances.memory)
+    )
+    high = (
+        nominal.static_w * (1 + tolerances.static)
+        + nominal.logic_w * (1 + tolerances.logic)
+        + nominal.memory_w * (1 + tolerances.memory)
+    )
+    return PowerBounds(
+        scheme=scheme,
+        k=nominal.k,
+        nominal_w=nominal.total_w,
+        low_w=low,
+        high_w=high,
+    )

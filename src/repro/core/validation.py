@@ -1,0 +1,68 @@
+"""Model validation: percentage error vs experiment (paper Fig. 7).
+
+The paper validates its analytical models against post place-and-route
+measurements and reports a maximum error of ±3 %, with NV/VS errors
+"much less" than the merged scheme's.  These helpers compute the
+paper's error metric and summarize it over sweeps so the Fig. 7 bench
+and the regression tests can assert the bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["percentage_error", "ErrorSummary", "summarize_errors", "PAPER_MAX_ERROR_PCT"]
+
+#: the paper's reported maximum model error (Section VI-A)
+PAPER_MAX_ERROR_PCT = 3.0
+
+
+def percentage_error(model_w: float, experimental_w: float) -> float:
+    """The paper's definition: (P_model − P_exp) / P_exp × 100 %."""
+    if experimental_w <= 0:
+        raise ConfigurationError("experimental power must be positive")
+    return (model_w - experimental_w) / experimental_w * 100.0
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Aggregate error statistics over one series of scenarios."""
+
+    label: str
+    errors_pct: np.ndarray
+
+    @property
+    def max_abs_pct(self) -> float:
+        """Worst-case |error| over the series."""
+        return float(np.abs(self.errors_pct).max()) if len(self.errors_pct) else 0.0
+
+    @property
+    def mean_pct(self) -> float:
+        """Mean signed error (bias) over the series."""
+        return float(self.errors_pct.mean()) if len(self.errors_pct) else 0.0
+
+    @property
+    def rms_pct(self) -> float:
+        """Root-mean-square error over the series."""
+        if not len(self.errors_pct):
+            return 0.0
+        return float(np.sqrt((self.errors_pct**2).mean()))
+
+    def within_paper_bound(self, bound_pct: float = PAPER_MAX_ERROR_PCT) -> bool:
+        """True if every point satisfies the paper's ±bound claim."""
+        return self.max_abs_pct <= bound_pct
+
+
+def summarize_errors(label: str, model_w, experimental_w) -> ErrorSummary:
+    """Build an :class:`ErrorSummary` from paired power series."""
+    model = np.asarray(model_w, dtype=float)
+    exp = np.asarray(experimental_w, dtype=float)
+    if model.shape != exp.shape:
+        raise ConfigurationError("model and experimental series must align")
+    if (exp <= 0).any():
+        raise ConfigurationError("experimental power must be positive")
+    return ErrorSummary(label=label, errors_pct=(model - exp) / exp * 100.0)

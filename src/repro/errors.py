@@ -1,0 +1,80 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch library failures without
+masking programming errors (``TypeError``, ``AttributeError``, ...).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ResourceExhaustedError",
+    "CapacityError",
+    "PrefixError",
+    "TrieError",
+    "MergeError",
+    "PlacementError",
+    "TimingError",
+    "CalibrationError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A scenario or component configuration is invalid or inconsistent."""
+
+
+class ResourceExhaustedError(ReproError):
+    """A design does not fit on the target FPGA device.
+
+    Carries the offending resource kind and the requested/available
+    amounts so callers (e.g. the scalability sweep in the analysis
+    package) can report *which* resource gated the design.
+    """
+
+    def __init__(self, resource: str, requested: float, available: float):
+        self.resource = resource
+        self.requested = requested
+        self.available = available
+        super().__init__(
+            f"device resource exhausted: {resource} "
+            f"(requested {requested:g}, available {available:g})"
+        )
+
+
+class CapacityError(ReproError):
+    """A lookup engine cannot sustain the required aggregate throughput."""
+
+
+class PrefixError(ReproError):
+    """Malformed or out-of-range IPv4 prefix."""
+
+
+class TrieError(ReproError):
+    """Invalid trie construction or traversal state."""
+
+
+class MergeError(ReproError):
+    """Virtual routing tables could not be merged consistently."""
+
+
+class PlacementError(ReproError):
+    """The place-and-route simulator could not place a design."""
+
+
+class TimingError(ReproError):
+    """No feasible operating frequency for a placed design."""
+
+
+class CalibrationError(ReproError):
+    """A calibration search (e.g. target merging efficiency) failed."""
+
+
+class ExperimentError(ReproError):
+    """An experiment was asked for an unknown id or invalid parameters."""

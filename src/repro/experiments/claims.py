@@ -1,0 +1,77 @@
+"""Headline-claim checks (paper abstract and Section VI).
+
+* **C1** — "power savings proportional to the number of virtual
+  networks can be achieved compared with non-virtualized routers":
+  P_NV − P_VS regressed against K must be close to a line of slope
+  ≈ one device's static power.
+* **C2** — "-1L [...] 30 % less power consumption [...] the two speed
+  grades perform almost the same way" in mW/Gbps: per-K power ratio
+  ≈ 0.7 and efficiency ratio ≈ 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import PAPER_KS, sweep_grid
+from repro.fpga.speedgrade import SpeedGrade, grade_data
+from repro.reporting.registry import register
+from repro.reporting.result import ExperimentResult
+
+__all__ = ["run"]
+
+
+@register("claims")
+def run(ks=PAPER_KS) -> ExperimentResult:
+    """Evaluate claims C1 and C2 over the standard sweep."""
+    ks = tuple(ks)
+    k_arr = np.asarray(ks, dtype=float)
+    grid_g2 = sweep_grid(SpeedGrade.G2, ks)
+    grid_g1l = sweep_grid(SpeedGrade.G1L, ks)
+
+    result = ExperimentResult(
+        experiment_id="claims",
+        title="Headline claim checks (C1: savings ∝ K; C2: -1L tradeoff)",
+        x_label="K",
+        x_values=k_arr,
+    )
+
+    # C1: virtualization savings vs K
+    nv = np.array([r.experimental.total_w for r in grid_g2["NV"]])
+    vs = np.array([r.experimental.total_w for r in grid_g2["VS"]])
+    savings = nv - vs
+    result.add_series("savings_NV_minus_VS_W", savings)
+    slope, intercept = np.polyfit(k_arr, savings, 1)
+    residual = savings - (slope * k_arr + intercept)
+    r2 = 1.0 - float((residual**2).sum()) / float(
+        ((savings - savings.mean()) ** 2).sum()
+    )
+    static = grade_data(SpeedGrade.G2).static_power_w
+    result.add_note(
+        f"C1: savings fit {slope:.3f} W/network (expect ~ device static "
+        f"{static:.1f} W), R^2 = {r2:.4f} (proportional to K: R^2 ~ 1)"
+    )
+
+    # C2: grade power and efficiency ratios
+    power_ratio = []
+    eff_ratio = []
+    for label in ("NV", "VS", "VM(a=80%)", "VM(a=20%)"):
+        p2 = np.array([r.experimental.total_w for r in grid_g2[label]])
+        p1 = np.array([r.experimental.total_w for r in grid_g1l[label]])
+        e2 = np.array([r.experimental_mw_per_gbps for r in grid_g2[label]])
+        e1 = np.array([r.experimental_mw_per_gbps for r in grid_g1l[label]])
+        power_ratio.append(p1 / p2)
+        eff_ratio.append(e1 / e2)
+    result.add_series("power_ratio_1L_over_2", np.mean(power_ratio, axis=0))
+    result.add_series("mw_per_gbps_ratio_1L_over_2", np.mean(eff_ratio, axis=0))
+    mean_power_ratio = float(np.mean(power_ratio))
+    mean_eff_ratio = float(np.mean(eff_ratio))
+    result.add_note(
+        f"C2: mean power ratio -1L/-2 = {mean_power_ratio:.3f} "
+        f"(paper: ~0.70, i.e. 30% less power)"
+    )
+    result.add_note(
+        f"C2: mean mW/Gbps ratio -1L/-2 = {mean_eff_ratio:.3f} "
+        "(paper: the two grades perform almost the same)"
+    )
+    return result

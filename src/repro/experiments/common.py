@@ -1,0 +1,71 @@
+"""Shared experiment infrastructure.
+
+The figure sweeps (Figs. 5–8) all evaluate the same scenario grid —
+schemes {NV, VS, VM(α=0.8), VM(α=0.2)} × K = 1…15 × grades {-2, -1L} —
+so results are computed once per grade and cached here.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.config import ScenarioConfig
+from repro.core.estimator import ScenarioEstimator, ScenarioResult
+from repro.fpga.speedgrade import SpeedGrade
+from repro.virt.schemes import Scheme
+
+__all__ = [
+    "PAPER_KS",
+    "PAPER_ALPHAS",
+    "scheme_label",
+    "sweep_grid",
+    "SCHEME_VARIANTS",
+]
+
+#: the paper's K axis (Figs. 4–8): 1 to 15 virtual networks
+PAPER_KS: tuple[int, ...] = tuple(range(1, 16))
+
+#: the two merging efficiencies the paper evaluates
+PAPER_ALPHAS: tuple[float, float] = (0.8, 0.2)
+
+#: (scheme, alpha) variants plotted in Figs. 5/7/8; Fig. 6 drops NV
+SCHEME_VARIANTS: tuple[tuple[Scheme, float | None], ...] = (
+    (Scheme.NV, None),
+    (Scheme.VS, None),
+    (Scheme.VM, 0.8),
+    (Scheme.VM, 0.2),
+)
+
+_ESTIMATOR = ScenarioEstimator()
+
+
+def scheme_label(scheme: Scheme, alpha: float | None) -> str:
+    """Series label used across all figure experiments."""
+    if scheme is Scheme.VM and alpha is not None:
+        return f"VM(a={int(alpha * 100)}%)"
+    return scheme.name
+
+
+@lru_cache(maxsize=None)
+def _sweep_one(
+    scheme: Scheme, alpha: float | None, grade: SpeedGrade, ks: tuple[int, ...]
+) -> tuple[ScenarioResult, ...]:
+    results = []
+    for k in ks:
+        config = ScenarioConfig(scheme=scheme, k=k, grade=grade, alpha=alpha)
+        results.append(_ESTIMATOR.evaluate(config))
+    return tuple(results)
+
+
+def sweep_grid(
+    grade: SpeedGrade,
+    ks: tuple[int, ...] = PAPER_KS,
+    include_nv: bool = True,
+) -> dict[str, tuple[ScenarioResult, ...]]:
+    """Evaluate the paper's scenario grid at one speed grade (cached)."""
+    grid: dict[str, tuple[ScenarioResult, ...]] = {}
+    for scheme, alpha in SCHEME_VARIANTS:
+        if scheme is Scheme.NV and not include_nv:
+            continue
+        grid[scheme_label(scheme, alpha)] = _sweep_one(scheme, alpha, grade, ks)
+    return grid

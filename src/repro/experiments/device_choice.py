@@ -1,0 +1,73 @@
+"""Device exploration: how the platform choice moves the walls.
+
+The paper motivates the XC6VLX760 by its "onboard resources, mainly
+Block RAM, distributed RAM and I/O pins" (Section V).  This experiment
+re-runs the key feasibility and power questions across the Virtex-6
+catalog: the separate scheme's pin-limited max K, whether a K = 8
+deployment fits, and the power it draws — showing why smaller parts
+gate consolidation earlier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import ScenarioConfig
+from repro.core.estimator import ScenarioEstimator
+from repro.errors import ReproError, ResourceExhaustedError
+from repro.fpga.catalog import DEVICE_CATALOG
+from repro.fpga.speedgrade import SpeedGrade
+from repro.iplookup.synth import SyntheticTableConfig
+from repro.reporting.registry import register
+from repro.reporting.result import ExperimentResult
+from repro.virt.schemes import Scheme
+
+__all__ = ["run"]
+
+
+@register("devices")
+def run(k: int = 8, table: SyntheticTableConfig | None = None) -> ExperimentResult:
+    """Feasibility and power of a K-network VS deployment per device."""
+    table = table or SyntheticTableConfig(n_prefixes=1000, seed=99)
+    estimator = ScenarioEstimator()
+    names = sorted(DEVICE_CATALOG)
+    result = ExperimentResult(
+        experiment_id="devices",
+        title=f"Device exploration: VS K={k} across the Virtex-6 catalog",
+        x_label="device",
+        x_values=np.arange(len(names), dtype=float),
+    )
+    max_ks = []
+    fits = []
+    powers = []
+    for name in names:
+        device = DEVICE_CATALOG[name]
+        # pin-limited max K
+        last_ok = 0
+        for candidate in range(1, 33):
+            try:
+                estimator.evaluate(
+                    ScenarioConfig(
+                        scheme=Scheme.VS, k=candidate, device=device, table=table
+                    )
+                )
+                last_ok = candidate
+            except ReproError:
+                break
+        max_ks.append(last_ok)
+        try:
+            r = estimator.evaluate(
+                ScenarioConfig(scheme=Scheme.VS, k=k, device=device, table=table)
+            )
+            fits.append(1.0)
+            powers.append(r.experimental.total_w)
+        except ReproError:
+            fits.append(0.0)
+            powers.append(float("nan"))
+    result.add_series("max_K", max_ks)
+    result.add_series(f"fits_K{k}", fits)
+    result.add_series(f"power_K{k}_W", powers)
+    for i, name in enumerate(names):
+        result.add_note(f"device {i}: {name} ({DEVICE_CATALOG[name].max_io_pins} pins)")
+    result.add_note("the paper's LX760 offers the largest pin budget, hence K=15")
+    return result

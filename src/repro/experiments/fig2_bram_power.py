@@ -1,0 +1,41 @@
+"""Fig. 2 — BRAM power variation with operating frequency.
+
+Paper caption: "BRAM power variation with operating frequency" for a
+single block, four series: 18 Kb and 36 Kb blocks at speed grades -2
+and -1L, swept 100…500 MHz at the paper's operating point (1 % write
+rate, 18-bit reads).  Power is in mW on the paper's axis; series here
+are reported in mW per block to match.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fpga.bram import BramKind
+from repro.fpga.speedgrade import SpeedGrade
+from repro.fpga.xpe import XPowerEstimator
+from repro.reporting.registry import register
+from repro.reporting.result import ExperimentResult
+
+__all__ = ["run"]
+
+
+@register("fig2")
+def run(frequencies_mhz=(100.0, 200.0, 300.0, 400.0, 500.0)) -> ExperimentResult:
+    """Regenerate the four Fig. 2 series (single-block power, mW)."""
+    xpe = XPowerEstimator(frequencies_mhz)
+    result = ExperimentResult(
+        experiment_id="fig2",
+        title="BRAM power variation with operating frequency (one block, mW)",
+        x_label="frequency_MHz",
+        x_values=np.asarray(frequencies_mhz, dtype=float),
+    )
+    for kind in (BramKind.B18, BramKind.B36):
+        for grade in (SpeedGrade.G2, SpeedGrade.G1L):
+            sweep = xpe.bram_sweep(kind, grade)
+            result.add_series(f"{kind.value}Kb ({grade})", sweep.power_uw / 1000.0)
+    result.add_note(
+        "paper: power increases monotonically with both size and frequency; "
+        "series are linear in f at the Table III slopes"
+    )
+    return result

@@ -1,0 +1,38 @@
+"""Fig. 3 — per-stage logic and signal power vs operating frequency.
+
+Paper caption: "Per stage logic and signal power consumption", grades
+-2 and -1L.  The published summary lines are 5.180·f µW (-2) and
+3.937·f µW (-1L); the figure also separates the logic and signal
+(routing) components, which we report as well.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fpga.logic import signal_power_fraction, stage_logic_power_uw
+from repro.fpga.speedgrade import SpeedGrade
+from repro.reporting.registry import register
+from repro.reporting.result import ExperimentResult
+
+__all__ = ["run"]
+
+
+@register("fig3")
+def run(frequencies_mhz=(100.0, 200.0, 300.0, 400.0, 500.0)) -> ExperimentResult:
+    """Regenerate the Fig. 3 series (per-stage power, mW)."""
+    freqs = np.asarray(frequencies_mhz, dtype=float)
+    result = ExperimentResult(
+        experiment_id="fig3",
+        title="Per-stage logic and signal power vs frequency (mW)",
+        x_label="frequency_MHz",
+        x_values=freqs,
+    )
+    signal_share = signal_power_fraction()
+    for grade in (SpeedGrade.G2, SpeedGrade.G1L):
+        total_uw = np.array([stage_logic_power_uw(f, grade) for f in freqs])
+        result.add_series(f"logic ({grade})", total_uw * (1 - signal_share) / 1000.0)
+        result.add_series(f"signal ({grade})", total_uw * signal_share / 1000.0)
+        result.add_series(f"total ({grade})", total_uw / 1000.0)
+    result.add_note("paper lines: total = 5.180 uW/MHz (-2), 3.937 uW/MHz (-1L)")
+    return result

@@ -1,0 +1,48 @@
+"""Fig. 5 — total power: virtualized vs non-virtualized schemes.
+
+Paper caption: "Comparison of total power consumption in virtualized
+and non-virtualized schemes for speed grades -2 (left) and -1L
+(right)"; series NV, VS, VM(α=80 %), VM(α=20 %) over K = 1…15.
+
+Expected shape: NV grows linearly with K (one device's static power
+per network); the virtualized schemes stay near a single device's
+power — "power savings proportional to the number of virtual
+networks" (abstract).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import PAPER_KS, sweep_grid
+from repro.fpga.speedgrade import SpeedGrade
+from repro.reporting.registry import register
+from repro.reporting.result import ExperimentResult
+
+__all__ = ["run"]
+
+
+@register("fig5")
+def run(grade: SpeedGrade = SpeedGrade.G2, ks=PAPER_KS) -> ExperimentResult:
+    """Regenerate one Fig. 5 panel (experimental total power, W)."""
+    ks = tuple(ks)
+    grid = sweep_grid(grade, ks)
+    result = ExperimentResult(
+        experiment_id="fig5",
+        title=f"Total power, all schemes, grade {grade} (W)",
+        x_label="K",
+        x_values=np.asarray(ks, dtype=float),
+    )
+    for label, results in grid.items():
+        result.add_series(label, [r.experimental.total_w for r in results])
+    nv = result.get("NV")
+    vs = result.get("VS")
+    result.add_note(
+        f"NV grows ~linearly: {nv[0]:.2f} W at K=1 -> {nv[-1]:.2f} W at K={ks[-1]}; "
+        f"VS stays near one device: {vs[-1]:.2f} W"
+    )
+    result.add_note(
+        f"virtualization saving at K={ks[-1]}: {nv[-1] - vs[-1]:.2f} W "
+        f"({(nv[-1] - vs[-1]) / nv[-1] * 100:.0f}% of NV)"
+    )
+    return result

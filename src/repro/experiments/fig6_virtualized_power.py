@@ -1,0 +1,45 @@
+"""Fig. 6 — total power of the virtualized schemes only.
+
+Paper caption: "Comparison of total power consumption in different
+virtualized schemes for speed grades -2 (left) and -1L (right)";
+series VS, VM(α=80 %), VM(α=20 %).
+
+Expected shape (paper Section VI-A): VS's *experimental* power
+decreases slightly with K — "the experimental value decreases due to
+various hardware optimizations applied when implementing multiple
+parallel architectures" — while the model (Eq. 4) predicts a constant;
+the merged series grow with K as merged memory accumulates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import PAPER_KS, sweep_grid
+from repro.fpga.speedgrade import SpeedGrade
+from repro.reporting.registry import register
+from repro.reporting.result import ExperimentResult
+
+__all__ = ["run"]
+
+
+@register("fig6")
+def run(grade: SpeedGrade = SpeedGrade.G2, ks=PAPER_KS) -> ExperimentResult:
+    """Regenerate one Fig. 6 panel (experimental total power, W)."""
+    ks = tuple(ks)
+    grid = sweep_grid(grade, ks, include_nv=False)
+    result = ExperimentResult(
+        experiment_id="fig6",
+        title=f"Total power, virtualized schemes, grade {grade} (W)",
+        x_label="K",
+        x_values=np.asarray(ks, dtype=float),
+    )
+    for label, results in grid.items():
+        result.add_series(label, [r.experimental.total_w for r in results])
+    vs = result.get("VS")
+    result.add_note(
+        f"VS experimental decreases with K (hardware optimizations): "
+        f"{vs[0]:.3f} W at K=1 -> {vs[-1]:.3f} W at K={ks[-1]}"
+    )
+    result.add_note("model Eq. 4 predicts constant VS power; the gap is the Fig. 7 error")
+    return result

@@ -1,0 +1,56 @@
+"""Fig. 7 — percentage error of the model vs experimental results.
+
+Paper caption: "Percentage error of the model estimation compared with
+the experimental results for speed grades -2 (left) and -1L (right)",
+computed as (P_model − P_experimental)/P_experimental × 100 %.
+
+Paper claims reproduced here: maximum error within ±3 %, and the
+NV/VS errors "much less compared to that of virtualized-merged"
+(the merged designs use far more BRAM per stage, so synthesis-tool
+placement and routing optimizations bite harder).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.validation import PAPER_MAX_ERROR_PCT
+from repro.experiments.common import PAPER_KS, sweep_grid
+from repro.fpga.speedgrade import SpeedGrade
+from repro.reporting.registry import register
+from repro.reporting.result import ExperimentResult
+
+__all__ = ["run"]
+
+
+@register("fig7")
+def run(grade: SpeedGrade = SpeedGrade.G2, ks=PAPER_KS) -> ExperimentResult:
+    """Regenerate one Fig. 7 panel (percentage error per scheme)."""
+    ks = tuple(ks)
+    grid = sweep_grid(grade, ks)
+    result = ExperimentResult(
+        experiment_id="fig7",
+        title=f"Model percentage error vs experimental, grade {grade} (%)",
+        x_label="K",
+        x_values=np.asarray(ks, dtype=float),
+    )
+    for label, results in grid.items():
+        result.add_series(label, [r.percentage_error for r in results])
+    worst = max(
+        float(np.abs(series.values).max()) for series in result.series
+    )
+    result.add_note(
+        f"max |error| = {worst:.2f}% (paper bound: +/-{PAPER_MAX_ERROR_PCT:.0f}%)"
+    )
+    nv_vs_max = max(
+        float(np.abs(result.get("NV")).max()), float(np.abs(result.get("VS")).max())
+    )
+    vm_max = max(
+        float(np.abs(result.get("VM(a=80%)")).max()),
+        float(np.abs(result.get("VM(a=20%)")).max()),
+    )
+    result.add_note(
+        f"NV/VS max |error| {nv_vs_max:.2f}% < merged max |error| {vm_max:.2f}% "
+        "(paper: NV/VS error much less than merged)"
+    )
+    return result

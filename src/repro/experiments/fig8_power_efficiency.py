@@ -1,0 +1,47 @@
+"""Fig. 8 — power dissipated per unit throughput (mW/Gbps).
+
+Paper caption: "Power dissipated per unit throughput for speed grades
+-2 (left) and -1L (right)".  Throughput uses minimum 40 B packets and
+one lookup per cycle at the achieved clock; lower is better.
+
+Expected shape (paper Section VI-B): virtualized-separate is the best
+(aggregate capacity at one device's power), the conventional router is
+second, merged is worst — its frequency (hence throughput) collapses
+as resource consumption grows — and α = 20 % is worse than α = 80 %.
+Both speed grades land at nearly the same mW/Gbps: -1L's ~30 % power
+saving costs ~30 % throughput.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import PAPER_KS, sweep_grid
+from repro.fpga.speedgrade import SpeedGrade
+from repro.reporting.registry import register
+from repro.reporting.result import ExperimentResult
+
+__all__ = ["run"]
+
+
+@register("fig8")
+def run(grade: SpeedGrade = SpeedGrade.G2, ks=PAPER_KS) -> ExperimentResult:
+    """Regenerate one Fig. 8 panel (experimental mW/Gbps per scheme)."""
+    ks = tuple(ks)
+    grid = sweep_grid(grade, ks)
+    result = ExperimentResult(
+        experiment_id="fig8",
+        title=f"Power per unit throughput, grade {grade} (mW/Gbps)",
+        x_label="K",
+        x_values=np.asarray(ks, dtype=float),
+    )
+    for label, results in grid.items():
+        result.add_series(label, [r.experimental_mw_per_gbps for r in results])
+    at_max = {label: series.values[-1] for label, series in zip(result.labels(), result.series)}
+    ordering = sorted(at_max, key=at_max.get)
+    result.add_note(
+        f"ordering at K={ks[-1]} (best first): "
+        + " < ".join(f"{label} ({at_max[label]:.1f})" for label in ordering)
+    )
+    result.add_note("paper: VS best, NV second, merged worst (worse at low alpha)")
+    return result

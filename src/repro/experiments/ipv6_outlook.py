@@ -1,0 +1,88 @@
+"""IPv6 outlook — what the paper's architecture costs at 128 bits.
+
+The paper's motivation is Internet growth; the growth that actually
+arrived is IPv6.  The uni-bit architecture generalizes directly — more
+trie levels, a deeper pipeline — and the models quantify the cost: a
+/64-deep pipeline has 64 stages of logic instead of 28, and sparse
+128-bit chains inflate the per-prefix node count.  This experiment
+compares equal-size IPv4 and IPv6 edge tables on one engine and on a
+K = 8 merged engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.power import AnalyticalPowerModel
+from repro.core.resources import merged_stage_map
+from repro.fpga.bram import pack_stage_memory
+from repro.fpga.speedgrade import SpeedGrade
+from repro.fpga.timing import achievable_fmax_mhz
+from repro.iplookup.leafpush import leaf_push
+from repro.iplookup.mapping import map_trie_to_stages
+from repro.iplookup.prefix6 import Synthetic6Config, generate_table6
+from repro.iplookup.synth import SyntheticTableConfig, generate_table
+from repro.iplookup.trie import UnibitTrie
+from repro.reporting.registry import register
+from repro.reporting.result import ExperimentResult
+from repro.units import bits_to_mb, gbps
+
+__all__ = ["run"]
+
+
+@register("ipv6")
+def run(
+    n_prefixes: int = 2000,
+    k: int = 8,
+    alpha: float = 0.8,
+    grade: SpeedGrade = SpeedGrade.G2,
+) -> ExperimentResult:
+    """Side-by-side IPv4 vs IPv6 engine cost at equal table size."""
+    v4 = leaf_push(
+        UnibitTrie(generate_table(SyntheticTableConfig(n_prefixes=n_prefixes, seed=9)))
+    )
+    v6 = leaf_push(
+        UnibitTrie(
+            generate_table6(Synthetic6Config(n_prefixes=n_prefixes, seed=9)),
+            width=128,
+        )
+    )
+    model = AnalyticalPowerModel(grade)
+
+    rows = []
+    for label, trie in (("IPv4", v4), ("IPv6", v6)):
+        n_stages = trie.depth()
+        stats = trie.stats()
+        single = map_trie_to_stages(stats, n_stages)
+        merged = merged_stage_map(stats, k, alpha, n_stages)
+        widest = pack_stage_memory(merged.widest_stage_bits()).total_blocks18_equivalent
+        fmax = achievable_fmax_mhz(grade, widest, 0.3)
+        power = model.power_vm(merged, fmax)
+        rows.append(
+            {
+                "stages": n_stages,
+                "nodes": stats.total_nodes,
+                "single_memory_Mb": bits_to_mb(single.total_bits),
+                "merged_memory_Mb": bits_to_mb(merged.total_bits),
+                "fmax_MHz": fmax,
+                "merged_total_W": power.total_w,
+                "mW_per_Gbps": power.total_w * 1e3 / gbps(fmax),
+            }
+        )
+
+    result = ExperimentResult(
+        experiment_id="ipv6",
+        title=f"IPv6 outlook: equal-size tables, merged K={k}, grade {grade}",
+        x_label="family",
+        x_values=np.arange(2, dtype=float),
+    )
+    for key in rows[0]:
+        result.add_series(key, [row[key] for row in rows])
+    result.add_note("row 0: IPv4 (28-ish stages); row 1: IPv6 (/64 pipeline)")
+    ratio = rows[1]["merged_total_W"] / rows[0]["merged_total_W"]
+    eff_ratio = rows[1]["mW_per_Gbps"] / rows[0]["mW_per_Gbps"]
+    result.add_note(
+        f"IPv6 merged engine costs {ratio:.2f}x the power and {eff_ratio:.2f}x "
+        "the mW/Gbps of IPv4 at equal prefix count"
+    )
+    return result

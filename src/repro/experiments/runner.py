@@ -1,0 +1,94 @@
+"""Command-line experiment runner.
+
+``repro-experiments`` (installed as a console script) runs registered
+experiments and prints their tables; ``--csv DIR`` also exports CSVs.
+
+Examples
+--------
+Run everything::
+
+    repro-experiments
+
+Run the Fig. 8 panels for both grades and export CSVs::
+
+    repro-experiments fig8 --csv out/
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.fpga.speedgrade import SpeedGrade
+from repro.reporting.registry import all_experiments, get_experiment
+from repro.reporting.result import ExperimentResult
+
+__all__ = ["main", "run_experiment"]
+
+#: experiments parameterized by speed grade (two panels in the paper)
+_GRADED = {"fig5", "fig6", "fig7", "fig8"}
+
+
+def run_experiment(experiment_id: str) -> list[ExperimentResult]:
+    """Run one experiment; graded figures produce one result per panel."""
+    runner = get_experiment(experiment_id)
+    if experiment_id in _GRADED:
+        return [runner(grade) for grade in (SpeedGrade.G2, SpeedGrade.G1L)]
+    return [runner()]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``repro-experiments`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids to run (default: all registered)",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids and exit")
+    parser.add_argument("--csv", metavar="DIR", help="also export CSVs into DIR")
+    parser.add_argument(
+        "--chart", action="store_true", help="draw each result as an ASCII chart too"
+    )
+    parser.add_argument("--svg", metavar="DIR", help="also export SVG figures into DIR")
+    args = parser.parse_args(argv)
+
+    registry = all_experiments()
+    if args.list:
+        for experiment_id in sorted(registry):
+            print(experiment_id)
+        return 0
+
+    ids = args.experiments or sorted(registry)
+    exit_code = 0
+    for experiment_id in ids:
+        try:
+            results = run_experiment(experiment_id)
+        except Exception as exc:  # surface which experiment failed
+            print(f"!! {experiment_id} failed: {exc}", file=sys.stderr)
+            exit_code = 1
+            continue
+        for i, result in enumerate(results):
+            print(result.render())
+            if args.chart:
+                from repro.reporting.ascii_chart import render_chart
+
+                print(render_chart(result))
+            suffix = f"_{i}" if len(results) > 1 else ""
+            if args.csv:
+                os.makedirs(args.csv, exist_ok=True)
+                result.write_csv(os.path.join(args.csv, f"{experiment_id}{suffix}.csv"))
+            if args.svg:
+                from repro.reporting.svg_chart import write_svg
+
+                os.makedirs(args.svg, exist_ok=True)
+                write_svg(result, os.path.join(args.svg, f"{experiment_id}{suffix}.svg"))
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

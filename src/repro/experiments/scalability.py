@@ -1,0 +1,90 @@
+"""Scalability walls (paper Sections IV-B/IV-C and VI-A discussion).
+
+The paper bounds its sweep at K = 15 "since in the case of
+virtualized-separate, the I/O pin requirement exceeded" and notes the
+merged scheme is gated by memory and throughput instead.  This
+experiment maps those walls: for each scheme it finds the largest K
+that places on the XC6VLX760 across a range of table sizes, and labels
+the gating resource.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import ScenarioConfig
+from repro.core.estimator import ScenarioEstimator
+from repro.errors import ReproError, ResourceExhaustedError, TimingError
+from repro.fpga.speedgrade import SpeedGrade
+from repro.iplookup.synth import SyntheticTableConfig
+from repro.reporting.registry import register
+from repro.reporting.result import ExperimentResult
+from repro.virt.schemes import Scheme
+
+__all__ = ["run", "max_k"]
+
+#: generous search ceiling — walls are far below this
+_K_CEILING = 64
+
+
+def max_k(
+    scheme: Scheme,
+    table: SyntheticTableConfig,
+    *,
+    alpha: float | None = None,
+    grade: SpeedGrade = SpeedGrade.G2,
+) -> tuple[int, str]:
+    """Largest K that implements, plus the resource that stops K+1."""
+    estimator = ScenarioEstimator()
+    last_ok = 0
+    gate = "none (search ceiling)"
+    for k in range(1, _K_CEILING + 1):
+        try:
+            estimator.evaluate(
+                ScenarioConfig(scheme=scheme, k=k, alpha=alpha, grade=grade, table=table)
+            )
+            last_ok = k
+        except ResourceExhaustedError as exc:
+            gate = exc.resource
+            break
+        except TimingError:
+            gate = "timing closure"
+            break
+        except ReproError as exc:
+            gate = type(exc).__name__
+            break
+    return last_ok, gate
+
+
+@register("scalability")
+def run(sizes=(1000, 3725, 10000)) -> ExperimentResult:
+    """Max supportable K per scheme vs table size on the XC6VLX760."""
+    sizes = tuple(sizes)
+    result = ExperimentResult(
+        experiment_id="scalability",
+        title="Scalability walls: max K per scheme vs table size (XC6VLX760)",
+        x_label="prefixes",
+        x_values=np.asarray(sizes, dtype=float),
+    )
+    variants = (
+        ("VS", Scheme.VS, None),
+        ("VM(a=80%)", Scheme.VM, 0.8),
+        ("VM(a=20%)", Scheme.VM, 0.2),
+    )
+    gates: dict[str, list[str]] = {label: [] for label, _, _ in variants}
+    for label, scheme, alpha in variants:
+        ks = []
+        for size in sizes:
+            table = SyntheticTableConfig(n_prefixes=size, seed=99)
+            k, gate = max_k(scheme, table, alpha=alpha)
+            ks.append(k)
+            gates[label].append(gate)
+        result.add_series(f"max_K {label}", ks)
+    for label, _, _ in variants:
+        for size, gate in zip(sizes, gates[label]):
+            result.add_note(f"{label} @ {size} prefixes: gated by {gate}")
+    result.add_note(
+        "paper: VS is pin-limited (K=15 on 1200 pins); merged is gated by "
+        "BRAM/timing and degrades with table size and low alpha"
+    )
+    return result

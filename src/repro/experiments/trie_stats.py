@@ -1,0 +1,62 @@
+"""Reference routing-table statistics (paper Section V-E).
+
+The paper's largest potaroo.net edge table: 3 725 prefixes, 9 726 trie
+nodes without leaf pushing, 16 127 with.  Our synthetic stand-in is
+calibrated against those counts (see DESIGN.md §2); this experiment
+reports the side-by-side numbers that EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.iplookup.leafpush import leaf_push
+from repro.iplookup.synth import SyntheticTableConfig, generate_table
+from repro.iplookup.trie import UnibitTrie
+from repro.reporting.registry import register
+from repro.reporting.result import ExperimentResult
+
+__all__ = ["run", "PAPER_TRIE_STATS"]
+
+#: the paper's published reference-table statistics
+PAPER_TRIE_STATS = {
+    "prefixes": 3725,
+    "trie_nodes": 9726,
+    "leaf_pushed_nodes": 16127,
+}
+
+
+@register("trie_stats")
+def run(config: SyntheticTableConfig | None = None) -> ExperimentResult:
+    """Measure the synthetic reference table against the paper's counts."""
+    config = config or SyntheticTableConfig()
+    table = generate_table(config)
+    trie = UnibitTrie(table)
+    pushed = leaf_push(trie)
+    measured = {
+        "prefixes": len(table),
+        "trie_nodes": trie.num_nodes,
+        "leaf_pushed_nodes": pushed.num_nodes,
+    }
+    rows = list(PAPER_TRIE_STATS)
+    result = ExperimentResult(
+        experiment_id="trie_stats",
+        title="Reference routing-table trie statistics (Section V-E)",
+        x_label="row",
+        x_values=np.arange(len(rows), dtype=float),
+    )
+    result.add_series("paper", [PAPER_TRIE_STATS[r] for r in rows])
+    result.add_series("synthetic", [measured[r] for r in rows])
+    for row in rows:
+        paper = PAPER_TRIE_STATS[row]
+        got = measured[row]
+        result.add_note(
+            f"{row}: paper={paper} synthetic={got} "
+            f"(deviation {abs(got - paper) / paper * 100:.1f}%)"
+        )
+    stats = pushed.stats()
+    result.add_note(
+        f"leaf-pushed split: {stats.internal_nodes} pointer nodes, "
+        f"{stats.leaf_nodes} NHI leaves, depth {stats.depth}"
+    )
+    return result

@@ -1,0 +1,63 @@
+"""Voltage analysis: what single knob explains the -1L grade?
+
+Applies CMOS scaling laws (see :mod:`repro.fpga.dvs`) to the -2
+baseline over a core-voltage sweep and compares against the published
+-1L constants.  Finding: the -1L *power* constants are consistent
+with ~0.87 V operation (each within a few percent), while the
+published frequency drop (30 %) exceeds what voltage alone predicts —
+the -1L parts are also slower-binned silicon.  This separates the
+paper's "supply current" explanation into its physical components.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fpga.dvs import (
+    NOMINAL_VOLTAGE,
+    dynamic_scale,
+    fit_voltage,
+    frequency_scale,
+    static_scale,
+)
+from repro.fpga.speedgrade import SpeedGrade, grade_data
+from repro.reporting.registry import register
+from repro.reporting.result import ExperimentResult
+
+__all__ = ["run"]
+
+
+@register("voltage")
+def run(voltages=tuple(np.linspace(0.75, 1.0, 11))) -> ExperimentResult:
+    """Scaling-law sweep vs the published grade constants."""
+    voltages = tuple(float(v) for v in voltages)
+    base = grade_data(SpeedGrade.G2)
+    low = grade_data(SpeedGrade.G1L)
+    result = ExperimentResult(
+        experiment_id="voltage",
+        title="Voltage scaling vs the published -1L grade (ratios to -2)",
+        x_label="Vccint",
+        x_values=np.asarray(voltages, dtype=float),
+    )
+    result.add_series("dynamic_ratio", [dynamic_scale(v) for v in voltages])
+    result.add_series("static_ratio", [static_scale(v) for v in voltages])
+    result.add_series("fmax_ratio", [frequency_scale(v) for v in voltages])
+    result.add_series(
+        "published_static_ratio",
+        [low.static_power_w / base.static_power_w] * len(voltages),
+    )
+    result.add_series(
+        "published_dynamic_ratio",
+        [low.logic_stage_uw_per_mhz / base.logic_stage_uw_per_mhz] * len(voltages),
+    )
+    best_v, err = fit_voltage()
+    result.add_note(
+        f"best-fit voltage for the -1L constants: {best_v:.3f} V "
+        f"(rms relative error {err:.3f})"
+    )
+    result.add_note(
+        "power constants match ~0.87 V scaling within a few percent; the "
+        "extra frequency loss (published 0.70x vs predicted "
+        f"{frequency_scale(best_v):.2f}x) is timing-grade binning, not voltage"
+    )
+    return result

@@ -1,0 +1,52 @@
+"""FPGA substrate: device, power, timing, place-and-route simulation.
+
+This package stands in for the hardware side of the paper's
+experiments — a Xilinx Virtex-6 XC6VLX760 at speed grades -2 and -1L,
+characterized with the XPower Estimator (XPE) and validated post
+place-and-route with the XPower Analyzer (XPA).  See DESIGN.md §2 for
+the substitution rationale: the published component coefficients are
+reproduced by construction, and the P&R simulator implements the
+hardware-optimization effects the paper credits for its ±3 % model
+error.
+"""
+
+from repro.fpga.device import DeviceSpec, ResourceUsage
+from repro.fpga.catalog import DEVICE_CATALOG, get_device, XC6VLX760
+from repro.fpga.speedgrade import SpeedGrade, grade_data
+from repro.fpga.bram import BramKind, BramPacking, pack_stage_memory, bram_dynamic_power_uw
+from repro.fpga.logic import PeFootprint, PAPER_PE_FOOTPRINT, stage_logic_power_uw
+from repro.fpga.static_power import static_power_w
+from repro.fpga.timing import achievable_fmax_mhz
+from repro.fpga.clocking import ClockGating
+from repro.fpga.floorplan import Floorplan, Region
+from repro.fpga.placer import EngineNetlist, PlacedDesign, PlaceAndRoute
+from repro.fpga.power_report import PowerReport, XPowerAnalyzer
+from repro.fpga.xpe import XPowerEstimator
+
+__all__ = [
+    "DeviceSpec",
+    "ResourceUsage",
+    "DEVICE_CATALOG",
+    "get_device",
+    "XC6VLX760",
+    "SpeedGrade",
+    "grade_data",
+    "BramKind",
+    "BramPacking",
+    "pack_stage_memory",
+    "bram_dynamic_power_uw",
+    "PeFootprint",
+    "PAPER_PE_FOOTPRINT",
+    "stage_logic_power_uw",
+    "static_power_w",
+    "achievable_fmax_mhz",
+    "ClockGating",
+    "Floorplan",
+    "Region",
+    "EngineNetlist",
+    "PlacedDesign",
+    "PlaceAndRoute",
+    "PowerReport",
+    "XPowerAnalyzer",
+    "XPowerEstimator",
+]

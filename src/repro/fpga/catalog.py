@@ -1,0 +1,71 @@
+"""Device catalog: the Virtex-6 parts used and explored by the paper.
+
+The paper's platform is the XC6VLX760 (Table II).  A few siblings are
+included so the analysis package can explore device choice (smaller
+parts gate virtualized-separate earlier; the figures all use the
+LX760).  Counts follow Xilinx DS150; the Table II figures (758 K logic
+cells, 26 Mb BRAM, 8 Mb distributed RAM, 1200 I/O) are reproduced by
+the LX760 entry and asserted in tests.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.fpga.device import DeviceSpec
+
+__all__ = ["XC6VLX760", "DEVICE_CATALOG", "get_device"]
+
+#: the paper's device (Table II)
+XC6VLX760 = DeviceSpec(
+    name="XC6VLX760",
+    logic_cells=758_784,
+    slice_registers=948_480,
+    slice_luts=474_240,
+    bram18_blocks=1440,  # 720 × 36 Kb = 26 Mb
+    max_io_pins=1200,
+    distributed_ram_kbits=8192,  # 8 Mb max distributed RAM
+)
+
+XC6VLX240T = DeviceSpec(
+    name="XC6VLX240T",
+    logic_cells=241_152,
+    slice_registers=301_440,
+    slice_luts=150_720,
+    bram18_blocks=832,  # 416 × 36 Kb ≈ 15 Mb
+    max_io_pins=720,
+    distributed_ram_kbits=3650,
+)
+
+XC6VLX550T = DeviceSpec(
+    name="XC6VLX550T",
+    slice_registers=687_360,
+    logic_cells=549_888,
+    slice_luts=343_680,
+    bram18_blocks=1264,  # 632 × 36 Kb ≈ 22.7 Mb
+    max_io_pins=1200,
+    distributed_ram_kbits=6200,
+)
+
+XC6VSX475T = DeviceSpec(
+    name="XC6VSX475T",
+    logic_cells=476_160,
+    slice_registers=595_200,
+    slice_luts=297_600,
+    bram18_blocks=2128,  # 1064 × 36 Kb ≈ 38.3 Mb
+    max_io_pins=840,
+    distributed_ram_kbits=7640,
+)
+
+DEVICE_CATALOG: dict[str, DeviceSpec] = {
+    device.name: device
+    for device in (XC6VLX760, XC6VLX240T, XC6VLX550T, XC6VSX475T)
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device by part number (case-insensitive)."""
+    key = name.upper()
+    if key not in DEVICE_CATALOG:
+        known = ", ".join(sorted(DEVICE_CATALOG))
+        raise ConfigurationError(f"unknown device {name!r}; known parts: {known}")
+    return DEVICE_CATALOG[key]

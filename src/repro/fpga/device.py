@@ -1,0 +1,185 @@
+"""FPGA device specifications and resource-usage algebra.
+
+A :class:`DeviceSpec` is the static inventory of one part (Table II of
+the paper for the XC6VLX760).  A :class:`ResourceUsage` is the amount
+of each resource a design consumes; usages add, scale and compare
+against a device, raising :class:`ResourceExhaustedError` with the
+gating resource — which is how the library reproduces the paper's
+scalability observations (I/O pins capping virtualized-separate at
+K = 15, BRAM capping merged at low α).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.errors import ConfigurationError, ResourceExhaustedError
+from repro.units import BRAM18K_BITS, KIB
+
+__all__ = ["DeviceSpec", "ResourceUsage"]
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceSpec:
+    """Inventory of one FPGA part.
+
+    Attributes
+    ----------
+    name:
+        Part number, e.g. ``"XC6VLX760"``.
+    logic_cells:
+        Marketing logic-cell count (Table II reports 758 K).
+    slice_registers:
+        Flip-flops available.
+    slice_luts:
+        6-input LUTs available.
+    bram18_blocks:
+        Number of independent 18 Kb block RAM primitives.  Xilinx
+        packages them two-per-36 Kb block; ``bram36_blocks`` is the
+        derived pair count.
+    max_io_pins:
+        User I/O pins (Table II: 1200).
+    distributed_ram_kbits:
+        Maximum LUT RAM (Table II: 8 Mb).
+    """
+
+    name: str
+    logic_cells: int
+    slice_registers: int
+    slice_luts: int
+    bram18_blocks: int
+    max_io_pins: int
+    distributed_ram_kbits: int
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            if f.name == "name":
+                continue
+            if getattr(self, f.name) <= 0:
+                raise ConfigurationError(f"{f.name} must be positive")
+
+    @property
+    def bram36_blocks(self) -> int:
+        """36 Kb block count (two 18 Kb primitives each)."""
+        return self.bram18_blocks // 2
+
+    @property
+    def bram_bits(self) -> int:
+        """Total block RAM capacity in bits."""
+        return self.bram18_blocks * BRAM18K_BITS
+
+    @property
+    def bram_kbits(self) -> int:
+        """Total block RAM capacity in (binary) kilobits."""
+        return self.bram_bits // KIB
+
+    def check_fits(self, usage: "ResourceUsage") -> None:
+        """Raise :class:`ResourceExhaustedError` if ``usage`` overflows."""
+        checks = (
+            ("slice registers", usage.registers, self.slice_registers),
+            ("slice LUTs", usage.total_luts, self.slice_luts),
+            ("BRAM 18Kb blocks", usage.bram18_equivalent, self.bram18_blocks),
+            ("I/O pins", usage.io_pins, self.max_io_pins),
+        )
+        for resource, requested, available in checks:
+            if requested > available:
+                raise ResourceExhaustedError(resource, requested, available)
+
+    def fits(self, usage: "ResourceUsage") -> bool:
+        """True if ``usage`` fits on this device."""
+        try:
+            self.check_fits(usage)
+        except ResourceExhaustedError:
+            return False
+        return True
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceUsage:
+    """Resources consumed by a design (Eqs. 1, 3, 5 operands).
+
+    LUTs are split the way the paper reports them (Section V-C):
+    logic, memory (LUT RAM / shift registers) and routing.
+    """
+
+    registers: int = 0
+    luts_logic: int = 0
+    luts_memory: int = 0
+    luts_routing: int = 0
+    bram18: int = 0
+    bram36: int = 0
+    io_pins: int = 0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            if getattr(self, f.name) < 0:
+                raise ConfigurationError(f"{f.name} must be non-negative")
+
+    @property
+    def total_luts(self) -> int:
+        """All LUTs regardless of role."""
+        return self.luts_logic + self.luts_memory + self.luts_routing
+
+    @property
+    def bram18_equivalent(self) -> int:
+        """Capacity in 18 Kb primitive units (36 Kb block = two)."""
+        return self.bram18 + 2 * self.bram36
+
+    @property
+    def bram_bits(self) -> int:
+        """Allocated BRAM capacity in bits."""
+        return self.bram18_equivalent * BRAM18K_BITS
+
+    def __add__(self, other: "ResourceUsage") -> "ResourceUsage":
+        if not isinstance(other, ResourceUsage):
+            return NotImplemented
+        return ResourceUsage(
+            registers=self.registers + other.registers,
+            luts_logic=self.luts_logic + other.luts_logic,
+            luts_memory=self.luts_memory + other.luts_memory,
+            luts_routing=self.luts_routing + other.luts_routing,
+            bram18=self.bram18 + other.bram18,
+            bram36=self.bram36 + other.bram36,
+            io_pins=self.io_pins + other.io_pins,
+        )
+
+    def scaled(self, factor: int) -> "ResourceUsage":
+        """Usage of ``factor`` identical copies (replicated engines)."""
+        if factor < 0:
+            raise ConfigurationError(f"factor must be non-negative, got {factor}")
+        return ResourceUsage(
+            registers=self.registers * factor,
+            luts_logic=self.luts_logic * factor,
+            luts_memory=self.luts_memory * factor,
+            luts_routing=self.luts_routing * factor,
+            bram18=self.bram18 * factor,
+            bram36=self.bram36 * factor,
+            io_pins=self.io_pins * factor,
+        )
+
+    def utilization(self, device: DeviceSpec) -> float:
+        """Overall device utilization: worst of logic/register/BRAM.
+
+        The static-power area factor and the timing congestion model
+        both key off this scalar (Sections V-A and VI-B discussion).
+        """
+        fractions = (
+            self.registers / device.slice_registers,
+            self.total_luts / device.slice_luts,
+            self.bram18_equivalent / device.bram18_blocks,
+        )
+        return max(fractions)
+
+    def area_fraction(self, device: DeviceSpec) -> float:
+        """Approximate die-area fraction covered by this usage.
+
+        Averages the resource fractions weighted by typical Virtex-6
+        column area shares (slices dominate the fabric, BRAM columns
+        are a minority of die area).
+        """
+        slice_frac = max(
+            self.registers / device.slice_registers,
+            self.total_luts / device.slice_luts,
+        )
+        bram_frac = self.bram18_equivalent / device.bram18_blocks
+        return min(1.0, 0.8 * slice_frac + 0.2 * bram_frac)

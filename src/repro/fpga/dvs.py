@@ -1,0 +1,106 @@
+"""Voltage scaling: a continuous model behind the two speed grades.
+
+The paper treats -2 and -1L as two discrete platforms and notes "the
+main distinction in a high-performance and low power variants is the
+supply current, which is significantly lower ... in the low power
+FPGAs" (Section V-A).  Physically, the -1L grade is the same silicon
+at reduced core voltage, and the standard CMOS scaling laws predict
+how each power component moves:
+
+* dynamic power   ∝ V²           (CV²f switching energy)
+* static power    ∝ V³ (approx.) (leakage current itself drops with V)
+* max frequency   ∝ (V − V_t)/V  (alpha-power delay model, α≈1)
+
+:func:`synthetic_grade` evaluates those laws against the -2 baseline;
+:func:`fit_voltage` inverts them to find the effective -1L voltage —
+the "voltage that explains the low-power grade" analysis of the
+``voltage`` experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fpga.speedgrade import GradeData, SpeedGrade, grade_data
+
+__all__ = ["NOMINAL_VOLTAGE", "THRESHOLD_VOLTAGE", "synthetic_grade", "fit_voltage"]
+
+#: Virtex-6 nominal Vccint for speed grade -2
+NOMINAL_VOLTAGE = 1.0
+
+#: effective threshold voltage of the delay model
+THRESHOLD_VOLTAGE = 0.35
+
+#: V range a -1L-class derate could plausibly occupy
+_V_MIN, _V_MAX = 0.7, 1.0
+
+
+def _check_voltage(voltage: float) -> None:
+    if not 0.5 <= voltage <= 1.1:
+        raise ConfigurationError(f"voltage out of plausible range: {voltage} V")
+
+
+def dynamic_scale(voltage: float) -> float:
+    """Dynamic-power factor vs the -2 baseline (CV²f)."""
+    _check_voltage(voltage)
+    return (voltage / NOMINAL_VOLTAGE) ** 2
+
+
+def static_scale(voltage: float) -> float:
+    """Static-power factor vs the -2 baseline (V × leakage(V) ≈ V³)."""
+    _check_voltage(voltage)
+    return (voltage / NOMINAL_VOLTAGE) ** 3
+
+
+def frequency_scale(voltage: float) -> float:
+    """fmax factor vs the -2 baseline (alpha-power delay, α = 1)."""
+    _check_voltage(voltage)
+    nominal_drive = (NOMINAL_VOLTAGE - THRESHOLD_VOLTAGE) / NOMINAL_VOLTAGE
+    drive = (voltage - THRESHOLD_VOLTAGE) / voltage
+    return drive / nominal_drive
+
+
+def synthetic_grade(voltage: float) -> GradeData:
+    """A continuous-voltage grade derived from the -2 baseline."""
+    base = grade_data(SpeedGrade.G2)
+    dyn = dynamic_scale(voltage)
+    return GradeData(
+        static_power_w=base.static_power_w * static_scale(voltage),
+        bram18_uw_per_mhz=base.bram18_uw_per_mhz * dyn,
+        bram36_uw_per_mhz=base.bram36_uw_per_mhz * dyn,
+        logic_stage_uw_per_mhz=base.logic_stage_uw_per_mhz * dyn,
+        base_fmax_mhz=base.base_fmax_mhz * frequency_scale(voltage),
+    )
+
+
+def fit_voltage(target: GradeData | None = None, steps: int = 601) -> tuple[float, float]:
+    """Voltage whose scaling laws best reproduce a grade's constants.
+
+    Returns ``(voltage, rms_relative_error)`` minimizing the RMS
+    relative distance between the synthetic grade and ``target``
+    (default: the published -1L constants) across all five published
+    quantities.
+    """
+    target = target or grade_data(SpeedGrade.G1L)
+    base = grade_data(SpeedGrade.G2)
+    targets = np.array(
+        [
+            target.static_power_w / base.static_power_w,
+            target.bram18_uw_per_mhz / base.bram18_uw_per_mhz,
+            target.bram36_uw_per_mhz / base.bram36_uw_per_mhz,
+            target.logic_stage_uw_per_mhz / base.logic_stage_uw_per_mhz,
+            target.base_fmax_mhz / base.base_fmax_mhz,
+        ]
+    )
+    best_v, best_err = NOMINAL_VOLTAGE, float("inf")
+    for voltage in np.linspace(_V_MIN, _V_MAX, steps):
+        v = float(voltage)
+        dyn = dynamic_scale(v)
+        predicted = np.array(
+            [static_scale(v), dyn, dyn, dyn, frequency_scale(v)]
+        )
+        err = float(np.sqrt(np.mean(((predicted - targets) / targets) ** 2)))
+        if err < best_err:
+            best_v, best_err = v, err
+    return best_v, best_err

@@ -1,0 +1,103 @@
+"""Column-based floorplanner.
+
+Virtex-6 fabric is column-organized: columns of slices interleaved
+with BRAM and DSP columns, stacked in clock regions.  This simplified
+floorplanner allocates each lookup engine a contiguous horizontal band
+of the die, tall enough to supply its slice and BRAM needs.  Its
+outputs feed two consumers:
+
+* the **used-area fraction** drives the static-power ±5 % envelope
+  (paper Section V-A: static power is proportional to covered area);
+* the **aspect penalty** of an engine squeezed across many clock
+  regions contributes to the P&R simulator's signal-power overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, PlacementError
+from repro.fpga.device import DeviceSpec, ResourceUsage
+
+__all__ = ["Region", "Floorplan"]
+
+#: modeled fabric grid: rows of clock regions × resource columns.
+#: Virtex-6 LX760 has 18 rows (9 per half) in the real part; the grid
+#: is normalized so only *fractions* matter downstream.
+_GRID_ROWS = 18
+
+
+@dataclass(frozen=True, slots=True)
+class Region:
+    """A horizontal band of the die assigned to one engine."""
+
+    engine_index: int
+    row_start: float
+    row_end: float
+
+    def __post_init__(self) -> None:
+        if self.row_end <= self.row_start:
+            raise ConfigurationError("region must have positive height")
+
+    @property
+    def height_rows(self) -> float:
+        return self.row_end - self.row_start
+
+    @property
+    def area_fraction(self) -> float:
+        """Fraction of the die this region covers."""
+        return self.height_rows / _GRID_ROWS
+
+    @property
+    def clock_regions_spanned(self) -> int:
+        """Number of clock-region rows the band crosses."""
+        import math
+
+        return max(1, math.ceil(self.row_end - 1e-9) - math.floor(self.row_start + 1e-9))
+
+
+@dataclass
+class Floorplan:
+    """Sequential band allocator over one device."""
+
+    device: DeviceSpec
+    regions: list[Region] = field(default_factory=list)
+    _next_row: float = 0.0
+
+    def allocate(self, usage: ResourceUsage) -> Region:
+        """Allocate a band tall enough for ``usage``.
+
+        The band height is set by the scarcer of the engine's slice
+        and BRAM column needs.  Raises :class:`PlacementError` when
+        the die is full — the physical counterpart of
+        :class:`ResourceExhaustedError`.
+        """
+        slice_frac = max(
+            usage.registers / self.device.slice_registers,
+            usage.total_luts / self.device.slice_luts,
+        )
+        bram_frac = usage.bram18_equivalent / self.device.bram18_blocks
+        height = max(slice_frac, bram_frac) * _GRID_ROWS
+        # minimum placeable band: a sliver of one clock region
+        height = max(height, 0.05)
+        if self._next_row + height > _GRID_ROWS + 1e-9:
+            raise PlacementError(
+                f"floorplan full: engine {len(self.regions)} needs {height:.2f} rows, "
+                f"only {_GRID_ROWS - self._next_row:.2f} remain"
+            )
+        region = Region(
+            engine_index=len(self.regions),
+            row_start=self._next_row,
+            row_end=self._next_row + height,
+        )
+        self.regions.append(region)
+        self._next_row += height
+        return region
+
+    def used_area_fraction(self) -> float:
+        """Fraction of the die covered by allocated regions."""
+        return min(1.0, self._next_row / _GRID_ROWS)
+
+    def remaining_area_fraction(self) -> float:
+        """Unallocated die fraction."""
+        return 1.0 - self.used_area_fraction()

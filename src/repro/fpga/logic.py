@@ -1,0 +1,145 @@
+"""Logic and signal power per pipeline stage (paper Section V-C).
+
+The paper measures one processing element (PE) — the stage registers
+plus the comparison/addressing logic of one pipeline stage of the
+uni-bit trie engine — at:
+
+* 1689 slice registers (flip-flops)
+* 336  slice LUTs as logic
+* 126  slice LUTs as memory (LUT RAM / shift registers)
+* 376  slice LUTs as routing
+
+and finds total per-stage logic + signal power of ``5.180 × f`` µW at
+grade -2 and ``3.937 × f`` µW at -1L, linear in the number of stages.
+
+This module distributes the published per-stage totals across the PE's
+resource classes with fixed shares (registers and clocking dominate a
+register-heavy PE; routing carries the signal power), so power scales
+sensibly when a different footprint is supplied, while the default
+footprint reproduces the published lines exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.fpga.device import ResourceUsage
+from repro.fpga.speedgrade import SpeedGrade, grade_data
+
+__all__ = [
+    "PeFootprint",
+    "PAPER_PE_FOOTPRINT",
+    "stage_logic_power_uw",
+    "stage_power_components_uw",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class PeFootprint:
+    """Per-stage processing-element resource counts (Section V-C)."""
+
+    registers: int = 1689
+    luts_logic: int = 336
+    luts_memory: int = 126
+    luts_routing: int = 376
+
+    def __post_init__(self) -> None:
+        for name in ("registers", "luts_logic", "luts_memory", "luts_routing"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        if self.total() == 0:
+            raise ConfigurationError("PE footprint must use at least one resource")
+
+    def total(self) -> int:
+        """All resources (registers + LUTs of every role)."""
+        return self.registers + self.luts_logic + self.luts_memory + self.luts_routing
+
+    def usage(self, n_stages: int = 1, io_pins: int = 0) -> ResourceUsage:
+        """Resource usage of ``n_stages`` PEs as a :class:`ResourceUsage`."""
+        if n_stages < 0:
+            raise ConfigurationError("n_stages must be non-negative")
+        return ResourceUsage(
+            registers=self.registers * n_stages,
+            luts_logic=self.luts_logic * n_stages,
+            luts_memory=self.luts_memory * n_stages,
+            luts_routing=self.luts_routing * n_stages,
+            io_pins=io_pins,
+        )
+
+
+#: the uni-bit trie PE measured in the paper
+PAPER_PE_FOOTPRINT = PeFootprint()
+
+#: share of per-stage power attributed to each resource class.  The
+#: register/clock share dominates (the PE is register-heavy), routing
+#: carries the signal power; shares sum to 1 so the paper footprint
+#: reproduces the published per-stage totals exactly.
+_POWER_SHARES = {
+    "registers": 0.42,
+    "luts_logic": 0.22,
+    "luts_memory": 0.10,
+    "luts_routing": 0.26,
+}
+
+
+def _per_resource_coefficients(grade: SpeedGrade) -> dict[str, float]:
+    """µW/MHz per single resource of each class, calibrated so the
+    paper's footprint sums to the published per-stage coefficient."""
+    total = grade_data(grade).logic_stage_uw_per_mhz
+    paper = PAPER_PE_FOOTPRINT
+    counts = {
+        "registers": paper.registers,
+        "luts_logic": paper.luts_logic,
+        "luts_memory": paper.luts_memory,
+        "luts_routing": paper.luts_routing,
+    }
+    return {name: _POWER_SHARES[name] * total / counts[name] for name in counts}
+
+
+def stage_power_components_uw(
+    frequency_mhz: float,
+    grade: SpeedGrade,
+    footprint: PeFootprint = PAPER_PE_FOOTPRINT,
+    activity: float = 1.0,
+) -> dict[str, float]:
+    """Per-resource-class power of one stage, in µW.
+
+    ``activity`` scales dynamic power for duty cycles below 100 %
+    (flag-based logic shutdown, Section IV).
+    """
+    if frequency_mhz < 0:
+        raise ConfigurationError("frequency must be non-negative")
+    if not 0.0 <= activity <= 1.0:
+        raise ConfigurationError("activity must be in [0, 1]")
+    coefficients = _per_resource_coefficients(grade)
+    counts = {
+        "registers": footprint.registers,
+        "luts_logic": footprint.luts_logic,
+        "luts_memory": footprint.luts_memory,
+        "luts_routing": footprint.luts_routing,
+    }
+    return {
+        name: coefficients[name] * counts[name] * frequency_mhz * activity
+        for name in counts
+    }
+
+
+def stage_logic_power_uw(
+    frequency_mhz: float,
+    grade: SpeedGrade,
+    footprint: PeFootprint = PAPER_PE_FOOTPRINT,
+    activity: float = 1.0,
+) -> float:
+    """Total logic + signal power of one pipeline stage, in µW.
+
+    With the paper's footprint this is exactly ``5.180 × f`` (-2) or
+    ``3.937 × f`` (-1L) at full activity — the published Section V-C
+    lines and the Fig. 3 series.
+    """
+    return sum(stage_power_components_uw(frequency_mhz, grade, footprint, activity).values())
+
+
+def signal_power_fraction() -> float:
+    """Fraction of per-stage power carried by routing (signal power)."""
+    return _POWER_SHARES["luts_routing"]

@@ -1,0 +1,278 @@
+"""Deterministic place-and-route simulator.
+
+This is the stand-in for Xilinx ISE's implementation flow: it takes
+one or more lookup-engine netlists, packs their stage memories into
+BRAM blocks, allocates floorplan regions, checks device capacity,
+derives the achievable clock, and — crucially for reproducing the
+paper's Fig. 6/7 — computes the *optimization factors* the synthesis
+tool applies when implementing multiple parallel architectures:
+
+* replicated engines share control logic and clock distribution, so
+  the implemented logic power undercuts the per-engine model slightly,
+  more so at higher K ("the experimental value decreases due to
+  various hardware optimizations", Section VI-A);
+* large BRAM arrays get placement/routing optimization whose benefit
+  is design-dependent, which is why the paper's merged configurations
+  show the largest model error (Section VI-A).
+
+All "randomness" is a deterministic hash of the design, so a given
+configuration always places identically — experiments are exactly
+reproducible, as post-P&R results are for a fixed seed/tool version.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, PlacementError
+from repro.fpga.bram import BramPacking, pack_stage_memory
+from repro.fpga.catalog import XC6VLX760
+from repro.fpga.device import DeviceSpec, ResourceUsage
+from repro.fpga.floorplan import Floorplan, Region
+from repro.fpga.logic import PAPER_PE_FOOTPRINT, PeFootprint
+from repro.fpga.speedgrade import SpeedGrade
+from repro.fpga.timing import achievable_fmax_mhz
+
+__all__ = ["EngineNetlist", "PlacedEngine", "PlacedDesign", "PlaceAndRoute", "ENGINE_IO_PINS", "SHARED_IO_PINS"]
+
+#: I/O pins per lookup-engine instance (input + output packet buses).
+#: Chosen so a 15-engine separate design saturates the LX760's 1200
+#: pins — the paper's reason for capping the sweep at K = 15.
+ENGINE_IO_PINS = 76
+
+#: pins shared by the whole design (clock, reset, management)
+SHARED_IO_PINS = 60
+
+#: maximum control/clock-sharing benefit on *logic* power across
+#: replicated engines
+_MAX_CONTROL_SHARING = 0.035
+
+#: maximum clock/control-set sharing benefit on *static* power across
+#: replicated engines (the Fig. 6 "experimental value decreases" effect)
+_MAX_STATIC_SHARING = 0.006
+
+#: maximum BRAM placement-optimization benefit for large arrays
+#: (the merged scheme's dominant model-error channel, Fig. 7)
+_MAX_BRAM_OPTIMIZATION = 0.08
+
+#: BRAM block count (18 Kb equivalents) at which the optimization saturates
+_BRAM_OPT_SCALE = 500
+
+#: deterministic placement-jitter half-width: a small baseline plus a
+#: routing-variance term that grows with the BRAM array size, making
+#: merged designs the noisiest (paper Section VI-A)
+_JITTER_BASE = 0.004
+_JITTER_BRAM = 0.011
+
+
+@dataclass(frozen=True)
+class EngineNetlist:
+    """Synthesizable description of one lookup pipeline.
+
+    Attributes
+    ----------
+    label:
+        Engine name (enters the deterministic placement hash).
+    stage_memory_bits:
+        Memory required by each stage, in bits.
+    word_width:
+        Stage read-port width in bits.
+    footprint:
+        Per-stage PE resource counts.
+    io_pins:
+        Engine-private I/O pins.
+    """
+
+    label: str
+    stage_memory_bits: np.ndarray
+    word_width: int = 18
+    footprint: PeFootprint = PAPER_PE_FOOTPRINT
+    io_pins: int = ENGINE_IO_PINS
+
+    def __post_init__(self) -> None:
+        bits = np.asarray(self.stage_memory_bits, dtype=np.int64)
+        if bits.ndim != 1 or len(bits) == 0:
+            raise ConfigurationError("stage_memory_bits must be a non-empty 1-D array")
+        if (bits < 0).any():
+            raise ConfigurationError("stage memory sizes must be non-negative")
+        object.__setattr__(self, "stage_memory_bits", bits)
+        if self.word_width <= 0:
+            raise ConfigurationError("word_width must be positive")
+        if self.io_pins < 0:
+            raise ConfigurationError("io_pins must be non-negative")
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.stage_memory_bits)
+
+    @property
+    def total_memory_bits(self) -> int:
+        return int(self.stage_memory_bits.sum())
+
+
+@dataclass(frozen=True)
+class PlacedEngine:
+    """One engine after packing and region assignment."""
+
+    netlist: EngineNetlist
+    stage_packings: tuple[BramPacking, ...]
+    logic_usage: ResourceUsage
+    region: Region
+
+    @property
+    def bram18_equivalent(self) -> int:
+        """Total allocated BRAM in 18 Kb primitive units."""
+        return sum(p.total_blocks18_equivalent for p in self.stage_packings)
+
+    @property
+    def widest_stage_blocks(self) -> int:
+        """18 Kb-equivalent blocks behind the largest stage memory."""
+        return max(
+            (p.total_blocks18_equivalent for p in self.stage_packings), default=0
+        )
+
+    @property
+    def usage(self) -> ResourceUsage:
+        blocks36 = sum(p.blocks36 for p in self.stage_packings)
+        blocks18 = sum(p.blocks18 for p in self.stage_packings)
+        return self.logic_usage + ResourceUsage(bram36=blocks36, bram18=blocks18)
+
+
+@dataclass(frozen=True)
+class PlacedDesign:
+    """A fully placed-and-routed design, ready for power reporting."""
+
+    name: str
+    device: DeviceSpec
+    grade: SpeedGrade
+    engines: tuple[PlacedEngine, ...]
+    shared_usage: ResourceUsage
+    total_usage: ResourceUsage
+    fmax_mhz: float
+    used_area_fraction: float
+    logic_opt_factor: float
+    static_opt_factor: float
+    bram_opt_factor: float
+    jitter_factor: float
+
+    @property
+    def n_engines(self) -> int:
+        return len(self.engines)
+
+    @property
+    def utilization(self) -> float:
+        """Overall device utilization of the placed design."""
+        return self.total_usage.utilization(self.device)
+
+
+def _design_hash(name: str, device: DeviceSpec, grade: SpeedGrade, engines) -> int:
+    """Deterministic 64-bit hash of the design identity."""
+    h = hashlib.sha256()
+    h.update(name.encode())
+    h.update(device.name.encode())
+    h.update(grade.value.encode())
+    for engine in engines:
+        h.update(engine.label.encode())
+        h.update(np.asarray(engine.stage_memory_bits, dtype=np.int64).tobytes())
+        h.update(engine.word_width.to_bytes(4, "little"))
+    return int.from_bytes(h.digest()[:8], "little")
+
+
+class PlaceAndRoute:
+    """Implementation flow: netlists → :class:`PlacedDesign`."""
+
+    def __init__(self, device: DeviceSpec = XC6VLX760, grade: SpeedGrade = SpeedGrade.G2):
+        self.device = device
+        self.grade = grade
+
+    def place(
+        self,
+        engines: list[EngineNetlist],
+        *,
+        name: str = "design",
+        shared_io_pins: int = SHARED_IO_PINS,
+        shared_logic: ResourceUsage | None = None,
+    ) -> PlacedDesign:
+        """Place engines on the device.
+
+        Raises
+        ------
+        ResourceExhaustedError
+            If the combined usage exceeds the device inventory (the
+            paper's separate-scheme scalability wall).
+        PlacementError
+            If the floorplan cannot host the engine regions.
+        """
+        if not engines:
+            raise PlacementError("cannot place a design with no engines")
+        shared = shared_logic or ResourceUsage()
+        shared = shared + ResourceUsage(io_pins=shared_io_pins)
+
+        # pack every engine and check global capacity first, so the
+        # caller sees the gating *resource* (the paper's scalability
+        # walls) rather than a floorplan failure
+        packed: list[tuple[EngineNetlist, tuple[BramPacking, ...], ResourceUsage]] = []
+        total = shared
+        for engine in engines:
+            packings = tuple(
+                pack_stage_memory(int(bits), engine.word_width)
+                for bits in engine.stage_memory_bits
+            )
+            logic_usage = engine.footprint.usage(engine.n_stages, io_pins=engine.io_pins)
+            bram_usage = ResourceUsage(
+                bram36=sum(p.blocks36 for p in packings),
+                bram18=sum(p.blocks18 for p in packings),
+            )
+            packed.append((engine, packings, logic_usage))
+            total = total + logic_usage + bram_usage
+        self.device.check_fits(total)
+
+        floorplan = Floorplan(self.device)
+        placed: list[PlacedEngine] = []
+        for engine, packings, logic_usage in packed:
+            bram_usage = ResourceUsage(
+                bram36=sum(p.blocks36 for p in packings),
+                bram18=sum(p.blocks18 for p in packings),
+            )
+            region = floorplan.allocate(logic_usage + bram_usage)
+            placed.append(
+                PlacedEngine(
+                    netlist=engine,
+                    stage_packings=packings,
+                    logic_usage=logic_usage,
+                    region=region,
+                )
+            )
+
+        utilization = total.utilization(self.device)
+        widest = max(engine.widest_stage_blocks for engine in placed)
+        fmax = achievable_fmax_mhz(self.grade, widest, utilization)
+
+        # -- optimization factors (the paper's "hardware optimizations") --
+        n = len(placed)
+        logic_opt = 1.0 - _MAX_CONTROL_SHARING * (1.0 - 1.0 / n)
+        static_opt = 1.0 - _MAX_STATIC_SHARING * (1.0 - 1.0 / n)
+        total_blocks = sum(engine.bram18_equivalent for engine in placed)
+        bram_scale = min(1.0, total_blocks / _BRAM_OPT_SCALE)
+        bram_opt = 1.0 - _MAX_BRAM_OPTIMIZATION * bram_scale
+        jitter_width = _JITTER_BASE + _JITTER_BRAM * bram_scale
+        rng = np.random.default_rng(_design_hash(name, self.device, self.grade, engines))
+        jitter = 1.0 + float(rng.uniform(-jitter_width, jitter_width))
+
+        return PlacedDesign(
+            name=name,
+            device=self.device,
+            grade=self.grade,
+            engines=tuple(placed),
+            shared_usage=shared,
+            total_usage=total,
+            fmax_mhz=fmax,
+            used_area_fraction=floorplan.used_area_fraction(),
+            logic_opt_factor=logic_opt,
+            static_opt_factor=static_opt,
+            bram_opt_factor=bram_opt,
+            jitter_factor=jitter,
+        )

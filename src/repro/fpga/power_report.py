@@ -1,0 +1,190 @@
+"""XPower-Analyzer-like power reporting over a placed design.
+
+This is the "experimental" measurement path of the reproduction: a
+bottom-up power computation from the *placed* netlist — actual BRAM
+block mixes per stage, implemented logic after cross-engine control
+sharing, static power of the configured die area — as opposed to the
+closed-form analytical model in :mod:`repro.core.power`.  The two
+paths share the published per-resource coefficients (they describe the
+same silicon) but differ in structure, which is what produces the
+paper's small, design-dependent model error (Fig. 7, ±3 % max).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fpga.bram import PAPER_WRITE_RATE, BramKind, bram_dynamic_power_uw
+from repro.fpga.logic import signal_power_fraction, stage_logic_power_uw
+from repro.fpga.placer import PlacedDesign
+from repro.fpga.speedgrade import grade_data
+from repro.units import uw_to_w
+
+__all__ = ["PowerReport", "EnginePower", "XPowerAnalyzer"]
+
+#: sensitivity of implemented static power to configured die area.
+#: Gentler than the ±5 % catalog envelope: the analyzer reports the
+#: actual design, whose area never swings across the full range.
+_STATIC_AREA_SLOPE = 0.01
+_STATIC_AREA_PIVOT = 0.25
+
+
+@dataclass(frozen=True)
+class EnginePower:
+    """Per-engine dynamic power breakdown, in watts."""
+
+    label: str
+    logic_w: float
+    signal_w: float
+    bram_w: float
+
+    @property
+    def dynamic_w(self) -> float:
+        return self.logic_w + self.signal_w + self.bram_w
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Full-design power report (the XPA output equivalent)."""
+
+    design_name: str
+    frequency_mhz: float
+    static_w: float
+    engines: tuple[EnginePower, ...]
+
+    @property
+    def logic_w(self) -> float:
+        """Implemented logic power (all engines)."""
+        return sum(e.logic_w for e in self.engines)
+
+    @property
+    def signal_w(self) -> float:
+        """Implemented signal (routing) power (all engines)."""
+        return sum(e.signal_w for e in self.engines)
+
+    @property
+    def bram_w(self) -> float:
+        """Implemented BRAM power (all engines)."""
+        return sum(e.bram_w for e in self.engines)
+
+    @property
+    def dynamic_w(self) -> float:
+        """Total dynamic power."""
+        return self.logic_w + self.signal_w + self.bram_w
+
+    @property
+    def total_w(self) -> float:
+        """Total device power (static + dynamic)."""
+        return self.static_w + self.dynamic_w
+
+
+class XPowerAnalyzer:
+    """Compute a :class:`PowerReport` for a :class:`PlacedDesign`."""
+
+    def report(
+        self,
+        placed: PlacedDesign,
+        frequency_mhz: float | None = None,
+        engine_activities: np.ndarray | None = None,
+        *,
+        write_rate: float = PAPER_WRITE_RATE,
+    ) -> PowerReport:
+        """Measure power of ``placed`` at an operating point.
+
+        Parameters
+        ----------
+        placed:
+            The implemented design.
+        frequency_mhz:
+            Operating clock; defaults to the design's achieved fmax.
+        engine_activities:
+            Per-engine duty cycle in [0, 1] — the utilization µ_i of
+            the virtual router each engine serves (Assumption 1 makes
+            these 1/K in the paper).  Defaults to all-1 (full load).
+        write_rate:
+            Table-update rate applied to every stage memory.
+        """
+        f = placed.fmax_mhz if frequency_mhz is None else frequency_mhz
+        if f < 0:
+            raise ConfigurationError("frequency must be non-negative")
+        n = placed.n_engines
+        if engine_activities is None:
+            activities = np.ones(n)
+        else:
+            activities = np.asarray(engine_activities, dtype=float)
+            if activities.shape != (n,):
+                raise ConfigurationError(
+                    f"engine_activities must have shape ({n},), got {activities.shape}"
+                )
+            if ((activities < 0) | (activities > 1)).any():
+                raise ConfigurationError("engine activities must be in [0, 1]")
+
+        grade = placed.grade
+        signal_share = signal_power_fraction()
+        engines: list[EnginePower] = []
+        for engine, activity in zip(placed.engines, activities):
+            netlist = engine.netlist
+            logic_total_uw = (
+                netlist.n_stages
+                * stage_logic_power_uw(f, grade, netlist.footprint, float(activity))
+                * placed.logic_opt_factor
+                * placed.jitter_factor
+            )
+            bram_uw = 0.0
+            for packing in engine.stage_packings:
+                bram_uw += bram_dynamic_power_uw(
+                    f,
+                    grade,
+                    BramKind.B36,
+                    packing.blocks36,
+                    write_rate=write_rate,
+                    read_width=netlist.word_width,
+                    enable_rate=float(activity),
+                )
+                bram_uw += bram_dynamic_power_uw(
+                    f,
+                    grade,
+                    BramKind.B18,
+                    packing.blocks18,
+                    write_rate=write_rate,
+                    read_width=netlist.word_width,
+                    enable_rate=float(activity),
+                )
+            bram_uw *= placed.bram_opt_factor * placed.jitter_factor
+            engines.append(
+                EnginePower(
+                    label=netlist.label,
+                    logic_w=uw_to_w(logic_total_uw * (1.0 - signal_share)),
+                    signal_w=uw_to_w(logic_total_uw * signal_share),
+                    bram_w=uw_to_w(bram_uw),
+                )
+            )
+
+        static = self._implemented_static_w(placed)
+        return PowerReport(
+            design_name=placed.name,
+            frequency_mhz=f,
+            static_w=static,
+            engines=tuple(engines),
+        )
+
+    @staticmethod
+    def _implemented_static_w(placed: PlacedDesign) -> float:
+        """Static power of the configured design.
+
+        The catalog value (4.5 W / 3.1 W) is the representative
+        number; the implemented value tracks the configured die area
+        with a gentle slope and benefits from cross-engine clock and
+        control-set sharing, both bounded well inside the paper's
+        ±5 % observation.  The sharing term is what makes measured
+        total power *decrease* as more parallel engines are
+        implemented (paper Section VI-A discussion of Fig. 6).
+        """
+        base = grade_data(placed.grade).static_power_w
+        base *= placed.device.logic_cells / 758_784  # scale for non-LX760 parts
+        factor = 1.0 + _STATIC_AREA_SLOPE * (placed.used_area_fraction - _STATIC_AREA_PIVOT)
+        factor = min(1.05, max(0.95, factor))
+        return base * factor * placed.static_opt_factor

@@ -1,0 +1,76 @@
+"""FPGA (partial) reconfiguration time model.
+
+Router virtualization's management story — the paper's primary
+motivation — includes adding and removing virtual networks on a live
+platform.  On FPGA that is a reconfiguration: full-device for the
+merged engine (its single pipeline is monolithic), partial for the
+separate scheme (each engine sits in its own floorplan region, the
+"fine grained control over the resources" of Section IV-B).
+
+Reconfiguration time = bitstream bytes / configuration bandwidth.
+Bitstream size scales with the configured region's share of the die;
+the ICAP port moves 32 bits at 100 MHz (400 MB/s, Virtex-6 UG360).
+Stage memories reload through the update port at one word per cycle.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.fpga.catalog import XC6VLX760
+from repro.fpga.device import DeviceSpec
+
+__all__ = [
+    "full_bitstream_bytes",
+    "partial_reconfig_time_ms",
+    "full_reconfig_time_ms",
+    "memory_load_time_ms",
+    "ICAP_BYTES_PER_SECOND",
+]
+
+#: ICAP configuration bandwidth: 32 bit @ 100 MHz (Virtex-6 UG360)
+ICAP_BYTES_PER_SECOND = 400e6
+
+#: configuration bits per logic cell — calibrated so the LX760's full
+#: bitstream lands at its documented ~184 Mb
+_CONFIG_BITS_PER_LOGIC_CELL = 243.0
+
+
+def full_bitstream_bytes(device: DeviceSpec = XC6VLX760) -> int:
+    """Full-device configuration bitstream size in bytes."""
+    return int(device.logic_cells * _CONFIG_BITS_PER_LOGIC_CELL / 8)
+
+
+def full_reconfig_time_ms(device: DeviceSpec = XC6VLX760) -> float:
+    """Time to reconfigure the whole device through ICAP."""
+    return full_bitstream_bytes(device) / ICAP_BYTES_PER_SECOND * 1e3
+
+
+def partial_reconfig_time_ms(
+    region_area_fraction: float, device: DeviceSpec = XC6VLX760
+) -> float:
+    """Time to reconfigure one floorplan region through ICAP.
+
+    ``region_area_fraction`` is the share of the die the region
+    covers (a :class:`repro.fpga.floorplan.Region`'s
+    ``area_fraction``); partial bitstreams scale with it.
+    """
+    if not 0.0 < region_area_fraction <= 1.0:
+        raise ConfigurationError(
+            f"region_area_fraction must be in (0, 1], got {region_area_fraction}"
+        )
+    return full_reconfig_time_ms(device) * region_area_fraction
+
+
+def memory_load_time_ms(total_bits: int, frequency_mhz: float, word_bits: int = 18) -> float:
+    """Time to (re)load stage memories through the update port.
+
+    One ``word_bits``-wide write per cycle at the engine clock — the
+    path used when a merged engine's tables are rebuilt without
+    touching the fabric.
+    """
+    if total_bits < 0:
+        raise ConfigurationError("total_bits must be non-negative")
+    if frequency_mhz <= 0 or word_bits <= 0:
+        raise ConfigurationError("frequency and word width must be positive")
+    words = -(-total_bits // word_bits)
+    return words / (frequency_mhz * 1e6) * 1e3

@@ -1,0 +1,102 @@
+"""Speed grades: -2 (high performance) and -1L (low power).
+
+The paper characterizes both grades on the XC6VLX760 (Sections V-A to
+V-C) and finds the -1L grade dissipates ~30 % less power at ~30 % lower
+achievable frequency, leaving mW/Gbps roughly unchanged (Section VI-B).
+The per-grade constants here are the paper's published values; every
+power and timing model keys off this table.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SpeedGrade", "GradeData", "grade_data"]
+
+
+class SpeedGrade(enum.Enum):
+    """Virtex-6 speed grade variants studied by the paper."""
+
+    #: speed grade -2: high performance
+    G2 = "-2"
+    #: speed grade -1L: low power (lower core voltage / supply current)
+    G1L = "-1L"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @classmethod
+    def parse(cls, text: str) -> "SpeedGrade":
+        """Parse ``"-2"`` / ``"-1L"`` (case-insensitive)."""
+        normalized = text.strip().upper()
+        for grade in cls:
+            if grade.value.upper() == normalized:
+                return grade
+        raise ConfigurationError(f"unknown speed grade {text!r}; expected '-2' or '-1L'")
+
+
+@dataclass(frozen=True, slots=True)
+class GradeData:
+    """Published per-grade characterization constants.
+
+    Attributes
+    ----------
+    static_power_w:
+        Device static power (Section V-A; ±5 % with area, handled by
+        :func:`repro.fpga.static_power.static_power_w`).
+    bram18_uw_per_mhz:
+        Table III: dynamic power of one 18 Kb block per MHz.
+    bram36_uw_per_mhz:
+        Table III: dynamic power of one 36 Kb block per MHz.
+    logic_stage_uw_per_mhz:
+        Section V-C: per-pipeline-stage logic + signal power per MHz.
+    base_fmax_mhz:
+        Achievable clock for a single unconstrained lookup engine.
+        The paper sweeps characterization plots to 500 MHz (XPE level)
+        while routed designs land lower; the -1L value encodes the
+        ~30 % throughput cost the paper reports for the low-power
+        grade.
+    """
+
+    static_power_w: float
+    bram18_uw_per_mhz: float
+    bram36_uw_per_mhz: float
+    logic_stage_uw_per_mhz: float
+    base_fmax_mhz: float
+
+    def __post_init__(self) -> None:
+        for name in (
+            "static_power_w",
+            "bram18_uw_per_mhz",
+            "bram36_uw_per_mhz",
+            "logic_stage_uw_per_mhz",
+            "base_fmax_mhz",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+
+_GRADE_DATA: dict[SpeedGrade, GradeData] = {
+    SpeedGrade.G2: GradeData(
+        static_power_w=4.5,
+        bram18_uw_per_mhz=13.65,
+        bram36_uw_per_mhz=24.60,
+        logic_stage_uw_per_mhz=5.180,
+        base_fmax_mhz=350.0,
+    ),
+    SpeedGrade.G1L: GradeData(
+        static_power_w=3.1,
+        bram18_uw_per_mhz=11.00,
+        bram36_uw_per_mhz=19.70,
+        logic_stage_uw_per_mhz=3.937,
+        base_fmax_mhz=245.0,
+    ),
+}
+
+
+def grade_data(grade: SpeedGrade) -> GradeData:
+    """The published characterization constants for ``grade``."""
+    return _GRADE_DATA[grade]

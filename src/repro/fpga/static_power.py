@@ -1,0 +1,74 @@
+"""Static (leakage) power model (paper Section V-A).
+
+Static power keeps the device "powered up" independent of switching.
+The paper measures 4.5 W (-2) and 3.1 W (-1L) on the XC6VLX760 with a
+±5 % variation attributed to the die area covered by used resources.
+This module reproduces that envelope: a base value per grade scaled by
+an area factor in [0.95, 1.05], plus an optional junction-temperature
+derating (leakage grows with temperature; the paper holds temperature
+fixed, so the default adds nothing).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.fpga.device import DeviceSpec, ResourceUsage
+from repro.fpga.catalog import XC6VLX760
+from repro.fpga.speedgrade import SpeedGrade, grade_data
+
+__all__ = ["static_power_w", "area_factor", "STATIC_VARIATION"]
+
+#: the paper's observed maximum deviation with resource usage
+STATIC_VARIATION = 0.05
+
+#: nominal junction temperature for the published values (°C)
+NOMINAL_TEMPERATURE_C = 50.0
+
+#: leakage growth per °C above nominal (typical 40 nm characteristic)
+_TEMPERATURE_SLOPE = 0.006
+
+
+def area_factor(used_area_fraction: float) -> float:
+    """Map used-area fraction to the ±5 % static power factor.
+
+    0 → 0.95 (minimal configured area), 1 → 1.05 (fully covered die),
+    0.5 → exactly the published nominal value.
+    """
+    if not 0.0 <= used_area_fraction <= 1.0:
+        raise ConfigurationError(
+            f"used_area_fraction must be in [0, 1], got {used_area_fraction}"
+        )
+    return 1.0 - STATIC_VARIATION + 2 * STATIC_VARIATION * used_area_fraction
+
+
+def static_power_w(
+    grade: SpeedGrade,
+    usage: ResourceUsage | None = None,
+    device: DeviceSpec = XC6VLX760,
+    *,
+    temperature_c: float = NOMINAL_TEMPERATURE_C,
+) -> float:
+    """Static power in watts for one device.
+
+    Parameters
+    ----------
+    grade:
+        Speed grade selecting the base leakage (4.5 W / 3.1 W).
+    usage:
+        Resources configured on the device; drives the ±5 % area
+        factor.  ``None`` means nominal (factor 1).
+    device:
+        The part; scales leakage linearly for the non-LX760 parts in
+        the catalog (leakage tracks die size to first order).
+    temperature_c:
+        Junction temperature; leakage grows ~0.6 %/°C above nominal.
+    """
+    if temperature_c < -40 or temperature_c > 125:
+        raise ConfigurationError(
+            f"temperature out of industrial range: {temperature_c} °C"
+        )
+    base = grade_data(grade).static_power_w
+    scale = device.logic_cells / XC6VLX760.logic_cells
+    factor = area_factor(usage.area_fraction(device)) if usage is not None else 1.0
+    thermal = 1.0 + _TEMPERATURE_SLOPE * (temperature_c - NOMINAL_TEMPERATURE_C)
+    return base * scale * factor * thermal

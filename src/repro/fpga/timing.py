@@ -1,0 +1,91 @@
+"""Achievable clock frequency model.
+
+The paper's Section VI-B observation that drives the merged scheme's
+poor mW/Gbps is a *timing* effect: "due to the higher resource
+consumption, the operating frequency decreases significantly".  Two
+mechanisms are modeled, both standard FPGA timing behaviour:
+
+1. **Stage fan-in** — a stage memory spanning ``b`` BRAM blocks needs
+   a ``b``-to-1 output multiplexer; each doubling adds a mux level to
+   the critical path.
+2. **Congestion** — as device utilization grows, routing detours
+   lengthen nets; the penalty is superlinear in utilization.
+
+A single replicated engine (NV, VS at small K) sees neither effect and
+runs at the grade's base frequency (350 MHz for -2, 245 MHz for -1L —
+the ~30 % throughput gap the paper reports between grades).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError, TimingError
+from repro.fpga.speedgrade import SpeedGrade, grade_data
+
+__all__ = ["achievable_fmax_mhz", "mux_derate", "congestion_derate"]
+
+#: critical-path penalty per BRAM output-mux level
+_MUX_LEVEL_PENALTY = 0.055
+
+#: congestion penalty coefficient (quadratic in utilization)
+_CONGESTION_PENALTY = 0.28
+
+#: no design routes below this fraction of base fmax; past that the
+#: tools fail timing outright, which we surface as an error
+_MIN_FMAX_FRACTION = 0.25
+
+
+def mux_derate(widest_stage_blocks: int) -> float:
+    """Frequency derating from the widest stage's BRAM output mux.
+
+    One block (or none) needs no mux; ``b`` blocks add ``log2(b)``
+    mux levels to the stage critical path.
+    """
+    if widest_stage_blocks < 0:
+        raise ConfigurationError("widest_stage_blocks must be non-negative")
+    if widest_stage_blocks <= 1:
+        return 1.0
+    levels = math.log2(widest_stage_blocks)
+    return 1.0 / (1.0 + _MUX_LEVEL_PENALTY * levels)
+
+
+def congestion_derate(utilization: float) -> float:
+    """Frequency derating from routing congestion at ``utilization``."""
+    if utilization < 0:
+        raise ConfigurationError("utilization must be non-negative")
+    util = min(utilization, 1.0)
+    return 1.0 - _CONGESTION_PENALTY * util * util
+
+
+def achievable_fmax_mhz(
+    grade: SpeedGrade,
+    widest_stage_blocks: int = 1,
+    utilization: float = 0.0,
+) -> float:
+    """Post-route clock frequency for a lookup-engine design, in MHz.
+
+    Parameters
+    ----------
+    grade:
+        Speed grade (sets the base frequency).
+    widest_stage_blocks:
+        18 Kb-equivalent BRAM blocks behind the largest single stage
+        memory (the critical stage).
+    utilization:
+        Overall device utilization fraction.
+
+    Raises
+    ------
+    TimingError
+        If the derated frequency falls below the routable floor —
+        the design has effectively failed timing closure.
+    """
+    base = grade_data(grade).base_fmax_mhz
+    fmax = base * mux_derate(widest_stage_blocks) * congestion_derate(utilization)
+    if fmax < base * _MIN_FMAX_FRACTION:
+        raise TimingError(
+            f"design fails timing: derated fmax {fmax:.1f} MHz is below "
+            f"{_MIN_FMAX_FRACTION:.0%} of the {base:.0f} MHz base for grade {grade}"
+        )
+    return fmax

@@ -1,0 +1,121 @@
+"""XPower-Estimator-like component characterization.
+
+The paper uses Xilinx XPE to characterize single components before any
+implementation exists: one BRAM block swept over frequency (Fig. 2)
+and one pipeline stage's logic (Fig. 3), from which it derives the
+Table III per-block linear model.  This module is that spreadsheet:
+sweep helpers over the component power models plus a least-squares fit
+that regenerates the Table III coefficients from the sweep data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fpga.bram import (
+    PAPER_READ_WIDTH,
+    PAPER_WRITE_RATE,
+    BramKind,
+    bram_dynamic_power_uw,
+)
+from repro.fpga.logic import PAPER_PE_FOOTPRINT, PeFootprint, stage_logic_power_uw
+from repro.fpga.speedgrade import SpeedGrade
+
+__all__ = ["FrequencySweep", "XPowerEstimator"]
+
+#: the frequency grid used by the paper's characterization plots (MHz)
+DEFAULT_FREQUENCIES_MHZ = (100.0, 200.0, 300.0, 400.0, 500.0)
+
+
+@dataclass(frozen=True)
+class FrequencySweep:
+    """One characterization series: power (µW) over frequency (MHz)."""
+
+    label: str
+    frequencies_mhz: np.ndarray
+    power_uw: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.frequencies_mhz.shape != self.power_uw.shape:
+            raise ConfigurationError("frequency and power arrays must align")
+
+    def fit_uw_per_mhz(self) -> float:
+        """Least-squares slope through the origin, in µW/MHz.
+
+        This is how Table III is produced from Fig. 2 data: the
+        component models are linear in frequency, so the fit recovers
+        the per-block coefficient exactly (tests assert the residual
+        is numerically zero).
+        """
+        f = self.frequencies_mhz
+        p = self.power_uw
+        denom = float(f @ f)
+        if denom == 0.0:
+            raise ConfigurationError("cannot fit a sweep with all-zero frequencies")
+        return float(f @ p) / denom
+
+    def max_residual_uw(self) -> float:
+        """Largest |power − fit×f| over the sweep."""
+        slope = self.fit_uw_per_mhz()
+        return float(np.abs(self.power_uw - slope * self.frequencies_mhz).max())
+
+
+class XPowerEstimator:
+    """Spreadsheet-style early power estimation for single components."""
+
+    def __init__(self, frequencies_mhz=DEFAULT_FREQUENCIES_MHZ):
+        freqs = np.asarray(frequencies_mhz, dtype=float)
+        if freqs.ndim != 1 or len(freqs) == 0:
+            raise ConfigurationError("frequencies must be a non-empty 1-D sequence")
+        if (freqs < 0).any():
+            raise ConfigurationError("frequencies must be non-negative")
+        self.frequencies_mhz = freqs
+
+    def bram_sweep(
+        self,
+        kind: BramKind,
+        grade: SpeedGrade,
+        *,
+        write_rate: float = PAPER_WRITE_RATE,
+        read_width: int = PAPER_READ_WIDTH,
+    ) -> FrequencySweep:
+        """Power of a single BRAM block over frequency (a Fig. 2 series)."""
+        power = np.array(
+            [
+                bram_dynamic_power_uw(
+                    f, grade, kind, 1, write_rate=write_rate, read_width=read_width
+                )
+                for f in self.frequencies_mhz
+            ]
+        )
+        return FrequencySweep(
+            label=f"{kind.value}Kb ({grade})",
+            frequencies_mhz=self.frequencies_mhz.copy(),
+            power_uw=power,
+        )
+
+    def logic_stage_sweep(
+        self,
+        grade: SpeedGrade,
+        footprint: PeFootprint = PAPER_PE_FOOTPRINT,
+    ) -> FrequencySweep:
+        """Per-stage logic+signal power over frequency (a Fig. 3 series)."""
+        power = np.array(
+            [stage_logic_power_uw(f, grade, footprint) for f in self.frequencies_mhz]
+        )
+        return FrequencySweep(
+            label=f"logic/stage ({grade})",
+            frequencies_mhz=self.frequencies_mhz.copy(),
+            power_uw=power,
+        )
+
+    def table3(self) -> dict[tuple[BramKind, SpeedGrade], float]:
+        """Regenerate Table III: fitted µW/MHz per (kind, grade)."""
+        return {
+            (kind, grade): self.bram_sweep(kind, grade).fit_uw_per_mhz()
+            for kind in BramKind
+            for grade in SpeedGrade
+        }

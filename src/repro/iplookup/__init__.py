@@ -1,0 +1,63 @@
+"""IP-lookup substrate: prefixes, routing tables, tries and pipelines.
+
+This package implements the lookup machinery the paper's power models
+are built on (Section V-D): IPv4 prefixes, routing tables (RIBs), the
+uni-bit binary trie with leaf pushing, the trie-level → pipeline-stage
+mapping, and a cycle-level linear pipeline simulator.  Synthetic
+BGP-like routing tables (:mod:`repro.iplookup.synth`) substitute for
+the potaroo.net tables used in the paper (see DESIGN.md §2).
+"""
+
+from repro.iplookup.prefix import Prefix, parse_prefix, format_address
+from repro.iplookup.rib import Route, RoutingTable
+from repro.iplookup.synth import SyntheticTableConfig, generate_table, generate_virtual_tables
+from repro.iplookup.trie import UnibitTrie, TrieStats
+from repro.iplookup.leafpush import leaf_push
+from repro.iplookup.multibit import MultibitTrie
+from repro.iplookup.mapping import NodeFormat, StageMemoryMap, map_trie_to_stages
+from repro.iplookup.pipeline import LookupPipeline, PipelineTrace
+from repro.iplookup.updates import (
+    RouteUpdate,
+    UpdateKind,
+    UpdateStats,
+    apply_updates,
+    effective_write_rate,
+    synthesize_churn,
+)
+from repro.iplookup.patricia import PatriciaTrie
+from repro.iplookup.balancing import BalancedMapping, balance_factor, balanced_stage_map
+from repro.iplookup.prefix6 import Prefix6, parse_prefix6, Synthetic6Config, generate_table6
+
+__all__ = [
+    "Prefix",
+    "parse_prefix",
+    "format_address",
+    "Route",
+    "RoutingTable",
+    "SyntheticTableConfig",
+    "generate_table",
+    "generate_virtual_tables",
+    "UnibitTrie",
+    "TrieStats",
+    "leaf_push",
+    "MultibitTrie",
+    "NodeFormat",
+    "StageMemoryMap",
+    "map_trie_to_stages",
+    "LookupPipeline",
+    "PipelineTrace",
+    "RouteUpdate",
+    "UpdateKind",
+    "UpdateStats",
+    "apply_updates",
+    "effective_write_rate",
+    "synthesize_churn",
+    "PatriciaTrie",
+    "BalancedMapping",
+    "balance_factor",
+    "balanced_stage_map",
+    "Prefix6",
+    "parse_prefix6",
+    "Synthetic6Config",
+    "generate_table6",
+]

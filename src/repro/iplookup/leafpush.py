@@ -1,0 +1,70 @@
+"""Leaf pushing: move all next-hop information to trie leaves.
+
+Leaf pushing ([16] in the paper, Ruiz-Sanchez et al.) rewrites a trie
+so that NHI lives only at leaf nodes.  In the pipelined architecture
+this removes the "best match so far" register chain: the answer is
+simply whatever the final stage reads.  The cost is extra leaf nodes —
+the paper's reference table grows from 9 726 to 16 127 nodes.
+
+The transform produces a *full* binary trie: every internal node has
+both children, with missing subtrees materialized as leaves carrying
+the NHI inherited from the nearest enclosing prefix (``NO_ROUTE`` if
+none — the lookup-miss path a real router still has to encode).
+"""
+
+from __future__ import annotations
+
+from repro.iplookup.rib import NO_ROUTE
+from repro.iplookup.trie import NONE, UnibitTrie
+
+__all__ = ["leaf_push"]
+
+
+def leaf_push(trie: UnibitTrie) -> UnibitTrie:
+    """Return a new, leaf-pushed copy of ``trie``.
+
+    The input trie is not modified.  The output satisfies
+    :meth:`UnibitTrie.is_leaf_pushed` and yields identical
+    longest-prefix-match results for every address.
+    """
+    pushed = UnibitTrie(width=trie.width)
+    # recursion replaced by an explicit stack: edge tables are shallow
+    # (≤ 32 levels) but wide, and Python's default recursion limit is
+    # uncomfortably close for adversarial inputs from property tests.
+    # Each entry: (src node in input trie, dst node in output, inherited NHI)
+    stack: list[tuple[int, int, int]] = [(0, 0, trie.nhi(0))]
+    while stack:
+        src, dst, inherited = stack.pop()
+        own = trie.nhi(src)
+        if own != NO_ROUTE:
+            inherited = own
+        left, right = trie.left(src), trie.right(src)
+        if left == NONE and right == NONE:
+            # already a leaf: carries the inherited NHI
+            pushed._nhi[dst] = inherited
+            continue
+        # internal node: never carries NHI after pushing; both
+        # children must exist (missing side becomes a leaf holding
+        # the inherited NHI).
+        pushed._nhi[dst] = NO_ROUTE
+        level = pushed.level(dst) + 1
+        dst_left = pushed._new_node(level)
+        pushed._left[dst] = dst_left
+        dst_right = pushed._new_node(level)
+        pushed._right[dst] = dst_right
+        if left != NONE:
+            stack.append((left, dst_left, inherited))
+        else:
+            pushed._nhi[dst_left] = inherited
+        if right != NONE:
+            stack.append((right, dst_right, inherited))
+        else:
+            pushed._nhi[dst_right] = inherited
+    # prefix bookkeeping: leaves holding a real NHI are the pushed
+    # prefix set (used only for stats; lookups never consult it)
+    pushed._prefix_count = sum(
+        1
+        for node in pushed.nodes()
+        if pushed.is_leaf(node) and pushed.nhi(node) != NO_ROUTE
+    )
+    return pushed

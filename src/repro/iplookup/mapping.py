@@ -1,0 +1,170 @@
+"""Trie-level → pipeline-stage mapping and per-stage memory sizing.
+
+The paper's architecture (Section V-D) maps each trie level onto one
+pipeline stage with an independently accessible memory.  This module
+turns a trie's per-level node counts into per-stage memory sizes under
+a configurable node encoding, producing the ``M_{i,j}`` values the
+power models consume and the pointer/NHI split Fig. 4 plots.
+
+Conventions
+-----------
+* The root (level 0) is the pipeline's entry register, not a stage.
+* Stage ``j`` (0-based) stores the nodes at trie level ``j + 1``.
+* A pipeline of ``n_stages`` therefore supports prefixes up to length
+  ``n_stages`` — 28 in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.iplookup.trie import TrieStats
+
+__all__ = ["NodeFormat", "StageMemoryMap", "map_trie_to_stages", "PAPER_PIPELINE_STAGES"]
+
+#: pipeline depth used throughout the paper's evaluation (Section VI)
+PAPER_PIPELINE_STAGES = 28
+
+
+@dataclass(frozen=True, slots=True)
+class NodeFormat:
+    """Bit-level encoding of trie nodes in stage memory.
+
+    Attributes
+    ----------
+    pointer_bits:
+        Width of one child pointer.  The paper reads 18-bit words from
+        BRAM (Section V-B); an 18-bit pointer addresses 256 K nodes per
+        stage, ample for edge tables.
+    nhi_bits:
+        Width of one next-hop information entry (output port index).
+    flag_bits:
+        Per-node control flags (valid / leaf markers).
+    """
+
+    pointer_bits: int = 18
+    nhi_bits: int = 8
+    flag_bits: int = 2
+
+    def __post_init__(self) -> None:
+        for name in ("pointer_bits", "nhi_bits", "flag_bits"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        if self.pointer_bits == 0:
+            raise ConfigurationError("pointer_bits must be positive")
+
+    def internal_node_bits(self) -> int:
+        """Memory footprint of one internal (pointer) node."""
+        return 2 * self.pointer_bits + self.flag_bits
+
+    def leaf_node_bits(self, nhi_vector_width: int = 1) -> int:
+        """Memory footprint of one leaf node.
+
+        For merged virtualization each leaf stores a VNID-indexed
+        vector of ``nhi_vector_width`` NHI entries (Section V-D).
+        """
+        if nhi_vector_width < 1:
+            raise ConfigurationError("nhi_vector_width must be >= 1")
+        return self.nhi_bits * nhi_vector_width + self.flag_bits
+
+
+#: the encoding used by all paper-reproduction experiments
+DEFAULT_NODE_FORMAT = NodeFormat()
+
+
+@dataclass(frozen=True)
+class StageMemoryMap:
+    """Per-stage memory requirement of one lookup engine.
+
+    All arrays have length ``n_stages``; entries are bits.
+    """
+
+    n_stages: int
+    pointer_bits_per_stage: np.ndarray
+    nhi_bits_per_stage: np.ndarray
+    nodes_per_stage: np.ndarray
+    node_format: NodeFormat
+    nhi_vector_width: int
+
+    @property
+    def bits_per_stage(self) -> np.ndarray:
+        """Total memory bits per stage (pointer + NHI)."""
+        return self.pointer_bits_per_stage + self.nhi_bits_per_stage
+
+    @property
+    def total_pointer_bits(self) -> int:
+        """Total pointer memory across all stages."""
+        return int(self.pointer_bits_per_stage.sum())
+
+    @property
+    def total_nhi_bits(self) -> int:
+        """Total NHI (leaf/forwarding) memory across all stages."""
+        return int(self.nhi_bits_per_stage.sum())
+
+    @property
+    def total_bits(self) -> int:
+        """Total engine memory across all stages."""
+        return self.total_pointer_bits + self.total_nhi_bits
+
+    def occupied_stages(self) -> int:
+        """Number of stages that hold at least one node."""
+        return int((self.nodes_per_stage > 0).sum())
+
+    def widest_stage_bits(self) -> int:
+        """Memory size of the largest stage (scalability bottleneck)."""
+        return int(self.bits_per_stage.max()) if self.n_stages else 0
+
+
+def map_trie_to_stages(
+    stats: TrieStats,
+    n_stages: int = PAPER_PIPELINE_STAGES,
+    node_format: NodeFormat = DEFAULT_NODE_FORMAT,
+    nhi_vector_width: int = 1,
+) -> StageMemoryMap:
+    """Size each pipeline stage's memory for a trie.
+
+    Parameters
+    ----------
+    stats:
+        Structural statistics of the trie (or merged trie) to map.
+    n_stages:
+        Pipeline depth.  Must be at least ``stats.depth`` (the root
+        level is not a stage); otherwise the trie cannot be mapped and
+        a :class:`ConfigurationError` is raised.
+    node_format:
+        Bit-level node encoding.
+    nhi_vector_width:
+        NHI entries per leaf (1 for NV/VS engines, K for a merged
+        engine's VNID-indexed leaf vectors).
+    """
+    if n_stages < 1:
+        raise ConfigurationError(f"n_stages must be >= 1, got {n_stages}")
+    if stats.depth > n_stages:
+        raise ConfigurationError(
+            f"trie depth {stats.depth} exceeds pipeline depth {n_stages}"
+        )
+    pointer_bits = np.zeros(n_stages, dtype=np.int64)
+    nhi_bits = np.zeros(n_stages, dtype=np.int64)
+    nodes = np.zeros(n_stages, dtype=np.int64)
+    internal_bits = node_format.internal_node_bits()
+    leaf_bits = node_format.leaf_node_bits(nhi_vector_width)
+    # level 0 (the root) lives in the entry register; levels 1..depth
+    # map to stages 0..depth-1.
+    for level in range(1, stats.depth + 1):
+        stage = level - 1
+        n_internal = stats.internal_per_level[level]
+        n_leaves = stats.leaves_per_level[level]
+        pointer_bits[stage] = n_internal * internal_bits
+        nhi_bits[stage] = n_leaves * leaf_bits
+        nodes[stage] = n_internal + n_leaves
+    return StageMemoryMap(
+        n_stages=n_stages,
+        pointer_bits_per_stage=pointer_bits,
+        nhi_bits_per_stage=nhi_bits,
+        nodes_per_stage=nodes,
+        node_format=node_format,
+        nhi_vector_width=nhi_vector_width,
+    )

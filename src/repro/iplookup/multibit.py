@@ -1,0 +1,179 @@
+"""Multi-bit (stride) trie — an extension beyond the paper's uni-bit trie.
+
+The paper uses the uni-bit trie as "the representative example" but
+notes the models generalize to any trie/tree structure (Section V-D).
+This module provides a fixed-stride multi-bit trie built by controlled
+prefix expansion (CPE, [16] in the paper) so the ablation benches can
+quantify the pipeline-depth vs memory trade-off: stride ``s`` divides
+the stage count by ``s`` while multiplying node fan-out by ``2^s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TrieError
+from repro.iplookup.rib import NO_ROUTE, RoutingTable
+
+__all__ = ["MultibitTrie", "MultibitStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class MultibitStats:
+    """Structural statistics of a multi-bit trie."""
+
+    total_nodes: int
+    depth: int
+    stride: int
+    nodes_per_level: tuple[int, ...]
+    entries_per_node: int
+
+    @property
+    def total_entries(self) -> int:
+        """Total memory entries (node count × fan-out)."""
+        return self.total_nodes * self.entries_per_node
+
+
+class MultibitTrie:
+    """Fixed-stride multi-bit trie with leaf-pushed CPE semantics.
+
+    Each node is an array of ``2**stride`` entries; entry ``e`` holds
+    either a child node index, or the NHI of the longest prefix ending
+    within this node that covers slot ``e`` (leaf pushing happens
+    implicitly during insertion via prefix expansion).
+    """
+
+    __slots__ = ("stride", "_children", "_nhi", "_level")
+
+    def __init__(self, table: RoutingTable, stride: int = 4):
+        if not 1 <= stride <= 8:
+            raise ConfigurationError(f"stride must be in 1..8, got {stride}")
+        self.stride = stride
+        fanout = 1 << stride
+        self._children: list[np.ndarray] = [np.full(fanout, -1, dtype=np.int64)]
+        self._nhi: list[np.ndarray] = [np.full(fanout, NO_ROUTE, dtype=np.int64)]
+        self._level: list[int] = [0]
+        # longer prefixes must overwrite shorter ones in the expanded
+        # slots, so insert in ascending length order.
+        for route in sorted(table, key=lambda r: r.prefix.length):
+            self._insert(route.prefix.value, route.prefix.length, route.next_hop)
+
+    def _new_node(self, level: int) -> int:
+        fanout = 1 << self.stride
+        self._children.append(np.full(fanout, -1, dtype=np.int64))
+        self._nhi.append(np.full(fanout, NO_ROUTE, dtype=np.int64))
+        self._level.append(level)
+        return len(self._children) - 1
+
+    def _padded_width(self) -> int:
+        """Address bits padded to a whole number of strides.
+
+        Strides that do not divide 32 (e.g. 3) leave a short final
+        chunk; padding the address with zero bits on the right keeps
+        every level's chunk extraction uniform.
+        """
+        levels = -(-32 // self.stride)
+        return levels * self.stride
+
+    def _insert(self, value: int, length: int, next_hop: int) -> None:
+        if length == 0:
+            # default route: expand over the whole root node
+            mask = self._nhi[0] == NO_ROUTE
+            self._nhi[0][mask] = next_hop
+            return
+        width = self._padded_width()
+        padded = value << (width - 32)
+        node = 0
+        consumed = 0
+        while length - consumed > self.stride:
+            chunk = (padded >> (width - consumed - self.stride)) & ((1 << self.stride) - 1)
+            child = int(self._children[node][chunk])
+            if child < 0:
+                child = self._new_node(self._level[node] + 1)
+                self._children[node][chunk] = child
+            node = child
+            consumed += self.stride
+        # expand the residual bits over the covered slot range
+        residual = length - consumed
+        base = (padded >> (width - consumed - self.stride)) & ((1 << self.stride) - 1)
+        span = 1 << (self.stride - residual)
+        lo = base & ~(span - 1)
+        self._nhi[node][lo : lo + span] = next_hop
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count including the root."""
+        return len(self._children)
+
+    def lookup(self, address: int) -> int:
+        """Longest-prefix match by stride-wide chunk walk."""
+        width = self._padded_width()
+        padded = address << (width - 32)
+        node = 0
+        consumed = 0
+        best = NO_ROUTE
+        while consumed < width:
+            chunk = (padded >> (width - consumed - self.stride)) & ((1 << self.stride) - 1)
+            nhi = int(self._nhi[node][chunk])
+            if nhi != NO_ROUTE:
+                best = nhi
+            child = int(self._children[node][chunk])
+            if child < 0:
+                break
+            node = child
+            consumed += self.stride
+        return best
+
+    def lookup_batch(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorized lookup (one gather per stride level)."""
+        width = self._padded_width()
+        padded = np.asarray(addresses, dtype=np.uint64) << np.uint64(width - 32)
+        children = np.stack(self._children)  # (nodes, fanout)
+        nhi = np.stack(self._nhi)
+        n = padded.shape[0]
+        node = np.zeros(n, dtype=np.int64)
+        alive = np.ones(n, dtype=bool)
+        best = np.full(n, NO_ROUTE, dtype=np.int64)
+        consumed = 0
+        while consumed < width and alive.any():
+            shift = np.uint64(width - consumed - self.stride)
+            chunk = (padded >> shift) & np.uint64((1 << self.stride) - 1)
+            chunk = chunk.astype(np.int64)
+            found = nhi[node, chunk]
+            best = np.where(alive & (found != NO_ROUTE), found, best)
+            nxt = children[node, chunk]
+            stepping = alive & (nxt >= 0)
+            node = np.where(stepping, nxt, node)
+            alive = stepping
+            consumed += self.stride
+        return best
+
+    def depth(self) -> int:
+        """Maximum node level (root = 0)."""
+        return max(self._level)
+
+    def stats(self) -> MultibitStats:
+        """Structural statistics for memory sizing."""
+        depth = self.depth()
+        per_level = [0] * (depth + 1)
+        for level in self._level:
+            per_level[level] += 1
+        return MultibitStats(
+            total_nodes=len(self._children),
+            depth=depth,
+            stride=self.stride,
+            nodes_per_level=tuple(per_level),
+            entries_per_node=1 << self.stride,
+        )
+
+    def memory_bits(self, entry_bits: int = 20) -> int:
+        """Total memory with ``entry_bits`` per expanded slot."""
+        if entry_bits <= 0:
+            raise TrieError("entry_bits must be positive")
+        return self.num_nodes * (1 << self.stride) * entry_bits
+
+    def pipeline_stages(self) -> int:
+        """Pipeline depth this trie needs (one level per stage)."""
+        return self.depth() + 1

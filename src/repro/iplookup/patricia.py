@@ -1,0 +1,190 @@
+"""Path-compressed (PATRICIA-style) trie.
+
+The paper's survey reference [16] (Ruiz-Sanchez et al.) covers path
+compression as the classic alternative to leaf pushing for shrinking
+sparse tries: single-child chains with no routing information collapse
+into one edge labeled with the skipped bits.  The pipelined mapping
+changes accordingly — a packet consumes a whole label per stage — so
+path compression trades *node count* (memory) against *variable
+per-stage work*, the comparison ablation A10 quantifies.
+
+Nodes are array-backed like :class:`~repro.iplookup.trie.UnibitTrie`;
+each child edge carries a label of up to 32 skipped bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TrieError
+from repro.iplookup.rib import NO_ROUTE, RoutingTable
+from repro.iplookup.trie import NONE, UnibitTrie
+
+__all__ = ["PatriciaTrie", "PatriciaStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class PatriciaStats:
+    """Structural statistics of a path-compressed trie."""
+
+    total_nodes: int
+    internal_nodes: int
+    leaf_nodes: int
+    max_label_bits: int
+    total_label_bits: int
+    depth_nodes: int
+
+    def memory_bits(self, pointer_bits: int = 18, nhi_bits: int = 8) -> int:
+        """Memory under the node encoding of ablation A10.
+
+        Each node stores two child pointers, each with a 5-bit label
+        length and the label bits themselves (inline, worst-case field
+        of 32 bits is avoided by storing actual label lengths), plus
+        an NHI slot.
+        """
+        per_node_fixed = 2 * (pointer_bits + 5) + nhi_bits
+        return self.total_nodes * per_node_fixed + self.total_label_bits
+
+
+class PatriciaTrie:
+    """Path-compressed binary trie built from a routing table.
+
+    Construction compresses a plain uni-bit trie: maximal chains of
+    single-child, NHI-less nodes become one labeled edge.
+    """
+
+    __slots__ = ("_child", "_label_len", "_label", "_nhi", "_depth")
+
+    def __init__(self, table: RoutingTable):
+        plain = UnibitTrie(table)
+        # per node: [left_child, right_child], label length/value per edge
+        self._child: list[list[int]] = [[NONE, NONE]]
+        self._label_len: list[list[int]] = [[0, 0]]
+        self._label: list[list[int]] = [[0, 0]]
+        self._nhi: list[int] = [plain.nhi(0)]
+        self._depth = 0
+        self._build(plain)
+
+    def _new_node(self, nhi: int) -> int:
+        self._child.append([NONE, NONE])
+        self._label_len.append([0, 0])
+        self._label.append([0, 0])
+        self._nhi.append(nhi)
+        return len(self._nhi) - 1
+
+    def _build(self, plain: UnibitTrie) -> None:
+        # stack: (plain node, compressed parent, edge side, label bits so far)
+        stack: list[tuple[int, int, int, int, int, int]] = []
+        for side, child in ((0, plain.left(0)), (1, plain.right(0))):
+            if child != NONE:
+                stack.append((child, 0, side, side, 1, 1))
+        max_depth = 0
+        while stack:
+            node, parent, side, label, label_len, depth = stack.pop()
+            left, right = plain.left(node), plain.right(node)
+            nhi = plain.nhi(node)
+            is_chain = nhi == NO_ROUTE and (left == NONE) != (right == NONE)
+            if is_chain and label_len < 32:
+                # absorb this node into the edge label
+                nxt, bit = (left, 0) if left != NONE else (right, 1)
+                stack.append(
+                    (nxt, parent, side, (label << 1) | bit, label_len + 1, depth)
+                )
+                continue
+            compressed = self._new_node(nhi)
+            self._child[parent][side] = compressed
+            self._label_len[parent][side] = label_len
+            self._label[parent][side] = label
+            max_depth = max(max_depth, depth)
+            for child_side, child in ((0, left), (1, right)):
+                if child != NONE:
+                    stack.append(
+                        (child, compressed, child_side, child_side, 1, depth + 1)
+                    )
+        self._depth = max_depth
+
+    # -- access ---------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Compressed node count (root included)."""
+        return len(self._nhi)
+
+    def lookup(self, address: int) -> int:
+        """Longest-prefix match, verifying skipped bits on each edge."""
+        best = self._nhi[0] if self._nhi[0] != NO_ROUTE else NO_ROUTE
+        node = 0
+        consumed = 0
+        while consumed < 32:
+            side = (address >> (31 - consumed)) & 1
+            child = self._child[node][side]
+            if child == NONE:
+                break
+            length = self._label_len[node][side]
+            if consumed + length > 32:
+                break
+            shift = 32 - consumed - length
+            window = (address >> shift) & ((1 << length) - 1)
+            if window != self._label[node][side]:
+                break  # skipped bits mismatch: no deeper prefix matches
+            node = child
+            consumed += length
+            if self._nhi[node] != NO_ROUTE:
+                best = self._nhi[node]
+        return best
+
+    def lookup_batch(self, addresses: np.ndarray) -> np.ndarray:
+        """Batch lookup (scalar walks; compression breaks lockstep)."""
+        addresses = np.asarray(addresses, dtype=np.uint32)
+        return np.array([self.lookup(int(a)) for a in addresses], dtype=np.int64)
+
+    def stats(self) -> PatriciaStats:
+        """Structural statistics for the A10 memory comparison."""
+        internal = 0
+        max_label = 0
+        total_label = 0
+        for node in range(len(self._nhi)):
+            has_child = False
+            for side in (0, 1):
+                if self._child[node][side] != NONE:
+                    has_child = True
+                    max_label = max(max_label, self._label_len[node][side])
+                    total_label += self._label_len[node][side]
+            if has_child:
+                internal += 1
+        total = len(self._nhi)
+        return PatriciaStats(
+            total_nodes=total,
+            internal_nodes=internal,
+            leaf_nodes=total - internal,
+            max_label_bits=max_label,
+            total_label_bits=total_label,
+            depth_nodes=self._depth,
+        )
+
+    def validate(self) -> None:
+        """Structural checks: labels start with the edge side bit and
+        every non-root node is referenced exactly once."""
+        n = len(self._nhi)
+        refs = [0] * n
+        for node in range(n):
+            for side in (0, 1):
+                child = self._child[node][side]
+                if child == NONE:
+                    continue
+                if not 0 < child < n:
+                    raise TrieError(f"bad child index {child} at node {node}")
+                length = self._label_len[node][side]
+                if length < 1:
+                    raise TrieError(f"empty edge label at node {node} side {side}")
+                top_bit = (self._label[node][side] >> (length - 1)) & 1
+                if top_bit != side:
+                    raise TrieError(
+                        f"label at node {node} side {side} does not start with {side}"
+                    )
+                refs[child] += 1
+        for node in range(1, n):
+            if refs[node] != 1:
+                raise TrieError(f"node {node} referenced {refs[node]} times")

@@ -1,0 +1,146 @@
+"""IPv4 prefix type and parsing.
+
+A prefix is an immutable ``(value, length)`` pair where ``value`` is
+the 32-bit network address with all host bits zero and ``length`` is
+the mask length in ``0..32``.  Prefixes order first by length then by
+value, which gives a deterministic insertion order for trie builds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+from repro.errors import PrefixError
+
+__all__ = ["Prefix", "parse_prefix", "format_address", "DEFAULT_ROUTE"]
+
+_MAX32 = 0xFFFFFFFF
+
+
+@total_ordering
+@dataclass(frozen=True, slots=True)
+class Prefix:
+    """An IPv4 prefix ``value/length`` with host bits forced to zero.
+
+    Attributes
+    ----------
+    value:
+        Network address as an unsigned 32-bit integer.  Bits below
+        position ``32 - length`` must be zero.
+    length:
+        Mask length, ``0 <= length <= 32``.  Length 0 is the default
+        route.
+    """
+
+    value: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise PrefixError(f"prefix length out of range: {self.length}")
+        if not 0 <= self.value <= _MAX32:
+            raise PrefixError(f"prefix value out of range: {self.value:#x}")
+        if self.value & ~self.mask() & _MAX32:
+            raise PrefixError(
+                f"host bits set in {self.value:#010x}/{self.length}; "
+                "use Prefix.normalized() to clear them"
+            )
+
+    @staticmethod
+    def normalized(value: int, length: int) -> "Prefix":
+        """Build a prefix, silently clearing any host bits in ``value``."""
+        if not 0 <= length <= 32:
+            raise PrefixError(f"prefix length out of range: {length}")
+        mask = (_MAX32 << (32 - length)) & _MAX32 if length else 0
+        return Prefix(value & mask, length)
+
+    def mask(self) -> int:
+        """The 32-bit network mask for this prefix."""
+        return (_MAX32 << (32 - self.length)) & _MAX32 if self.length else 0
+
+    def contains(self, address: int) -> bool:
+        """True if ``address`` (32-bit int) falls inside this prefix."""
+        return (address & self.mask()) == self.value
+
+    def covers(self, other: "Prefix") -> bool:
+        """True if this prefix is a (non-strict) ancestor of ``other``."""
+        return self.length <= other.length and other.value & self.mask() == self.value
+
+    def bit(self, level: int) -> int:
+        """The bit consumed at trie ``level`` (0 = most significant)."""
+        if not 0 <= level < 32:
+            raise PrefixError(f"bit level out of range: {level}")
+        return (self.value >> (31 - level)) & 1
+
+    def bits(self) -> tuple[int, ...]:
+        """The first ``length`` bits, most-significant first."""
+        return tuple(self.bit(i) for i in range(self.length))
+
+    def children(self) -> tuple["Prefix", "Prefix"]:
+        """The two one-bit-longer prefixes covered by this prefix."""
+        if self.length >= 32:
+            raise PrefixError("cannot expand a /32 prefix")
+        length = self.length + 1
+        hi_bit = 1 << (32 - length)
+        return (Prefix(self.value, length), Prefix(self.value | hi_bit, length))
+
+    def first_address(self) -> int:
+        """Lowest address covered by the prefix."""
+        return self.value
+
+    def last_address(self) -> int:
+        """Highest address covered by the prefix."""
+        return self.value | (~self.mask() & _MAX32)
+
+    def num_addresses(self) -> int:
+        """Number of addresses covered (2^(32-length))."""
+        return 1 << (32 - self.length)
+
+    def __lt__(self, other: "Prefix") -> bool:
+        if not isinstance(other, Prefix):
+            return NotImplemented
+        return (self.length, self.value) < (other.length, other.value)
+
+    def __str__(self) -> str:
+        return f"{format_address(self.value)}/{self.length}"
+
+
+#: the zero-length default route ``0.0.0.0/0``
+DEFAULT_ROUTE = Prefix(0, 0)
+
+
+def format_address(value: int) -> str:
+    """Render a 32-bit integer as dotted-quad notation."""
+    if not 0 <= value <= _MAX32:
+        raise PrefixError(f"address out of range: {value:#x}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def parse_address(text: str) -> int:
+    """Parse dotted-quad notation into a 32-bit integer."""
+    parts = text.strip().split(".")
+    if len(parts) != 4:
+        raise PrefixError(f"malformed IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise PrefixError(f"malformed IPv4 address: {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise PrefixError(f"octet out of range in address: {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def parse_prefix(text: str) -> Prefix:
+    """Parse ``"a.b.c.d/len"`` (or a bare address, meaning /32)."""
+    text = text.strip()
+    if "/" in text:
+        addr_text, _, len_text = text.partition("/")
+        if not len_text.isdigit():
+            raise PrefixError(f"malformed prefix length: {text!r}")
+        length = int(len_text)
+    else:
+        addr_text, length = text, 32
+    return Prefix.normalized(parse_address(addr_text), length)

@@ -1,0 +1,160 @@
+"""IPv6 prefixes — the future-work extension.
+
+The paper is IPv4-only, but its motivation (Internet growth) and its
+models generalize: an IPv6 uni-bit trie simply has more levels, so a
+virtualized IPv6 engine needs a deeper pipeline (more logic power) and
+longer chains (more memory).  :class:`Prefix6` mirrors
+:class:`repro.iplookup.prefix.Prefix` at 128 bits; parsing/formatting
+use the standard library's :mod:`ipaddress`.
+
+A synthetic IPv6 edge-table generator lives here too: real IPv6 edge
+tables are dominated by /48 customer delegations under a few /32
+provider allocations, with /64s below and short aggregates above.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from functools import total_ordering
+
+import numpy as np
+
+from repro.errors import ConfigurationError, PrefixError
+from repro.iplookup.rib import RoutingTable
+
+__all__ = ["Prefix6", "parse_prefix6", "Synthetic6Config", "generate_table6"]
+
+_MAX128 = (1 << 128) - 1
+
+
+@total_ordering
+@dataclass(frozen=True, slots=True)
+class Prefix6:
+    """An IPv6 prefix ``value/length`` with host bits forced to zero."""
+
+    value: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 128:
+            raise PrefixError(f"prefix length out of range: {self.length}")
+        if not 0 <= self.value <= _MAX128:
+            raise PrefixError("prefix value out of 128-bit range")
+        if self.value & ~self.mask() & _MAX128:
+            raise PrefixError("host bits set; use Prefix6.normalized()")
+
+    @staticmethod
+    def normalized(value: int, length: int) -> "Prefix6":
+        """Build a prefix, clearing any host bits in ``value``."""
+        if not 0 <= length <= 128:
+            raise PrefixError(f"prefix length out of range: {length}")
+        mask = (_MAX128 << (128 - length)) & _MAX128 if length else 0
+        return Prefix6(value & mask, length)
+
+    def mask(self) -> int:
+        """The 128-bit network mask."""
+        return (_MAX128 << (128 - self.length)) & _MAX128 if self.length else 0
+
+    def contains(self, address: int) -> bool:
+        """True if ``address`` (128-bit int) falls inside this prefix."""
+        return (address & self.mask()) == self.value
+
+    def bit(self, level: int) -> int:
+        """The bit consumed at trie ``level`` (0 = most significant)."""
+        if not 0 <= level < 128:
+            raise PrefixError(f"bit level out of range: {level}")
+        return (self.value >> (127 - level)) & 1
+
+    def __lt__(self, other: "Prefix6") -> bool:
+        if not isinstance(other, Prefix6):
+            return NotImplemented
+        return (self.length, self.value) < (other.length, other.value)
+
+    def __str__(self) -> str:
+        return f"{ipaddress.IPv6Address(self.value)}/{self.length}"
+
+
+def parse_prefix6(text: str) -> Prefix6:
+    """Parse ``"2001:db8::/32"`` (or a bare address, meaning /128)."""
+    text = text.strip()
+    if "/" in text:
+        addr_text, _, len_text = text.partition("/")
+        if not len_text.isdigit():
+            raise PrefixError(f"malformed prefix length: {text!r}")
+        length = int(len_text)
+    else:
+        addr_text, length = text, 128
+    try:
+        value = int(ipaddress.IPv6Address(addr_text))
+    except (ipaddress.AddressValueError, ValueError) as exc:
+        raise PrefixError(f"malformed IPv6 address: {text!r}") from exc
+    return Prefix6.normalized(value, length)
+
+
+@dataclass(frozen=True, slots=True)
+class Synthetic6Config:
+    """Parameters of the synthetic IPv6 edge-table generator."""
+
+    n_prefixes: int = 3725
+    seed: int = 2012
+    n_provider_blocks: int = 24  # /32 allocations
+    max_length: int = 64
+
+    def __post_init__(self) -> None:
+        if self.n_prefixes <= 0:
+            raise ConfigurationError("n_prefixes must be positive")
+        if self.n_provider_blocks <= 0:
+            raise ConfigurationError("n_provider_blocks must be positive")
+        if not 48 <= self.max_length <= 128:
+            raise ConfigurationError("max_length must be within 48..128")
+
+
+def generate_table6(config: Synthetic6Config | None = None) -> RoutingTable:
+    """Generate a synthetic IPv6 edge table (mostly /48s under /32s)."""
+    config = config or Synthetic6Config()
+    rng = np.random.default_rng(config.seed)
+    table = RoutingTable(name=f"synth6-{config.seed}")
+    # provider /32s inside 2000::/3 global unicast space
+    providers = []
+    seen = set()
+    while len(providers) < config.n_provider_blocks:
+        top = 0x2000 | int(rng.integers(0, 0x1000)) & 0x1FFF
+        second = int(rng.integers(0, 1 << 16))
+        base = (top << 112) | (second << 96)
+        if base not in seen:
+            seen.add(base)
+            providers.append(base)
+
+    n_aggregates = max(1, config.n_prefixes // 20)  # ~5 % short aggregates
+    n_long = config.n_prefixes // 10  # ~10 % /56–/64 below /48s
+    n_48s = config.n_prefixes - n_aggregates - n_long
+
+    def add(prefix: Prefix6) -> bool:
+        if prefix in table:
+            return False
+        table.add(prefix, int(rng.integers(0, 16)))
+        return True
+
+    added = 0
+    while added < n_48s:
+        base = providers[int(rng.integers(0, len(providers)))]
+        site = int(rng.integers(0, 1 << 16))
+        if add(Prefix6.normalized(base | (site << 80), 48)):
+            added += 1
+    added = 0
+    while added < n_aggregates:
+        base = providers[int(rng.integers(0, len(providers)))]
+        length = int(rng.choice([32, 36, 40, 44]))
+        sub = int(rng.integers(0, 1 << (length - 32)))
+        if add(Prefix6.normalized(base | (sub << (128 - length)), length)):
+            added += 1
+    added = 0
+    forty_eights = [p for p in table.prefixes() if p.length == 48]
+    while added < n_long and forty_eights:
+        parent = forty_eights[int(rng.integers(0, len(forty_eights)))]
+        length = int(rng.integers(56, config.max_length + 1))
+        sub = int(rng.integers(0, 1 << (length - 48)))
+        if add(Prefix6.normalized(parent.value | (sub << (128 - length)), length)):
+            added += 1
+    return table

@@ -1,0 +1,326 @@
+"""Synthetic BGP-like routing tables.
+
+The paper evaluates on edge-level routing tables downloaded from
+bgp.potaroo.net (largest: 3 725 prefixes whose uni-bit trie has 9 726
+nodes, 16 127 after leaf pushing).  That data source is unavailable
+offline, so this module generates *structurally* BGP-like tables:
+
+* an empirical prefix-length distribution dominated by /24s with a
+  tail of shorter aggregates and a sprinkle of longer-than-/24 routes;
+* CIDR-style spatial clustering — prefixes arrive in contiguous runs
+  carved out of a modest number of allocation blocks, which is what
+  keeps real tables' trie node/prefix ratio low (≈2.6 for the paper's
+  table, versus ≈14 for uniformly random /24s).
+
+The power models only consume structural statistics (nodes per level,
+leaf/pointer split, overlap between virtual tables), so matching those
+statistics — which tests assert — preserves the paper-relevant
+behaviour.  See DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import CalibrationError, ConfigurationError
+from repro.iplookup.prefix import Prefix
+from repro.iplookup.rib import RoutingTable
+from repro.units import ceil_div
+
+__all__ = [
+    "SyntheticTableConfig",
+    "generate_table",
+    "generate_virtual_tables",
+    "PAPER_TABLE_PREFIXES",
+    "paper_reference_table",
+]
+
+#: size of the paper's reference (largest potaroo edge) table
+PAPER_TABLE_PREFIXES = 3725
+
+
+@dataclass(frozen=True, slots=True)
+class SyntheticTableConfig:
+    """Parameters of the synthetic table generator.
+
+    Attributes
+    ----------
+    n_prefixes:
+        Target number of distinct prefixes.
+    seed:
+        PRNG seed; equal configs generate identical tables.
+    n_allocation_blocks:
+        Number of /16 allocation blocks prefixes are carved from.
+        Fewer blocks → more clustering → fewer trie nodes per prefix.
+    mean_run_length:
+        Mean length of contiguous /24 runs (geometric distribution).
+    max_length:
+        Longest prefix generated.  Defaults to 28, matching the
+        paper's 28-stage pipeline (one trie level per stage).
+    aggregate_fraction:
+        Fraction of prefixes drawn as short aggregates (/8–/23)
+        instead of /24 runs.
+    long_fraction:
+        Fraction of prefixes drawn as longer-than-/24 routes
+        (/25–``max_length``) nested under existing /24s.
+    n_next_hops:
+        Size of the next-hop table; next hops are uniform over it.
+    """
+
+    n_prefixes: int = PAPER_TABLE_PREFIXES
+    seed: int = 2012
+    n_allocation_blocks: int = 100
+    mean_run_length: float = 2.0
+    max_length: int = 28
+    aggregate_fraction: float = 0.15
+    long_fraction: float = 0.12
+    n_next_hops: int = 16
+
+    def __post_init__(self) -> None:
+        if self.n_prefixes <= 0:
+            raise ConfigurationError("n_prefixes must be positive")
+        if not 8 <= self.max_length <= 32:
+            raise ConfigurationError("max_length must be within 8..32")
+        if self.n_allocation_blocks <= 0:
+            raise ConfigurationError("n_allocation_blocks must be positive")
+        if self.mean_run_length < 1:
+            raise ConfigurationError("mean_run_length must be >= 1")
+        if not 0 <= self.aggregate_fraction < 1:
+            raise ConfigurationError("aggregate_fraction must be in [0, 1)")
+        if not 0 <= self.long_fraction < 1:
+            raise ConfigurationError("long_fraction must be in [0, 1)")
+        if self.aggregate_fraction + self.long_fraction >= 1:
+            raise ConfigurationError("aggregate + long fractions must leave room for /24s")
+        if self.n_next_hops <= 0:
+            raise ConfigurationError("n_next_hops must be positive")
+
+
+def _allocation_blocks(
+    rng: np.random.Generator, config: SyntheticTableConfig, n_blocks: int
+) -> np.ndarray:
+    """Pick ``n_blocks`` /16 block bases clustered inside a few /8s."""
+    n_supernets = max(2, n_blocks // 8)
+    supernets = rng.choice(np.arange(1, 223), size=min(n_supernets, 222), replace=False)
+    blocks = set()
+    while len(blocks) < n_blocks:
+        supernet = int(rng.choice(supernets))
+        middle = int(rng.integers(0, 256))
+        blocks.add((supernet << 24) | (middle << 16))
+    return np.array(sorted(blocks), dtype=np.uint64)
+
+
+def generate_table(
+    config: SyntheticTableConfig | None = None, name: str | None = None
+) -> RoutingTable:
+    """Generate one synthetic BGP-like routing table.
+
+    Deterministic in ``config`` (including its seed).  The returned
+    table has exactly ``config.n_prefixes`` distinct prefixes.
+    """
+    config = config or SyntheticTableConfig()
+    rng = np.random.default_rng(config.seed)
+    table = RoutingTable(name=name or f"synth-{config.seed}")
+
+    n_aggregate = int(round(config.n_prefixes * config.aggregate_fraction))
+    n_long = int(round(config.n_prefixes * config.long_fraction))
+    n_runs_target = config.n_prefixes - n_aggregate - n_long
+
+    # scale the allocation pool with demand: each /16 block holds 256
+    # distinct /24s, and the run/aggregate loops need headroom to avoid
+    # saturating the space (which would never terminate).  The default
+    # block count is kept for paper-sized tables so their calibrated
+    # statistics are unchanged.
+    min_blocks = ceil_div(max(n_runs_target, 1), 170) + ceil_div(n_aggregate + 1, 240)
+    n_blocks = max(config.n_allocation_blocks, min_blocks)
+    blocks = _allocation_blocks(rng, config, n_blocks)
+
+    def add(prefix: Prefix) -> bool:
+        if prefix in table:
+            return False
+        table.add(prefix, int(rng.integers(0, config.n_next_hops)))
+        return True
+
+    # 1. contiguous /24 runs inside allocation blocks --------------------
+    added = 0
+    stalls = 0
+    while added < n_runs_target:
+        before = added
+        block = int(rng.choice(blocks))
+        run_len = min(
+            1 + rng.geometric(1.0 / config.mean_run_length),
+            n_runs_target - added,
+            256,
+        )
+        start = int(rng.integers(0, 256 - run_len + 1))
+        for i in range(run_len):
+            prefix = Prefix.normalized(block | ((start + i) << 8), 24)
+            if add(prefix):
+                added += 1
+        stalls = stalls + 1 if added == before else 0
+        if stalls > 10_000:
+            raise CalibrationError(
+                f"run generation saturated after {added}/{n_runs_target} "
+                "prefixes; increase n_allocation_blocks"
+            )
+
+    # 2. short aggregates (/8–/23), biased towards /16–/22 ---------------
+    agg_lengths = np.array([8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23])
+    agg_weights = np.array([1, 1, 1, 2, 2, 3, 3, 4, 14, 5, 7, 9, 11, 10, 12, 15], dtype=float)
+    agg_weights /= agg_weights.sum()
+    added = 0
+    stalls = 0
+    while added < n_aggregate:
+        stalls += 1
+        if stalls > 100 * n_aggregate + 10_000:
+            raise CalibrationError(
+                f"aggregate generation saturated after {added}/{n_aggregate}"
+            )
+        length = int(rng.choice(agg_lengths, p=agg_weights))
+        if length <= 16:
+            base = int(rng.choice(blocks))
+            value = base & ~((1 << (32 - length)) - 1)
+        else:
+            base = int(rng.choice(blocks))
+            sub = int(rng.integers(0, 1 << (length - 16)))
+            value = base | (sub << (32 - length))
+        if add(Prefix.normalized(value, length)):
+            added += 1
+
+    # 3. longer-than-/24 routes nested under existing /24s ---------------
+    existing_24s = [p for p in table.prefixes() if p.length == 24]
+    added = 0
+    attempts = 0
+    while added < n_long and existing_24s and attempts < 50 * n_long + 100:
+        attempts += 1
+        parent = existing_24s[int(rng.integers(0, len(existing_24s)))]
+        length = int(rng.integers(25, config.max_length + 1))
+        sub = int(rng.integers(0, 1 << (length - 24)))
+        value = parent.value | (sub << (32 - length))
+        if add(Prefix.normalized(value, length)):
+            added += 1
+
+    # top up with extra /24s if dedup left us short ----------------------
+    stalls = 0
+    while len(table) < config.n_prefixes:
+        block = int(rng.choice(blocks))
+        third = int(rng.integers(0, 256))
+        if not add(Prefix.normalized(block | (third << 8), 24)):
+            stalls += 1
+            if stalls > 200_000:
+                raise CalibrationError(
+                    f"top-up saturated at {len(table)}/{config.n_prefixes} prefixes"
+                )
+
+    return table
+
+
+def paper_reference_table() -> RoutingTable:
+    """The calibrated stand-in for the paper's 3 725-prefix table."""
+    return generate_table(SyntheticTableConfig(), name="paper-reference")
+
+
+def generate_virtual_tables(
+    k: int,
+    shared_fraction: float,
+    config: SyntheticTableConfig | None = None,
+) -> list[RoutingTable]:
+    """Generate ``k`` virtual-network tables with controlled overlap.
+
+    A fraction ``shared_fraction`` of each table's prefixes is drawn
+    from a common pool (same prefixes, independently drawn next hops —
+    virtual networks share structure, not forwarding decisions); the
+    rest is private to the virtual network.  The structural overlap is
+    what the merged-trie machinery measures as merging efficiency α.
+
+    Parameters
+    ----------
+    k:
+        Number of virtual networks (≥ 1).
+    shared_fraction:
+        Fraction of each table drawn from the shared pool, in [0, 1].
+    config:
+        Per-table generator configuration (size, seed, ...).
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    if not 0.0 <= shared_fraction <= 1.0:
+        raise ConfigurationError(f"shared_fraction must be in [0, 1], got {shared_fraction}")
+    config = config or SyntheticTableConfig()
+    n_shared = int(round(config.n_prefixes * shared_fraction))
+
+    pool = generate_table(replace(config, seed=config.seed ^ 0x5EED), name="shared-pool")
+    pool_prefixes = pool.prefixes()
+    tables: list[RoutingTable] = []
+    for vn in range(k):
+        rng = np.random.default_rng((config.seed, vn))
+        table = RoutingTable(name=f"vn{vn}")
+        # shared structural core (per-VN next hops)
+        for prefix in pool_prefixes[:n_shared]:
+            table.add(prefix, int(rng.integers(0, config.n_next_hops)))
+        # private remainder from a per-VN generator
+        private = generate_table(
+            replace(config, seed=(config.seed * 1000003 + vn + 1) & 0x7FFFFFFF),
+            name=f"vn{vn}-private",
+        )
+        for route in private:
+            if len(table) >= config.n_prefixes:
+                break
+            if route.prefix not in table:
+                table.add(route.prefix, route.next_hop)
+        tables.append(table)
+    return tables
+
+
+def calibrate_shared_fraction(
+    target_alpha: float,
+    k: int,
+    config: SyntheticTableConfig | None = None,
+    *,
+    tolerance: float = 0.03,
+    max_iterations: int = 12,
+) -> float:
+    """Find the ``shared_fraction`` whose merged trie hits ``target_alpha``.
+
+    Binary-searches the shared fraction, measuring the *pairwise*
+    merging efficiency (see :func:`repro.virt.merged.merge_tries`) of
+    the resulting merged trie.  Raises :class:`CalibrationError` if the
+    target is unreachable within ``tolerance``.
+    """
+    # local import: virt depends on iplookup, not vice versa
+    from repro.virt.merged import merge_tries
+
+    if k < 2:
+        raise CalibrationError("merging efficiency requires k >= 2")
+    if not 0.0 < target_alpha < 1.0:
+        raise CalibrationError(f"target_alpha must be in (0, 1), got {target_alpha}")
+    config = config or SyntheticTableConfig()
+
+    from repro.iplookup.trie import UnibitTrie
+
+    def measure(fraction: float) -> float:
+        tables = generate_virtual_tables(k, fraction, config)
+        merged = merge_tries([UnibitTrie(t) for t in tables])
+        return merged.pairwise_alpha
+
+    lo, hi = 0.0, 1.0
+    best_fraction, best_err = 0.5, float("inf")
+    for _ in range(max_iterations):
+        mid = (lo + hi) / 2
+        alpha = measure(mid)
+        err = abs(alpha - target_alpha)
+        if err < best_err:
+            best_fraction, best_err = mid, err
+        if err <= tolerance:
+            return mid
+        if alpha < target_alpha:
+            lo = mid
+        else:
+            hi = mid
+    if best_err <= 2 * tolerance:
+        return best_fraction
+    raise CalibrationError(
+        f"could not reach pairwise alpha {target_alpha:.2f} for k={k}: "
+        f"best error {best_err:.3f} at shared_fraction={best_fraction:.3f}"
+    )

@@ -1,0 +1,393 @@
+"""Uni-bit (binary) trie for longest-prefix match.
+
+The paper maps one trie level to one pipeline stage (Section V-D), so
+the trie is the structure from which all per-stage memory statistics
+derive.  Nodes are stored in parallel arrays (structure-of-arrays)
+rather than linked objects: child links are integer indices, which
+keeps builds allocation-light and lets batch lookups run as NumPy
+gather loops over levels — 32 vectorized steps instead of a Python
+loop per packet (see the HPC guide on vectorizing for-loops).
+
+Node index 0 is always the root.  A node is a *leaf* when it has no
+children; next-hop information (NHI) may sit on any node in a plain
+trie, and only on leaves after :func:`repro.iplookup.leafpush.leaf_push`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import TrieError
+from repro.iplookup.prefix import Prefix
+from repro.iplookup.rib import NO_ROUTE, RoutingTable
+
+__all__ = ["UnibitTrie", "TrieStats", "NONE"]
+
+#: sentinel child index meaning "no child"
+NONE = -1
+
+
+@dataclass(frozen=True, slots=True)
+class TrieStats:
+    """Structural statistics of a trie.
+
+    These are the quantities the paper reports for its reference
+    routing table (Section V-E): total node count, and the split into
+    pointer (non-leaf) and NHI (leaf) nodes that drives the Fig. 4
+    memory accounting.
+    """
+
+    total_nodes: int
+    internal_nodes: int
+    leaf_nodes: int
+    depth: int
+    prefixes: int
+    nodes_per_level: tuple[int, ...]
+    internal_per_level: tuple[int, ...]
+    leaves_per_level: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.internal_nodes + self.leaf_nodes != self.total_nodes:
+            raise TrieError("internal + leaf node counts must equal total")
+
+
+class UnibitTrie:
+    """Array-backed binary trie supporting LPM lookup.
+
+    Parameters
+    ----------
+    table:
+        Optional routing table inserted at construction.
+    width:
+        Address width in bits: 32 for IPv4 (default), 128 for the
+        IPv6 extension.  The vectorized batch lookup requires
+        ``width <= 32`` (NumPy word size); wider tries fall back to
+        scalar walks.
+    """
+
+    __slots__ = (
+        "_left",
+        "_right",
+        "_nhi",
+        "_level",
+        "_prefix_count",
+        "_frozen",
+        "_free",
+        "width",
+    )
+
+    def __init__(self, table: RoutingTable | None = None, *, width: int = 32):
+        if width < 1:
+            raise TrieError(f"address width must be positive, got {width}")
+        self.width = width
+        self._left: list[int] = [NONE]
+        self._right: list[int] = [NONE]
+        self._nhi: list[int] = [NO_ROUTE]
+        self._level: list[int] = [0]
+        self._prefix_count = 0
+        self._frozen: dict[str, np.ndarray] | None = None
+        # indices of withdrawn (unlinked) nodes available for reuse —
+        # route withdrawal recycles storage instead of compacting
+        self._free: list[int] = []
+        if table is not None:
+            for route in table:
+                self.insert(route.prefix, route.next_hop)
+
+    # -- construction --------------------------------------------------
+
+    def _new_node(self, level: int) -> int:
+        if self._free:
+            node = self._free.pop()
+            self._left[node] = NONE
+            self._right[node] = NONE
+            self._nhi[node] = NO_ROUTE
+            self._level[node] = level
+            return node
+        self._left.append(NONE)
+        self._right.append(NONE)
+        self._nhi.append(NO_ROUTE)
+        self._level.append(level)
+        return len(self._left) - 1
+
+    def insert(self, prefix: Prefix, next_hop: int) -> None:
+        """Insert ``prefix`` → ``next_hop``; re-insertion overwrites."""
+        if next_hop < 0:
+            raise TrieError(f"next hop must be non-negative, got {next_hop}")
+        if prefix.length > self.width:
+            raise TrieError(
+                f"prefix length {prefix.length} exceeds trie width {self.width}"
+            )
+        self._frozen = None
+        node = 0
+        for level in range(prefix.length):
+            bit = prefix.bit(level)
+            children = self._right if bit else self._left
+            child = children[node]
+            if child == NONE:
+                child = self._new_node(level + 1)
+                children[node] = child
+            node = child
+        if self._nhi[node] == NO_ROUTE:
+            self._prefix_count += 1
+        self._nhi[node] = next_hop
+
+    def remove(self, prefix: Prefix) -> bool:
+        """Withdraw ``prefix``; prune chain nodes it no longer needs.
+
+        Returns True if the prefix was present.  Pruned nodes are
+        recycled by later insertions (BGP churn does not grow the
+        structure unboundedly).
+        """
+        self._frozen = None
+        path: list[int] = [0]
+        node = 0
+        for level in range(prefix.length):
+            bit = prefix.bit(level)
+            node = self._right[node] if bit else self._left[node]
+            if node == NONE:
+                return False
+            path.append(node)
+        if self._nhi[node] == NO_ROUTE:
+            return False
+        self._nhi[node] = NO_ROUTE
+        self._prefix_count -= 1
+        # prune upward: drop nodes that are now childless and carry no NHI
+        for depth in range(len(path) - 1, 0, -1):
+            child = path[depth]
+            if not self.is_leaf(child) or self._nhi[child] != NO_ROUTE:
+                break
+            parent = path[depth - 1]
+            if self._left[parent] == child:
+                self._left[parent] = NONE
+            else:
+                self._right[parent] = NONE
+            self._free.append(child)
+        return True
+
+    # -- structure access ----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._left) - len(self._free)
+
+    @property
+    def num_nodes(self) -> int:
+        """Live node count including the root."""
+        return len(self._left) - len(self._free)
+
+    @property
+    def num_prefixes(self) -> int:
+        """Number of distinct prefixes inserted."""
+        return self._prefix_count
+
+    def left(self, node: int) -> int:
+        """Index of the 0-child of ``node`` (``NONE`` if absent)."""
+        return self._left[node]
+
+    def right(self, node: int) -> int:
+        """Index of the 1-child of ``node`` (``NONE`` if absent)."""
+        return self._right[node]
+
+    def nhi(self, node: int) -> int:
+        """Next-hop stored at ``node`` (``NO_ROUTE`` if none)."""
+        return self._nhi[node]
+
+    def level(self, node: int) -> int:
+        """Depth of ``node`` (root = 0)."""
+        return self._level[node]
+
+    def is_leaf(self, node: int) -> bool:
+        """True if ``node`` has no children."""
+        return self._left[node] == NONE and self._right[node] == NONE
+
+    def nodes(self) -> range:
+        """All *allocated* node slots (root first; otherwise unordered).
+
+        After withdrawals this range may include recycled-but-free
+        slots (unlinked, NHI-less leaves); positional consumers like
+        the merged-trie gather arrays rely on the allocated range
+        being stable.  Use :meth:`live_nodes` to visit only reachable
+        nodes.
+        """
+        return range(len(self._left))
+
+    def live_nodes(self) -> Iterator[int]:
+        """Preorder iterator over nodes reachable from the root."""
+        for node, _, _ in self.walk_paths():
+            yield node
+
+    def walk_paths(self) -> Iterator[tuple[int, int, int]]:
+        """Yield ``(node, path_value, level)`` in preorder.
+
+        ``path_value`` is the node's path from the root packed into
+        the high bits of a 32-bit word, i.e. the network address of
+        the prefix the node represents.  Used by the merge machinery
+        to identify structurally common nodes.
+        """
+        stack: list[tuple[int, int]] = [(0, 0)]
+        while stack:
+            node, path = stack.pop()
+            level = self._level[node]
+            yield node, path, level
+            right = self._right[node]
+            if right != NONE:
+                stack.append((right, path | (1 << (self.width - 1 - level))))
+            left = self._left[node]
+            if left != NONE:
+                stack.append((left, path))
+
+    # -- lookup ----------------------------------------------------------
+
+    def lookup(self, address: int) -> int:
+        """Longest-prefix-match ``address``, returning the NHI.
+
+        Walks the trie bit by bit remembering the last node that held
+        NHI — exactly the traversal a pipeline stage sequence performs.
+        """
+        node = 0
+        best = self._nhi[0]
+        level = 0
+        while node != NONE and level < self.width:
+            bit = (address >> (self.width - 1 - level)) & 1
+            node = self._right[node] if bit else self._left[node]
+            if node != NONE and self._nhi[node] != NO_ROUTE:
+                best = self._nhi[node]
+            level += 1
+        return best
+
+    def _freeze(self) -> dict[str, np.ndarray]:
+        if self._frozen is None:
+            self._frozen = {
+                "left": np.asarray(self._left, dtype=np.int64),
+                "right": np.asarray(self._right, dtype=np.int64),
+                "nhi": np.asarray(self._nhi, dtype=np.int64),
+            }
+        return self._frozen
+
+    def lookup_batch(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorized LPM over an array of addresses.
+
+        Runs one gather per trie level across all addresses at once;
+        lanes whose walk has terminated park on a virtual "dead" node.
+        Tries wider than 32 bits (the IPv6 extension) fall back to
+        scalar walks — their addresses exceed the NumPy word size.
+        """
+        if self.width > 32:
+            return np.array(
+                [self.lookup(int(a)) for a in addresses], dtype=np.int64
+            )
+        arrays = self._freeze()
+        left, right, nhi = arrays["left"], arrays["right"], arrays["nhi"]
+        addresses = np.asarray(addresses, dtype=np.uint32)
+        n = addresses.shape[0]
+        # append a dead node at index len(trie): both children loop to
+        # itself, no NHI, so terminated lanes stay put harmlessly.
+        dead = len(left)
+        left_x = np.append(left, dead)
+        right_x = np.append(right, dead)
+        nhi_x = np.append(nhi, NO_ROUTE)
+        left_x[left_x == NONE] = dead
+        right_x[right_x == NONE] = dead
+        node = np.zeros(n, dtype=np.int64)
+        best = np.full(n, nhi[0], dtype=np.int64)
+        for lvl in range(self.width):
+            bits = (addresses >> np.uint32(self.width - 1 - lvl)) & np.uint32(1)
+            node = np.where(bits == 1, right_x[node], left_x[node])
+            found = nhi_x[node]
+            best = np.where(found != NO_ROUTE, found, best)
+            if (node == dead).all():
+                break
+        return best
+
+    # -- statistics ------------------------------------------------------
+
+    def depth(self) -> int:
+        """Maximum *reachable* node level."""
+        return max(self._level[node] for node in self.live_nodes())
+
+    def stats(self) -> TrieStats:
+        """Compute structural statistics over reachable nodes."""
+        levels = [self._level[node] for node in self.live_nodes()]
+        depth = max(levels)
+        nodes_per = [0] * (depth + 1)
+        internal_per = [0] * (depth + 1)
+        leaves_per = [0] * (depth + 1)
+        internal = 0
+        total = 0
+        for node in self.live_nodes():
+            lvl = self._level[node]
+            total += 1
+            nodes_per[lvl] += 1
+            if self.is_leaf(node):
+                leaves_per[lvl] += 1
+            else:
+                internal_per[lvl] += 1
+                internal += 1
+        return TrieStats(
+            total_nodes=total,
+            internal_nodes=internal,
+            leaf_nodes=total - internal,
+            depth=depth,
+            prefixes=self._prefix_count,
+            nodes_per_level=tuple(nodes_per),
+            internal_per_level=tuple(internal_per),
+            leaves_per_level=tuple(leaves_per),
+        )
+
+    def is_leaf_pushed(self) -> bool:
+        """True if NHI only appears on leaves and the trie is full.
+
+        A *full* binary trie (every internal node has both children)
+        with NHI confined to leaves is the postcondition of
+        :func:`repro.iplookup.leafpush.leaf_push`.
+        """
+        for node in self.nodes():
+            leaf = self.is_leaf(node)
+            if leaf:
+                continue
+            if self._nhi[node] != NO_ROUTE:
+                return False
+            if self._left[node] == NONE or self._right[node] == NONE:
+                return False
+        return True
+
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`TrieError` if broken.
+
+        Invariants: child levels are parent level + 1, every reachable
+        non-root node is referenced exactly once, no child index is
+        out of range, and freed slots are never referenced.
+        """
+        n = len(self._left)
+        free = set(self._free)
+        ref_count = [0] * n
+        reachable = set()
+        for node in self.live_nodes():
+            reachable.add(node)
+            for child in (self._left[node], self._right[node]):
+                if child == NONE:
+                    continue
+                if not 0 <= child < n:
+                    raise TrieError(f"child index {child} out of range at node {node}")
+                if child in free:
+                    raise TrieError(f"node {node} references freed slot {child}")
+                if self._level[child] != self._level[node] + 1:
+                    raise TrieError(
+                        f"level mismatch: node {node} (level {self._level[node]}) "
+                        f"→ child {child} (level {self._level[child]})"
+                    )
+                ref_count[child] += 1
+        if ref_count[0] != 0:
+            raise TrieError("root must not be referenced as a child")
+        for node in reachable:
+            if node != 0 and ref_count[node] != 1:
+                raise TrieError(f"node {node} referenced {ref_count[node]} times")
+        if free & reachable:
+            raise TrieError(f"freed slots reachable from root: {sorted(free & reachable)}")
+        if len(reachable) + len(free) != n:
+            raise TrieError(
+                f"{n - len(reachable) - len(free)} slots leaked "
+                "(neither reachable nor on the free list)"
+            )

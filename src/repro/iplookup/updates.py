@@ -1,0 +1,213 @@
+"""Routing-table updates and their cost/power coupling.
+
+The paper's BRAM power model assumes a 1 % write rate — "a low update
+rate" (Section V-B) — without deriving it.  This module closes that
+loop: it applies BGP-style update streams (announce/withdraw) to a
+trie, counts the *memory writes* each update causes (nodes created,
+modified or pruned, i.e. stage-memory write operations in the
+pipelined engine), and converts an update rate into the effective
+write rate the power model consumes.
+
+The update mechanics follow the authors' companion work on
+on-the-fly incremental updates for virtualized routers on FPGA
+(reference [6] of the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.iplookup.prefix import Prefix
+from repro.iplookup.rib import RoutingTable
+from repro.iplookup.trie import UnibitTrie
+
+__all__ = [
+    "UpdateKind",
+    "RouteUpdate",
+    "UpdateStats",
+    "apply_update",
+    "apply_updates",
+    "synthesize_churn",
+    "effective_write_rate",
+]
+
+
+class UpdateKind(enum.Enum):
+    """BGP-style update operations."""
+
+    ANNOUNCE = "announce"
+    WITHDRAW = "withdraw"
+
+
+@dataclass(frozen=True, slots=True)
+class RouteUpdate:
+    """One update: announce (insert/replace) or withdraw a prefix."""
+
+    kind: UpdateKind
+    prefix: Prefix
+    next_hop: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind is UpdateKind.ANNOUNCE and self.next_hop < 0:
+            raise ConfigurationError("announce requires a non-negative next hop")
+
+
+@dataclass
+class UpdateStats:
+    """Aggregate cost of an applied update stream.
+
+    ``memory_writes`` counts stage-memory write operations: each node
+    created, modified (NHI change) or unlinked is one write to its
+    stage's memory — the quantity that becomes the BRAM write rate.
+    """
+
+    announces: int = 0
+    withdraws: int = 0
+    no_ops: int = 0
+    nodes_created: int = 0
+    nodes_pruned: int = 0
+    nhi_changes: int = 0
+    _writes_per_update: list[int] = field(default_factory=list)
+
+    @property
+    def total_updates(self) -> int:
+        """Updates applied, including no-ops."""
+        return self.announces + self.withdraws + self.no_ops
+
+    @property
+    def memory_writes(self) -> int:
+        """Total stage-memory writes caused by the stream."""
+        return self.nodes_created + self.nodes_pruned + self.nhi_changes
+
+    def mean_writes_per_update(self) -> float:
+        """Average memory writes caused by one update."""
+        if not self._writes_per_update:
+            return 0.0
+        return float(np.mean(self._writes_per_update))
+
+    def max_writes_per_update(self) -> int:
+        """Worst single update's memory-write burst."""
+        return max(self._writes_per_update, default=0)
+
+
+def apply_update(trie: UnibitTrie, update: RouteUpdate, stats: UpdateStats) -> None:
+    """Apply one update to ``trie``, accounting its cost into ``stats``."""
+    nodes_before = trie.num_nodes
+    if update.kind is UpdateKind.ANNOUNCE:
+        prefixes_before = trie.num_prefixes
+        trie.insert(update.prefix, update.next_hop)
+        created = trie.num_nodes - nodes_before
+        stats.nodes_created += created
+        stats.nhi_changes += 1
+        if trie.num_prefixes > prefixes_before or created:
+            stats.announces += 1
+        else:
+            stats.announces += 1  # NHI replacement is still an announce
+        stats._writes_per_update.append(created + 1)
+    else:
+        removed = trie.remove(update.prefix)
+        if not removed:
+            stats.no_ops += 1
+            stats._writes_per_update.append(0)
+            return
+        pruned = nodes_before - trie.num_nodes
+        stats.withdraws += 1
+        stats.nodes_pruned += pruned
+        stats.nhi_changes += 1
+        stats._writes_per_update.append(pruned + 1)
+
+
+def apply_updates(trie: UnibitTrie, updates: list[RouteUpdate]) -> UpdateStats:
+    """Apply an update stream in order; return the aggregate stats."""
+    stats = UpdateStats()
+    for update in updates:
+        apply_update(trie, update, stats)
+    return stats
+
+
+def synthesize_churn(
+    table: RoutingTable,
+    n_updates: int,
+    *,
+    withdraw_fraction: float = 0.35,
+    new_prefix_fraction: float = 0.25,
+    seed: int = 0,
+    n_next_hops: int = 16,
+) -> list[RouteUpdate]:
+    """Generate a BGP-like churn stream against an existing table.
+
+    A mix of next-hop changes on existing prefixes (path changes, the
+    most common BGP event), withdrawals of existing prefixes, and
+    announcements of new more-specific prefixes.
+    """
+    if n_updates < 0:
+        raise ConfigurationError("n_updates must be non-negative")
+    if not 0.0 <= withdraw_fraction <= 1.0 or not 0.0 <= new_prefix_fraction <= 1.0:
+        raise ConfigurationError("fractions must be in [0, 1]")
+    if withdraw_fraction + new_prefix_fraction > 1.0:
+        raise ConfigurationError("withdraw + new-prefix fractions must be <= 1")
+    rng = np.random.default_rng(seed)
+    prefixes = table.prefixes()
+    if not prefixes:
+        raise ConfigurationError("cannot synthesize churn against an empty table")
+    updates: list[RouteUpdate] = []
+    live = list(prefixes)
+    for _ in range(n_updates):
+        roll = rng.random()
+        if roll < withdraw_fraction and live:
+            victim = live.pop(int(rng.integers(0, len(live))))
+            updates.append(RouteUpdate(UpdateKind.WITHDRAW, victim))
+        elif roll < withdraw_fraction + new_prefix_fraction:
+            parent = prefixes[int(rng.integers(0, len(prefixes)))]
+            if parent.length >= 28:
+                updates.append(
+                    RouteUpdate(
+                        UpdateKind.ANNOUNCE, parent, int(rng.integers(0, n_next_hops))
+                    )
+                )
+                continue
+            length = int(rng.integers(parent.length + 1, min(parent.length + 5, 28) + 1))
+            sub = int(rng.integers(0, 1 << (length - parent.length)))
+            child = Prefix.normalized(
+                parent.value | (sub << (32 - length)), length
+            )
+            updates.append(
+                RouteUpdate(UpdateKind.ANNOUNCE, child, int(rng.integers(0, n_next_hops)))
+            )
+            live.append(child)
+        else:
+            target = prefixes[int(rng.integers(0, len(prefixes)))]
+            updates.append(
+                RouteUpdate(UpdateKind.ANNOUNCE, target, int(rng.integers(0, n_next_hops)))
+            )
+    return updates
+
+
+def effective_write_rate(
+    stats: UpdateStats,
+    updates_per_second: float,
+    lookup_rate_mhz: float,
+    n_stages: int = 28,
+) -> float:
+    """Convert an update rate into the BRAM write rate of Section V-B.
+
+    A stage memory performs one read per lookup cycle; an update
+    stream of ``updates_per_second`` causes
+    ``mean_writes_per_update × updates_per_second`` memory writes per
+    second, spread over ``n_stages`` stage memories.  The write rate
+    is writes per cycle per stage, the unit the paper's 1 % figure is
+    expressed in.
+    """
+    if updates_per_second < 0:
+        raise ConfigurationError("updates_per_second must be non-negative")
+    if lookup_rate_mhz <= 0:
+        raise ConfigurationError("lookup_rate_mhz must be positive")
+    if n_stages < 1:
+        raise ConfigurationError("n_stages must be >= 1")
+    writes_per_second = stats.mean_writes_per_update() * updates_per_second
+    writes_per_stage_per_second = writes_per_second / n_stages
+    return min(1.0, writes_per_stage_per_second / (lookup_rate_mhz * 1e6))

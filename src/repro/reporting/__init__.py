@@ -1,0 +1,22 @@
+"""Experiment result containers, rendering and export.
+
+Every experiment in :mod:`repro.experiments` returns an
+:class:`ExperimentResult` — a set of named series over a shared x-axis
+plus free-form notes — which renders as an ASCII table (what the
+benches print) and exports to CSV.  The registry maps experiment ids
+(``fig5``, ``table3``, ...) to their runners.
+"""
+
+from repro.reporting.result import Series, ExperimentResult
+from repro.reporting.tables import render_table, render_kv
+from repro.reporting.registry import register, get_experiment, all_experiments
+
+__all__ = [
+    "Series",
+    "ExperimentResult",
+    "render_table",
+    "render_kv",
+    "register",
+    "get_experiment",
+    "all_experiments",
+]

@@ -1,0 +1,92 @@
+"""ASCII line charts for experiment results.
+
+The experiment runner reproduces the paper's *figures* — a text table
+is faithful but hard to eyeball.  This renderer draws each series as a
+small character plot (one glyph per series, shared canvas) so the
+Fig. 5/8 shapes — NV's linear climb, VS's flat line, the merged
+curves' divergence — are visible directly in the terminal:
+
+    repro-experiments fig8 --chart
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.reporting.result import ExperimentResult
+
+__all__ = ["render_chart"]
+
+#: series glyphs, assigned in order
+_GLYPHS = "*o+x#@%&"
+
+
+def render_chart(
+    result: ExperimentResult,
+    *,
+    width: int = 64,
+    height: int = 16,
+    indent: str = "  ",
+) -> str:
+    """Render every series of ``result`` onto one ASCII canvas.
+
+    The x axis spans the result's x values; the y axis spans the
+    finite data range across all series.  Overlapping points show the
+    later series' glyph.
+    """
+    if width < 16 or height < 4:
+        raise ExperimentError("chart needs at least 16x4 characters")
+    if not result.series:
+        raise ExperimentError("nothing to chart: result has no series")
+    x = np.asarray(result.x_values, dtype=float)
+    if len(x) == 0:
+        raise ExperimentError("nothing to chart: empty x axis")
+
+    all_values = np.concatenate([s.values for s in result.series])
+    finite = all_values[np.isfinite(all_values)]
+    if len(finite) == 0:
+        raise ExperimentError("nothing to chart: no finite values")
+    y_lo, y_hi = float(finite.min()), float(finite.max())
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = float(x.min()), float(x.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+
+    def place(xv: float, yv: float, glyph: str) -> None:
+        column = int(round((xv - x_lo) / (x_hi - x_lo) * (width - 1)))
+        row = int(round((yv - y_lo) / (y_hi - y_lo) * (height - 1)))
+        canvas[height - 1 - row][column] = glyph
+
+    for series, glyph in zip(result.series, _GLYPHS):
+        values = series.values
+        for xv, yv in zip(x, values):
+            if np.isfinite(yv):
+                place(float(xv), float(yv), glyph)
+
+    lines = [f"{indent}{result.title}"]
+    top_label = f"{y_hi:.4g}"
+    bottom_label = f"{y_lo:.4g}"
+    gutter = max(len(top_label), len(bottom_label)) + 1
+    for i, row in enumerate(canvas):
+        if i == 0:
+            label = top_label.rjust(gutter)
+        elif i == height - 1:
+            label = bottom_label.rjust(gutter)
+        else:
+            label = " " * gutter
+        lines.append(f"{indent}{label}|{''.join(row)}")
+    axis = f"{indent}{' ' * gutter}+{'-' * width}"
+    lines.append(axis)
+    x_left = f"{x_lo:.4g}"
+    x_right = f"{x_hi:.4g}"
+    pad = width - len(x_left) - len(x_right)
+    lines.append(f"{indent}{' ' * gutter} {x_left}{' ' * max(1, pad)}{x_right}")
+    legend = "  ".join(
+        f"{glyph}={series.label}" for series, glyph in zip(result.series, _GLYPHS)
+    )
+    lines.append(f"{indent}{legend}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,29 @@
+"""Markdown rendering for experiment results."""
+
+from __future__ import annotations
+
+from repro.reporting.result import ExperimentResult
+
+__all__ = ["to_markdown_table", "to_markdown_section"]
+
+
+def to_markdown_table(result: ExperimentResult) -> str:
+    """Render the result's rows as a GitHub-flavored markdown table."""
+    rows = result.to_rows()
+    if not rows:
+        return ""
+    header = "| " + " | ".join(rows[0]) + " |"
+    rule = "|" + "|".join("---" for _ in rows[0]) + "|"
+    body = ["| " + " | ".join(row) + " |" for row in rows[1:]]
+    return "\n".join([header, rule, *body]) + "\n"
+
+
+def to_markdown_section(result: ExperimentResult, heading_level: int = 3) -> str:
+    """Render a full markdown section: heading, table, notes."""
+    heading = "#" * heading_level
+    parts = [f"{heading} {result.experiment_id}: {result.title}", ""]
+    parts.append(to_markdown_table(result))
+    if result.notes:
+        parts.append("")
+        parts.extend(f"* {note}" for note in result.notes)
+    return "\n".join(parts) + "\n"

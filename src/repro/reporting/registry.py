@@ -1,0 +1,53 @@
+"""Experiment registry: id → runner.
+
+Experiments register themselves at import time via the
+:func:`register` decorator; the benchmark harness and the
+``repro-experiments`` CLI look them up by id.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.reporting.result import ExperimentResult
+
+__all__ = ["register", "get_experiment", "all_experiments"]
+
+_REGISTRY: dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def register(experiment_id: str):
+    """Class/function decorator registering an experiment runner.
+
+    The decorated callable must return an :class:`ExperimentResult`.
+    """
+
+    def deco(func: Callable[..., ExperimentResult]):
+        if experiment_id in _REGISTRY:
+            raise ExperimentError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = func
+        func.experiment_id = experiment_id
+        return func
+
+    return deco
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """Look up a registered experiment runner by id."""
+    _ensure_loaded()
+    if experiment_id not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ExperimentError(f"unknown experiment {experiment_id!r}; known: {known}")
+    return _REGISTRY[experiment_id]
+
+
+def all_experiments() -> dict[str, Callable[..., ExperimentResult]]:
+    """All registered experiments, keyed by id."""
+    _ensure_loaded()
+    return dict(_REGISTRY)
+
+
+def _ensure_loaded() -> None:
+    """Import the experiments package so registrations run."""
+    import repro.experiments  # noqa: F401  (import for side effects)

@@ -1,0 +1,121 @@
+"""Experiment result containers."""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+__all__ = ["Series", "ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named data series over the experiment's x-axis."""
+
+    label: str
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=float)
+        object.__setattr__(self, "values", values)
+        if values.ndim != 1:
+            raise ExperimentError(f"series {self.label!r} must be 1-D")
+
+
+@dataclass
+class ExperimentResult:
+    """Series-over-axis result of one reproduced table or figure.
+
+    Attributes
+    ----------
+    experiment_id:
+        Registry id, e.g. ``"fig5"``.
+    title:
+        Human-readable description (matches the paper caption).
+    x_label, x_values:
+        The shared x-axis (e.g. number of virtual networks).
+    series:
+        The plotted lines / table columns.
+    notes:
+        Free-form annotations: paper reference values, claim checks.
+    """
+
+    experiment_id: str
+    title: str
+    x_label: str
+    x_values: np.ndarray
+    series: list[Series] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.x_values = np.asarray(self.x_values, dtype=float)
+        for series in self.series:
+            self._check(series)
+
+    def _check(self, series: Series) -> None:
+        if len(series.values) != len(self.x_values):
+            raise ExperimentError(
+                f"series {series.label!r} has {len(series.values)} points, "
+                f"x-axis has {len(self.x_values)}"
+            )
+
+    def add_series(self, label: str, values) -> None:
+        """Append a series, validating its length against the axis."""
+        series = Series(label=label, values=np.asarray(values, dtype=float))
+        self._check(series)
+        self.series.append(series)
+
+    def add_note(self, note: str) -> None:
+        """Append an annotation line."""
+        self.notes.append(note)
+
+    def get(self, label: str) -> np.ndarray:
+        """Fetch a series' values by label."""
+        for series in self.series:
+            if series.label == label:
+                return series.values
+        known = ", ".join(s.label for s in self.series)
+        raise ExperimentError(f"no series {label!r}; have: {known}")
+
+    def labels(self) -> list[str]:
+        """Labels of all series, in insertion order."""
+        return [s.label for s in self.series]
+
+    # -- rendering ------------------------------------------------------------
+
+    def to_rows(self) -> list[list[str]]:
+        """Header + data rows for table rendering."""
+        header = [self.x_label] + self.labels()
+        rows = [header]
+        for i, x in enumerate(self.x_values):
+            x_text = f"{int(x)}" if float(x).is_integer() else f"{x:g}"
+            row = [x_text]
+            for series in self.series:
+                row.append(f"{series.values[i]:.4g}")
+            rows.append(row)
+        return rows
+
+    def render(self) -> str:
+        """ASCII rendering: title, table, notes."""
+        from repro.reporting.tables import render_table
+
+        out = io.StringIO()
+        out.write(f"== {self.experiment_id}: {self.title} ==\n")
+        out.write(render_table(self.to_rows()))
+        for note in self.notes:
+            out.write(f"  note: {note}\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        """CSV export (header row + one row per x value)."""
+        rows = self.to_rows()
+        return "\n".join(",".join(cell for cell in row) for row in rows) + "\n"
+
+    def write_csv(self, path: str) -> None:
+        """Write the CSV export to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_csv())

@@ -1,0 +1,160 @@
+"""Dependency-free SVG line charts for experiment results.
+
+``repro-experiments fig8 --svg out/`` writes each reproduced figure
+as a standalone SVG viewable in any browser — the closest thing to
+the paper's plots this offline environment can produce.  The renderer
+is deliberately small: polyline per series, ticked axes, a legend,
+categorical colors.
+"""
+
+from __future__ import annotations
+
+import html
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.reporting.result import ExperimentResult
+
+__all__ = ["render_svg", "write_svg"]
+
+#: categorical series palette (colorblind-safe-ish hexes)
+_COLORS = (
+    "#4477aa",
+    "#ee6677",
+    "#228833",
+    "#ccbb44",
+    "#66ccee",
+    "#aa3377",
+    "#bbbbbb",
+    "#222255",
+)
+
+_MARGIN_L = 64
+_MARGIN_R = 16
+_MARGIN_T = 36
+_MARGIN_B = 44
+
+
+def _ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    """Round-ish tick positions covering [lo, hi]."""
+    if hi == lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / max(1, n - 1)
+    magnitude = 10 ** np.floor(np.log10(raw))
+    for factor in (1, 2, 2.5, 5, 10):
+        step = factor * magnitude
+        if step >= raw:
+            break
+    start = np.ceil(lo / step) * step
+    ticks = list(np.arange(start, hi + step / 2, step))
+    return [float(t) for t in ticks] or [lo, hi]
+
+
+def render_svg(
+    result: ExperimentResult,
+    *,
+    width: int = 640,
+    height: int = 400,
+) -> str:
+    """Render every series of ``result`` as one SVG document."""
+    if not result.series:
+        raise ExperimentError("nothing to render: result has no series")
+    x = np.asarray(result.x_values, dtype=float)
+    if len(x) == 0:
+        raise ExperimentError("nothing to render: empty x axis")
+    all_values = np.concatenate([s.values for s in result.series])
+    finite = all_values[np.isfinite(all_values)]
+    if len(finite) == 0:
+        raise ExperimentError("nothing to render: no finite values")
+
+    x_lo, x_hi = float(x.min()), float(x.max())
+    y_lo, y_hi = float(finite.min()), float(finite.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    # pad the y range slightly so lines don't hug the frame
+    pad = 0.05 * (y_hi - y_lo)
+    y_lo -= pad
+    y_hi += pad
+
+    plot_w = width - _MARGIN_L - _MARGIN_R
+    plot_h = height - _MARGIN_T - _MARGIN_B
+
+    def sx(value: float) -> float:
+        return _MARGIN_L + (value - x_lo) / (x_hi - x_lo) * plot_w
+
+    def sy(value: float) -> float:
+        return _MARGIN_T + plot_h - (value - y_lo) / (y_hi - y_lo) * plot_h
+
+    parts: list[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" font-family="sans-serif" font-size="11">'
+    )
+    parts.append(f'<rect width="{width}" height="{height}" fill="white"/>')
+    title = html.escape(f"{result.experiment_id}: {result.title}")
+    parts.append(
+        f'<text x="{width / 2:.0f}" y="18" text-anchor="middle" font-size="13">{title}</text>'
+    )
+    # frame
+    parts.append(
+        f'<rect x="{_MARGIN_L}" y="{_MARGIN_T}" width="{plot_w}" height="{plot_h}" '
+        'fill="none" stroke="#888"/>'
+    )
+    # y grid + labels
+    for tick in _ticks(y_lo, y_hi):
+        yy = sy(tick)
+        parts.append(
+            f'<line x1="{_MARGIN_L}" y1="{yy:.1f}" x2="{_MARGIN_L + plot_w}" '
+            f'y2="{yy:.1f}" stroke="#ddd"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_L - 6}" y="{yy + 4:.1f}" text-anchor="end">{tick:g}</text>'
+        )
+    # x ticks + labels
+    for tick in _ticks(x_lo, x_hi, 6):
+        xx = sx(tick)
+        parts.append(
+            f'<line x1="{xx:.1f}" y1="{_MARGIN_T + plot_h}" x2="{xx:.1f}" '
+            f'y2="{_MARGIN_T + plot_h + 4}" stroke="#888"/>'
+        )
+        parts.append(
+            f'<text x="{xx:.1f}" y="{_MARGIN_T + plot_h + 16}" text-anchor="middle">{tick:g}</text>'
+        )
+    parts.append(
+        f'<text x="{_MARGIN_L + plot_w / 2:.0f}" y="{height - 8}" '
+        f'text-anchor="middle">{html.escape(result.x_label)}</text>'
+    )
+    # series polylines + legend
+    legend_y = _MARGIN_T + 10
+    for series, color in zip(result.series, _COLORS):
+        points = [
+            f"{sx(float(xv)):.1f},{sy(float(yv)):.1f}"
+            for xv, yv in zip(x, series.values)
+            if np.isfinite(yv)
+        ]
+        if points:
+            parts.append(
+                f'<polyline points="{" ".join(points)}" fill="none" '
+                f'stroke="{color}" stroke-width="1.8"/>'
+            )
+            for point in points:
+                px, py = point.split(",")
+                parts.append(f'<circle cx="{px}" cy="{py}" r="2.4" fill="{color}"/>')
+        parts.append(
+            f'<rect x="{_MARGIN_L + 8}" y="{legend_y - 8}" width="10" height="10" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_L + 22}" y="{legend_y + 1}">{html.escape(series.label)}</text>'
+        )
+        legend_y += 14
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def write_svg(result: ExperimentResult, path: str, **kwargs) -> None:
+    """Write the SVG rendering of ``result`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_svg(result, **kwargs))

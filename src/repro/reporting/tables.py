@@ -1,0 +1,32 @@
+"""ASCII table rendering for experiment output."""
+
+from __future__ import annotations
+
+from repro.errors import ExperimentError
+
+__all__ = ["render_table", "render_kv"]
+
+
+def render_table(rows: list[list[str]], indent: str = "  ") -> str:
+    """Render rows (first row = header) as an aligned ASCII table."""
+    if not rows:
+        return ""
+    widths = [0] * max(len(row) for row in rows)
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    for idx, row in enumerate(rows):
+        padded = [cell.rjust(widths[i]) if i else cell.ljust(widths[i]) for i, cell in enumerate(row)]
+        lines.append(indent + "  ".join(padded).rstrip())
+        if idx == 0:
+            lines.append(indent + "  ".join("-" * w for w in widths))
+    return "\n".join(lines) + "\n"
+
+
+def render_kv(pairs: list[tuple[str, str]], indent: str = "  ") -> str:
+    """Render key/value pairs as aligned lines."""
+    if not pairs:
+        return ""
+    width = max(len(key) for key, _ in pairs)
+    return "\n".join(f"{indent}{key.ljust(width)} : {value}" for key, value in pairs) + "\n"

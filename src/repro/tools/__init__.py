@@ -1,0 +1,10 @@
+"""User-facing command-line tools.
+
+* ``repro-experiments`` (in :mod:`repro.experiments.runner`) —
+  regenerate the paper's tables and figures.
+* ``repro-lookup`` (:mod:`repro.tools.lookup_cli`) — inspect routing
+  tables: structural statistics, lookups against every implemented
+  structure, and churn/write-rate analysis.
+"""
+
+__all__: list[str] = []

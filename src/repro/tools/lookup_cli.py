@@ -1,0 +1,178 @@
+"""``repro-lookup`` — inspect routing tables from the command line.
+
+Subcommands
+-----------
+``stats FILE``
+    Table and trie statistics: prefix histogram, node counts for every
+    implemented structure, stage memory under the paper's encoding.
+``lookup FILE ADDRESS [ADDRESS...]``
+    Longest-prefix-match each address with every structure and verify
+    they agree with the linear-scan oracle.
+``churn FILE [--updates N] [--rate R] [--clock F]``
+    Apply a synthetic BGP churn stream, report per-update memory
+    writes and the effective BRAM write rate at the given lookup
+    clock (the paper's Section V-B input).
+
+The FILE format is ``prefix next_hop`` per line (see
+``examples/data/edge_sample.rib``); ``-`` is not supported — tables
+are files, as BGP snapshot exports are.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.iplookup.leafpush import leaf_push
+from repro.iplookup.mapping import map_trie_to_stages
+from repro.iplookup.multibit import MultibitTrie
+from repro.iplookup.patricia import PatriciaTrie
+from repro.iplookup.prefix import format_address, parse_address
+from repro.iplookup.rib import NO_ROUTE, RoutingTable
+from repro.iplookup.trie import UnibitTrie
+from repro.iplookup.updates import apply_updates, effective_write_rate, synthesize_churn
+from repro.reporting.tables import render_kv, render_table
+from repro.units import bits_to_mb
+
+__all__ = ["main"]
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    table = RoutingTable.from_file(args.file)
+    trie = UnibitTrie(table)
+    pushed = leaf_push(trie)
+    patricia = PatriciaTrie(table)
+    multibit = MultibitTrie(table, stride=4)
+    hist = table.length_histogram()
+    top = sorted(
+        ((int(count), length) for length, count in enumerate(hist) if count),
+        reverse=True,
+    )[:5]
+    print(f"table: {args.file}")
+    print(
+        render_kv(
+            [
+                ("prefixes", str(len(table))),
+                ("next hops", str(len(table.next_hops()))),
+                ("max length", f"/{table.max_length()}"),
+                (
+                    "top lengths",
+                    ", ".join(f"/{length} x{count}" for count, length in top),
+                ),
+            ]
+        )
+    )
+    n_stages = max(28, pushed.depth())
+    stage_map = map_trie_to_stages(pushed.stats(), n_stages)
+    rows = [
+        ["structure", "nodes", "depth", "memory_Mb"],
+        ["uni-bit trie", str(trie.num_nodes), str(trie.depth()), "-"],
+        [
+            "leaf-pushed",
+            str(pushed.num_nodes),
+            str(pushed.depth()),
+            f"{bits_to_mb(stage_map.total_bits):.4f}",
+        ],
+        [
+            "patricia",
+            str(patricia.num_nodes),
+            str(patricia.stats().depth_nodes),
+            f"{bits_to_mb(patricia.stats().memory_bits()):.4f}",
+        ],
+        [
+            "multibit s=4",
+            str(multibit.num_nodes),
+            str(multibit.depth()),
+            f"{bits_to_mb(multibit.memory_bits()):.4f}",
+        ],
+    ]
+    print(render_table(rows))
+    return 0
+
+
+def _cmd_lookup(args: argparse.Namespace) -> int:
+    table = RoutingTable.from_file(args.file)
+    trie = leaf_push(UnibitTrie(table))
+    patricia = PatriciaTrie(table)
+    multibit = MultibitTrie(table, stride=4)
+    rows = [["address", "next_hop", "agreement"]]
+    status = 0
+    for text in args.addresses:
+        address = parse_address(text)
+        oracle = table.lookup_linear(address)
+        answers = {
+            "trie": trie.lookup(address),
+            "patricia": patricia.lookup(address),
+            "multibit": multibit.lookup(address),
+        }
+        agree = all(v == oracle for v in answers.values())
+        if not agree:
+            status = 1
+        hop = "no route" if oracle == NO_ROUTE else str(oracle)
+        rows.append(
+            [format_address(address), hop, "ok" if agree else f"MISMATCH {answers}"]
+        )
+    print(render_table(rows))
+    return status
+
+
+def _cmd_churn(args: argparse.Namespace) -> int:
+    table = RoutingTable.from_file(args.file)
+    trie = UnibitTrie(table)
+    updates = synthesize_churn(table, args.updates, seed=args.seed)
+    stats = apply_updates(trie, updates)
+    rate = effective_write_rate(stats, args.rate, args.clock)
+    print(
+        render_kv(
+            [
+                ("updates applied", str(stats.total_updates)),
+                ("announces / withdraws / no-ops",
+                 f"{stats.announces} / {stats.withdraws} / {stats.no_ops}"),
+                ("memory writes", str(stats.memory_writes)),
+                ("mean writes per update", f"{stats.mean_writes_per_update():.2f}"),
+                ("worst single update", str(stats.max_writes_per_update())),
+                (
+                    f"write rate @ {args.rate:g}/s, {args.clock:g} MHz",
+                    f"{rate:.6%} (paper assumes 1%)",
+                ),
+            ]
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``repro-lookup`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lookup", description="Inspect routing tables."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="table and structure statistics")
+    p_stats.add_argument("file")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_lookup = sub.add_parser("lookup", help="LPM addresses across all structures")
+    p_lookup.add_argument("file")
+    p_lookup.add_argument("addresses", nargs="+", metavar="ADDRESS")
+    p_lookup.set_defaults(func=_cmd_lookup)
+
+    p_churn = sub.add_parser("churn", help="apply synthetic churn, report write rate")
+    p_churn.add_argument("file")
+    p_churn.add_argument("--updates", type=int, default=500)
+    p_churn.add_argument("--rate", type=float, default=100_000.0, help="updates/second")
+    p_churn.add_argument("--clock", type=float, default=300.0, help="lookup clock, MHz")
+    p_churn.add_argument("--seed", type=int, default=0)
+    p_churn.set_defaults(func=_cmd_churn)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,121 @@
+"""Unit conventions and conversion helpers.
+
+The paper mixes units freely (µW for component models, W for totals,
+MHz for frequency, Mb for memory, Gbps for throughput).  To keep the
+library honest every public quantity states its unit in the name or
+docstring, and conversions go through this module rather than ad-hoc
+factors scattered through the code.
+
+Internal conventions
+--------------------
+* power        — watts (W) unless the name says otherwise
+* frequency    — megahertz (MHz); the paper's component models are
+                 linear in MHz so we keep MHz as the native unit
+* memory       — bits
+* throughput   — gigabits per second (Gbps)
+* packet size  — bytes
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BITS_PER_BYTE",
+    "KB",
+    "MB",
+    "KIB",
+    "MIB",
+    "BRAM18K_BITS",
+    "BRAM36K_BITS",
+    "MIN_PACKET_BYTES",
+    "uw_to_w",
+    "w_to_uw",
+    "mw_to_w",
+    "w_to_mw",
+    "bits_to_mb",
+    "mb_to_bits",
+    "mhz_to_hz",
+    "hz_to_mhz",
+    "gbps",
+    "ceil_div",
+]
+
+BITS_PER_BYTE = 8
+
+#: decimal kilo/mega bits (the paper reports BRAM sizes in Kb/Mb using
+#: binary 1024-multiples — "18 Kb" blocks are 18×1024 bits)
+KB = 1000
+MB = 1000 * 1000
+KIB = 1024
+MIB = 1024 * 1024
+
+#: Xilinx BRAM block capacities (binary kilobits, per UG363)
+BRAM18K_BITS = 18 * KIB
+BRAM36K_BITS = 36 * KIB
+
+#: minimum Ethernet/IP packet size used by the paper for the packet
+#: handling rate metric (Section VI-B)
+MIN_PACKET_BYTES = 40
+
+
+def uw_to_w(microwatts: float) -> float:
+    """Convert microwatts to watts."""
+    return microwatts * 1e-6
+
+
+def w_to_uw(watts: float) -> float:
+    """Convert watts to microwatts."""
+    return watts * 1e6
+
+
+def mw_to_w(milliwatts: float) -> float:
+    """Convert milliwatts to watts."""
+    return milliwatts * 1e-3
+
+
+def w_to_mw(watts: float) -> float:
+    """Convert watts to milliwatts."""
+    return watts * 1e3
+
+
+def bits_to_mb(bits: float) -> float:
+    """Convert bits to megabits (binary Mb, matching BRAM datasheets)."""
+    return bits / MIB
+
+
+def mb_to_bits(mb: float) -> float:
+    """Convert binary megabits to bits."""
+    return mb * MIB
+
+
+def mhz_to_hz(mhz: float) -> float:
+    """Convert MHz to Hz."""
+    return mhz * 1e6
+
+
+def hz_to_mhz(hz: float) -> float:
+    """Convert Hz to MHz."""
+    return hz * 1e-6
+
+
+def gbps(frequency_mhz: float, packet_bytes: int = MIN_PACKET_BYTES) -> float:
+    """Line rate in Gbps for one packet per cycle at ``frequency_mhz``.
+
+    The paper's throughput metric assumes a linear pipeline accepting
+    one lookup per clock and minimum-size (40 B) packets, so the
+    packet handling rate is ``f`` packets/s and the bit rate is
+    ``f × packet_bytes × 8``.
+    """
+    if frequency_mhz < 0:
+        raise ValueError(f"frequency must be non-negative, got {frequency_mhz}")
+    if packet_bytes <= 0:
+        raise ValueError(f"packet size must be positive, got {packet_bytes}")
+    return frequency_mhz * 1e6 * packet_bytes * BITS_PER_BYTE / 1e9
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division (``⌈n/d⌉``), used for BRAM block counts."""
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    if numerator < 0:
+        raise ValueError(f"numerator must be non-negative, got {numerator}")
+    return -(-numerator // denominator)

@@ -1,0 +1,52 @@
+"""Router virtualization schemes (paper Sections II–IV).
+
+Three deployment schemes are modeled:
+
+* **NV** — non-virtualized: one device per network (conventional).
+* **VS** — virtualized-separate: K independent lookup engines
+  space-share one device behind a packet distributor.
+* **VM** — virtualized-merged: one engine time-shares a merged trie;
+  leaves hold VNID-indexed next-hop vectors.
+
+The merged machinery *measures* merging efficiency α on real tries
+(the paper's `common nodes / total nodes` definition plus the pairwise
+form its model sweeps use); the traffic model implements Assumption 1
+(uniform utilization µᵢ = 1/K) and its generalizations.
+"""
+
+from repro.virt.schemes import Scheme
+from repro.virt.traffic import TrafficModel, uniform_utilization, zipf_utilization
+from repro.virt.merged import MergedTrie, merge_tries, pairwise_alpha_from_global, global_alpha_from_pairwise
+from repro.virt.separate import SeparateVirtualRouter
+from repro.virt.distributor import Distributor
+from repro.virt.vnid import vnid_bits, encode_vnid, decode_vnid
+from repro.virt.manager import VirtualRouterManager
+from repro.virt.qos import AdmissionReport, WeightedScheduler, admissible, check_admission
+from repro.virt.braiding import BraidedTrie, braid_tries
+from repro.virt.queueing import LatencyReport, md1_wait_ns, scheme_latency_ns
+
+__all__ = [
+    "Scheme",
+    "TrafficModel",
+    "uniform_utilization",
+    "zipf_utilization",
+    "MergedTrie",
+    "merge_tries",
+    "pairwise_alpha_from_global",
+    "global_alpha_from_pairwise",
+    "SeparateVirtualRouter",
+    "Distributor",
+    "vnid_bits",
+    "encode_vnid",
+    "decode_vnid",
+    "VirtualRouterManager",
+    "AdmissionReport",
+    "WeightedScheduler",
+    "admissible",
+    "check_admission",
+    "BraidedTrie",
+    "braid_tries",
+    "LatencyReport",
+    "md1_wait_ns",
+    "scheme_latency_ns",
+]

@@ -1,0 +1,69 @@
+"""Packet distributor for the separate virtualization scheme.
+
+In NV and VS deployments, packets must reach the lookup engine of
+their own virtual network (paper Fig. 1, bottom).  Assumption 3 treats
+the distributor's energy as negligible; this module makes that
+assumption explicit and checkable — the distributor has a (small,
+configurable) resource footprint and per-packet energy that default to
+the paper's zero-cost idealization but can be enabled in ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fpga.device import ResourceUsage
+
+__all__ = ["Distributor"]
+
+
+@dataclass(frozen=True, slots=True)
+class Distributor:
+    """VNID-based demultiplexer in front of K engines.
+
+    Attributes
+    ----------
+    k:
+        Number of output engines.
+    luts_per_port:
+        Demux logic per engine port (0 = the paper's Assumption 3).
+    energy_per_packet_nj:
+        Switching energy per distributed packet (0 by default).
+    """
+
+    k: int
+    luts_per_port: int = 0
+    energy_per_packet_nj: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {self.k}")
+        if self.luts_per_port < 0:
+            raise ConfigurationError("luts_per_port must be non-negative")
+        if self.energy_per_packet_nj < 0:
+            raise ConfigurationError("energy_per_packet_nj must be non-negative")
+
+    def resource_usage(self) -> ResourceUsage:
+        """Fabric resources consumed by the demux tree."""
+        return ResourceUsage(luts_logic=self.luts_per_port * self.k)
+
+    def route(self, vnids: np.ndarray) -> list[np.ndarray]:
+        """Partition packet indices by VNID.
+
+        Returns a list of ``k`` index arrays: entry ``i`` holds the
+        positions of the packets destined for engine ``i``, preserving
+        arrival order within each engine.
+        """
+        vnids = np.asarray(vnids, dtype=np.int64)
+        if len(vnids) and (vnids.min() < 0 or vnids.max() >= self.k):
+            raise ConfigurationError("vnid out of range for this distributor")
+        return [np.flatnonzero(vnids == i) for i in range(self.k)]
+
+    def energy_j(self, n_packets: int) -> float:
+        """Total distribution energy for ``n_packets`` packets."""
+        if n_packets < 0:
+            raise ConfigurationError("n_packets must be non-negative")
+        return n_packets * self.energy_per_packet_nj * 1e-9

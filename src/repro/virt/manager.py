@@ -1,0 +1,177 @@
+"""Virtual-router lifecycle management.
+
+The paper's architecture is static: tables are merged or replicated
+once, then measured.  A deployable virtual router must also handle
+the control-plane feed — per-VN route announcements/withdrawals —
+while the data plane keeps forwarding.  :class:`VirtualRouterManager`
+provides that layer over both virtualized schemes:
+
+* per-VN updates are applied incrementally to the per-VN tries
+  (the separate scheme's engines update in place);
+* the merged structure is rebuilt lazily on the next lookup — the
+  "shadow table" update pattern of the authors' FPL'11 companion
+  work — and the manager tracks how much structure each refresh
+  touched;
+* update statistics convert into the effective BRAM write rate that
+  feeds the power models (see :mod:`repro.iplookup.updates`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, MergeError
+from repro.iplookup.prefix import Prefix
+from repro.iplookup.rib import RoutingTable
+from repro.iplookup.trie import UnibitTrie
+from repro.iplookup.updates import (
+    RouteUpdate,
+    UpdateKind,
+    UpdateStats,
+    apply_update,
+    effective_write_rate,
+)
+from repro.virt.merged import MergedTrie, merge_tries
+
+__all__ = ["VirtualRouterManager"]
+
+
+class VirtualRouterManager:
+    """Manage K virtual networks' tables, tries and the merged view.
+
+    Parameters
+    ----------
+    tables:
+        Initial per-VN routing tables; copied defensively so the
+        caller's tables are not mutated by updates.
+    """
+
+    def __init__(self, tables: list[RoutingTable]):
+        if not tables:
+            raise ConfigurationError("need at least one virtual network")
+        self.k = len(tables)
+        self._tables = [RoutingTable.from_routes(t.routes(), name=t.name) for t in tables]
+        self._tries = [UnibitTrie(t) for t in self._tables]
+        self._stats = [UpdateStats() for _ in range(self.k)]
+        self._merged: MergedTrie | None = None
+        self._merged_rebuilds = 0
+
+    # -- control plane ---------------------------------------------------
+
+    def _check_vn(self, vn: int) -> None:
+        if not 0 <= vn < self.k:
+            raise MergeError(f"vnid {vn} out of range 0..{self.k - 1}")
+
+    def announce(self, vn: int, prefix: Prefix, next_hop: int) -> None:
+        """Announce (insert or replace) a route in virtual network ``vn``."""
+        self._check_vn(vn)
+        self._tables[vn].add(prefix, next_hop)
+        apply_update(
+            self._tries[vn],
+            RouteUpdate(UpdateKind.ANNOUNCE, prefix, next_hop),
+            self._stats[vn],
+        )
+        self._merged = None
+
+    def withdraw(self, vn: int, prefix: Prefix) -> bool:
+        """Withdraw a route from virtual network ``vn``.
+
+        Returns True if the route existed.
+        """
+        self._check_vn(vn)
+        existed = prefix in self._tables[vn]
+        if existed:
+            self._tables[vn].remove(prefix)
+        apply_update(
+            self._tries[vn],
+            RouteUpdate(UpdateKind.WITHDRAW, prefix),
+            self._stats[vn],
+        )
+        if existed:
+            self._merged = None
+        return existed
+
+    def apply(self, vn: int, updates: list[RouteUpdate]) -> None:
+        """Apply an update stream to virtual network ``vn``."""
+        for update in updates:
+            if update.kind is UpdateKind.ANNOUNCE:
+                self.announce(vn, update.prefix, update.next_hop)
+            else:
+                self.withdraw(vn, update.prefix)
+
+    # -- data plane --------------------------------------------------------
+
+    def table(self, vn: int) -> RoutingTable:
+        """The current RIB of virtual network ``vn`` (live view)."""
+        self._check_vn(vn)
+        return self._tables[vn]
+
+    def trie(self, vn: int) -> UnibitTrie:
+        """The incrementally-maintained trie of virtual network ``vn``."""
+        self._check_vn(vn)
+        return self._tries[vn]
+
+    def merged(self) -> MergedTrie:
+        """The merged view, rebuilt lazily after updates."""
+        if self._merged is None:
+            self._merged = merge_tries(self._tries)
+            self._merged_rebuilds += 1
+        return self._merged
+
+    @property
+    def merged_rebuilds(self) -> int:
+        """How many times the merged structure has been refreshed."""
+        return self._merged_rebuilds
+
+    def lookup(self, address: int, vn: int) -> int:
+        """Separate-scheme lookup for ``address`` in network ``vn``."""
+        self._check_vn(vn)
+        return self._tries[vn].lookup(address)
+
+    def lookup_merged(self, address: int, vn: int) -> int:
+        """Merged-scheme lookup (through the lazily-refreshed union)."""
+        return self.merged().lookup(address, vn)
+
+    # -- consistency & accounting -------------------------------------------
+
+    def verify_consistency(self, samples: int = 128, seed: int = 0) -> bool:
+        """Cross-check tries and merged view against the RIB oracle."""
+        rng = np.random.default_rng(seed)
+        addresses = rng.integers(0, 1 << 32, size=samples, dtype=np.uint64).astype(
+            np.uint32
+        )
+        merged = self.merged()
+        for vn, table in enumerate(self._tables):
+            oracle = table.lookup_linear_batch(addresses)
+            if not np.array_equal(self._tries[vn].lookup_batch(addresses), oracle):
+                return False
+            got = merged.lookup_batch(addresses, np.full(len(addresses), vn))
+            if not np.array_equal(got, oracle):
+                return False
+        return True
+
+    def update_stats(self, vn: int) -> UpdateStats:
+        """Accumulated update statistics for virtual network ``vn``."""
+        self._check_vn(vn)
+        return self._stats[vn]
+
+    def write_rate(
+        self, updates_per_second: float, lookup_rate_mhz: float, n_stages: int = 28
+    ) -> float:
+        """Aggregate effective BRAM write rate across all VNs.
+
+        Feed this into :class:`repro.core.power.AnalyticalPowerModel`
+        (its ``write_rate`` parameter) to close the update→power loop.
+        """
+        combined = UpdateStats()
+        for stats in self._stats:
+            combined.announces += stats.announces
+            combined.withdraws += stats.withdraws
+            combined.no_ops += stats.no_ops
+            combined.nodes_created += stats.nodes_created
+            combined.nodes_pruned += stats.nodes_pruned
+            combined.nhi_changes += stats.nhi_changes
+            combined._writes_per_update.extend(stats._writes_per_update)
+        return effective_write_rate(
+            combined, updates_per_second, lookup_rate_mhz, n_stages
+        )

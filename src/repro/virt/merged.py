@@ -1,0 +1,245 @@
+"""Merged router virtualization: trie merging with measured α.
+
+The merged scheme (paper Section IV-C) unions the K virtual tries into
+one structure whose leaves carry a VNID-indexed vector of next hops
+(Section V-D).  The merge exploits structural similarity: a node at
+the same root path in several tries is stored once.
+
+Merging efficiency is the paper's Assumption 4:
+
+    α_global = common nodes / total nodes
+             = (Σᵢ nodes(trieᵢ) − union nodes) / Σᵢ nodes(trieᵢ)
+
+α_global is bounded by (K−1)/K (identical tables), so the *model
+parameter* the paper sweeps (α = 20 %, 80 % independent of K) is the
+pairwise/incremental form: merged nodes = M·(1 + (K−1)(1−α_pair)) for
+K equal-size tables.  Both are measured here and interconvert via
+``α_pair = α_global · K/(K−1)`` (see DESIGN.md §2 for why we adopt
+this reading of the paper's Eq. 5).
+
+The merged trie produced is full and leaf-pushed: every internal node
+has both children and every leaf holds the K-wide NHI vector of each
+virtual network's longest matching prefix along the leaf's path — so a
+single walk of the union structure answers lookups for every VN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MergeError
+from repro.iplookup.rib import NO_ROUTE
+from repro.iplookup.trie import NONE, TrieStats, UnibitTrie
+
+__all__ = [
+    "MergedTrie",
+    "merge_tries",
+    "pairwise_alpha_from_global",
+    "global_alpha_from_pairwise",
+]
+
+
+def pairwise_alpha_from_global(alpha_global: float, k: int) -> float:
+    """Convert the paper's common/total α into the model's pairwise α."""
+    if k < 2:
+        raise MergeError("pairwise alpha requires k >= 2")
+    if not 0.0 <= alpha_global <= (k - 1) / k + 1e-12:
+        raise MergeError(
+            f"alpha_global {alpha_global:.3f} out of range [0, {(k - 1) / k:.3f}] for k={k}"
+        )
+    return min(1.0, alpha_global * k / (k - 1))
+
+
+def global_alpha_from_pairwise(alpha_pair: float, k: int) -> float:
+    """Convert a pairwise/model α into the common/total measurement."""
+    if k < 2:
+        raise MergeError("pairwise alpha requires k >= 2")
+    if not 0.0 <= alpha_pair <= 1.0:
+        raise MergeError(f"alpha_pair must be in [0, 1], got {alpha_pair}")
+    return alpha_pair * (k - 1) / k
+
+
+class MergedTrie:
+    """Union trie over K virtual networks with per-leaf NHI vectors."""
+
+    __slots__ = (
+        "structure",
+        "k",
+        "_vectors",
+        "union_input_nodes",
+        "sum_input_nodes",
+    )
+
+    def __init__(
+        self,
+        structure: UnibitTrie,
+        vectors: list[np.ndarray | None],
+        k: int,
+        union_input_nodes: int,
+        sum_input_nodes: int,
+    ):
+        if len(vectors) != structure.num_nodes:
+            raise MergeError("one NHI vector slot per structure node required")
+        self.structure = structure
+        self.k = k
+        self._vectors = vectors
+        self.union_input_nodes = union_input_nodes
+        self.sum_input_nodes = sum_input_nodes
+
+    # -- merging efficiency ------------------------------------------------
+
+    @property
+    def global_alpha(self) -> float:
+        """Paper Assumption 4: common nodes / total nodes."""
+        if self.sum_input_nodes == 0:
+            return 0.0
+        return (self.sum_input_nodes - self.union_input_nodes) / self.sum_input_nodes
+
+    @property
+    def pairwise_alpha(self) -> float:
+        """The model-parameter α: per-additional-table overlap fraction."""
+        if self.k < 2:
+            return 1.0
+        return pairwise_alpha_from_global(self.global_alpha, self.k)
+
+    # -- structure & memory accounting ---------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Nodes in the final (leaf-pushed) merged trie."""
+        return self.structure.num_nodes
+
+    def stats(self) -> TrieStats:
+        """Per-level statistics of the merged structure.
+
+        Feed to :func:`repro.iplookup.mapping.map_trie_to_stages` with
+        ``nhi_vector_width=k`` to size the merged engine's memories.
+        """
+        return self.structure.stats()
+
+    def leaf_vector(self, node: int) -> np.ndarray:
+        """The K-wide NHI vector stored at leaf ``node``."""
+        vector = self._vectors[node]
+        if vector is None:
+            raise MergeError(f"node {node} is not a leaf")
+        return vector
+
+    # -- lookup ---------------------------------------------------------------
+
+    def lookup(self, address: int, vnid: int) -> int:
+        """LPM for ``address`` within virtual network ``vnid``."""
+        if not 0 <= vnid < self.k:
+            raise MergeError(f"vnid {vnid} out of range 0..{self.k - 1}")
+        trie = self.structure
+        node = 0
+        level = 0
+        while not trie.is_leaf(node):
+            bit = (address >> (31 - level)) & 1
+            node = trie.right(node) if bit else trie.left(node)
+            level += 1
+        return int(self._vectors[node][vnid])
+
+    def lookup_batch(self, addresses: np.ndarray, vnids: np.ndarray) -> np.ndarray:
+        """Vectorized merged lookup over (address, vnid) pairs."""
+        addresses = np.asarray(addresses, dtype=np.uint32)
+        vnids = np.asarray(vnids, dtype=np.int64)
+        if addresses.shape != vnids.shape:
+            raise MergeError("addresses and vnids must have the same shape")
+        if len(addresses) and (vnids.min() < 0 or vnids.max() >= self.k):
+            raise MergeError("vnid out of range")
+        trie = self.structure
+        left = np.asarray([trie.left(n) for n in trie.nodes()], dtype=np.int64)
+        right = np.asarray([trie.right(n) for n in trie.nodes()], dtype=np.int64)
+        leaf = left == NONE  # full trie: leaf iff left child missing
+        node = np.zeros(len(addresses), dtype=np.int64)
+        for lvl in range(trie.depth()):
+            bits = (addresses >> np.uint32(31 - lvl)) & np.uint32(1)
+            at_leaf = leaf[node]
+            nxt = np.where(bits == 1, right[node], left[node])
+            node = np.where(at_leaf, node, nxt)
+            if at_leaf.all():
+                break
+        # gather vector entries
+        result = np.empty(len(addresses), dtype=np.int64)
+        for i, n in enumerate(node):
+            result[i] = self._vectors[n][vnids[i]]
+        return result
+
+
+def merge_tries(tries: list[UnibitTrie]) -> MergedTrie:
+    """Merge K per-VN tries into one :class:`MergedTrie`.
+
+    Input tries may be plain or leaf-pushed; inherited next hops are
+    tracked per VN during the simultaneous walk, so the result is
+    always the full, leaf-pushed union with correct per-VN vectors.
+    """
+    if not tries:
+        raise MergeError("need at least one trie to merge")
+    k = len(tries)
+    structure = UnibitTrie()
+    vectors: list[np.ndarray | None] = [None]
+    union_input_nodes = 0
+    sum_input_nodes = sum(t.num_nodes for t in tries)
+
+    # stack entries: (per-trie node index or NONE, dst node, inherited NHI per VN)
+    roots = np.zeros(k, dtype=np.int64)
+    inherited0 = np.array([t.nhi(0) for t in tries], dtype=np.int64)
+    stack: list[tuple[np.ndarray, int, np.ndarray]] = [(roots, 0, inherited0)]
+    union_input_nodes += 1
+
+    while stack:
+        src, dst, inherited = stack.pop()
+        # collect each VN's own NHI at this union node
+        inherited = inherited.copy()
+        any_left = False
+        any_right = False
+        lefts = np.full(k, NONE, dtype=np.int64)
+        rights = np.full(k, NONE, dtype=np.int64)
+        for i, trie in enumerate(tries):
+            node = int(src[i])
+            if node == NONE:
+                continue
+            nhi = trie.nhi(node)
+            if nhi != NO_ROUTE:
+                inherited[i] = nhi
+            lefts[i] = trie.left(node)
+            rights[i] = trie.right(node)
+            if lefts[i] != NONE:
+                any_left = True
+            if rights[i] != NONE:
+                any_right = True
+
+        if not any_left and not any_right:
+            # union leaf: store the per-VN vector
+            vectors[dst] = inherited
+            continue
+
+        # union internal node: create both children (full/leaf-pushed)
+        level = structure.level(dst) + 1
+        dst_left = structure._new_node(level)
+        vectors.append(None)
+        structure._left[dst] = dst_left
+        dst_right = structure._new_node(level)
+        vectors.append(None)
+        structure._right[dst] = dst_right
+
+        if any_left:
+            union_input_nodes += 1
+            stack.append((lefts, dst_left, inherited))
+        else:
+            vectors[dst_left] = inherited.copy()
+        if any_right:
+            union_input_nodes += 1
+            stack.append((rights, dst_right, inherited))
+        else:
+            vectors[dst_right] = inherited.copy()
+
+    return MergedTrie(
+        structure=structure,
+        vectors=vectors,
+        k=k,
+        union_input_nodes=union_input_nodes,
+        sum_input_nodes=sum_input_nodes,
+    )

@@ -1,0 +1,91 @@
+"""Queueing latency at the lookup engine's input.
+
+Virtualization must be "transparent to the user ... ensuring the
+throughput and latency requirements guaranteed originally" (paper
+Section I).  The pipeline latency itself is fixed (N+1 cycles), but a
+*shared* engine also queues: packets of all K networks contend for the
+merged engine's single admission slot, while the separate scheme
+queues per engine at K-times-lower arrival rate.
+
+The lookup engine is a fixed-service-time server — one lookup per
+cycle — so the M/D/1 model applies: with utilization ρ and service
+time s, the mean wait is
+
+    W = ρ · s / (2 · (1 − ρ))
+
+This module evaluates that per scheme and exposes the latency-vs-load
+curves the paper's transparency requirement implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import lookup_latency_ns
+from repro.errors import CapacityError, ConfigurationError
+
+__all__ = ["md1_wait_ns", "LatencyReport", "scheme_latency_ns"]
+
+
+def md1_wait_ns(utilization: float, frequency_mhz: float) -> float:
+    """Mean M/D/1 queueing wait before a one-cycle server, in ns.
+
+    ``utilization`` is the offered load as a fraction of the engine's
+    line rate; at ρ → 1 the wait diverges (the engine saturates).
+    """
+    if not 0.0 <= utilization < 1.0:
+        raise CapacityError(
+            f"utilization must be in [0, 1) for a stable queue, got {utilization}"
+        )
+    if frequency_mhz <= 0:
+        raise ConfigurationError("frequency must be positive")
+    service_ns = 1.0 / (frequency_mhz * 1e6) * 1e9  # one cycle
+    return utilization * service_ns / (2.0 * (1.0 - utilization))
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Mean per-packet latency decomposition for one scheme."""
+
+    scheme_label: str
+    frequency_mhz: float
+    pipeline_ns: float
+    queueing_ns: float
+
+    @property
+    def total_ns(self) -> float:
+        """Mean end-to-end lookup latency."""
+        return self.pipeline_ns + self.queueing_ns
+
+
+def scheme_latency_ns(
+    scheme_label: str,
+    aggregate_load_gbps: float,
+    engine_capacity_gbps: float,
+    n_engines: int,
+    frequency_mhz: float,
+    n_stages: int = 28,
+) -> LatencyReport:
+    """Latency of a scheme serving ``aggregate_load_gbps``.
+
+    The aggregate load splits evenly over ``n_engines`` (1 for the
+    merged scheme, K for NV/VS); each engine is an M/D/1 server at
+    the resulting utilization.
+    """
+    if aggregate_load_gbps < 0 or engine_capacity_gbps <= 0:
+        raise ConfigurationError("loads and capacities must be positive")
+    if n_engines < 1:
+        raise ConfigurationError("n_engines must be >= 1")
+    per_engine = aggregate_load_gbps / n_engines
+    utilization = per_engine / engine_capacity_gbps
+    if utilization >= 1.0:
+        raise CapacityError(
+            f"{scheme_label}: per-engine load {per_engine:.1f} Gbps saturates "
+            f"the {engine_capacity_gbps:.1f} Gbps engine"
+        )
+    return LatencyReport(
+        scheme_label=scheme_label,
+        frequency_mhz=frequency_mhz,
+        pipeline_ns=lookup_latency_ns(frequency_mhz, n_stages),
+        queueing_ns=md1_wait_ns(utilization, frequency_mhz),
+    )

@@ -1,0 +1,54 @@
+"""Scheme descriptors: NV, VS, VM (paper Section III notation)."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Scheme"]
+
+
+class Scheme(enum.Enum):
+    """The three router deployment schemes the paper compares."""
+
+    #: non-virtualized: dedicated device per network
+    NV = "non-virtualized"
+    #: virtualized-separate: per-network engines on one shared device
+    VS = "virtualized-separate"
+    #: virtualized-merged: one shared engine over a merged trie
+    VM = "virtualized-merged"
+
+    @property
+    def is_virtualized(self) -> bool:
+        """True for the single-device schemes (VS, VM)."""
+        return self is not Scheme.NV
+
+    @property
+    def shares_engine(self) -> bool:
+        """True when all virtual networks time-share one engine (VM)."""
+        return self is Scheme.VM
+
+    def devices_required(self, k: int) -> int:
+        """Physical devices needed for ``k`` virtual networks (Eq. 1/3/5)."""
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        return k if self is Scheme.NV else 1
+
+    def engines_required(self, k: int) -> int:
+        """Lookup pipelines instantiated for ``k`` virtual networks."""
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        return 1 if self is Scheme.VM else k
+
+    @classmethod
+    def parse(cls, text: str) -> "Scheme":
+        """Parse ``"NV"``/``"VS"``/``"VM"`` or the long names."""
+        normalized = text.strip().upper()
+        for scheme in cls:
+            if scheme.name == normalized or scheme.value.upper() == normalized:
+                return scheme
+        raise ConfigurationError(f"unknown scheme {text!r}; expected NV, VS or VM")
+
+    def __str__(self) -> str:
+        return self.name

@@ -1,0 +1,128 @@
+"""Traffic and utilization modeling (paper Section III, Assumption 1).
+
+The paper assumes network traffic uniformly distributed over the K
+virtual routers (µᵢ = 1/K) and notes that "more complex distributions
+can be modeled by appropriately changing the µᵢ values".  This module
+provides both: the uniform vector, a Zipf-skewed generalization used
+by the ablation benches, and a packet-stream generator that draws
+destination addresses from each virtual network's routed space so
+pipeline simulations exercise real trie paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.iplookup.rib import RoutingTable
+
+__all__ = ["uniform_utilization", "zipf_utilization", "TrafficModel"]
+
+
+def uniform_utilization(k: int) -> np.ndarray:
+    """Assumption 1: µᵢ = 1/K for every virtual network."""
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    return np.full(k, 1.0 / k)
+
+
+def zipf_utilization(k: int, s: float = 1.0) -> np.ndarray:
+    """Zipf-skewed utilization: µᵢ ∝ (i+1)^-s, normalized to sum 1.
+
+    ``s = 0`` recovers the uniform vector; larger ``s`` concentrates
+    traffic on the first virtual networks — the "edge networks with
+    very different duty cycles" case the paper's introduction motivates.
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    if s < 0:
+        raise ConfigurationError(f"zipf exponent must be non-negative, got {s}")
+    weights = np.arange(1, k + 1, dtype=float) ** (-s)
+    return weights / weights.sum()
+
+
+@dataclass(frozen=True)
+class TrafficModel:
+    """Packet workload description for a K-virtual-network router.
+
+    Attributes
+    ----------
+    utilizations:
+        Per-VN load fractions µᵢ; must sum to 1.
+    duty_cycle:
+        Fraction of cycles carrying any packet at all (1 = saturated).
+        During the idle remainder, gated resources dissipate no
+        dynamic power (Section IV).
+    miss_fraction:
+        Fraction of generated packets aimed outside any routed prefix
+        (exercises the lookup-miss path).
+    """
+
+    utilizations: np.ndarray
+    duty_cycle: float = 1.0
+    miss_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        mu = np.asarray(self.utilizations, dtype=float)
+        if mu.ndim != 1 or len(mu) == 0:
+            raise ConfigurationError("utilizations must be a non-empty 1-D vector")
+        if (mu < 0).any():
+            raise ConfigurationError("utilizations must be non-negative")
+        if abs(mu.sum() - 1.0) > 1e-9:
+            raise ConfigurationError(f"utilizations must sum to 1, got {mu.sum():.6f}")
+        object.__setattr__(self, "utilizations", mu)
+        if not 0.0 < self.duty_cycle <= 1.0:
+            raise ConfigurationError("duty_cycle must be in (0, 1]")
+        if not 0.0 <= self.miss_fraction <= 1.0:
+            raise ConfigurationError("miss_fraction must be in [0, 1]")
+
+    @property
+    def k(self) -> int:
+        return len(self.utilizations)
+
+    @classmethod
+    def uniform(cls, k: int, duty_cycle: float = 1.0) -> "TrafficModel":
+        """The paper's Assumption 1 workload."""
+        return cls(utilizations=uniform_utilization(k), duty_cycle=duty_cycle)
+
+    def generate(
+        self,
+        n_packets: int,
+        tables: list[RoutingTable],
+        seed: int = 0,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Generate ``(addresses, vnids)`` for a packet stream.
+
+        Each packet picks its VN by µ, then draws a destination inside
+        a random routed prefix of that VN's table (random host bits),
+        or — with probability ``miss_fraction`` — a uniformly random
+        address that may miss the table entirely.
+        """
+        if n_packets < 0:
+            raise ConfigurationError("n_packets must be non-negative")
+        if len(tables) != self.k:
+            raise ConfigurationError(
+                f"expected {self.k} tables (one per VN), got {len(tables)}"
+            )
+        rng = np.random.default_rng(seed)
+        vnids = rng.choice(self.k, size=n_packets, p=self.utilizations)
+        addresses = np.empty(n_packets, dtype=np.uint32)
+        prefix_cache = [table.prefixes() for table in tables]
+        for i in range(n_packets):
+            if rng.random() < self.miss_fraction or not prefix_cache[vnids[i]]:
+                addresses[i] = rng.integers(0, 1 << 32, dtype=np.uint64)
+                continue
+            prefixes = prefix_cache[vnids[i]]
+            prefix = prefixes[int(rng.integers(0, len(prefixes)))]
+            host_bits = 32 - prefix.length
+            host = int(rng.integers(0, 1 << host_bits)) if host_bits else 0
+            addresses[i] = prefix.value | host
+        return addresses, vnids.astype(np.int64)
+
+    def inter_arrival_gap(self) -> int:
+        """Pipeline idle cycles per packet implied by the duty cycle."""
+        if self.duty_cycle >= 1.0:
+            return 0
+        return max(0, round(1.0 / self.duty_cycle) - 1)

@@ -1,0 +1,45 @@
+"""Virtual network identifier (VNID) handling.
+
+Packets entering a virtualized router carry a VNID that selects the
+routing table (paper Section IV-C).  In the merged scheme the VNID
+indexes the per-leaf NHI vector; in the separate scheme it steers the
+distributor.  These helpers model the VNID header field: its width and
+its packing into the packet metadata word.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["vnid_bits", "encode_vnid", "decode_vnid"]
+
+
+def vnid_bits(k: int) -> int:
+    """Header bits needed to address ``k`` virtual networks."""
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    return max(1, (k - 1).bit_length())
+
+
+def encode_vnid(address: int, vnid: int, k: int) -> int:
+    """Pack ``(vnid, address)`` into one metadata word.
+
+    The VNID occupies the bits above the 32-bit address, mirroring the
+    tagged internal bus of the merged engine.
+    """
+    if not 0 <= address <= 0xFFFFFFFF:
+        raise ConfigurationError(f"address out of range: {address:#x}")
+    if not 0 <= vnid < k:
+        raise ConfigurationError(f"vnid {vnid} out of range 0..{k - 1}")
+    return (vnid << 32) | address
+
+
+def decode_vnid(word: int, k: int) -> tuple[int, int]:
+    """Unpack a metadata word into ``(address, vnid)``."""
+    if word < 0:
+        raise ConfigurationError("metadata word must be non-negative")
+    address = word & 0xFFFFFFFF
+    vnid = word >> 32
+    if vnid >= k:
+        raise ConfigurationError(f"decoded vnid {vnid} out of range 0..{k - 1}")
+    return address, vnid

@@ -1,0 +1,64 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import ScenarioEstimator
+from repro.iplookup.leafpush import leaf_push
+from repro.iplookup.rib import RoutingTable
+from repro.iplookup.synth import SyntheticTableConfig, generate_table
+from repro.iplookup.trie import UnibitTrie
+
+
+@pytest.fixture(scope="session")
+def small_table() -> RoutingTable:
+    """A hand-written table covering nesting, defaults and /32s."""
+    return RoutingTable.from_strings(
+        [
+            ("0.0.0.0/0", 0),
+            ("10.0.0.0/8", 1),
+            ("10.1.0.0/16", 2),
+            ("10.1.1.0/24", 3),
+            ("10.1.1.128/25", 4),
+            ("10.1.1.129/32", 5),
+            ("192.168.0.0/16", 6),
+            ("192.168.100.0/24", 7),
+            ("172.16.0.0/12", 8),
+        ],
+        name="small",
+    )
+
+
+@pytest.fixture(scope="session")
+def small_trie(small_table) -> UnibitTrie:
+    return UnibitTrie(small_table)
+
+
+@pytest.fixture(scope="session")
+def small_pushed(small_trie) -> UnibitTrie:
+    return leaf_push(small_trie)
+
+
+@pytest.fixture(scope="session")
+def medium_config() -> SyntheticTableConfig:
+    """A medium synthetic table config, fast enough for many tests."""
+    return SyntheticTableConfig(n_prefixes=500, seed=42)
+
+
+@pytest.fixture(scope="session")
+def medium_table(medium_config) -> RoutingTable:
+    return generate_table(medium_config)
+
+
+@pytest.fixture(scope="session")
+def estimator() -> ScenarioEstimator:
+    return ScenarioEstimator()
+
+
+@pytest.fixture(scope="session")
+def random_addresses() -> np.ndarray:
+    """A fixed batch of lookup addresses spanning the space."""
+    rng = np.random.default_rng(2012)
+    return rng.integers(0, 2**32, size=512, dtype=np.uint64).astype(np.uint32)

@@ -1,0 +1,48 @@
+"""Provisioning agility analysis (repro.analysis.agility)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.agility import provisioning_downtime_ms, run
+from repro.errors import ConfigurationError
+from repro.iplookup.synth import SyntheticTableConfig
+from repro.virt.schemes import Scheme
+
+TABLE = SyntheticTableConfig(n_prefixes=400, seed=99)
+
+
+class TestDowntime:
+    def test_nv_and_vs_interruption_free(self):
+        for scheme in (Scheme.NV, Scheme.VS):
+            interruption, total = provisioning_downtime_ms(scheme, 4, table=TABLE)
+            assert interruption == 0.0
+            assert total > 0.0
+
+    def test_vm_stalls_without_shadow(self):
+        interruption, total = provisioning_downtime_ms(Scheme.VM, 4, table=TABLE)
+        assert interruption == total > 0.0
+
+    def test_vm_shadow_removes_interruption(self):
+        interruption, total = provisioning_downtime_ms(
+            Scheme.VM, 4, table=TABLE, shadow_bank=True
+        )
+        assert interruption == 0.0
+        assert total > 0.0
+
+    def test_vm_interruption_grows_with_k(self):
+        small, _ = provisioning_downtime_ms(Scheme.VM, 2, table=TABLE)
+        large, _ = provisioning_downtime_ms(Scheme.VM, 8, table=TABLE)
+        assert large > small
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            provisioning_downtime_ms(Scheme.VS, 0, table=TABLE)
+
+
+class TestExperiment:
+    def test_runs_and_orders(self):
+        result = run(ks=(2, 4), table=TABLE)
+        assert (result.get("VS_interruption_ms") == 0).all()
+        assert (result.get("VM_interruption_ms") > 0).all()
+        assert (result.get("VM_shadow_interruption_ms") == 0).all()
+        assert (np.diff(result.get("VM_interruption_ms")) > 0).all()

@@ -1,0 +1,104 @@
+"""Analysis package integration (sweeps, crossover, advisor)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.advisor import recommend_scheme
+from repro.analysis.crossover import find_crossover, scheme_crossover_k
+from repro.analysis.sweeps import (
+    alpha_sweep,
+    duty_cycle_sweep,
+    frequency_sweep,
+    leafpush_ablation,
+    table_size_sweep,
+    utilization_sweep,
+)
+from repro.errors import ConfigurationError
+from repro.virt.schemes import Scheme
+
+
+class TestSweeps:
+    def test_utilization_invariance(self):
+        r = utilization_sweep(k=6, zipf_exponents=(0.0, 1.0, 2.0))
+        totals = r.get("model_total_W")
+        assert totals.max() - totals.min() < 1e-9
+        sustainable = r.get("sustainable_aggregate_Gbps")
+        assert (np.diff(sustainable) < 0).all()
+
+    def test_alpha_sweep_monotone(self):
+        r = alpha_sweep(ks=(4,), alphas=(0.0, 0.25, 0.5, 0.75, 1.0))
+        totals = r.get("total_W K=4")
+        memory = r.get("memory_Mb K=4")
+        assert (np.diff(totals) <= 1e-12).all()
+        assert (np.diff(memory) < 0).all()
+
+    def test_frequency_sweep_tradeoff(self):
+        r = frequency_sweep(frequencies_mhz=(100.0, 200.0, 280.0), k=4)
+        assert (np.diff(r.get("model_total_W")) > 0).all()
+        assert (np.diff(r.get("model_mW_per_Gbps")) < 0).all()
+
+    def test_duty_cycle_gating_gap(self):
+        r = duty_cycle_sweep(duty_cycles=(0.1, 0.5, 1.0), k=4)
+        gated = r.get("gated_dynamic_W")
+        ungated = r.get("ungated_dynamic_W")
+        assert (ungated >= gated).all()
+        # for K engines at uniform load, each engine idles 1 − 1/K of
+        # the time even at full offered duty, so the gap only closes
+        # in the single-engine case
+        single = duty_cycle_sweep(duty_cycles=(1.0,), k=1)
+        assert single.get("ungated_dynamic_W")[0] == pytest.approx(
+            single.get("gated_dynamic_W")[0]
+        )
+
+    def test_leafpush_tradeoff(self):
+        r = leafpush_ablation()
+        assert r.get("pushed_nodes")[0] > r.get("plain_nodes")[0]
+
+    def test_table_size_scaling(self):
+        r = table_size_sweep(sizes=(500, 2000), k=4)
+        assert (np.diff(r.get("separate_memory_Mb")) > 0).all()
+        assert (np.diff(r.get("merged_memory_Mb")) > 0).all()
+
+
+class TestCrossover:
+    def test_basic_interpolation(self):
+        x = [1.0, 2.0, 3.0]
+        assert find_crossover(x, [0.0, 1.0, 3.0], [1.0, 1.0, 1.0]) == pytest.approx(2.0)
+
+    def test_no_crossover(self):
+        assert find_crossover([1, 2], [0, 0], [1, 1]) is None
+
+    def test_already_above(self):
+        assert find_crossover([1, 2], [2, 3], [1, 1]) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            find_crossover([1], [1, 2], [1, 2])
+
+    def test_vm_worse_than_vs_from_the_start(self):
+        k = scheme_crossover_k(
+            Scheme.VM, Scheme.VS, alpha_a=0.8, ks=(1, 2, 3, 4), metric="mw_per_gbps"
+        )
+        assert k is not None and k <= 2.0
+
+
+class TestAdvisor:
+    def test_vs_wins_under_modest_demand(self):
+        recs = recommend_scheme(6, alpha=0.5, per_network_gbps=2.0)
+        assert recs[0].scheme is Scheme.VS
+        assert recs[0].feasible
+
+    def test_vm_infeasible_under_heavy_aggregate(self):
+        # aggregate demand far above a single engine's capacity
+        recs = recommend_scheme(10, alpha=0.9, per_network_gbps=50.0)
+        vm = next(r for r in recs if r.scheme is Scheme.VM)
+        assert not vm.feasible
+        assert "capacity" in vm.reason
+
+    def test_descriptions_render(self):
+        for rec in recommend_scheme(4, alpha=0.5):
+            assert rec.describe()
+
+    def test_rejects_bad_demand(self):
+        with pytest.raises(ConfigurationError):
+            recommend_scheme(4, per_network_gbps=0.0)

@@ -1,0 +1,63 @@
+"""CLI runner (repro.experiments.runner)."""
+
+import os
+
+import pytest
+
+from repro.experiments.runner import main, run_experiment
+
+
+class TestRunExperiment:
+    def test_light_experiment_single_result(self):
+        results = run_experiment("table3")
+        assert len(results) == 1
+        assert results[0].experiment_id == "table3"
+
+    def test_graded_experiment_two_panels(self):
+        results = run_experiment("fig5")
+        assert len(results) == 2
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "table2" in out
+
+    def test_run_selected(self, capsys):
+        assert main(["table2", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "Table III" in out
+
+    def test_csv_export(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "csv")
+        assert main(["table2", "--csv", out_dir]) == 0
+        capsys.readouterr()
+        assert os.path.exists(os.path.join(out_dir, "table2.csv"))
+
+    def test_graded_csv_gets_suffixes(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "csv")
+        assert main(["fig2", "--csv", out_dir]) == 0
+        capsys.readouterr()
+        assert os.path.exists(os.path.join(out_dir, "fig2.csv"))
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["fig99"]) == 1
+        err = capsys.readouterr().err
+        assert "fig99" in err
+
+
+class TestChartFlag:
+    def test_chart_output(self, capsys):
+        assert main(["fig2", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "*=18Kb (-2)" in out
+
+
+class TestSvgFlag:
+    def test_svg_export(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "svg")
+        assert main(["fig2", "--svg", out_dir]) == 0
+        capsys.readouterr()
+        assert os.path.exists(os.path.join(out_dir, "fig2.svg"))

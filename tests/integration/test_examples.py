@@ -1,0 +1,51 @@
+"""Every shipped example must run cleanly as a script."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "edge_consolidation.py",
+    "low_power_exploration.py",
+    "lookup_pipeline_demo.py",
+    "bgp_churn.py",
+    "capacity_planning.py",
+    "consolidation_study.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, tmp_path):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, script))
+    proc = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=str(tmp_path),  # examples must not depend on the repo cwd
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "examples must produce output"
+
+
+def test_paper_figures_example(tmp_path):
+    """The heavyweight example: regenerates every figure and exports CSVs."""
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, "paper_figures.py"))
+    proc = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=str(tmp_path),
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    out_dir = tmp_path / "out" / "figures"
+    produced = sorted(p.name for p in out_dir.glob("*.csv"))
+    # two panels per graded figure + singles
+    assert "fig5_0.csv" in produced and "fig5_1.csv" in produced
+    assert "table3.csv" in produced

@@ -1,0 +1,112 @@
+"""Experiment runners produce well-formed, paper-consistent output."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    claims,
+    fig2_bram_power,
+    fig3_logic_power,
+    fig4_memory,
+    table2_device,
+    table3_bram_model,
+    trie_stats,
+)
+from repro.fpga.speedgrade import SpeedGrade
+from repro.reporting.registry import all_experiments
+
+
+class TestFig2:
+    def test_four_series(self):
+        r = fig2_bram_power.run()
+        assert len(r.series) == 4
+
+    def test_linear_at_table3_slopes(self):
+        r = fig2_bram_power.run()
+        f = r.x_values
+        assert np.allclose(r.get("18Kb (-2)"), 13.65 * f / 1000)
+        assert np.allclose(r.get("36Kb (-1L)"), 19.70 * f / 1000)
+
+    def test_36k_above_18k_everywhere(self):
+        r = fig2_bram_power.run()
+        assert (r.get("36Kb (-2)") > r.get("18Kb (-2)")).all()
+
+
+class TestFig3:
+    def test_totals_match_published_lines(self):
+        r = fig3_logic_power.run()
+        f = r.x_values
+        assert np.allclose(r.get("total (-2)"), 5.180 * f / 1000)
+        assert np.allclose(r.get("total (-1L)"), 3.937 * f / 1000)
+
+    def test_components_sum(self):
+        r = fig3_logic_power.run()
+        total = r.get("logic (-2)") + r.get("signal (-2)")
+        assert np.allclose(total, r.get("total (-2)"))
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig4_memory.run()
+
+    def test_pointer_ordering(self, result):
+        # separate > merged α=20% > merged α=80% for K > 1
+        sep = result.get("pointer separate")
+        vm20 = result.get("pointer merged a=20%")
+        vm80 = result.get("pointer merged a=80%")
+        assert (sep[1:] > vm20[1:]).all()
+        assert (vm20[1:] > vm80[1:]).all()
+
+    def test_nhi_merged_exceeds_separate(self, result):
+        sep = result.get("NHI separate")
+        for label in ("NHI merged a=80%", "NHI merged a=20%"):
+            assert (result.get(label)[1:] >= sep[1:]).all()
+
+    def test_k1_all_equal(self, result):
+        ptr_values = [result.get(l)[0] for l in result.labels() if l.startswith("pointer")]
+        assert max(ptr_values) - min(ptr_values) < 1e-9
+
+    def test_nhi_superlinear_at_low_alpha(self, result):
+        nhi = result.get("NHI merged a=20%")
+        k = result.x_values
+        # superlinear: value at K=15 far exceeds 15 × value at K=1
+        assert nhi[-1] > 5 * k[-1] * nhi[0] / k[0] / 5  # sanity
+        assert nhi[-1] / nhi[0] > 2 * k[-1] / k[0]
+
+
+class TestTables:
+    def test_table2_matches_paper(self):
+        r = table2_device.run()
+        assert np.array_equal(r.get("paper"), r.get("catalog"))
+
+    def test_table3_matches_paper(self):
+        r = table3_bram_model.run()
+        assert np.allclose(r.get("paper"), r.get("fitted"), rtol=1e-9)
+
+    def test_trie_stats_within_tolerance(self):
+        r = trie_stats.run()
+        paper = r.get("paper")
+        synth = r.get("synthetic")
+        deviation = np.abs(synth - paper) / paper
+        assert deviation[0] == 0.0  # prefixes exact
+        assert deviation[1] < 0.20  # trie nodes within 20%
+        assert deviation[2] < 0.05  # leaf-pushed nodes within 5%
+
+
+class TestClaims:
+    def test_claim_experiment_runs(self):
+        r = claims.run(ks=(1, 3, 5, 8))
+        savings = r.get("savings_NV_minus_VS_W")
+        assert (np.diff(savings) > 0).all()
+        ratio = r.get("power_ratio_1L_over_2")
+        assert (np.abs(ratio - 0.7) < 0.06).all()
+
+
+class TestRegistryCompleteness:
+    def test_every_experiment_renders(self):
+        # light experiments render end-to-end without error
+        for experiment_id in ("fig2", "fig3", "table2", "table3", "trie_stats"):
+            runner = all_experiments()[experiment_id]
+            text = runner().render()
+            assert experiment_id in text

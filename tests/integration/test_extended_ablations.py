@@ -1,0 +1,111 @@
+"""Extended ablations: strides, temperature, heterogeneity (A7–A9)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweeps import heterogeneity_sweep, stride_sweep, temperature_sweep
+from repro.core.resources import (
+    engine_stage_map,
+    merged_stage_map,
+    merged_stage_map_hetero,
+    scheme_resources_hetero,
+)
+from repro.errors import ConfigurationError
+from repro.iplookup.leafpush import leaf_push
+from repro.iplookup.synth import SyntheticTableConfig, generate_table
+from repro.iplookup.trie import UnibitTrie
+from repro.virt.schemes import Scheme
+
+
+@pytest.fixture(scope="module")
+def stats_pair():
+    def build(n, seed):
+        return leaf_push(UnibitTrie(generate_table(SyntheticTableConfig(n_prefixes=n, seed=seed)))).stats()
+
+    return [build(300, 1), build(600, 2), build(150, 3)]
+
+
+class TestStrideSweep:
+    def test_stages_shrink_with_stride(self):
+        r = stride_sweep(strides=(1, 2, 4))
+        assert (np.diff(r.get("pipeline_stages")) < 0).all()
+
+    def test_logic_power_tracks_stages(self):
+        r = stride_sweep(strides=(1, 2, 4))
+        stages = r.get("pipeline_stages")
+        logic = r.get("logic_W")
+        assert np.allclose(logic / stages, logic[0] / stages[0])
+
+    def test_totals_are_components_sum(self):
+        r = stride_sweep(strides=(1, 4))
+        assert np.allclose(
+            r.get("dynamic_total_W"), r.get("logic_W") + r.get("bram_W")
+        )
+
+
+class TestTemperatureSweep:
+    def test_monotone_increasing(self):
+        r = temperature_sweep()
+        assert (np.diff(r.get("static_W")) > 0).all()
+
+    def test_nominal_point(self):
+        r = temperature_sweep(temperatures_c=(50.0,))
+        assert r.get("static_W")[0] == pytest.approx(4.5)
+
+
+class TestHeterogeneousResources:
+    def test_identical_tables_match_homogeneous_model(self, stats_pair):
+        stats = stats_pair[0]
+        hetero = merged_stage_map_hetero([stats] * 4, 0.6, 32)
+        homo = merged_stage_map(stats, 4, 0.6, 32)
+        # same formula applied per level: totals agree within rounding
+        assert hetero.total_bits == pytest.approx(homo.total_bits, rel=0.01)
+
+    def test_alpha_one_keeps_largest_table(self, stats_pair):
+        merged = merged_stage_map_hetero(stats_pair, 1.0, 32)
+        biggest = max(engine_stage_map(s, 32).total_pointer_bits for s in stats_pair)
+        assert merged.total_pointer_bits <= biggest * 1.01 + 64
+
+    def test_alpha_zero_is_sum(self, stats_pair):
+        merged = merged_stage_map_hetero(stats_pair, 0.0, 32)
+        total_ptr = sum(engine_stage_map(s, 32).total_pointer_bits for s in stats_pair)
+        assert merged.total_pointer_bits == pytest.approx(total_ptr, rel=0.01)
+
+    def test_scheme_resources_hetero_structure(self, stats_pair):
+        vs = scheme_resources_hetero(Scheme.VS, stats_pair, n_stages=32)
+        assert vs.devices == 1
+        assert len(vs.engine_maps) == 3
+        nv = scheme_resources_hetero(Scheme.NV, stats_pair, n_stages=32)
+        assert nv.devices == 3
+        vm = scheme_resources_hetero(Scheme.VM, stats_pair, alpha=0.5, n_stages=32)
+        assert len(vm.engine_maps) == 1
+        assert vm.engine_maps[0].nhi_vector_width == 3
+
+    def test_vm_requires_alpha(self, stats_pair):
+        with pytest.raises(ConfigurationError):
+            scheme_resources_hetero(Scheme.VM, stats_pair, n_stages=32)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scheme_resources_hetero(Scheme.VS, [], n_stages=32)
+
+
+class TestHeterogeneitySweep:
+    def test_runs_and_reports(self):
+        r = heterogeneity_sweep(k=4, spread_factors=(1.0, 4.0))
+        # merging benefits from skew is bounded; separate roughly flat
+        sep = r.get("separate_memory_Mb")
+        assert abs(sep[1] - sep[0]) / sep[0] < 0.25
+
+
+class TestStructureComparison:
+    def test_rows_and_orderings(self):
+        from repro.analysis.sweeps import structure_comparison
+
+        r = structure_comparison()
+        nodes = r.get("nodes")
+        stages = r.get("pipeline_stages")
+        # plain(0), leaf_pushed(1), patricia(2), multibit_s4(3)
+        assert nodes[1] > nodes[0] > nodes[2] > nodes[3]
+        assert stages[3] < stages[2] <= stages[0]
+        assert (r.get("dynamic_W") > 0).all()

@@ -1,0 +1,69 @@
+"""Operating-point governor (repro.analysis.governor)."""
+
+import pytest
+
+from repro.analysis.governor import pareto_frontier, plan_operating_point
+from repro.errors import CapacityError, ConfigurationError
+from repro.fpga.speedgrade import SpeedGrade
+from repro.virt.schemes import Scheme
+
+
+class TestPlanOperatingPoint:
+    def test_low_demand_prefers_low_power_grade(self):
+        # a tiny demand is satisfiable at low frequency; the -1L grade's
+        # lower static power should win
+        point = plan_operating_point(5.0, k=4, frequency_steps=6)
+        assert point.grade is SpeedGrade.G1L
+        assert point.capacity_gbps >= 5.0
+
+    def test_high_demand_forces_fast_grade_or_vs(self):
+        point = plan_operating_point(800.0, k=12, frequency_steps=4)
+        assert point.scheme is Scheme.VS  # only aggregated engines reach it
+        assert point.capacity_gbps >= 800.0
+
+    def test_infeasible_demand_raises(self):
+        with pytest.raises(CapacityError):
+            plan_operating_point(10_000.0, k=4, frequency_steps=3)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            plan_operating_point(0.0, k=4)
+        with pytest.raises(ConfigurationError):
+            plan_operating_point(1.0, k=0)
+
+    def test_chosen_point_is_minimal(self):
+        demand = 50.0
+        chosen = plan_operating_point(demand, k=4, frequency_steps=5)
+        for point in pareto_frontier(k=4, frequency_steps=5):
+            if point.capacity_gbps >= demand:
+                assert chosen.total_power_w <= point.total_power_w + 1e-9
+
+    def test_describe(self):
+        point = plan_operating_point(5.0, k=2, frequency_steps=3)
+        text = point.describe()
+        assert "MHz" in text and "W" in text
+
+
+class TestParetoFrontier:
+    def test_frontier_is_pareto_optimal(self):
+        frontier = pareto_frontier(k=6, frequency_steps=5)
+        assert frontier
+        for a in frontier:
+            for b in frontier:
+                if a is b:
+                    continue
+                dominated = (
+                    b.capacity_gbps >= a.capacity_gbps
+                    and b.total_power_w < a.total_power_w
+                )
+                assert not dominated
+
+    def test_frontier_sorted_by_capacity(self):
+        frontier = pareto_frontier(k=6, frequency_steps=5)
+        capacities = [p.capacity_gbps for p in frontier]
+        assert capacities == sorted(capacities)
+
+    def test_frontier_power_increases_with_capacity(self):
+        frontier = pareto_frontier(k=6, frequency_steps=5)
+        powers = [p.total_power_w for p in frontier]
+        assert powers == sorted(powers)

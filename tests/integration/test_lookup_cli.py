@@ -1,0 +1,66 @@
+"""repro-lookup CLI (repro.tools.lookup_cli)."""
+
+import os
+
+import pytest
+
+from repro.tools.lookup_cli import main
+
+SAMPLE = os.path.join(
+    os.path.dirname(__file__), "..", "..", "examples", "data", "edge_sample.rib"
+)
+
+
+class TestStats:
+    def test_stats_output(self, capsys):
+        assert main(["stats", SAMPLE]) == 0
+        out = capsys.readouterr().out
+        assert "prefixes" in out and "250" in out
+        assert "patricia" in out and "leaf-pushed" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["stats", "/nonexistent.rib"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestLookup:
+    def test_structures_agree(self, capsys):
+        assert main(["lookup", SAMPLE, "8.8.8.8", "1.2.3.4"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("ok") >= 2
+
+    def test_routed_address_reports_hop(self, capsys):
+        from repro.iplookup.rib import RoutingTable
+        from repro.iplookup.prefix import format_address
+
+        table = RoutingTable.from_file(SAMPLE)
+        route = table.routes()[0]
+        address = format_address(route.prefix.first_address())
+        assert main(["lookup", SAMPLE, address]) == 0
+        out = capsys.readouterr().out
+        assert address in out
+
+    def test_malformed_address(self, capsys):
+        assert main(["lookup", SAMPLE, "not-an-ip"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestChurn:
+    def test_churn_report(self, capsys):
+        assert main(["churn", SAMPLE, "--updates", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "memory writes" in out
+        assert "paper assumes 1%" in out
+
+    def test_deterministic_seed(self, capsys):
+        main(["churn", SAMPLE, "--updates", "50", "--seed", "4"])
+        first = capsys.readouterr().out
+        main(["churn", SAMPLE, "--updates", "50", "--seed", "4"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,121 @@
+"""Regression tests pinning the paper's qualitative claims.
+
+These tests run the actual figure sweeps (cached in
+repro.experiments.common) and assert the *shapes* the paper reports —
+who wins, by roughly what factor, and the error bound.  They are the
+acceptance criteria of the reproduction; EXPERIMENTS.md cites them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import PAPER_KS, sweep_grid
+from repro.fpga.speedgrade import SpeedGrade
+
+
+@pytest.fixture(scope="module", params=[SpeedGrade.G2, SpeedGrade.G1L], ids=["g2", "g1l"])
+def grade(request):
+    return request.param
+
+
+@pytest.fixture(scope="module")
+def grid(grade):
+    return sweep_grid(grade, PAPER_KS)
+
+
+class TestFig5TotalPower:
+    def test_nv_grows_linearly_with_k(self, grid):
+        nv = np.array([r.experimental.total_w for r in grid["NV"]])
+        ks = np.asarray(PAPER_KS, dtype=float)
+        slope, intercept = np.polyfit(ks, nv, 1)
+        residual = nv - (slope * ks + intercept)
+        assert np.abs(residual).max() < 0.05 * nv.mean()
+        assert slope > 0
+
+    def test_virtualized_far_below_nv_at_high_k(self, grid):
+        nv = grid["NV"][-1].experimental.total_w
+        for label in ("VS", "VM(a=80%)", "VM(a=20%)"):
+            assert grid[label][-1].experimental.total_w < nv / 5
+
+    def test_savings_grow_with_k(self, grid):
+        nv = np.array([r.experimental.total_w for r in grid["NV"]])
+        vs = np.array([r.experimental.total_w for r in grid["VS"]])
+        savings = nv - vs
+        assert (np.diff(savings) > 0).all()
+
+
+class TestFig6VirtualizedPower:
+    def test_vs_experimental_decreases_with_k(self, grid):
+        vs = np.array([r.experimental.total_w for r in grid["VS"]])
+        assert vs[-1] < vs[0]
+        # trend, not strict monotonicity (placement jitter)
+        assert np.polyfit(np.asarray(PAPER_KS, float), vs, 1)[0] < 0
+
+    def test_vm_grows_with_k(self, grid):
+        for label in ("VM(a=80%)", "VM(a=20%)"):
+            vm = np.array([r.experimental.total_w for r in grid[label]])
+            assert vm[-1] > vm[0]
+
+    def test_low_alpha_costs_more(self, grid):
+        vm80 = np.array([r.experimental.total_w for r in grid["VM(a=80%)"]])
+        vm20 = np.array([r.experimental.total_w for r in grid["VM(a=20%)"]])
+        assert (vm20[1:] > vm80[1:]).all()
+
+
+class TestFig7ModelError:
+    def test_paper_bound_plus_minus_three_percent(self, grid):
+        for label, results in grid.items():
+            errors = np.array([r.percentage_error for r in results])
+            assert np.abs(errors).max() <= 3.0, f"{label} exceeded the paper bound"
+
+    def test_merged_error_exceeds_nv_vs_error(self, grid):
+        nv_vs = max(
+            max(abs(r.percentage_error) for r in grid["NV"]),
+            max(abs(r.percentage_error) for r in grid["VS"]),
+        )
+        vm = max(
+            max(abs(r.percentage_error) for r in grid["VM(a=80%)"]),
+            max(abs(r.percentage_error) for r in grid["VM(a=20%)"]),
+        )
+        assert vm > nv_vs
+
+
+class TestFig8Efficiency:
+    def test_ordering_at_high_k(self, grid):
+        """Paper: VS best, conventional second, merged worst."""
+        at_15 = {label: results[-1].experimental_mw_per_gbps for label, results in grid.items()}
+        assert at_15["VS"] < at_15["NV"] < at_15["VM(a=80%)"] < at_15["VM(a=20%)"]
+
+    def test_vs_improves_with_k(self, grid):
+        vs = np.array([r.experimental_mw_per_gbps for r in grid["VS"]])
+        assert (np.diff(vs) < 0).all()
+
+    def test_merged_worsens_with_k(self, grid):
+        for label in ("VM(a=80%)", "VM(a=20%)"):
+            vm = np.array([r.experimental_mw_per_gbps for r in grid[label]])
+            assert vm[-1] > vm[0]
+
+    def test_merged_frequency_collapses(self, grid):
+        f = np.array([r.frequency_mhz for r in grid["VM(a=20%)"]])
+        assert f[-1] < 0.8 * f[0]
+
+
+class TestGradeComparison:
+    def test_thirty_percent_power_saving(self):
+        g2 = sweep_grid(SpeedGrade.G2, PAPER_KS)
+        g1l = sweep_grid(SpeedGrade.G1L, PAPER_KS)
+        ratios = []
+        for label in g2:
+            p2 = np.array([r.experimental.total_w for r in g2[label]])
+            p1 = np.array([r.experimental.total_w for r in g1l[label]])
+            ratios.append(p1 / p2)
+        mean_ratio = float(np.mean(ratios))
+        assert 0.62 <= mean_ratio <= 0.75  # "30% less power"
+
+    def test_same_efficiency_within_ten_percent(self):
+        g2 = sweep_grid(SpeedGrade.G2, PAPER_KS)
+        g1l = sweep_grid(SpeedGrade.G1L, PAPER_KS)
+        for label in g2:
+            e2 = np.array([r.experimental_mw_per_gbps for r in g2[label]])
+            e1 = np.array([r.experimental_mw_per_gbps for r in g1l[label]])
+            assert np.abs(e1 / e2 - 1.0).max() < 0.10

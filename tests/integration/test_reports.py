@@ -1,0 +1,80 @@
+"""Markdown rendering and the EXPERIMENTS.md generator."""
+
+import numpy as np
+
+from repro.experiments.report import build_experiments_md, main
+from repro.experiments.scalability import max_k, run as scalability_run
+from repro.fpga.speedgrade import SpeedGrade
+from repro.iplookup.synth import SyntheticTableConfig
+from repro.reporting.markdown import to_markdown_section, to_markdown_table
+from repro.reporting.result import ExperimentResult
+from repro.virt.schemes import Scheme
+
+
+def make_result() -> ExperimentResult:
+    r = ExperimentResult(
+        experiment_id="demo",
+        title="Demo",
+        x_label="K",
+        x_values=np.array([1.0, 2.0]),
+    )
+    r.add_series("a", [1.0, 2.0])
+    r.add_note("hello")
+    return r
+
+
+class TestMarkdown:
+    def test_table_shape(self):
+        md = to_markdown_table(make_result())
+        lines = md.strip().splitlines()
+        assert lines[0] == "| K | a |"
+        assert lines[1].startswith("|---")
+        assert len(lines) == 4
+
+    def test_section_contains_notes(self):
+        md = to_markdown_section(make_result())
+        assert "### demo" in md
+        assert "* hello" in md
+
+
+class TestScalabilityExperiment:
+    def test_vs_pin_wall_is_paper_k15(self):
+        k, gate = max_k(Scheme.VS, SyntheticTableConfig(n_prefixes=400, seed=99))
+        assert k == 15
+        assert gate == "I/O pins"
+
+    def test_merged_wall_tightens_with_low_alpha(self):
+        table = SyntheticTableConfig(n_prefixes=400, seed=99)
+        k80, _ = max_k(Scheme.VM, table, alpha=0.8)
+        k20, _ = max_k(Scheme.VM, table, alpha=0.2)
+        assert k20 < k80
+
+    def test_experiment_renders(self):
+        result = scalability_run(sizes=(400,))
+        text = result.render()
+        assert "max_K VS" in text
+
+
+class TestExperimentsMdGenerator:
+    def test_builds_all_sections(self):
+        content = build_experiments_md()
+        for section in ("table2", "table3", "fig2", "fig5", "fig7", "fig8", "claims", "scalability"):
+            assert f"### {section}" in content
+        assert "Known deviations" in content
+
+    def test_main_writes_file(self, tmp_path, capsys):
+        path = tmp_path / "EXP.md"
+        assert main([str(path)]) == 0
+        assert path.read_text().startswith("# EXPERIMENTS")
+
+
+class TestDeviceChoice:
+    def test_lx760_dominates_pin_budget(self):
+        from repro.experiments.device_choice import run
+        from repro.iplookup.synth import SyntheticTableConfig
+
+        result = run(k=8, table=SyntheticTableConfig(n_prefixes=400, seed=99))
+        names = [n for n in result.notes if n.startswith("device")]
+        max_k = result.get("max_K")
+        lx760_row = next(i for i, n in enumerate(names) if "XC6VLX760" in n)
+        assert max_k[lx760_row] == max_k.max() == 15

@@ -1,0 +1,60 @@
+"""Consolidation study (repro.analysis.study)."""
+
+import pytest
+
+from repro.analysis.study import run_study
+from repro.errors import ConfigurationError
+from repro.iplookup.synth import SyntheticTableConfig
+from repro.virt.schemes import Scheme
+
+TABLE = SyntheticTableConfig(n_prefixes=400, seed=31)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_study([6, 4, 3, 2], duty_cycle=0.5, table=TABLE)
+
+
+class TestStudy:
+    def test_all_schemes_assessed(self, study):
+        assert {a.scheme for a in study.assessments} == {Scheme.NV, Scheme.VS, Scheme.VM}
+
+    def test_recommendation_is_feasible_and_cheapest(self, study):
+        best = study.recommendation
+        assert best.feasible
+        for a in study.assessments:
+            if a.feasible and a.result is not None:
+                assert (
+                    best.result.experimental.total_w
+                    <= a.result.experimental.total_w + 1e-9
+                )
+
+    def test_vs_recommended_for_modest_edge_load(self, study):
+        assert study.recommendation.scheme is Scheme.VS
+
+    def test_bounds_contain_measurement(self, study):
+        for a in study.assessments:
+            if a.result is not None and a.bounds is not None:
+                assert a.bounds.contains(a.result.experimental.total_w)
+
+    def test_latency_reported_for_feasible(self, study):
+        for a in study.assessments:
+            if a.feasible:
+                assert a.latency_ns is not None and a.latency_ns > 0
+
+    def test_render_contains_everything(self, study):
+        text = study.render()
+        assert "recommendation: VS" in text
+        assert "bounds_W" in text and "latency_ns" in text
+
+    def test_vm_infeasible_under_heavy_aggregate(self):
+        heavy = run_study([40.0] * 6, table=TABLE)
+        vm = next(a for a in heavy.assessments if a.scheme is Scheme.VM)
+        assert not vm.feasible
+        assert "exceeds" in vm.reason
+
+    def test_rejects_bad_demands(self):
+        with pytest.raises(ConfigurationError):
+            run_study([])
+        with pytest.raises(ConfigurationError):
+            run_study([1.0, -2.0])

@@ -1,0 +1,117 @@
+"""Property tests: trie merging (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.iplookup.prefix import Prefix
+from repro.iplookup.rib import RoutingTable
+from repro.iplookup.trie import UnibitTrie
+from repro.virt.merged import merge_tries
+
+prefixes = st.builds(
+    Prefix.normalized,
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    st.integers(min_value=0, max_value=24),
+)
+
+route_lists = st.lists(
+    st.tuples(prefixes, st.integers(min_value=0, max_value=31)),
+    min_size=0,
+    max_size=20,
+)
+
+table_sets = st.lists(route_lists, min_size=1, max_size=4)
+
+
+def build_tables(table_set) -> list[RoutingTable]:
+    tables = []
+    for routes in table_set:
+        t = RoutingTable()
+        for prefix, nh in routes:
+            t.add(prefix, nh)
+        tables.append(t)
+    return tables
+
+
+@given(table_sets, st.lists(st.integers(0, 0xFFFFFFFF), min_size=1, max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_merged_lookup_equals_per_table_oracle(table_set, addresses):
+    """The core merged-router correctness property: for every VN, the
+    merged trie answers exactly what that VN's own table would."""
+    tables = build_tables(table_set)
+    merged = merge_tries([UnibitTrie(t) for t in tables])
+    addrs = np.array(addresses, dtype=np.uint32)
+    for vn, table in enumerate(tables):
+        expected = table.lookup_linear_batch(addrs)
+        got = merged.lookup_batch(addrs, np.full(len(addrs), vn))
+        assert np.array_equal(expected, got)
+
+
+@given(table_sets)
+@settings(max_examples=100, deadline=None)
+def test_merged_structure_is_full_and_valid(table_set):
+    tables = build_tables(table_set)
+    merged = merge_tries([UnibitTrie(t) for t in tables])
+    merged.structure.validate()
+    assert merged.structure.is_leaf_pushed()
+
+
+@given(table_sets)
+@settings(max_examples=100, deadline=None)
+def test_alpha_bounds(table_set):
+    tables = build_tables(table_set)
+    k = len(tables)
+    merged = merge_tries([UnibitTrie(t) for t in tables])
+    assert 0.0 <= merged.global_alpha <= (k - 1) / k + 1e-12 if k > 1 else True
+    if k > 1:
+        assert 0.0 <= merged.pairwise_alpha <= 1.0
+
+
+@given(table_sets)
+@settings(max_examples=50, deadline=None)
+def test_union_nodes_bounded(table_set):
+    """Union size is at least the biggest input and at most the sum."""
+    tables = build_tables(table_set)
+    tries = [UnibitTrie(t) for t in tables]
+    merged = merge_tries(tries)
+    biggest = max(t.num_nodes for t in tries)
+    total = sum(t.num_nodes for t in tries)
+    assert biggest <= merged.union_input_nodes <= total
+
+
+@given(route_lists, st.integers(min_value=2, max_value=5))
+@settings(max_examples=50, deadline=None)
+def test_identical_tables_merge_to_one(routes, k):
+    table = RoutingTable()
+    for prefix, nh in routes:
+        table.add(prefix, nh)
+    tries = [UnibitTrie(table) for _ in range(k)]
+    merged = merge_tries(tries)
+    assert merged.union_input_nodes == tries[0].num_nodes
+    assert merged.pairwise_alpha == 1.0
+
+
+@given(table_sets, st.lists(st.integers(0, 0xFFFFFFFF), min_size=1, max_size=15))
+@settings(max_examples=60, deadline=None)
+def test_braided_lookup_equals_per_table_oracle(table_set, addresses):
+    """Braiding must preserve per-VN forwarding exactly, twists and all."""
+    from repro.virt.braiding import braid_tries
+
+    tables = build_tables(table_set)
+    braided = braid_tries([UnibitTrie(t) for t in tables])
+    addrs = np.array(addresses, dtype=np.uint32)
+    for vn, table in enumerate(tables):
+        expected = table.lookup_linear_batch(addrs)
+        got = braided.lookup_batch(addrs, np.full(len(addrs), vn))
+        assert np.array_equal(expected, got)
+
+
+@given(table_sets)
+@settings(max_examples=60, deadline=None)
+def test_braided_shape_is_full_and_valid(table_set):
+    from repro.virt.braiding import braid_tries
+
+    tables = build_tables(table_set)
+    braided = braid_tries([UnibitTrie(t) for t in tables])
+    braided.structure.validate()
+    assert braided.structure.is_leaf_pushed()

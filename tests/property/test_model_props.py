@@ -1,0 +1,92 @@
+"""Property tests: analytical power-model invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.power import AnalyticalPowerModel
+from repro.core.resources import engine_stage_map, merged_multiplier, merged_stage_map
+from repro.fpga.speedgrade import SpeedGrade
+
+
+@pytest.fixture(scope="module")
+def base_stats():
+    from repro.iplookup.leafpush import leaf_push
+    from repro.iplookup.synth import SyntheticTableConfig, generate_table
+    from repro.iplookup.trie import UnibitTrie
+
+    table = generate_table(SyntheticTableConfig(n_prefixes=300, seed=77))
+    return leaf_push(UnibitTrie(table)).stats()
+
+
+ks = st.integers(min_value=1, max_value=15)
+alphas = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+frequencies = st.floats(min_value=1.0, max_value=500.0, allow_nan=False)
+grades = st.sampled_from(list(SpeedGrade))
+
+
+@given(ks, alphas)
+def test_merged_multiplier_bounds(k, alpha):
+    m = merged_multiplier(k, alpha)
+    assert 1.0 <= m <= k
+
+
+@given(ks, alphas)
+@settings(max_examples=60, deadline=None)
+def test_merged_memory_between_one_and_k_tables(base_stats, k, alpha):
+    base = engine_stage_map(base_stats, 28)
+    merged = merged_stage_map(base_stats, k, alpha, 28)
+    # pointer memory: between one table's and K tables' worth
+    assert base.total_pointer_bits <= merged.total_pointer_bits
+    assert merged.total_pointer_bits <= k * base.total_pointer_bits + k  # rounding slack
+    # NHI memory: at least K × one table's entries (K-wide vectors)
+    assert merged.total_nhi_bits >= base.total_nhi_bits
+
+
+@given(ks, frequencies, grades)
+@settings(max_examples=60, deadline=None)
+def test_nv_dominates_vs_by_static_exactly(base_stats, k, f, grade):
+    """P_NV − P_VS = (K−1)·P_L for any K, f, grade (Eqs. 2 vs 4)."""
+    base = engine_stage_map(base_stats, 28)
+    model = AnalyticalPowerModel(grade)
+    mu = np.full(k, 1.0 / k)
+    nv = model.power_nv([base] * k, f, mu)
+    vs = model.power_vs([base] * k, f, mu)
+    assert nv.total_w - vs.total_w == pytest.approx((k - 1) * model.static_w)
+    assert nv.dynamic_w == pytest.approx(vs.dynamic_w)
+
+
+@given(frequencies, grades, st.floats(min_value=0.01, max_value=1.0))
+@settings(max_examples=60, deadline=None)
+def test_dynamic_power_scales_linearly_with_duty(base_stats, f, grade, duty):
+    base = engine_stage_map(base_stats, 28)
+    model = AnalyticalPowerModel(grade)
+    mu = np.array([1.0])
+    full = model.power_vs([base], f, mu, duty_cycle=1.0)
+    scaled = model.power_vs([base], f, mu, duty_cycle=duty)
+    assert scaled.dynamic_w == pytest.approx(full.dynamic_w * duty, rel=1e-9)
+
+
+@given(ks, frequencies)
+@settings(max_examples=40, deadline=None)
+def test_low_power_grade_never_worse(base_stats, k, f):
+    base = engine_stage_map(base_stats, 28)
+    mu = np.full(k, 1.0 / k)
+    g2 = AnalyticalPowerModel(SpeedGrade.G2).power_vs([base] * k, f, mu)
+    g1l = AnalyticalPowerModel(SpeedGrade.G1L).power_vs([base] * k, f, mu)
+    assert g1l.total_w < g2.total_w
+
+
+@given(st.lists(st.floats(min_value=0.001, max_value=1.0), min_size=1, max_size=10))
+@settings(max_examples=60, deadline=None)
+def test_vs_power_invariant_to_mu_distribution(base_stats, raw_mu):
+    """Under Assumption 2 (identical tables), Eq. 4 telescopes: the
+    utilization *distribution* cannot change total power."""
+    mu = np.asarray(raw_mu)
+    mu = mu / mu.sum()
+    k = len(mu)
+    base = engine_stage_map(base_stats, 28)
+    model = AnalyticalPowerModel(SpeedGrade.G2)
+    skewed = model.power_vs([base] * k, 250, mu)
+    uniform = model.power_vs([base] * k, 250, np.full(k, 1.0 / k))
+    assert skewed.total_w == pytest.approx(uniform.total_w, rel=1e-9)

@@ -1,0 +1,74 @@
+"""Property tests: BRAM packing and power quantization (hypothesis)."""
+
+from hypothesis import given, strategies as st
+
+from repro.fpga.bram import (
+    BramKind,
+    blocks_required,
+    bram_dynamic_power_uw,
+    pack_stage_memory,
+)
+from repro.fpga.speedgrade import SpeedGrade
+from repro.units import BRAM18K_BITS, BRAM36K_BITS
+
+bits = st.integers(min_value=0, max_value=30_000_000)
+widths = st.integers(min_value=1, max_value=200)
+
+
+@given(bits, widths)
+def test_packing_capacity_always_covers_demand(b, w):
+    p = pack_stage_memory(b, w)
+    assert p.capacity_bits >= b
+    assert p.waste_bits >= 0
+
+
+@given(bits, widths)
+def test_packing_never_wastes_a_whole_36k_block(b, w):
+    """Minimality: removing any 36 Kb block (or demoting it) must break
+    either capacity or the port-width floor."""
+    p = pack_stage_memory(b, w)
+    min_primitives = -(-w // 36)
+    if p.blocks36 > 0:
+        reduced_capacity = p.capacity_bits - BRAM36K_BITS + BRAM18K_BITS
+        reduced_primitives = 2 * p.blocks36 + p.blocks18 - 1
+        assert reduced_capacity < b or reduced_primitives < min_primitives
+
+
+@given(bits)
+def test_packing_matches_table3_quantization(b):
+    """With the default 18-bit port, total capacity in 18 Kb units is
+    exactly ⌈M/18K⌉ or its 36 Kb-rounded equivalent."""
+    p = pack_stage_memory(b)
+    needed = blocks_required(b, BramKind.B18)
+    assert needed <= p.total_blocks18_equivalent <= needed + 1
+
+
+@given(bits, st.integers(min_value=50, max_value=500))
+def test_power_monotone_in_memory(b, f):
+    """More memory never costs less power (paper: monotone in size)."""
+    small = pack_stage_memory(b)
+    large = pack_stage_memory(b + BRAM36K_BITS)
+
+    def power(p):
+        return bram_dynamic_power_uw(
+            f, SpeedGrade.G2, BramKind.B36, p.blocks36
+        ) + bram_dynamic_power_uw(f, SpeedGrade.G2, BramKind.B18, p.blocks18)
+
+    assert power(large) > power(small) or b == 0 and power(small) >= 0
+
+
+@given(st.integers(min_value=1, max_value=500), st.integers(min_value=1, max_value=500))
+def test_power_monotone_in_frequency(f1, f2):
+    lo, hi = min(f1, f2), max(f1, f2)
+    p_lo = bram_dynamic_power_uw(lo, SpeedGrade.G2, BramKind.B18)
+    p_hi = bram_dynamic_power_uw(hi, SpeedGrade.G2, BramKind.B18)
+    assert p_hi >= p_lo
+
+
+@given(bits)
+def test_low_power_grade_never_costs_more(b):
+    p = pack_stage_memory(b)
+    for kind, blocks in ((BramKind.B36, p.blocks36), (BramKind.B18, p.blocks18)):
+        g2 = bram_dynamic_power_uw(200, SpeedGrade.G2, kind, blocks)
+        g1l = bram_dynamic_power_uw(200, SpeedGrade.G1L, kind, blocks)
+        assert g1l <= g2

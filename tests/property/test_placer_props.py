@@ -1,0 +1,84 @@
+"""Property tests: place-and-route invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.fpga.placer import EngineNetlist, PlaceAndRoute
+from repro.fpga.power_report import XPowerAnalyzer
+from repro.fpga.speedgrade import SpeedGrade, grade_data
+
+stage_arrays = st.lists(
+    st.integers(min_value=0, max_value=200_000), min_size=1, max_size=32
+)
+
+
+def netlists_from(stage_lists) -> list[EngineNetlist]:
+    return [
+        EngineNetlist(label=f"e{i}", stage_memory_bits=np.array(stages, dtype=np.int64))
+        for i, stages in enumerate(stage_lists)
+    ]
+
+
+@given(st.lists(stage_arrays, min_size=1, max_size=6), st.sampled_from(list(SpeedGrade)))
+@settings(max_examples=60, deadline=None)
+def test_placed_design_invariants(stage_lists, grade):
+    engines = netlists_from(stage_lists)
+    pnr = PlaceAndRoute(grade=grade)
+    try:
+        placed = pnr.place(engines, name="prop")
+    except ReproError:
+        assume(False)  # resource-exhausted inputs are out of scope here
+        return
+    # capacity: allocated BRAM covers every stage's bits
+    for engine in placed.engines:
+        for packing, bits in zip(
+            engine.stage_packings, engine.netlist.stage_memory_bits
+        ):
+            assert packing.capacity_bits >= bits
+    # fmax never exceeds the grade's base and is positive
+    assert 0 < placed.fmax_mhz <= grade_data(grade).base_fmax_mhz
+    # optimization factors stay in their envelopes
+    assert 0.9 <= placed.logic_opt_factor <= 1.0
+    assert 0.9 <= placed.static_opt_factor <= 1.0
+    assert 0.9 <= placed.bram_opt_factor <= 1.0
+    assert 0.98 <= placed.jitter_factor <= 1.02
+    # total usage at least the sum of engine BRAM
+    total_equiv = sum(e.bram18_equivalent for e in placed.engines)
+    assert placed.total_usage.bram18_equivalent == total_equiv
+
+
+@given(st.lists(stage_arrays, min_size=1, max_size=4))
+@settings(max_examples=40, deadline=None)
+def test_power_report_consistency(stage_lists):
+    engines = netlists_from(stage_lists)
+    try:
+        placed = PlaceAndRoute().place(engines, name="prop-power")
+    except ReproError:
+        assume(False)
+        return
+    report = XPowerAnalyzer().report(placed, frequency_mhz=200.0)
+    assert report.total_w == pytest.approx(report.static_w + report.dynamic_w)
+    assert report.static_w > 0
+    assert report.bram_w >= 0 and report.logic_w > 0
+    # halving every activity halves dynamic power exactly
+    half = XPowerAnalyzer().report(
+        placed, frequency_mhz=200.0, engine_activities=np.full(len(engines), 0.5)
+    )
+    assert half.dynamic_w == pytest.approx(report.dynamic_w / 2)
+
+
+@given(stage_arrays)
+@settings(max_examples=40, deadline=None)
+def test_placement_deterministic(stages):
+    engines = [EngineNetlist(label="e", stage_memory_bits=np.array(stages))]
+    try:
+        a = PlaceAndRoute().place(engines, name="same")
+        b = PlaceAndRoute().place(engines, name="same")
+    except ReproError:
+        assume(False)
+        return
+    assert a.fmax_mhz == b.fmax_mhz
+    assert a.jitter_factor == b.jitter_factor
+    assert a.used_area_fraction == b.used_area_fraction

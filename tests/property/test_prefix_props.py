@@ -1,0 +1,66 @@
+"""Property tests: prefixes (hypothesis)."""
+
+from hypothesis import given, strategies as st
+
+from repro.iplookup.prefix import Prefix, format_address, parse_address, parse_prefix
+
+addresses = st.integers(min_value=0, max_value=0xFFFFFFFF)
+lengths = st.integers(min_value=0, max_value=32)
+
+
+@given(addresses, lengths)
+def test_normalized_clears_exactly_host_bits(value, length):
+    p = Prefix.normalized(value, length)
+    assert p.value & ~p.mask() == 0
+    # the network part is untouched
+    assert p.value == value & p.mask()
+
+
+@given(addresses, lengths)
+def test_prefix_contains_its_own_range_bounds(value, length):
+    p = Prefix.normalized(value, length)
+    assert p.contains(p.first_address())
+    assert p.contains(p.last_address())
+
+
+@given(addresses, lengths)
+def test_prefix_contains_normalized_source(value, length):
+    p = Prefix.normalized(value, length)
+    assert p.contains(value)
+
+
+@given(addresses, st.integers(min_value=0, max_value=31))
+def test_children_partition_parent(value, length):
+    p = Prefix.normalized(value, length)
+    left, right = p.children()
+    assert p.covers(left) and p.covers(right)
+    assert left.num_addresses() + right.num_addresses() == p.num_addresses()
+    assert left.last_address() + 1 == right.first_address()
+
+
+@given(addresses)
+def test_address_format_parse_roundtrip(value):
+    assert parse_address(format_address(value)) == value
+
+
+@given(addresses, lengths)
+def test_prefix_str_parse_roundtrip(value, length):
+    p = Prefix.normalized(value, length)
+    assert parse_prefix(str(p)) == p
+
+
+@given(addresses, lengths)
+def test_bits_reconstruct_value(value, length):
+    p = Prefix.normalized(value, length)
+    rebuilt = 0
+    for i, bit in enumerate(p.bits()):
+        rebuilt |= bit << (31 - i)
+    assert rebuilt == p.value
+
+
+@given(addresses, lengths, lengths)
+def test_covers_is_consistent_with_contains(value, la, lb):
+    outer = Prefix.normalized(value, min(la, lb))
+    inner = Prefix.normalized(value, max(la, lb))
+    assert outer.covers(inner)
+    assert outer.contains(inner.first_address())

@@ -1,0 +1,134 @@
+"""Property tests: trie vs linear-scan oracle (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.iplookup.leafpush import leaf_push
+from repro.iplookup.prefix import Prefix
+from repro.iplookup.rib import RoutingTable
+from repro.iplookup.trie import UnibitTrie
+
+prefixes = st.builds(
+    Prefix.normalized,
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    st.integers(min_value=0, max_value=32),
+)
+
+route_lists = st.lists(
+    st.tuples(prefixes, st.integers(min_value=0, max_value=63)),
+    min_size=0,
+    max_size=40,
+)
+
+address_arrays = st.lists(
+    st.integers(min_value=0, max_value=0xFFFFFFFF), min_size=1, max_size=50
+)
+
+
+def build_table(routes) -> RoutingTable:
+    table = RoutingTable()
+    for prefix, nh in routes:
+        table.add(prefix, nh)
+    return table
+
+
+@given(route_lists, address_arrays)
+@settings(max_examples=150, deadline=None)
+def test_trie_lookup_matches_oracle(routes, addresses):
+    table = build_table(routes)
+    trie = UnibitTrie(table)
+    addrs = np.array(addresses, dtype=np.uint32)
+    assert np.array_equal(trie.lookup_batch(addrs), table.lookup_linear_batch(addrs))
+
+
+@given(route_lists, address_arrays)
+@settings(max_examples=100, deadline=None)
+def test_leaf_pushed_lookup_matches_oracle(routes, addresses):
+    table = build_table(routes)
+    pushed = leaf_push(UnibitTrie(table))
+    addrs = np.array(addresses, dtype=np.uint32)
+    assert np.array_equal(pushed.lookup_batch(addrs), table.lookup_linear_batch(addrs))
+
+
+@given(route_lists)
+@settings(max_examples=100, deadline=None)
+def test_trie_structural_invariants(routes):
+    table = build_table(routes)
+    trie = UnibitTrie(table)
+    trie.validate()
+    stats = trie.stats()
+    assert stats.prefixes == len(table)
+    assert stats.depth == (table.max_length() if len(table) else 0)
+    assert sum(stats.nodes_per_level) == stats.total_nodes
+
+
+@given(route_lists)
+@settings(max_examples=100, deadline=None)
+def test_leaf_push_invariants(routes):
+    table = build_table(routes)
+    trie = UnibitTrie(table)
+    pushed = leaf_push(trie)
+    pushed.validate()
+    assert pushed.is_leaf_pushed()
+    assert pushed.num_nodes >= trie.num_nodes
+    # full binary tree: odd node count
+    assert pushed.num_nodes % 2 == 1
+
+
+@given(route_lists)
+@settings(max_examples=50, deadline=None)
+def test_insertion_order_irrelevant(routes):
+    table = build_table(routes)
+    forward = UnibitTrie()
+    backward = UnibitTrie()
+    items = list(table)
+    for route in items:
+        forward.insert(route.prefix, route.next_hop)
+    for route in reversed(items):
+        backward.insert(route.prefix, route.next_hop)
+    assert forward.num_nodes == backward.num_nodes
+    addrs = np.array([r.prefix.value for r in items] or [0], dtype=np.uint32)
+    assert np.array_equal(forward.lookup_batch(addrs), backward.lookup_batch(addrs))
+
+
+@given(route_lists, address_arrays)
+@settings(max_examples=100, deadline=None)
+def test_patricia_lookup_matches_oracle(routes, addresses):
+    """Path compression must preserve LPM results exactly."""
+    from repro.iplookup.patricia import PatriciaTrie
+
+    table = build_table(routes)
+    patricia = PatriciaTrie(table)
+    patricia.validate()
+    addrs = np.array(addresses, dtype=np.uint32)
+    assert np.array_equal(
+        patricia.lookup_batch(addrs), table.lookup_linear_batch(addrs)
+    )
+
+
+@given(route_lists)
+@settings(max_examples=100, deadline=None)
+def test_patricia_never_larger_than_plain(routes):
+    from repro.iplookup.patricia import PatriciaTrie
+
+    table = build_table(routes)
+    plain = UnibitTrie(table)
+    patricia = PatriciaTrie(table)
+    assert patricia.num_nodes <= plain.num_nodes
+
+
+@given(route_lists)
+@settings(max_examples=60, deadline=None)
+def test_balanced_mapping_conserves_memory(routes):
+    """Balancing relocates stage memories but never changes totals."""
+    from repro.iplookup.balancing import balanced_stage_map
+    from repro.iplookup.leafpush import leaf_push
+    from repro.iplookup.mapping import map_trie_to_stages
+
+    table = build_table(routes)
+    trie = leaf_push(UnibitTrie(table))
+    n_stages = max(32, trie.depth())
+    naive = map_trie_to_stages(trie.stats(), n_stages)
+    balanced = balanced_stage_map(trie, n_stages)
+    assert balanced.stage_map.total_bits == naive.total_bits
+    assert balanced.widest_bits <= naive.widest_stage_bits()

@@ -1,0 +1,88 @@
+"""Property tests: update streams vs fresh rebuilds (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.iplookup.prefix import Prefix
+from repro.iplookup.rib import RoutingTable
+from repro.iplookup.trie import UnibitTrie
+from repro.iplookup.updates import RouteUpdate, UpdateKind, apply_updates
+
+prefixes = st.builds(
+    Prefix.normalized,
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    st.integers(min_value=0, max_value=24),
+)
+
+updates_strategy = st.lists(
+    st.one_of(
+        st.builds(
+            RouteUpdate,
+            st.just(UpdateKind.ANNOUNCE),
+            prefixes,
+            st.integers(min_value=0, max_value=31),
+        ),
+        st.builds(RouteUpdate, st.just(UpdateKind.WITHDRAW), prefixes),
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+def replay_into_table(updates) -> RoutingTable:
+    table = RoutingTable()
+    for update in updates:
+        if update.kind is UpdateKind.ANNOUNCE:
+            table.add(update.prefix, update.next_hop)
+        elif update.prefix in table:
+            table.remove(update.prefix)
+    return table
+
+
+@given(updates_strategy)
+@settings(max_examples=120, deadline=None)
+def test_update_stream_equals_fresh_build(updates):
+    """Applying any announce/withdraw stream leaves the trie identical
+    (nodes, prefixes and lookups) to a fresh build of the final RIB."""
+    trie = UnibitTrie()
+    apply_updates(trie, updates)
+    trie.validate()
+
+    final = replay_into_table(updates)
+    fresh = UnibitTrie(final)
+    assert trie.num_nodes == fresh.num_nodes
+    assert trie.num_prefixes == fresh.num_prefixes == len(final)
+
+    probe = np.array(
+        [u.prefix.value for u in updates] + [0, 0xFFFFFFFF], dtype=np.uint32
+    )
+    assert np.array_equal(trie.lookup_batch(probe), fresh.lookup_batch(probe))
+
+
+@given(updates_strategy)
+@settings(max_examples=80, deadline=None)
+def test_update_costs_are_consistent(updates):
+    """Accounting identities of the update statistics."""
+    trie = UnibitTrie()
+    stats = apply_updates(trie, updates)
+    assert stats.total_updates == len(updates)
+    assert stats.memory_writes == (
+        stats.nodes_created + stats.nodes_pruned + stats.nhi_changes
+    )
+    assert stats.nhi_changes == stats.announces + stats.withdraws
+    # node conservation: created − pruned = live non-root nodes
+    assert stats.nodes_created - stats.nodes_pruned == trie.num_nodes - 1
+
+
+@given(updates_strategy)
+@settings(max_examples=60, deadline=None)
+def test_withdraw_everything_returns_to_root(updates):
+    """Announcing then withdrawing every prefix leaves a bare root."""
+    announces = [u for u in updates if u.kind is UpdateKind.ANNOUNCE]
+    trie = UnibitTrie()
+    apply_updates(trie, announces)
+    withdraws = [RouteUpdate(UpdateKind.WITHDRAW, u.prefix) for u in announces]
+    apply_updates(trie, withdraws)
+    assert trie.num_nodes == 1
+    assert trie.num_prefixes == 0
+    trie.validate()

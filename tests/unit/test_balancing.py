@@ -1,0 +1,90 @@
+"""Memory-balanced stage mapping (repro.iplookup.balancing)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.iplookup.balancing import balance_factor, balanced_stage_map
+from repro.iplookup.leafpush import leaf_push
+from repro.iplookup.mapping import map_trie_to_stages
+from repro.iplookup.synth import SyntheticTableConfig, generate_table
+from repro.iplookup.trie import UnibitTrie
+
+
+@pytest.fixture(scope="module")
+def pushed_trie():
+    table = generate_table(SyntheticTableConfig(n_prefixes=1000, seed=13))
+    return leaf_push(UnibitTrie(table))
+
+
+class TestConservation:
+    def test_total_memory_preserved(self, pushed_trie):
+        naive = map_trie_to_stages(pushed_trie.stats(), 28)
+        balanced = balanced_stage_map(pushed_trie, 28)
+        assert balanced.stage_map.total_bits == naive.total_bits
+        assert balanced.stage_map.total_pointer_bits == naive.total_pointer_bits
+        assert balanced.stage_map.total_nhi_bits == naive.total_nhi_bits
+
+    def test_node_count_preserved(self, pushed_trie):
+        naive = map_trie_to_stages(pushed_trie.stats(), 28)
+        balanced = balanced_stage_map(pushed_trie, 28)
+        assert balanced.stage_map.nodes_per_stage.sum() == naive.nodes_per_stage.sum()
+
+    def test_vector_width_respected(self, pushed_trie):
+        naive = map_trie_to_stages(pushed_trie.stats(), 28, nhi_vector_width=4)
+        balanced = balanced_stage_map(pushed_trie, 28, nhi_vector_width=4)
+        assert balanced.stage_map.total_bits == naive.total_bits
+
+
+class TestBalancing:
+    def test_widest_stage_shrinks(self, pushed_trie):
+        naive = map_trie_to_stages(pushed_trie.stats(), 28)
+        balanced = balanced_stage_map(pushed_trie, 28)
+        assert balanced.widest_bits < naive.widest_stage_bits()
+        assert balanced.improvement > 1.5
+
+    def test_balance_factor_improves(self, pushed_trie):
+        naive = map_trie_to_stages(pushed_trie.stats(), 28)
+        balanced = balanced_stage_map(pushed_trie, 28)
+        assert balance_factor(balanced.stage_map) < balance_factor(naive)
+
+    def test_offsets_cover_subtries(self, pushed_trie):
+        balanced = balanced_stage_map(pushed_trie, 28, split_level=8)
+        assert len(balanced.offsets) > 1
+        assert all(0 <= o < 28 - 7 for o in balanced.offsets)
+
+    def test_balance_factor_of_flat_map_is_one(self):
+        from repro.iplookup.mapping import NodeFormat, StageMemoryMap
+
+        flat = StageMemoryMap(
+            n_stages=4,
+            pointer_bits_per_stage=np.full(4, 100),
+            nhi_bits_per_stage=np.zeros(4, dtype=np.int64),
+            nodes_per_stage=np.full(4, 5),
+            node_format=NodeFormat(),
+            nhi_vector_width=1,
+        )
+        assert balance_factor(flat) == 1.0
+
+
+class TestEdgeCases:
+    def test_shallow_trie(self):
+        table_trie = UnibitTrie()
+        from repro.iplookup.prefix import parse_prefix
+
+        table_trie.insert(parse_prefix("10.0.0.0/8"), 1)
+        balanced = balanced_stage_map(table_trie, 28)
+        naive_total = map_trie_to_stages(table_trie.stats(), 28).total_bits
+        assert balanced.stage_map.total_bits == naive_total
+
+    def test_split_deeper_than_trie_clamps(self, pushed_trie):
+        balanced = balanced_stage_map(pushed_trie, 32, split_level=31)
+        assert balanced.split_level <= pushed_trie.depth()
+
+    def test_too_shallow_pipeline_rejected(self, pushed_trie):
+        with pytest.raises(ConfigurationError):
+            balanced_stage_map(pushed_trie, pushed_trie.depth() - 1)
+
+    def test_zero_stage_rejected(self, pushed_trie):
+        with pytest.raises(ConfigurationError):
+            balanced_stage_map(pushed_trie, 0)

@@ -1,0 +1,128 @@
+"""BRAM packing and power (repro.fpga.bram)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fpga.bram import (
+    PAPER_READ_WIDTH,
+    PAPER_WRITE_RATE,
+    BramKind,
+    blocks_required,
+    bram_dynamic_power_uw,
+    pack_stage_memory,
+)
+from repro.fpga.speedgrade import SpeedGrade
+from repro.units import BRAM18K_BITS, BRAM36K_BITS
+
+
+class TestBlocksRequired:
+    def test_zero_bits_zero_blocks(self):
+        assert blocks_required(0, BramKind.B18) == 0
+
+    def test_one_bit_occupies_a_block(self):
+        # the paper's quantization observation
+        assert blocks_required(1, BramKind.B18) == 1
+        assert blocks_required(1, BramKind.B36) == 1
+
+    def test_exact_fit(self):
+        assert blocks_required(BRAM18K_BITS, BramKind.B18) == 1
+        assert blocks_required(BRAM36K_BITS, BramKind.B36) == 1
+
+    def test_ceiling(self):
+        assert blocks_required(BRAM18K_BITS + 1, BramKind.B18) == 2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            blocks_required(-1, BramKind.B18)
+
+
+class TestPacking:
+    def test_zero(self):
+        p = pack_stage_memory(0)
+        assert p.blocks36 == 0 and p.blocks18 == 0
+        assert p.capacity_bits == 0
+
+    def test_small_memory_uses_single_18k(self):
+        p = pack_stage_memory(1000)
+        assert p.blocks36 == 0 and p.blocks18 == 1
+
+    def test_trailing_primitive(self):
+        p = pack_stage_memory(BRAM36K_BITS + 1000)
+        assert p.blocks36 == 1 and p.blocks18 == 1
+
+    def test_large_remainder_promotes(self):
+        p = pack_stage_memory(BRAM36K_BITS + BRAM18K_BITS + 1)
+        assert p.blocks36 == 2 and p.blocks18 == 0
+
+    def test_capacity_covers_bits(self):
+        for bits in (1, 17_000, 40_000, 100_000, 1_000_000):
+            p = pack_stage_memory(bits)
+            assert p.capacity_bits >= bits
+            assert p.waste_bits == p.capacity_bits - bits
+
+    def test_wide_ports_force_parallel_blocks(self):
+        # 144-bit read from a tiny memory needs ceil(144/72) = 2 blocks
+        p = pack_stage_memory(100, width=144)
+        assert p.total_blocks18_equivalent >= 4  # two 36 Kb blocks
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            pack_stage_memory(100, width=0)
+
+
+class TestDynamicPower:
+    def test_table3_operating_point(self):
+        # at the paper's operating point the secondary factors are 1
+        p = bram_dynamic_power_uw(300, SpeedGrade.G2, BramKind.B18)
+        assert p == pytest.approx(13.65 * 300)
+        p = bram_dynamic_power_uw(300, SpeedGrade.G1L, BramKind.B36)
+        assert p == pytest.approx(19.70 * 300)
+
+    def test_linear_in_frequency(self):
+        p1 = bram_dynamic_power_uw(100, SpeedGrade.G2, BramKind.B36)
+        p5 = bram_dynamic_power_uw(500, SpeedGrade.G2, BramKind.B36)
+        assert p5 == pytest.approx(5 * p1)
+
+    def test_linear_in_block_count(self):
+        one = bram_dynamic_power_uw(200, SpeedGrade.G2, BramKind.B18, 1)
+        ten = bram_dynamic_power_uw(200, SpeedGrade.G2, BramKind.B18, 10)
+        assert ten == pytest.approx(10 * one)
+
+    def test_write_rate_increases_power(self):
+        lo = bram_dynamic_power_uw(200, SpeedGrade.G2, BramKind.B18, write_rate=0.01)
+        hi = bram_dynamic_power_uw(200, SpeedGrade.G2, BramKind.B18, write_rate=0.5)
+        assert hi > lo
+
+    def test_width_effect_is_weak(self):
+        # paper: "the effect of bit width was negligible"
+        narrow = bram_dynamic_power_uw(200, SpeedGrade.G2, BramKind.B18, read_width=9)
+        wide = bram_dynamic_power_uw(200, SpeedGrade.G2, BramKind.B18, read_width=36)
+        assert abs(wide - narrow) / narrow < 0.10
+
+    def test_enable_rate_gates_power(self):
+        full = bram_dynamic_power_uw(200, SpeedGrade.G2, BramKind.B18, enable_rate=1.0)
+        half = bram_dynamic_power_uw(200, SpeedGrade.G2, BramKind.B18, enable_rate=0.5)
+        off = bram_dynamic_power_uw(200, SpeedGrade.G2, BramKind.B18, enable_rate=0.0)
+        assert half == pytest.approx(full / 2)
+        assert off == 0.0
+
+    def test_low_power_grade_cheaper(self):
+        g2 = bram_dynamic_power_uw(200, SpeedGrade.G2, BramKind.B36)
+        g1l = bram_dynamic_power_uw(200, SpeedGrade.G1L, BramKind.B36)
+        assert g1l < g2
+
+    def test_rejects_negative_frequency(self):
+        with pytest.raises(ConfigurationError):
+            bram_dynamic_power_uw(-1, SpeedGrade.G2, BramKind.B18)
+
+    def test_rejects_negative_blocks(self):
+        with pytest.raises(ConfigurationError):
+            bram_dynamic_power_uw(100, SpeedGrade.G2, BramKind.B18, -1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"write_rate": 1.5}, {"read_width": 0}, {"enable_rate": -0.1}],
+    )
+    def test_rejects_bad_keyword_arguments(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            bram_dynamic_power_uw(100, SpeedGrade.G2, BramKind.B18, **kwargs)

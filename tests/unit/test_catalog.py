@@ -1,0 +1,30 @@
+"""Device catalog (repro.fpga.catalog)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fpga.catalog import DEVICE_CATALOG, XC6VLX760, get_device
+
+
+class TestCatalog:
+    def test_paper_device_present(self):
+        assert "XC6VLX760" in DEVICE_CATALOG
+
+    def test_table2_values(self):
+        # the paper's Table II
+        assert XC6VLX760.logic_cells // 1000 == 758
+        assert round(XC6VLX760.bram_kbits / 1000) == 26
+        assert round(XC6VLX760.distributed_ram_kbits / 1000) == 8
+        assert XC6VLX760.max_io_pins == 1200
+
+    def test_lookup_case_insensitive(self):
+        assert get_device("xc6vlx760") is XC6VLX760
+
+    def test_unknown_device(self):
+        with pytest.raises(ConfigurationError, match="unknown device"):
+            get_device("XC7VX690T")
+
+    def test_all_entries_self_consistent(self):
+        for device in DEVICE_CATALOG.values():
+            assert device.bram18_blocks % 2 == 0
+            assert device.slice_registers >= device.slice_luts

@@ -1,0 +1,49 @@
+"""Clock gating (repro.fpga.clocking)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fpga.clocking import PAPER_CLOCK_GATING, ClockGating
+
+
+class TestPaperPolicy:
+    def test_fully_gated(self):
+        assert PAPER_CLOCK_GATING.gate_logic and PAPER_CLOCK_GATING.gate_memory
+
+    def test_gated_activity_equals_duty(self):
+        for duty in (0.0, 0.25, 1.0):
+            assert PAPER_CLOCK_GATING.logic_activity(duty) == pytest.approx(duty)
+            assert PAPER_CLOCK_GATING.memory_activity(duty) == pytest.approx(duty)
+
+
+class TestUngated:
+    def test_idle_residual(self):
+        policy = ClockGating(gate_logic=False, gate_memory=False, ungated_idle_activity=0.4)
+        # at zero duty, residual activity remains
+        assert policy.logic_activity(0.0) == pytest.approx(0.4)
+        # at full duty there is no idle to gate
+        assert policy.logic_activity(1.0) == pytest.approx(1.0)
+
+    def test_ungated_always_at_least_gated(self):
+        gated = ClockGating()
+        ungated = ClockGating(gate_logic=False, gate_memory=False)
+        for duty in (0.0, 0.3, 0.7, 1.0):
+            assert ungated.logic_activity(duty) >= gated.logic_activity(duty)
+            assert ungated.memory_activity(duty) >= gated.memory_activity(duty)
+
+    def test_mixed_policy(self):
+        policy = ClockGating(gate_logic=True, gate_memory=False)
+        assert policy.logic_activity(0.2) == pytest.approx(0.2)
+        assert policy.memory_activity(0.2) > 0.2
+
+
+class TestValidation:
+    def test_rejects_bad_duty(self):
+        with pytest.raises(ConfigurationError):
+            PAPER_CLOCK_GATING.logic_activity(1.5)
+        with pytest.raises(ConfigurationError):
+            PAPER_CLOCK_GATING.memory_activity(-0.1)
+
+    def test_rejects_bad_residual(self):
+        with pytest.raises(ConfigurationError):
+            ClockGating(ungated_idle_activity=2.0)

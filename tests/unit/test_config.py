@@ -1,0 +1,67 @@
+"""Scenario configuration (repro.core.config)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ScenarioConfig
+from repro.errors import ConfigurationError
+from repro.fpga.speedgrade import SpeedGrade
+from repro.virt.schemes import Scheme
+
+
+class TestValidation:
+    def test_minimal(self):
+        cfg = ScenarioConfig(scheme=Scheme.VS, k=4)
+        assert cfg.grade is SpeedGrade.G2
+        assert cfg.n_stages == 28
+
+    def test_vm_requires_alpha(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(scheme=Scheme.VM, k=4)
+
+    def test_vm_k1_needs_no_alpha(self):
+        ScenarioConfig(scheme=Scheme.VM, k=1)
+
+    def test_alpha_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(scheme=Scheme.VM, k=4, alpha=1.5)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(scheme=Scheme.NV, k=0)
+
+    def test_utilizations_length_checked(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(scheme=Scheme.VS, k=3, utilizations=(0.5, 0.5))
+
+    def test_utilizations_sum_checked(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(scheme=Scheme.VS, k=2, utilizations=(0.5, 0.6))
+
+    def test_duty_cycle_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(scheme=Scheme.VS, k=2, duty_cycle=0.0)
+
+    def test_frequency_positive(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(scheme=Scheme.VS, k=2, frequency_mhz=0)
+
+
+class TestHelpers:
+    def test_default_utilization_is_uniform(self):
+        cfg = ScenarioConfig(scheme=Scheme.VS, k=5)
+        assert np.allclose(cfg.utilization_vector(), 0.2)
+
+    def test_explicit_utilization_roundtrip(self):
+        cfg = ScenarioConfig(scheme=Scheme.VS, k=2, utilizations=(0.7, 0.3))
+        assert np.allclose(cfg.utilization_vector(), [0.7, 0.3])
+
+    def test_label(self):
+        cfg = ScenarioConfig(scheme=Scheme.VM, k=8, alpha=0.8)
+        assert cfg.label() == "VM(a=0.8) K=8 -2"
+        cfg = ScenarioConfig(scheme=Scheme.NV, k=3, grade=SpeedGrade.G1L)
+        assert cfg.label() == "NV K=3 -1L"
+
+    def test_with_k(self):
+        cfg = ScenarioConfig(scheme=Scheme.VS, k=2)
+        assert cfg.with_k(9).k == 9

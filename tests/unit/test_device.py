@@ -1,0 +1,94 @@
+"""Device specs and resource algebra (repro.fpga.device)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ResourceExhaustedError
+from repro.fpga.catalog import XC6VLX760
+from repro.fpga.device import DeviceSpec, ResourceUsage
+
+
+class TestDeviceSpec:
+    def test_bram_pairing(self):
+        assert XC6VLX760.bram36_blocks == XC6VLX760.bram18_blocks // 2
+
+    def test_bram_capacity(self):
+        # 1440 × 18 Kib = 25 920 Kib ("26 Mb" in the datasheet)
+        assert XC6VLX760.bram_kbits == 25_920
+
+    def test_rejects_nonpositive_fields(self):
+        with pytest.raises(ConfigurationError):
+            DeviceSpec(
+                name="bad",
+                logic_cells=0,
+                slice_registers=1,
+                slice_luts=1,
+                bram18_blocks=1,
+                max_io_pins=1,
+                distributed_ram_kbits=1,
+            )
+
+
+class TestResourceUsage:
+    def test_addition(self):
+        a = ResourceUsage(registers=10, luts_logic=5, bram18=1)
+        b = ResourceUsage(registers=3, luts_routing=2, bram36=2)
+        c = a + b
+        assert c.registers == 13
+        assert c.total_luts == 7
+        assert c.bram18_equivalent == 1 + 4
+
+    def test_scaled(self):
+        u = ResourceUsage(registers=10, io_pins=3).scaled(4)
+        assert u.registers == 40
+        assert u.io_pins == 12
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ResourceUsage().scaled(-1)
+
+    def test_rejects_negative_fields(self):
+        with pytest.raises(ConfigurationError):
+            ResourceUsage(registers=-1)
+
+    def test_bram_bits(self):
+        u = ResourceUsage(bram18=1, bram36=1)
+        assert u.bram_bits == 3 * 18 * 1024
+
+    def test_zero_usage_has_zero_utilization(self):
+        assert ResourceUsage().utilization(XC6VLX760) == 0.0
+
+    def test_utilization_is_worst_fraction(self):
+        u = ResourceUsage(
+            registers=XC6VLX760.slice_registers // 2,
+            bram18=XC6VLX760.bram18_blocks // 4,
+        )
+        assert u.utilization(XC6VLX760) == pytest.approx(0.5, rel=1e-6)
+
+    def test_area_fraction_bounded(self):
+        u = ResourceUsage(
+            registers=XC6VLX760.slice_registers,
+            luts_logic=XC6VLX760.slice_luts,
+            bram18=XC6VLX760.bram18_blocks,
+        )
+        assert u.area_fraction(XC6VLX760) <= 1.0
+
+
+class TestFitChecks:
+    def test_fits_empty(self):
+        assert XC6VLX760.fits(ResourceUsage())
+
+    def test_io_exhaustion_reported(self):
+        usage = ResourceUsage(io_pins=XC6VLX760.max_io_pins + 1)
+        with pytest.raises(ResourceExhaustedError) as excinfo:
+            XC6VLX760.check_fits(usage)
+        assert excinfo.value.resource == "I/O pins"
+        assert excinfo.value.requested == XC6VLX760.max_io_pins + 1
+
+    def test_bram_exhaustion_uses_18k_equivalents(self):
+        usage = ResourceUsage(bram36=XC6VLX760.bram36_blocks + 1)
+        assert not XC6VLX760.fits(usage)
+
+    def test_register_exhaustion(self):
+        usage = ResourceUsage(registers=XC6VLX760.slice_registers + 1)
+        with pytest.raises(ResourceExhaustedError):
+            XC6VLX760.check_fits(usage)

@@ -1,0 +1,70 @@
+"""Voltage scaling (repro.fpga.dvs)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fpga.dvs import (
+    NOMINAL_VOLTAGE,
+    dynamic_scale,
+    fit_voltage,
+    frequency_scale,
+    static_scale,
+    synthetic_grade,
+)
+from repro.fpga.speedgrade import SpeedGrade, grade_data
+
+
+class TestScalingLaws:
+    def test_nominal_is_identity(self):
+        assert dynamic_scale(NOMINAL_VOLTAGE) == pytest.approx(1.0)
+        assert static_scale(NOMINAL_VOLTAGE) == pytest.approx(1.0)
+        assert frequency_scale(NOMINAL_VOLTAGE) == pytest.approx(1.0)
+
+    def test_all_monotone_in_voltage(self):
+        for scale in (dynamic_scale, static_scale, frequency_scale):
+            assert scale(0.8) < scale(0.9) < scale(1.0)
+
+    def test_static_drops_faster_than_dynamic(self):
+        assert static_scale(0.85) < dynamic_scale(0.85)
+
+    def test_rejects_implausible_voltage(self):
+        with pytest.raises(ConfigurationError):
+            dynamic_scale(0.3)
+        with pytest.raises(ConfigurationError):
+            frequency_scale(1.5)
+
+
+class TestSyntheticGrade:
+    def test_nominal_recovers_g2(self):
+        g = synthetic_grade(NOMINAL_VOLTAGE)
+        base = grade_data(SpeedGrade.G2)
+        assert g.static_power_w == pytest.approx(base.static_power_w)
+        assert g.base_fmax_mhz == pytest.approx(base.base_fmax_mhz)
+
+    def test_lower_voltage_cheaper_and_slower(self):
+        g = synthetic_grade(0.85)
+        base = grade_data(SpeedGrade.G2)
+        assert g.static_power_w < base.static_power_w
+        assert g.logic_stage_uw_per_mhz < base.logic_stage_uw_per_mhz
+        assert g.base_fmax_mhz < base.base_fmax_mhz
+
+
+class TestFit:
+    def test_fit_lands_in_low_power_band(self):
+        v, err = fit_voltage()
+        assert 0.8 <= v <= 0.95
+        assert err < 0.25
+
+    def test_power_constants_explained_well(self):
+        v, _ = fit_voltage()
+        g = synthetic_grade(v)
+        low = grade_data(SpeedGrade.G1L)
+        assert g.static_power_w == pytest.approx(low.static_power_w, rel=0.10)
+        assert g.logic_stage_uw_per_mhz == pytest.approx(
+            low.logic_stage_uw_per_mhz, rel=0.10
+        )
+
+    def test_fit_of_g2_itself_is_nominal(self):
+        v, err = fit_voltage(grade_data(SpeedGrade.G2))
+        assert v == pytest.approx(1.0, abs=1e-6)
+        assert err < 1e-9

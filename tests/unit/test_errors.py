@@ -1,0 +1,37 @@
+"""Exception hierarchy (repro.errors)."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ConfigurationError,
+            errors.CapacityError,
+            errors.PrefixError,
+            errors.TrieError,
+            errors.MergeError,
+            errors.PlacementError,
+            errors.TimingError,
+            errors.CalibrationError,
+            errors.ExperimentError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+        with pytest.raises(errors.ReproError):
+            raise exc("boom")
+
+    def test_resource_exhausted_carries_context(self):
+        exc = errors.ResourceExhaustedError("I/O pins", 1276, 1200)
+        assert exc.resource == "I/O pins"
+        assert exc.requested == 1276
+        assert exc.available == 1200
+        assert "1276" in str(exc) and "I/O pins" in str(exc)
+
+    def test_library_errors_not_builtin(self):
+        # catching ReproError must not swallow programming errors
+        assert not issubclass(errors.ReproError, (ValueError, TypeError))

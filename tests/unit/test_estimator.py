@@ -1,0 +1,99 @@
+"""Scenario estimator (repro.core.estimator)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ScenarioConfig
+from repro.core.estimator import ExperimentalPower, base_trie_stats
+from repro.errors import ConfigurationError, ResourceExhaustedError
+from repro.fpga.speedgrade import SpeedGrade
+from repro.iplookup.synth import SyntheticTableConfig
+from repro.virt.schemes import Scheme
+
+#: small table keeps estimator tests fast
+SMALL = SyntheticTableConfig(n_prefixes=400, seed=11)
+
+
+def cfg(**kw):
+    kw.setdefault("table", SMALL)
+    return ScenarioConfig(**kw)
+
+
+class TestBaseStats:
+    def test_cached_and_leaf_pushed(self):
+        a = base_trie_stats(SMALL)
+        b = base_trie_stats(SMALL)
+        assert a is b
+        assert a.leaf_nodes == a.internal_nodes + 1  # full binary
+
+
+class TestEvaluate:
+    def test_nv_structure(self, estimator):
+        r = estimator.evaluate(cfg(scheme=Scheme.NV, k=4))
+        assert r.resources.devices == 4
+        assert r.n_engines == 4
+        assert r.model.total_w > 0
+        assert r.experimental.total_w > 0
+
+    def test_vs_structure(self, estimator):
+        r = estimator.evaluate(cfg(scheme=Scheme.VS, k=4))
+        assert r.resources.devices == 1
+        assert r.placed.n_engines == 4
+
+    def test_vm_structure(self, estimator):
+        r = estimator.evaluate(cfg(scheme=Scheme.VM, k=4, alpha=0.5))
+        assert r.placed.n_engines == 1
+        assert r.n_engines == 1
+
+    def test_experimental_breakdown_sums(self, estimator):
+        r = estimator.evaluate(cfg(scheme=Scheme.VS, k=3))
+        e = r.experimental
+        assert e.total_w == pytest.approx(e.static_w + e.dynamic_w)
+
+    def test_default_frequency_is_fmax(self, estimator):
+        r = estimator.evaluate(cfg(scheme=Scheme.VS, k=2))
+        assert r.frequency_mhz == pytest.approx(r.fmax_mhz)
+
+    def test_explicit_frequency_respected(self, estimator):
+        r = estimator.evaluate(cfg(scheme=Scheme.VS, k=2, frequency_mhz=150))
+        assert r.frequency_mhz == 150
+        assert r.model.frequency_mhz == 150
+
+    def test_overclocking_rejected(self, estimator):
+        with pytest.raises(ConfigurationError):
+            estimator.evaluate(cfg(scheme=Scheme.VS, k=2, frequency_mhz=1000))
+
+    def test_throughput_aggregation(self, estimator):
+        vs = estimator.evaluate(cfg(scheme=Scheme.VS, k=4))
+        vm = estimator.evaluate(cfg(scheme=Scheme.VM, k=4, alpha=0.8))
+        assert vs.throughput_gbps > 3 * vm.throughput_gbps
+
+    def test_error_metric_consistency(self, estimator):
+        r = estimator.evaluate(cfg(scheme=Scheme.VM, k=6, alpha=0.2))
+        manual = (r.model.total_w - r.experimental.total_w) / r.experimental.total_w * 100
+        assert r.percentage_error == pytest.approx(manual)
+
+    def test_vs_hits_io_wall_at_16(self, estimator):
+        with pytest.raises(ResourceExhaustedError):
+            estimator.evaluate(cfg(scheme=Scheme.VS, k=16))
+
+    def test_sweep_k(self, estimator):
+        results = estimator.sweep_k(cfg(scheme=Scheme.NV, k=1), [1, 2, 3])
+        assert [r.config.k for r in results] == [1, 2, 3]
+        totals = [r.model.total_w for r in results]
+        assert totals[0] < totals[1] < totals[2]
+
+
+class TestExperimentalPower:
+    def test_from_reports_aggregates(self, estimator):
+        r = estimator.evaluate(cfg(scheme=Scheme.NV, k=3))
+        # NV aggregates K per-device reports; static must be ~K × device
+        assert r.experimental.static_w == pytest.approx(3 * 4.5, rel=0.05)
+
+
+class TestGradeBehaviour:
+    def test_low_power_grade_cheaper_but_slower(self, estimator):
+        g2 = estimator.evaluate(cfg(scheme=Scheme.VS, k=4))
+        g1l = estimator.evaluate(cfg(scheme=Scheme.VS, k=4, grade=SpeedGrade.G1L))
+        assert g1l.experimental.total_w < g2.experimental.total_w
+        assert g1l.throughput_gbps < g2.throughput_gbps

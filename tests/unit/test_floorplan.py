@@ -1,0 +1,61 @@
+"""Floorplanner (repro.fpga.floorplan)."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.fpga.catalog import XC6VLX760
+from repro.fpga.device import ResourceUsage
+from repro.fpga.floorplan import Floorplan
+
+
+def engine_usage(scale: int = 1) -> ResourceUsage:
+    return ResourceUsage(
+        registers=1689 * 28 * scale,
+        luts_logic=336 * 28 * scale,
+        luts_memory=126 * 28 * scale,
+        luts_routing=376 * 28 * scale,
+        bram36=20 * scale,
+    )
+
+
+class TestAllocation:
+    def test_sequential_regions_do_not_overlap(self):
+        fp = Floorplan(XC6VLX760)
+        regions = [fp.allocate(engine_usage()) for _ in range(5)]
+        for a, b in zip(regions, regions[1:]):
+            assert a.row_end <= b.row_start + 1e-12
+
+    def test_engine_indices(self):
+        fp = Floorplan(XC6VLX760)
+        regions = [fp.allocate(engine_usage()) for _ in range(3)]
+        assert [r.engine_index for r in regions] == [0, 1, 2]
+
+    def test_area_accumulates(self):
+        fp = Floorplan(XC6VLX760)
+        fp.allocate(engine_usage())
+        one = fp.used_area_fraction()
+        fp.allocate(engine_usage())
+        assert fp.used_area_fraction() == pytest.approx(2 * one, rel=1e-6)
+
+    def test_remaining_area(self):
+        fp = Floorplan(XC6VLX760)
+        fp.allocate(engine_usage())
+        assert fp.remaining_area_fraction() == pytest.approx(
+            1 - fp.used_area_fraction()
+        )
+
+    def test_full_die_rejected(self):
+        fp = Floorplan(XC6VLX760)
+        with pytest.raises(PlacementError):
+            for _ in range(1000):
+                fp.allocate(engine_usage(scale=4))
+
+    def test_minimum_band_height(self):
+        fp = Floorplan(XC6VLX760)
+        region = fp.allocate(ResourceUsage(registers=1))
+        assert region.height_rows >= 0.05
+
+    def test_clock_regions_spanned(self):
+        fp = Floorplan(XC6VLX760)
+        small = fp.allocate(engine_usage())
+        assert small.clock_regions_spanned >= 1

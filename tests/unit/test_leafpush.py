@@ -1,0 +1,81 @@
+"""Leaf pushing (repro.iplookup.leafpush)."""
+
+import numpy as np
+import pytest
+
+from repro.iplookup.leafpush import leaf_push
+from repro.iplookup.prefix import parse_prefix
+from repro.iplookup.rib import NO_ROUTE, RoutingTable
+from repro.iplookup.trie import UnibitTrie
+
+
+class TestStructure:
+    def test_postcondition(self, small_pushed):
+        assert small_pushed.is_leaf_pushed()
+
+    def test_output_validates(self, small_pushed):
+        small_pushed.validate()
+
+    def test_input_not_modified(self, small_table):
+        trie = UnibitTrie(small_table)
+        before = trie.num_nodes
+        leaf_push(trie)
+        assert trie.num_nodes == before
+
+    def test_full_binary_node_count_is_odd(self, small_pushed):
+        # full binary tree: leaves = internal + 1 → total odd
+        assert small_pushed.num_nodes % 2 == 1
+
+    def test_grows_node_count(self, small_trie, small_pushed):
+        assert small_pushed.num_nodes >= small_trie.num_nodes
+
+    def test_empty_trie(self):
+        pushed = leaf_push(UnibitTrie())
+        assert pushed.num_nodes == 1
+        assert pushed.is_leaf_pushed()
+        assert pushed.nhi(0) == NO_ROUTE
+
+    def test_default_route_only(self):
+        t = UnibitTrie()
+        t.insert(parse_prefix("0.0.0.0/0"), 3)
+        pushed = leaf_push(t)
+        assert pushed.num_nodes == 1
+        assert pushed.nhi(0) == 3
+
+
+class TestSemantics:
+    def test_lookup_preserved(self, small_table, small_trie, small_pushed, random_addresses):
+        plain = small_trie.lookup_batch(random_addresses)
+        pushed = small_pushed.lookup_batch(random_addresses)
+        assert np.array_equal(plain, pushed)
+
+    def test_internal_nodes_carry_no_nhi(self, small_pushed):
+        for node in small_pushed.nodes():
+            if not small_pushed.is_leaf(node):
+                assert small_pushed.nhi(node) == NO_ROUTE
+
+    def test_miss_path_encoded_as_no_route_leaves(self):
+        t = UnibitTrie()
+        t.insert(parse_prefix("128.0.0.0/1"), 1)
+        pushed = leaf_push(t)
+        # the 0-side leaf must exist and carry NO_ROUTE
+        left = pushed.left(0)
+        assert pushed.is_leaf(left)
+        assert pushed.nhi(left) == NO_ROUTE
+
+    def test_nested_prefixes_push_correctly(self):
+        t = UnibitTrie(
+            RoutingTable.from_strings([("0.0.0.0/0", 0), ("10.0.0.0/8", 1), ("10.128.0.0/9", 2)])
+        )
+        pushed = leaf_push(t)
+        assert pushed.lookup(parse_prefix("10.128.0.0/9").value) == 2
+        assert pushed.lookup(parse_prefix("10.0.0.0/9").value) == 1
+        assert pushed.lookup(0) == 0
+
+    def test_prefix_count_tracks_real_leaves(self, small_pushed):
+        real_leaves = sum(
+            1
+            for n in small_pushed.nodes()
+            if small_pushed.is_leaf(n) and small_pushed.nhi(n) != NO_ROUTE
+        )
+        assert small_pushed.num_prefixes == real_leaves

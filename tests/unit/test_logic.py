@@ -1,0 +1,82 @@
+"""Per-stage logic power (repro.fpga.logic)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fpga.logic import (
+    PAPER_PE_FOOTPRINT,
+    PeFootprint,
+    signal_power_fraction,
+    stage_logic_power_uw,
+    stage_power_components_uw,
+)
+from repro.fpga.speedgrade import SpeedGrade
+
+
+class TestFootprint:
+    def test_paper_counts(self):
+        fp = PAPER_PE_FOOTPRINT
+        assert fp.registers == 1689
+        assert fp.luts_logic == 336
+        assert fp.luts_memory == 126
+        assert fp.luts_routing == 376
+
+    def test_usage_scales_with_stages(self):
+        u = PAPER_PE_FOOTPRINT.usage(28)
+        assert u.registers == 28 * 1689
+        assert u.total_luts == 28 * (336 + 126 + 376)
+
+    def test_usage_rejects_negative_stages(self):
+        with pytest.raises(ConfigurationError):
+            PAPER_PE_FOOTPRINT.usage(-1)
+
+    def test_rejects_all_zero_footprint(self):
+        with pytest.raises(ConfigurationError):
+            PeFootprint(registers=0, luts_logic=0, luts_memory=0, luts_routing=0)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ConfigurationError):
+            PeFootprint(registers=-1)
+
+
+class TestStagePower:
+    def test_paper_lines_reproduced_exactly(self):
+        # Section V-C: 5.180·f µW (-2), 3.937·f µW (-1L)
+        assert stage_logic_power_uw(350, SpeedGrade.G2) == pytest.approx(5.180 * 350)
+        assert stage_logic_power_uw(350, SpeedGrade.G1L) == pytest.approx(3.937 * 350)
+
+    def test_linear_in_frequency(self):
+        assert stage_logic_power_uw(400, SpeedGrade.G2) == pytest.approx(
+            4 * stage_logic_power_uw(100, SpeedGrade.G2)
+        )
+
+    def test_zero_frequency(self):
+        assert stage_logic_power_uw(0, SpeedGrade.G2) == 0.0
+
+    def test_activity_scales_power(self):
+        full = stage_logic_power_uw(200, SpeedGrade.G2, activity=1.0)
+        half = stage_logic_power_uw(200, SpeedGrade.G2, activity=0.5)
+        assert half == pytest.approx(full / 2)
+
+    def test_rejects_bad_activity(self):
+        with pytest.raises(ConfigurationError):
+            stage_logic_power_uw(200, SpeedGrade.G2, activity=1.5)
+
+    def test_rejects_negative_frequency(self):
+        with pytest.raises(ConfigurationError):
+            stage_logic_power_uw(-10, SpeedGrade.G2)
+
+    def test_components_sum_to_total(self):
+        comps = stage_power_components_uw(250, SpeedGrade.G2)
+        assert sum(comps.values()) == pytest.approx(stage_logic_power_uw(250, SpeedGrade.G2))
+
+    def test_custom_footprint_scales(self):
+        doubled = PeFootprint(
+            registers=2 * 1689, luts_logic=2 * 336, luts_memory=2 * 126, luts_routing=2 * 376
+        )
+        assert stage_logic_power_uw(100, SpeedGrade.G2, doubled) == pytest.approx(
+            2 * stage_logic_power_uw(100, SpeedGrade.G2)
+        )
+
+    def test_signal_fraction_in_unit_range(self):
+        assert 0.0 < signal_power_fraction() < 1.0

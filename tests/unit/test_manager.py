@@ -1,0 +1,93 @@
+"""Virtual-router manager (repro.virt.manager)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, MergeError
+from repro.iplookup.prefix import parse_prefix
+from repro.iplookup.synth import SyntheticTableConfig, generate_virtual_tables
+from repro.iplookup.updates import synthesize_churn
+from repro.virt.manager import VirtualRouterManager
+
+
+@pytest.fixture()
+def manager():
+    tables = generate_virtual_tables(3, 0.5, SyntheticTableConfig(n_prefixes=150, seed=12))
+    return VirtualRouterManager(tables)
+
+
+class TestLifecycle:
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            VirtualRouterManager([])
+
+    def test_initial_consistency(self, manager):
+        assert manager.verify_consistency()
+
+    def test_defensive_copy(self, manager):
+        tables = generate_virtual_tables(2, 0.5, SyntheticTableConfig(n_prefixes=50, seed=1))
+        m = VirtualRouterManager(tables)
+        m.announce(0, parse_prefix("9.9.9.0/24"), 3)
+        assert parse_prefix("9.9.9.0/24") not in tables[0]
+
+
+class TestUpdates:
+    def test_announce_visible_in_lookups(self, manager):
+        p = parse_prefix("203.0.113.0/24")
+        manager.announce(1, p, 9)
+        assert manager.lookup(p.value, 1) == 9
+        assert manager.lookup_merged(p.value, 1) == 9
+        # other VNs unaffected (unless their own routes cover it)
+        assert manager.lookup(p.value, 0) == manager.table(0).lookup_linear(p.value)
+
+    def test_withdraw(self, manager):
+        p = manager.table(2).prefixes()[-1]
+        assert manager.withdraw(2, p)
+        assert p not in manager.table(2)
+        assert manager.verify_consistency()
+
+    def test_withdraw_missing_returns_false(self, manager):
+        assert not manager.withdraw(0, parse_prefix("198.51.100.0/24"))
+
+    def test_vn_bounds_checked(self, manager):
+        with pytest.raises(MergeError):
+            manager.announce(3, parse_prefix("1.0.0.0/8"), 1)
+        with pytest.raises(MergeError):
+            manager.lookup(0, -1)
+
+    def test_churn_stream_stays_consistent(self, manager):
+        for vn in range(manager.k):
+            updates = synthesize_churn(manager.table(vn), 100, seed=vn)
+            manager.apply(vn, updates)
+        assert manager.verify_consistency()
+
+
+class TestMergedRefresh:
+    def test_lazy_rebuild(self, manager):
+        manager.merged()
+        rebuilds = manager.merged_rebuilds
+        manager.merged()  # cached
+        assert manager.merged_rebuilds == rebuilds
+        manager.announce(0, parse_prefix("203.0.113.0/24"), 1)
+        manager.merged()
+        assert manager.merged_rebuilds == rebuilds + 1
+
+    def test_noop_withdraw_does_not_invalidate(self, manager):
+        manager.merged()
+        rebuilds = manager.merged_rebuilds
+        manager.withdraw(0, parse_prefix("198.51.100.0/24"))
+        manager.merged()
+        assert manager.merged_rebuilds == rebuilds
+
+
+class TestAccounting:
+    def test_update_stats_per_vn(self, manager):
+        manager.announce(1, parse_prefix("203.0.113.0/24"), 9)
+        assert manager.update_stats(1).announces == 1
+        assert manager.update_stats(0).announces == 0
+
+    def test_write_rate_aggregates(self, manager):
+        for vn in range(manager.k):
+            manager.apply(vn, synthesize_churn(manager.table(vn), 50, seed=10 + vn))
+        rate = manager.write_rate(updates_per_second=50_000, lookup_rate_mhz=300)
+        assert 0.0 < rate < 0.05

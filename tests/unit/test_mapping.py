@@ -1,0 +1,92 @@
+"""Stage mapping and node encoding (repro.iplookup.mapping)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.iplookup.mapping import (
+    DEFAULT_NODE_FORMAT,
+    PAPER_PIPELINE_STAGES,
+    NodeFormat,
+    map_trie_to_stages,
+)
+
+
+class TestNodeFormat:
+    def test_paper_defaults(self):
+        fmt = DEFAULT_NODE_FORMAT
+        assert fmt.pointer_bits == 18  # the paper's 18-bit reads
+        assert fmt.internal_node_bits() == 2 * 18 + 2
+
+    def test_leaf_vector_scales_with_k(self):
+        fmt = DEFAULT_NODE_FORMAT
+        single = fmt.leaf_node_bits(1)
+        assert fmt.leaf_node_bits(15) == single + 14 * fmt.nhi_bits
+
+    def test_rejects_zero_pointer_bits(self):
+        with pytest.raises(ConfigurationError):
+            NodeFormat(pointer_bits=0)
+
+    def test_rejects_negative_fields(self):
+        with pytest.raises(ConfigurationError):
+            NodeFormat(nhi_bits=-1)
+
+    def test_rejects_bad_vector_width(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_NODE_FORMAT.leaf_node_bits(0)
+
+
+class TestMapping:
+    def test_paper_depth_constant(self):
+        assert PAPER_PIPELINE_STAGES == 28
+
+    def test_stage_offsets(self, small_pushed):
+        stats = small_pushed.stats()
+        m = map_trie_to_stages(stats, 32)
+        # stage j holds level j+1: stage depth-1 is the deepest occupied
+        assert m.nodes_per_stage[stats.depth - 1] > 0
+        assert m.nodes_per_stage[stats.depth :].sum() == 0
+        # level-1 node counts land on stage 0
+        assert m.nodes_per_stage[0] == stats.nodes_per_level[1]
+
+    def test_total_nodes_exclude_root(self, small_pushed):
+        stats = small_pushed.stats()
+        m = map_trie_to_stages(stats, 32)
+        assert m.nodes_per_stage.sum() == stats.total_nodes - 1
+
+    def test_pointer_and_nhi_split(self, small_pushed):
+        stats = small_pushed.stats()
+        fmt = DEFAULT_NODE_FORMAT
+        m = map_trie_to_stages(stats, 32, fmt)
+        # root is internal (excluded); all other internals are pointer nodes
+        expected_ptr = (stats.internal_nodes - 1) * fmt.internal_node_bits()
+        expected_nhi = stats.leaf_nodes * fmt.leaf_node_bits(1)
+        assert m.total_pointer_bits == expected_ptr
+        assert m.total_nhi_bits == expected_nhi
+        assert m.total_bits == expected_ptr + expected_nhi
+
+    def test_vector_width_multiplies_nhi_only(self, small_pushed):
+        stats = small_pushed.stats()
+        m1 = map_trie_to_stages(stats, 32, nhi_vector_width=1)
+        m4 = map_trie_to_stages(stats, 32, nhi_vector_width=4)
+        assert m4.total_pointer_bits == m1.total_pointer_bits
+        assert m4.total_nhi_bits > m1.total_nhi_bits
+
+    def test_too_shallow_pipeline_rejected(self, small_pushed):
+        with pytest.raises(ConfigurationError):
+            map_trie_to_stages(small_pushed.stats(), small_pushed.depth() - 1)
+
+    def test_rejects_zero_stages(self, small_pushed):
+        with pytest.raises(ConfigurationError):
+            map_trie_to_stages(small_pushed.stats(), 0)
+
+    def test_widest_stage(self, small_pushed):
+        m = map_trie_to_stages(small_pushed.stats(), 32)
+        assert m.widest_stage_bits() == int(m.bits_per_stage.max())
+
+    def test_occupied_stages(self, small_pushed):
+        stats = small_pushed.stats()
+        m = map_trie_to_stages(stats, 32)
+        assert m.occupied_stages() == sum(
+            1 for level in range(1, stats.depth + 1) if stats.nodes_per_level[level]
+        )

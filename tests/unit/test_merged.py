@@ -1,0 +1,132 @@
+"""Merged trie (repro.virt.merged)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MergeError
+from repro.iplookup.rib import NO_ROUTE, RoutingTable
+from repro.iplookup.synth import SyntheticTableConfig, generate_virtual_tables
+from repro.iplookup.trie import UnibitTrie
+from repro.virt.merged import (
+    global_alpha_from_pairwise,
+    merge_tries,
+    pairwise_alpha_from_global,
+)
+
+
+@pytest.fixture(scope="module")
+def vn_tables():
+    return generate_virtual_tables(3, 0.6, SyntheticTableConfig(n_prefixes=250, seed=17))
+
+
+@pytest.fixture(scope="module")
+def merged(vn_tables):
+    return merge_tries([UnibitTrie(t) for t in vn_tables])
+
+
+class TestAlphaConversions:
+    def test_roundtrip(self):
+        for k in (2, 5, 15):
+            for alpha in (0.1, 0.5, 0.9):
+                g = global_alpha_from_pairwise(alpha, k)
+                assert pairwise_alpha_from_global(g, k) == pytest.approx(alpha)
+
+    def test_identical_tables_bound(self):
+        # K identical tables: global alpha = (K-1)/K maps to pairwise 1
+        assert pairwise_alpha_from_global(14 / 15, 15) == pytest.approx(1.0)
+
+    def test_rejects_small_k(self):
+        with pytest.raises(MergeError):
+            pairwise_alpha_from_global(0.5, 1)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(MergeError):
+            pairwise_alpha_from_global(0.9, 2)  # > (k-1)/k
+        with pytest.raises(MergeError):
+            global_alpha_from_pairwise(1.5, 3)
+
+
+class TestMergeStructure:
+    def test_full_and_leaf_pushed(self, merged):
+        merged.structure.validate()
+        assert merged.structure.is_leaf_pushed()
+
+    def test_every_leaf_has_a_vector(self, merged):
+        trie = merged.structure
+        for node in trie.nodes():
+            if trie.is_leaf(node):
+                assert merged.leaf_vector(node).shape == (merged.k,)
+            else:
+                with pytest.raises(MergeError):
+                    merged.leaf_vector(node)
+
+    def test_identical_tries_fully_overlap(self, vn_tables):
+        tries = [UnibitTrie(vn_tables[0]) for _ in range(4)]
+        m = merge_tries(tries)
+        assert m.union_input_nodes == tries[0].num_nodes
+        assert m.global_alpha == pytest.approx(3 / 4)
+        assert m.pairwise_alpha == pytest.approx(1.0)
+
+    def test_disjoint_tries_small_alpha(self):
+        a = UnibitTrie(RoutingTable.from_strings([("10.0.0.0/8", 1)]))
+        b = UnibitTrie(RoutingTable.from_strings([("192.0.0.0/8", 2)]))
+        m = merge_tries([a, b])
+        # only the root is shared
+        assert m.union_input_nodes == a.num_nodes + b.num_nodes - 1
+
+    def test_single_trie_merge(self, vn_tables):
+        m = merge_tries([UnibitTrie(vn_tables[0])])
+        assert m.k == 1
+        assert m.pairwise_alpha == 1.0
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(MergeError):
+            merge_tries([])
+
+    def test_merge_of_empty_tries(self):
+        m = merge_tries([UnibitTrie(), UnibitTrie()])
+        assert m.num_nodes == 1
+        assert m.lookup(0, 0) == NO_ROUTE
+
+
+class TestMergedLookup:
+    def test_per_vn_correctness(self, vn_tables, merged, random_addresses):
+        for vn, table in enumerate(vn_tables):
+            expected = table.lookup_linear_batch(random_addresses[:100])
+            got = np.array([merged.lookup(int(a), vn) for a in random_addresses[:100]])
+            assert np.array_equal(expected, got)
+
+    def test_batch_matches_scalar(self, merged, random_addresses):
+        rng = np.random.default_rng(0)
+        vnids = rng.integers(0, merged.k, size=len(random_addresses))
+        batch = merged.lookup_batch(random_addresses, vnids)
+        scalar = np.array(
+            [merged.lookup(int(a), int(v)) for a, v in zip(random_addresses, vnids)]
+        )
+        assert np.array_equal(batch, scalar)
+
+    def test_rejects_bad_vnid(self, merged):
+        with pytest.raises(MergeError):
+            merged.lookup(0, merged.k)
+        with pytest.raises(MergeError):
+            merged.lookup_batch(np.array([0], dtype=np.uint32), np.array([merged.k]))
+
+    def test_rejects_shape_mismatch(self, merged):
+        with pytest.raises(MergeError):
+            merged.lookup_batch(np.array([0, 1], dtype=np.uint32), np.array([0]))
+
+
+class TestMergedStats:
+    def test_stats_describe_structure(self, merged):
+        stats = merged.stats()
+        assert stats.total_nodes == merged.num_nodes
+        assert stats.internal_nodes + stats.leaf_nodes == stats.total_nodes
+
+    def test_alpha_monotone_in_sharing(self):
+        config = SyntheticTableConfig(n_prefixes=250, seed=23)
+        alphas = []
+        for fraction in (0.0, 0.5, 1.0):
+            tables = generate_virtual_tables(3, fraction, config)
+            m = merge_tries([UnibitTrie(t) for t in tables])
+            alphas.append(m.global_alpha)
+        assert alphas[0] < alphas[1] < alphas[2]

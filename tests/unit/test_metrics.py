@@ -1,0 +1,79 @@
+"""Throughput & efficiency metrics (repro.core.metrics)."""
+
+import pytest
+
+from repro.core.metrics import (
+    energy_per_packet_nj,
+    mw_per_gbps,
+    throughput_gbps,
+    watts_per_gbps,
+)
+from repro.errors import ConfigurationError
+
+
+class TestThroughput:
+    def test_paper_operating_point(self):
+        # one engine at 350 MHz, 40 B packets → 112 Gbps
+        assert throughput_gbps(350) == pytest.approx(112.0)
+
+    def test_aggregates_engines(self):
+        assert throughput_gbps(350, 15) == pytest.approx(15 * 112.0)
+
+    def test_zero_engines(self):
+        assert throughput_gbps(350, 0) == 0.0
+
+    def test_rejects_negative_engines(self):
+        with pytest.raises(ConfigurationError):
+            throughput_gbps(350, -1)
+
+
+class TestEfficiency:
+    def test_mw_per_gbps(self):
+        assert mw_per_gbps(4.5, 112.0) == pytest.approx(4500 / 112)
+
+    def test_watts_variant(self):
+        assert watts_per_gbps(4.5, 112.0) == pytest.approx(4.5 / 112)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            mw_per_gbps(1.0, 0.0)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ConfigurationError):
+            mw_per_gbps(-1.0, 10.0)
+
+
+class TestEnergyPerPacket:
+    def test_value(self):
+        # 4.5 W at 350e6 packets/s ≈ 12.86 nJ/packet
+        assert energy_per_packet_nj(4.5, 350) == pytest.approx(4.5 / 350e6 * 1e9)
+
+    def test_more_engines_cheaper_packets(self):
+        one = energy_per_packet_nj(4.5, 350, 1)
+        four = energy_per_packet_nj(4.5, 350, 4)
+        assert four == pytest.approx(one / 4)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            energy_per_packet_nj(1.0, 0)
+
+
+class TestLatency:
+    def test_paper_pipeline_latency(self):
+        from repro.core.metrics import lookup_latency_ns
+
+        # 29 cycles at 350 MHz ≈ 82.9 ns
+        assert lookup_latency_ns(350, 28) == pytest.approx(29 / 350e6 * 1e9)
+
+    def test_faster_clock_lower_latency(self):
+        from repro.core.metrics import lookup_latency_ns
+
+        assert lookup_latency_ns(350) < lookup_latency_ns(245)
+
+    def test_rejects_bad_inputs(self):
+        from repro.core.metrics import lookup_latency_ns
+
+        with pytest.raises(ConfigurationError):
+            lookup_latency_ns(0)
+        with pytest.raises(ConfigurationError):
+            lookup_latency_ns(100, 0)

@@ -1,0 +1,70 @@
+"""Multi-bit trie extension (repro.iplookup.multibit)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.iplookup.multibit import MultibitTrie
+from repro.iplookup.rib import RoutingTable
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("stride", [0, 9])
+    def test_rejects_bad_stride(self, small_table, stride):
+        with pytest.raises(ConfigurationError):
+            MultibitTrie(small_table, stride=stride)
+
+    def test_stride_one_matches_unibit_depth(self, small_table):
+        t = MultibitTrie(small_table, stride=1)
+        assert t.depth() <= 32
+
+    def test_fewer_levels_with_larger_stride(self, medium_table):
+        depths = [MultibitTrie(medium_table, stride=s).depth() for s in (1, 2, 4)]
+        assert depths[0] >= depths[1] >= depths[2]
+
+
+class TestLookup:
+    @pytest.mark.parametrize("stride", [1, 2, 3, 4, 8])
+    def test_matches_oracle(self, small_table, random_addresses, stride):
+        t = MultibitTrie(small_table, stride=stride)
+        expected = small_table.lookup_linear_batch(random_addresses[:128])
+        got = np.array([t.lookup(int(a)) for a in random_addresses[:128]])
+        assert np.array_equal(expected, got)
+
+    @pytest.mark.parametrize("stride", [2, 4])
+    def test_batch_matches_scalar(self, medium_table, random_addresses, stride):
+        t = MultibitTrie(medium_table, stride=stride)
+        batch = t.lookup_batch(random_addresses)
+        scalar = np.array([t.lookup(int(a)) for a in random_addresses])
+        assert np.array_equal(batch, scalar)
+
+    def test_default_route(self):
+        table = RoutingTable.from_strings([("0.0.0.0/0", 7)])
+        t = MultibitTrie(table, stride=4)
+        assert t.lookup(0xDEADBEEF) == 7
+
+
+class TestMemoryTradeoff:
+    def test_stats_consistency(self, medium_table):
+        t = MultibitTrie(medium_table, stride=4)
+        stats = t.stats()
+        assert stats.total_nodes == t.num_nodes
+        assert sum(stats.nodes_per_level) == stats.total_nodes
+        assert stats.total_entries == t.num_nodes * 16
+
+    def test_memory_grows_with_stride(self, medium_table):
+        m2 = MultibitTrie(medium_table, stride=2).memory_bits()
+        m8 = MultibitTrie(medium_table, stride=8).memory_bits()
+        assert m8 > m2  # prefix expansion cost
+
+    def test_pipeline_stages_shrink_with_stride(self, medium_table):
+        s1 = MultibitTrie(medium_table, stride=1).pipeline_stages()
+        s4 = MultibitTrie(medium_table, stride=4).pipeline_stages()
+        assert s4 < s1
+
+    def test_memory_bits_rejects_bad_width(self, small_table):
+        t = MultibitTrie(small_table, stride=2)
+        from repro.errors import TrieError
+
+        with pytest.raises(TrieError):
+            t.memory_bits(entry_bits=0)

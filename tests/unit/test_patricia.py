@@ -1,0 +1,73 @@
+"""Path-compressed trie (repro.iplookup.patricia)."""
+
+import numpy as np
+import pytest
+
+from repro.iplookup.patricia import PatriciaTrie
+from repro.iplookup.rib import NO_ROUTE, RoutingTable
+from repro.iplookup.trie import UnibitTrie
+
+
+class TestCorrectness:
+    def test_matches_oracle_small(self, small_table, random_addresses):
+        patricia = PatriciaTrie(small_table)
+        expected = small_table.lookup_linear_batch(random_addresses)
+        assert np.array_equal(patricia.lookup_batch(random_addresses), expected)
+
+    def test_matches_oracle_medium(self, medium_table, random_addresses):
+        patricia = PatriciaTrie(medium_table)
+        expected = medium_table.lookup_linear_batch(random_addresses)
+        assert np.array_equal(patricia.lookup_batch(random_addresses), expected)
+
+    def test_prefix_values_hit_exactly(self, medium_table):
+        patricia = PatriciaTrie(medium_table)
+        for route in list(medium_table)[:100]:
+            assert patricia.lookup(route.prefix.value) == medium_table.lookup_linear(
+                route.prefix.value
+            )
+
+    def test_empty_table(self):
+        patricia = PatriciaTrie(RoutingTable())
+        assert patricia.num_nodes == 1
+        assert patricia.lookup(0x12345678) == NO_ROUTE
+
+    def test_default_route_only(self):
+        patricia = PatriciaTrie(RoutingTable.from_strings([("0.0.0.0/0", 7)]))
+        assert patricia.lookup(0xDEADBEEF) == 7
+
+    def test_structure_validates(self, medium_table):
+        PatriciaTrie(medium_table).validate()
+
+
+class TestCompression:
+    def test_fewer_nodes_than_plain_trie(self, medium_table):
+        plain = UnibitTrie(medium_table)
+        patricia = PatriciaTrie(medium_table)
+        assert patricia.num_nodes < plain.num_nodes / 2
+
+    def test_label_bits_bounded(self, medium_table):
+        stats = PatriciaTrie(medium_table).stats()
+        assert 1 <= stats.max_label_bits <= 32
+
+    def test_node_accounting(self, medium_table):
+        stats = PatriciaTrie(medium_table).stats()
+        assert stats.internal_nodes + stats.leaf_nodes == stats.total_nodes
+
+    def test_single_long_prefix_collapses_to_one_edge(self):
+        table = RoutingTable.from_strings([("10.1.1.0/24", 5)])
+        patricia = PatriciaTrie(table)
+        assert patricia.num_nodes == 2  # root + one compressed leaf
+        stats = patricia.stats()
+        assert stats.max_label_bits == 24
+
+    def test_memory_comparison_with_plain(self, medium_table):
+        """A10's headline: compression beats the plain trie's memory."""
+        plain = UnibitTrie(medium_table)
+        plain_bits = plain.num_nodes * (2 * 18 + 8 + 2)
+        patricia_bits = PatriciaTrie(medium_table).stats().memory_bits()
+        assert patricia_bits < plain_bits
+
+    def test_depth_shrinks(self, medium_table):
+        plain = UnibitTrie(medium_table)
+        patricia = PatriciaTrie(medium_table)
+        assert patricia.stats().depth_nodes < plain.depth()

@@ -1,0 +1,115 @@
+"""Place-and-route simulator (repro.fpga.placer)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, PlacementError, ResourceExhaustedError
+from repro.fpga.catalog import XC6VLX240T, XC6VLX760
+from repro.fpga.placer import ENGINE_IO_PINS, EngineNetlist, PlaceAndRoute
+from repro.fpga.speedgrade import SpeedGrade
+
+
+def netlist(label="engine", stages=28, bits_per_stage=12_000) -> EngineNetlist:
+    return EngineNetlist(
+        label=label,
+        stage_memory_bits=np.full(stages, bits_per_stage, dtype=np.int64),
+    )
+
+
+class TestNetlist:
+    def test_properties(self):
+        n = netlist(stages=4, bits_per_stage=100)
+        assert n.n_stages == 4
+        assert n.total_memory_bits == 400
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            EngineNetlist(label="x", stage_memory_bits=np.array([], dtype=np.int64))
+
+    def test_rejects_negative_bits(self):
+        with pytest.raises(ConfigurationError):
+            EngineNetlist(label="x", stage_memory_bits=np.array([-1]))
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            EngineNetlist(label="x", stage_memory_bits=np.array([1]), word_width=0)
+
+
+class TestPlacement:
+    def test_single_engine(self):
+        placed = PlaceAndRoute().place([netlist()])
+        assert placed.n_engines == 1
+        assert placed.fmax_mhz > 0
+        assert 0 < placed.used_area_fraction <= 1
+
+    def test_rejects_empty_design(self):
+        with pytest.raises(PlacementError):
+            PlaceAndRoute().place([])
+
+    def test_usage_accounts_every_engine(self):
+        one = PlaceAndRoute().place([netlist("a")])
+        two = PlaceAndRoute().place([netlist("a"), netlist("b")])
+        assert two.total_usage.registers == pytest.approx(
+            2 * (one.total_usage.registers), rel=1e-9
+        )
+        assert two.total_usage.bram18_equivalent == 2 * one.total_usage.bram18_equivalent
+
+    def test_io_pin_wall_at_k16(self):
+        # the paper's VS sweep stops at K = 15 for I/O pins
+        engines15 = [netlist(f"e{i}") for i in range(15)]
+        PlaceAndRoute().place(engines15)  # fits
+        engines16 = [netlist(f"e{i}") for i in range(16)]
+        with pytest.raises(ResourceExhaustedError) as excinfo:
+            PlaceAndRoute().place(engines16)
+        assert excinfo.value.resource == "I/O pins"
+
+    def test_bram_exhaustion_on_small_device(self):
+        big = netlist(bits_per_stage=40 * 36 * 1024)  # 40 blocks/stage × 28
+        with pytest.raises(ResourceExhaustedError):
+            PlaceAndRoute(device=XC6VLX240T).place([big, big])
+
+
+class TestDeterminism:
+    def test_identical_designs_place_identically(self):
+        a = PlaceAndRoute().place([netlist()], name="same")
+        b = PlaceAndRoute().place([netlist()], name="same")
+        assert a.jitter_factor == b.jitter_factor
+        assert a.fmax_mhz == b.fmax_mhz
+
+    def test_different_names_jitter_differently(self):
+        a = PlaceAndRoute().place([netlist()], name="design-a")
+        b = PlaceAndRoute().place([netlist()], name="design-b")
+        assert a.jitter_factor != b.jitter_factor
+
+    def test_jitter_bounded(self):
+        for name in ("x", "y", "z", "w"):
+            placed = PlaceAndRoute().place([netlist()], name=name)
+            assert abs(placed.jitter_factor - 1.0) <= 0.016
+
+
+class TestOptimizationFactors:
+    def test_single_engine_no_sharing(self):
+        placed = PlaceAndRoute().place([netlist()])
+        assert placed.logic_opt_factor == pytest.approx(1.0)
+        assert placed.static_opt_factor == pytest.approx(1.0)
+
+    def test_sharing_grows_with_engines(self):
+        two = PlaceAndRoute().place([netlist(f"e{i}") for i in range(2)])
+        ten = PlaceAndRoute().place([netlist(f"e{i}") for i in range(10)])
+        assert ten.logic_opt_factor < two.logic_opt_factor < 1.0
+        assert ten.static_opt_factor < two.static_opt_factor < 1.0
+
+    def test_bram_optimization_grows_with_blocks(self):
+        small = PlaceAndRoute().place([netlist(bits_per_stage=1_000)])
+        large = PlaceAndRoute().place([netlist(bits_per_stage=400_000)])
+        assert large.bram_opt_factor < small.bram_opt_factor <= 1.0
+
+    def test_fmax_drops_with_widest_stage(self):
+        light = PlaceAndRoute().place([netlist(bits_per_stage=10_000)])
+        heavy = PlaceAndRoute().place([netlist(bits_per_stage=500_000)])
+        assert heavy.fmax_mhz < light.fmax_mhz
+
+    def test_grade_affects_fmax(self):
+        g2 = PlaceAndRoute(grade=SpeedGrade.G2).place([netlist()])
+        g1l = PlaceAndRoute(grade=SpeedGrade.G1L).place([netlist()])
+        assert g1l.fmax_mhz < g2.fmax_mhz

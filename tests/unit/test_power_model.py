@@ -1,0 +1,139 @@
+"""Analytical power models Eq. 2/4/6 (repro.core.power)."""
+
+import numpy as np
+import pytest
+
+from repro.core.power import AnalyticalPowerModel
+from repro.core.resources import engine_stage_map, merged_stage_map
+from repro.errors import ConfigurationError
+from repro.fpga.clocking import ClockGating
+from repro.fpga.speedgrade import SpeedGrade
+from repro.units import BRAM18K_BITS, BRAM36K_BITS
+
+
+@pytest.fixture(scope="module")
+def base_stats():
+    from repro.iplookup.leafpush import leaf_push
+    from repro.iplookup.synth import SyntheticTableConfig, generate_table
+    from repro.iplookup.trie import UnibitTrie
+
+    table = generate_table(SyntheticTableConfig(n_prefixes=400, seed=3))
+    return leaf_push(UnibitTrie(table)).stats()
+
+
+@pytest.fixture(scope="module")
+def base_map(base_stats):
+    return engine_stage_map(base_stats, 28)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AnalyticalPowerModel(SpeedGrade.G2)
+
+
+class TestComponentTerms:
+    def test_static_is_paper_value(self, model):
+        assert model.static_w == pytest.approx(4.5)
+
+    def test_stage_logic_line(self, model):
+        assert model.stage_logic_power_w(300) == pytest.approx(5.180 * 300 * 1e-6)
+
+    def test_stage_memory_small_uses_18k_coefficient(self, model):
+        p = model.stage_memory_power_w(1000, 200)
+        assert p == pytest.approx(13.65 * 200 * 1e-6)
+
+    def test_stage_memory_quantized(self, model):
+        # one bit over 36 Kib: a 36 Kb block plus an 18 Kb primitive
+        p = model.stage_memory_power_w(BRAM36K_BITS + 1, 200)
+        assert p == pytest.approx((24.60 + 13.65) * 200 * 1e-6)
+
+    def test_zero_memory_zero_power(self, model):
+        assert model.stage_memory_power_w(0, 300) == 0.0
+
+
+class TestEq2NonVirtualized:
+    def test_static_scales_with_k(self, model, base_map):
+        mu = np.full(5, 0.2)
+        p = model.power_nv([base_map] * 5, 300, mu)
+        assert p.static_w == pytest.approx(5 * 4.5)
+
+    def test_uniform_dynamic_equals_one_engine_at_full(self, model, base_map):
+        # Σ µi × engine = 1 × engine when tables are identical
+        k = 4
+        nv = model.power_nv([base_map] * k, 300, np.full(k, 1 / k))
+        one = model.power_vs([base_map], 300, np.array([1.0]))
+        assert nv.dynamic_w == pytest.approx(one.dynamic_w)
+
+    def test_utilization_count_checked(self, model, base_map):
+        with pytest.raises(ConfigurationError):
+            model.power_nv([base_map] * 3, 300, np.array([0.5, 0.5]))
+
+
+class TestEq4VirtualizedSeparate:
+    def test_single_static(self, model, base_map):
+        p = model.power_vs([base_map] * 8, 300, np.full(8, 1 / 8))
+        assert p.static_w == pytest.approx(4.5)
+
+    def test_k_invariant_under_assumption_1(self, model, base_map):
+        # Eq. 4 with uniform µ: power independent of K
+        totals = [
+            model.power_vs([base_map] * k, 300, np.full(k, 1 / k)).total_w
+            for k in (1, 4, 8, 15)
+        ]
+        assert max(totals) - min(totals) < 1e-12
+
+    def test_savings_vs_nv_proportional_to_k(self, model, base_map):
+        for k in (2, 8, 15):
+            mu = np.full(k, 1 / k)
+            nv = model.power_nv([base_map] * k, 300, mu).total_w
+            vs = model.power_vs([base_map] * k, 300, mu).total_w
+            assert nv - vs == pytest.approx((k - 1) * 4.5)
+
+    def test_rejects_oversubscribed_mu(self, model, base_map):
+        with pytest.raises(ConfigurationError):
+            model.power_vs([base_map] * 2, 300, np.array([0.8, 0.8]))
+
+
+class TestEq6VirtualizedMerged:
+    def test_no_mu_scaling(self, model, base_stats):
+        merged = merged_stage_map(base_stats, 8, 0.8, 28)
+        p = model.power_vm(merged, 300)
+        # dynamic power is the full engine, not an average
+        single = engine_stage_map(base_stats, 28)
+        p_single_full = model.power_vs([single], 300, np.array([1.0]))
+        assert p.dynamic_w > p_single_full.dynamic_w
+
+    def test_memory_power_grows_with_k(self, model, base_stats):
+        powers = [
+            model.power_vm(merged_stage_map(base_stats, k, 0.2, 28), 300).memory_w
+            for k in (2, 8, 15)
+        ]
+        assert powers[0] < powers[1] < powers[2]
+
+    def test_duty_cycle_scales_dynamic(self, model, base_stats):
+        merged = merged_stage_map(base_stats, 4, 0.8, 28)
+        full = model.power_vm(merged, 300, duty_cycle=1.0)
+        half = model.power_vm(merged, 300, duty_cycle=0.5)
+        assert half.dynamic_w == pytest.approx(full.dynamic_w / 2)
+        assert half.static_w == full.static_w
+
+    def test_rejects_bad_duty(self, model, base_stats):
+        merged = merged_stage_map(base_stats, 4, 0.8, 28)
+        with pytest.raises(ConfigurationError):
+            model.power_vm(merged, 300, duty_cycle=0.0)
+
+
+class TestClockGatingInteraction:
+    def test_ungated_idle_costs_power(self, base_map):
+        gated = AnalyticalPowerModel(SpeedGrade.G2)
+        ungated = AnalyticalPowerModel(
+            SpeedGrade.G2, clock_gating=ClockGating(gate_logic=False, gate_memory=False)
+        )
+        mu = np.full(8, 1 / 8)
+        p_gated = gated.power_vs([base_map] * 8, 300, mu, duty_cycle=0.1)
+        p_ungated = ungated.power_vs([base_map] * 8, 300, mu, duty_cycle=0.1)
+        assert p_ungated.dynamic_w > 3 * p_gated.dynamic_w
+
+    def test_grade_summary_mentions_constants(self):
+        text = AnalyticalPowerModel(SpeedGrade.G2).grade_summary()
+        assert "4.5" in text and "5.18" in text

@@ -1,0 +1,90 @@
+"""XPA-like power reporting (repro.fpga.power_report)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fpga.placer import EngineNetlist, PlaceAndRoute
+from repro.fpga.power_report import XPowerAnalyzer
+from repro.fpga.speedgrade import SpeedGrade
+
+
+@pytest.fixture(scope="module")
+def placed():
+    engines = [
+        EngineNetlist(label=f"e{i}", stage_memory_bits=np.full(28, 12_000))
+        for i in range(4)
+    ]
+    return PlaceAndRoute().place(engines, name="report-test")
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return XPowerAnalyzer()
+
+
+class TestReportStructure:
+    def test_totals_add_up(self, placed, analyzer):
+        report = analyzer.report(placed)
+        assert report.total_w == pytest.approx(report.static_w + report.dynamic_w)
+        assert report.dynamic_w == pytest.approx(
+            report.logic_w + report.signal_w + report.bram_w
+        )
+
+    def test_per_engine_breakdown(self, placed, analyzer):
+        report = analyzer.report(placed)
+        assert len(report.engines) == 4
+        assert report.logic_w == pytest.approx(sum(e.logic_w for e in report.engines))
+
+    def test_defaults_to_fmax(self, placed, analyzer):
+        report = analyzer.report(placed)
+        assert report.frequency_mhz == pytest.approx(placed.fmax_mhz)
+
+    def test_static_close_to_catalog(self, placed, analyzer):
+        report = analyzer.report(placed)
+        assert report.static_w == pytest.approx(4.5, rel=0.05)
+
+
+class TestActivities:
+    def test_zero_activity_kills_dynamic(self, placed, analyzer):
+        report = analyzer.report(placed, engine_activities=np.zeros(4))
+        assert report.dynamic_w == pytest.approx(0.0)
+        assert report.static_w > 0
+
+    def test_dynamic_linear_in_activity(self, placed, analyzer):
+        full = analyzer.report(placed, engine_activities=np.ones(4))
+        half = analyzer.report(placed, engine_activities=np.full(4, 0.5))
+        assert half.dynamic_w == pytest.approx(full.dynamic_w / 2)
+
+    def test_activity_shape_checked(self, placed, analyzer):
+        with pytest.raises(ConfigurationError):
+            analyzer.report(placed, engine_activities=np.ones(3))
+
+    def test_activity_range_checked(self, placed, analyzer):
+        with pytest.raises(ConfigurationError):
+            analyzer.report(placed, engine_activities=np.full(4, 1.5))
+
+
+class TestOperatingPoint:
+    def test_dynamic_linear_in_frequency(self, placed, analyzer):
+        lo = analyzer.report(placed, frequency_mhz=100)
+        hi = analyzer.report(placed, frequency_mhz=200)
+        assert hi.dynamic_w == pytest.approx(2 * lo.dynamic_w)
+        assert hi.static_w == pytest.approx(lo.static_w)
+
+    def test_rejects_negative_frequency(self, placed, analyzer):
+        with pytest.raises(ConfigurationError):
+            analyzer.report(placed, frequency_mhz=-1)
+
+    def test_write_rate_raises_bram_power(self, placed, analyzer):
+        lo = analyzer.report(placed, write_rate=0.01)
+        hi = analyzer.report(placed, write_rate=0.5)
+        assert hi.bram_w > lo.bram_w
+        assert hi.logic_w == pytest.approx(lo.logic_w)
+
+    def test_grade_reduces_power(self):
+        engines = [EngineNetlist(label="e", stage_memory_bits=np.full(28, 12_000))]
+        analyzer = XPowerAnalyzer()
+        g2 = analyzer.report(PlaceAndRoute(grade=SpeedGrade.G2).place(engines), frequency_mhz=200)
+        g1l = analyzer.report(PlaceAndRoute(grade=SpeedGrade.G1L).place(engines), frequency_mhz=200)
+        assert g1l.total_w < g2.total_w

@@ -1,0 +1,121 @@
+"""IPv4 prefix type (repro.iplookup.prefix)."""
+
+import pytest
+
+from repro.errors import PrefixError
+from repro.iplookup.prefix import (
+    DEFAULT_ROUTE,
+    Prefix,
+    format_address,
+    parse_address,
+    parse_prefix,
+)
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = Prefix(0x0A000000, 8)
+        assert p.value == 0x0A000000
+        assert p.length == 8
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(PrefixError):
+            Prefix(0x0A000001, 8)
+
+    def test_normalized_clears_host_bits(self):
+        p = Prefix.normalized(0x0A0000FF, 8)
+        assert p == Prefix(0x0A000000, 8)
+
+    @pytest.mark.parametrize("length", [-1, 33])
+    def test_rejects_bad_length(self, length):
+        with pytest.raises(PrefixError):
+            Prefix(0, length)
+
+    def test_rejects_out_of_range_value(self):
+        with pytest.raises(PrefixError):
+            Prefix(1 << 32, 32)
+
+    def test_default_route(self):
+        assert DEFAULT_ROUTE.length == 0
+        assert DEFAULT_ROUTE.mask() == 0
+
+    def test_slash32(self):
+        p = Prefix(0xFFFFFFFF, 32)
+        assert p.mask() == 0xFFFFFFFF
+
+
+class TestSemantics:
+    def test_contains(self):
+        p = parse_prefix("10.1.0.0/16")
+        assert p.contains(parse_address("10.1.2.3"))
+        assert not p.contains(parse_address("10.2.0.0"))
+
+    def test_default_contains_everything(self):
+        assert DEFAULT_ROUTE.contains(0)
+        assert DEFAULT_ROUTE.contains(0xFFFFFFFF)
+
+    def test_covers(self):
+        outer = parse_prefix("10.0.0.0/8")
+        inner = parse_prefix("10.1.0.0/16")
+        assert outer.covers(inner)
+        assert not inner.covers(outer)
+        assert outer.covers(outer)
+
+    def test_bit_extraction(self):
+        p = parse_prefix("128.0.0.0/1")
+        assert p.bit(0) == 1
+        p2 = parse_prefix("64.0.0.0/2")
+        assert p2.bits() == (0, 1)
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(PrefixError):
+            parse_prefix("10.0.0.0/8").bit(32)
+
+    def test_children(self):
+        left, right = parse_prefix("10.0.0.0/8").children()
+        assert left == parse_prefix("10.0.0.0/9")
+        assert right == parse_prefix("10.128.0.0/9")
+
+    def test_children_of_slash32_fails(self):
+        with pytest.raises(PrefixError):
+            parse_prefix("1.2.3.4/32").children()
+
+    def test_address_range(self):
+        p = parse_prefix("10.1.1.0/24")
+        assert p.first_address() == parse_address("10.1.1.0")
+        assert p.last_address() == parse_address("10.1.1.255")
+        assert p.num_addresses() == 256
+
+    def test_ordering_by_length_then_value(self):
+        prefixes = [
+            parse_prefix("10.0.0.0/16"),
+            parse_prefix("9.0.0.0/8"),
+            parse_prefix("11.0.0.0/8"),
+        ]
+        ordered = sorted(prefixes)
+        assert [p.length for p in ordered] == [8, 8, 16]
+        assert ordered[0].value < ordered[1].value
+
+
+class TestParsing:
+    def test_roundtrip(self):
+        for text in ("0.0.0.0/0", "10.1.1.0/24", "255.255.255.255/32"):
+            assert str(parse_prefix(text)) == text
+
+    def test_bare_address_is_slash32(self):
+        assert parse_prefix("1.2.3.4").length == 32
+
+    @pytest.mark.parametrize(
+        "text", ["1.2.3", "1.2.3.4.5", "1.2.3.256/8", "a.b.c.d/8", "1.2.3.4/xx", "1.2.3.4/-1"]
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(PrefixError):
+            parse_prefix(text)
+
+    def test_format_address(self):
+        assert format_address(0x0A010203) == "10.1.2.3"
+        assert format_address(0) == "0.0.0.0"
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(PrefixError):
+            format_address(1 << 32)

@@ -1,0 +1,133 @@
+"""IPv6 prefixes and tables (repro.iplookup.prefix6)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, PrefixError
+from repro.iplookup.leafpush import leaf_push
+from repro.iplookup.prefix6 import (
+    Prefix6,
+    Synthetic6Config,
+    generate_table6,
+    parse_prefix6,
+)
+from repro.iplookup.trie import UnibitTrie
+
+
+class TestPrefix6:
+    def test_parse_and_str_roundtrip(self):
+        p = parse_prefix6("2001:db8::/32")
+        assert p.length == 32
+        assert str(p) == "2001:db8::/32"
+
+    def test_bare_address_is_slash128(self):
+        assert parse_prefix6("::1").length == 128
+
+    def test_normalized_clears_host_bits(self):
+        p = Prefix6.normalized((1 << 127) | 0xFFFF, 16)
+        assert p.value == 1 << 127
+
+    def test_contains(self):
+        p = parse_prefix6("2001:db8::/32")
+        assert p.contains(int(parse_prefix6("2001:db8:1::").value))
+        assert not p.contains(int(parse_prefix6("2001:db9::").value))
+
+    def test_bit_extraction(self):
+        p = parse_prefix6("8000::/1")
+        assert p.bit(0) == 1
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(PrefixError):
+            Prefix6(0, 129)
+        with pytest.raises(PrefixError):
+            Prefix6(1, 16)  # host bits
+        with pytest.raises(PrefixError):
+            parse_prefix6("not-an-address/32")
+        with pytest.raises(PrefixError):
+            parse_prefix6("2001:db8::/xx")
+
+    def test_ordering(self):
+        a = parse_prefix6("2001:db8::/32")
+        b = parse_prefix6("2001:db8::/48")
+        assert a < b
+
+
+class TestSynthetic6:
+    def test_exact_count_and_lengths(self):
+        config = Synthetic6Config(n_prefixes=300, seed=4)
+        table = generate_table6(config)
+        assert len(table) == 300
+        assert table.max_length() <= config.max_length
+        hist = table.length_histogram()
+        assert hist[48] > 0.5 * hist.sum()  # /48-dominated edge table
+
+    def test_deterministic(self):
+        config = Synthetic6Config(n_prefixes=100, seed=5)
+        assert generate_table6(config).routes() == generate_table6(config).routes()
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            Synthetic6Config(n_prefixes=0)
+        with pytest.raises(ConfigurationError):
+            Synthetic6Config(max_length=40)
+
+
+class TestWideTrie:
+    @pytest.fixture(scope="class")
+    def v6_setup(self):
+        table = generate_table6(Synthetic6Config(n_prefixes=200, seed=6))
+        trie = UnibitTrie(table, width=128)
+        return table, trie
+
+    def test_width_rejects_overlong_prefix(self):
+        trie = UnibitTrie()  # width 32
+        with pytest.raises(Exception):
+            trie.insert(parse_prefix6("2001:db8::/48"), 1)
+
+    def test_lookup_matches_oracle(self, v6_setup):
+        table, trie = v6_setup
+        rng = np.random.default_rng(7)
+        prefixes = table.prefixes()
+        for _ in range(150):
+            p = prefixes[int(rng.integers(0, len(prefixes)))]
+            addr = p.value | int(rng.integers(0, 1 << 40))
+            assert trie.lookup(addr) == table.lookup_linear(addr)
+
+    def test_batch_falls_back_to_scalar(self, v6_setup):
+        table, trie = v6_setup
+        addrs = [p.value for p in table.prefixes()[:20]]
+        batch = trie.lookup_batch(addrs)
+        scalar = np.array([trie.lookup(a) for a in addrs])
+        assert np.array_equal(batch, scalar)
+
+    def test_leaf_push_preserves_width_and_lookups(self, v6_setup):
+        table, trie = v6_setup
+        pushed = leaf_push(trie)
+        assert pushed.width == 128
+        assert pushed.is_leaf_pushed()
+        for p in table.prefixes()[:50]:
+            assert pushed.lookup(p.value) == table.lookup_linear(p.value)
+
+    def test_pipeline_rejects_wide_trie(self, v6_setup):
+        from repro.iplookup.pipeline import LookupPipeline
+
+        _, trie = v6_setup
+        with pytest.raises(ConfigurationError):
+            LookupPipeline(trie, n_stages=128)
+
+    def test_validate_and_stats(self, v6_setup):
+        _, trie = v6_setup
+        trie.validate()
+        stats = trie.stats()
+        assert stats.depth <= 64
+
+
+class TestIpv6Experiment:
+    def test_ipv6_costs_more(self):
+        from repro.experiments.ipv6_outlook import run
+
+        result = run(n_prefixes=500, k=4)
+        stages = result.get("stages")
+        assert stages[1] > stages[0]
+        assert result.get("merged_total_W")[1] > result.get("merged_total_W")[0]
+        assert result.get("mW_per_Gbps")[1] > result.get("mW_per_Gbps")[0]

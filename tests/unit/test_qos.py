@@ -1,0 +1,85 @@
+"""QoS / admission control (repro.virt.qos)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.virt.qos import WeightedScheduler, admissible, check_admission
+
+
+class TestAdmission:
+    def test_fits(self):
+        report = check_admission(100.0, [30, 30, 30])
+        assert report.admissible
+        assert report.utilization == pytest.approx(0.9)
+        assert report.headroom_gbps == pytest.approx(10.0)
+
+    def test_overload_rejected(self):
+        assert not admissible(100.0, [60, 60])
+
+    def test_single_demand_above_line_rate(self):
+        assert not admissible(100.0, [150.0])
+
+    def test_exact_fit(self):
+        assert admissible(100.0, [50, 50])
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            check_admission(0.0, [1])
+        with pytest.raises(ConfigurationError):
+            check_admission(10.0, [])
+        with pytest.raises(ConfigurationError):
+            check_admission(10.0, [-1.0])
+
+    def test_paper_scalability_claim(self):
+        """Section IV-C: enough merged VNs eventually exceed the engine."""
+        capacity = 100.0
+        per_vn = 12.0
+        ks = [k for k in range(1, 20) if admissible(capacity, [per_vn] * k)]
+        assert max(ks) == 8  # 9 × 12 > 100
+
+
+class TestScheduler:
+    def test_work_conserving(self):
+        sched = WeightedScheduler([1, 1])
+        arrivals = np.zeros((10, 2), dtype=np.int64)
+        arrivals[0, 0] = 5  # burst on VN 0 only
+        out = sched.simulate(arrivals)
+        assert out["served"][0] == 5
+        assert out["backlog"].sum() == 0
+
+    def test_proportional_service_under_overload(self):
+        sched = WeightedScheduler([3, 1])
+        arrivals = np.ones((4000, 2), dtype=np.int64)  # 2x overload
+        out = sched.simulate(arrivals)
+        ratio = out["served"][0] / out["served"][1]
+        assert 2.5 < ratio < 3.5
+
+    def test_admissible_load_fully_served(self):
+        sched = WeightedScheduler([1, 1, 2])
+        assert sched.verify_guarantee(np.array([0.2, 0.2, 0.4]), cycles=4000)
+
+    def test_overload_raises(self):
+        sched = WeightedScheduler([1, 1])
+        with pytest.raises(CapacityError):
+            sched.verify_guarantee(np.array([0.7, 0.7]))
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ConfigurationError):
+            WeightedScheduler([])
+        with pytest.raises(ConfigurationError):
+            WeightedScheduler([1.0, 0.0])
+
+    def test_rejects_bad_arrival_shape(self):
+        sched = WeightedScheduler([1, 1])
+        with pytest.raises(ConfigurationError):
+            sched.simulate(np.zeros((5, 3), dtype=np.int64))
+        with pytest.raises(ConfigurationError):
+            sched.simulate(np.full((5, 2), -1))
+
+    def test_backlog_high_water_mark(self):
+        sched = WeightedScheduler([1])
+        arrivals = np.zeros((5, 1), dtype=np.int64)
+        arrivals[0, 0] = 4
+        out = sched.simulate(arrivals)
+        assert out["max_backlog"][0] == 4

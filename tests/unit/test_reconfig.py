@@ -1,0 +1,55 @@
+"""Reconfiguration model (repro.fpga.reconfig)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fpga.catalog import XC6VLX240T, XC6VLX760
+from repro.fpga.reconfig import (
+    ICAP_BYTES_PER_SECOND,
+    full_bitstream_bytes,
+    full_reconfig_time_ms,
+    memory_load_time_ms,
+    partial_reconfig_time_ms,
+)
+
+
+class TestBitstreams:
+    def test_lx760_bitstream_near_documented_size(self):
+        # Virtex-6 LX760 full bitstream is ~184 Mb ≈ 23 MB
+        bits = full_bitstream_bytes(XC6VLX760) * 8
+        assert 150e6 < bits < 220e6
+
+    def test_smaller_device_smaller_bitstream(self):
+        assert full_bitstream_bytes(XC6VLX240T) < full_bitstream_bytes(XC6VLX760)
+
+
+class TestTimes:
+    def test_full_reconfig_tens_of_ms(self):
+        t = full_reconfig_time_ms(XC6VLX760)
+        assert 20 < t < 120
+
+    def test_partial_scales_with_region(self):
+        half = partial_reconfig_time_ms(0.5)
+        tenth = partial_reconfig_time_ms(0.1)
+        assert half == pytest.approx(5 * tenth)
+        assert partial_reconfig_time_ms(1.0) == pytest.approx(full_reconfig_time_ms())
+
+    def test_partial_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            partial_reconfig_time_ms(0.0)
+        with pytest.raises(ConfigurationError):
+            partial_reconfig_time_ms(1.5)
+
+    def test_memory_load_time(self):
+        # 18 Kib at 18-bit words and 100 MHz: 1024 cycles ≈ 0.01 ms
+        t = memory_load_time_ms(18 * 1024, 100.0)
+        assert t == pytest.approx(1024 / 100e6 * 1e3)
+
+    def test_memory_load_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            memory_load_time_ms(-1, 100)
+        with pytest.raises(ConfigurationError):
+            memory_load_time_ms(100, 0)
+
+    def test_icap_bandwidth_constant(self):
+        assert ICAP_BYTES_PER_SECOND == pytest.approx(400e6)

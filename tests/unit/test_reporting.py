@@ -1,0 +1,235 @@
+"""Reporting containers and rendering (repro.reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.reporting.registry import all_experiments, get_experiment
+from repro.reporting.result import ExperimentResult, Series
+from repro.reporting.tables import render_kv, render_table
+
+
+def make_result() -> ExperimentResult:
+    r = ExperimentResult(
+        experiment_id="demo",
+        title="Demo result",
+        x_label="K",
+        x_values=np.array([1.0, 2.0, 3.0]),
+    )
+    r.add_series("alpha", [1.5, 2.5, 3.5])
+    r.add_series("beta", [0.1, 0.2, 0.3])
+    return r
+
+
+class TestExperimentResult:
+    def test_get_series(self):
+        r = make_result()
+        assert list(r.get("alpha")) == [1.5, 2.5, 3.5]
+
+    def test_unknown_series(self):
+        with pytest.raises(ExperimentError):
+            make_result().get("gamma")
+
+    def test_length_mismatch_rejected(self):
+        r = make_result()
+        with pytest.raises(ExperimentError):
+            r.add_series("bad", [1.0])
+
+    def test_labels_in_order(self):
+        assert make_result().labels() == ["alpha", "beta"]
+
+    def test_series_must_be_1d(self):
+        with pytest.raises(ExperimentError):
+            Series("x", np.zeros((2, 2)))
+
+    def test_render_contains_everything(self):
+        r = make_result()
+        r.add_note("a note")
+        text = r.render()
+        assert "demo" in text and "alpha" in text and "a note" in text
+        assert "1.5" in text
+
+    def test_csv_roundtrip_shape(self):
+        csv = make_result().to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "K,alpha,beta"
+        assert len(lines) == 4
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        make_result().write_csv(str(path))
+        assert path.read_text().startswith("K,alpha,beta")
+
+    def test_integer_x_rendered_without_decimal(self):
+        rows = make_result().to_rows()
+        assert rows[1][0] == "1"
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        text = render_table([["name", "value"], ["a", "1"], ["bb", "22"]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "name" in lines[0]
+
+    def test_render_empty(self):
+        assert render_table([]) == ""
+
+    def test_render_kv(self):
+        text = render_kv([("key", "value"), ("longer-key", "x")])
+        assert "key" in text and "longer-key" in text
+
+    def test_render_kv_empty(self):
+        assert render_kv([]) == ""
+
+
+class TestRegistry:
+    def test_all_paper_experiments_registered(self):
+        registry = all_experiments()
+        for experiment_id in (
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "table2",
+            "table3",
+            "trie_stats",
+            "claims",
+        ):
+            assert experiment_id in registry
+
+    def test_get_unknown(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("fig99")
+
+    def test_runner_ids_attached(self):
+        assert get_experiment("fig2").experiment_id == "fig2"
+
+
+class TestAsciiChart:
+    def _result(self):
+        r = ExperimentResult(
+            experiment_id="chart",
+            title="Chart demo",
+            x_label="K",
+            x_values=np.arange(1.0, 6.0),
+        )
+        r.add_series("up", [1, 2, 3, 4, 5])
+        r.add_series("down", [5, 4, 3, 2, 1])
+        return r
+
+    def test_renders_axes_and_legend(self):
+        from repro.reporting.ascii_chart import render_chart
+
+        text = render_chart(self._result())
+        assert "Chart demo" in text
+        assert "*=up" in text and "o=down" in text
+        assert "5" in text and "1" in text
+
+    def test_glyphs_plotted(self):
+        from repro.reporting.ascii_chart import render_chart
+
+        text = render_chart(self._result(), width=20, height=6)
+        assert text.count("*") >= 3  # later series may overwrite some points
+
+    def test_handles_nan_series(self):
+        from repro.reporting.ascii_chart import render_chart
+
+        r = self._result()
+        r.add_series("gappy", [1, float("nan"), 3, float("nan"), 5])
+        assert "gappy" in render_chart(r)
+
+    def test_constant_series(self):
+        from repro.reporting.ascii_chart import render_chart
+
+        r = ExperimentResult(
+            experiment_id="flat", title="flat", x_label="x", x_values=np.array([1.0, 2.0])
+        )
+        r.add_series("c", [3.0, 3.0])
+        assert render_chart(r)
+
+    def test_rejects_tiny_canvas(self):
+        from repro.errors import ExperimentError
+        from repro.reporting.ascii_chart import render_chart
+
+        with pytest.raises(ExperimentError):
+            render_chart(self._result(), width=4, height=2)
+
+    def test_rejects_empty_result(self):
+        from repro.errors import ExperimentError
+        from repro.reporting.ascii_chart import render_chart
+
+        empty = ExperimentResult(
+            experiment_id="e", title="e", x_label="x", x_values=np.array([1.0])
+        )
+        with pytest.raises(ExperimentError):
+            render_chart(empty)
+
+
+class TestSvgChart:
+    def _result(self):
+        r = ExperimentResult(
+            experiment_id="svg",
+            title="SVG demo",
+            x_label="K",
+            x_values=np.arange(1.0, 6.0),
+        )
+        r.add_series("a", [1, 2, 3, 4, 5])
+        r.add_series("b", [2, 2, 2, 2, 2])
+        return r
+
+    def test_valid_xml_with_series(self):
+        import xml.dom.minidom
+
+        from repro.reporting.svg_chart import render_svg
+
+        svg = render_svg(self._result())
+        doc = xml.dom.minidom.parseString(svg)
+        assert doc.documentElement.tagName == "svg"
+        assert len(doc.getElementsByTagName("polyline")) == 2
+
+    def test_legend_and_labels_escaped(self):
+        from repro.reporting.svg_chart import render_svg
+
+        r = self._result()
+        r.add_series("x<y&z", [0, 0, 0, 0, 0])
+        svg = render_svg(r)
+        assert "x&lt;y&amp;z" in svg
+
+    def test_nan_points_skipped(self):
+        import xml.dom.minidom
+
+        from repro.reporting.svg_chart import render_svg
+
+        r = self._result()
+        r.add_series("gaps", [1, float("nan"), 3, float("nan"), 5])
+        xml.dom.minidom.parseString(render_svg(r))
+
+    def test_write_svg(self, tmp_path):
+        from repro.reporting.svg_chart import write_svg
+
+        path = tmp_path / "chart.svg"
+        write_svg(self._result(), str(path))
+        assert path.read_text().startswith("<svg")
+
+    def test_rejects_empty(self):
+        from repro.errors import ExperimentError
+        from repro.reporting.svg_chart import render_svg
+
+        empty = ExperimentResult(
+            experiment_id="e", title="e", x_label="x", x_values=np.array([1.0])
+        )
+        with pytest.raises(ExperimentError):
+            render_svg(empty)
+
+    def test_constant_axis_handled(self):
+        from repro.reporting.svg_chart import render_svg
+
+        r = ExperimentResult(
+            experiment_id="c", title="c", x_label="x", x_values=np.array([2.0])
+        )
+        r.add_series("point", [7.0])
+        assert "<svg" in render_svg(r)

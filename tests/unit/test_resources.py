@@ -1,0 +1,114 @@
+"""Resource models Eq. 1/3/5 (repro.core.resources)."""
+
+import pytest
+
+from repro.core.resources import (
+    engine_stage_map,
+    merged_multiplier,
+    merged_stage_map,
+    scheme_resources,
+)
+from repro.errors import ConfigurationError
+from repro.fpga.catalog import XC6VLX760
+from repro.virt.schemes import Scheme
+
+
+@pytest.fixture(scope="module")
+def base_stats():
+    from repro.iplookup.leafpush import leaf_push
+    from repro.iplookup.synth import SyntheticTableConfig, generate_table
+    from repro.iplookup.trie import UnibitTrie
+
+    table = generate_table(SyntheticTableConfig(n_prefixes=400, seed=3))
+    return leaf_push(UnibitTrie(table)).stats()
+
+
+class TestMergedMultiplier:
+    def test_k1_is_identity(self):
+        assert merged_multiplier(1, 0.0) == 1.0
+        assert merged_multiplier(1, 1.0) == 1.0
+
+    def test_full_overlap_collapses(self):
+        assert merged_multiplier(15, 1.0) == 1.0
+
+    def test_no_overlap_stores_everything(self):
+        assert merged_multiplier(15, 0.0) == 15.0
+
+    def test_paper_alphas(self):
+        assert merged_multiplier(15, 0.8) == pytest.approx(1 + 14 * 0.2)
+        assert merged_multiplier(15, 0.2) == pytest.approx(1 + 14 * 0.8)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            merged_multiplier(0, 0.5)
+        with pytest.raises(ConfigurationError):
+            merged_multiplier(2, 1.5)
+
+
+class TestMergedStageMap:
+    def test_k1_reduces_to_engine_map(self, base_stats):
+        base = engine_stage_map(base_stats, 28)
+        merged = merged_stage_map(base_stats, 1, 0.5, 28)
+        assert merged.total_bits == base.total_bits
+
+    def test_alpha1_keeps_pointers_scales_nhi(self, base_stats):
+        base = engine_stage_map(base_stats, 28)
+        merged = merged_stage_map(base_stats, 5, 1.0, 28)
+        assert merged.total_pointer_bits == base.total_pointer_bits
+        # identical tables: same leaves, but each holds a 5-wide vector
+        assert merged.total_nhi_bits > base.total_nhi_bits
+
+    def test_memory_monotone_in_k(self, base_stats):
+        bits = [merged_stage_map(base_stats, k, 0.5, 28).total_bits for k in (1, 4, 8, 15)]
+        assert all(a < b for a, b in zip(bits, bits[1:]))
+
+    def test_memory_monotone_in_alpha(self, base_stats):
+        bits = [
+            merged_stage_map(base_stats, 8, alpha, 28).total_bits
+            for alpha in (0.0, 0.4, 0.8)
+        ]
+        assert all(a > b for a, b in zip(bits, bits[1:]))
+
+    def test_depth_checked(self, base_stats):
+        with pytest.raises(ConfigurationError):
+            merged_stage_map(base_stats, 4, 0.5, base_stats.depth - 1)
+
+
+class TestSchemeResources:
+    def test_nv_device_count(self, base_stats):
+        r = scheme_resources(Scheme.NV, 6, base_stats)
+        assert r.devices == 6
+        assert len(r.engine_maps) == 6
+        assert r.total_usage.registers == 6 * r.per_device_usage.registers
+
+    def test_vs_single_device_k_engines(self, base_stats):
+        r = scheme_resources(Scheme.VS, 6, base_stats)
+        assert r.devices == 1
+        assert len(r.engine_maps) == 6
+        nv = scheme_resources(Scheme.NV, 6, base_stats)
+        # same engines, fewer devices: VS register usage ≈ NV total
+        assert r.per_device_usage.registers == nv.total_usage.registers
+
+    def test_vm_single_engine(self, base_stats):
+        r = scheme_resources(Scheme.VM, 6, base_stats, alpha=0.8)
+        assert r.devices == 1
+        assert len(r.engine_maps) == 1
+
+    def test_vm_requires_alpha_for_k_above_1(self, base_stats):
+        with pytest.raises(ConfigurationError):
+            scheme_resources(Scheme.VM, 6, base_stats)
+
+    def test_memory_ordering_matches_fig4(self, base_stats):
+        # separate memory > merged memory at high alpha
+        vs = scheme_resources(Scheme.VS, 10, base_stats)
+        vm80 = scheme_resources(Scheme.VM, 10, base_stats, alpha=0.8)
+        vm20 = scheme_resources(Scheme.VM, 10, base_stats, alpha=0.2)
+        assert vm80.total_memory_bits < vm20.total_memory_bits
+
+    def test_fits_check(self, base_stats):
+        r = scheme_resources(Scheme.VS, 4, base_stats)
+        assert r.fits(XC6VLX760)
+
+    def test_rejects_bad_k(self, base_stats):
+        with pytest.raises(ConfigurationError):
+            scheme_resources(Scheme.NV, 0, base_stats)

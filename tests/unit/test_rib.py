@@ -1,0 +1,134 @@
+"""Routing table container (repro.iplookup.rib)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PrefixError
+from repro.iplookup.prefix import parse_address, parse_prefix
+from repro.iplookup.rib import NO_ROUTE, Route, RoutingTable
+
+
+class TestConstruction:
+    def test_from_strings(self, small_table):
+        assert len(small_table) == 9
+
+    def test_duplicate_insert_replaces(self):
+        t = RoutingTable()
+        p = parse_prefix("10.0.0.0/8")
+        t.add(p, 1)
+        t.add(p, 2)
+        assert len(t) == 1
+        assert t.next_hop_of(p) == 2
+
+    def test_rejects_negative_next_hop(self):
+        with pytest.raises(PrefixError):
+            RoutingTable().add(parse_prefix("10.0.0.0/8"), -1)
+
+    def test_route_rejects_negative_next_hop(self):
+        with pytest.raises(PrefixError):
+            Route(parse_prefix("10.0.0.0/8"), -2)
+
+    def test_remove(self):
+        t = RoutingTable()
+        p = parse_prefix("10.0.0.0/8")
+        t.add(p, 1)
+        t.remove(p)
+        assert len(t) == 0
+        with pytest.raises(KeyError):
+            t.remove(p)
+
+    def test_parse_with_comments(self):
+        text = """
+        # a comment
+        10.0.0.0/8 1
+        192.168.0.0/16 2  # trailing comment
+        """
+        t = RoutingTable.parse(text)
+        assert len(t) == 2
+
+    def test_parse_rejects_bad_lines(self):
+        with pytest.raises(PrefixError):
+            RoutingTable.parse("10.0.0.0/8")
+        with pytest.raises(PrefixError):
+            RoutingTable.parse("10.0.0.0/8 x")
+
+    def test_dumps_parse_roundtrip(self, small_table):
+        text = small_table.dumps()
+        again = RoutingTable.parse(text)
+        assert again.routes() == small_table.routes()
+
+
+class TestLookup:
+    def test_longest_match_wins(self, small_table):
+        addr = parse_address("10.1.1.129")
+        assert small_table.lookup_linear(addr) == 5  # the /32
+
+    def test_falls_back_through_nesting(self, small_table):
+        assert small_table.lookup_linear(parse_address("10.1.1.1")) == 3
+        assert small_table.lookup_linear(parse_address("10.1.2.1")) == 2
+        assert small_table.lookup_linear(parse_address("10.2.0.0")) == 1
+
+    def test_default_route_catches_rest(self, small_table):
+        assert small_table.lookup_linear(parse_address("8.8.8.8")) == 0
+
+    def test_no_route_without_default(self):
+        t = RoutingTable.from_strings([("10.0.0.0/8", 1)])
+        assert t.lookup_linear(parse_address("11.0.0.0")) == NO_ROUTE
+
+    def test_empty_table(self):
+        assert RoutingTable().lookup_linear(0) == NO_ROUTE
+
+    def test_batch_matches_scalar(self, small_table, random_addresses):
+        batch = small_table.lookup_linear_batch(random_addresses)
+        scalar = np.array(
+            [small_table.lookup_linear(int(a)) for a in random_addresses]
+        )
+        assert np.array_equal(batch, scalar)
+
+    def test_batch_empty_table(self):
+        out = RoutingTable().lookup_linear_batch(np.array([1, 2], dtype=np.uint32))
+        assert (out == NO_ROUTE).all()
+
+
+class TestStats:
+    def test_length_histogram(self, small_table):
+        hist = small_table.length_histogram()
+        assert hist.sum() == len(small_table)
+        assert hist[0] == 1  # default route
+        assert hist[32] == 1
+
+    def test_max_length(self, small_table):
+        assert small_table.max_length() == 32
+
+    def test_max_length_empty(self):
+        assert RoutingTable().max_length() == 0
+
+    def test_next_hops(self, small_table):
+        assert small_table.next_hops() == set(range(9))
+
+    def test_prefixes_sorted(self, small_table):
+        prefixes = small_table.prefixes()
+        assert prefixes == sorted(prefixes)
+
+    def test_iteration_yields_routes(self, small_table):
+        routes = list(small_table)
+        assert all(isinstance(r, Route) for r in routes)
+        assert len(routes) == len(small_table)
+
+
+class TestFileIO:
+    def test_roundtrip(self, small_table, tmp_path):
+        path = str(tmp_path / "table.rib")
+        small_table.to_file(path)
+        loaded = RoutingTable.from_file(path, name="loaded")
+        assert loaded.routes() == small_table.routes()
+
+    def test_shipped_sample_loads(self):
+        import os
+
+        sample = os.path.join(
+            os.path.dirname(__file__), "..", "..", "examples", "data", "edge_sample.rib"
+        )
+        table = RoutingTable.from_file(sample)
+        assert len(table) == 250
+        assert table.max_length() <= 28

@@ -1,0 +1,43 @@
+"""Scheme descriptors (repro.virt.schemes)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.virt.schemes import Scheme
+
+
+class TestScheme:
+    def test_device_counts(self):
+        assert Scheme.NV.devices_required(7) == 7
+        assert Scheme.VS.devices_required(7) == 1
+        assert Scheme.VM.devices_required(7) == 1
+
+    def test_engine_counts(self):
+        assert Scheme.NV.engines_required(7) == 7
+        assert Scheme.VS.engines_required(7) == 7
+        assert Scheme.VM.engines_required(7) == 1
+
+    def test_virtualized_flags(self):
+        assert not Scheme.NV.is_virtualized
+        assert Scheme.VS.is_virtualized and Scheme.VM.is_virtualized
+
+    def test_shares_engine(self):
+        assert Scheme.VM.shares_engine
+        assert not Scheme.VS.shares_engine
+
+    def test_parse(self):
+        assert Scheme.parse("nv") is Scheme.NV
+        assert Scheme.parse("virtualized-merged") is Scheme.VM
+
+    def test_parse_unknown(self):
+        with pytest.raises(ConfigurationError):
+            Scheme.parse("hybrid")
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            Scheme.NV.devices_required(0)
+        with pytest.raises(ConfigurationError):
+            Scheme.VM.engines_required(0)
+
+    def test_str(self):
+        assert str(Scheme.VS) == "VS"

@@ -1,0 +1,85 @@
+"""Separate virtual router (repro.virt.separate)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, MergeError
+from repro.iplookup.synth import SyntheticTableConfig, generate_virtual_tables
+from repro.virt.separate import SeparateVirtualRouter
+from repro.virt.traffic import TrafficModel
+
+
+@pytest.fixture(scope="module")
+def vn_tables():
+    return generate_virtual_tables(3, 0.4, SyntheticTableConfig(n_prefixes=200, seed=31))
+
+
+@pytest.fixture(scope="module")
+def router(vn_tables):
+    return SeparateVirtualRouter(vn_tables, n_stages=28)
+
+
+class TestConstruction:
+    def test_one_engine_per_table(self, router):
+        assert router.k == 3
+        assert len(router.pipelines) == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            SeparateVirtualRouter([])
+
+    def test_leaf_pushed_by_default(self, router):
+        for trie in router.tries:
+            assert trie.is_leaf_pushed()
+
+    def test_plain_tries_optional(self, vn_tables):
+        router = SeparateVirtualRouter(vn_tables, leaf_pushed=False)
+        assert not all(t.is_leaf_pushed() for t in router.tries)
+
+
+class TestLookup:
+    def test_scalar_matches_oracle(self, vn_tables, router, random_addresses):
+        for vn, table in enumerate(vn_tables):
+            for addr in random_addresses[:50]:
+                assert router.lookup(int(addr), vn) == table.lookup_linear(int(addr))
+
+    def test_batch_matches_scalar(self, router, random_addresses):
+        rng = np.random.default_rng(4)
+        vnids = rng.integers(0, 3, size=len(random_addresses))
+        batch = router.lookup_batch(random_addresses, vnids)
+        scalar = np.array(
+            [router.lookup(int(a), int(v)) for a, v in zip(random_addresses, vnids)]
+        )
+        assert np.array_equal(batch, scalar)
+
+    def test_rejects_bad_vnid(self, router):
+        with pytest.raises(MergeError):
+            router.lookup(0, 3)
+
+    def test_rejects_shape_mismatch(self, router):
+        with pytest.raises(ConfigurationError):
+            router.lookup_batch(np.array([0], dtype=np.uint32), np.array([0, 1]))
+
+
+class TestResources:
+    def test_stage_maps_per_engine(self, router):
+        maps = router.stage_maps()
+        assert len(maps) == 3
+        assert router.total_memory_bits() == sum(m.total_bits for m in maps)
+
+    def test_memory_scales_with_k(self, vn_tables):
+        one = SeparateVirtualRouter(vn_tables[:1]).total_memory_bits()
+        three = SeparateVirtualRouter(vn_tables).total_memory_bits()
+        assert three > 2 * one
+
+
+class TestUtilization:
+    def test_observed_matches_offered(self, vn_tables, router):
+        model = TrafficModel.uniform(3)
+        _, vnids = model.generate(3000, vn_tables, seed=5)
+        observed = router.engine_utilizations(vnids)
+        assert observed.sum() == pytest.approx(1.0)
+        assert np.abs(observed - 1 / 3).max() < 0.05
+
+    def test_empty_stream(self, router):
+        assert (router.engine_utilizations(np.array([], dtype=np.int64)) == 0).all()

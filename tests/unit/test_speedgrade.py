@@ -1,0 +1,52 @@
+"""Speed grades (repro.fpga.speedgrade)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fpga.speedgrade import SpeedGrade, grade_data
+
+
+class TestSpeedGrade:
+    def test_parse(self):
+        assert SpeedGrade.parse("-2") is SpeedGrade.G2
+        assert SpeedGrade.parse("-1l") is SpeedGrade.G1L
+        assert SpeedGrade.parse(" -1L ") is SpeedGrade.G1L
+
+    def test_parse_unknown(self):
+        with pytest.raises(ConfigurationError):
+            SpeedGrade.parse("-3")
+
+    def test_str(self):
+        assert str(SpeedGrade.G2) == "-2"
+        assert str(SpeedGrade.G1L) == "-1L"
+
+
+class TestGradeData:
+    def test_paper_static_power(self):
+        assert grade_data(SpeedGrade.G2).static_power_w == 4.5
+        assert grade_data(SpeedGrade.G1L).static_power_w == 3.1
+
+    def test_paper_table3_coefficients(self):
+        g2 = grade_data(SpeedGrade.G2)
+        g1l = grade_data(SpeedGrade.G1L)
+        assert g2.bram18_uw_per_mhz == 13.65
+        assert g2.bram36_uw_per_mhz == 24.60
+        assert g1l.bram18_uw_per_mhz == 11.00
+        assert g1l.bram36_uw_per_mhz == 19.70
+
+    def test_paper_logic_coefficients(self):
+        assert grade_data(SpeedGrade.G2).logic_stage_uw_per_mhz == 5.180
+        assert grade_data(SpeedGrade.G1L).logic_stage_uw_per_mhz == 3.937
+
+    def test_low_power_grade_is_slower_and_cooler(self):
+        g2 = grade_data(SpeedGrade.G2)
+        g1l = grade_data(SpeedGrade.G1L)
+        assert g1l.static_power_w < g2.static_power_w
+        assert g1l.base_fmax_mhz < g2.base_fmax_mhz
+        assert g1l.logic_stage_uw_per_mhz < g2.logic_stage_uw_per_mhz
+
+    def test_throughput_cost_roughly_thirty_percent(self):
+        g2 = grade_data(SpeedGrade.G2)
+        g1l = grade_data(SpeedGrade.G1L)
+        ratio = g1l.base_fmax_mhz / g2.base_fmax_mhz
+        assert 0.65 <= ratio <= 0.75

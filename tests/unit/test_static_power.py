@@ -1,0 +1,50 @@
+"""Static power model (repro.fpga.static_power)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fpga.catalog import XC6VLX240T, XC6VLX760
+from repro.fpga.device import ResourceUsage
+from repro.fpga.speedgrade import SpeedGrade
+from repro.fpga.static_power import STATIC_VARIATION, area_factor, static_power_w
+
+
+class TestAreaFactor:
+    def test_envelope(self):
+        assert area_factor(0.0) == pytest.approx(1 - STATIC_VARIATION)
+        assert area_factor(1.0) == pytest.approx(1 + STATIC_VARIATION)
+        assert area_factor(0.5) == pytest.approx(1.0)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            area_factor(1.5)
+
+
+class TestStaticPower:
+    def test_paper_nominal_values(self):
+        assert static_power_w(SpeedGrade.G2) == pytest.approx(4.5)
+        assert static_power_w(SpeedGrade.G1L) == pytest.approx(3.1)
+
+    def test_usage_stays_within_five_percent(self):
+        full = ResourceUsage(
+            registers=XC6VLX760.slice_registers,
+            luts_logic=XC6VLX760.slice_luts,
+            bram18=XC6VLX760.bram18_blocks,
+        )
+        for usage in (ResourceUsage(), full):
+            p = static_power_w(SpeedGrade.G2, usage)
+            assert 4.5 * 0.95 <= p <= 4.5 * 1.05
+
+    def test_scales_with_device_size(self):
+        small = static_power_w(SpeedGrade.G2, device=XC6VLX240T)
+        big = static_power_w(SpeedGrade.G2, device=XC6VLX760)
+        assert small < big
+
+    def test_temperature_derating(self):
+        cold = static_power_w(SpeedGrade.G2, temperature_c=25)
+        hot = static_power_w(SpeedGrade.G2, temperature_c=85)
+        assert cold < 4.5 < hot
+
+    def test_rejects_out_of_range_temperature(self):
+        with pytest.raises(ConfigurationError):
+            static_power_w(SpeedGrade.G2, temperature_c=200)

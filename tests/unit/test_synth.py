@@ -1,0 +1,126 @@
+"""Synthetic routing-table generator (repro.iplookup.synth)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError, ConfigurationError
+from repro.iplookup.leafpush import leaf_push
+from repro.iplookup.synth import (
+    PAPER_TABLE_PREFIXES,
+    SyntheticTableConfig,
+    calibrate_shared_fraction,
+    generate_table,
+    generate_virtual_tables,
+    paper_reference_table,
+)
+from repro.iplookup.trie import UnibitTrie
+
+
+class TestConfigValidation:
+    def test_defaults_are_paper_sized(self):
+        assert SyntheticTableConfig().n_prefixes == PAPER_TABLE_PREFIXES
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_prefixes": 0},
+            {"max_length": 7},
+            {"max_length": 33},
+            {"n_allocation_blocks": 0},
+            {"mean_run_length": 0.5},
+            {"aggregate_fraction": 1.0},
+            {"aggregate_fraction": -0.1},
+            {"long_fraction": 1.0},
+            {"aggregate_fraction": 0.6, "long_fraction": 0.5},
+            {"n_next_hops": 0},
+        ],
+    )
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SyntheticTableConfig(**kwargs)
+
+
+class TestGeneration:
+    def test_exact_prefix_count(self, medium_config, medium_table):
+        assert len(medium_table) == medium_config.n_prefixes
+
+    def test_deterministic(self, medium_config):
+        a = generate_table(medium_config)
+        b = generate_table(medium_config)
+        assert a.routes() == b.routes()
+
+    def test_different_seeds_differ(self, medium_config):
+        from dataclasses import replace
+
+        other = generate_table(replace(medium_config, seed=medium_config.seed + 1))
+        base = generate_table(medium_config)
+        assert base.routes() != other.routes()
+
+    def test_respects_max_length(self, medium_table, medium_config):
+        assert medium_table.max_length() <= medium_config.max_length
+
+    def test_length_distribution_dominated_by_24s(self, medium_table):
+        hist = medium_table.length_histogram()
+        assert hist[24] > 0.4 * hist.sum()
+
+    def test_next_hops_in_range(self, medium_table, medium_config):
+        assert max(medium_table.next_hops()) < medium_config.n_next_hops
+
+
+class TestPaperCalibration:
+    def test_reference_table_statistics(self):
+        table = paper_reference_table()
+        assert len(table) == 3725
+        trie = UnibitTrie(table)
+        pushed = leaf_push(trie)
+        # calibration targets from the paper (Section V-E), with the
+        # tolerance documented in EXPERIMENTS.md
+        assert 9_000 <= trie.num_nodes <= 12_500
+        assert 15_000 <= pushed.num_nodes <= 17_500
+        assert pushed.stats().depth <= 28
+
+
+class TestVirtualTables:
+    def test_shapes(self, medium_config):
+        tables = generate_virtual_tables(3, 0.5, medium_config)
+        assert len(tables) == 3
+        for t in tables:
+            assert len(t) == medium_config.n_prefixes
+
+    def test_zero_sharing_mostly_disjoint(self, medium_config):
+        a, b = generate_virtual_tables(2, 0.0, medium_config)
+        common = set(a.prefixes()) & set(b.prefixes())
+        assert len(common) < 0.15 * len(a)
+
+    def test_full_sharing_identical_structure(self, medium_config):
+        a, b = generate_virtual_tables(2, 1.0, medium_config)
+        assert a.prefixes() == b.prefixes()
+
+    def test_next_hops_differ_across_vns(self, medium_config):
+        a, b = generate_virtual_tables(2, 1.0, medium_config)
+        hops_a = [a.next_hop_of(p) for p in a.prefixes()]
+        hops_b = [b.next_hop_of(p) for p in b.prefixes()]
+        assert hops_a != hops_b
+
+    def test_rejects_bad_arguments(self, medium_config):
+        with pytest.raises(ConfigurationError):
+            generate_virtual_tables(0, 0.5, medium_config)
+        with pytest.raises(ConfigurationError):
+            generate_virtual_tables(2, 1.5, medium_config)
+
+
+class TestCalibration:
+    def test_hits_midrange_alpha(self):
+        config = SyntheticTableConfig(n_prefixes=300, seed=5)
+        fraction = calibrate_shared_fraction(0.5, 3, config, tolerance=0.06)
+        assert 0.0 <= fraction <= 1.0
+
+    def test_rejects_k_below_two(self):
+        with pytest.raises(CalibrationError):
+            calibrate_shared_fraction(0.5, 1)
+
+    def test_rejects_alpha_bounds(self):
+        with pytest.raises(CalibrationError):
+            calibrate_shared_fraction(0.0, 3)
+        with pytest.raises(CalibrationError):
+            calibrate_shared_fraction(1.0, 3)

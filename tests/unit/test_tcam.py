@@ -1,0 +1,76 @@
+"""TCAM baseline (repro.baselines.tcam)."""
+
+import pytest
+
+from repro.baselines.tcam import TcamConfig, TcamModel
+from repro.errors import ConfigurationError
+
+
+class TestConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            TcamConfig(n_entries=0)
+        with pytest.raises(ConfigurationError):
+            TcamConfig(n_entries=10, activation_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            TcamConfig(n_entries=10, entry_energy_pj=-1)
+
+
+class TestPowerModel:
+    def test_dynamic_scales_with_table_size(self):
+        small = TcamModel.conventional(1000).dynamic_power_w(100)
+        large = TcamModel.conventional(10000).dynamic_power_w(100)
+        assert large == pytest.approx(10 * small)
+
+    def test_dynamic_linear_in_rate(self):
+        m = TcamModel.conventional(3725)
+        assert m.dynamic_power_w(200) == pytest.approx(2 * m.dynamic_power_w(100))
+
+    def test_blocked_saves_power(self):
+        conv = TcamModel.conventional(3725)
+        blocked = TcamModel.blocked(3725, n_banks=8)
+        assert blocked.dynamic_power_w(100) == pytest.approx(
+            conv.dynamic_power_w(100) / 8
+        )
+
+    def test_ipstash_is_35_percent_better(self):
+        conv = TcamModel.conventional(3725)
+        stash = TcamModel.ipstash(3725)
+        ratio = stash.dynamic_power_w(100) / conv.dynamic_power_w(100)
+        assert ratio == pytest.approx(0.65)
+
+    def test_total_includes_static(self):
+        m = TcamModel.conventional(1000)
+        assert m.total_power_w(100) == pytest.approx(
+            m.static_power_w() + m.dynamic_power_w(100)
+        )
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ConfigurationError):
+            TcamModel.conventional(10).dynamic_power_w(-1)
+
+    def test_blocked_rejects_bad_banks(self):
+        with pytest.raises(ConfigurationError):
+            TcamModel.blocked(10, n_banks=0)
+
+
+class TestComparisonWithTrie:
+    def test_trie_pipeline_beats_conventional_tcam(self):
+        """The premise of the paper's architecture choice (Section II-B)."""
+        from repro.core.power import AnalyticalPowerModel
+        from repro.core.resources import engine_stage_map
+        from repro.core.estimator import base_trie_stats
+        from repro.iplookup.synth import SyntheticTableConfig
+        from repro.fpga.speedgrade import SpeedGrade
+        import numpy as np
+
+        stats = base_trie_stats(SyntheticTableConfig(n_prefixes=400, seed=11))
+        stage_map = engine_stage_map(stats, 28)
+        model = AnalyticalPowerModel(SpeedGrade.G2)
+        trie_dynamic = model.power_vs([stage_map], 200, np.array([1.0])).dynamic_w
+        tcam_dynamic = TcamModel.conventional(3725).dynamic_power_w(200)
+        assert trie_dynamic < tcam_dynamic
+
+    def test_mw_per_gbps_computable(self):
+        m = TcamModel.conventional(3725)
+        assert m.mw_per_gbps(150) > 0

@@ -1,0 +1,58 @@
+"""Timing model (repro.fpga.timing)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, TimingError
+from repro.fpga.speedgrade import SpeedGrade, grade_data
+from repro.fpga.timing import achievable_fmax_mhz, congestion_derate, mux_derate
+
+
+class TestMuxDerate:
+    def test_no_penalty_up_to_one_block(self):
+        assert mux_derate(0) == 1.0
+        assert mux_derate(1) == 1.0
+
+    def test_monotone_decreasing(self):
+        values = [mux_derate(b) for b in (1, 2, 4, 16, 64, 256)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            mux_derate(-1)
+
+
+class TestCongestionDerate:
+    def test_empty_device_no_penalty(self):
+        assert congestion_derate(0.0) == 1.0
+
+    def test_monotone_decreasing(self):
+        assert congestion_derate(0.2) > congestion_derate(0.8)
+
+    def test_clamped_above_one(self):
+        assert congestion_derate(1.0) == congestion_derate(2.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            congestion_derate(-0.1)
+
+
+class TestAchievableFmax:
+    def test_unconstrained_design_hits_base(self):
+        for grade in SpeedGrade:
+            assert achievable_fmax_mhz(grade) == pytest.approx(
+                grade_data(grade).base_fmax_mhz
+            )
+
+    def test_grade_gap_preserved(self):
+        f2 = achievable_fmax_mhz(SpeedGrade.G2, 8, 0.3)
+        f1l = achievable_fmax_mhz(SpeedGrade.G1L, 8, 0.3)
+        assert f1l / f2 == pytest.approx(245 / 350, rel=1e-6)
+
+    def test_merged_style_design_is_slower(self):
+        light = achievable_fmax_mhz(SpeedGrade.G2, 2, 0.05)
+        heavy = achievable_fmax_mhz(SpeedGrade.G2, 128, 0.6)
+        assert heavy < light
+
+    def test_timing_failure_raised(self):
+        with pytest.raises(TimingError):
+            achievable_fmax_mhz(SpeedGrade.G2, 10**15, 1.0)

@@ -1,0 +1,93 @@
+"""Traffic model (repro.virt.traffic)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.iplookup.synth import SyntheticTableConfig, generate_virtual_tables
+from repro.virt.traffic import TrafficModel, uniform_utilization, zipf_utilization
+
+
+class TestUtilizationVectors:
+    def test_uniform_is_assumption_1(self):
+        mu = uniform_utilization(5)
+        assert np.allclose(mu, 0.2)
+        assert mu.sum() == pytest.approx(1.0)
+
+    def test_zipf_zero_is_uniform(self):
+        assert np.allclose(zipf_utilization(6, 0.0), uniform_utilization(6))
+
+    def test_zipf_skews_to_front(self):
+        mu = zipf_utilization(6, 1.5)
+        assert (np.diff(mu) < 0).all()
+        assert mu.sum() == pytest.approx(1.0)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            uniform_utilization(0)
+        with pytest.raises(ConfigurationError):
+            zipf_utilization(3, -1.0)
+
+
+class TestTrafficModel:
+    def test_uniform_factory(self):
+        model = TrafficModel.uniform(4)
+        assert model.k == 4
+        assert np.allclose(model.utilizations, 0.25)
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ConfigurationError):
+            TrafficModel(utilizations=np.array([0.5, 0.4]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            TrafficModel(utilizations=np.array([1.5, -0.5]))
+
+    def test_rejects_bad_duty(self):
+        with pytest.raises(ConfigurationError):
+            TrafficModel(utilizations=np.array([1.0]), duty_cycle=0.0)
+
+    def test_inter_arrival_gap(self):
+        assert TrafficModel.uniform(2, duty_cycle=1.0).inter_arrival_gap() == 0
+        assert TrafficModel.uniform(2, duty_cycle=0.25).inter_arrival_gap() == 3
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def tables(self):
+        return generate_virtual_tables(3, 0.5, SyntheticTableConfig(n_prefixes=200, seed=8))
+
+    def test_shapes_and_ranges(self, tables):
+        model = TrafficModel.uniform(3)
+        addrs, vnids = model.generate(500, tables, seed=1)
+        assert addrs.shape == vnids.shape == (500,)
+        assert vnids.min() >= 0 and vnids.max() < 3
+
+    def test_deterministic_in_seed(self, tables):
+        model = TrafficModel.uniform(3)
+        a1, v1 = model.generate(100, tables, seed=7)
+        a2, v2 = model.generate(100, tables, seed=7)
+        assert np.array_equal(a1, a2) and np.array_equal(v1, v2)
+
+    def test_vnid_frequencies_track_mu(self, tables):
+        mu = zipf_utilization(3, 1.0)
+        model = TrafficModel(utilizations=mu, miss_fraction=0.0)
+        _, vnids = model.generate(6000, tables, seed=2)
+        observed = np.bincount(vnids, minlength=3) / 6000
+        assert np.abs(observed - mu).max() < 0.04
+
+    def test_most_packets_hit_table(self, tables):
+        model = TrafficModel(utilizations=uniform_utilization(3), miss_fraction=0.0)
+        addrs, vnids = model.generate(300, tables, seed=3)
+        hits = sum(
+            tables[v].lookup_linear(int(a)) != -1 for a, v in zip(addrs, vnids)
+        )
+        assert hits == 300
+
+    def test_table_count_mismatch(self, tables):
+        with pytest.raises(ConfigurationError):
+            TrafficModel.uniform(2).generate(10, tables)
+
+    def test_rejects_negative_count(self, tables):
+        with pytest.raises(ConfigurationError):
+            TrafficModel.uniform(3).generate(-1, tables)

@@ -1,0 +1,112 @@
+"""Uncertainty propagation (repro.core.uncertainty)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import ScenarioEstimator, base_trie_stats
+from repro.core.config import ScenarioConfig
+from repro.core.power import AnalyticalPowerModel
+from repro.core.resources import engine_stage_map, merged_stage_map
+from repro.core.uncertainty import PowerBounds, Tolerances, power_bounds
+from repro.errors import ConfigurationError
+from repro.fpga.speedgrade import SpeedGrade
+from repro.iplookup.synth import SyntheticTableConfig
+from repro.virt.schemes import Scheme
+
+TABLE = SyntheticTableConfig(n_prefixes=400, seed=11)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    stats = base_trie_stats(TABLE)
+    base = engine_stage_map(stats, 28)
+    model = AnalyticalPowerModel(SpeedGrade.G2)
+    return stats, base, model
+
+
+class TestTolerances:
+    def test_paper_defaults(self):
+        t = Tolerances()
+        assert t.static == 0.05
+        assert t.logic == t.memory == 0.03
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            Tolerances(static=1.0)
+        with pytest.raises(ConfigurationError):
+            Tolerances(logic=-0.1)
+
+
+class TestPowerBounds:
+    def test_bounds_bracket_nominal(self, setup):
+        _, base, model = setup
+        mu = np.full(4, 0.25)
+        bounds = power_bounds(model, Scheme.VS, [base] * 4, 300, mu)
+        assert bounds.low_w < bounds.nominal_w < bounds.high_w
+
+    def test_zero_tolerance_collapses(self, setup):
+        _, base, model = setup
+        mu = np.array([1.0])
+        bounds = power_bounds(
+            model,
+            Scheme.VS,
+            [base],
+            300,
+            mu,
+            tolerances=Tolerances(static=0.0, logic=0.0, memory=0.0),
+        )
+        assert bounds.width_w == pytest.approx(0.0)
+
+    def test_width_scales_with_tolerance(self, setup):
+        _, base, model = setup
+        mu = np.array([1.0])
+        narrow = power_bounds(
+            model, Scheme.VS, [base], 300, mu, tolerances=Tolerances(static=0.01)
+        )
+        wide = power_bounds(
+            model, Scheme.VS, [base], 300, mu, tolerances=Tolerances(static=0.05)
+        )
+        assert wide.width_w > narrow.width_w
+
+    def test_static_dominates_half_width(self, setup):
+        """Static is ~95 % of a VS scenario, so the half-width is
+        close to the 5 % static tolerance."""
+        _, base, model = setup
+        mu = np.full(8, 1 / 8)
+        bounds = power_bounds(model, Scheme.VS, [base] * 8, 300, mu)
+        assert 4.0 <= bounds.half_width_pct <= 5.0
+
+    def test_vm_scheme(self, setup):
+        stats, _, model = setup
+        merged = merged_stage_map(stats, 6, 0.5, 28)
+        bounds = power_bounds(model, Scheme.VM, [merged], 250, np.full(6, 1 / 6))
+        assert bounds.scheme is Scheme.VM
+        assert bounds.contains(bounds.nominal_w)
+
+    def test_bad_bracket_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerBounds(scheme=Scheme.VS, k=1, nominal_w=5.0, low_w=6.0, high_w=7.0)
+
+
+class TestExperimentalInsideBounds:
+    def test_simulated_measurements_fall_inside(self, setup):
+        """The ±3 % validation claim, as an interval check: every
+        simulated post-P&R measurement lies inside the model bounds."""
+        _, _, model = setup
+        estimator = ScenarioEstimator()
+        for scheme, alpha in ((Scheme.NV, None), (Scheme.VS, None), (Scheme.VM, 0.5)):
+            for k in (2, 8):
+                result = estimator.evaluate(
+                    ScenarioConfig(scheme=scheme, k=k, alpha=alpha, table=TABLE)
+                )
+                bounds = power_bounds(
+                    model,
+                    scheme,
+                    list(result.resources.engine_maps),
+                    result.frequency_mhz,
+                    result.config.utilization_vector(),
+                )
+                assert bounds.contains(result.experimental.total_w), (
+                    f"{scheme} K={k}: {result.experimental.total_w:.3f} W outside "
+                    f"[{bounds.low_w:.3f}, {bounds.high_w:.3f}]"
+                )

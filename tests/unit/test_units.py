@@ -1,0 +1,78 @@
+"""Unit conversions (repro.units)."""
+
+import pytest
+
+from repro import units
+
+
+class TestPowerConversions:
+    def test_uw_to_w(self):
+        assert units.uw_to_w(1_000_000) == pytest.approx(1.0)
+
+    def test_w_to_uw_roundtrip(self):
+        assert units.w_to_uw(units.uw_to_w(13.65)) == pytest.approx(13.65)
+
+    def test_mw_to_w(self):
+        assert units.mw_to_w(4500) == pytest.approx(4.5)
+
+    def test_w_to_mw(self):
+        assert units.w_to_mw(4.5) == pytest.approx(4500)
+
+
+class TestMemoryConversions:
+    def test_bram_block_sizes(self):
+        assert units.BRAM18K_BITS == 18 * 1024
+        assert units.BRAM36K_BITS == 2 * units.BRAM18K_BITS
+
+    def test_bits_to_mb_roundtrip(self):
+        assert units.mb_to_bits(units.bits_to_mb(26 * 1024 * 1024)) == pytest.approx(
+            26 * 1024 * 1024
+        )
+
+    def test_one_mib_is_one_mb(self):
+        assert units.bits_to_mb(1024 * 1024) == pytest.approx(1.0)
+
+
+class TestFrequency:
+    def test_mhz_to_hz(self):
+        assert units.mhz_to_hz(350) == pytest.approx(350e6)
+
+    def test_hz_to_mhz_roundtrip(self):
+        assert units.hz_to_mhz(units.mhz_to_hz(123.4)) == pytest.approx(123.4)
+
+
+class TestThroughput:
+    def test_gbps_at_min_packets(self):
+        # 350 MHz × 40 B × 8 = 112 Gbps
+        assert units.gbps(350) == pytest.approx(112.0)
+
+    def test_gbps_scales_with_packet_size(self):
+        assert units.gbps(100, 80) == pytest.approx(2 * units.gbps(100, 40))
+
+    def test_gbps_zero_frequency(self):
+        assert units.gbps(0) == 0.0
+
+    def test_gbps_rejects_negative_frequency(self):
+        with pytest.raises(ValueError):
+            units.gbps(-1)
+
+    def test_gbps_rejects_bad_packet(self):
+        with pytest.raises(ValueError):
+            units.gbps(100, 0)
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize(
+        "n,d,expected",
+        [(0, 5, 0), (1, 5, 1), (5, 5, 1), (6, 5, 2), (18 * 1024, 18 * 1024, 1), (18 * 1024 + 1, 18 * 1024, 2)],
+    )
+    def test_values(self, n, d, expected):
+        assert units.ceil_div(n, d) == expected
+
+    def test_rejects_zero_denominator(self):
+        with pytest.raises(ValueError):
+            units.ceil_div(1, 0)
+
+    def test_rejects_negative_numerator(self):
+        with pytest.raises(ValueError):
+            units.ceil_div(-1, 2)

@@ -1,0 +1,187 @@
+"""Route updates and write-rate coupling (repro.iplookup.updates)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.iplookup.prefix import parse_prefix
+from repro.iplookup.rib import NO_ROUTE, RoutingTable
+from repro.iplookup.trie import UnibitTrie
+from repro.iplookup.updates import (
+    RouteUpdate,
+    UpdateKind,
+    UpdateStats,
+    apply_updates,
+    effective_write_rate,
+    synthesize_churn,
+)
+
+
+class TestTrieRemove:
+    def test_withdraw_then_miss(self):
+        t = UnibitTrie()
+        p = parse_prefix("10.0.0.0/8")
+        t.insert(p, 1)
+        assert t.remove(p)
+        assert t.lookup(parse_prefix("10.0.0.0/8").value) == NO_ROUTE
+        assert t.num_prefixes == 0
+
+    def test_withdraw_prunes_chain(self):
+        t = UnibitTrie()
+        t.insert(parse_prefix("10.0.0.0/8"), 1)
+        assert t.num_nodes == 9
+        t.remove(parse_prefix("10.0.0.0/8"))
+        assert t.num_nodes == 1  # only the root survives
+        t.validate()
+
+    def test_withdraw_keeps_shared_stem(self):
+        t = UnibitTrie()
+        t.insert(parse_prefix("10.0.0.0/8"), 1)
+        t.insert(parse_prefix("10.1.0.0/16"), 2)
+        before = t.num_nodes
+        t.remove(parse_prefix("10.1.0.0/16"))
+        # only the /16's private tail is pruned
+        assert 9 <= t.num_nodes < before
+        assert t.lookup(parse_prefix("10.1.0.0/16").value) == 1
+        t.validate()
+
+    def test_withdraw_missing_prefix_is_noop(self):
+        t = UnibitTrie()
+        t.insert(parse_prefix("10.0.0.0/8"), 1)
+        assert not t.remove(parse_prefix("11.0.0.0/8"))
+        assert not t.remove(parse_prefix("10.0.0.0/16"))  # chain node, no NHI
+        assert t.num_prefixes == 1
+
+    def test_freed_slots_recycled(self):
+        t = UnibitTrie()
+        t.insert(parse_prefix("10.0.0.0/8"), 1)
+        t.remove(parse_prefix("10.0.0.0/8"))
+        allocated_before = len(t._left)
+        t.insert(parse_prefix("192.0.0.0/8"), 2)
+        assert len(t._left) == allocated_before  # reused the free list
+        t.validate()
+
+    def test_withdraw_internal_prefix_keeps_subtree(self):
+        t = UnibitTrie()
+        t.insert(parse_prefix("10.0.0.0/8"), 1)
+        t.insert(parse_prefix("10.1.0.0/16"), 2)
+        t.remove(parse_prefix("10.0.0.0/8"))
+        assert t.lookup(parse_prefix("10.1.0.0/16").value) == 2
+        assert t.lookup(parse_prefix("10.2.0.0/16").value) == NO_ROUTE
+        t.validate()
+
+    def test_churned_trie_matches_rebuilt(self, medium_table):
+        """Insert/withdraw churn must leave exactly a fresh build."""
+        t = UnibitTrie(medium_table)
+        updates = synthesize_churn(medium_table, 400, seed=3)
+        apply_updates(t, updates)
+        t.validate()
+        # replay the final state into a routing table and rebuild
+        final = RoutingTable()
+        for route in medium_table:
+            final.add(route.prefix, route.next_hop)
+        for u in updates:
+            if u.kind is UpdateKind.ANNOUNCE:
+                final.add(u.prefix, u.next_hop)
+            elif u.prefix in final:
+                final.remove(u.prefix)
+        fresh = UnibitTrie(final)
+        assert t.num_nodes == fresh.num_nodes
+        assert t.num_prefixes == fresh.num_prefixes
+        rng = np.random.default_rng(1)
+        addrs = rng.integers(0, 2**32, size=400, dtype=np.uint64).astype(np.uint32)
+        assert np.array_equal(t.lookup_batch(addrs), fresh.lookup_batch(addrs))
+
+
+class TestUpdateStats:
+    def test_announce_counts_created_nodes(self):
+        t = UnibitTrie()
+        stats = apply_updates(
+            t, [RouteUpdate(UpdateKind.ANNOUNCE, parse_prefix("10.0.0.0/8"), 1)]
+        )
+        assert stats.announces == 1
+        assert stats.nodes_created == 8
+        assert stats.memory_writes == 9  # 8 creations + 1 NHI write
+
+    def test_withdraw_counts_pruned_nodes(self):
+        t = UnibitTrie()
+        t.insert(parse_prefix("10.0.0.0/8"), 1)
+        stats = apply_updates(
+            t, [RouteUpdate(UpdateKind.WITHDRAW, parse_prefix("10.0.0.0/8"))]
+        )
+        assert stats.withdraws == 1
+        assert stats.nodes_pruned == 8
+
+    def test_noop_withdraw_tracked(self):
+        t = UnibitTrie()
+        stats = apply_updates(
+            t, [RouteUpdate(UpdateKind.WITHDRAW, parse_prefix("10.0.0.0/8"))]
+        )
+        assert stats.no_ops == 1
+        assert stats.memory_writes == 0
+
+    def test_per_update_statistics(self):
+        t = UnibitTrie()
+        stats = apply_updates(
+            t,
+            [
+                RouteUpdate(UpdateKind.ANNOUNCE, parse_prefix("10.0.0.0/8"), 1),
+                RouteUpdate(UpdateKind.ANNOUNCE, parse_prefix("10.0.0.0/8"), 2),
+            ],
+        )
+        assert stats.max_writes_per_update() == 9
+        assert stats.mean_writes_per_update() == pytest.approx((9 + 1) / 2)
+
+    def test_announce_rejects_negative_hop(self):
+        with pytest.raises(ConfigurationError):
+            RouteUpdate(UpdateKind.ANNOUNCE, parse_prefix("10.0.0.0/8"), -1)
+
+
+class TestChurnSynthesis:
+    def test_deterministic(self, medium_table):
+        a = synthesize_churn(medium_table, 50, seed=2)
+        b = synthesize_churn(medium_table, 50, seed=2)
+        assert a == b
+
+    def test_mix_fractions(self, medium_table):
+        updates = synthesize_churn(
+            medium_table, 600, withdraw_fraction=0.3, new_prefix_fraction=0.2, seed=4
+        )
+        withdraws = sum(1 for u in updates if u.kind is UpdateKind.WITHDRAW)
+        assert 0.2 < withdraws / 600 < 0.4
+
+    def test_rejects_bad_fractions(self, medium_table):
+        with pytest.raises(ConfigurationError):
+            synthesize_churn(medium_table, 10, withdraw_fraction=0.8, new_prefix_fraction=0.3)
+
+    def test_rejects_empty_table(self):
+        with pytest.raises(ConfigurationError):
+            synthesize_churn(RoutingTable(), 10)
+
+
+class TestWriteRate:
+    def test_paper_scale_write_rate(self, medium_table):
+        """BGP-scale churn lands around/below the paper's 1 % figure."""
+        t = UnibitTrie(medium_table)
+        stats = apply_updates(t, synthesize_churn(medium_table, 500, seed=5))
+        # 100k updates/s against a 300 MHz engine
+        rate = effective_write_rate(stats, 100_000, 300.0)
+        assert 0.0 < rate < 0.01
+
+    def test_scales_linearly_with_update_rate(self, medium_table):
+        t = UnibitTrie(medium_table)
+        stats = apply_updates(t, synthesize_churn(medium_table, 200, seed=6))
+        assert effective_write_rate(stats, 2000, 300.0) == pytest.approx(
+            2 * effective_write_rate(stats, 1000, 300.0)
+        )
+
+    def test_clamped_to_one(self):
+        stats = UpdateStats()
+        stats._writes_per_update.append(10**9)
+        assert effective_write_rate(stats, 10**9, 1.0) == 1.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            effective_write_rate(UpdateStats(), -1, 300)
+        with pytest.raises(ConfigurationError):
+            effective_write_rate(UpdateStats(), 1, 0)

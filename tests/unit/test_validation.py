@@ -1,0 +1,55 @@
+"""Model validation helpers (repro.core.validation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.validation import (
+    PAPER_MAX_ERROR_PCT,
+    ErrorSummary,
+    percentage_error,
+    summarize_errors,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPercentageError:
+    def test_definition(self):
+        assert percentage_error(103.0, 100.0) == pytest.approx(3.0)
+        assert percentage_error(97.0, 100.0) == pytest.approx(-3.0)
+
+    def test_rejects_nonpositive_experimental(self):
+        with pytest.raises(ConfigurationError):
+            percentage_error(1.0, 0.0)
+
+
+class TestErrorSummary:
+    def test_statistics(self):
+        s = ErrorSummary("x", np.array([1.0, -2.0, 0.5]))
+        assert s.max_abs_pct == 2.0
+        assert s.mean_pct == pytest.approx(-1 / 6)
+        assert s.rms_pct == pytest.approx(np.sqrt((1 + 4 + 0.25) / 3))
+
+    def test_empty(self):
+        s = ErrorSummary("x", np.array([]))
+        assert s.max_abs_pct == 0.0
+        assert s.mean_pct == 0.0
+        assert s.rms_pct == 0.0
+
+    def test_paper_bound_check(self):
+        assert ErrorSummary("x", np.array([2.9, -2.9])).within_paper_bound()
+        assert not ErrorSummary("x", np.array([3.1])).within_paper_bound()
+        assert PAPER_MAX_ERROR_PCT == 3.0
+
+
+class TestSummarize:
+    def test_from_series(self):
+        s = summarize_errors("test", [103.0, 98.0], [100.0, 100.0])
+        assert s.errors_pct == pytest.approx([3.0, -2.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            summarize_errors("x", [1.0], [1.0, 2.0])
+
+    def test_nonpositive_experimental(self):
+        with pytest.raises(ConfigurationError):
+            summarize_errors("x", [1.0], [0.0])

@@ -1,0 +1,40 @@
+"""VNID handling (repro.virt.vnid)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.virt.vnid import decode_vnid, encode_vnid, vnid_bits
+
+
+class TestVnidBits:
+    @pytest.mark.parametrize("k,bits", [(1, 1), (2, 1), (3, 2), (4, 2), (15, 4), (16, 4), (17, 5)])
+    def test_widths(self, k, bits):
+        assert vnid_bits(k) == bits
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            vnid_bits(0)
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        for vnid in range(8):
+            word = encode_vnid(0xDEADBEEF, vnid, 8)
+            assert decode_vnid(word, 8) == (0xDEADBEEF, vnid)
+
+    def test_rejects_out_of_range_vnid(self):
+        with pytest.raises(ConfigurationError):
+            encode_vnid(0, 8, 8)
+
+    def test_rejects_out_of_range_address(self):
+        with pytest.raises(ConfigurationError):
+            encode_vnid(1 << 32, 0, 2)
+
+    def test_decode_rejects_foreign_vnid(self):
+        word = encode_vnid(0, 7, 8)
+        with pytest.raises(ConfigurationError):
+            decode_vnid(word, 4)
+
+    def test_decode_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            decode_vnid(-1, 4)

@@ -1,0 +1,59 @@
+"""XPE-like characterization (repro.fpga.xpe)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fpga.bram import BramKind
+from repro.fpga.speedgrade import SpeedGrade
+from repro.fpga.xpe import FrequencySweep, XPowerEstimator
+
+
+class TestSweeps:
+    def test_bram_sweep_monotone(self):
+        sweep = XPowerEstimator().bram_sweep(BramKind.B18, SpeedGrade.G2)
+        assert (np.diff(sweep.power_uw) > 0).all()
+
+    def test_logic_sweep_monotone(self):
+        sweep = XPowerEstimator().logic_stage_sweep(SpeedGrade.G2)
+        assert (np.diff(sweep.power_uw) > 0).all()
+
+    def test_36k_above_18k(self):
+        xpe = XPowerEstimator()
+        s18 = xpe.bram_sweep(BramKind.B18, SpeedGrade.G2)
+        s36 = xpe.bram_sweep(BramKind.B36, SpeedGrade.G2)
+        assert (s36.power_uw > s18.power_uw).all()
+
+    def test_rejects_bad_frequencies(self):
+        with pytest.raises(ConfigurationError):
+            XPowerEstimator(frequencies_mhz=[])
+        with pytest.raises(ConfigurationError):
+            XPowerEstimator(frequencies_mhz=[-100.0])
+
+
+class TestTable3Fit:
+    def test_recovers_published_coefficients(self):
+        fitted = XPowerEstimator().table3()
+        assert fitted[(BramKind.B18, SpeedGrade.G2)] == pytest.approx(13.65)
+        assert fitted[(BramKind.B36, SpeedGrade.G2)] == pytest.approx(24.60)
+        assert fitted[(BramKind.B18, SpeedGrade.G1L)] == pytest.approx(11.00)
+        assert fitted[(BramKind.B36, SpeedGrade.G1L)] == pytest.approx(19.70)
+
+    def test_fit_residual_is_numerically_zero(self):
+        sweep = XPowerEstimator().bram_sweep(BramKind.B36, SpeedGrade.G1L)
+        assert sweep.max_residual_uw() < 1e-9
+
+    def test_logic_fit_matches_section_5c(self):
+        sweep = XPowerEstimator().logic_stage_sweep(SpeedGrade.G2)
+        assert sweep.fit_uw_per_mhz() == pytest.approx(5.180)
+
+
+class TestFrequencySweep:
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrequencySweep("x", np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_all_zero_frequencies_rejected(self):
+        sweep = FrequencySweep("x", np.zeros(3), np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            sweep.fit_uw_per_mhz()
