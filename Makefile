@@ -2,13 +2,19 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments experiments-md examples clean
+.PHONY: install test lint bench experiments experiments-md examples clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# repro-lint is self-contained (stdlib only); ruff/mypy run when installed
+lint:
+	$(PYTHON) -m repro.tools.repro_lint --statistics src/repro examples
+	@command -v ruff >/dev/null 2>&1 && ruff check src/repro tests examples || echo "ruff not installed, skipped"
+	@command -v mypy >/dev/null 2>&1 && mypy || echo "mypy not installed, skipped"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

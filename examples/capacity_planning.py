@@ -19,7 +19,7 @@ Run:  python examples/capacity_planning.py
 
 import numpy as np
 
-from repro import ScenarioConfig, ScenarioEstimator, Scheme, SpeedGrade
+from repro import ScenarioConfig, ScenarioEstimator, Scheme
 from repro.analysis.governor import pareto_frontier, plan_operating_point
 from repro.virt.qos import WeightedScheduler, check_admission
 

@@ -15,7 +15,7 @@ import numpy as np
 from repro import SyntheticTableConfig, UnibitTrie, generate_table, leaf_push
 from repro.iplookup.mapping import map_trie_to_stages
 from repro.iplookup.pipeline import LookupPipeline
-from repro.units import bits_to_mb
+from repro.units import KIB, bits_to_mb
 from repro.virt.traffic import TrafficModel
 
 
@@ -37,7 +37,7 @@ def main() -> None:
     widest = int(np.argmax(stage_map.bits_per_stage))
     print(
         f"widest stage: {widest} "
-        f"({stage_map.bits_per_stage[widest] / 1024:.1f} Kb — sets the BRAM mux depth)"
+        f"({stage_map.bits_per_stage[widest] / KIB:.1f} Kb — sets the BRAM mux depth)"
     )
 
     # 3. stream packets through the cycle-level simulator -------------------

@@ -24,6 +24,7 @@ from repro.core.resources import engine_stage_map
 from repro.core.estimator import base_trie_stats
 from repro.fpga.clocking import ClockGating
 from repro.iplookup.synth import SyntheticTableConfig
+from repro.units import w_to_mw
 
 K = 8
 
@@ -68,7 +69,7 @@ def edge_operating_point() -> None:
             p = model.power_vs([stage_map] * K, 250.0, mu, duty_cycle=0.1)
             print(
                 f"  grade {grade}, gating {'on ' if gated else 'off'}: "
-                f"total {p.total_w:5.2f} W (dynamic {p.dynamic_w * 1000:6.1f} mW)"
+                f"total {p.total_w:5.2f} W (dynamic {w_to_mw(p.dynamic_w):6.1f} mW)"
             )
     print(
         "\n  static power dominates at low duty: the biggest lever for idle\n"

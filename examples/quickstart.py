@@ -12,6 +12,7 @@ Run:  python examples/quickstart.py
 
 from repro import ScenarioConfig, ScenarioEstimator, Scheme, SpeedGrade
 from repro.reporting.tables import render_kv
+from repro.units import w_to_mw
 
 
 def describe(result, title: str) -> None:
@@ -24,8 +25,8 @@ def describe(result, title: str) -> None:
                 ("achieved clock", f"{result.fmax_mhz:.1f} MHz"),
                 ("model power (analytical)", f"{result.model.total_w:.2f} W"),
                 ("  static", f"{result.model.static_w:.2f} W"),
-                ("  logic", f"{result.model.logic_w * 1000:.1f} mW"),
-                ("  memory", f"{result.model.memory_w * 1000:.1f} mW"),
+                ("  logic", f"{w_to_mw(result.model.logic_w):.1f} mW"),
+                ("  memory", f"{w_to_mw(result.model.memory_w):.1f} mW"),
                 ("experimental power (post-P&R)", f"{result.experimental.total_w:.2f} W"),
                 ("model error", f"{result.percentage_error:+.2f} %"),
                 ("aggregate capacity", f"{result.throughput_gbps:.0f} Gbps"),

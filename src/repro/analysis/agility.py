@@ -16,6 +16,8 @@ extra virtual network — per scheme:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.core.config import ScenarioConfig
@@ -80,7 +82,7 @@ def provisioning_downtime_ms(
 
 @register("agility")
 def run(
-    ks=(2, 4, 8, 14),
+    ks: Sequence[int] = (2, 4, 8, 14),
     grade: SpeedGrade = SpeedGrade.G2,
     table: SyntheticTableConfig | None = None,
 ) -> ExperimentResult:

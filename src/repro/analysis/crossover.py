@@ -9,6 +9,8 @@ crossovers on sampled series.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.core.config import ScenarioConfig
@@ -20,7 +22,11 @@ from repro.virt.schemes import Scheme
 __all__ = ["find_crossover", "scheme_crossover_k"]
 
 
-def find_crossover(x, a, b) -> float | None:
+def find_crossover(
+    x: Sequence[float] | np.ndarray,
+    a: Sequence[float] | np.ndarray,
+    b: Sequence[float] | np.ndarray,
+) -> float | None:
     """First x where series ``a`` rises above series ``b``.
 
     Linear interpolation between samples; ``None`` when ``a`` never
@@ -55,7 +61,7 @@ def scheme_crossover_k(
     alpha_a: float | None = None,
     alpha_b: float | None = None,
     metric: str = "mw_per_gbps",
-    ks=tuple(range(1, 16)),
+    ks: Sequence[int] = tuple(range(1, 16)),
     grade: SpeedGrade = SpeedGrade.G2,
 ) -> float | None:
     """K at which ``scheme_a``'s metric overtakes ``scheme_b``'s.

@@ -10,6 +10,7 @@ the underlying power/throughput Pareto frontier.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -18,6 +19,7 @@ from repro.core.config import ScenarioConfig
 from repro.core.estimator import ScenarioEstimator
 from repro.errors import CapacityError, ConfigurationError, ReproError
 from repro.fpga.speedgrade import SpeedGrade
+from repro.units import w_to_mw
 from repro.virt.schemes import Scheme
 
 __all__ = ["OperatingPoint", "plan_operating_point", "pareto_frontier"]
@@ -37,7 +39,7 @@ class OperatingPoint:
     @property
     def mw_per_gbps(self) -> float:
         """Efficiency of this operating point."""
-        return self.total_power_w * 1e3 / self.capacity_gbps
+        return w_to_mw(self.total_power_w) / self.capacity_gbps
 
     def describe(self) -> str:
         """One-line summary for reports."""
@@ -73,7 +75,7 @@ def _candidate_points(
                 f = fmax * float(fraction)
                 result = (
                     at_fmax
-                    if fraction == 1.0
+                    if fraction >= 1.0  # linspace endpoint is exact
                     else estimator.evaluate(replace(base, frequency_mhz=f))
                 )
                 points.append(
@@ -94,7 +96,7 @@ def plan_operating_point(
     k: int,
     *,
     alpha: float = 0.8,
-    schemes=(Scheme.VS, Scheme.VM),
+    schemes: Sequence[Scheme] = (Scheme.VS, Scheme.VM),
     frequency_steps: int = 8,
 ) -> OperatingPoint:
     """Cheapest operating point meeting an aggregate demand.
@@ -134,7 +136,7 @@ def pareto_frontier(
     k: int,
     *,
     alpha: float = 0.8,
-    schemes=(Scheme.VS, Scheme.VM),
+    schemes: Sequence[Scheme] = (Scheme.VS, Scheme.VM),
     frequency_steps: int = 8,
 ) -> list[OperatingPoint]:
     """Power/throughput Pareto frontier over the candidate space.

@@ -10,9 +10,8 @@ load, and provisioning agility — then rank and recommend.
 from __future__ import annotations
 
 import io
+from collections.abc import Sequence
 from dataclasses import dataclass
-
-import numpy as np
 
 from repro.analysis.agility import provisioning_downtime_ms
 from repro.core.config import ScenarioConfig
@@ -126,7 +125,7 @@ class ConsolidationStudy:
 
 
 def run_study(
-    demands_gbps,
+    demands_gbps: Sequence[float],
     *,
     alpha: float = 0.8,
     duty_cycle: float = 1.0,

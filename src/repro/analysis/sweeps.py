@@ -6,6 +6,8 @@ so the benchmark harness renders them exactly like the paper figures.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.core.config import ScenarioConfig
@@ -13,7 +15,7 @@ from repro.core.estimator import ScenarioEstimator, base_trie_stats
 from repro.core.metrics import mw_per_gbps, throughput_gbps
 from repro.core.power import AnalyticalPowerModel
 from repro.core.resources import engine_stage_map, merged_stage_map
-from repro.errors import ConfigurationError, ResourceExhaustedError, TimingError
+from repro.errors import ResourceExhaustedError, TimingError
 from repro.fpga.catalog import XC6VLX760
 from repro.fpga.clocking import ClockGating
 from repro.fpga.speedgrade import SpeedGrade
@@ -49,7 +51,7 @@ _ESTIMATOR = ScenarioEstimator()
 
 def utilization_sweep(
     k: int = 8,
-    zipf_exponents=(0.0, 0.5, 1.0, 2.0),
+    zipf_exponents: Sequence[float] = (0.0, 0.5, 1.0, 2.0),
     grade: SpeedGrade = SpeedGrade.G2,
 ) -> ExperimentResult:
     """A1 — relax Assumption 1: Zipf-skewed utilization.
@@ -92,8 +94,8 @@ def utilization_sweep(
 
 
 def alpha_sweep(
-    ks=(2, 8, 15),
-    alphas=tuple(np.linspace(0.0, 1.0, 11)),
+    ks: Sequence[int] = (2, 8, 15),
+    alphas: Sequence[float] = tuple(np.linspace(0.0, 1.0, 11)),
     grade: SpeedGrade = SpeedGrade.G2,
 ) -> ExperimentResult:
     """A2 — merged-scheme sensitivity to the merging efficiency α."""
@@ -123,7 +125,7 @@ def alpha_sweep(
 
 
 def frequency_sweep(
-    frequencies_mhz=(100.0, 150.0, 200.0, 250.0, 290.0),
+    frequencies_mhz: Sequence[float] = (100.0, 150.0, 200.0, 250.0, 290.0),
     k: int = 8,
     grade: SpeedGrade = SpeedGrade.G2,
 ) -> ExperimentResult:
@@ -154,7 +156,7 @@ def frequency_sweep(
 
 
 def table_size_sweep(
-    sizes=(1000, 3725, 10000, 50000),
+    sizes: Sequence[int] = (1000, 3725, 10000, 50000),
     k: int = 8,
     alpha: float = 0.8,
     grade: SpeedGrade = SpeedGrade.G2,
@@ -194,7 +196,7 @@ def table_size_sweep(
 
 
 def duty_cycle_sweep(
-    duty_cycles=(0.05, 0.1, 0.25, 0.5, 0.75, 1.0),
+    duty_cycles: Sequence[float] = (0.05, 0.1, 0.25, 0.5, 0.75, 1.0),
     k: int = 8,
     grade: SpeedGrade = SpeedGrade.G2,
 ) -> ExperimentResult:
@@ -274,7 +276,7 @@ def leafpush_ablation(
 
 
 def stride_sweep(
-    strides=(1, 2, 4),
+    strides: Sequence[int] = (1, 2, 4),
     grade: SpeedGrade = SpeedGrade.G2,
     config: SyntheticTableConfig | None = None,
 ) -> ExperimentResult:
@@ -340,7 +342,7 @@ def stride_sweep(
 
 
 def temperature_sweep(
-    temperatures_c=(25.0, 50.0, 70.0, 85.0, 100.0),
+    temperatures_c: Sequence[float] = (25.0, 50.0, 70.0, 85.0, 100.0),
     grade: SpeedGrade = SpeedGrade.G2,
 ) -> ExperimentResult:
     """A8 — junction temperature vs static power.
@@ -368,7 +370,7 @@ def temperature_sweep(
 
 def heterogeneity_sweep(
     k: int = 8,
-    spread_factors=(1.0, 2.0, 4.0),
+    spread_factors: Sequence[float] = (1.0, 2.0, 4.0),
     alpha: float = 0.8,
     grade: SpeedGrade = SpeedGrade.G2,
 ) -> ExperimentResult:
@@ -505,7 +507,7 @@ def structure_comparison(
 
 
 def balancing_sweep(
-    ks=(4, 8),
+    ks: Sequence[int] = (4, 8),
     alpha: float = 0.2,
     grade: SpeedGrade = SpeedGrade.G2,
     table: SyntheticTableConfig | None = None,

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.units import mhz_to_hz, pj_to_j, uw_to_w
 
 __all__ = ["TcamConfig", "TcamModel"]
 
@@ -76,15 +77,15 @@ class TcamModel:
         if search_rate_mhz < 0:
             raise ConfigurationError("search rate must be non-negative")
         cfg = self.config
-        joules_per_search = (
-            cfg.n_entries * cfg.activation_fraction * cfg.entry_energy_pj * 1e-12
+        joules_per_search = pj_to_j(
+            cfg.n_entries * cfg.activation_fraction * cfg.entry_energy_pj
         )
-        return joules_per_search * search_rate_mhz * 1e6
+        return joules_per_search * mhz_to_hz(search_rate_mhz)
 
     def static_power_w(self) -> float:
         """Always-on array power."""
         cfg = self.config
-        return cfg.n_entries * cfg.static_uw_per_entry * 1e-6
+        return uw_to_w(cfg.n_entries * cfg.static_uw_per_entry)
 
     def total_power_w(self, search_rate_mhz: float) -> float:
         """Total engine power at the given search rate."""

@@ -1,0 +1,121 @@
+"""Machine-checkable invariant annotations for model equations.
+
+The paper's component models carry structural guarantees the equations
+make obvious but code can silently lose — logic power is *linear* (and
+therefore monotone) in frequency, BRAM power is monotone in block
+count, total power is monotone in every dynamic component.  This
+module provides lightweight decorators that attach those declarations
+to the function object:
+
+>>> @monotone_in("frequency_mhz")
+... def stage_power_uw(frequency_mhz: float) -> float:
+...     return 5.18 * frequency_mhz
+
+The declarations are enforced twice:
+
+* **statically** — ``repro-lint`` rule ``INV001`` requires every
+  annotated function to be exercised by a hypothesis property test
+  (the test must mention the function by name under
+  ``tests/property``);
+* **dynamically** — :func:`check_monotone` is the shared harness those
+  property tests call to falsify the declaration on sampled inputs.
+
+This module must stay free of ``repro`` imports: model modules in
+``repro.fpga`` and ``repro.core`` import it while the package tree is
+still initialising.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence, TypeVar
+
+__all__ = [
+    "Invariant",
+    "monotone_in",
+    "nonnegative",
+    "declared_invariants",
+    "check_monotone",
+]
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+#: attribute name under which declarations are stored on the function
+_ATTR = "__repro_invariants__"
+
+
+@dataclass(frozen=True, slots=True)
+class Invariant:
+    """One declared property of a model function.
+
+    ``kind`` is ``"monotone"`` (non-decreasing in each named parameter,
+    all else fixed) or ``"nonnegative"`` (result is ``>= 0`` on the
+    declared domain); ``params`` names the parameters the declaration
+    quantifies over (empty for result-only invariants).
+    """
+
+    kind: str
+    params: tuple[str, ...] = ()
+
+
+def _attach(func: _F, invariant: Invariant) -> _F:
+    existing = list(getattr(func, _ATTR, ()))
+    existing.append(invariant)
+    setattr(func, _ATTR, tuple(existing))
+    return func
+
+
+def monotone_in(*params: str) -> Callable[[_F], _F]:
+    """Declare the result non-decreasing in each named parameter.
+
+    The decorator validates the names against the signature at
+    decoration time, so a typo fails at import rather than silently
+    declaring nothing.
+    """
+    if not params:
+        raise ValueError("monotone_in requires at least one parameter name")
+
+    def decorate(func: _F) -> _F:
+        known = set(inspect.signature(func).parameters)
+        unknown = [p for p in params if p not in known]
+        if unknown:
+            raise ValueError(
+                f"{func.__qualname__}: monotone_in names unknown parameter(s) {unknown}"
+            )
+        return _attach(func, Invariant(kind="monotone", params=tuple(params)))
+
+    return decorate
+
+
+def nonnegative(func: _F) -> _F:
+    """Declare the result ``>= 0`` everywhere on the function's domain."""
+    return _attach(func, Invariant(kind="nonnegative"))
+
+
+def declared_invariants(func: Callable[..., Any]) -> tuple[Invariant, ...]:
+    """The invariants declared on ``func`` (empty tuple when none)."""
+    return getattr(func, _ATTR, ())
+
+
+def check_monotone(
+    func: Callable[..., float],
+    param: str,
+    values: Sequence[float],
+    tolerance: float = 1e-12,
+    **fixed: Any,
+) -> None:
+    """Assert ``func`` is non-decreasing in ``param`` over ``values``.
+
+    ``values`` are sorted before evaluation; every other argument is
+    held at ``fixed``.  Property tests call this with hypothesis-drawn
+    values so each declared :func:`monotone_in` is falsifiable.
+    """
+    ordered = sorted(values)
+    outputs = [func(**{param: value, **fixed}) for value in ordered]
+    for (x0, y0), (x1, y1) in zip(zip(ordered, outputs), zip(ordered[1:], outputs[1:])):
+        if y1 < y0 - tolerance:
+            raise AssertionError(
+                f"{func.__qualname__} not monotone in {param}: "
+                f"f({x0})={y0} > f({x1})={y1}"
+            )

@@ -9,8 +9,9 @@ so one engine at ``f`` MHz handles ``f × 10⁶`` packets/s, i.e.
 
 from __future__ import annotations
 
+from repro.core.invariants import monotone_in
 from repro.errors import ConfigurationError
-from repro.units import MIN_PACKET_BYTES, gbps
+from repro.units import MIN_PACKET_BYTES, gbps, j_to_nj, mhz_to_hz, mw_to_w, s_to_ns, w_to_mw
 
 __all__ = [
     "throughput_gbps",
@@ -21,6 +22,7 @@ __all__ = [
 ]
 
 
+@monotone_in("frequency_mhz", "n_engines")
 def throughput_gbps(
     frequency_mhz: float,
     n_engines: int = 1,
@@ -37,18 +39,19 @@ def throughput_gbps(
     return n_engines * gbps(frequency_mhz, packet_bytes)
 
 
+@monotone_in("total_power_w")
 def mw_per_gbps(total_power_w: float, capacity_gbps: float) -> float:
     """The paper's efficiency metric: milliwatts per Gbps of capacity."""
     if total_power_w < 0:
         raise ConfigurationError("power must be non-negative")
     if capacity_gbps <= 0:
         raise ConfigurationError("capacity must be positive")
-    return total_power_w * 1e3 / capacity_gbps
+    return w_to_mw(total_power_w) / capacity_gbps
 
 
 def watts_per_gbps(total_power_w: float, capacity_gbps: float) -> float:
     """Same metric in W/Gbps (the unit the paper names in prose)."""
-    return mw_per_gbps(total_power_w, capacity_gbps) / 1e3
+    return mw_to_w(mw_per_gbps(total_power_w, capacity_gbps))
 
 
 def lookup_latency_ns(frequency_mhz: float, n_stages: int = 28) -> float:
@@ -62,9 +65,10 @@ def lookup_latency_ns(frequency_mhz: float, n_stages: int = 28) -> float:
         raise ConfigurationError("frequency must be positive")
     if n_stages < 1:
         raise ConfigurationError("n_stages must be >= 1")
-    return (n_stages + 1) / (frequency_mhz * 1e6) * 1e9
+    return s_to_ns((n_stages + 1) / mhz_to_hz(frequency_mhz))
 
 
+@monotone_in("total_power_w")
 def energy_per_packet_nj(
     total_power_w: float,
     frequency_mhz: float,
@@ -73,5 +77,5 @@ def energy_per_packet_nj(
     """Energy spent per forwarded packet, in nanojoules."""
     if frequency_mhz <= 0 or n_engines <= 0:
         raise ConfigurationError("frequency and engine count must be positive")
-    packets_per_second = frequency_mhz * 1e6 * n_engines
-    return total_power_w / packets_per_second * 1e9
+    packets_per_second = mhz_to_hz(frequency_mhz) * n_engines
+    return j_to_nj(total_power_w / packets_per_second)

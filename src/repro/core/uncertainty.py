@@ -12,6 +12,8 @@ inside them.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 from dataclasses import dataclass
 
 import numpy as np
@@ -58,7 +60,7 @@ class PowerBounds:
     def __post_init__(self) -> None:
         # tiny epsilon: the nominal sums its components in a different
         # association order than the bounds, so allow float slack
-        eps = 1e-12 * max(1.0, abs(self.nominal_w))
+        eps = 1e-12 * max(1.0, abs(self.nominal_w))  # repro-lint: disable=UNIT001 (relative slack, not a conversion)
         if not self.low_w - eps <= self.nominal_w <= self.high_w + eps:
             raise ConfigurationError("bounds must bracket the nominal value")
 
@@ -99,7 +101,7 @@ def power_bounds(
     scheme: Scheme,
     engine_maps: list[StageMemoryMap],
     frequency_mhz: float,
-    utilizations,
+    utilizations: Sequence[float] | np.ndarray,
     *,
     duty_cycle: float = 1.0,
     tolerances: Tolerances = Tolerances(),

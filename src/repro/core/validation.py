@@ -9,6 +9,8 @@ and the regression tests can assert the bound.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 from dataclasses import dataclass
 
 import numpy as np
@@ -57,7 +59,11 @@ class ErrorSummary:
         return self.max_abs_pct <= bound_pct
 
 
-def summarize_errors(label: str, model_w, experimental_w) -> ErrorSummary:
+def summarize_errors(
+    label: str,
+    model_w: Sequence[float] | np.ndarray,
+    experimental_w: Sequence[float] | np.ndarray,
+) -> ErrorSummary:
     """Build an :class:`ErrorSummary` from paired power series."""
     model = np.asarray(model_w, dtype=float)
     exp = np.asarray(experimental_w, dtype=float)

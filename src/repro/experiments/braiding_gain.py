@@ -10,6 +10,8 @@ what the twist bitmaps cost.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.iplookup.synth import SyntheticTableConfig, generate_virtual_tables
@@ -26,7 +28,7 @@ __all__ = ["run"]
 @register("braiding")
 def run(
     k: int = 4,
-    shared_fractions=(0.0, 0.25, 0.5, 0.75, 1.0),
+    shared_fractions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
     table: SyntheticTableConfig | None = None,
 ) -> ExperimentResult:
     """Measure plain vs braided α over structural overlap levels."""

@@ -11,6 +11,8 @@
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.experiments.common import PAPER_KS, sweep_grid
@@ -22,7 +24,7 @@ __all__ = ["run"]
 
 
 @register("claims")
-def run(ks=PAPER_KS) -> ExperimentResult:
+def run(ks: Sequence[int] = PAPER_KS) -> ExperimentResult:
     """Evaluate claims C1 and C2 over the standard sweep."""
     ks = tuple(ks)
     k_arr = np.asarray(ks, dtype=float)

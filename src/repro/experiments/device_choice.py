@@ -14,9 +14,8 @@ import numpy as np
 
 from repro.core.config import ScenarioConfig
 from repro.core.estimator import ScenarioEstimator
-from repro.errors import ReproError, ResourceExhaustedError
+from repro.errors import ReproError
 from repro.fpga.catalog import DEVICE_CATALOG
-from repro.fpga.speedgrade import SpeedGrade
 from repro.iplookup.synth import SyntheticTableConfig
 from repro.reporting.registry import register
 from repro.reporting.result import ExperimentResult

@@ -9,6 +9,8 @@ are reported in mW per block to match.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.fpga.bram import BramKind
@@ -16,12 +18,15 @@ from repro.fpga.speedgrade import SpeedGrade
 from repro.fpga.xpe import XPowerEstimator
 from repro.reporting.registry import register
 from repro.reporting.result import ExperimentResult
+from repro.units import uw_to_mw
 
 __all__ = ["run"]
 
 
 @register("fig2")
-def run(frequencies_mhz=(100.0, 200.0, 300.0, 400.0, 500.0)) -> ExperimentResult:
+def run(
+    frequencies_mhz: Sequence[float] = (100.0, 200.0, 300.0, 400.0, 500.0),
+) -> ExperimentResult:
     """Regenerate the four Fig. 2 series (single-block power, mW)."""
     xpe = XPowerEstimator(frequencies_mhz)
     result = ExperimentResult(
@@ -33,7 +38,7 @@ def run(frequencies_mhz=(100.0, 200.0, 300.0, 400.0, 500.0)) -> ExperimentResult
     for kind in (BramKind.B18, BramKind.B36):
         for grade in (SpeedGrade.G2, SpeedGrade.G1L):
             sweep = xpe.bram_sweep(kind, grade)
-            result.add_series(f"{kind.value}Kb ({grade})", sweep.power_uw / 1000.0)
+            result.add_series(f"{kind.value}Kb ({grade})", uw_to_mw(sweep.power_uw))
     result.add_note(
         "paper: power increases monotonically with both size and frequency; "
         "series are linear in f at the Table III slopes"

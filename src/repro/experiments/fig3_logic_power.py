@@ -8,18 +8,23 @@ Paper caption: "Per stage logic and signal power consumption", grades
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.fpga.logic import signal_power_fraction, stage_logic_power_uw
 from repro.fpga.speedgrade import SpeedGrade
 from repro.reporting.registry import register
 from repro.reporting.result import ExperimentResult
+from repro.units import uw_to_mw
 
 __all__ = ["run"]
 
 
 @register("fig3")
-def run(frequencies_mhz=(100.0, 200.0, 300.0, 400.0, 500.0)) -> ExperimentResult:
+def run(
+    frequencies_mhz: Sequence[float] = (100.0, 200.0, 300.0, 400.0, 500.0),
+) -> ExperimentResult:
     """Regenerate the Fig. 3 series (per-stage power, mW)."""
     freqs = np.asarray(frequencies_mhz, dtype=float)
     result = ExperimentResult(
@@ -31,8 +36,8 @@ def run(frequencies_mhz=(100.0, 200.0, 300.0, 400.0, 500.0)) -> ExperimentResult
     signal_share = signal_power_fraction()
     for grade in (SpeedGrade.G2, SpeedGrade.G1L):
         total_uw = np.array([stage_logic_power_uw(f, grade) for f in freqs])
-        result.add_series(f"logic ({grade})", total_uw * (1 - signal_share) / 1000.0)
-        result.add_series(f"signal ({grade})", total_uw * signal_share / 1000.0)
-        result.add_series(f"total ({grade})", total_uw / 1000.0)
+        result.add_series(f"logic ({grade})", uw_to_mw(total_uw * (1 - signal_share)))
+        result.add_series(f"signal ({grade})", uw_to_mw(total_uw * signal_share))
+        result.add_series(f"total ({grade})", uw_to_mw(total_uw))
     result.add_note("paper lines: total = 5.180 uW/MHz (-2), 3.937 uW/MHz (-1L)")
     return result

@@ -14,6 +14,8 @@ routers is small".
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.core.estimator import base_trie_stats
@@ -29,7 +31,9 @@ __all__ = ["run"]
 
 
 @register("fig4")
-def run(ks=PAPER_KS, alphas=PAPER_ALPHAS) -> ExperimentResult:
+def run(
+    ks: Sequence[int] = PAPER_KS, alphas: Sequence[float] = PAPER_ALPHAS
+) -> ExperimentResult:
     """Regenerate both Fig. 4 panels as pointer/NHI series (Mb)."""
     ks = tuple(ks)
     stats = base_trie_stats(SyntheticTableConfig())

@@ -12,6 +12,8 @@ networks" (abstract).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.experiments.common import PAPER_KS, sweep_grid
@@ -23,7 +25,9 @@ __all__ = ["run"]
 
 
 @register("fig5")
-def run(grade: SpeedGrade = SpeedGrade.G2, ks=PAPER_KS) -> ExperimentResult:
+def run(
+    grade: SpeedGrade = SpeedGrade.G2, ks: Sequence[int] = PAPER_KS
+) -> ExperimentResult:
     """Regenerate one Fig. 5 panel (experimental total power, W)."""
     ks = tuple(ks)
     grid = sweep_grid(grade, ks)

@@ -13,6 +13,8 @@ the merged series grow with K as merged memory accumulates.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.experiments.common import PAPER_KS, sweep_grid
@@ -24,7 +26,9 @@ __all__ = ["run"]
 
 
 @register("fig6")
-def run(grade: SpeedGrade = SpeedGrade.G2, ks=PAPER_KS) -> ExperimentResult:
+def run(
+    grade: SpeedGrade = SpeedGrade.G2, ks: Sequence[int] = PAPER_KS
+) -> ExperimentResult:
     """Regenerate one Fig. 6 panel (experimental total power, W)."""
     ks = tuple(ks)
     grid = sweep_grid(grade, ks, include_nv=False)

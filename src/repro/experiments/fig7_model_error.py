@@ -12,6 +12,8 @@ placement and routing optimizations bite harder).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.core.validation import PAPER_MAX_ERROR_PCT
@@ -24,7 +26,9 @@ __all__ = ["run"]
 
 
 @register("fig7")
-def run(grade: SpeedGrade = SpeedGrade.G2, ks=PAPER_KS) -> ExperimentResult:
+def run(
+    grade: SpeedGrade = SpeedGrade.G2, ks: Sequence[int] = PAPER_KS
+) -> ExperimentResult:
     """Regenerate one Fig. 7 panel (percentage error per scheme)."""
     ks = tuple(ks)
     grid = sweep_grid(grade, ks)

@@ -14,6 +14,8 @@ saving costs ~30 % throughput.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.experiments.common import PAPER_KS, sweep_grid
@@ -25,7 +27,9 @@ __all__ = ["run"]
 
 
 @register("fig8")
-def run(grade: SpeedGrade = SpeedGrade.G2, ks=PAPER_KS) -> ExperimentResult:
+def run(
+    grade: SpeedGrade = SpeedGrade.G2, ks: Sequence[int] = PAPER_KS
+) -> ExperimentResult:
     """Regenerate one Fig. 8 panel (experimental mW/Gbps per scheme)."""
     ks = tuple(ks)
     grid = sweep_grid(grade, ks)

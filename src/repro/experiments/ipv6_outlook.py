@@ -25,7 +25,7 @@ from repro.iplookup.synth import SyntheticTableConfig, generate_table
 from repro.iplookup.trie import UnibitTrie
 from repro.reporting.registry import register
 from repro.reporting.result import ExperimentResult
-from repro.units import bits_to_mb, gbps
+from repro.units import bits_to_mb, gbps, w_to_mw
 
 __all__ = ["run"]
 
@@ -66,7 +66,7 @@ def run(
                 "merged_memory_Mb": bits_to_mb(merged.total_bits),
                 "fmax_MHz": fmax,
                 "merged_total_W": power.total_w,
-                "mW_per_Gbps": power.total_w * 1e3 / gbps(fmax),
+                "mW_per_Gbps": w_to_mw(power.total_w) / gbps(fmax),
             }
         )
 

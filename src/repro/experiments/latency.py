@@ -12,6 +12,8 @@ throughput-sharing limit.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.core.config import ScenarioConfig
@@ -30,7 +32,7 @@ __all__ = ["run"]
 @register("latency")
 def run(
     k: int = 8,
-    load_fractions=(0.1, 0.3, 0.5, 0.7, 0.9, 0.95),
+    load_fractions: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9, 0.95),
     grade: SpeedGrade = SpeedGrade.G2,
     table: SyntheticTableConfig | None = None,
 ) -> ExperimentResult:

@@ -10,12 +10,13 @@ paper's bound must hold for every one.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.core.config import ScenarioConfig
 from repro.core.estimator import ScenarioEstimator
 from repro.errors import ResourceExhaustedError, TimingError
-from repro.fpga.speedgrade import SpeedGrade
 from repro.iplookup.synth import SyntheticTableConfig
 from repro.reporting.registry import register
 from repro.reporting.result import ExperimentResult
@@ -28,7 +29,10 @@ _DEFAULT_CASES = ((101, 2000), (202, 3725), (303, 5000), (404, 8000))
 
 
 @register("robustness")
-def run(cases=_DEFAULT_CASES, ks=(2, 8, 15)) -> ExperimentResult:
+def run(
+    cases: Sequence[tuple[int, int]] = _DEFAULT_CASES,
+    ks: Sequence[int] = (2, 8, 15),
+) -> ExperimentResult:
     """Worst model error per independent table, per scheme."""
     cases = tuple(cases)
     ks = tuple(ks)

@@ -10,6 +10,8 @@ the gating resource.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.core.config import ScenarioConfig
@@ -57,7 +59,7 @@ def max_k(
 
 
 @register("scalability")
-def run(sizes=(1000, 3725, 10000)) -> ExperimentResult:
+def run(sizes: Sequence[int] = (1000, 3725, 10000)) -> ExperimentResult:
     """Max supportable K per scheme vs table size on the XC6VLX760."""
     sizes = tuple(sizes)
     result = ExperimentResult(

@@ -11,10 +11,11 @@ paper's "supply current" explanation into its physical components.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.fpga.dvs import (
-    NOMINAL_VOLTAGE,
     dynamic_scale,
     fit_voltage,
     frequency_scale,
@@ -28,7 +29,7 @@ __all__ = ["run"]
 
 
 @register("voltage")
-def run(voltages=tuple(np.linspace(0.75, 1.0, 11))) -> ExperimentResult:
+def run(voltages: Sequence[float] = tuple(np.linspace(0.75, 1.0, 11))) -> ExperimentResult:
     """Scaling-law sweep vs the published grade constants."""
     voltages = tuple(float(v) for v in voltages)
     base = grade_data(SpeedGrade.G2)

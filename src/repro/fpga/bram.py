@@ -19,6 +19,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.core.invariants import monotone_in
 from repro.errors import ConfigurationError
 from repro.fpga.speedgrade import SpeedGrade, grade_data
 from repro.units import BRAM18K_BITS, BRAM36K_BITS, ceil_div
@@ -140,6 +141,7 @@ def pack_stage_memory(bits: int, width: int = PAPER_READ_WIDTH) -> BramPacking:
     return BramPacking(blocks36=blocks36, blocks18=blocks18, bits=bits, width=width)
 
 
+@monotone_in("frequency_mhz", "n_blocks")
 def bram_dynamic_power_uw(
     frequency_mhz: float,
     grade: SpeedGrade,

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.invariants import monotone_in
 from repro.errors import ConfigurationError
 from repro.fpga.device import ResourceUsage
 from repro.fpga.speedgrade import SpeedGrade, grade_data
@@ -125,6 +126,7 @@ def stage_power_components_uw(
     }
 
 
+@monotone_in("frequency_mhz", "activity")
 def stage_logic_power_uw(
     frequency_mhz: float,
     grade: SpeedGrade,

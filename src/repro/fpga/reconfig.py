@@ -18,6 +18,7 @@ from __future__ import annotations
 from repro.errors import ConfigurationError
 from repro.fpga.catalog import XC6VLX760
 from repro.fpga.device import DeviceSpec
+from repro.units import BITS_PER_BYTE, mhz_to_hz, s_to_ms
 
 __all__ = [
     "full_bitstream_bytes",
@@ -37,12 +38,12 @@ _CONFIG_BITS_PER_LOGIC_CELL = 243.0
 
 def full_bitstream_bytes(device: DeviceSpec = XC6VLX760) -> int:
     """Full-device configuration bitstream size in bytes."""
-    return int(device.logic_cells * _CONFIG_BITS_PER_LOGIC_CELL / 8)
+    return int(device.logic_cells * _CONFIG_BITS_PER_LOGIC_CELL / BITS_PER_BYTE)
 
 
 def full_reconfig_time_ms(device: DeviceSpec = XC6VLX760) -> float:
     """Time to reconfigure the whole device through ICAP."""
-    return full_bitstream_bytes(device) / ICAP_BYTES_PER_SECOND * 1e3
+    return s_to_ms(full_bitstream_bytes(device) / ICAP_BYTES_PER_SECOND)
 
 
 def partial_reconfig_time_ms(
@@ -73,4 +74,4 @@ def memory_load_time_ms(total_bits: int, frequency_mhz: float, word_bits: int = 
     if frequency_mhz <= 0 or word_bits <= 0:
         raise ConfigurationError("frequency and word width must be positive")
     words = -(-total_bits // word_bits)
-    return words / (frequency_mhz * 1e6) * 1e3
+    return s_to_ms(words / mhz_to_hz(frequency_mhz))

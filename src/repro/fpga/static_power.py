@@ -11,6 +11,7 @@ fixed, so the default adds nothing).
 
 from __future__ import annotations
 
+from repro.core.invariants import monotone_in
 from repro.errors import ConfigurationError
 from repro.fpga.device import DeviceSpec, ResourceUsage
 from repro.fpga.catalog import XC6VLX760
@@ -41,6 +42,7 @@ def area_factor(used_area_fraction: float) -> float:
     return 1.0 - STATIC_VARIATION + 2 * STATIC_VARIATION * used_area_fraction
 
 
+@monotone_in("temperature_c")
 def static_power_w(
     grade: SpeedGrade,
     usage: ResourceUsage | None = None,

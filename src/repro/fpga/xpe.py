@@ -53,7 +53,7 @@ class FrequencySweep:
         f = self.frequencies_mhz
         p = self.power_uw
         denom = float(f @ f)
-        if denom == 0.0:
+        if denom == 0.0:  # repro-lint: disable=FLT001 (exact all-zero sentinel)
             raise ConfigurationError("cannot fit a sweep with all-zero frequencies")
         return float(f @ p) / denom
 

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.iplookup.prefix import Prefix
+from repro.units import mhz_to_hz
 from repro.iplookup.rib import RoutingTable
 from repro.iplookup.trie import UnibitTrie
 
@@ -210,4 +211,4 @@ def effective_write_rate(
         raise ConfigurationError("n_stages must be >= 1")
     writes_per_second = stats.mean_writes_per_update() * updates_per_second
     writes_per_stage_per_second = writes_per_second / n_stages
-    return min(1.0, writes_per_stage_per_second / (lookup_rate_mhz * 1e6))
+    return min(1.0, writes_per_stage_per_second / mhz_to_hz(lookup_rate_mhz))

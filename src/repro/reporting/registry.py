@@ -17,7 +17,7 @@ __all__ = ["register", "get_experiment", "all_experiments"]
 _REGISTRY: dict[str, Callable[..., ExperimentResult]] = {}
 
 
-def register(experiment_id: str):
+def register(experiment_id: str) -> Callable[[Callable[..., ExperimentResult]], Callable[..., ExperimentResult]]:
     """Class/function decorator registering an experiment runner.
 
     The decorated callable must return an :class:`ExperimentResult`.

@@ -154,7 +154,7 @@ def render_svg(
     return "\n".join(parts) + "\n"
 
 
-def write_svg(result: ExperimentResult, path: str, **kwargs) -> None:
+def write_svg(result: ExperimentResult, path: str, **kwargs: object) -> None:
     """Write the SVG rendering of ``result`` to ``path``."""
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(render_svg(result, **kwargs))

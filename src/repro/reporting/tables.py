@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-from repro.errors import ExperimentError
-
 __all__ = ["render_table", "render_kv"]
 
 

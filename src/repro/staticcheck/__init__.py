@@ -1,0 +1,55 @@
+"""repro-lint — units- and invariant-aware static analysis for the repro tree.
+
+The paper's power models (Eqs. 1–6) mix µW-per-stage, per-block mW and
+W-scale quantities that are only comparable because every module keeps
+the unit conventions of :mod:`repro.units`.  This package enforces
+those conventions mechanically: an AST visitor core drives a registry
+of small rules over every module, and each finding is either fixed or
+explicitly suppressed with ``# repro-lint: disable=RULE``.
+
+Shipped rules
+-------------
+* ``UNIT001`` — bare conversion factors (``1e-6``, ``1e6``, ``8`` …)
+  in unit-bearing expressions must go through :mod:`repro.units`.
+* ``UNIT002`` — a function whose name claims a unit (``*_w``,
+  ``*_mhz`` …) must not return a conversion to a different unit.
+* ``FLT001`` — no ``==``/``!=`` against float literals in model code.
+* ``API001`` / ``API002`` — exported names need docstrings and full
+  type hints.
+* ``INV001`` — every ``@monotone_in``-annotated model equation needs a
+  matching hypothesis property test.
+* ``IMP001`` / ``IMP002`` — dead imports and stale ``__all__`` entries.
+
+Programmatic use::
+
+    from repro.staticcheck import LintConfig, lint_paths
+    report = lint_paths(["src/repro"], LintConfig())
+    for finding in report.findings:
+        print(finding.format())
+"""
+
+from repro.staticcheck.config import LintConfig, find_pyproject, load_config
+from repro.staticcheck.finding import Finding, Severity
+from repro.staticcheck.registry import Rule, all_rules, get_rule, register
+from repro.staticcheck.reporters import render_json, render_text
+from repro.staticcheck.runner import LintReport, lint_file, lint_paths
+
+# rule modules self-register on import
+from repro.staticcheck import rules as _rules  # noqa: F401  # repro-lint: disable=IMP001
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "LintConfig",
+    "load_config",
+    "find_pyproject",
+    "Rule",
+    "register",
+    "all_rules",
+    "get_rule",
+    "LintReport",
+    "lint_file",
+    "lint_paths",
+    "render_text",
+    "render_json",
+]

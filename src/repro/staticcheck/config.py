@@ -1,0 +1,98 @@
+"""Lint configuration: rule selection and per-rule options.
+
+Configuration lives under ``[tool.repro-lint]`` in ``pyproject.toml``::
+
+    [tool.repro-lint]
+    ignore = []                  # rule ids to disable
+    exclude = ["**/build/**"]    # glob patterns never linted
+    property-test-dirs = ["tests/property", "tests/unit"]
+
+    [tool.repro-lint.rules.UNIT001]
+    allow-modules = ["src/repro/units.py"]
+
+Rules declare their own option defaults (``Rule.default_options``);
+the TOML section overrides them key-by-key.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = ["LintConfig", "load_config", "find_pyproject"]
+
+
+@dataclass
+class LintConfig:
+    """Resolved lint configuration."""
+
+    #: if non-empty, only these rule ids run
+    select: set[str] = field(default_factory=set)
+    #: rule ids that never run
+    ignore: set[str] = field(default_factory=set)
+    #: glob patterns (matched against posix paths) excluded from linting
+    exclude: list[str] = field(default_factory=list)
+    #: directories searched by INV001 for property tests
+    property_test_dirs: list[str] = field(default_factory=list)
+    #: per-rule option overrides, keyed by rule id
+    rule_options: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: directory the config was loaded from (anchors relative paths)
+    root: Path | None = None
+
+    def is_rule_enabled(self, rule_id: str) -> bool:
+        """Whether a rule participates in this run."""
+        if rule_id in self.ignore:
+            return False
+        return not self.select or rule_id in self.select
+
+    def is_path_excluded(self, path: Path) -> bool:
+        """Whether ``path`` matches any exclude pattern."""
+        text = path.as_posix()
+        return any(
+            fnmatch.fnmatch(text, pattern) or fnmatch.fnmatch(path.name, pattern)
+            for pattern in self.exclude
+        )
+
+    def options_for(self, rule_id: str, defaults: dict[str, Any]) -> dict[str, Any]:
+        """Rule option dict: declared defaults overlaid with config."""
+        merged = dict(defaults)
+        merged.update(self.rule_options.get(rule_id, {}))
+        return merged
+
+
+def find_pyproject(start: Path) -> Path | None:
+    """Walk up from ``start`` looking for a ``pyproject.toml``."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate in (current, *current.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def load_config(pyproject: Path | None) -> LintConfig:
+    """Build a :class:`LintConfig` from a ``pyproject.toml`` (or defaults)."""
+    config = LintConfig()
+    if pyproject is None or not pyproject.is_file():
+        return config
+    with open(pyproject, "rb") as handle:
+        data = tomllib.load(handle)
+    section: dict[str, Any] = data.get("tool", {}).get("repro-lint", {})
+    config.root = pyproject.parent
+    config.select = set(section.get("select", []))
+    config.ignore = set(section.get("ignore", []))
+    config.exclude = list(section.get("exclude", []))
+    config.property_test_dirs = list(section.get("property-test-dirs", []))
+    rules = section.get("rules", {})
+    if isinstance(rules, dict):
+        config.rule_options = {
+            rule_id: dict(options)
+            for rule_id, options in rules.items()
+            if isinstance(options, dict)
+        }
+    return config

@@ -1,0 +1,45 @@
+"""Lint findings: what a rule reports and how it is displayed."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["Severity", "Finding"]
+
+
+class Severity(enum.Enum):
+    """Finding severity; ``ERROR`` findings fail the lint gate."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at a source location.
+
+    ``suppressed`` findings were matched by a
+    ``# repro-lint: disable=RULE`` comment; they are kept (for the
+    ``--show-suppressed`` report) but do not fail the gate.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    severity: Severity = Severity.ERROR
+    suppressed: bool = field(default=False, compare=False)
+
+    def format(self) -> str:
+        """Render as ``path:line:col: RULE message`` (text reporter row)."""
+        tag = " (suppressed)" if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}{tag}"
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        """Stable ordering: by file, position, then rule id."""
+        return (self.path, self.line, self.col, self.rule)

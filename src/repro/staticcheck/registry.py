@@ -1,0 +1,87 @@
+"""Rule base class and registry.
+
+A rule is a small visitor: the core walk (:mod:`.visitor`) calls
+``visit_<NodeType>``/``leave_<NodeType>`` hooks as it descends the
+module AST, plus ``begin_module``/``finish_module`` for whole-module
+analyses (import usage, ``__all__`` reconciliation).  Rules register
+themselves with :func:`register` at import time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.staticcheck.finding import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.staticcheck.visitor import ModuleContext
+
+__all__ = ["Rule", "register", "all_rules", "get_rule"]
+
+_REGISTRY: dict[str, type["Rule"]] = {}
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``id`` (stable, e.g. ``UNIT001``), ``name`` (a
+    short kebab-case slug) and ``description``, and may declare
+    ``default_options`` which :class:`~repro.staticcheck.config.LintConfig`
+    overlays from ``pyproject.toml``.
+    """
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+    severity: Severity = Severity.ERROR
+    default_options: dict[str, Any] = {}
+
+    def __init__(self, options: dict[str, Any]):
+        self.options = options
+        self.findings: list[Finding] = []
+
+    # -- hooks (all optional) ------------------------------------------------
+
+    def begin_module(self, ctx: "ModuleContext") -> None:
+        """Called before the AST walk starts."""
+
+    def finish_module(self, ctx: "ModuleContext") -> None:
+        """Called after the AST walk completes."""
+
+    # -- reporting -----------------------------------------------------------
+
+    def report(self, ctx: "ModuleContext", line: int, col: int, message: str) -> None:
+        """Record one finding at ``line``/``col`` of the current module."""
+        self.findings.append(
+            Finding(
+                path=ctx.display_path,
+                line=line,
+                col=col,
+                rule=self.id,
+                message=message,
+                severity=self.severity,
+            )
+        )
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> dict[str, type[Rule]]:
+    """All registered rules, keyed by id."""
+    return dict(_REGISTRY)
+
+
+def get_rule(rule_id: str) -> type[Rule]:
+    """Look up one rule class by id."""
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(f"unknown rule id {rule_id!r}; known: {sorted(_REGISTRY)}") from None

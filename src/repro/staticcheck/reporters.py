@@ -1,0 +1,53 @@
+"""Text and JSON reporters for lint runs."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.staticcheck.runner import LintReport
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(report: LintReport, show_suppressed: bool = False, statistics: bool = False) -> str:
+    """Human-readable report: one ``path:line:col: RULE message`` per row."""
+    lines = [finding.format() for finding in report.findings]
+    if show_suppressed:
+        lines.extend(finding.format() for finding in report.suppressed)
+    if statistics and report.findings:
+        lines.append("")
+        counts = Counter(finding.rule for finding in report.findings)
+        for rule_id, count in sorted(counts.items()):
+            lines.append(f"{count:5d}  {rule_id}")
+    lines.append(
+        f"{len(report.findings)} finding(s), {len(report.suppressed)} suppressed, "
+        f"{report.files_checked} file(s) checked"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport, show_suppressed: bool = False) -> str:
+    """Machine-readable report (stable key order, one document)."""
+    def encode(finding):
+        return {
+            "path": finding.path,
+            "line": finding.line,
+            "col": finding.col,
+            "rule": finding.rule,
+            "severity": str(finding.severity),
+            "message": finding.message,
+            "suppressed": finding.suppressed,
+        }
+
+    payload = {
+        "findings": [encode(f) for f in report.findings],
+        "summary": {
+            "findings": len(report.findings),
+            "suppressed": len(report.suppressed),
+            "files_checked": report.files_checked,
+        },
+    }
+    if show_suppressed:
+        payload["suppressed"] = [encode(f) for f in report.suppressed]
+    return json.dumps(payload, indent=2, sort_keys=False)

@@ -1,0 +1,5 @@
+"""The shipped rule pack.  Importing this package registers every rule."""
+
+from repro.staticcheck.rules import api, floateq, imports, invariants, units
+
+__all__ = ["api", "floateq", "imports", "invariants", "units"]

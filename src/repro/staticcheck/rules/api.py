@@ -1,0 +1,96 @@
+"""Public-API contract rules (API001, API002).
+
+A name placed in ``__all__`` is a promise to downstream users
+(the experiments, examples, and the README quickstart); promised
+callables must document themselves and carry complete type hints so
+unit mistakes are visible at the signature.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.registry import Rule, register
+from repro.staticcheck.visitor import ModuleContext
+
+__all__ = ["ExportedDocstring", "ExportedTypeHints"]
+
+_DEF_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def _exported_definitions(ctx: ModuleContext):
+    """Top-level defs/classes whose name appears in the module ``__all__``."""
+    exported = ctx.dunder_all()
+    if not exported:
+        return
+    names = set(exported)
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, _DEF_NODES) and stmt.name in names:
+            yield stmt
+
+
+def _missing_annotations(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    args = node.args
+    missing = []
+    positional = [*args.posonlyargs, *args.args]
+    for index, arg in enumerate(positional):
+        if index == 0 and arg.arg in ("self", "cls"):
+            continue
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    for arg in args.kwonlyargs:
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    for arg in (args.vararg, args.kwarg):
+        if arg is not None and arg.annotation is None:
+            missing.append("*" + arg.arg)
+    if node.returns is None:
+        missing.append("return")
+    return missing
+
+
+@register
+class ExportedDocstring(Rule):
+    """API001: exported functions and classes need docstrings."""
+
+    id = "API001"
+    name = "exported-docstring"
+    description = "names in __all__ must carry a docstring"
+    default_options = {}
+
+    def finish_module(self, ctx: ModuleContext) -> None:
+        """Report exported definitions that lack a docstring."""
+        for stmt in _exported_definitions(ctx):
+            if ast.get_docstring(stmt) is None:
+                kind = "class" if isinstance(stmt, ast.ClassDef) else "function"
+                self.report(
+                    ctx,
+                    stmt.lineno,
+                    stmt.col_offset,
+                    f"exported {kind} '{stmt.name}' has no docstring",
+                )
+
+
+@register
+class ExportedTypeHints(Rule):
+    """API002: exported functions need complete type hints."""
+
+    id = "API002"
+    name = "exported-type-hints"
+    description = "functions in __all__ must annotate every parameter and the return"
+    default_options = {}
+
+    def finish_module(self, ctx: ModuleContext) -> None:
+        """Report exported functions with incomplete annotations."""
+        for stmt in _exported_definitions(ctx):
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            missing = _missing_annotations(stmt)
+            if missing:
+                self.report(
+                    ctx,
+                    stmt.lineno,
+                    stmt.col_offset,
+                    f"exported function '{stmt.name}' is missing type hints "
+                    f"for: {', '.join(missing)}",
+                )

@@ -1,0 +1,51 @@
+"""Float-equality ban (FLT001).
+
+Model and analysis code compares computed powers, utilizations and
+error percentages — quantities that arrive through chains of float
+arithmetic.  ``== 0.3`` style comparisons are then order-of-evaluation
+lottery tickets; use ``math.isclose``, an explicit tolerance, or
+restructure around integers.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.registry import Rule, register
+from repro.staticcheck.visitor import ModuleContext
+
+__all__ = ["FloatEquality"]
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+@register
+class FloatEquality(Rule):
+    """FLT001: no ``==`` / ``!=`` against float literals."""
+
+    id = "FLT001"
+    name = "float-equality"
+    description = "equality comparison against float literals is unreliable"
+    default_options = {}
+
+    def visit_Compare(self, node: ast.Compare, ctx: ModuleContext) -> None:
+        """Flag ``==``/``!=`` chains with a float-literal operand."""
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            literal = next((o for o in (left, right) if _is_float_literal(o)), None)
+            if literal is None:
+                continue
+            value = ast.literal_eval(literal)
+            self.report(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                f"equality comparison against float literal {value!r}; "
+                f"use math.isclose or an explicit tolerance",
+            )

@@ -1,0 +1,136 @@
+"""Import hygiene rules (IMP001, IMP002).
+
+Dead imports hide real dependency structure (and, for heavyweight
+modules like :mod:`numpy`, cost import time in every subprocessed
+example); ``__all__`` entries that no longer exist turn
+``from repro.x import *`` into an ``AttributeError`` at a distance.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.registry import Rule, register
+from repro.staticcheck.visitor import ModuleContext
+
+__all__ = ["DeadImport", "StaleAllEntry"]
+
+
+def _toplevel_bindings(statements: list[ast.stmt]) -> set[str]:
+    """Names bound at module scope, descending into compound statements
+    (``if TYPE_CHECKING:`` blocks, try/except import fallbacks) but not
+    into function or class bodies."""
+    bound: set[str] = set()
+    for stmt in statements:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(stmt.name)
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                if alias.name != "*":
+                    bound.add(alias.asname or alias.name)
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            for target in targets:
+                for node in ast.walk(target):
+                    if isinstance(node, ast.Name):
+                        bound.add(node.id)
+        elif isinstance(stmt, (ast.If, ast.Try, ast.For, ast.While, ast.With)):
+            for field in ("body", "orelse", "finalbody", "handlers"):
+                block = getattr(stmt, field, [])
+                for item in block:
+                    if isinstance(item, ast.ExceptHandler):
+                        bound |= _toplevel_bindings(item.body)
+                bound |= _toplevel_bindings([s for s in block if isinstance(s, ast.stmt)])
+            if isinstance(stmt, (ast.For,)):
+                for node in ast.walk(stmt.target):
+                    if isinstance(node, ast.Name):
+                        bound.add(node.id)
+    return bound
+
+
+@register
+class DeadImport(Rule):
+    """IMP001: module-level imports that nothing references.
+
+    A name counts as used when it appears as a ``Name`` anywhere in
+    the module (annotations included) or is re-exported through
+    ``__all__``.  The ``import x as x`` re-export idiom is exempt.
+    """
+
+    id = "IMP001"
+    name = "dead-import"
+    description = "imported name is never used"
+    default_options = {}
+
+    def finish_module(self, ctx: ModuleContext) -> None:
+        """Reconcile module-level imports against every referenced name."""
+        imports: list[tuple[str, int, int, str]] = []
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    if alias.asname is not None and alias.asname == alias.name:
+                        continue  # explicit re-export
+                    imports.append((local, stmt.lineno, stmt.col_offset, alias.name))
+            elif isinstance(stmt, ast.ImportFrom):
+                if stmt.module == "__future__":
+                    continue
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    if alias.asname is not None and alias.asname == alias.name:
+                        continue  # explicit re-export
+                    local = alias.asname or alias.name
+                    imports.append((local, stmt.lineno, stmt.col_offset, alias.name))
+        if not imports:
+            return
+        used = {
+            node.id
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.Name)
+        }
+        used |= set(ctx.dunder_all() or [])
+        for local, line, col, original in imports:
+            if local not in used:
+                self.report(ctx, line, col, f"imported name '{local}' is never used")
+
+
+@register
+class StaleAllEntry(Rule):
+    """IMP002: ``__all__`` entries must name something the module binds."""
+
+    id = "IMP002"
+    name = "stale-all-entry"
+    description = "__all__ entry does not exist in the module"
+    default_options = {}
+
+    def finish_module(self, ctx: ModuleContext) -> None:
+        """Reconcile ``__all__`` entries against top-level bindings."""
+        exported = ctx.dunder_all()
+        if not exported:
+            return
+        bound = _toplevel_bindings(ctx.tree.body)
+        bound.add("__all__")
+        has_star = any(
+            isinstance(stmt, ast.ImportFrom) and any(a.name == "*" for a in stmt.names)
+            for stmt in ctx.tree.body
+        )
+        if has_star:
+            return  # cannot reason statically about star imports
+        for stmt in ctx.tree.body:
+            target = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+            elif isinstance(stmt, ast.AnnAssign):
+                target = stmt.target
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                line, col = stmt.lineno, stmt.col_offset
+                break
+        else:
+            return
+        for name in exported:
+            if name not in bound:
+                self.report(ctx, line, col, f"__all__ entry '{name}' is not defined in the module")

@@ -1,0 +1,102 @@
+"""Invariant-coverage rule (INV001).
+
+``@monotone_in`` / ``@nonnegative`` declarations
+(:mod:`repro.core.invariants`) are promises about model equations —
+"logic power is monotone in frequency" is exactly the kind of claim
+the paper's figures rest on.  A declaration nobody tests is
+documentation cosplay, so this rule requires every annotated function
+to be named in a hypothesis property test under the configured test
+directories.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.staticcheck.registry import Rule, register
+from repro.staticcheck.visitor import ModuleContext
+
+__all__ = ["InvariantCoverage"]
+
+
+def _decorator_name(node: ast.expr) -> str | None:
+    """The simple name of a decorator: ``@f``, ``@f(...)``, ``@m.f(...)``."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+@register
+class InvariantCoverage(Rule):
+    """INV001: every invariant-annotated function needs a property test."""
+
+    id = "INV001"
+    name = "invariant-coverage"
+    description = "@monotone_in/@nonnegative declarations need a matching property test"
+    default_options = {
+        "decorators": ["monotone_in", "nonnegative"],
+        "test-dirs": ["tests/property"],
+    }
+
+    def __init__(self, options):
+        super().__init__(options)
+        self._decorators = set(options["decorators"])
+        self._corpus: str | None = None
+
+    def _test_corpus(self, ctx: ModuleContext) -> str | None:
+        """Concatenated text of every property-test module, or ``None``
+        when no configured test directory exists (e.g. linting an
+        installed copy without its test tree)."""
+        if self._corpus is not None:
+            return self._corpus
+        root = ctx.config.root or Path.cwd()
+        dirs = ctx.config.property_test_dirs or self.options["test-dirs"]
+        chunks = []
+        found_dir = False
+        for directory in dirs:
+            path = Path(directory)
+            if not path.is_absolute():
+                path = root / path
+            if not path.is_dir():
+                continue
+            found_dir = True
+            for test_file in sorted(path.rglob("*.py")):
+                chunks.append(test_file.read_text(encoding="utf-8"))
+        if not found_dir:
+            return None
+        self._corpus = "\n".join(chunks)
+        return self._corpus
+
+    def visit_FunctionDef(self, node: ast.FunctionDef, ctx: ModuleContext) -> None:
+        """Check an annotated function for property-test coverage."""
+        self._check(node, ctx)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef, ctx: ModuleContext) -> None:
+        """Check an annotated async function for property-test coverage."""
+        self._check(node, ctx)
+
+    def _check(self, node: ast.FunctionDef | ast.AsyncFunctionDef, ctx: ModuleContext) -> None:
+        annotated = [
+            name
+            for decorator in node.decorator_list
+            if (name := _decorator_name(decorator)) in self._decorators
+        ]
+        if not annotated:
+            return
+        corpus = self._test_corpus(ctx)
+        if corpus is None:
+            return
+        if node.name not in corpus:
+            self.report(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                f"'{node.name}' declares @{annotated[0]} but no property test "
+                f"under {ctx.config.property_test_dirs or self.options['test-dirs']} "
+                f"mentions it",
+            )

@@ -1,0 +1,170 @@
+"""Unit-safety rules (UNIT001, UNIT002).
+
+These are the rules closest to the paper: every power figure
+(Figs. 5–8) flows through µW→W, mW→W and MHz→Hz conversions, and a
+single transposed exponent corrupts the entire evaluation while
+remaining plausible on screen.  All conversions must therefore go
+through :mod:`repro.units`, and a function whose *name* claims a unit
+must actually return that unit.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.staticcheck.registry import Rule, register
+from repro.staticcheck.visitor import ModuleContext, identifiers_in
+
+__all__ = ["BareConversionFactor", "UnitSuffixMismatch", "DIMENSIONS"]
+
+#: unit-name suffix -> dimension; units of the same dimension are
+#: interconvertible (and therefore confusable)
+DIMENSIONS = {
+    "w": "power",
+    "uw": "power",
+    "mw": "power",
+    "mhz": "frequency",
+    "hz": "frequency",
+    "mb": "memory",
+    "bits": "memory",
+    "nj": "energy",
+    "pj": "energy",
+    "j": "energy",
+    "ns": "time",
+    "ms": "time",
+}
+
+_CONVERSION_CALL = re.compile(r"^([a-z]+)_to_([a-z]+)$")
+
+
+def _is_unit_context(text_parts: list[str], pattern: re.Pattern[str]) -> bool:
+    return any(pattern.search(part.lower()) for part in text_parts)
+
+
+@register
+class BareConversionFactor(Rule):
+    """UNIT001: bare numeric conversion factors in unit-bearing expressions.
+
+    A multiplication or division by a known scale factor (``1e-6``,
+    ``1e6``, ``1e3`` …) in an expression that mentions power,
+    frequency, energy or time quantities must use a
+    :mod:`repro.units` helper instead, so the conversion is named and
+    greppable.  Byte/bit factors (``8``, ``1024``) are flagged only
+    when the expression mentions bits or bytes, to avoid claiming
+    every small integer.
+    """
+
+    id = "UNIT001"
+    name = "bare-conversion-factor"
+    description = "scale factors in unit expressions must go through repro.units"
+    default_options = {
+        "factors": [1e-12, 1e-9, 1e-6, 1e-3, 1e3, 1e6, 1e9, 1e12],
+        "byte-factors": [8, 1024],
+        "context-pattern": (
+            r"(^|_)(u?w|mw|watts?|power|freq|frequency|m?hz|gbps|"
+            r"joules?|nj|pj|energy|ns|ms|secs?|seconds?|latency)(_|$)"
+        ),
+        "byte-context-pattern": r"(^|_)(bits?|bytes?|kib|mib|octets?)(_|$)",
+        # modules allowed to spell factors out (the defining module)
+        "allow-modules": [],
+    }
+
+    def __init__(self, options):
+        super().__init__(options)
+        self._context = re.compile(options["context-pattern"])
+        self._byte_context = re.compile(options["byte-context-pattern"])
+        self._factors = set(float(f) for f in options["factors"])
+        self._byte_factors = set(int(f) for f in options["byte-factors"])
+        self._allowed_module = False
+
+    def begin_module(self, ctx: ModuleContext) -> None:
+        """Resolve whether this module may spell factors out."""
+        path = ctx.path.as_posix()
+        self._allowed_module = any(
+            path.endswith(allowed) for allowed in self.options["allow-modules"]
+        )
+
+    def visit_BinOp(self, node: ast.BinOp, ctx: ModuleContext) -> None:
+        """Flag known scale factors multiplied/divided in unit context."""
+        if self._allowed_module or not isinstance(node.op, (ast.Mult, ast.Div)):
+            return
+        names = sorted(identifiers_in(node))
+        if ctx.current_function is not None:
+            names.append(ctx.current_function.name)
+        for operand in (node.left, node.right):
+            if not isinstance(operand, ast.Constant):
+                continue
+            value = operand.value
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if float(value) in self._factors and _is_unit_context(names, self._context):
+                self.report(
+                    ctx,
+                    operand.lineno,
+                    operand.col_offset,
+                    f"bare conversion factor {value!r} in a unit expression; "
+                    f"use a repro.units helper",
+                )
+            elif (
+                isinstance(value, int)
+                and value in self._byte_factors
+                and _is_unit_context(names, self._byte_context)
+            ):
+                self.report(
+                    ctx,
+                    operand.lineno,
+                    operand.col_offset,
+                    f"bare byte/bit factor {value!r}; use repro.units constants "
+                    f"(BITS_PER_BYTE, KIB, ...)",
+                )
+
+
+@register
+class UnitSuffixMismatch(Rule):
+    """UNIT002: function names that claim one unit must not return another.
+
+    ``def total_power_w(...)`` returning ``w_to_mw(...)`` compiles,
+    runs, and is wrong by 10³.  When the returned expression is (up to
+    a sign) a single ``<a>_to_<b>`` conversion call, ``b`` must agree
+    with the unit suffix the function name claims whenever both units
+    share a dimension.
+    """
+
+    id = "UNIT002"
+    name = "unit-suffix-mismatch"
+    description = "unit-suffixed functions must return the unit they claim"
+    default_options = {}
+
+    def visit_Return(self, node: ast.Return, ctx: ModuleContext) -> None:
+        """Check returned conversions against the claimed name suffix."""
+        function = ctx.current_function
+        if function is None or node.value is None:
+            return
+        suffix = function.name.rsplit("_", 1)[-1]
+        claimed = DIMENSIONS.get(suffix)
+        if claimed is None:
+            return
+        value: ast.expr = node.value
+        while isinstance(value, ast.UnaryOp):
+            value = value.operand
+        if not isinstance(value, ast.Call):
+            return
+        callee = value.func
+        name = callee.id if isinstance(callee, ast.Name) else (
+            callee.attr if isinstance(callee, ast.Attribute) else None
+        )
+        if name is None:
+            return
+        match = _CONVERSION_CALL.match(name)
+        if match is None:
+            return
+        target = match.group(2)
+        if DIMENSIONS.get(target) == claimed and target != suffix:
+            self.report(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                f"function '{function.name}' claims unit '{suffix}' but returns "
+                f"a value converted to '{target}' via {name}()",
+            )

@@ -1,0 +1,117 @@
+"""File discovery and the lint driver."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.staticcheck.config import LintConfig
+from repro.staticcheck.finding import Finding, Severity
+from repro.staticcheck.registry import all_rules
+from repro.staticcheck.suppressions import collect_suppressions
+from repro.staticcheck.visitor import ModuleContext, walk_module
+
+__all__ = ["LintReport", "lint_file", "lint_paths", "iter_python_files"]
+
+
+@dataclass
+class LintReport:
+    """Aggregated result of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    def extend(self, other: "LintReport") -> None:
+        """Merge ``other`` into this report."""
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.files_checked += other.files_checked
+
+    def finalize(self) -> "LintReport":
+        """Sort findings into stable display order."""
+        self.findings.sort(key=Finding.sort_key)
+        self.suppressed.sort(key=Finding.sort_key)
+        return self
+
+    @property
+    def exit_code(self) -> int:
+        """0 when no unsuppressed findings remain, 1 otherwise."""
+        return 1 if self.findings else 0
+
+
+def iter_python_files(paths: list[Path], config: LintConfig) -> list[Path]:
+    """Expand files/directories into the sorted list of modules to lint."""
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return [f for f in files if not config.is_path_excluded(f)]
+
+
+def _active_rules(config: LintConfig):
+    rules = []
+    for rule_id, cls in sorted(all_rules().items()):
+        if config.is_rule_enabled(rule_id):
+            rules.append(cls(config.options_for(rule_id, cls.default_options)))
+    return rules
+
+
+def lint_file(path: Path, config: LintConfig, display_path: str | None = None) -> LintReport:
+    """Lint a single module and partition findings by suppression."""
+    report = LintReport(files_checked=1)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        report.findings.append(
+            Finding(
+                path=display_path or str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule="PARSE",
+                message=f"syntax error: {exc.msg}",
+                severity=Severity.ERROR,
+            )
+        )
+        return report
+    ctx = ModuleContext(
+        path=path,
+        display_path=display_path or str(path),
+        source=source,
+        tree=tree,
+        config=config,
+        suppressions=collect_suppressions(source),
+    )
+    rules = _active_rules(config)
+    walk_module(ctx, rules)
+    for rule in rules:
+        for finding in rule.findings:
+            if ctx.suppressions.is_suppressed(finding.rule, finding.line):
+                report.suppressed.append(
+                    Finding(
+                        path=finding.path,
+                        line=finding.line,
+                        col=finding.col,
+                        rule=finding.rule,
+                        message=finding.message,
+                        severity=finding.severity,
+                        suppressed=True,
+                    )
+                )
+            else:
+                report.findings.append(finding)
+    return report
+
+
+def lint_paths(paths: list[str | Path], config: LintConfig | None = None) -> LintReport:
+    """Lint every module under ``paths`` with ``config`` (or defaults)."""
+    config = config or LintConfig()
+    resolved = [Path(p) for p in paths]
+    report = LintReport()
+    for path in iter_python_files(resolved, config):
+        report.extend(lint_file(path, config, display_path=path.as_posix()))
+    return report.finalize()

@@ -1,0 +1,76 @@
+"""Suppression comments: ``# repro-lint: disable=RULE[,RULE...]``.
+
+Two scopes are supported:
+
+* **line** — ``# repro-lint: disable=UNIT001`` on (or trailing) the
+  offending line silences the named rules for that line only;
+* **file** — ``# repro-lint: disable-file=FLT001`` anywhere in the
+  module silences the named rules for the whole file.
+
+``disable=all`` (either scope) silences every rule.  Comments are
+found with :mod:`tokenize`, so the markers never match inside string
+literals.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["Suppressions", "collect_suppressions"]
+
+_MARKER = re.compile(
+    r"#\s*repro-lint:\s*(?P<scope>disable(?:-file)?)\s*=\s*(?P<rules>[A-Za-z0-9_,\s]+)"
+)
+
+#: wildcard accepted in place of a rule id
+ALL = "all"
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression state for one module."""
+
+    #: line number -> set of rule ids (or ``{"all"}``)
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    #: rule ids disabled for the entire file
+    file_wide: set[str] = field(default_factory=set)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` is silenced at ``line``."""
+        if ALL in self.file_wide or rule in self.file_wide:
+            return True
+        rules = self.by_line.get(line)
+        return rules is not None and (ALL in rules or rule in rules)
+
+
+def _parse_rules(raw: str) -> set[str]:
+    return {part for part in re.split(r"[,\s]+", raw) if part}
+
+
+def collect_suppressions(source: str) -> Suppressions:
+    """Scan ``source`` for suppression comments.
+
+    Unreadable sources (tokenize errors) yield empty suppressions; the
+    caller will surface the syntax error through :func:`ast.parse`.
+    """
+    result = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _MARKER.search(token.string)
+            if not match:
+                continue
+            rules = _parse_rules(match.group("rules"))
+            if match.group("scope") == "disable-file":
+                result.file_wide |= rules
+            else:
+                line = token.start[0]
+                result.by_line.setdefault(line, set()).update(rules)
+    except tokenize.TokenError:
+        pass
+    return result

@@ -1,0 +1,124 @@
+"""Visitor core: one AST walk drives every active rule.
+
+The walker keeps shared structural context so individual rules stay
+small: a parent map, the enclosing-function stack, and the module's
+``__all__`` literal.  Rules receive enter (``visit_X``) and exit
+(``leave_X``) callbacks named after the :mod:`ast` node class.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.staticcheck.config import LintConfig
+from repro.staticcheck.registry import Rule
+from repro.staticcheck.suppressions import Suppressions
+
+__all__ = ["ModuleContext", "walk_module"]
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may need about the module under analysis."""
+
+    path: Path
+    display_path: str
+    source: str
+    tree: ast.Module
+    config: LintConfig
+    suppressions: Suppressions
+    #: child -> parent links, filled in as the walk descends
+    parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+    #: enclosing (Async)FunctionDef nodes, innermost last
+    function_stack: list[FunctionNode] = field(default_factory=list)
+
+    @property
+    def current_function(self) -> FunctionNode | None:
+        """Innermost enclosing function, if any."""
+        return self.function_stack[-1] if self.function_stack else None
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """Structural parent of ``node`` (``None`` for the module)."""
+        return self.parents.get(node)
+
+    def dunder_all(self) -> list[str] | None:
+        """The module's ``__all__`` as a list of strings, if statically known."""
+        for stmt in self.tree.body:
+            target: ast.expr | None = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+            elif isinstance(stmt, ast.AnnAssign):
+                target = stmt.target
+            if not (isinstance(target, ast.Name) and target.id == "__all__"):
+                continue
+            value = stmt.value
+            if isinstance(value, (ast.List, ast.Tuple)):
+                names = []
+                for element in value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                        names.append(element.value)
+                return names
+        return None
+
+
+def _dispatch(rule: Rule, prefix: str, node: ast.AST, ctx: ModuleContext) -> None:
+    handler = getattr(rule, prefix + type(node).__name__, None)
+    if handler is not None:
+        handler(node, ctx)
+
+
+def _walk(node: ast.AST, ctx: ModuleContext, rules: list[Rule]) -> None:
+    is_function = isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    for rule in rules:
+        _dispatch(rule, "visit_", node, ctx)
+    if is_function:
+        ctx.function_stack.append(node)  # type: ignore[arg-type]
+    for child in ast.iter_child_nodes(node):
+        ctx.parents[child] = node
+        _walk(child, ctx, rules)
+    if is_function:
+        ctx.function_stack.pop()
+    for rule in rules:
+        _dispatch(rule, "leave_", node, ctx)
+
+
+def walk_module(ctx: ModuleContext, rules: list[Rule]) -> None:
+    """Run every rule over one parsed module (single AST traversal)."""
+    for rule in rules:
+        rule.begin_module(ctx)
+    _walk(ctx.tree, ctx, rules)
+    for rule in rules:
+        rule.finish_module(ctx)
+
+
+def identifiers_in(node: ast.AST) -> set[str]:
+    """All ``Name`` ids and attribute names in a subtree (helper for rules)."""
+    found: set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            found.add(child.id)
+        elif isinstance(child, ast.Attribute):
+            found.add(child.attr)
+    return found
+
+
+def call_name(node: ast.AST) -> str | None:
+    """Callee name of a ``Call`` (``f`` or trailing ``mod.f``), else ``None``."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def literal_value(node: ast.AST) -> Any:
+    """The constant value of a node, or ``None`` if not a constant."""
+    return node.value if isinstance(node, ast.Constant) else None

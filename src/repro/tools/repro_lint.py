@@ -1,0 +1,138 @@
+"""``repro-lint`` — run the staticcheck rule pack from the command line.
+
+Usage::
+
+    repro-lint src/repro                 # lint a tree, text report
+    repro-lint --format json src/repro   # machine-readable
+    repro-lint --list-rules              # what can fire
+    repro-lint --select UNIT001 file.py  # one rule only
+
+Exit status: 0 clean, 1 findings, 2 usage error.  Configuration is
+read from the nearest ``pyproject.toml`` (``[tool.repro-lint]``)
+unless ``--no-config`` is given; see docs/LINTING.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.staticcheck import (
+    all_rules,
+    find_pyproject,
+    lint_paths,
+    load_config,
+    render_json,
+    render_text,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-lint`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="units- and invariant-aware static analysis for the repro tree",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", help="report format"
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="run only these rule ids (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="skip these rule ids (repeatable)",
+    )
+    parser.add_argument(
+        "--config", type=Path, default=None, help="explicit pyproject.toml to read"
+    )
+    parser.add_argument(
+        "--no-config", action="store_true", help="ignore pyproject.toml configuration"
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also list findings silenced by disable comments",
+    )
+    parser.add_argument(
+        "--statistics", action="store_true", help="append per-rule finding counts"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    rows = []
+    for rule_id, cls in sorted(all_rules().items()):
+        rows.append(f"{rule_id}  {cls.name:<24} {cls.description}")
+    return "\n".join(rows)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("repro-lint: error: no paths given", file=sys.stderr)
+        return 2
+
+    targets = [Path(p) for p in args.paths]
+    missing = [p for p in targets if not p.exists()]
+    if missing:
+        print(f"repro-lint: error: no such path: {missing[0]}", file=sys.stderr)
+        return 2
+
+    if args.no_config:
+        pyproject = None
+    elif args.config is not None:
+        if not args.config.is_file():
+            print(f"repro-lint: error: config not found: {args.config}", file=sys.stderr)
+            return 2
+        pyproject = args.config
+    else:
+        pyproject = find_pyproject(targets[0])
+    config = load_config(pyproject)
+    if args.select:
+        config.select = set(args.select)
+    if args.ignore:
+        config.ignore |= set(args.ignore)
+
+    unknown = (config.select | config.ignore) - set(all_rules())
+    if unknown:
+        print(f"repro-lint: error: unknown rule id(s): {sorted(unknown)}", file=sys.stderr)
+        return 2
+
+    report = lint_paths(list(targets), config)
+    if args.format == "json":
+        print(render_json(report, show_suppressed=args.show_suppressed))
+    else:
+        print(
+            render_text(
+                report,
+                show_suppressed=args.show_suppressed,
+                statistics=args.statistics,
+            )
+        )
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,10 +31,20 @@ __all__ = [
     "w_to_uw",
     "mw_to_w",
     "w_to_mw",
+    "uw_to_mw",
+    "mw_to_uw",
     "bits_to_mb",
     "mb_to_bits",
     "mhz_to_hz",
     "hz_to_mhz",
+    "s_to_ns",
+    "ns_to_s",
+    "s_to_ms",
+    "ms_to_s",
+    "j_to_nj",
+    "nj_to_j",
+    "pj_to_j",
+    "j_to_pj",
     "gbps",
     "ceil_div",
 ]
@@ -77,6 +87,16 @@ def w_to_mw(watts: float) -> float:
     return watts * 1e3
 
 
+def uw_to_mw(microwatts: float) -> float:
+    """Convert microwatts to milliwatts (the Fig. 2/3 display unit)."""
+    return microwatts * 1e-3
+
+
+def mw_to_uw(milliwatts: float) -> float:
+    """Convert milliwatts to microwatts."""
+    return milliwatts * 1e3
+
+
 def bits_to_mb(bits: float) -> float:
     """Convert bits to megabits (binary Mb, matching BRAM datasheets)."""
     return bits / MIB
@@ -95,6 +115,46 @@ def mhz_to_hz(mhz: float) -> float:
 def hz_to_mhz(hz: float) -> float:
     """Convert Hz to MHz."""
     return hz * 1e-6
+
+
+def s_to_ns(seconds: float) -> float:
+    """Convert seconds to nanoseconds (lookup-latency display unit)."""
+    return seconds * 1e9
+
+
+def ns_to_s(nanoseconds: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return nanoseconds * 1e-9
+
+
+def s_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds (reconfiguration-time unit)."""
+    return seconds * 1e3
+
+
+def ms_to_s(milliseconds: float) -> float:
+    """Convert milliseconds to seconds."""
+    return milliseconds * 1e-3
+
+
+def j_to_nj(joules: float) -> float:
+    """Convert joules to nanojoules (per-packet energy unit)."""
+    return joules * 1e9
+
+
+def nj_to_j(nanojoules: float) -> float:
+    """Convert nanojoules to joules."""
+    return nanojoules * 1e-9
+
+
+def pj_to_j(picojoules: float) -> float:
+    """Convert picojoules to joules (TCAM per-search energy unit)."""
+    return picojoules * 1e-12
+
+
+def j_to_pj(joules: float) -> float:
+    """Convert joules to picojoules."""
+    return joules * 1e12
 
 
 def gbps(frequency_mhz: float, packet_bytes: int = MIN_PACKET_BYTES) -> float:

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.fpga.device import ResourceUsage
+from repro.units import nj_to_j
 
 __all__ = ["Distributor"]
 
@@ -66,4 +67,4 @@ class Distributor:
         """Total distribution energy for ``n_packets`` packets."""
         if n_packets < 0:
             raise ConfigurationError("n_packets must be non-negative")
-        return n_packets * self.energy_per_packet_nj * 1e-9
+        return nj_to_j(n_packets * self.energy_per_packet_nj)

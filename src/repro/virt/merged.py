@@ -25,8 +25,6 @@ single walk of the union structure answers lookups for every VN.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.errors import MergeError

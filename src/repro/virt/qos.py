@@ -19,6 +19,7 @@ This module makes that check concrete:
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 import numpy as np
@@ -43,7 +44,7 @@ class AdmissionReport:
         return len(self.demands_gbps)
 
 
-def check_admission(capacity_gbps: float, demands_gbps) -> AdmissionReport:
+def check_admission(capacity_gbps: float, demands_gbps: Iterable[float]) -> AdmissionReport:
     """Evaluate whether a shared engine can carry all demands.
 
     A single time-shared pipeline serves ΣᵢDᵢ only if the sum fits in
@@ -68,7 +69,7 @@ def check_admission(capacity_gbps: float, demands_gbps) -> AdmissionReport:
     )
 
 
-def admissible(capacity_gbps: float, demands_gbps) -> bool:
+def admissible(capacity_gbps: float, demands_gbps: Iterable[float]) -> bool:
     """Shorthand: True when the demand vector fits the shared engine."""
     return check_admission(capacity_gbps, demands_gbps).admissible
 

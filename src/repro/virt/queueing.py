@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.core.metrics import lookup_latency_ns
 from repro.errors import CapacityError, ConfigurationError
+from repro.units import mhz_to_hz, s_to_ns
 
 __all__ = ["md1_wait_ns", "LatencyReport", "scheme_latency_ns"]
 
@@ -39,7 +40,7 @@ def md1_wait_ns(utilization: float, frequency_mhz: float) -> float:
         )
     if frequency_mhz <= 0:
         raise ConfigurationError("frequency must be positive")
-    service_ns = 1.0 / (frequency_mhz * 1e6) * 1e9  # one cycle
+    service_ns = s_to_ns(1.0 / mhz_to_hz(frequency_mhz))  # one cycle
     return utilization * service_ns / (2.0 * (1.0 - utilization))
 
 

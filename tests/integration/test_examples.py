@@ -6,7 +6,21 @@ import sys
 
 import pytest
 
-EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+EXAMPLES_DIR = os.path.join(REPO_ROOT, "examples")
+
+
+def _example_env():
+    """Subprocess env whose PYTHONPATH can resolve ``import repro``.
+
+    The examples run from a temp cwd (they must not depend on the repo
+    layout), so the src tree has to come in through PYTHONPATH.
+    """
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+    return env
 
 EXAMPLES = [
     "quickstart.py",
@@ -28,6 +42,7 @@ def test_example_runs(script, tmp_path):
         text=True,
         timeout=300,
         cwd=str(tmp_path),  # examples must not depend on the repo cwd
+        env=_example_env(),
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
     assert proc.stdout.strip(), "examples must produce output"
@@ -42,6 +57,7 @@ def test_paper_figures_example(tmp_path):
         text=True,
         timeout=600,
         cwd=str(tmp_path),
+        env=_example_env(),
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
     out_dir = tmp_path / "out" / "figures"

@@ -1,0 +1,27 @@
+"""Tier-1 gate: the shipped tree must lint clean under repro-lint.
+
+This is the enforcement point for the repo's unit conventions — if a
+bare conversion factor or a float-equality sneaks into ``src/repro``,
+this test fails with the full finding list, exactly as
+``repro-lint src/repro`` would on the command line.
+"""
+
+from pathlib import Path
+
+from repro.staticcheck import lint_paths, load_config, render_text
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_tree_lints_clean():
+    config = load_config(REPO_ROOT / "pyproject.toml")
+    report = lint_paths([REPO_ROOT / "src" / "repro"], config)
+    assert report.files_checked > 100, "lint walked suspiciously few files"
+    assert report.findings == [], "\n" + render_text(report)
+
+
+def test_examples_lint_clean():
+    """Examples are user-facing; hold them to the same unit rules."""
+    config = load_config(REPO_ROOT / "pyproject.toml")
+    report = lint_paths([REPO_ROOT / "examples"], config)
+    assert report.findings == [], "\n" + render_text(report)

@@ -1,0 +1,126 @@
+"""Property tests backing the ``@monotone_in`` declarations.
+
+Every function in ``src/repro`` annotated with
+:func:`repro.core.invariants.monotone_in` must be exercised here (or
+in a sibling property module) — the ``repro-lint`` rule ``INV001``
+enforces the pairing statically, and :func:`check_monotone` falsifies
+the declaration dynamically on hypothesis-drawn inputs.
+"""
+
+import inspect
+
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.core.invariants import check_monotone, declared_invariants
+from repro.core.metrics import energy_per_packet_nj, mw_per_gbps, throughput_gbps
+from repro.fpga.bram import BramKind, bram_dynamic_power_uw
+from repro.fpga.logic import stage_logic_power_uw
+from repro.fpga.speedgrade import SpeedGrade
+from repro.fpga.static_power import static_power_w
+
+frequencies = st.lists(
+    st.floats(min_value=1.0, max_value=500.0, allow_nan=False), min_size=2, max_size=8
+)
+activities = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=2, max_size=8
+)
+powers = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=2, max_size=8
+)
+grades = st.sampled_from(list(SpeedGrade))
+
+
+@given(frequencies, grades)
+@settings(max_examples=60, deadline=None)
+def test_stage_logic_power_monotone_in_frequency(values, grade):
+    check_monotone(stage_logic_power_uw, "frequency_mhz", values, grade=grade)
+
+
+@given(activities, grades)
+@settings(max_examples=60, deadline=None)
+def test_stage_logic_power_monotone_in_activity(values, grade):
+    check_monotone(
+        stage_logic_power_uw, "activity", values, frequency_mhz=250.0, grade=grade
+    )
+
+
+@given(frequencies, grades, st.sampled_from(list(BramKind)))
+@settings(max_examples=60, deadline=None)
+def test_bram_power_monotone_in_frequency(values, grade, kind):
+    check_monotone(
+        bram_dynamic_power_uw, "frequency_mhz", values, grade=grade, kind=kind
+    )
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2000), min_size=2, max_size=8), grades)
+@settings(max_examples=60, deadline=None)
+def test_bram_power_monotone_in_blocks(blocks, grade):
+    check_monotone(
+        bram_dynamic_power_uw,
+        "n_blocks",
+        blocks,
+        frequency_mhz=250.0,
+        grade=grade,
+        kind=BramKind.B36,
+    )
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=2, max_size=8), grades)
+@settings(max_examples=60, deadline=None)
+def test_static_power_monotone_in_temperature(temps, grade):
+    check_monotone(static_power_w, "temperature_c", temps, grade=grade)
+
+
+@given(frequencies)
+@settings(max_examples=60, deadline=None)
+def test_throughput_monotone_in_frequency(values):
+    check_monotone(throughput_gbps, "frequency_mhz", values)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=64), min_size=2, max_size=8))
+@settings(max_examples=60, deadline=None)
+def test_throughput_monotone_in_engines(engines):
+    check_monotone(throughput_gbps, "n_engines", engines, frequency_mhz=250.0)
+
+
+@given(powers)
+@settings(max_examples=60, deadline=None)
+def test_mw_per_gbps_monotone_in_power(values):
+    check_monotone(mw_per_gbps, "total_power_w", values, capacity_gbps=100.0)
+
+
+@given(powers)
+@settings(max_examples=60, deadline=None)
+def test_energy_per_packet_monotone_in_power(values):
+    check_monotone(
+        energy_per_packet_nj, "total_power_w", values, frequency_mhz=250.0, n_engines=2
+    )
+
+
+def test_every_declared_invariant_has_a_property_test():
+    """Meta-check: the declarations INV001 sees are the ones this
+    module (or a sibling) actually exercises — mirrors the lint rule
+    at runtime so a stale annotation fails even without repro-lint."""
+    import pathlib
+
+    import repro.core.metrics
+    import repro.fpga.bram
+    import repro.fpga.logic
+    import repro.fpga.static_power
+
+    corpus = "\n".join(
+        p.read_text(encoding="utf-8")
+        for p in pathlib.Path(__file__).parent.glob("*.py")
+    )
+    missing = []
+    for module in (
+        repro.core.metrics,
+        repro.fpga.bram,
+        repro.fpga.logic,
+        repro.fpga.static_power,
+    ):
+        for name, func in inspect.getmembers(module, inspect.isfunction):
+            if declared_invariants(func) and name not in corpus:
+                missing.append(f"{module.__name__}.{name}")
+    assert not missing, f"annotated but untested: {missing}"

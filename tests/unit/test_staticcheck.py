@@ -1,0 +1,617 @@
+"""Rule-by-rule fixtures for the repro-lint static analysis subsystem.
+
+Every rule gets at least one positive fixture (the rule must fire) and
+one negative fixture (the rule must stay quiet), plus coverage of the
+framework pieces: suppression comments, configuration, reporters, and
+the CLI entry point.
+"""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import (
+    LintConfig,
+    Severity,
+    all_rules,
+    lint_file,
+    lint_paths,
+    load_config,
+    render_json,
+    render_text,
+)
+from repro.staticcheck.suppressions import collect_suppressions
+from repro.tools.repro_lint import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_lint(tmp_path, source, *, select=None, config=None, filename="mod.py"):
+    """Lint a dedented source snippet with only ``select`` rules active."""
+    path = tmp_path / filename
+    path.write_text(textwrap.dedent(source))
+    cfg = config or LintConfig()
+    if select:
+        cfg.select = set(select)
+    return lint_file(path, cfg)
+
+
+def rule_ids(report):
+    return [f.rule for f in report.findings]
+
+
+class TestUnit001BareConversionFactor:
+    def test_fires_on_bare_factor_in_power_context(self, tmp_path):
+        report = run_lint(
+            tmp_path,
+            """
+            def stage_power_w(power_uw):
+                return power_uw * 1e-6
+            """,
+            select={"UNIT001"},
+        )
+        assert rule_ids(report) == ["UNIT001"]
+        assert "1e-06" in report.findings[0].message
+
+    def test_context_from_function_name_alone(self, tmp_path):
+        report = run_lint(
+            tmp_path,
+            """
+            def freq_scaling(x):
+                return x * 1e6
+            """,
+            select={"UNIT001"},
+        )
+        assert rule_ids(report) == ["UNIT001"]
+
+    def test_quiet_without_unit_context(self, tmp_path):
+        report = run_lint(
+            tmp_path,
+            """
+            def scale(count):
+                return count * 1e6
+            """,
+            select={"UNIT001"},
+        )
+        assert report.findings == []
+
+    def test_byte_factor_fires_only_in_bit_context(self, tmp_path):
+        positive = run_lint(
+            tmp_path,
+            """
+            def table(n_bytes):
+                return n_bytes * 8
+            """,
+            select={"UNIT001"},
+        )
+        negative = run_lint(
+            tmp_path,
+            """
+            def widen(count):
+                return count * 8
+            """,
+            select={"UNIT001"},
+            filename="neg.py",
+        )
+        assert rule_ids(positive) == ["UNIT001"]
+        assert negative.findings == []
+
+    def test_allow_modules_option_exempts_defining_module(self, tmp_path):
+        cfg = LintConfig(
+            select={"UNIT001"},
+            rule_options={"UNIT001": {"allow-modules": ["units.py"]}},
+        )
+        report = run_lint(
+            tmp_path,
+            """
+            def uw_to_w(microwatts):
+                return microwatts * 1e-6
+            """,
+            config=cfg,
+            filename="units.py",
+        )
+        assert report.findings == []
+
+
+class TestUnit002UnitSuffixMismatch:
+    def test_fires_when_return_unit_contradicts_name(self, tmp_path):
+        report = run_lint(
+            tmp_path,
+            """
+            from repro.units import w_to_mw
+
+            def total_power_w(watts):
+                return w_to_mw(watts)
+            """,
+            select={"UNIT002"},
+        )
+        assert rule_ids(report) == ["UNIT002"]
+        assert "total_power_w" in report.findings[0].message
+
+    def test_quiet_when_units_agree(self, tmp_path):
+        report = run_lint(
+            tmp_path,
+            """
+            from repro.units import mw_to_w
+
+            def total_power_w(milliwatts):
+                return mw_to_w(milliwatts)
+            """,
+            select={"UNIT002"},
+        )
+        assert report.findings == []
+
+    def test_quiet_for_unsuffixed_functions(self, tmp_path):
+        report = run_lint(
+            tmp_path,
+            """
+            from repro.units import w_to_mw
+
+            def display_value(watts):
+                return w_to_mw(watts)
+            """,
+            select={"UNIT002"},
+        )
+        assert report.findings == []
+
+    def test_quiet_across_dimensions(self, tmp_path):
+        # converting to a *different* dimension is not a suffix mismatch
+        report = run_lint(
+            tmp_path,
+            """
+            from repro.units import mhz_to_hz
+
+            def cycles_w(freq):
+                return mhz_to_hz(freq)
+            """,
+            select={"UNIT002"},
+        )
+        assert report.findings == []
+
+
+class TestFlt001FloatEquality:
+    def test_fires_on_float_literal_equality(self, tmp_path):
+        report = run_lint(
+            tmp_path,
+            """
+            def check(x):
+                return x == 0.3
+            """,
+            select={"FLT001"},
+        )
+        assert rule_ids(report) == ["FLT001"]
+
+    def test_fires_on_not_equal_and_negative_literal(self, tmp_path):
+        report = run_lint(
+            tmp_path,
+            """
+            def check(x):
+                return x != -1.5
+            """,
+            select={"FLT001"},
+        )
+        assert rule_ids(report) == ["FLT001"]
+
+    def test_quiet_on_integer_literals_and_ordering(self, tmp_path):
+        report = run_lint(
+            tmp_path,
+            """
+            def check(x):
+                return x == 3 or x < 0.5
+            """,
+            select={"FLT001"},
+        )
+        assert report.findings == []
+
+
+class TestApi001ExportedDocstring:
+    def test_fires_on_undocumented_export(self, tmp_path):
+        report = run_lint(
+            tmp_path,
+            """
+            __all__ = ["estimate"]
+
+            def estimate(x: float) -> float:
+                return x
+            """,
+            select={"API001"},
+        )
+        assert rule_ids(report) == ["API001"]
+
+    def test_quiet_when_documented_or_private(self, tmp_path):
+        report = run_lint(
+            tmp_path,
+            """
+            __all__ = ["estimate"]
+
+            def estimate(x: float) -> float:
+                \"\"\"Documented.\"\"\"
+                return x
+
+            def _helper(y):
+                return y
+            """,
+            select={"API001"},
+        )
+        assert report.findings == []
+
+
+class TestApi002ExportedTypeHints:
+    def test_fires_and_names_the_missing_pieces(self, tmp_path):
+        report = run_lint(
+            tmp_path,
+            """
+            __all__ = ["estimate"]
+
+            def estimate(x, budget: float = 0.0):
+                \"\"\"Doc.\"\"\"
+                return x
+            """,
+            select={"API002"},
+        )
+        assert rule_ids(report) == ["API002"]
+        message = report.findings[0].message
+        assert "x" in message and "return" in message and "budget" not in message
+
+    def test_quiet_when_fully_annotated(self, tmp_path):
+        report = run_lint(
+            tmp_path,
+            """
+            __all__ = ["estimate"]
+
+            def estimate(x: float, *rest: float) -> float:
+                \"\"\"Doc.\"\"\"
+                return x
+            """,
+            select={"API002"},
+        )
+        assert report.findings == []
+
+    def test_self_is_exempt_in_exported_class_context(self, tmp_path):
+        # only functions named in __all__ are checked; unexported helpers pass
+        report = run_lint(
+            tmp_path,
+            """
+            __all__ = ["Model"]
+
+            class Model:
+                \"\"\"Doc.\"\"\"
+
+                def run(self, x):
+                    return x
+            """,
+            select={"API002"},
+        )
+        assert report.findings == []
+
+
+class TestInv001InvariantCoverage:
+    def _config(self, tmp_path, corpus_text):
+        tests_dir = tmp_path / "props"
+        tests_dir.mkdir()
+        (tests_dir / "test_props.py").write_text(corpus_text)
+        return LintConfig(
+            select={"INV001"},
+            property_test_dirs=[str(tests_dir)],
+            root=tmp_path,
+        )
+
+    SOURCE = """
+        from repro.core.invariants import monotone_in
+
+        @monotone_in("freq_mhz")
+        def stage_power_uw(freq_mhz):
+            return 2.0 * freq_mhz
+    """
+
+    def test_fires_when_no_property_test_mentions_function(self, tmp_path):
+        cfg = self._config(tmp_path, "def test_other():\n    pass\n")
+        report = run_lint(tmp_path, self.SOURCE, config=cfg)
+        assert rule_ids(report) == ["INV001"]
+        assert "stage_power_uw" in report.findings[0].message
+
+    def test_quiet_when_property_test_covers_function(self, tmp_path):
+        cfg = self._config(
+            tmp_path,
+            "def test_monotone():\n    assert stage_power_uw(2) >= stage_power_uw(1)\n",
+        )
+        report = run_lint(tmp_path, self.SOURCE, config=cfg)
+        assert report.findings == []
+
+    def test_quiet_for_undecorated_functions(self, tmp_path):
+        cfg = self._config(tmp_path, "def test_other():\n    pass\n")
+        report = run_lint(
+            tmp_path,
+            """
+            def stage_power_uw(freq_mhz):
+                return 2.0 * freq_mhz
+            """,
+            config=cfg,
+        )
+        assert report.findings == []
+
+    def test_skips_when_no_test_directory_exists(self, tmp_path):
+        cfg = LintConfig(
+            select={"INV001"},
+            property_test_dirs=[str(tmp_path / "missing")],
+            root=tmp_path,
+        )
+        report = run_lint(tmp_path, self.SOURCE, config=cfg)
+        assert report.findings == []
+
+
+class TestImp001DeadImport:
+    def test_fires_on_unused_import(self, tmp_path):
+        report = run_lint(
+            tmp_path,
+            """
+            import os
+            import sys
+
+            print(sys.argv)
+            """,
+            select={"IMP001"},
+        )
+        assert rule_ids(report) == ["IMP001"]
+        assert "'os'" in report.findings[0].message
+
+    def test_quiet_for_used_reexported_and_future_imports(self, tmp_path):
+        report = run_lint(
+            tmp_path,
+            """
+            from __future__ import annotations
+
+            import json
+            import numpy as numpy
+            from pathlib import Path
+
+            __all__ = ["Path"]
+
+            print(json.dumps({}))
+            """,
+            select={"IMP001"},
+        )
+        assert report.findings == []
+
+
+class TestImp002StaleAllEntry:
+    def test_fires_on_phantom_export(self, tmp_path):
+        report = run_lint(
+            tmp_path,
+            """
+            __all__ = ["real", "phantom"]
+
+            def real():
+                pass
+            """,
+            select={"IMP002"},
+        )
+        assert rule_ids(report) == ["IMP002"]
+        assert "'phantom'" in report.findings[0].message
+
+    def test_quiet_when_all_entries_are_bound(self, tmp_path):
+        report = run_lint(
+            tmp_path,
+            """
+            from pathlib import Path
+
+            __all__ = ["Path", "CONSTANT", "Model", "helper"]
+
+            CONSTANT = 3
+
+            class Model:
+                pass
+
+            def helper():
+                pass
+            """,
+            select={"IMP002"},
+        )
+        assert report.findings == []
+
+    def test_skips_modules_with_star_imports(self, tmp_path):
+        report = run_lint(
+            tmp_path,
+            """
+            from os.path import *
+
+            __all__ = ["join", "whatever"]
+            """,
+            select={"IMP002"},
+        )
+        assert report.findings == []
+
+
+class TestSuppressions:
+    def test_line_suppression_moves_finding_to_suppressed(self, tmp_path):
+        report = run_lint(
+            tmp_path,
+            """
+            def check(x):
+                return x == 0.3  # repro-lint: disable=FLT001
+            """,
+            select={"FLT001"},
+        )
+        assert report.findings == []
+        assert [f.rule for f in report.suppressed] == ["FLT001"]
+        assert report.suppressed[0].suppressed is True
+
+    def test_line_suppression_is_rule_specific(self, tmp_path):
+        report = run_lint(
+            tmp_path,
+            """
+            def check(x):
+                return x == 0.3  # repro-lint: disable=UNIT001
+            """,
+            select={"FLT001"},
+        )
+        assert rule_ids(report) == ["FLT001"]
+
+    def test_file_wide_and_all_wildcard(self, tmp_path):
+        report = run_lint(
+            tmp_path,
+            """
+            # repro-lint: disable-file=all
+
+            def check(x):
+                return x == 0.3
+            """,
+            select={"FLT001"},
+        )
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+    def test_marker_inside_string_is_not_a_suppression(self):
+        sup = collect_suppressions(
+            'text = "# repro-lint: disable=FLT001"\nvalue = 1\n'
+        )
+        assert not sup.by_line and not sup.file_wide
+
+    def test_comma_and_space_separated_rule_lists(self):
+        sup = collect_suppressions("x = 1  # repro-lint: disable=FLT001, UNIT001\n")
+        assert sup.is_suppressed("FLT001", 1)
+        assert sup.is_suppressed("UNIT001", 1)
+        assert not sup.is_suppressed("FLT001", 2)
+
+
+class TestConfig:
+    def test_load_config_reads_tool_section(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            textwrap.dedent(
+                """
+                [tool.repro-lint]
+                ignore = ["API002"]
+                exclude = ["**/generated/**"]
+                property-test-dirs = ["tests/property"]
+
+                [tool.repro-lint.rules.UNIT001]
+                allow-modules = ["src/repro/units.py"]
+                """
+            )
+        )
+        config = load_config(pyproject)
+        assert config.ignore == {"API002"}
+        assert config.root == tmp_path
+        assert config.property_test_dirs == ["tests/property"]
+        assert config.rule_options["UNIT001"]["allow-modules"] == ["src/repro/units.py"]
+        assert not config.is_rule_enabled("API002")
+        assert config.is_rule_enabled("UNIT001")
+        assert config.is_path_excluded(Path("src/generated/x.py"))
+        assert not config.is_path_excluded(Path("src/repro/units.py"))
+
+    def test_options_for_overlays_defaults(self):
+        config = LintConfig(rule_options={"UNIT001": {"byte-factors": [512]}})
+        merged = config.options_for("UNIT001", {"byte-factors": [8], "factors": [1e6]})
+        assert merged == {"byte-factors": [512], "factors": [1e6]}
+
+    def test_select_restricts_active_rules(self, tmp_path):
+        # a file violating FLT001 passes when only IMP001 is selected
+        report = run_lint(
+            tmp_path,
+            """
+            def check(x):
+                return x == 0.3
+            """,
+            select={"IMP001"},
+        )
+        assert report.findings == []
+
+
+class TestRunnerAndReporters:
+    def test_syntax_error_yields_parse_finding(self, tmp_path):
+        report = run_lint(tmp_path, "def broken(:\n")
+        assert rule_ids(report) == ["PARSE"]
+        assert report.findings[0].severity is Severity.ERROR
+
+    def test_lint_paths_walks_directories_and_respects_excludes(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "bad.py").write_text("def f(x):\n    return x == 0.5\n")
+        (tmp_path / "pkg" / "skipped.py").write_text("def g(x):\n    return x == 0.5\n")
+        config = LintConfig(select={"FLT001"}, exclude=["skipped.py"])
+        report = lint_paths([tmp_path / "pkg"], config)
+        assert report.files_checked == 1
+        assert rule_ids(report) == ["FLT001"]
+        assert report.exit_code == 1
+
+    def test_render_text_summary_and_statistics(self, tmp_path):
+        report = run_lint(
+            tmp_path,
+            """
+            def check(x):
+                return x == 0.1 or x == 0.2
+            """,
+            select={"FLT001"},
+        )
+        text = render_text(report, statistics=True)
+        assert "2 finding(s), 0 suppressed, 1 file(s) checked" in text
+        assert "FLT001" in text
+
+    def test_render_json_is_parseable_and_complete(self, tmp_path):
+        report = run_lint(
+            tmp_path,
+            """
+            def check(x):
+                return x == 0.1
+            """,
+            select={"FLT001"},
+        )
+        payload = json.loads(render_json(report))
+        assert payload["summary"] == {
+            "findings": 1,
+            "suppressed": 0,
+            "files_checked": 1,
+        }
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "FLT001"
+        assert finding["line"] == 3
+
+
+class TestCli:
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text('"""Module."""\n\nVALUE = 1\n')
+        assert lint_main(["--no-config", str(clean)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("def check(x):\n    return x == 0.5\n")
+        assert lint_main(["--no-config", "--select", "FLT001", str(dirty)]) == 1
+        assert "FLT001" in capsys.readouterr().out
+
+    def test_usage_errors_exit_two(self, tmp_path, capsys):
+        assert lint_main([]) == 2
+        assert lint_main([str(tmp_path / "nope.py")]) == 2
+        dirty = tmp_path / "f.py"
+        dirty.write_text("x = 1\n")
+        assert lint_main(["--select", "NOPE999", str(dirty)]) == 2
+        capsys.readouterr()
+
+    def test_list_rules_names_the_full_pack(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("UNIT001", "UNIT002", "FLT001", "API001", "API002",
+                        "INV001", "IMP001", "IMP002"):
+            assert rule_id in out
+
+    def test_registry_exposes_the_documented_rule_pack(self):
+        assert set(all_rules()) == {
+            "UNIT001", "UNIT002", "FLT001", "API001", "API002",
+            "INV001", "IMP001", "IMP002",
+        }
+
+    def test_module_is_runnable_as_console_script(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text('"""Module."""\n\nVALUE = 1\n')
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.tools.repro_lint", "--no-config", str(clean)],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr

@@ -1,8 +1,14 @@
 """Unit conversions (repro.units)."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro import units
+
+#: magnitudes that cover every quantity the paper reports, from single
+#: µW components to multi-GHz clocks, without float-overflow noise
+magnitudes = st.floats(min_value=0.0, max_value=1e12, allow_nan=False)
 
 
 class TestPowerConversions:
@@ -61,6 +67,51 @@ class TestThroughput:
             units.gbps(100, 0)
 
 
+class TestRoundTripProperties:
+    """Every conversion pair must invert (within float rounding)."""
+
+    @given(magnitudes)
+    def test_power_uw_w(self, x):
+        assert units.w_to_uw(units.uw_to_w(x)) == pytest.approx(x)
+        assert units.uw_to_w(units.w_to_uw(x)) == pytest.approx(x)
+
+    @given(magnitudes)
+    def test_power_mw_w(self, x):
+        assert units.w_to_mw(units.mw_to_w(x)) == pytest.approx(x)
+
+    @given(magnitudes)
+    def test_power_uw_mw(self, x):
+        assert units.mw_to_uw(units.uw_to_mw(x)) == pytest.approx(x)
+
+    @given(magnitudes)
+    def test_uw_to_mw_to_w_composes(self, x):
+        assert units.mw_to_w(units.uw_to_mw(x)) == pytest.approx(units.uw_to_w(x))
+
+    @given(magnitudes)
+    def test_frequency_mhz_hz(self, x):
+        assert units.hz_to_mhz(units.mhz_to_hz(x)) == pytest.approx(x)
+
+    @given(magnitudes)
+    def test_memory_bits_mb(self, x):
+        assert units.mb_to_bits(units.bits_to_mb(x)) == pytest.approx(x)
+        assert units.bits_to_mb(units.mb_to_bits(x)) == pytest.approx(x)
+
+    @given(magnitudes)
+    def test_time_ns_ms(self, x):
+        assert units.ns_to_s(units.s_to_ns(x)) == pytest.approx(x)
+        assert units.ms_to_s(units.s_to_ms(x)) == pytest.approx(x)
+
+    @given(magnitudes)
+    def test_energy_nj_pj(self, x):
+        assert units.nj_to_j(units.j_to_nj(x)) == pytest.approx(x)
+        assert units.j_to_pj(units.pj_to_j(x)) == pytest.approx(x)
+
+    @given(magnitudes)
+    def test_conversions_preserve_sign_and_zero(self, x):
+        assert units.uw_to_w(0.0) == 0.0
+        assert units.uw_to_w(x) >= 0.0
+
+
 class TestCeilDiv:
     @pytest.mark.parametrize(
         "n,d,expected",
@@ -76,3 +127,17 @@ class TestCeilDiv:
     def test_rejects_negative_numerator(self):
         with pytest.raises(ValueError):
             units.ceil_div(-1, 2)
+
+    def test_rejects_negative_denominator(self):
+        with pytest.raises(ValueError):
+            units.ceil_div(1, -2)
+
+    @given(st.integers(min_value=0, max_value=10**12), st.integers(min_value=1, max_value=10**6))
+    def test_ceiling_property(self, n, d):
+        q = units.ceil_div(n, d)
+        assert q * d >= n
+        assert (q - 1) * d < n or n == 0
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_unit_denominator_is_identity(self, n):
+        assert units.ceil_div(n, 1) == n
