@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench experiments experiments-md examples clean
+.PHONY: install test lint bench bench-smoke bench-figures experiments experiments-md examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -16,7 +16,16 @@ lint:
 	@command -v ruff >/dev/null 2>&1 && ruff check src/repro tests examples || echo "ruff not installed, skipped"
 	@command -v mypy >/dev/null 2>&1 && mypy || echo "mypy not installed, skipped"
 
+# lookup perf harness: writes BENCH_lookup.json at the repo root
 bench:
+	$(PYTHON) benchmarks/perf/bench_lookup.py
+
+# reduced preset used by the bench-smoke CI job
+bench-smoke:
+	$(PYTHON) benchmarks/perf/bench_lookup.py --smoke
+
+# pytest-benchmark figure reproductions (slow)
+bench-figures:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 experiments:

@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Launcher for the lookup perf harness (see :mod:`repro.serve.perf`).
+
+Run from the repository root::
+
+    python benchmarks/perf/bench_lookup.py [--smoke] [--pairs N] ...
+
+Writes ``BENCH_lookup.json`` at the repo root (override with --out).
+The timing logic lives in ``src/repro/serve/perf.py`` so it is
+covered by the test suite, repro-lint, ruff and mypy; this file only
+makes it runnable without installing the package.
+"""
+
+import os
+import sys
+
+if __name__ == "__main__":
+    try:
+        from repro.serve.perf import main
+    except ImportError:
+        repo_root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+        sys.path.insert(0, os.path.join(repo_root, "src"))
+        from repro.serve.perf import main
+    raise SystemExit(main())

@@ -55,7 +55,14 @@ class PatriciaTrie:
     single-child, NHI-less nodes become one labeled edge.
     """
 
-    __slots__ = ("_child", "_label_len", "_label", "_nhi", "_depth")
+    __slots__ = (
+        "_child",
+        "_label_len",
+        "_label",
+        "_nhi",
+        "_depth",
+        "_frozen",
+    )
 
     def __init__(self, table: RoutingTable):
         plain = UnibitTrie(table)
@@ -66,6 +73,14 @@ class PatriciaTrie:
         self._nhi: list[int] = [plain.nhi(0)]
         self._depth = 0
         self._build(plain)
+        # the trie is immutable after construction (no insert/remove
+        # API), so the batch-lookup arrays freeze once, here.
+        self._frozen = {
+            "child": np.asarray(self._child, dtype=np.int64),
+            "label_len": np.asarray(self._label_len, dtype=np.int64),
+            "label": np.asarray(self._label, dtype=np.uint64),
+            "nhi": np.asarray(self._nhi, dtype=np.int64),
+        }
 
     def _new_node(self, nhi: int) -> int:
         self._child.append([NONE, NONE])
@@ -136,9 +151,43 @@ class PatriciaTrie:
         return best
 
     def lookup_batch(self, addresses: np.ndarray) -> np.ndarray:
-        """Batch lookup (scalar walks; compression breaks lockstep)."""
-        addresses = np.asarray(addresses, dtype=np.uint32)
-        return np.array([self.lookup(int(a)) for a in addresses], dtype=np.int64)
+        """Vectorized batch lookup via a level-synchronous walk.
+
+        Compression means lanes consume *different* numbers of address
+        bits per step, so each lane carries its own ``consumed``
+        counter; one iteration advances every live lane by one edge
+        (node fetch, label-window compare, best-NHI update).  Each
+        live step consumes at least one bit, so the loop runs at most
+        32 iterations regardless of lane skew.
+        """
+        addresses = np.asarray(addresses, dtype=np.uint32).astype(np.uint64)
+        n = addresses.shape[0]
+        child = self._frozen["child"]
+        label_len = self._frozen["label_len"]
+        label = self._frozen["label"]
+        nhi = self._frozen["nhi"]
+        node = np.zeros(n, dtype=np.int64)
+        consumed = np.zeros(n, dtype=np.int64)
+        best = np.full(n, nhi[0], dtype=np.int64)
+        alive = np.ones(n, dtype=bool)
+        one = np.uint64(1)
+        while alive.any():
+            side = (
+                (addresses >> np.where(alive, 31 - consumed, 0).astype(np.uint64)) & one
+            ).astype(np.int64)
+            edge_child = child[node, side]
+            edge_len = label_len[node, side]
+            ok = alive & (edge_child != NONE) & (consumed + edge_len <= 32)
+            # compare the skipped-bit window against the edge label
+            shift = np.where(ok, 32 - consumed - edge_len, 0).astype(np.uint64)
+            mask = (one << edge_len.astype(np.uint64)) - one
+            ok &= ((addresses >> shift) & mask) == label[node, side]
+            node = np.where(ok, edge_child, node)
+            consumed = np.where(ok, consumed + edge_len, consumed)
+            found = nhi[node]
+            best = np.where(ok & (found != NO_ROUTE), found, best)
+            alive = ok & (consumed < 32)
+        return best
 
     def stats(self) -> PatriciaStats:
         """Structural statistics for the A10 memory comparison."""

@@ -20,9 +20,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.iplookup.trie import NONE, UnibitTrie
+from repro.iplookup.trie import UnibitTrie
 
-__all__ = ["LookupPipeline", "PipelineTrace"]
+__all__ = ["LookupPipeline", "PipelineTrace", "trace_from_walk"]
 
 
 @dataclass(frozen=True)
@@ -76,6 +76,48 @@ class PipelineTrace:
         return self.n_packets / self.total_cycles
 
 
+def trace_from_walk(
+    depths: np.ndarray,
+    results: np.ndarray,
+    n_stages: int,
+    inter_arrival_gap: int = 0,
+) -> PipelineTrace:
+    """Closed-form pipeline accounting from a completed trie walk.
+
+    Admission cycle of packet ``i`` is ``i*(gap+1)``; the packet
+    occupies stage ``j`` during cycle ``admit+j`` and accesses stage
+    ``j``'s memory iff its trie walk reaches level ``j+1`` (depth >
+    ``j``).  With a strictly linear pipeline there are no structural
+    hazards, so per-stage totals follow in closed form rather than
+    per-cycle stepping — identical results, O(n + stages) instead of
+    O(n × stages).  Shared by :meth:`LookupPipeline.run` and the
+    batched serving layer (:mod:`repro.serve`), which derives the
+    same activity trace from the merged engine's walk.
+    """
+    if n_stages < 1:
+        raise ConfigurationError(f"n_stages must be >= 1, got {n_stages}")
+    if inter_arrival_gap < 0:
+        raise ConfigurationError("inter_arrival_gap must be non-negative")
+    depths = np.asarray(depths, dtype=np.int64)
+    results = np.asarray(results, dtype=np.int64)
+    if depths.shape != results.shape:
+        raise ConfigurationError("depths and results must have the same shape")
+    n = len(depths)
+    stride = inter_arrival_gap + 1
+    total_cycles = (n - 1) * stride + n_stages + 1 if n else 0
+    stages = np.arange(n_stages)
+    # packets whose walk depth exceeds j access stage j
+    accesses = (depths[:, None] > stages[None, :]).sum(axis=0)
+    busy = np.full(n_stages, n, dtype=np.int64)
+    return PipelineTrace(
+        results=results,
+        total_cycles=int(total_cycles),
+        accesses_per_stage=accesses.astype(np.int64),
+        busy_cycles_per_stage=busy,
+        n_packets=n,
+    )
+
+
 class LookupPipeline:
     """Linear pipelined lookup engine over a uni-bit trie.
 
@@ -103,32 +145,6 @@ class LookupPipeline:
         self.trie = trie
         self.n_stages = n_stages
 
-    def _walk_depths_and_results(
-        self, addresses: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Per-address walk length (stages touched) and final NHI."""
-        trie = self.trie
-        n = len(addresses)
-        depths = np.zeros(n, dtype=np.int64)
-        results = np.empty(n, dtype=np.int64)
-        for i, address in enumerate(addresses):
-            address = int(address)
-            node = 0
-            best = trie.nhi(0)
-            level = 0
-            while level < 32:
-                bit = (address >> (31 - level)) & 1
-                node = trie.right(node) if bit else trie.left(node)
-                if node == NONE:
-                    break
-                level += 1
-                nhi = trie.nhi(node)
-                if nhi != -1:
-                    best = nhi
-            depths[i] = level
-            results[i] = best
-        return depths, results
-
     def run(
         self,
         addresses: np.ndarray,
@@ -147,28 +163,8 @@ class LookupPipeline:
         if inter_arrival_gap < 0:
             raise ConfigurationError("inter_arrival_gap must be non-negative")
         addresses = np.asarray(addresses, dtype=np.uint32)
-        n = len(addresses)
-        depths, results = self._walk_depths_and_results(addresses)
-
-        # Admission cycle of packet i is i*(gap+1); the packet occupies
-        # stage j during cycle admit+j and accesses stage j's memory iff
-        # its trie walk reaches level j+1 (depth > j).  With a strictly
-        # linear pipeline there are no structural hazards, so per-stage
-        # totals follow in closed form rather than per-cycle stepping —
-        # identical results, O(n + stages) instead of O(n × stages).
-        stride = inter_arrival_gap + 1
-        total_cycles = (n - 1) * stride + self.n_stages + 1 if n else 0
-        stages = np.arange(self.n_stages)
-        # packets whose walk depth exceeds j access stage j
-        accesses = (depths[:, None] > stages[None, :]).sum(axis=0)
-        busy = np.full(self.n_stages, n, dtype=np.int64)
-        return PipelineTrace(
-            results=results,
-            total_cycles=int(total_cycles),
-            accesses_per_stage=accesses.astype(np.int64),
-            busy_cycles_per_stage=busy,
-            n_packets=n,
-        )
+        depths, results = self.trie.walk_batch(addresses)
+        return trace_from_walk(depths, results, self.n_stages, inter_arrival_gap)
 
     def verify(self, addresses: np.ndarray) -> bool:
         """Check pipeline results against the trie's direct lookup."""

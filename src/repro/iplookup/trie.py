@@ -112,16 +112,24 @@ class UnibitTrie:
         self._level.append(level)
         return len(self._left) - 1
 
-    def insert(self, prefix: Prefix, next_hop: int) -> None:
-        """Insert ``prefix`` → ``next_hop``; re-insertion overwrites."""
+    def insert(self, prefix: Prefix, next_hop: int) -> bool:
+        """Insert ``prefix`` → ``next_hop``; re-insertion overwrites.
+
+        Returns True when the trie actually changed — nodes were
+        created or the stored NHI value differs.  Re-announcing an
+        identical route is a no-op and leaves the frozen lookup
+        arrays (and anything cached on top of them, e.g. the merged
+        view in :class:`repro.virt.manager.VirtualRouterManager`)
+        valid.
+        """
         if next_hop < 0:
             raise TrieError(f"next hop must be non-negative, got {next_hop}")
         if prefix.length > self.width:
             raise TrieError(
                 f"prefix length {prefix.length} exceeds trie width {self.width}"
             )
-        self._frozen = None
         node = 0
+        created = False
         for level in range(prefix.length):
             bit = prefix.bit(level)
             children = self._right if bit else self._left
@@ -129,10 +137,15 @@ class UnibitTrie:
             if child == NONE:
                 child = self._new_node(level + 1)
                 children[node] = child
+                created = True
             node = child
         if self._nhi[node] == NO_ROUTE:
             self._prefix_count += 1
+        changed = created or self._nhi[node] != next_hop
+        if changed:
+            self._frozen = None
         self._nhi[node] = next_hop
+        return changed
 
     def remove(self, prefix: Prefix) -> bool:
         """Withdraw ``prefix``; prune chain nodes it no longer needs.
@@ -141,7 +154,6 @@ class UnibitTrie:
         recycled by later insertions (BGP churn does not grow the
         structure unboundedly).
         """
-        self._frozen = None
         path: list[int] = [0]
         node = 0
         for level in range(prefix.length):
@@ -152,6 +164,7 @@ class UnibitTrie:
             path.append(node)
         if self._nhi[node] == NO_ROUTE:
             return False
+        self._frozen = None
         self._nhi[node] = NO_ROUTE
         self._prefix_count -= 1
         # prune upward: drop nodes that are now childless and carry no NHI
@@ -246,16 +259,7 @@ class UnibitTrie:
         Walks the trie bit by bit remembering the last node that held
         NHI — exactly the traversal a pipeline stage sequence performs.
         """
-        node = 0
-        best = self._nhi[0]
-        level = 0
-        while node != NONE and level < self.width:
-            bit = (address >> (self.width - 1 - level)) & 1
-            node = self._right[node] if bit else self._left[node]
-            if node != NONE and self._nhi[node] != NO_ROUTE:
-                best = self._nhi[node]
-            level += 1
-        return best
+        return self._walk_scalar(address)[1]
 
     def _freeze(self) -> dict[str, np.ndarray]:
         if self._frozen is None:
@@ -266,18 +270,39 @@ class UnibitTrie:
             }
         return self._frozen
 
-    def lookup_batch(self, addresses: np.ndarray) -> np.ndarray:
-        """Vectorized LPM over an array of addresses.
+    def _walk_scalar(self, address: int) -> tuple[int, int]:
+        """Scalar walk returning ``(depth, result)`` for one address."""
+        node = 0
+        best = self._nhi[0]
+        level = 0
+        while level < self.width:
+            bit = (address >> (self.width - 1 - level)) & 1
+            node = self._right[node] if bit else self._left[node]
+            if node == NONE:
+                break
+            level += 1
+            if self._nhi[node] != NO_ROUTE:
+                best = self._nhi[node]
+        return level, best
 
-        Runs one gather per trie level across all addresses at once;
-        lanes whose walk has terminated park on a virtual "dead" node.
-        Tries wider than 32 bits (the IPv6 extension) fall back to
-        scalar walks — their addresses exceed the NumPy word size.
+    def walk_batch(self, addresses: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized walk: per-address depth reached and LPM result.
+
+        One gather per trie level across all addresses at once; lanes
+        whose walk has terminated park on a virtual "dead" node.  The
+        depth is the number of levels the walk descended — the
+        quantity the pipeline simulator converts into per-stage memory
+        accesses.  Tries wider than 32 bits (the IPv6 extension) fall
+        back to scalar walks — their addresses exceed the NumPy word
+        size.
         """
         if self.width > 32:
-            return np.array(
-                [self.lookup(int(a)) for a in addresses], dtype=np.int64
-            )
+            n = len(addresses)
+            depths6 = np.zeros(n, dtype=np.int64)
+            results6 = np.empty(n, dtype=np.int64)
+            for i, a in enumerate(addresses):
+                depths6[i], results6[i] = self._walk_scalar(int(a))
+            return depths6, results6
         arrays = self._freeze()
         left, right, nhi = arrays["left"], arrays["right"], arrays["nhi"]
         addresses = np.asarray(addresses, dtype=np.uint32)
@@ -292,14 +317,24 @@ class UnibitTrie:
         right_x[right_x == NONE] = dead
         node = np.zeros(n, dtype=np.int64)
         best = np.full(n, nhi[0], dtype=np.int64)
+        depths = np.zeros(n, dtype=np.int64)
         for lvl in range(self.width):
             bits = (addresses >> np.uint32(self.width - 1 - lvl)) & np.uint32(1)
             node = np.where(bits == 1, right_x[node], left_x[node])
+            depths += node != dead
             found = nhi_x[node]
             best = np.where(found != NO_ROUTE, found, best)
             if (node == dead).all():
                 break
-        return best
+        return depths, best
+
+    def lookup_batch(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorized LPM over an array of addresses.
+
+        Shares the level-synchronous walk of :meth:`walk_batch`
+        (discarding the depths).
+        """
+        return self.walk_batch(addresses)[1]
 
     # -- statistics ------------------------------------------------------
 

@@ -99,15 +99,16 @@ def apply_update(trie: UnibitTrie, update: RouteUpdate, stats: UpdateStats) -> N
     """Apply one update to ``trie``, accounting its cost into ``stats``."""
     nodes_before = trie.num_nodes
     if update.kind is UpdateKind.ANNOUNCE:
-        prefixes_before = trie.num_prefixes
-        trie.insert(update.prefix, update.next_hop)
+        changed = trie.insert(update.prefix, update.next_hop)
+        if not changed:
+            # re-announcing an identical route touches no memory
+            stats.no_ops += 1
+            stats._writes_per_update.append(0)
+            return
         created = trie.num_nodes - nodes_before
         stats.nodes_created += created
         stats.nhi_changes += 1
-        if trie.num_prefixes > prefixes_before or created:
-            stats.announces += 1
-        else:
-            stats.announces += 1  # NHI replacement is still an announce
+        stats.announces += 1  # NHI replacement is still an announce
         stats._writes_per_update.append(created + 1)
     else:
         removed = trie.remove(update.prefix)

@@ -1,0 +1,14 @@
+"""Batched data-plane serving layer.
+
+One front end — :class:`LookupService` — admits ``(addresses, vnids)``
+batches and routes them through the deployment scheme's engines:
+distributor → per-VN pipelines for NV/VS, the merged engine for VM.
+Every call returns the results plus a :class:`ServeTrace` carrying
+per-stage activity and a queueing-latency estimate, so throughput,
+latency and the power models' duty-cycle inputs flow from one call.
+:mod:`repro.serve.perf` is the timing harness behind ``make bench``.
+"""
+
+from repro.serve.service import LookupService, ServeTrace
+
+__all__ = ["LookupService", "ServeTrace"]

@@ -1,0 +1,276 @@
+"""Perf benchmark harness for the batched lookup hot paths.
+
+Times the serving layer's three schemes plus the raw structure-level
+batch lookups (warmup, repeated timed runs, median, ops/s) and writes
+a machine-readable ``BENCH_lookup.json`` at the repository root — the
+artifact that populates the performance trajectory from PR 2 onward
+(``make bench`` locally, the ``bench-smoke`` CI job in reduced form).
+
+The harness also *retains the pre-PR baseline*: a faithful
+re-implementation of the original ``MergedTrie.lookup_batch`` (child
+arrays rebuilt from Python list comprehensions on every call, results
+gathered one packet at a time).  Its ops/s lands in the JSON next to
+the vectorized path's, so the reported ``speedup_vs_pre_pr`` is
+measured, not remembered.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.iplookup.synth import SyntheticTableConfig, generate_virtual_tables
+from repro.iplookup.trie import NONE
+from repro.serve.service import LookupService
+from repro.virt.merged import MergedTrie
+from repro.virt.schemes import Scheme
+
+__all__ = [
+    "BenchRecord",
+    "time_callable",
+    "legacy_merged_lookup_batch",
+    "run_lookup_bench",
+    "main",
+]
+
+#: bump when the JSON layout changes incompatibly
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """Timing summary of one benchmarked callable."""
+
+    name: str
+    pairs: int
+    repeats: int
+    times_s: tuple[float, ...]
+    median_s: float
+    ops_per_s: float
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form of the record (sans its name key)."""
+        return {
+            "pairs": self.pairs,
+            "repeats": self.repeats,
+            "times_s": list(self.times_s),
+            "median_s": self.median_s,
+            "ops_per_s": self.ops_per_s,
+        }
+
+
+def time_callable(
+    fn: Callable[[], object], *, warmup: int = 1, repeats: int = 5
+) -> list[float]:
+    """Run ``fn`` ``warmup`` untimed times, then ``repeats`` timed ones."""
+    if warmup < 0 or repeats < 1:
+        raise ConfigurationError("warmup must be >= 0 and repeats >= 1")
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def bench(
+    name: str,
+    fn: Callable[[], object],
+    pairs: int,
+    *,
+    warmup: int,
+    repeats: int,
+) -> BenchRecord:
+    """Benchmark one callable answering ``pairs`` lookups per call."""
+    times = time_callable(fn, warmup=warmup, repeats=repeats)
+    median = statistics.median(times)
+    return BenchRecord(
+        name=name,
+        pairs=pairs,
+        repeats=repeats,
+        times_s=tuple(times),
+        median_s=median,
+        ops_per_s=pairs / median if median > 0 else float("inf"),
+    )
+
+
+def legacy_merged_lookup_batch(
+    merged: MergedTrie, addresses: np.ndarray, vnids: np.ndarray
+) -> np.ndarray:
+    """The pre-PR ``MergedTrie.lookup_batch``, kept as the baseline.
+
+    Rebuilds the child arrays from Python list comprehensions on
+    every call and gathers the per-packet results with a scalar
+    Python loop — exactly the hot-path behaviour this PR removed.
+    Retained so the harness measures the speedup instead of assuming
+    it.
+    """
+    addresses = np.asarray(addresses, dtype=np.uint32)
+    vnids = np.asarray(vnids, dtype=np.int64)
+    trie = merged.structure
+    left = np.asarray([trie.left(n) for n in trie.nodes()], dtype=np.int64)
+    right = np.asarray([trie.right(n) for n in trie.nodes()], dtype=np.int64)
+    leaf = left == NONE
+    node = np.zeros(len(addresses), dtype=np.int64)
+    for lvl in range(trie.depth()):
+        bits = (addresses >> np.uint32(31 - lvl)) & np.uint32(1)
+        at_leaf = leaf[node]
+        nxt = np.where(bits == 1, right[node], left[node])
+        node = np.where(at_leaf, node, nxt)
+        if at_leaf.all():
+            break
+    result = np.empty(len(addresses), dtype=np.int64)
+    vectors = merged._vectors
+    for i, n in enumerate(node):
+        vector = vectors[n]
+        assert vector is not None
+        result[i] = vector[vnids[i]]
+    return result
+
+
+def run_lookup_bench(
+    *,
+    pairs: int = 100_000,
+    repeats: int = 5,
+    warmup: int = 1,
+    k: int = 4,
+    n_prefixes: int = 2000,
+    shared_fraction: float = 0.5,
+    seed: int = 2012,
+) -> dict:
+    """Run the full lookup benchmark suite; return the JSON payload."""
+    if pairs < 1:
+        raise ConfigurationError("pairs must be >= 1")
+    config = SyntheticTableConfig(n_prefixes=n_prefixes, seed=seed)
+    tables = generate_virtual_tables(k, shared_fraction, config)
+    rng = np.random.default_rng(seed)
+    addresses = rng.integers(0, 1 << 32, size=pairs, dtype=np.uint64).astype(np.uint32)
+    vnids = rng.integers(0, k, size=pairs, dtype=np.int64)
+
+    services = {
+        scheme: LookupService(tables, scheme)
+        for scheme in (Scheme.NV, Scheme.VS, Scheme.VM)
+    }
+    merged = services[Scheme.VM].merged()
+
+    records: list[BenchRecord] = []
+    for scheme, service in services.items():
+        records.append(
+            bench(
+                f"serve_{scheme.name}",
+                lambda s=service: s.serve(addresses, vnids),
+                pairs,
+                warmup=warmup,
+                repeats=repeats,
+            )
+        )
+    records.append(
+        bench(
+            "merged_lookup_batch",
+            lambda: merged.lookup_batch(addresses, vnids),
+            pairs,
+            warmup=warmup,
+            repeats=repeats,
+        )
+    )
+    baseline = bench(
+        "merged_lookup_batch_pre_pr",
+        lambda: legacy_merged_lookup_batch(merged, addresses, vnids),
+        pairs,
+        # the baseline is slow by construction; one timed pass per
+        # repeat is plenty and warmup would only re-run the slow path
+        warmup=min(warmup, 1),
+        repeats=max(2, repeats // 2),
+    )
+    records.append(baseline)
+
+    vectorized = next(r for r in records if r.name == "merged_lookup_batch")
+    speedup = (
+        baseline.median_s / vectorized.median_s if vectorized.median_s > 0 else float("inf")
+    )
+    return {
+        "benchmark": "lookup",
+        "schema_version": SCHEMA_VERSION,
+        "config": {
+            "pairs": pairs,
+            "repeats": repeats,
+            "warmup": warmup,
+            "k": k,
+            "n_prefixes": n_prefixes,
+            "shared_fraction": shared_fraction,
+            "seed": seed,
+        },
+        "results": {r.name: r.as_dict() for r in records},
+        "baseline": {"name": baseline.name, **baseline.as_dict()},
+        "speedup_vs_pre_pr": speedup,
+    }
+
+
+def render_summary(payload: dict) -> str:
+    """Human-readable table of the benchmark payload."""
+    lines = [
+        f"lookup bench: {payload['config']['pairs']} pairs, "
+        f"k={payload['config']['k']}, "
+        f"{payload['config']['n_prefixes']} prefixes/VN",
+        f"{'case':<28} {'median_s':>10} {'ops/s':>14}",
+    ]
+    for name, record in payload["results"].items():
+        lines.append(f"{name:<28} {record['median_s']:>10.4f} {record['ops_per_s']:>14,.0f}")
+    lines.append(
+        f"merged batch speedup vs pre-PR baseline: {payload['speedup_vs_pre_pr']:.1f}x"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: run the suite and write ``BENCH_lookup.json``."""
+    parser = argparse.ArgumentParser(
+        prog="bench_lookup",
+        description="Time the batched lookup hot paths and write BENCH_lookup.json",
+    )
+    parser.add_argument("--pairs", type=int, default=100_000, help="(address, vnid) pairs per call")
+    parser.add_argument("--repeats", type=int, default=5, help="timed runs per case")
+    parser.add_argument("--warmup", type=int, default=1, help="untimed warmup runs per case")
+    parser.add_argument("--k", type=int, default=4, help="virtual networks")
+    parser.add_argument("--prefixes", type=int, default=2000, help="prefixes per VN table")
+    parser.add_argument("--seed", type=int, default=2012, help="PRNG seed")
+    parser.add_argument(
+        "--out", default="BENCH_lookup.json", help="output JSON path (default: repo root)"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced CI preset: fewer pairs/repeats, smaller tables",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.pairs = min(args.pairs, 20_000)
+        args.repeats = min(args.repeats, 2)
+        args.prefixes = min(args.prefixes, 800)
+    payload = run_lookup_bench(
+        pairs=args.pairs,
+        repeats=args.repeats,
+        warmup=args.warmup,
+        k=args.k,
+        n_prefixes=args.prefixes,
+        seed=args.seed,
+    )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(render_summary(payload))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,258 @@
+"""Batched data-plane serving: one entry point for all three schemes.
+
+The paper's headline metric is power *per throughput* (Fig. 8,
+mW/Gbps), so the batch lookup path is the product: every power number
+divides by how many ``(address, vnid)`` pairs the data plane can
+answer.  :class:`LookupService` is that path's front end.  A batch
+enters once and is routed according to the deployment scheme —
+
+* **NV / VS** — through the :class:`~repro.virt.distributor.Distributor`
+  to the K per-VN engines (one vectorized trie walk per engine over
+  its share of the batch);
+* **VM** — through the single merged engine (one vectorized walk of
+  the union structure plus a 2-D NHI-vector gather).
+
+Besides the results, every call returns a :class:`ServeTrace`: the
+per-stage activity each engine would exhibit (via the closed-form
+pipeline accounting of :func:`repro.iplookup.pipeline.trace_from_walk`)
+and an M/D/1 queueing-latency estimate (:mod:`repro.virt.queueing`).
+Throughput, latency and the power models' duty-cycle inputs therefore
+all flow from one ``serve()`` call.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metrics import throughput_gbps
+from repro.errors import ConfigurationError, MergeError
+from repro.iplookup.pipeline import PipelineTrace, trace_from_walk
+from repro.iplookup.rib import RoutingTable
+from repro.iplookup.trie import UnibitTrie
+from repro.virt.distributor import Distributor
+from repro.virt.merged import MergedTrie, merge_tries
+from repro.virt.queueing import LatencyReport, scheme_latency_ns
+from repro.virt.schemes import Scheme
+
+__all__ = ["LookupService", "ServeTrace"]
+
+
+@dataclass(frozen=True)
+class ServeTrace:
+    """Measurement record of one served batch.
+
+    Attributes
+    ----------
+    scheme:
+        Deployment scheme the batch was served under.
+    n_packets:
+        Pairs in the batch.
+    engine_traces:
+        One :class:`~repro.iplookup.pipeline.PipelineTrace` per engine
+        (K for NV/VS, 1 for VM); empty engines produce empty traces.
+    latency:
+        M/D/1 pipeline + queueing latency estimate at the offered
+        load the service was asked to model.
+    elapsed_s:
+        Host wall-clock time spent answering the batch.
+    """
+
+    scheme: Scheme
+    n_packets: int
+    engine_traces: tuple[PipelineTrace, ...]
+    latency: LatencyReport
+    elapsed_s: float
+
+    @property
+    def n_engines(self) -> int:
+        return len(self.engine_traces)
+
+    @property
+    def host_ops_per_s(self) -> float:
+        """Measured host-side serving rate (pairs per second)."""
+        if self.elapsed_s <= 0.0:
+            return 0.0
+        return self.n_packets / self.elapsed_s
+
+    def stage_accesses(self) -> np.ndarray:
+        """Total per-stage memory accesses summed over engines."""
+        return np.sum([t.accesses_per_stage for t in self.engine_traces], axis=0)
+
+    def mean_duty_cycle(self) -> float:
+        """Packet-weighted mean memory duty cycle across engines.
+
+        This is the duty-cycle input of the clock-gated power models:
+        a stage whose memory is idle dissipates no dynamic power.
+        """
+        weights = np.array([t.n_packets for t in self.engine_traces], dtype=float)
+        if weights.sum() == 0:
+            return 0.0
+        duties = np.array([t.mean_duty_cycle() for t in self.engine_traces])
+        return float((duties * weights).sum() / weights.sum())
+
+    def engine_loads(self) -> np.ndarray:
+        """Fraction of the batch each engine served."""
+        counts = np.array([t.n_packets for t in self.engine_traces], dtype=float)
+        if self.n_packets == 0:
+            return np.zeros(self.n_engines)
+        return counts / self.n_packets
+
+
+class LookupService:
+    """Batched ``(addresses, vnids)`` front end over the three schemes.
+
+    Parameters
+    ----------
+    tables:
+        One routing table per virtual network (K = len(tables)).
+    scheme:
+        Deployment scheme; NV and VS serve through per-VN engines
+        behind a distributor, VM through the single merged engine.
+    n_stages:
+        Pipeline depth of every engine (one trie level per stage).
+    frequency_mhz:
+        Modeled engine clock, used for capacity and latency figures.
+    offered_load_fraction:
+        Offered load, as a fraction of the scheme's aggregate lookup
+        capacity, assumed for the M/D/1 queueing estimate attached to
+        each :class:`ServeTrace`.
+    """
+
+    def __init__(
+        self,
+        tables: list[RoutingTable],
+        scheme: Scheme = Scheme.VM,
+        *,
+        n_stages: int = 28,
+        frequency_mhz: float = 200.0,
+        offered_load_fraction: float = 0.5,
+    ):
+        if not tables:
+            raise ConfigurationError("need at least one routing table")
+        if n_stages < 1:
+            raise ConfigurationError(f"n_stages must be >= 1, got {n_stages}")
+        if frequency_mhz <= 0:
+            raise ConfigurationError("frequency_mhz must be positive")
+        if not 0.0 <= offered_load_fraction < 1.0:
+            raise ConfigurationError(
+                "offered_load_fraction must be in [0, 1) for a stable queue"
+            )
+        self.k = len(tables)
+        self.scheme = scheme
+        self.n_stages = n_stages
+        self.frequency_mhz = frequency_mhz
+        self.offered_load_fraction = offered_load_fraction
+        self._tables = tables
+        self.distributor = Distributor(k=self.k)
+        self._tries: list[UnibitTrie] = [UnibitTrie(t) for t in tables]
+        self._merged: MergedTrie | None = None
+        if scheme.shares_engine:
+            self._merged = merge_tries(self._tries)
+            depth = self._merged.structure.depth()
+        else:
+            depth = max(trie.depth() for trie in self._tries)
+        if depth > n_stages:
+            raise ConfigurationError(
+                f"trie depth {depth} exceeds pipeline depth {n_stages}"
+            )
+
+    # -- capacity ---------------------------------------------------------
+
+    @property
+    def n_engines(self) -> int:
+        """Engines instantiated (K for NV/VS, 1 for VM)."""
+        return self.scheme.engines_required(self.k)
+
+    def capacity_gbps(self) -> float:
+        """Aggregate lookup capacity at minimum packet size."""
+        return throughput_gbps(self.frequency_mhz, self.n_engines)
+
+    def merged(self) -> MergedTrie:
+        """The merged engine's union trie (VM scheme only)."""
+        if self._merged is None:
+            raise ConfigurationError(
+                f"scheme {self.scheme} has no merged engine; use Scheme.VM"
+            )
+        return self._merged
+
+    # -- serving ----------------------------------------------------------
+
+    def _validate_batch(
+        self, addresses: np.ndarray, vnids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        addresses = np.asarray(addresses, dtype=np.uint32)
+        vnids = np.asarray(vnids, dtype=np.int64)
+        if addresses.shape != vnids.shape:
+            raise ConfigurationError("addresses and vnids must have the same shape")
+        if addresses.ndim != 1:
+            raise ConfigurationError("batches must be one-dimensional")
+        if len(vnids) and (vnids.min() < 0 or vnids.max() >= self.k):
+            raise MergeError(f"vnid out of range 0..{self.k - 1}")
+        return addresses, vnids
+
+    def _latency_estimate(self) -> LatencyReport:
+        engine_capacity = throughput_gbps(self.frequency_mhz)
+        aggregate = self.offered_load_fraction * self.capacity_gbps()
+        return scheme_latency_ns(
+            str(self.scheme),
+            aggregate,
+            engine_capacity,
+            self.n_engines,
+            self.frequency_mhz,
+            self.n_stages,
+        )
+
+    def serve(
+        self, addresses: np.ndarray, vnids: np.ndarray
+    ) -> tuple[np.ndarray, ServeTrace]:
+        """Answer a batch of ``(address, vnid)`` lookups.
+
+        Returns the per-pair next hops (arrival order preserved) and
+        the :class:`ServeTrace` measuring the batch.
+        """
+        addresses, vnids = self._validate_batch(addresses, vnids)
+        start = time.perf_counter()
+        if self._merged is not None:
+            depths, results = self._merged.walk_batch(addresses, vnids)
+            traces = (trace_from_walk(depths, results, self.n_stages),)
+        else:
+            results = np.empty(len(addresses), dtype=np.int64)
+            engine_traces = []
+            for vn, indices in enumerate(self.distributor.route(vnids)):
+                depths, engine_results = self._tries[vn].walk_batch(addresses[indices])
+                results[indices] = engine_results
+                engine_traces.append(
+                    trace_from_walk(depths, engine_results, self.n_stages)
+                )
+            traces = tuple(engine_traces)
+        elapsed = time.perf_counter() - start
+        trace = ServeTrace(
+            scheme=self.scheme,
+            n_packets=len(addresses),
+            engine_traces=traces,
+            latency=self._latency_estimate(),
+            elapsed_s=elapsed,
+        )
+        return results, trace
+
+    def lookup_batch(self, addresses: np.ndarray, vnids: np.ndarray) -> np.ndarray:
+        """Results-only convenience wrapper around :meth:`serve`."""
+        return self.serve(addresses, vnids)[0]
+
+    # -- verification -----------------------------------------------------
+
+    def verify(self, addresses: np.ndarray, vnids: np.ndarray) -> bool:
+        """Cross-check served results against the linear-scan oracle."""
+        addresses, vnids = self._validate_batch(addresses, vnids)
+        results, _ = self.serve(addresses, vnids)
+        for vn in range(self.k):
+            indices = np.flatnonzero(vnids == vn)
+            if not len(indices):
+                continue
+            oracle = self._tables[vn].lookup_linear_batch(addresses[indices])
+            if not np.array_equal(results[indices], oracle):
+                return False
+        return True

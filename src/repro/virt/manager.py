@@ -63,15 +63,25 @@ class VirtualRouterManager:
             raise MergeError(f"vnid {vn} out of range 0..{self.k - 1}")
 
     def announce(self, vn: int, prefix: Prefix, next_hop: int) -> None:
-        """Announce (insert or replace) a route in virtual network ``vn``."""
+        """Announce (insert or replace) a route in virtual network ``vn``.
+
+        Re-announcing an identical route (a common BGP churn event) is
+        a no-op: the update statistics record it as such and the
+        merged view is *not* invalidated, so churn streams dominated
+        by duplicate announcements do not trigger needless full
+        merged-trie rebuilds.
+        """
         self._check_vn(vn)
         self._tables[vn].add(prefix, next_hop)
+        stats = self._stats[vn]
+        touched_before = (stats.nodes_created, stats.nodes_pruned, stats.nhi_changes)
         apply_update(
             self._tries[vn],
             RouteUpdate(UpdateKind.ANNOUNCE, prefix, next_hop),
-            self._stats[vn],
+            stats,
         )
-        self._merged = None
+        if (stats.nodes_created, stats.nodes_pruned, stats.nhi_changes) != touched_before:
+            self._merged = None
 
     def withdraw(self, vn: int, prefix: Prefix) -> bool:
         """Withdraw a route from virtual network ``vn``.

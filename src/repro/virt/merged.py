@@ -60,7 +60,23 @@ def global_alpha_from_pairwise(alpha_pair: float, k: int) -> float:
 
 
 class MergedTrie:
-    """Union trie over K virtual networks with per-leaf NHI vectors."""
+    """Union trie over K virtual networks with per-leaf NHI vectors.
+
+    **Immutability invariant.** The merged structure is never mutated
+    after construction: control-plane updates go to the per-VN tries
+    and the merged view is *rebuilt* (see
+    :class:`repro.virt.manager.VirtualRouterManager`), mirroring the
+    shadow-table update pattern of the authors' FPL'11 companion
+    work.  Freezing the child/leaf/NHI-matrix arrays once here is
+    therefore sound — there is no invalidation path to miss, unlike
+    :class:`~repro.iplookup.trie.UnibitTrie` whose ``_frozen`` cache
+    must be dropped on every mutating insert/remove.
+    """
+
+    #: root-stride of the precomputed jump table (a 2^s-entry direct
+    #: index over the top s address bits, skipping the first s levels
+    #: of the walk — the same idea as a multibit root table)
+    JUMP_STRIDE = 16
 
     __slots__ = (
         "structure",
@@ -68,6 +84,13 @@ class MergedTrie:
         "_vectors",
         "union_input_nodes",
         "sum_input_nodes",
+        "_childflat",
+        "_leaf",
+        "_levels",
+        "_nhi_matrix",
+        "_depth",
+        "_jump",
+        "_jump_stride",
     )
 
     def __init__(
@@ -85,6 +108,40 @@ class MergedTrie:
         self._vectors = vectors
         self.union_input_nodes = union_input_nodes
         self.sum_input_nodes = sum_input_nodes
+        # freeze the lookup arrays once — the structure is immutable
+        # (see class docstring), so no per-call revalidation is needed.
+        frozen = structure._freeze()
+        left, right = frozen["left"], frozen["right"]
+        self._leaf = left == NONE  # full trie: leaf iff left child missing
+        self._depth = structure.depth()
+        self._levels = np.asarray(structure._level, dtype=np.int64)
+        # flat child array indexed by (node << 1) | bit, with leaves
+        # self-looping: a lane that reaches its leaf parks there, so
+        # the walk needs one gather per level and no leaf masking.
+        n_nodes = len(left)
+        identity = np.arange(n_nodes, dtype=np.int64)
+        self._childflat = np.empty(2 * n_nodes, dtype=np.int64)
+        self._childflat[0::2] = np.where(left == NONE, identity, left)
+        self._childflat[1::2] = np.where(right == NONE, identity, right)
+        leaves = np.flatnonzero(self._leaf)
+        self._nhi_matrix = np.full((n_nodes, k), NO_ROUTE, dtype=np.int64)
+        for node in leaves:
+            vector = vectors[node]
+            if vector is None:
+                raise MergeError(f"leaf node {node} is missing its NHI vector")
+            self._nhi_matrix[node] = vector
+        # jump table over the top s bits: entry p is the node reached
+        # after walking the s-bit pattern p from the root (or the leaf
+        # the walk parked on above level s).
+        self._jump_stride = min(self.JUMP_STRIDE, self._depth)
+        patterns = np.arange(1 << self._jump_stride, dtype=np.uint32)
+        node = np.zeros(1 << self._jump_stride, dtype=np.int64)
+        for lvl in range(self._jump_stride):
+            bits = ((patterns >> np.uint32(self._jump_stride - 1 - lvl)) & 1).astype(
+                np.int64
+            )
+            node = self._childflat[(node << 1) | bits]
+        self._jump = node
 
     # -- merging efficiency ------------------------------------------------
 
@@ -139,31 +196,40 @@ class MergedTrie:
             level += 1
         return int(self._vectors[node][vnid])
 
-    def lookup_batch(self, addresses: np.ndarray, vnids: np.ndarray) -> np.ndarray:
-        """Vectorized merged lookup over (address, vnid) pairs."""
+    def walk_batch(
+        self, addresses: np.ndarray, vnids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized merged walk over (address, vnid) pairs.
+
+        Returns per-pair ``(depths, results)``: the level of the leaf
+        each address lands on (stages the shared engine touches) and
+        the VN's next hop gathered from that leaf's K-wide vector.
+        The jump table resolves the first ``s`` levels with one
+        gather; the remaining levels are one gather each over the
+        flat self-looping child array; depths come from the frozen
+        node-level array and results from a single 2-D NumPy gather
+        ``nhi_matrix[leaf, vnid]`` — no per-packet Python anywhere.
+        """
         addresses = np.asarray(addresses, dtype=np.uint32)
         vnids = np.asarray(vnids, dtype=np.int64)
         if addresses.shape != vnids.shape:
             raise MergeError("addresses and vnids must have the same shape")
         if len(addresses) and (vnids.min() < 0 or vnids.max() >= self.k):
             raise MergeError("vnid out of range")
-        trie = self.structure
-        left = np.asarray([trie.left(n) for n in trie.nodes()], dtype=np.int64)
-        right = np.asarray([trie.right(n) for n in trie.nodes()], dtype=np.int64)
-        leaf = left == NONE  # full trie: leaf iff left child missing
-        node = np.zeros(len(addresses), dtype=np.int64)
-        for lvl in range(trie.depth()):
-            bits = (addresses >> np.uint32(31 - lvl)) & np.uint32(1)
-            at_leaf = leaf[node]
-            nxt = np.where(bits == 1, right[node], left[node])
-            node = np.where(at_leaf, node, nxt)
-            if at_leaf.all():
-                break
-        # gather vector entries
-        result = np.empty(len(addresses), dtype=np.int64)
-        for i, n in enumerate(node):
-            result[i] = self._vectors[n][vnids[i]]
-        return result
+        addr64 = addresses.astype(np.int64)
+        stride = self._jump_stride
+        if stride:
+            node = self._jump[addr64 >> (32 - stride)]
+        else:
+            node = np.zeros(len(addresses), dtype=np.int64)
+        childflat = self._childflat
+        for lvl in range(stride, self._depth):
+            node = childflat[(node << 1) | ((addr64 >> (31 - lvl)) & 1)]
+        return self._levels[node], self._nhi_matrix[node, vnids]
+
+    def lookup_batch(self, addresses: np.ndarray, vnids: np.ndarray) -> np.ndarray:
+        """Vectorized merged lookup over (address, vnid) pairs."""
+        return self.walk_batch(addresses, vnids)[1]
 
 
 def merge_tries(tries: list[UnibitTrie]) -> MergedTrie:

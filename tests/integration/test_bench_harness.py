@@ -1,0 +1,108 @@
+"""Integration tests for the lookup perf harness (repro.serve.perf)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.iplookup.synth import SyntheticTableConfig, generate_virtual_tables
+from repro.iplookup.trie import UnibitTrie
+from repro.serve.perf import (
+    SCHEMA_VERSION,
+    bench,
+    legacy_merged_lookup_batch,
+    main,
+    run_lookup_bench,
+    time_callable,
+)
+from repro.virt.merged import merge_tries
+
+EXPECTED_CASES = {
+    "serve_NV",
+    "serve_VS",
+    "serve_VM",
+    "merged_lookup_batch",
+    "merged_lookup_batch_pre_pr",
+}
+
+
+class TestTiming:
+    def test_time_callable_counts_runs(self):
+        calls = []
+        times = time_callable(lambda: calls.append(1), warmup=2, repeats=3)
+        assert len(times) == 3
+        assert len(calls) == 5
+        assert all(t >= 0 for t in times)
+
+    def test_time_callable_validates(self):
+        with pytest.raises(ConfigurationError):
+            time_callable(lambda: None, warmup=-1)
+        with pytest.raises(ConfigurationError):
+            time_callable(lambda: None, repeats=0)
+
+    def test_bench_record(self):
+        record = bench("case", lambda: None, 1000, warmup=0, repeats=3)
+        assert record.name == "case"
+        assert record.median_s >= 0
+        assert record.ops_per_s > 0
+        assert set(record.as_dict()) == {
+            "pairs",
+            "repeats",
+            "times_s",
+            "median_s",
+            "ops_per_s",
+        }
+
+
+class TestLegacyBaseline:
+    def test_baseline_matches_vectorized_path(self):
+        """The retained pre-PR baseline must stay behaviour-identical —
+        otherwise the reported speedup compares different work."""
+        tables = generate_virtual_tables(3, 0.5, SyntheticTableConfig(n_prefixes=200, seed=3))
+        merged = merge_tries([UnibitTrie(t) for t in tables])
+        rng = np.random.default_rng(3)
+        addrs = rng.integers(0, 1 << 32, size=4000, dtype=np.uint64).astype(np.uint32)
+        vnids = rng.integers(0, 3, size=4000, dtype=np.int64)
+        assert np.array_equal(
+            legacy_merged_lookup_batch(merged, addrs, vnids),
+            merged.lookup_batch(addrs, vnids),
+        )
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def payload(self):
+        return run_lookup_bench(pairs=2000, repeats=2, warmup=0, k=3, n_prefixes=200)
+
+    def test_payload_shape(self, payload):
+        assert payload["benchmark"] == "lookup"
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert set(payload["results"]) == EXPECTED_CASES
+        assert payload["baseline"]["name"] == "merged_lookup_batch_pre_pr"
+
+    def test_every_case_reports_positive_rate(self, payload):
+        for name, record in payload["results"].items():
+            assert record["ops_per_s"] > 0, name
+            assert record["median_s"] > 0, name
+            assert record["pairs"] == 2000
+
+    def test_speedup_is_measured(self, payload):
+        baseline = payload["results"]["merged_lookup_batch_pre_pr"]["median_s"]
+        vectorized = payload["results"]["merged_lookup_batch"]["median_s"]
+        assert payload["speedup_vs_pre_pr"] == pytest.approx(baseline / vectorized)
+
+    def test_rejects_empty_batch(self):
+        with pytest.raises(ConfigurationError):
+            run_lookup_bench(pairs=0)
+
+    def test_main_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_lookup.json"
+        rc = main(["--smoke", "--pairs", "1500", "--prefixes", "150", "--out", str(out)])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert set(payload["results"]) == EXPECTED_CASES
+        assert payload["config"]["pairs"] == 1500
+        assert payload["config"]["repeats"] <= 2
+        stdout = capsys.readouterr().out
+        assert "speedup" in stdout

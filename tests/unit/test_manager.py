@@ -79,6 +79,41 @@ class TestMergedRefresh:
         manager.merged()
         assert manager.merged_rebuilds == rebuilds
 
+    def test_identical_reannounce_does_not_invalidate(self, manager):
+        """Regression: re-announcing a route with its current next hop
+        must not trigger a full merged-trie rebuild."""
+        prefix = manager.table(0).prefixes()[0]
+        next_hop = manager.table(0).next_hop_of(prefix)
+        manager.merged()
+        rebuilds = manager.merged_rebuilds
+        manager.announce(0, prefix, next_hop)
+        manager.merged()
+        assert manager.merged_rebuilds == rebuilds
+        assert manager.update_stats(0).no_ops == 1
+        # a genuine next-hop change still invalidates
+        manager.announce(0, prefix, next_hop + 1)
+        manager.merged()
+        assert manager.merged_rebuilds == rebuilds + 1
+
+    def test_churn_with_duplicate_announcements_rebuilds_once(self, manager):
+        """A BGP churn stream replayed verbatim is all no-ops: the
+        merged view must be rebuilt at most once after the first pass
+        and not at all after the duplicate pass."""
+        updates = synthesize_churn(
+            manager.table(1), 60, seed=3, withdraw_fraction=0.0
+        )
+        manager.apply(1, updates)
+        manager.merged()
+        rebuilds = manager.merged_rebuilds
+        # replaying announces whose routes are already present with
+        # the same next hops changes nothing
+        for vn in range(manager.k):
+            for route in list(manager.table(vn)):
+                manager.announce(vn, route.prefix, route.next_hop)
+        manager.merged()
+        assert manager.merged_rebuilds == rebuilds
+        assert manager.verify_consistency()
+
 
 class TestAccounting:
     def test_update_stats_per_vn(self, manager):

@@ -59,6 +59,19 @@ class TestScheduler:
         sched = WeightedScheduler([1, 1, 2])
         assert sched.verify_guarantee(np.array([0.2, 0.2, 0.4]), cycles=4000)
 
+    def test_skewed_weights_end_of_run_backlog_counts_as_in_flight(self):
+        """Regression: a packet still queued when the run ends is in
+        flight, not lost.  With heavily skewed weights the low-weight
+        VN sees few packets, so one queued packet used to exceed the
+        shortfall tolerance and spuriously fail the guarantee."""
+        sched = WeightedScheduler([50, 1])
+        assert sched.verify_guarantee(np.array([0.9, 0.02]), cycles=600)
+
+    def test_skewed_weights_offered_load_served(self):
+        """Strongly skewed but admissible demand vectors still pass."""
+        sched = WeightedScheduler([100, 4, 1])
+        assert sched.verify_guarantee(np.array([0.8, 0.1, 0.02]), cycles=3000)
+
     def test_overload_raises(self):
         sched = WeightedScheduler([1, 1])
         with pytest.raises(CapacityError):

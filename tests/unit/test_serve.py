@@ -1,0 +1,118 @@
+"""Unit tests for the batched serving layer (repro.serve)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, MergeError
+from repro.iplookup.synth import SyntheticTableConfig, generate_virtual_tables
+from repro.serve import LookupService
+from repro.virt.schemes import Scheme
+
+K = 3
+
+
+@pytest.fixture(scope="module")
+def tables():
+    config = SyntheticTableConfig(n_prefixes=300, seed=11)
+    return generate_virtual_tables(K, 0.5, config)
+
+
+@pytest.fixture(scope="module")
+def batch():
+    rng = np.random.default_rng(99)
+    addresses = rng.integers(0, 1 << 32, size=2000, dtype=np.uint64).astype(np.uint32)
+    vnids = rng.integers(0, K, size=2000, dtype=np.int64)
+    return addresses, vnids
+
+
+class TestServing:
+    @pytest.mark.parametrize("scheme", [Scheme.NV, Scheme.VS, Scheme.VM])
+    def test_results_match_linear_oracle(self, tables, batch, scheme):
+        service = LookupService(tables, scheme)
+        assert service.verify(*batch)
+
+    @pytest.mark.parametrize("scheme", [Scheme.NV, Scheme.VM])
+    def test_all_schemes_agree(self, tables, batch, scheme):
+        reference = LookupService(tables, Scheme.VS).lookup_batch(*batch)
+        assert np.array_equal(LookupService(tables, scheme).lookup_batch(*batch), reference)
+
+    def test_arrival_order_preserved(self, tables, batch):
+        """Scatter back from per-engine shares must restore batch order."""
+        addresses, vnids = batch
+        service = LookupService(tables, Scheme.NV)
+        results, _ = service.serve(addresses, vnids)
+        for i in [0, 17, 1999]:
+            expected = tables[int(vnids[i])].lookup_linear(int(addresses[i]))
+            assert results[i] == expected
+
+    def test_empty_batch(self, tables):
+        empty = np.array([], dtype=np.uint32)
+        results, trace = LookupService(tables, Scheme.VM).serve(empty, empty.astype(np.int64))
+        assert len(results) == 0
+        assert trace.n_packets == 0
+        assert trace.mean_duty_cycle() == 0.0
+
+
+class TestServeTrace:
+    def test_engine_counts(self, tables, batch):
+        assert LookupService(tables, Scheme.NV).serve(*batch)[1].n_engines == K
+        assert LookupService(tables, Scheme.VS).serve(*batch)[1].n_engines == K
+        assert LookupService(tables, Scheme.VM).serve(*batch)[1].n_engines == 1
+
+    def test_engine_loads_partition_the_batch(self, tables, batch):
+        _, trace = LookupService(tables, Scheme.NV).serve(*batch)
+        loads = trace.engine_loads()
+        assert loads.shape == (K,)
+        assert loads.sum() == pytest.approx(1.0)
+        _, vnids = batch
+        expected = np.bincount(vnids, minlength=K) / len(vnids)
+        assert np.allclose(loads, expected)
+
+    def test_stage_accesses_and_duty_cycle(self, tables, batch):
+        service = LookupService(tables, Scheme.VM)
+        _, trace = service.serve(*batch)
+        accesses = trace.stage_accesses()
+        assert accesses.shape == (service.n_stages,)
+        # every packet touches stage 0 of the shared engine
+        assert accesses[0] == trace.n_packets
+        assert 0.0 < trace.mean_duty_cycle() <= 1.0
+
+    def test_latency_and_host_rate(self, tables, batch):
+        _, trace = LookupService(tables, Scheme.VM).serve(*batch)
+        assert trace.latency.total_ns > 0
+        assert trace.host_ops_per_s > 0
+        assert trace.elapsed_s > 0
+
+    def test_capacity_scales_with_engines(self, tables):
+        nv = LookupService(tables, Scheme.NV)
+        vm = LookupService(tables, Scheme.VM)
+        assert nv.capacity_gbps() == pytest.approx(K * vm.capacity_gbps())
+
+
+class TestValidation:
+    def test_needs_tables(self):
+        with pytest.raises(ConfigurationError):
+            LookupService([], Scheme.VM)
+
+    def test_rejects_bad_parameters(self, tables):
+        with pytest.raises(ConfigurationError):
+            LookupService(tables, n_stages=0)
+        with pytest.raises(ConfigurationError):
+            LookupService(tables, frequency_mhz=0)
+        with pytest.raises(ConfigurationError):
+            LookupService(tables, offered_load_fraction=1.0)
+
+    def test_rejects_mismatched_batch(self, tables):
+        service = LookupService(tables, Scheme.VM)
+        with pytest.raises(ConfigurationError):
+            service.serve(np.zeros(3, dtype=np.uint32), np.zeros(2, dtype=np.int64))
+
+    def test_rejects_out_of_range_vnid(self, tables):
+        service = LookupService(tables, Scheme.VM)
+        with pytest.raises(MergeError):
+            service.serve(np.zeros(2, dtype=np.uint32), np.array([0, K], dtype=np.int64))
+
+    def test_merged_only_for_vm(self, tables):
+        assert LookupService(tables, Scheme.VM).merged() is not None
+        with pytest.raises(ConfigurationError):
+            LookupService(tables, Scheme.NV).merged()

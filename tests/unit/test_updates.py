@@ -112,6 +112,21 @@ class TestUpdateStats:
         assert stats.withdraws == 1
         assert stats.nodes_pruned == 8
 
+    def test_identical_reannounce_is_noop(self):
+        """Re-announcing a route with its current next hop writes no
+        memory and is tracked as a no-op, not an announce."""
+        t = UnibitTrie()
+        stats = apply_updates(
+            t,
+            [
+                RouteUpdate(UpdateKind.ANNOUNCE, parse_prefix("10.0.0.0/8"), 1),
+                RouteUpdate(UpdateKind.ANNOUNCE, parse_prefix("10.0.0.0/8"), 1),
+            ],
+        )
+        assert stats.announces == 1
+        assert stats.no_ops == 1
+        assert stats.memory_writes == 9  # only the first announce writes
+
     def test_noop_withdraw_tracked(self):
         t = UnibitTrie()
         stats = apply_updates(
