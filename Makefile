@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-smoke bench-figures experiments experiments-md examples clean
+.PHONY: install test lint bench bench-smoke bench-figures figures experiments experiments-md examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -27,6 +27,14 @@ bench-smoke:
 # pytest-benchmark figure reproductions (slow)
 bench-figures:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# regenerate every registered experiment through the engine: parallel,
+# served from the content-addressed cache under out/.cache, exporting
+# CSV/SVG artifacts and the provenance manifest into out/
+figures:
+	$(PYTHON) -m repro.experiments.runner --jobs 4 \
+		--csv out/figures --svg out/figures --json out/figures \
+		--manifest out/run_manifest.json > /dev/null
 
 experiments:
 	$(PYTHON) -m repro.experiments.runner

@@ -1,19 +1,22 @@
 #!/usr/bin/env python3
 """Regenerate every table and figure of the paper's evaluation.
 
-Runs the full experiment registry — Tables II–III, Figures 2–8 (both
-speed-grade panels), the trie statistics and the headline-claim checks
-— prints each as an ASCII table, and exports CSVs to ``out/figures``.
+Drives the experiment engine over the paper artifacts — Tables II–III,
+Figures 2–8 (both speed-grade panels expanded from the grade axis),
+the trie statistics and the headline-claim checks — prints each as an
+ASCII table, and exports CSVs to ``out/figures``.  Grade-swept figures
+get grade-suffixed files (``fig8_G2.csv``, ``fig8_G1L.csv``).
 
-Equivalent CLI:  repro-experiments --csv out/figures
+Equivalent CLI:  repro-experiments --tag paper --csv out/figures
 
 Run:  python examples/paper_figures.py
 """
 
 import os
 
-from repro.experiments.runner import run_experiment
-from repro.reporting.registry import all_experiments
+from repro.experiments.engine import ExperimentEngine
+from repro.reporting.registry import all_specs
+from repro.reporting.result import ExperimentResult
 
 OUT_DIR = os.path.join("out", "figures")
 
@@ -35,17 +38,16 @@ ORDER = [
 
 def main() -> None:
     os.makedirs(OUT_DIR, exist_ok=True)
-    registered = all_experiments()
+    registered = all_specs()
     missing = [e for e in ORDER if e not in registered]
     assert not missing, f"experiments not registered: {missing}"
 
-    for experiment_id in ORDER:
-        results = run_experiment(experiment_id)
-        for i, result in enumerate(results):
-            print(result.render())
-            suffix = f"_{i}" if len(results) > 1 else ""
-            path = os.path.join(OUT_DIR, f"{experiment_id}{suffix}.csv")
-            result.write_csv(path)
+    engine = ExperimentEngine(cache=None)  # always regenerate fresh
+    for record in engine.run_ids(ORDER, fail_fast=True):
+        assert record.error is None, record.error
+        assert isinstance(record.result, ExperimentResult)
+        print(record.result.render())
+        record.result.write_csv(os.path.join(OUT_DIR, f"{record.request.name}.csv"))
     print(f"CSV exports written to {OUT_DIR}/")
 
 

@@ -80,7 +80,7 @@ def provisioning_downtime_ms(
     return reload_ms, reload_ms
 
 
-@register("agility")
+@register("agility", tags=("extras",))
 def run(
     ks: Sequence[int] = (2, 4, 8, 14),
     grade: SpeedGrade = SpeedGrade.G2,

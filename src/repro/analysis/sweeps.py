@@ -1,7 +1,11 @@
-"""Ablation sweeps over the design space (DESIGN.md §4, A1–A6).
+"""Ablation sweeps over the design space (DESIGN.md §4, A1–A11).
 
 Each sweep returns an :class:`~repro.reporting.result.ExperimentResult`
 so the benchmark harness renders them exactly like the paper figures.
+Every sweep is registered with the experiment engine under its
+``ablation_*`` id and the ``ablation`` tag, so ``repro-experiments
+--tag ablation`` regenerates the whole design-space study (cached,
+parallel) alongside the paper artifacts.
 """
 
 from __future__ import annotations
@@ -11,11 +15,11 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.core.config import ScenarioConfig
-from repro.core.estimator import ScenarioEstimator, base_trie_stats
 from repro.core.metrics import mw_per_gbps, throughput_gbps
 from repro.core.power import AnalyticalPowerModel
 from repro.core.resources import engine_stage_map, merged_stage_map
 from repro.errors import ResourceExhaustedError, TimingError
+from repro.experiments.common import base_trie_stats, evaluate_scenario, paper_table_config
 from repro.fpga.catalog import XC6VLX760
 from repro.fpga.clocking import ClockGating
 from repro.fpga.speedgrade import SpeedGrade
@@ -27,6 +31,7 @@ from repro.iplookup.mapping import (
 )
 from repro.iplookup.synth import SyntheticTableConfig, generate_table
 from repro.iplookup.trie import UnibitTrie
+from repro.reporting.registry import register
 from repro.reporting.result import ExperimentResult
 from repro.units import bits_to_mb
 from repro.virt.schemes import Scheme
@@ -46,9 +51,8 @@ __all__ = [
     "balancing_sweep",
 ]
 
-_ESTIMATOR = ScenarioEstimator()
 
-
+@register("ablation_utilization", tags=("ablation",))
 def utilization_sweep(
     k: int = 8,
     zipf_exponents: Sequence[float] = (0.0, 0.5, 1.0, 2.0),
@@ -79,7 +83,7 @@ def utilization_sweep(
         config = ScenarioConfig(
             scheme=Scheme.VS, k=k, grade=grade, utilizations=tuple(mu)
         )
-        r = _ESTIMATOR.evaluate(config)
+        r = evaluate_scenario(config)
         totals.append(r.model.total_w)
         engine_capacity = throughput_gbps(r.frequency_mhz, 1)
         sustainable.append(engine_capacity / float(mu.max()))
@@ -93,6 +97,7 @@ def utilization_sweep(
     return result
 
 
+@register("ablation_alpha", tags=("ablation",))
 def alpha_sweep(
     ks: Sequence[int] = (2, 8, 15),
     alphas: Sequence[float] = tuple(np.linspace(0.0, 1.0, 11)),
@@ -112,7 +117,7 @@ def alpha_sweep(
         for alpha in alphas:
             config = ScenarioConfig(scheme=Scheme.VM, k=k, grade=grade, alpha=alpha)
             try:
-                r = _ESTIMATOR.evaluate(config)
+                r = evaluate_scenario(config)
                 totals.append(r.model.total_w)
                 memory.append(bits_to_mb(r.resources.total_memory_bits))
             except (ResourceExhaustedError, TimingError):
@@ -124,6 +129,7 @@ def alpha_sweep(
     return result
 
 
+@register("ablation_frequency", tags=("ablation",))
 def frequency_sweep(
     frequencies_mhz: Sequence[float] = (100.0, 150.0, 200.0, 250.0, 290.0),
     k: int = 8,
@@ -146,7 +152,7 @@ def frequency_sweep(
     efficiency = []
     for f in freqs:
         config = ScenarioConfig(scheme=Scheme.VS, k=k, grade=grade, frequency_mhz=f)
-        r = _ESTIMATOR.evaluate(config)
+        r = evaluate_scenario(config)
         totals.append(r.model.total_w)
         efficiency.append(r.model_mw_per_gbps)
     result.add_series("model_total_W", totals)
@@ -155,6 +161,7 @@ def frequency_sweep(
     return result
 
 
+@register("ablation_table_size", tags=("ablation",))
 def table_size_sweep(
     sizes: Sequence[int] = (1000, 3725, 10000, 50000),
     k: int = 8,
@@ -195,6 +202,7 @@ def table_size_sweep(
     return result
 
 
+@register("ablation_duty_cycle", tags=("ablation",))
 def duty_cycle_sweep(
     duty_cycles: Sequence[float] = (0.05, 0.1, 0.25, 0.5, 0.75, 1.0),
     k: int = 8,
@@ -207,7 +215,7 @@ def duty_cycle_sweep(
     residual activity, and the sweep quantifies the gap.
     """
     duties = tuple(duty_cycles)
-    stats = base_trie_stats(SyntheticTableConfig())
+    stats = base_trie_stats(paper_table_config())
     base_map = engine_stage_map(stats, PAPER_PIPELINE_STAGES)
     maps = [base_map] * k
     mu = np.full(k, 1.0 / k)
@@ -233,6 +241,7 @@ def duty_cycle_sweep(
     return result
 
 
+@register("ablation_leafpush", tags=("ablation",))
 def leafpush_ablation(
     config: SyntheticTableConfig | None = None,
 ) -> ExperimentResult:
@@ -243,7 +252,7 @@ def leafpush_ablation(
     but splits cleanly into pointer-only and NHI-only nodes (and drops
     the per-stage best-match register chain in hardware).
     """
-    config = config or SyntheticTableConfig()
+    config = config or paper_table_config()
     table = generate_table(config)
     plain = UnibitTrie(table)
     pushed = leaf_push(plain)
@@ -275,6 +284,7 @@ def leafpush_ablation(
     return result
 
 
+@register("ablation_stride", tags=("ablation",))
 def stride_sweep(
     strides: Sequence[int] = (1, 2, 4),
     grade: SpeedGrade = SpeedGrade.G2,
@@ -341,6 +351,7 @@ def stride_sweep(
     return result
 
 
+@register("ablation_temperature", tags=("ablation",))
 def temperature_sweep(
     temperatures_c: Sequence[float] = (25.0, 50.0, 70.0, 85.0, 100.0),
     grade: SpeedGrade = SpeedGrade.G2,
@@ -368,6 +379,7 @@ def temperature_sweep(
     return result
 
 
+@register("ablation_heterogeneity", tags=("ablation",))
 def heterogeneity_sweep(
     k: int = 8,
     spread_factors: Sequence[float] = (1.0, 2.0, 4.0),
@@ -426,6 +438,7 @@ def heterogeneity_sweep(
     return result
 
 
+@register("ablation_structures", tags=("ablation",))
 def structure_comparison(
     config: SyntheticTableConfig | None = None,
     grade: SpeedGrade = SpeedGrade.G2,
@@ -506,6 +519,7 @@ def structure_comparison(
     return result
 
 
+@register("ablation_balancing", tags=("ablation",))
 def balancing_sweep(
     ks: Sequence[int] = (4, 8),
     alpha: float = 0.2,

@@ -1,13 +1,15 @@
 """Paper experiments: one module per table/figure plus claim checks.
 
 Importing this package registers every experiment with
-:mod:`repro.reporting.registry`.  Each experiment's ``run`` function
-regenerates the corresponding paper artifact's rows/series; the
-benchmark harness under ``benchmarks/`` prints them, and
-EXPERIMENTS.md records paper-vs-measured.
+:mod:`repro.reporting.registry` — the paper artifacts here, the
+``agility`` study and the A1–A11 design-space ablations from
+:mod:`repro.analysis.sweeps`.  The experiment engine
+(:mod:`repro.experiments.engine`) expands each registered spec's axes
+into concrete runs; the ``repro-experiments`` CLI caches and
+parallelizes them, and EXPERIMENTS.md records paper-vs-measured.
 """
 
-from repro.analysis import agility  # noqa: F401  (registers the agility experiment)
+from repro.analysis import agility, sweeps  # noqa: F401  (registration side effects)
 from repro.experiments import (  # noqa: F401  (imported for registration)
     braiding_gain,
     claims,
@@ -31,6 +33,7 @@ from repro.experiments import (  # noqa: F401  (imported for registration)
 
 __all__ = [
     "agility",
+    "sweeps",
     "braiding_gain",
     "claims",
     "device_choice",

@@ -25,7 +25,7 @@ from repro.virt.merged import merge_tries
 __all__ = ["run"]
 
 
-@register("braiding")
+@register("braiding", tags=("extras",))
 def run(
     k: int = 4,
     shared_fractions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),

@@ -23,7 +23,7 @@ from repro.reporting.result import ExperimentResult
 __all__ = ["run"]
 
 
-@register("claims")
+@register("claims", tags=("paper",))
 def run(ks: Sequence[int] = PAPER_KS) -> ExperimentResult:
     """Evaluate claims C1 and C2 over the standard sweep."""
     ks = tuple(ks)

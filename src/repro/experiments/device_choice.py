@@ -24,7 +24,7 @@ from repro.virt.schemes import Scheme
 __all__ = ["run"]
 
 
-@register("devices")
+@register("devices", tags=("extras",))
 def run(k: int = 8, table: SyntheticTableConfig | None = None) -> ExperimentResult:
     """Feasibility and power of a K-network VS deployment per device."""
     table = table or SyntheticTableConfig(n_prefixes=1000, seed=99)

@@ -1,0 +1,286 @@
+"""The experiment engine: axis expansion, caching, parallel execution.
+
+The engine turns declarative :class:`~repro.reporting.registry.ExperimentSpec`
+registrations into concrete runs:
+
+1. **expand** — the cartesian product of a spec's axes becomes one
+   :class:`RunRequest` per combination (a spec with no axes expands to
+   a single run).  Each request carries a human-readable *variant*
+   label (``fig8`` × grade ``-1L`` → ``G1L``) and a content hash used
+   as its cache key.
+2. **execute** — requests are served from the content-addressed
+   :class:`~repro.experiments.cache.ResultCache` when possible;
+   misses run the spec's runner, inline for ``jobs=1`` or fanned out
+   over a :class:`concurrent.futures.ProcessPoolExecutor` otherwise.
+3. **record** — every request yields a :class:`RunRecord` (result,
+   cache hit/miss, wall time, captured traceback on failure) in
+   request order, from which :mod:`repro.experiments.provenance`
+   builds the invocation manifest.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+import traceback
+from collections.abc import Iterable, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import ExperimentError
+from repro.experiments.cache import ResultCache, spec_hash
+from repro.reporting.registry import ExperimentSpec, get_experiment, get_spec
+from repro.reporting.result import ExperimentResult
+
+__all__ = [
+    "RunRequest",
+    "RunRecord",
+    "axis_token",
+    "expand_spec",
+    "ExperimentEngine",
+]
+
+
+def axis_token(value: object) -> str:
+    """Filesystem-safe token for one axis value (``SpeedGrade.G2`` → ``G2``)."""
+    if isinstance(value, Enum):
+        text = value.name
+    elif isinstance(value, float):
+        text = f"{value:g}"
+    else:
+        text = str(value)
+    return "".join(c if c.isalnum() or c in "-_." else "-" for c in text)
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One concrete run of one experiment (spec × axis point)."""
+
+    experiment_id: str
+    params: tuple[tuple[str, object], ...]
+    variant: str
+    spec_hash: str
+
+    @property
+    def name(self) -> str:
+        """Export/file base name: id plus variant suffix if swept."""
+        return f"{self.experiment_id}_{self.variant}" if self.variant else self.experiment_id
+
+    def kwargs(self) -> dict[str, object]:
+        """Axis parameters as runner keyword arguments."""
+        return dict(self.params)
+
+
+@dataclass
+class RunRecord:
+    """Outcome of one :class:`RunRequest`."""
+
+    request: RunRequest
+    result: ExperimentResult | None = None
+    cache_hit: bool = False
+    wall_time_s: float = 0.0
+    error: str | None = None
+    skipped: bool = False
+
+    @property
+    def experiment_id(self) -> str:
+        return self.request.experiment_id
+
+    @property
+    def variant(self) -> str:
+        return self.request.variant
+
+    @property
+    def params(self) -> dict[str, object]:
+        return self.request.kwargs()
+
+    @property
+    def spec_hash(self) -> str:
+        return self.request.spec_hash
+
+    @property
+    def status(self) -> str:
+        if self.skipped:
+            return "skipped"
+        return "error" if self.error is not None else "ok"
+
+
+def expand_spec(spec: ExperimentSpec) -> list[RunRequest]:
+    """Expand a spec's axes into concrete run requests (in axis order)."""
+    if not spec.axes:
+        return [
+            RunRequest(
+                experiment_id=spec.experiment_id,
+                params=(),
+                variant="",
+                spec_hash=spec_hash(spec.experiment_id, {}),
+            )
+        ]
+    names = [axis.name for axis in spec.axes]
+    requests = []
+    for combo in itertools.product(*(axis.values for axis in spec.axes)):
+        params = tuple(zip(names, combo))
+        variant = "_".join(axis_token(value) for value in combo)
+        requests.append(
+            RunRequest(
+                experiment_id=spec.experiment_id,
+                params=params,
+                variant=variant,
+                spec_hash=spec_hash(spec.experiment_id, dict(params)),
+            )
+        )
+    return requests
+
+
+def _execute_request(experiment_id: str, params: tuple[tuple[str, object], ...]):
+    """Worker entry point: run one request, capturing any traceback.
+
+    Module-level so :class:`ProcessPoolExecutor` can pickle it; child
+    processes re-import the registry, which re-runs registrations.
+    """
+    try:
+        runner = get_experiment(experiment_id)
+        return runner(**dict(params)), None
+    except Exception:
+        return None, traceback.format_exc()
+
+
+@dataclass
+class ExperimentEngine:
+    """Cached, parallel executor over expanded experiment specs.
+
+    Attributes
+    ----------
+    cache:
+        Result store consulted before every run; ``None`` disables
+        memoization entirely.
+    jobs:
+        Worker-process count; 1 executes inline in this process.
+    """
+
+    cache: ResultCache | None = field(default_factory=ResultCache)
+    jobs: int = 1
+
+    def expand(self, specs: Iterable[ExperimentSpec]) -> list[RunRequest]:
+        """All concrete runs for ``specs``, in spec order."""
+        requests: list[RunRequest] = []
+        for spec in specs:
+            requests.extend(expand_spec(spec))
+        return requests
+
+    def run_ids(
+        self, experiment_ids: Sequence[str], *, fail_fast: bool = False
+    ) -> list[RunRecord]:
+        """Run experiments by registry id (unknown ids raise)."""
+        specs = [get_spec(eid) for eid in experiment_ids]
+        return self.run_specs(specs, fail_fast=fail_fast)
+
+    def run_specs(
+        self, specs: Iterable[ExperimentSpec], *, fail_fast: bool = False
+    ) -> list[RunRecord]:
+        """Expand and execute ``specs``, returning records in order."""
+        return self.execute(self.expand(specs), fail_fast=fail_fast)
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(
+        self, requests: Sequence[RunRequest], *, fail_fast: bool = False
+    ) -> list[RunRecord]:
+        """Execute ``requests``; the cache absorbs repeated hashes."""
+        records = [RunRecord(request=request) for request in requests]
+        pending: list[int] = []
+        for i, request in enumerate(requests):
+            started = time.perf_counter()
+            cached = self.cache.get(request.spec_hash) if self.cache else None
+            if cached is not None:
+                records[i].result = cached
+                records[i].cache_hit = True
+                records[i].wall_time_s = time.perf_counter() - started
+            else:
+                pending.append(i)
+
+        if self.jobs > 1 and len(pending) > 1:
+            self._execute_parallel(records, pending, fail_fast=fail_fast)
+        else:
+            self._execute_inline(records, pending, fail_fast=fail_fast)
+
+        for record in records:
+            if record.status == "ok" and not record.cache_hit and self.cache:
+                self.cache.put(record.spec_hash, record.result)
+        return records
+
+    def _execute_inline(
+        self, records: list[RunRecord], pending: list[int], *, fail_fast: bool
+    ) -> None:
+        failed = False
+        for i in pending:
+            record = records[i]
+            if failed:
+                record.skipped = True
+                continue
+            started = time.perf_counter()
+            record.result, record.error = _execute_request(
+                record.request.experiment_id, record.request.params
+            )
+            record.wall_time_s = time.perf_counter() - started
+            if record.error is not None and fail_fast:
+                failed = True
+
+    def _execute_parallel(
+        self, records: list[RunRecord], pending: list[int], *, fail_fast: bool
+    ) -> None:
+        started_at = {i: 0.0 for i in pending}
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            futures = {}
+            for i in pending:
+                request = records[i].request
+                started_at[i] = time.perf_counter()
+                futures[pool.submit(_execute_request, request.experiment_id, request.params)] = i
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                abort = False
+                for future in done:
+                    i = futures[future]
+                    record = records[i]
+                    record.wall_time_s = time.perf_counter() - started_at[i]
+                    try:
+                        record.result, record.error = future.result()
+                    except Exception:  # worker died (e.g. pool broke)
+                        record.error = traceback.format_exc()
+                    if record.error is not None and fail_fast:
+                        abort = True
+                if abort:
+                    for future in outstanding:
+                        if future.cancel():
+                            records[futures[future]].skipped = True
+                    for future in outstanding:  # already-running stragglers
+                        i = futures[future]
+                        if not records[i].skipped:
+                            try:
+                                records[i].result, records[i].error = future.result()
+                            except Exception:
+                                records[i].error = traceback.format_exc()
+                            records[i].wall_time_s = time.perf_counter() - started_at[i]
+                    return
+
+
+def run_experiment(experiment_id: str) -> list[ExperimentResult]:
+    """Run one experiment inline, one result per expanded axis point.
+
+    Uncached, sequential, exception-propagating — the drop-in
+    equivalent of the pre-engine runner helper, retained for report
+    generation and tests that want direct access to results.
+    """
+    spec = get_spec(experiment_id)
+    results = []
+    for request in expand_spec(spec):
+        result = spec.runner(**request.kwargs())
+        if not isinstance(result, ExperimentResult):
+            raise ExperimentError(
+                f"experiment {experiment_id!r} returned {type(result).__name__}, "
+                "expected ExperimentResult"
+            )
+        results.append(result)
+    return results

@@ -21,7 +21,7 @@ from repro.units import uw_to_mw
 __all__ = ["run"]
 
 
-@register("fig3")
+@register("fig3", tags=("paper", "figures"))
 def run(
     frequencies_mhz: Sequence[float] = (100.0, 200.0, 300.0, 400.0, 500.0),
 ) -> ExperimentResult:

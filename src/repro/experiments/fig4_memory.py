@@ -20,9 +20,8 @@ import numpy as np
 
 from repro.core.estimator import base_trie_stats
 from repro.core.resources import engine_stage_map, merged_stage_map
-from repro.experiments.common import PAPER_ALPHAS, PAPER_KS
+from repro.experiments.common import PAPER_ALPHAS, PAPER_KS, paper_table_config
 from repro.iplookup.mapping import PAPER_PIPELINE_STAGES
-from repro.iplookup.synth import SyntheticTableConfig
 from repro.reporting.registry import register
 from repro.reporting.result import ExperimentResult
 from repro.units import bits_to_mb
@@ -30,13 +29,13 @@ from repro.units import bits_to_mb
 __all__ = ["run"]
 
 
-@register("fig4")
+@register("fig4", tags=("paper", "figures"))
 def run(
     ks: Sequence[int] = PAPER_KS, alphas: Sequence[float] = PAPER_ALPHAS
 ) -> ExperimentResult:
     """Regenerate both Fig. 4 panels as pointer/NHI series (Mb)."""
     ks = tuple(ks)
-    stats = base_trie_stats(SyntheticTableConfig())
+    stats = base_trie_stats(paper_table_config())
     base_map = engine_stage_map(stats, PAPER_PIPELINE_STAGES)
 
     result = ExperimentResult(

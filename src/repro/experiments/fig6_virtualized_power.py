@@ -25,7 +25,11 @@ from repro.reporting.result import ExperimentResult
 __all__ = ["run"]
 
 
-@register("fig6")
+@register(
+    "fig6",
+    axes={"grade": (SpeedGrade.G2, SpeedGrade.G1L)},
+    tags=("paper", "figures", "graded"),
+)
 def run(
     grade: SpeedGrade = SpeedGrade.G2, ks: Sequence[int] = PAPER_KS
 ) -> ExperimentResult:

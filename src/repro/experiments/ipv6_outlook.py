@@ -30,7 +30,7 @@ from repro.units import bits_to_mb, gbps, w_to_mw
 __all__ = ["run"]
 
 
-@register("ipv6")
+@register("ipv6", tags=("extras",))
 def run(
     n_prefixes: int = 2000,
     k: int = 8,

@@ -29,7 +29,7 @@ from repro.virt.schemes import Scheme
 __all__ = ["run"]
 
 
-@register("latency")
+@register("latency", tags=("extras",))
 def run(
     k: int = 8,
     load_fractions: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9, 0.95),

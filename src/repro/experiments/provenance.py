@@ -1,0 +1,97 @@
+"""Run manifests: provenance for every engine invocation.
+
+Each ``repro-experiments`` invocation writes a JSON manifest recording
+what ran, from where (cache hit vs fresh execution), how long it took
+and under which environment — enough to audit a regenerated figure or
+to check the cache is actually doing its job (the CI figures job
+uploads the manifest next to the CSV/SVG artifacts).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro import __version__
+from repro.experiments.cache import CACHE_SALT, canonical_params
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.experiments.engine import RunRecord
+
+__all__ = ["environment_info", "build_manifest", "write_manifest"]
+
+#: manifest schema version (bump on incompatible layout changes)
+MANIFEST_VERSION = 1
+
+
+def environment_info() -> dict[str, str]:
+    """Interpreter/platform identity recorded in every manifest."""
+    return {
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "numpy": np.__version__,
+        "repro": __version__,
+        "cache_salt": CACHE_SALT,
+    }
+
+
+def build_manifest(
+    records: list["RunRecord"],
+    *,
+    jobs: int,
+    cache_dir: str,
+    cache_enabled: bool,
+    wall_time_s: float,
+) -> dict[str, Any]:
+    """Assemble the manifest dict for one engine invocation."""
+    runs = []
+    for record in records:
+        runs.append(
+            {
+                "experiment_id": record.experiment_id,
+                "variant": record.variant,
+                "params": canonical_params(record.params),
+                "spec_hash": record.spec_hash,
+                "status": record.status,
+                "cache_hit": record.cache_hit,
+                "wall_time_s": round(record.wall_time_s, 6),
+                "error": record.error,
+            }
+        )
+    statuses = [record.status for record in records]
+    return {
+        "manifest_version": MANIFEST_VERSION,
+        "created_unix": time.time(),
+        "jobs": jobs,
+        "cache": {"dir": cache_dir, "enabled": cache_enabled},
+        "environment": environment_info(),
+        "totals": {
+            "runs": len(records),
+            "cache_hits": sum(record.cache_hit for record in records),
+            "executed": sum(
+                1
+                for record in records
+                if record.status == "ok" and not record.cache_hit
+            ),
+            "failed": statuses.count("error"),
+            "skipped": statuses.count("skipped"),
+            "wall_time_s": round(wall_time_s, 6),
+        },
+        "runs": runs,
+    }
+
+
+def write_manifest(path: str, manifest: dict[str, Any]) -> None:
+    """Write ``manifest`` as JSON at ``path`` (directories created)."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+        handle.write("\n")

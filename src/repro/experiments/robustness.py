@@ -28,7 +28,7 @@ __all__ = ["run"]
 _DEFAULT_CASES = ((101, 2000), (202, 3725), (303, 5000), (404, 8000))
 
 
-@register("robustness")
+@register("robustness", tags=("extras",))
 def run(
     cases: Sequence[tuple[int, int]] = _DEFAULT_CASES,
     ks: Sequence[int] = (2, 8, 15),

@@ -1,17 +1,26 @@
 """Command-line experiment runner.
 
 ``repro-experiments`` (installed as a console script) runs registered
-experiments and prints their tables; ``--csv DIR`` also exports CSVs.
+experiments through the experiment engine: specs expand into concrete
+runs, results are memoized in a content-addressed cache under
+``out/.cache/``, independent runs fan out over worker processes, and
+every invocation writes a JSON run manifest for provenance.
 
 Examples
 --------
-Run everything::
+Regenerate everything, in parallel, reusing cached results::
 
-    repro-experiments
+    repro-experiments --jobs 4
 
-Run the Fig. 8 panels for both grades and export CSVs::
+Run the Fig. 8 panels for both grades and export CSVs (named by the
+expanded grade axis: ``fig8_G2.csv``, ``fig8_G1L.csv``)::
 
     repro-experiments fig8 --csv out/
+
+Only the paper figures, bypassing the cache, stopping on the first
+failure::
+
+    repro-experiments --tag figures --no-cache --fail-fast
 """
 
 from __future__ import annotations
@@ -19,30 +28,74 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 
-from repro.fpga.speedgrade import SpeedGrade
-from repro.reporting.registry import all_experiments, get_experiment
-from repro.reporting.result import ExperimentResult
+from repro.errors import ExperimentError
+from repro.experiments import engine as engine_mod
+from repro.experiments.cache import DEFAULT_CACHE_DIR, ResultCache, result_to_dict
+from repro.experiments.engine import ExperimentEngine, RunRecord
+from repro.experiments.provenance import build_manifest, write_manifest
+from repro.reporting.registry import ExperimentSpec, all_specs, get_spec
 
-__all__ = ["main", "run_experiment"]
+__all__ = ["main", "run_experiment", "select_specs"]
 
-#: experiments parameterized by speed grade (two panels in the paper)
-_GRADED = {"fig5", "fig6", "fig7", "fig8"}
+#: re-exported engine helper (kept here for backwards compatibility)
+run_experiment = engine_mod.run_experiment
 
 
-def run_experiment(experiment_id: str) -> list[ExperimentResult]:
-    """Run one experiment; graded figures produce one result per panel."""
-    runner = get_experiment(experiment_id)
-    if experiment_id in _GRADED:
-        return [runner(grade) for grade in (SpeedGrade.G2, SpeedGrade.G1L)]
-    return [runner()]
+def select_specs(
+    experiment_ids: list[str], tags: list[str]
+) -> list[ExperimentSpec]:
+    """Resolve the CLI's positional ids / ``--tag`` filters to specs.
+
+    Explicit ids win over tag filters; with neither, every registered
+    spec is selected.  Tag filtering is any-of across repeated flags.
+    """
+    if experiment_ids:
+        return [get_spec(eid) for eid in experiment_ids]
+    registry = all_specs()
+    specs = [registry[eid] for eid in sorted(registry)]
+    if tags:
+        wanted = set(tags)
+        specs = [spec for spec in specs if spec.tags & wanted]
+        if not specs:
+            known = sorted({tag for spec in registry.values() for tag in spec.tags})
+            raise ExperimentError(
+                f"no experiments match tags {sorted(wanted)}; known tags: {known}"
+            )
+    return specs
+
+
+def _export(record: RunRecord, args: argparse.Namespace) -> None:
+    """Write the per-run CSV/SVG/JSON exports requested on the CLI."""
+    result = record.result
+    name = record.request.name
+    if args.csv:
+        os.makedirs(args.csv, exist_ok=True)
+        result.write_csv(os.path.join(args.csv, f"{name}.csv"))
+    if args.svg:
+        from repro.reporting.svg_chart import write_svg
+
+        os.makedirs(args.svg, exist_ok=True)
+        write_svg(result, os.path.join(args.svg, f"{name}.svg"))
+    if args.json:
+        import json
+
+        os.makedirs(args.json, exist_ok=True)
+        payload = {
+            "spec_hash": record.spec_hash,
+            "params": {k: str(v) for k, v in record.params.items()},
+            "result": result_to_dict(result),
+        }
+        with open(os.path.join(args.json, f"{name}.json"), "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``repro-experiments`` console script."""
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
-        description="Regenerate the paper's tables and figures.",
+        description="Regenerate the paper's tables and figures (cached, parallel).",
     )
     parser.add_argument(
         "experiments",
@@ -50,43 +103,109 @@ def main(argv: list[str] | None = None) -> int:
         help="experiment ids to run (default: all registered)",
     )
     parser.add_argument("--list", action="store_true", help="list experiment ids and exit")
+    parser.add_argument(
+        "--tag",
+        action="append",
+        default=[],
+        metavar="TAG",
+        help="run only experiments with TAG (repeatable, any-of)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan independent runs out over N worker processes",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="bypass the result cache entirely"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"content-addressed cache location (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--manifest",
+        metavar="PATH",
+        help="run-manifest path (default: <cache-dir>/manifest.json)",
+    )
+    parser.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="stop at the first failing experiment",
+    )
     parser.add_argument("--csv", metavar="DIR", help="also export CSVs into DIR")
     parser.add_argument(
         "--chart", action="store_true", help="draw each result as an ASCII chart too"
     )
     parser.add_argument("--svg", metavar="DIR", help="also export SVG figures into DIR")
+    parser.add_argument(
+        "--json", metavar="DIR", help="also export JSON results into DIR"
+    )
     args = parser.parse_args(argv)
 
-    registry = all_experiments()
     if args.list:
+        registry = all_specs()
         for experiment_id in sorted(registry):
-            print(experiment_id)
+            spec = registry[experiment_id]
+            tags = ",".join(sorted(spec.tags))
+            print(f"{experiment_id:<24} [{tags}] {spec.description}")
         return 0
 
-    ids = args.experiments or sorted(registry)
+    if args.jobs < 1:
+        print("!! --jobs must be >= 1", file=sys.stderr)
+        return 2
+
+    try:
+        specs = select_specs(args.experiments, args.tag)
+    except ExperimentError as exc:
+        print(f"!! {exc}", file=sys.stderr)
+        return 1
+
+    cache = ResultCache(args.cache_dir, enabled=not args.no_cache)
+    runner_engine = ExperimentEngine(cache=cache, jobs=args.jobs)
+    started = time.perf_counter()
+    records = runner_engine.run_specs(specs, fail_fast=args.fail_fast)
+    wall_time_s = time.perf_counter() - started
+
     exit_code = 0
-    for experiment_id in ids:
-        try:
-            results = run_experiment(experiment_id)
-        except Exception as exc:  # surface which experiment failed
-            print(f"!! {experiment_id} failed: {exc}", file=sys.stderr)
+    for record in records:
+        if record.status == "skipped":
+            print(f"-- {record.request.name} skipped (--fail-fast)", file=sys.stderr)
+            continue
+        if record.status == "error":
+            print(
+                f"!! {record.request.name} failed:\n{record.error}", file=sys.stderr
+            )
             exit_code = 1
             continue
-        for i, result in enumerate(results):
-            print(result.render())
-            if args.chart:
-                from repro.reporting.ascii_chart import render_chart
+        print(record.result.render())
+        if args.chart:
+            from repro.reporting.ascii_chart import render_chart
 
-                print(render_chart(result))
-            suffix = f"_{i}" if len(results) > 1 else ""
-            if args.csv:
-                os.makedirs(args.csv, exist_ok=True)
-                result.write_csv(os.path.join(args.csv, f"{experiment_id}{suffix}.csv"))
-            if args.svg:
-                from repro.reporting.svg_chart import write_svg
+            print(render_chart(record.result))
+        _export(record, args)
 
-                os.makedirs(args.svg, exist_ok=True)
-                write_svg(result, os.path.join(args.svg, f"{experiment_id}{suffix}.svg"))
+    manifest = build_manifest(
+        records,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        cache_enabled=cache.enabled,
+        wall_time_s=wall_time_s,
+    )
+    manifest_path = args.manifest or os.path.join(args.cache_dir, "manifest.json")
+    write_manifest(manifest_path, manifest)
+
+    totals = manifest["totals"]
+    print(
+        f"{totals['runs']} runs: {totals['cache_hits']} cached, "
+        f"{totals['executed']} executed, {totals['failed']} failed, "
+        f"{totals['skipped']} skipped in {wall_time_s:.2f}s "
+        f"(manifest: {manifest_path})",
+        file=sys.stderr,
+    )
     return exit_code
 
 

@@ -58,7 +58,7 @@ def max_k(
     return last_ok, gate
 
 
-@register("scalability")
+@register("scalability", tags=("extras",))
 def run(sizes: Sequence[int] = (1000, 3725, 10000)) -> ExperimentResult:
     """Max supportable K per scheme vs table size on the XC6VLX760."""
     sizes = tuple(sizes)

@@ -23,7 +23,7 @@ PAPER_TABLE2 = {
 }
 
 
-@register("table2")
+@register("table2", tags=("paper", "tables"))
 def run() -> ExperimentResult:
     """Regenerate Table II from the device catalog."""
     device = XC6VLX760

@@ -29,7 +29,7 @@ PAPER_TABLE3 = {
 }
 
 
-@register("table3")
+@register("table3", tags=("paper", "tables"))
 def run() -> ExperimentResult:
     """Refit the Table III coefficients from XPE sweeps."""
     xpe = XPowerEstimator()

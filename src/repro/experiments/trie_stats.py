@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.iplookup.leafpush import leaf_push
+from repro.experiments.common import paper_table_config
 from repro.iplookup.synth import SyntheticTableConfig, generate_table
 from repro.iplookup.trie import UnibitTrie
 from repro.reporting.registry import register
@@ -26,10 +27,10 @@ PAPER_TRIE_STATS = {
 }
 
 
-@register("trie_stats")
+@register("trie_stats", tags=("paper", "tables"))
 def run(config: SyntheticTableConfig | None = None) -> ExperimentResult:
     """Measure the synthetic reference table against the paper's counts."""
-    config = config or SyntheticTableConfig()
+    config = config or paper_table_config()
     table = generate_table(config)
     trie = UnibitTrie(table)
     pushed = leaf_push(trie)

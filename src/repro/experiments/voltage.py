@@ -28,7 +28,7 @@ from repro.reporting.result import ExperimentResult
 __all__ = ["run"]
 
 
-@register("voltage")
+@register("voltage", tags=("extras",))
 def run(voltages: Sequence[float] = tuple(np.linspace(0.75, 1.0, 11))) -> ExperimentResult:
     """Scaling-law sweep vs the published grade constants."""
     voltages = tuple(float(v) for v in voltages)

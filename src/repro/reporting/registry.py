@@ -1,40 +1,121 @@
-"""Experiment registry: id → runner.
+"""Experiment registry: declarative specs, id → runner.
 
 Experiments register themselves at import time via the
-:func:`register` decorator; the benchmark harness and the
-``repro-experiments`` CLI look them up by id.
+:func:`register` decorator.  A registration produces an
+:class:`ExperimentSpec` — id, runner, parameter *axes* (e.g. the speed
+grade the paper sweeps across panels), free-form *tags* used by the
+CLI's ``--tag`` filter, and a description.  The experiment engine
+(:mod:`repro.experiments.engine`) expands the axes into concrete runs;
+the legacy accessors (:func:`get_experiment`, :func:`all_experiments`)
+keep returning plain runners for callers that predate the engine.
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import ExperimentError
 from repro.reporting.result import ExperimentResult
 
-__all__ = ["register", "get_experiment", "all_experiments"]
+__all__ = [
+    "Axis",
+    "ExperimentSpec",
+    "register",
+    "get_experiment",
+    "get_spec",
+    "all_experiments",
+    "all_specs",
+    "specs_with_tag",
+]
 
-_REGISTRY: dict[str, Callable[..., ExperimentResult]] = {}
+
+@dataclass(frozen=True)
+class Axis:
+    """One swept parameter of an experiment (name + values)."""
+
+    name: str
+    values: tuple
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ExperimentError(f"axis {self.name!r} must have at least one value")
 
 
-def register(experiment_id: str) -> Callable[[Callable[..., ExperimentResult]], Callable[..., ExperimentResult]]:
-    """Class/function decorator registering an experiment runner.
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative description of one registered experiment.
 
-    The decorated callable must return an :class:`ExperimentResult`.
+    Attributes
+    ----------
+    experiment_id:
+        Registry id, e.g. ``"fig5"``.
+    runner:
+        Callable returning an :class:`ExperimentResult`; axis values
+        are passed as keyword arguments.
+    axes:
+        Swept parameters.  The engine runs the cartesian product; an
+        experiment with no axes runs exactly once.
+    tags:
+        Grouping labels (``figures``, ``tables``, ``ablation``, ...)
+        used by CLI/tag filtering.
+    description:
+        One-line summary (defaults to the runner's docstring headline).
+    """
+
+    experiment_id: str
+    runner: Callable[..., ExperimentResult]
+    axes: tuple[Axis, ...] = ()
+    tags: frozenset[str] = field(default_factory=frozenset)
+    description: str = ""
+
+    def n_runs(self) -> int:
+        """Number of concrete runs the axes expand into."""
+        total = 1
+        for axis in self.axes:
+            total *= len(axis.values)
+        return total
+
+
+_REGISTRY: dict[str, ExperimentSpec] = {}
+
+
+def register(
+    experiment_id: str,
+    *,
+    axes: Mapping[str, Sequence] | None = None,
+    tags: Sequence[str] = (),
+    description: str | None = None,
+) -> Callable[[Callable[..., ExperimentResult]], Callable[..., ExperimentResult]]:
+    """Function decorator registering an experiment spec.
+
+    The decorated callable must return an :class:`ExperimentResult`
+    and accept every axis name as a keyword argument.
     """
 
     def deco(func: Callable[..., ExperimentResult]):
         if experiment_id in _REGISTRY:
             raise ExperimentError(f"duplicate experiment id {experiment_id!r}")
-        _REGISTRY[experiment_id] = func
+        doc = description
+        if doc is None:
+            doc = (func.__doc__ or "").strip().splitlines()[0] if func.__doc__ else ""
+        spec = ExperimentSpec(
+            experiment_id=experiment_id,
+            runner=func,
+            axes=tuple(Axis(name, tuple(values)) for name, values in (axes or {}).items()),
+            tags=frozenset(tags),
+            description=doc,
+        )
+        _REGISTRY[experiment_id] = spec
         func.experiment_id = experiment_id
         return func
 
     return deco
 
 
-def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
-    """Look up a registered experiment runner by id."""
+def get_spec(experiment_id: str) -> ExperimentSpec:
+    """Look up a registered experiment spec by id."""
     _ensure_loaded()
     if experiment_id not in _REGISTRY:
         known = ", ".join(sorted(_REGISTRY))
@@ -42,10 +123,25 @@ def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
     return _REGISTRY[experiment_id]
 
 
-def all_experiments() -> dict[str, Callable[..., ExperimentResult]]:
-    """All registered experiments, keyed by id."""
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """Look up a registered experiment runner by id (legacy accessor)."""
+    return get_spec(experiment_id).runner
+
+
+def all_specs() -> dict[str, ExperimentSpec]:
+    """All registered experiment specs, keyed by id."""
     _ensure_loaded()
     return dict(_REGISTRY)
+
+
+def all_experiments() -> dict[str, Callable[..., ExperimentResult]]:
+    """All registered experiment runners, keyed by id (legacy accessor)."""
+    return {eid: spec.runner for eid, spec in all_specs().items()}
+
+
+def specs_with_tag(tag: str) -> dict[str, ExperimentSpec]:
+    """Specs carrying ``tag``, keyed by id."""
+    return {eid: spec for eid, spec in all_specs().items() if tag in spec.tags}
 
 
 def _ensure_loaded() -> None:

@@ -1,10 +1,21 @@
-"""CLI runner (repro.experiments.runner)."""
+"""CLI runner (repro.experiments.runner) on top of the engine."""
 
+import json
 import os
 
 import pytest
 
 from repro.experiments.runner import main, run_experiment
+
+
+@pytest.fixture()
+def cache_dir(tmp_path):
+    return str(tmp_path / "cache")
+
+
+def run_cli(args, cache_dir):
+    """Invoke main with an isolated cache (never the repo's out/.cache)."""
+    return main([*args, "--cache-dir", cache_dir])
 
 
 class TestRunExperiment:
@@ -23,41 +34,167 @@ class TestMain:
         assert main(["--list"]) == 0
         out = capsys.readouterr().out
         assert "fig5" in out and "table2" in out
+        assert "ablation_alpha" in out  # sweeps are registered too
 
-    def test_run_selected(self, capsys):
-        assert main(["table2", "table3"]) == 0
+    def test_run_selected(self, capsys, cache_dir):
+        assert run_cli(["table2", "table3"], cache_dir) == 0
         out = capsys.readouterr().out
         assert "Table II" in out
         assert "Table III" in out
 
-    def test_csv_export(self, tmp_path, capsys):
+    def test_csv_export(self, tmp_path, capsys, cache_dir):
         out_dir = str(tmp_path / "csv")
-        assert main(["table2", "--csv", out_dir]) == 0
+        assert run_cli(["table2", "--csv", out_dir], cache_dir) == 0
         capsys.readouterr()
         assert os.path.exists(os.path.join(out_dir, "table2.csv"))
 
-    def test_graded_csv_gets_suffixes(self, tmp_path, capsys):
+    def test_graded_csv_named_by_grade(self, tmp_path, capsys, cache_dir):
+        """Panels are named from the expanded grade axis, not an index."""
         out_dir = str(tmp_path / "csv")
-        assert main(["fig2", "--csv", out_dir]) == 0
+        assert run_cli(["fig8", "--csv", out_dir], cache_dir) == 0
+        capsys.readouterr()
+        assert sorted(os.listdir(out_dir)) == ["fig8_G1L.csv", "fig8_G2.csv"]
+
+    def test_ungraded_csv_has_no_suffix(self, tmp_path, capsys, cache_dir):
+        out_dir = str(tmp_path / "csv")
+        assert run_cli(["fig2", "--csv", out_dir], cache_dir) == 0
         capsys.readouterr()
         assert os.path.exists(os.path.join(out_dir, "fig2.csv"))
 
-    def test_unknown_experiment_fails(self, capsys):
-        assert main(["fig99"]) == 1
+    def test_unknown_experiment_fails(self, capsys, cache_dir):
+        assert run_cli(["fig99"], cache_dir) == 1
         err = capsys.readouterr().err
         assert "fig99" in err
 
+    def test_unknown_tag_fails(self, capsys, cache_dir):
+        assert run_cli(["--tag", "no-such-tag"], cache_dir) == 1
+        err = capsys.readouterr().err
+        assert "no-such-tag" in err
+
+    def test_tag_filter_selects_figures(self, capsys, cache_dir):
+        assert run_cli(["--tag", "tables"], cache_dir) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out and "Table III" in out
+        assert "Fig" not in out or "fig5" not in out
+
+    def test_bad_jobs_rejected(self, capsys, cache_dir):
+        assert run_cli(["table2", "--jobs", "0"], cache_dir) == 2
+
+
+class TestCacheBehaviour:
+    def test_second_run_served_from_cache(self, capsys, cache_dir):
+        assert run_cli(["table3"], cache_dir) == 0
+        capsys.readouterr()
+        assert run_cli(["table3"], cache_dir) == 0
+        captured = capsys.readouterr()
+        manifest = json.load(open(os.path.join(cache_dir, "manifest.json")))
+        assert manifest["totals"] == {
+            "runs": 1,
+            "cache_hits": 1,
+            "executed": 0,
+            "failed": 0,
+            "skipped": 0,
+            "wall_time_s": manifest["totals"]["wall_time_s"],
+        }
+        assert "1 cached" in captured.err
+        # cached render identical to the fresh one
+        assert "Table III" in captured.out
+
+    def test_no_cache_bypasses(self, capsys, cache_dir):
+        assert run_cli(["table3"], cache_dir) == 0
+        capsys.readouterr()
+        assert run_cli(["table3", "--no-cache"], cache_dir) == 0
+        manifest = json.load(open(os.path.join(cache_dir, "manifest.json")))
+        assert manifest["totals"]["cache_hits"] == 0
+        assert manifest["totals"]["executed"] == 1
+        assert manifest["cache"]["enabled"] is False
+
+    def test_manifest_records_spec_hash_and_params(self, capsys, cache_dir):
+        assert run_cli(["fig8"], cache_dir) == 0
+        capsys.readouterr()
+        manifest = json.load(open(os.path.join(cache_dir, "manifest.json")))
+        runs = {run["variant"]: run for run in manifest["runs"]}
+        assert set(runs) == {"G2", "G1L"}
+        assert runs["G2"]["params"] == {"grade": "SpeedGrade.G2"}
+        assert len(runs["G2"]["spec_hash"]) == 64
+        assert runs["G2"]["spec_hash"] != runs["G1L"]["spec_hash"]
+        assert manifest["environment"]["python"]
+
+    def test_custom_manifest_path(self, tmp_path, capsys, cache_dir):
+        manifest_path = str(tmp_path / "prov" / "m.json")
+        assert run_cli(["table2", "--manifest", manifest_path], cache_dir) == 0
+        capsys.readouterr()
+        assert json.load(open(manifest_path))["totals"]["runs"] == 1
+
+
+class TestJsonExport:
+    def test_json_export_round_trips(self, tmp_path, capsys, cache_dir):
+        out_dir = str(tmp_path / "json")
+        assert run_cli(["table3", "--json", out_dir], cache_dir) == 0
+        capsys.readouterr()
+        payload = json.load(open(os.path.join(out_dir, "table3.json")))
+        assert payload["result"]["experiment_id"] == "table3"
+        assert payload["spec_hash"]
+        labels = [s["label"] for s in payload["result"]["series"]]
+        assert labels == ["paper", "fitted"]
+
+
+class TestFailureHandling:
+    def test_failure_logs_traceback_and_continues(self, capsys, cache_dir, monkeypatch):
+        from repro.reporting import registry as registry_mod
+
+        spec = registry_mod.get_spec("table3")
+
+        def boom():
+            raise RuntimeError("synthetic failure")
+
+        broken = registry_mod.ExperimentSpec(
+            experiment_id="table3",
+            runner=boom,
+            axes=spec.axes,
+            tags=spec.tags,
+            description=spec.description,
+        )
+        monkeypatch.setitem(registry_mod._REGISTRY, "table3", broken)
+        assert run_cli(["table3", "table2"], cache_dir) == 1
+        captured = capsys.readouterr()
+        assert "Traceback" in captured.err
+        assert "synthetic failure" in captured.err
+        assert "Table II" in captured.out  # later experiment still ran
+
+    def test_fail_fast_skips_rest(self, capsys, cache_dir, monkeypatch):
+        from repro.reporting import registry as registry_mod
+
+        spec = registry_mod.get_spec("table2")
+
+        def boom():
+            raise RuntimeError("stop here")
+
+        broken = registry_mod.ExperimentSpec(
+            experiment_id="table2",
+            runner=boom,
+            axes=spec.axes,
+            tags=spec.tags,
+            description=spec.description,
+        )
+        monkeypatch.setitem(registry_mod._REGISTRY, "table2", broken)
+        assert run_cli(["table2", "table3", "--fail-fast"], cache_dir) == 1
+        captured = capsys.readouterr()
+        assert "stop here" in captured.err
+        assert "skipped" in captured.err
+        assert "Table III" not in captured.out
+
 
 class TestChartFlag:
-    def test_chart_output(self, capsys):
-        assert main(["fig2", "--chart"]) == 0
+    def test_chart_output(self, capsys, cache_dir):
+        assert run_cli(["fig2", "--chart"], cache_dir) == 0
         out = capsys.readouterr().out
         assert "*=18Kb (-2)" in out
 
 
 class TestSvgFlag:
-    def test_svg_export(self, tmp_path, capsys):
+    def test_svg_export(self, tmp_path, capsys, cache_dir):
         out_dir = str(tmp_path / "svg")
-        assert main(["fig2", "--svg", out_dir]) == 0
+        assert run_cli(["fig2", "--svg", out_dir], cache_dir) == 0
         capsys.readouterr()
         assert os.path.exists(os.path.join(out_dir, "fig2.svg"))

@@ -62,6 +62,6 @@ def test_paper_figures_example(tmp_path):
     assert proc.returncode == 0, proc.stderr[-2000:]
     out_dir = tmp_path / "out" / "figures"
     produced = sorted(p.name for p in out_dir.glob("*.csv"))
-    # two panels per graded figure + singles
-    assert "fig5_0.csv" in produced and "fig5_1.csv" in produced
+    # two grade-named panels per graded figure + singles
+    assert "fig5_G2.csv" in produced and "fig5_G1L.csv" in produced
     assert "table3.csv" in produced
