@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-smoke bench-figures figures experiments experiments-md examples clean
+.PHONY: install test lint bench bench-smoke bench-figures figures experiments experiments-md examples obs-demo docs-check clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -44,6 +44,14 @@ experiments-md:
 
 examples:
 	@set -e; for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f > /dev/null; done; echo all examples OK
+
+# live power/throughput telemetry over the paper's K = 1..15 sweep
+obs-demo:
+	$(PYTHON) -m repro.tools.metrics_cli demo --kmax 15
+
+# validate relative links in the markdown docs
+docs-check:
+	$(PYTHON) tools/check_links.py README.md EXPERIMENTS.md docs
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis out

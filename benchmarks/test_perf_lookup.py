@@ -5,6 +5,8 @@ construction, batch lookups, leaf pushing, merging — so performance
 regressions in the data structures are caught alongside the science.
 """
 
+import time
+
 import numpy as np
 import pytest
 
@@ -13,6 +15,8 @@ from repro.iplookup.multibit import MultibitTrie
 from repro.iplookup.patricia import PatriciaTrie
 from repro.iplookup.synth import SyntheticTableConfig, generate_table, generate_virtual_tables
 from repro.iplookup.trie import UnibitTrie
+from repro.obs.registry import REGISTRY
+from repro.serve.service import LookupService
 from repro.virt.merged import merge_tries
 
 TABLE = SyntheticTableConfig(n_prefixes=2000, seed=5)
@@ -80,3 +84,55 @@ def test_perf_merge_four_tables(benchmark):
     tries = [UnibitTrie(t) for t in tables]
     merged = benchmark(merge_tries, tries)
     assert merged.k == 4
+
+
+def test_perf_serve_metrics_enabled(benchmark):
+    """Serve throughput with the metrics registry enabled."""
+    tables = generate_virtual_tables(4, 0.5, SyntheticTableConfig(n_prefixes=800, seed=6))
+    service = LookupService(tables, n_stages=28)
+    rng = np.random.default_rng(3)
+    addresses = rng.integers(0, 2**32, size=20_000, dtype=np.uint64).astype(np.uint32)
+    vnids = rng.integers(0, 4, size=20_000, dtype=np.int64)
+    REGISTRY.enable()
+    try:
+        results = benchmark(service.serve, addresses, vnids)
+    finally:
+        REGISTRY.disable()
+        REGISTRY.clear()
+    assert len(results[0]) == len(addresses)
+
+
+def test_serve_metrics_overhead():
+    """Gate: metrics-enabled serving within 5 % of the disabled path.
+
+    Measured with best-of-N wall times rather than pytest-benchmark so
+    the comparison runs in one process with identical state; the
+    disabled path is the byte-identical fast path (one flag check), so
+    this bounds the per-batch bincount + counter cost.
+    """
+    tables = generate_virtual_tables(4, 0.5, SyntheticTableConfig(n_prefixes=800, seed=6))
+    service = LookupService(tables, n_stages=28)
+    rng = np.random.default_rng(3)
+    addresses = rng.integers(0, 2**32, size=50_000, dtype=np.uint64).astype(np.uint32)
+    vnids = rng.integers(0, 4, size=50_000, dtype=np.int64)
+
+    def best_of(n: int) -> float:
+        best = float("inf")
+        for _ in range(n):
+            start = time.perf_counter()
+            service.serve(addresses, vnids)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    service.serve(addresses, vnids)  # warm caches (frozen arrays etc.)
+    disabled = best_of(7)
+    REGISTRY.enable()
+    try:
+        enabled = best_of(7)
+    finally:
+        REGISTRY.disable()
+        REGISTRY.clear()
+    assert enabled <= disabled * 1.05, (
+        f"metrics overhead {enabled / disabled - 1:+.1%} exceeds 5% "
+        f"(disabled {disabled * 1e3:.2f} ms, enabled {enabled * 1e3:.2f} ms)"
+    )

@@ -19,6 +19,7 @@ __all__ = [
     "TimingError",
     "CalibrationError",
     "ExperimentError",
+    "ObservabilityError",
 ]
 
 
@@ -78,3 +79,7 @@ class CalibrationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment was asked for an unknown id or invalid parameters."""
+
+
+class ObservabilityError(ReproError):
+    """Invalid metric, span or telemetry registration or usage."""

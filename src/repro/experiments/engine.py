@@ -16,6 +16,19 @@ registrations into concrete runs:
    cache hit/miss, wall time, captured traceback on failure) in
    request order, from which :mod:`repro.experiments.provenance`
    builds the invocation manifest.
+
+Observability
+-------------
+While the process-wide observability layer is enabled
+(:func:`repro.obs.enable`), :meth:`ExperimentEngine.execute` wraps
+each batch in an ``experiment.execute`` span with per-run
+``experiment.run`` child spans, counts cache outcomes
+(``repro_experiments_cache_total{outcome}``) and run statuses
+(``repro_experiments_runs_total{status}``), and observes per-run wall
+time in seconds into ``repro_experiments_run_seconds{mode}`` (mode is
+``inline``, ``parallel`` or ``cached``).  Pool workers are separate
+processes and do not publish; fan-out timing is recorded from the
+parent side.
 """
 
 from __future__ import annotations
@@ -30,6 +43,8 @@ from enum import Enum
 
 from repro.errors import ExperimentError
 from repro.experiments.cache import ResultCache, spec_hash
+from repro.obs.registry import MetricsRegistry, default_registry
+from repro.obs.tracing import default_tracer
 from repro.reporting.registry import ExperimentSpec, get_experiment, get_spec
 from repro.reporting.result import ExperimentResult
 
@@ -133,6 +148,28 @@ def expand_spec(spec: ExperimentSpec) -> list[RunRequest]:
     return requests
 
 
+#: histogram bounds for experiment wall time, seconds (runs span
+#: milliseconds for cache hits to minutes for cold parallel sweeps)
+RUN_SECONDS_BUCKETS: tuple[float, ...] = (
+    0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0,
+)
+
+
+def _record_run(registry: MetricsRegistry, record: RunRecord, mode: str) -> None:
+    """Publish one finished run's status and wall time (registry enabled)."""
+    registry.counter(
+        "repro_experiments_runs_total",
+        "Experiment runs finished, by outcome",
+        labels=("status",),
+    ).labels(record.status).inc()
+    registry.histogram(
+        "repro_experiments_run_seconds",
+        "Wall time of one experiment run, by execution mode",
+        labels=("mode",),
+        buckets=RUN_SECONDS_BUCKETS,
+    ).labels(mode).observe(record.wall_time_s)
+
+
 def _execute_request(experiment_id: str, params: tuple[tuple[str, object], ...]):
     """Worker entry point: run one request, capturing any traceback.
 
@@ -188,42 +225,75 @@ class ExperimentEngine:
         self, requests: Sequence[RunRequest], *, fail_fast: bool = False
     ) -> list[RunRecord]:
         """Execute ``requests``; the cache absorbs repeated hashes."""
-        records = [RunRecord(request=request) for request in requests]
-        pending: list[int] = []
-        for i, request in enumerate(requests):
-            started = time.perf_counter()
-            cached = self.cache.get(request.spec_hash) if self.cache else None
-            if cached is not None:
-                records[i].result = cached
-                records[i].cache_hit = True
-                records[i].wall_time_s = time.perf_counter() - started
+        registry = default_registry()
+        metrics_on = registry.enabled
+        mode = "parallel" if self.jobs > 1 else "inline"
+        with default_tracer().span(
+            "experiment.execute", n_requests=len(requests), jobs=self.jobs
+        ) as span:
+            records = [RunRecord(request=request) for request in requests]
+            pending: list[int] = []
+            for i, request in enumerate(requests):
+                started = time.perf_counter()
+                cached = self.cache.get(request.spec_hash) if self.cache else None
+                if cached is not None:
+                    records[i].result = cached
+                    records[i].cache_hit = True
+                    records[i].wall_time_s = time.perf_counter() - started
+                else:
+                    pending.append(i)
+            if metrics_on:
+                cache_counter = registry.counter(
+                    "repro_experiments_cache_total",
+                    "Cache lookups by the engine, by outcome",
+                    labels=("outcome",),
+                )
+                hits = len(requests) - len(pending)
+                if hits:
+                    cache_counter.labels("hit").inc(hits)
+                if pending:
+                    cache_counter.labels("miss").inc(len(pending))
+                for record in records:
+                    if record.cache_hit:
+                        _record_run(registry, record, "cached")
+
+            if self.jobs > 1 and len(pending) > 1:
+                self._execute_parallel(records, pending, fail_fast=fail_fast)
             else:
-                pending.append(i)
+                self._execute_inline(records, pending, fail_fast=fail_fast)
 
-        if self.jobs > 1 and len(pending) > 1:
-            self._execute_parallel(records, pending, fail_fast=fail_fast)
-        else:
-            self._execute_inline(records, pending, fail_fast=fail_fast)
+            if metrics_on:
+                for i in pending:
+                    _record_run(registry, records[i], mode)
+            span.set("cache_hits", len(requests) - len(pending))
+            span.set("errors", sum(1 for r in records if r.status == "error"))
 
-        for record in records:
-            if record.status == "ok" and not record.cache_hit and self.cache:
-                self.cache.put(record.spec_hash, record.result)
+            for record in records:
+                if record.status == "ok" and not record.cache_hit and self.cache:
+                    self.cache.put(record.spec_hash, record.result)
         return records
 
     def _execute_inline(
         self, records: list[RunRecord], pending: list[int], *, fail_fast: bool
     ) -> None:
+        tracer = default_tracer()
         failed = False
         for i in pending:
             record = records[i]
             if failed:
                 record.skipped = True
                 continue
-            started = time.perf_counter()
-            record.result, record.error = _execute_request(
-                record.request.experiment_id, record.request.params
-            )
-            record.wall_time_s = time.perf_counter() - started
+            with tracer.span(
+                "experiment.run",
+                experiment_id=record.request.experiment_id,
+                variant=record.request.variant,
+            ) as span:
+                started = time.perf_counter()
+                record.result, record.error = _execute_request(
+                    record.request.experiment_id, record.request.params
+                )
+                record.wall_time_s = time.perf_counter() - started
+                span.set("status", record.status)
             if record.error is not None and fail_fast:
                 failed = True
 

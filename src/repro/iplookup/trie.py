@@ -23,6 +23,7 @@ import numpy as np
 from repro.errors import TrieError
 from repro.iplookup.prefix import Prefix
 from repro.iplookup.rib import NO_ROUTE, RoutingTable
+from repro.obs.registry import REGISTRY
 
 __all__ = ["UnibitTrie", "TrieStats", "NONE"]
 
@@ -302,6 +303,12 @@ class UnibitTrie:
             results6 = np.empty(n, dtype=np.int64)
             for i, a in enumerate(addresses):
                 depths6[i], results6[i] = self._walk_scalar(int(a))
+            if REGISTRY.enabled:
+                REGISTRY.counter(
+                    "repro_trie_node_visits_total",
+                    "Trie nodes touched by batch walks (root included)",
+                    labels=("structure",),
+                ).labels("unibit").inc(int(depths6.sum()) + n)
             return depths6, results6
         arrays = self._freeze()
         left, right, nhi = arrays["left"], arrays["right"], arrays["nhi"]
@@ -326,6 +333,12 @@ class UnibitTrie:
             best = np.where(found != NO_ROUTE, found, best)
             if (node == dead).all():
                 break
+        if REGISTRY.enabled:  # one branch per batch; zero overhead off
+            REGISTRY.counter(
+                "repro_trie_node_visits_total",
+                "Trie nodes touched by batch walks (root included)",
+                labels=("structure",),
+            ).labels("unibit").inc(int(depths.sum()) + n)
         return depths, best
 
     def lookup_batch(self, addresses: np.ndarray) -> np.ndarray:

@@ -1,0 +1,93 @@
+"""Observability layer: metrics, tracing, and power telemetry.
+
+Three runtime surfaces over the serving and experiment stack:
+
+* :mod:`repro.obs.registry` — counters, gauges and fixed-bucket
+  histograms behind one process-wide enable flag (zero overhead when
+  disabled);
+* :mod:`repro.obs.tracing` — span-based tracing with parent/child
+  nesting and JSONL export;
+* :mod:`repro.obs.power` — the paper's power model (Eqs. 2/4/6,
+  Figs. 5/8) evaluated against live per-stage activity, as per-VN
+  watts and mW/Gbps telemetry.
+
+Exporters for the Prometheus text format and JSONL live in
+:mod:`repro.obs.export`; the ``repro-metrics`` CLI
+(:mod:`repro.tools.metrics_cli`) snapshots, tails and demos all of
+it.  The full metric/span catalog is documented in
+``docs/OBSERVABILITY.md``.
+
+Everything starts **disabled**: call :func:`enable` (or use the CLI)
+to turn the default registry and tracer on.  :mod:`repro.obs.power`
+is imported lazily via module ``__getattr__`` so that hot-path
+modules (the tries, the serving layer) can import the light registry
+and tracing modules without dragging in the experiment stack.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import parse_prometheus_text, render_metrics_jsonl, render_prometheus
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.obs.tracing import TRACER, Span, Tracer, default_tracer
+
+# the two power names resolve lazily via __getattr__ (PEP 562)
+__all__ = [  # repro-lint: disable=IMP002 (lazy PEP 562 re-exports)
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "REGISTRY",
+    "default_registry",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "Span",
+    "Tracer",
+    "TRACER",
+    "default_tracer",
+    "render_prometheus",
+    "render_metrics_jsonl",
+    "parse_prometheus_text",
+    "PowerSample",
+    "PowerTelemetrySampler",
+    "enable",
+    "disable",
+    "enabled",
+]
+
+_LAZY_POWER = ("PowerSample", "PowerTelemetrySampler")
+
+
+def __getattr__(name: str) -> object:
+    # PEP 562: defer the power module (it pulls in the experiment
+    # stack) until someone actually asks for it
+    if name in _LAZY_POWER:
+        from repro.obs import power
+
+        return getattr(power, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def enable() -> None:
+    """Enable the default metrics registry and tracer."""
+    REGISTRY.enable()
+    TRACER.enable()
+
+
+def disable() -> None:
+    """Disable the default metrics registry and tracer."""
+    REGISTRY.disable()
+    TRACER.disable()
+
+
+def enabled() -> bool:
+    """True when either default surface (metrics or tracing) is on."""
+    return REGISTRY.enabled or TRACER.enabled

@@ -1,0 +1,342 @@
+"""Power telemetry: the paper's power model evaluated on live traffic.
+
+The paper's contribution is *measurement* — per-scheme total power
+(Eqs. 2/4/6, Fig. 5) and mW/Gbps efficiency (Fig. 8).  This module
+closes the loop between that offline model and the serving layer: a
+:class:`PowerTelemetrySampler` pins one scenario point (scheme × K ×
+grade × α, evaluated once through the shared
+:func:`repro.experiments.common.evaluate_scenario` path) and then
+converts each served batch's :class:`~repro.serve.service.ServeTrace`
+into a watts / mW-per-Gbps estimate, attributed per virtual network.
+
+The *activity* inputs come from the live trace (per-engine batch
+shares, per-VN lookup counts); the *coefficients* come from the same
+placed design and XPA-like reporter the figures use.  Consequence —
+and the property the tests pin: on a static workload (uniform
+per-VN load, full duty cycle) the sampled totals equal the fig5/fig8
+engine rows exactly, because both sides make the identical
+:class:`~repro.fpga.power_report.XPowerAnalyzer` calls.
+
+Units and invariants
+--------------------
+All power figures are watts unless the name says otherwise
+(``mw_per_gbps`` keeps the paper's Fig. 8 display unit); throughput is
+Gbps at 40 B packets.  Invariants: ``sum(per_vn_w) == total_w`` up to
+float rounding for every scheme; per-VN attribution charges NV
+networks their whole device, VS/VM networks an equal share of the one
+device's static power plus their dynamic share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.config import ScenarioConfig
+from repro.core.estimator import ExperimentalPower, ScenarioResult
+from repro.core.metrics import mw_per_gbps
+from repro.errors import ConfigurationError, ObservabilityError
+from repro.fpga.power_report import XPowerAnalyzer
+from repro.fpga.speedgrade import SpeedGrade
+from repro.iplookup.synth import SyntheticTableConfig
+from repro.obs.registry import MetricsRegistry, default_registry
+from repro.virt.schemes import Scheme
+
+if TYPE_CHECKING:  # avoid a runtime repro.serve <-> repro.obs cycle
+    from repro.serve.service import ServeTrace
+
+__all__ = ["PowerSample", "PowerTelemetrySampler"]
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """One power-telemetry reading derived from one served batch.
+
+    Attributes
+    ----------
+    scheme, k, grade:
+        The scenario point the sampler was built for.
+    frequency_mhz:
+        Operating clock of the placed design (achieved fmax).
+    duty_cycle:
+        Offered-load fraction assumed for the reading (1 = line rate).
+    n_packets:
+        Lookups in the batch behind this reading.
+    static_w, logic_w, signal_w, bram_w:
+        Power components in watts (post-P&R reporter breakdown,
+        summed over devices for NV).
+    throughput_gbps:
+        Aggregate lookup capacity of the scheme at 40 B packets.
+    per_vn_w:
+        Per-virtual-network attribution, watts (sums to ``total_w``).
+    per_vn_gbps:
+        Offered per-VN throughput share, Gbps
+        (``capacity x duty x share``).
+    """
+
+    scheme: Scheme
+    k: int
+    grade: SpeedGrade
+    frequency_mhz: float
+    duty_cycle: float
+    n_packets: int
+    static_w: float
+    logic_w: float
+    signal_w: float
+    bram_w: float
+    throughput_gbps: float
+    per_vn_w: tuple[float, ...]
+    per_vn_gbps: tuple[float, ...]
+
+    @property
+    def dynamic_w(self) -> float:
+        """Dynamic (logic + signal + BRAM) power, watts."""
+        return self.logic_w + self.signal_w + self.bram_w
+
+    @property
+    def total_w(self) -> float:
+        """Total power, watts — comparable to a Fig. 5 row."""
+        return self.static_w + self.dynamic_w
+
+    @property
+    def mw_per_gbps(self) -> float:
+        """Efficiency at aggregate capacity — comparable to a Fig. 8 row."""
+        return mw_per_gbps(self.total_w, self.throughput_gbps)
+
+    def per_vn_mw_per_gbps(self) -> tuple[float, ...]:
+        """Per-VN efficiency; ``inf`` for a VN that served no traffic."""
+        out = []
+        for watts, gbps_share in zip(self.per_vn_w, self.per_vn_gbps):
+            if gbps_share <= 0.0:
+                out.append(float("inf"))
+            else:
+                out.append(mw_per_gbps(watts, gbps_share))
+        return tuple(out)
+
+
+class PowerTelemetrySampler:
+    """Convert serve traces into per-VN power telemetry for one scenario.
+
+    Parameters
+    ----------
+    scheme:
+        Deployment scheme (must match the traces sampled later).
+    k:
+        Number of virtual networks.
+    grade:
+        Speed grade of the modeled device.
+    alpha:
+        Merging efficiency; required for VM with ``k > 1``.
+    table:
+        Synthetic-table parameters of the *modeled* scenario; defaults
+        to the paper's reference table, which makes the sampler agree
+        with the published fig5/fig8 grid.  (The tables actually
+        served may differ — the live trace contributes only activity.)
+    registry:
+        Metrics registry :meth:`observe` publishes gauges into;
+        defaults to the process-wide registry.
+
+    The scenario is evaluated once at construction through the
+    process-wide memoized path, so building a sampler for a grid point
+    the experiments already visited is free.
+    """
+
+    def __init__(
+        self,
+        scheme: Scheme,
+        k: int,
+        *,
+        grade: SpeedGrade = SpeedGrade.G2,
+        alpha: float | None = None,
+        table: SyntheticTableConfig | None = None,
+        registry: MetricsRegistry | None = None,
+    ):
+        # late import: repro.experiments registers every figure module
+        # on import, which is heavy and would cycle back into obs
+        from repro.experiments.common import evaluate_scenario, paper_table_config
+
+        self.config = ScenarioConfig(
+            scheme=scheme,
+            k=k,
+            grade=grade,
+            alpha=alpha,
+            table=table if table is not None else paper_table_config(),
+        )
+        self.scenario: ScenarioResult = evaluate_scenario(self.config)
+        self._analyzer = XPowerAnalyzer()
+        self._registry = registry
+        self._batches = 0
+        self._packets = 0
+        self._weighted_total_w = 0.0
+        self._weighted_vn_w = np.zeros(k)
+
+    # -- sampling -----------------------------------------------------------
+
+    def _vn_shares(self, trace: "ServeTrace") -> np.ndarray:
+        """Per-VN lookup share of the batch (uniform when untracked)."""
+        k = self.config.k
+        if trace.vn_counts:
+            if len(trace.vn_counts) != k:
+                raise ObservabilityError(
+                    f"trace tracks {len(trace.vn_counts)} VNs, sampler models {k}"
+                )
+            counts = np.asarray(trace.vn_counts, dtype=float)
+            if counts.sum() > 0:
+                return counts / counts.sum()
+        return np.full(k, 1.0 / k)
+
+    def sample(self, trace: "ServeTrace", *, duty_cycle: float = 1.0) -> PowerSample:
+        """Evaluate the power model at the batch's measured activity.
+
+        ``duty_cycle`` is the offered-load fraction the batch
+        represents (1 = saturated line rate, the figures' operating
+        point); the per-engine activity is the engine's share of the
+        batch times this duty cycle — exactly the µᵢ·duty input of
+        Eqs. 2/4/6 and of the XPA-like experimental path.
+        """
+        if not 0.0 < duty_cycle <= 1.0:
+            raise ConfigurationError("duty_cycle must be in (0, 1]")
+        scheme, k = self.config.scheme, self.config.k
+        if trace.scheme is not scheme:
+            raise ObservabilityError(
+                f"trace served scheme {trace.scheme}, sampler models {scheme}"
+            )
+        expected_engines = scheme.engines_required(k)
+        if trace.n_engines != expected_engines:
+            raise ObservabilityError(
+                f"trace has {trace.n_engines} engines, scheme {scheme} "
+                f"at K={k} needs {expected_engines}"
+            )
+        loads = np.asarray(trace.engine_loads(), dtype=float)
+        placed = self.scenario.placed
+        f = self.scenario.frequency_mhz
+
+        if scheme is Scheme.NV:
+            # K identical devices: one report per device at its VN's load
+            reports = [
+                self._analyzer.report(placed, f, np.array([load * duty_cycle]))
+                for load in loads
+            ]
+            power = ExperimentalPower.from_reports(reports)
+            per_vn = tuple(r.static_w + r.dynamic_w for r in reports)
+            shares = loads
+        elif scheme is Scheme.VS:
+            report = self._analyzer.report(placed, f, loads * duty_cycle)
+            power = ExperimentalPower.from_reports([report])
+            per_vn = tuple(
+                report.static_w / k + engine.dynamic_w for engine in report.engines
+            )
+            shares = loads
+        else:  # VM: one engine at the aggregate duty; attribute by VN share
+            report = self._analyzer.report(placed, f, np.array([duty_cycle]))
+            power = ExperimentalPower.from_reports([report])
+            shares = self._vn_shares(trace)
+            per_vn = tuple(
+                report.static_w / k + report.dynamic_w * share for share in shares
+            )
+
+        capacity = self.scenario.throughput_gbps
+        return PowerSample(
+            scheme=scheme,
+            k=k,
+            grade=self.config.grade,
+            frequency_mhz=f,
+            duty_cycle=duty_cycle,
+            n_packets=trace.n_packets,
+            static_w=power.static_w,
+            logic_w=power.logic_w,
+            signal_w=power.signal_w,
+            bram_w=power.bram_w,
+            throughput_gbps=capacity,
+            per_vn_w=per_vn,
+            per_vn_gbps=tuple(capacity * duty_cycle * float(s) for s in shares),
+        )
+
+    # -- running telemetry --------------------------------------------------
+
+    def observe(self, trace: "ServeTrace", *, duty_cycle: float = 1.0) -> PowerSample:
+        """Sample, fold into the running estimate, and publish gauges."""
+        sample = self.sample(trace, duty_cycle=duty_cycle)
+        self._batches += 1
+        if sample.n_packets > 0:
+            self._packets += sample.n_packets
+            self._weighted_total_w += sample.n_packets * sample.total_w
+            self._weighted_vn_w += sample.n_packets * np.asarray(sample.per_vn_w)
+        self.publish(sample)
+        return sample
+
+    @property
+    def batches_observed(self) -> int:
+        """Batches folded into the running estimate so far."""
+        return self._batches
+
+    @property
+    def packets_observed(self) -> int:
+        """Lookups folded into the running estimate so far."""
+        return self._packets
+
+    @property
+    def running_total_w(self) -> float:
+        """Packet-weighted mean total power over all observed batches."""
+        if self._packets == 0:
+            return 0.0
+        return self._weighted_total_w / self._packets
+
+    @property
+    def running_per_vn_w(self) -> tuple[float, ...]:
+        """Packet-weighted mean per-VN power over all observed batches."""
+        if self._packets == 0:
+            return tuple(0.0 for _ in range(self.config.k))
+        return tuple(self._weighted_vn_w / self._packets)
+
+    @property
+    def running_mw_per_gbps(self) -> float:
+        """Efficiency of the running power estimate at scheme capacity."""
+        if self._packets == 0:
+            return 0.0
+        return mw_per_gbps(self.running_total_w, self.scenario.throughput_gbps)
+
+    # -- publication --------------------------------------------------------
+
+    def publish(self, sample: PowerSample) -> None:
+        """Set the power gauges in the registry (no-op when disabled)."""
+        registry = self._registry if self._registry is not None else default_registry()
+        if not registry.enabled:
+            return
+        scheme, grade = sample.scheme.name, sample.grade.name
+        registry.gauge(
+            "repro_power_total_watts",
+            "Modeled total power of the scenario at live activity",
+            labels=("scheme", "grade"),
+        ).labels(scheme, grade).set(sample.total_w)
+        component_gauge = registry.gauge(
+            "repro_power_component_watts",
+            "Power by component (static/logic/signal/bram) at live activity",
+            labels=("scheme", "grade", "component"),
+        )
+        for component, watts in (
+            ("static", sample.static_w),
+            ("logic", sample.logic_w),
+            ("signal", sample.signal_w),
+            ("bram", sample.bram_w),
+        ):
+            component_gauge.labels(scheme, grade, component).set(watts)
+        vn_gauge = registry.gauge(
+            "repro_power_vn_watts",
+            "Per-virtual-network power attribution at live activity",
+            labels=("scheme", "grade", "vn"),
+        )
+        for vn, watts in enumerate(sample.per_vn_w):
+            vn_gauge.labels(scheme, grade, vn).set(watts)
+        registry.gauge(
+            "repro_power_mw_per_gbps",
+            "Fig. 8 efficiency metric at live activity (mW per Gbps)",
+            labels=("scheme", "grade"),
+        ).labels(scheme, grade).set(sample.mw_per_gbps)
+        registry.gauge(
+            "repro_power_throughput_gbps",
+            "Aggregate lookup capacity of the modeled scheme",
+            labels=("scheme", "grade"),
+        ).labels(scheme, grade).set(sample.throughput_gbps)

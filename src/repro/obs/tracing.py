@@ -1,0 +1,251 @@
+"""Lightweight span-based tracing with JSONL export.
+
+A *span* measures one named region of work (serving a batch, running
+one experiment).  Spans nest: entering a span inside another makes it
+a child (``parent_id`` points at the enclosing span; both share a
+``trace_id`` rooted at the outermost span).  Nesting is tracked with
+:mod:`contextvars`, so spans stay correct across threads and asyncio
+tasks within one process; child *processes* (the experiment engine's
+pool workers) do not inherit the parent's tracer — fan-out timing is
+recorded from the parent side instead.
+
+Units and invariants
+--------------------
+``start_unix_s`` is a wall-clock UNIX timestamp (``time.time()``);
+``duration_s`` is measured with ``time.perf_counter()`` and is always
+>= 0.  Span and trace ids are 16-hex-digit strings unique within the
+process.  A span's interval always contains its children's intervals
+(children exit before their parent by construction).
+
+Overhead
+--------
+The module-level :data:`TRACER` starts **disabled**; ``span()`` on a
+disabled tracer returns a shared no-op context manager, so the cost
+is one attribute check per instrumented region.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import IO, Iterator
+
+__all__ = ["Span", "Tracer", "TRACER", "default_tracer"]
+
+_ids = itertools.count(1)
+_ids_lock = threading.Lock()
+
+
+def _next_id() -> str:
+    with _ids_lock:
+        return f"{next(_ids):016x}"
+
+
+@dataclass
+class Span:
+    """One traced region of work.
+
+    Attributes
+    ----------
+    name:
+        Region label, dot-namespaced (``serve.batch``).
+    trace_id:
+        Id shared by every span under one root span.
+    span_id:
+        This span's unique id.
+    parent_id:
+        Enclosing span's id, or ``None`` for a root span.
+    start_unix_s:
+        Wall-clock start (UNIX seconds).
+    duration_s:
+        Monotonic-clock duration in seconds (>= 0); 0.0 while open.
+    attributes:
+        Free-form key/value annotations (JSON-serializable values).
+    status:
+        ``"ok"``, or ``"error"`` when the region raised.
+    """
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+    start_unix_s: float = 0.0
+    duration_s: float = 0.0
+    attributes: dict[str, object] = field(default_factory=dict)
+    status: str = "ok"
+
+    def set(self, key: str, value: object) -> None:
+        """Attach or overwrite one attribute."""
+        self.attributes[key] = value
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serializable form (the JSONL record layout)."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_unix_s": self.start_unix_s,
+            "duration_s": self.duration_s,
+            "status": self.status,
+            "attributes": self.attributes,
+        }
+
+
+class _NullSpan:
+    """No-op stand-in handed out by a disabled tracer."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value: object) -> None:
+        """Discard the attribute."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _NullSpanContext:
+    """Context manager returned by ``span()`` when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_CONTEXT = _NullSpanContext()
+
+
+class _SpanContext:
+    """Live span context manager: opens on enter, records on exit."""
+
+    __slots__ = ("_tracer", "_name", "_attributes", "_span", "_token", "_started")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict[str, object]):
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+        self._span: Span | None = None
+        self._token = None
+        self._started = 0.0
+
+    def __enter__(self) -> Span:
+        parent = self._tracer._current.get()
+        self._span = Span(
+            name=self._name,
+            trace_id=parent.trace_id if parent is not None else _next_id(),
+            span_id=_next_id(),
+            parent_id=parent.span_id if parent is not None else None,
+            attributes=dict(self._attributes),
+            start_unix_s=time.time(),
+        )
+        self._started = time.perf_counter()
+        self._token = self._tracer._current.set(self._span)
+        return self._span
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        span = self._span
+        assert span is not None  # __exit__ only runs after __enter__
+        span.duration_s = time.perf_counter() - self._started
+        if exc_type is not None:
+            span.status = "error"
+        if self._token is not None:
+            self._tracer._current.reset(self._token)
+        self._tracer._record(span)
+        return None
+
+
+class Tracer:
+    """Factory and in-memory store for :class:`Span` records.
+
+    Finished spans land in a bounded ring buffer (oldest dropped past
+    ``max_spans``) and, when a sink file object is attached with
+    :meth:`attach_sink`, are also written through as JSONL lines as
+    they close.
+    """
+
+    def __init__(self, *, enabled: bool = False, max_spans: int = 10_000):
+        self.enabled = enabled
+        self._spans: deque[Span] = deque(maxlen=max_spans)
+        self._current: ContextVar[Span | None] = ContextVar("repro_obs_span", default=None)
+        self._sink: IO[str] | None = None
+        self._lock = threading.Lock()
+
+    # -- enablement ---------------------------------------------------------
+
+    def enable(self) -> None:
+        """Turn span recording on."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Turn span recording off (the default)."""
+        self.enabled = False
+
+    # -- span API -----------------------------------------------------------
+
+    def span(self, name: str, **attributes: object) -> _SpanContext | _NullSpanContext:
+        """Context manager measuring one region; no-op when disabled."""
+        if not self.enabled:
+            return _NULL_CONTEXT
+        return _SpanContext(self, name, attributes)
+
+    def current_span(self) -> Span | None:
+        """The innermost open span in this context, if any."""
+        return self._current.get()
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+            if self._sink is not None:
+                self._sink.write(json.dumps(span.as_dict(), sort_keys=True) + "\n")
+                self._sink.flush()
+
+    # -- export -------------------------------------------------------------
+
+    def spans(self) -> tuple[Span, ...]:
+        """Finished spans currently buffered, oldest first."""
+        with self._lock:
+            return tuple(self._spans)
+
+    def drain(self) -> tuple[Span, ...]:
+        """Return buffered spans and clear the buffer."""
+        with self._lock:
+            spans = tuple(self._spans)
+            self._spans.clear()
+        return spans
+
+    def attach_sink(self, sink: IO[str] | None) -> None:
+        """Stream future spans to ``sink`` as JSONL (None detaches)."""
+        with self._lock:
+            self._sink = sink
+
+    def export_jsonl(self, path: str, *, append: bool = False) -> int:
+        """Write all buffered spans to ``path`` as JSONL; returns the count."""
+        spans = self.spans()
+        mode = "a" if append else "w"
+        with open(path, mode, encoding="utf-8") as handle:
+            for span in spans:
+                handle.write(json.dumps(span.as_dict(), sort_keys=True) + "\n")
+        return len(spans)
+
+    def iter_jsonl(self) -> Iterator[str]:
+        """Yield each buffered span as one JSONL line."""
+        for span in self.spans():
+            yield json.dumps(span.as_dict(), sort_keys=True)
+
+
+#: the process-wide default tracer — disabled until enabled explicitly
+TRACER = Tracer(enabled=False)
+
+
+def default_tracer() -> Tracer:
+    """The process-wide default tracer instrumented modules publish to."""
+    return TRACER

@@ -7,6 +7,11 @@ Every call returns the results plus a :class:`ServeTrace` carrying
 per-stage activity and a queueing-latency estimate, so throughput,
 latency and the power models' duty-cycle inputs flow from one call.
 :mod:`repro.serve.perf` is the timing harness behind ``make bench``.
+
+While the observability layer is enabled (:func:`repro.obs.enable`)
+the serve path also publishes per-batch metrics, spans and — with a
+:class:`repro.obs.power.PowerTelemetrySampler` attached — live power
+telemetry; see ``docs/OBSERVABILITY.md``.
 """
 
 from repro.serve.service import LookupService, ServeTrace

@@ -18,12 +18,29 @@ pipeline accounting of :func:`repro.iplookup.pipeline.trace_from_walk`)
 and an M/D/1 queueing-latency estimate (:mod:`repro.virt.queueing`).
 Throughput, latency and the power models' duty-cycle inputs therefore
 all flow from one ``serve()`` call.
+
+Observability
+-------------
+When the process-wide observability layer is enabled
+(:func:`repro.obs.enable`), every ``serve()`` call additionally emits
+a ``serve.batch`` span, increments per-scheme batch and per-VN lookup
+counters, observes the host wall-clock batch latency into a
+fixed-bucket histogram (seconds), and sets the modeled M/D/1
+queue-depth and measured memory-duty-cycle gauges — see
+``docs/OBSERVABILITY.md`` for the catalog.  With observability
+disabled (the default) the serve path is byte-for-byte the
+uninstrumented hot path behind a single flag check, so there is no
+measurable overhead.
+
+Units: batch latency is recorded in seconds, queue depth in packets,
+duty cycle as a fraction in [0, 1].
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -32,10 +49,15 @@ from repro.errors import ConfigurationError, MergeError
 from repro.iplookup.pipeline import PipelineTrace, trace_from_walk
 from repro.iplookup.rib import RoutingTable
 from repro.iplookup.trie import UnibitTrie
+from repro.obs.registry import MetricsRegistry, default_registry
+from repro.obs.tracing import Tracer, default_tracer
 from repro.virt.distributor import Distributor
 from repro.virt.merged import MergedTrie, merge_tries
 from repro.virt.queueing import LatencyReport, scheme_latency_ns
 from repro.virt.schemes import Scheme
+
+if TYPE_CHECKING:  # the sampler pulls in the experiment stack
+    from repro.obs.power import PowerTelemetrySampler
 
 __all__ = ["LookupService", "ServeTrace"]
 
@@ -58,6 +80,12 @@ class ServeTrace:
         load the service was asked to model.
     elapsed_s:
         Host wall-clock time spent answering the batch.
+    vn_counts:
+        Lookups per virtual network in the batch (length K).
+        Populated only while observability is enabled — the bincount
+        is skipped on the uninstrumented fast path — and consumed by
+        the per-VN power attribution of
+        :class:`repro.obs.power.PowerTelemetrySampler`.
     """
 
     scheme: Scheme
@@ -65,6 +93,7 @@ class ServeTrace:
     engine_traces: tuple[PipelineTrace, ...]
     latency: LatencyReport
     elapsed_s: float
+    vn_counts: tuple[int, ...] = ()
 
     @property
     def n_engines(self) -> int:
@@ -100,6 +129,17 @@ class ServeTrace:
             return np.zeros(self.n_engines)
         return counts / self.n_packets
 
+    def vn_loads(self) -> np.ndarray:
+        """Fraction of the batch each virtual network contributed.
+
+        Empty array when the trace was taken with observability
+        disabled (``vn_counts`` untracked).
+        """
+        counts = np.asarray(self.vn_counts, dtype=float)
+        if counts.size == 0 or self.n_packets == 0:
+            return np.zeros(len(self.vn_counts))
+        return counts / self.n_packets
+
 
 class LookupService:
     """Batched ``(addresses, vnids)`` front end over the three schemes.
@@ -119,6 +159,17 @@ class LookupService:
         Offered load, as a fraction of the scheme's aggregate lookup
         capacity, assumed for the M/D/1 queueing estimate attached to
         each :class:`ServeTrace`.
+    registry:
+        Metrics registry instrumented counters publish into; defaults
+        to the process-wide registry (metrics fire only while it is
+        enabled).
+    tracer:
+        Tracer for per-batch ``serve.batch`` spans; defaults to the
+        process-wide tracer.
+    power_sampler:
+        Optional :class:`repro.obs.power.PowerTelemetrySampler`; when
+        set and observability is enabled, every served batch is also
+        folded into its running per-VN power estimate.
     """
 
     def __init__(
@@ -129,6 +180,9 @@ class LookupService:
         n_stages: int = 28,
         frequency_mhz: float = 200.0,
         offered_load_fraction: float = 0.5,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        power_sampler: "PowerTelemetrySampler | None" = None,
     ):
         if not tables:
             raise ConfigurationError("need at least one routing table")
@@ -146,6 +200,9 @@ class LookupService:
         self.frequency_mhz = frequency_mhz
         self.offered_load_fraction = offered_load_fraction
         self._tables = tables
+        self._registry = registry if registry is not None else default_registry()
+        self._tracer = tracer if tracer is not None else default_tracer()
+        self.power_sampler = power_sampler
         self.distributor = Distributor(k=self.k)
         self._tries: list[UnibitTrie] = [UnibitTrie(t) for t in tables]
         self._merged: MergedTrie | None = None
@@ -205,15 +262,10 @@ class LookupService:
             self.n_stages,
         )
 
-    def serve(
-        self, addresses: np.ndarray, vnids: np.ndarray
+    def _serve_inner(
+        self, addresses: np.ndarray, vnids: np.ndarray, *, track_vns: bool
     ) -> tuple[np.ndarray, ServeTrace]:
-        """Answer a batch of ``(address, vnid)`` lookups.
-
-        Returns the per-pair next hops (arrival order preserved) and
-        the :class:`ServeTrace` measuring the batch.
-        """
-        addresses, vnids = self._validate_batch(addresses, vnids)
+        """The uninstrumented serve path (inputs already validated)."""
         start = time.perf_counter()
         if self._merged is not None:
             depths, results = self._merged.walk_batch(addresses, vnids)
@@ -229,13 +281,86 @@ class LookupService:
                 )
             traces = tuple(engine_traces)
         elapsed = time.perf_counter() - start
+        vn_counts: tuple[int, ...] = ()
+        if track_vns:
+            vn_counts = tuple(
+                int(c) for c in np.bincount(vnids, minlength=self.k)
+            )
         trace = ServeTrace(
             scheme=self.scheme,
             n_packets=len(addresses),
             engine_traces=traces,
             latency=self._latency_estimate(),
             elapsed_s=elapsed,
+            vn_counts=vn_counts,
         )
+        return results, trace
+
+    def _record_batch(self, trace: ServeTrace) -> None:
+        """Publish one served batch into the metrics registry."""
+        registry = self._registry
+        scheme = self.scheme.name
+        registry.counter(
+            "repro_serve_batches_total", "Batches served", labels=("scheme",)
+        ).labels(scheme).inc()
+        lookups = registry.counter(
+            "repro_serve_lookups_total",
+            "Lookups served per virtual network",
+            labels=("scheme", "vn"),
+        )
+        for vn, count in enumerate(trace.vn_counts):
+            if count:
+                lookups.labels(scheme, vn).inc(count)
+        registry.histogram(
+            "repro_serve_batch_latency_seconds",
+            "Host wall-clock time answering one batch",
+            labels=("scheme",),
+        ).labels(scheme).observe(trace.elapsed_s)
+        # modeled M/D/1 mean queue occupancy per engine, summed over
+        # engines: Lq = rho^2 / (2 (1 - rho)) at the configured
+        # offered-load fraction
+        rho = self.offered_load_fraction
+        queue_depth = self.n_engines * rho * rho / (2.0 * (1.0 - rho))
+        registry.gauge(
+            "repro_serve_queue_depth",
+            "Modeled M/D/1 mean queue occupancy, packets (all engines)",
+            labels=("scheme",),
+        ).labels(scheme).set(queue_depth)
+        registry.gauge(
+            "repro_serve_duty_cycle",
+            "Packet-weighted mean memory duty cycle of the last batch",
+            labels=("scheme",),
+        ).labels(scheme).set(trace.mean_duty_cycle())
+
+    def serve(
+        self, addresses: np.ndarray, vnids: np.ndarray
+    ) -> tuple[np.ndarray, ServeTrace]:
+        """Answer a batch of ``(address, vnid)`` lookups.
+
+        Returns the per-pair next hops (arrival order preserved) and
+        the :class:`ServeTrace` measuring the batch.  While
+        observability is enabled the call also emits a ``serve.batch``
+        span, updates the serve counters/histograms/gauges, and feeds
+        the attached power sampler (see module docstring).
+        """
+        addresses, vnids = self._validate_batch(addresses, vnids)
+        metrics_on = self._registry.enabled
+        tracing_on = self._tracer.enabled
+        if not metrics_on and not tracing_on:
+            return self._serve_inner(addresses, vnids, track_vns=False)
+        with self._tracer.span(
+            "serve.batch", scheme=self.scheme.name, n_packets=int(len(addresses))
+        ) as span:
+            results, trace = self._serve_inner(addresses, vnids, track_vns=True)
+            span.set("n_engines", trace.n_engines)
+            span.set("elapsed_s", trace.elapsed_s)
+            if metrics_on:
+                self._record_batch(trace)
+                if self.power_sampler is not None:
+                    sample = self.power_sampler.observe(
+                        trace, duty_cycle=self.offered_load_fraction or 1.0
+                    )
+                    span.set("power_total_w", sample.total_w)
         return results, trace
 
     def lookup_batch(self, addresses: np.ndarray, vnids: np.ndarray) -> np.ndarray:

@@ -1,0 +1,236 @@
+"""``repro-metrics`` — exercise and export the observability layer.
+
+Subcommands
+-----------
+``snapshot [--format prometheus|jsonl]``
+    Enable observability, serve a small instrumented workload in-process
+    and print the resulting metrics registry in the chosen wire format.
+    With ``--power`` the workload also attaches a
+    :class:`~repro.obs.power.PowerTelemetrySampler`, so the power gauges
+    (``repro_power_*``) appear in the exposition.
+``tail``
+    Run the same workload but stream every span as a JSONL line to
+    stdout the moment it closes (the ``attach_sink`` pipeline); metrics
+    are printed afterwards unless ``--no-metrics``.
+``demo [--grade G2] [--kmax 15]``
+    The paper's K = 1..kmax sweep driven through the *live* telemetry
+    path: for each scheme one instrumented batch is served per K and the
+    power/throughput table printed is read back from the sampler's
+    running estimates — watts and mW/Gbps per scenario, the Fig. 5 /
+    Fig. 8 quantities derived from traffic instead of offline sweeps.
+
+The served tables are synthetic and deliberately small (``--prefixes``)
+— the live trace contributes only *activity*; the power model behind
+the gauges is evaluated on the paper's reference scenario either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.fpga.speedgrade import SpeedGrade
+from repro.iplookup.synth import SyntheticTableConfig, generate_virtual_tables
+from repro.obs.export import render_metrics_jsonl, render_prometheus
+from repro.obs.registry import default_registry
+from repro.obs.tracing import default_tracer
+from repro.reporting.tables import render_table
+from repro.serve.service import LookupService
+from repro.virt.schemes import Scheme
+
+__all__ = ["main"]
+
+#: demo sweep variants: (scheme, alpha) — NV, VS and the α=80 % merge
+DEMO_VARIANTS: tuple[tuple[Scheme, float | None], ...] = (
+    (Scheme.NV, None),
+    (Scheme.VS, None),
+    (Scheme.VM, 0.8),
+)
+
+
+def _served_tables(k: int, n_prefixes: int, seed: int):
+    """Small per-VN tables for the instrumented workload (activity only)."""
+    config = SyntheticTableConfig(n_prefixes=n_prefixes, seed=seed)
+    return generate_virtual_tables(k, shared_fraction=0.5, config=config)
+
+
+def _uniform_batch(
+    k: int, batch_size: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """One batch with exactly ``batch_size // k`` lookups per VN."""
+    per_vn = max(1, batch_size // k)
+    addresses = rng.integers(0, 2**32, size=per_vn * k, dtype=np.uint32)
+    vnids = np.repeat(np.arange(k, dtype=np.int64), per_vn)
+    return addresses, vnids
+
+
+def _build_service(
+    scheme: Scheme,
+    k: int,
+    *,
+    n_prefixes: int,
+    seed: int,
+    power: bool,
+    grade: SpeedGrade,
+    alpha: float | None,
+) -> LookupService:
+    tables = _served_tables(k, n_prefixes, seed)
+    sampler = None
+    if power:
+        from repro.obs.power import PowerTelemetrySampler
+
+        sampler = PowerTelemetrySampler(scheme, k, grade=grade, alpha=alpha)
+    return LookupService(tables, scheme, power_sampler=sampler)
+
+
+def _run_workload(args: argparse.Namespace, *, power: bool) -> LookupService:
+    """Serve ``--batches`` uniform batches through one instrumented service."""
+    scheme = Scheme[args.scheme]
+    alpha = args.alpha if scheme is Scheme.VM and args.k > 1 else None
+    service = _build_service(
+        scheme,
+        args.k,
+        n_prefixes=args.prefixes,
+        seed=args.seed,
+        power=power,
+        grade=SpeedGrade[args.grade],
+        alpha=alpha,
+    )
+    rng = np.random.default_rng(args.seed)
+    for _ in range(args.batches):
+        addresses, vnids = _uniform_batch(args.k, args.batch_size, rng)
+        service.serve(addresses, vnids)
+    return service
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    registry = default_registry()
+    tracer = default_tracer()
+    registry.enable()
+    tracer.enable()
+    _run_workload(args, power=args.power)
+    if args.format == "jsonl":
+        sys.stdout.write(render_metrics_jsonl(registry))
+    else:
+        sys.stdout.write(render_prometheus(registry))
+    if args.spans:
+        count = tracer.export_jsonl(args.spans)
+        print(f"wrote {count} span(s) to {args.spans}", file=sys.stderr)
+    return 0
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    registry = default_registry()
+    tracer = default_tracer()
+    registry.enable()
+    tracer.enable()
+    tracer.attach_sink(sys.stdout)
+    try:
+        _run_workload(args, power=args.power)
+    finally:
+        tracer.attach_sink(None)
+    if not args.no_metrics:
+        sys.stdout.write(render_prometheus(registry))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    registry = default_registry()
+    tracer = default_tracer()
+    registry.enable()
+    tracer.enable()
+    grade = SpeedGrade[args.grade]
+    rng = np.random.default_rng(args.seed)
+    rows = [["scheme", "K", "f_MHz", "Gbps", "total_W", "mW/Gbps"]]
+    for scheme, alpha in DEMO_VARIANTS:
+        for k in range(1, args.kmax + 1):
+            service = _build_service(
+                scheme,
+                k,
+                n_prefixes=args.prefixes,
+                seed=args.seed,
+                power=True,
+                grade=grade,
+                alpha=alpha if k > 1 else None,
+            )
+            addresses, vnids = _uniform_batch(k, args.batch_size, rng)
+            service.serve(addresses, vnids)
+            sampler = service.power_sampler
+            assert sampler is not None
+            label = f"VM(a={int(alpha * 100)}%)" if scheme is Scheme.VM else scheme.name
+            rows.append(
+                [
+                    label,
+                    str(k),
+                    f"{sampler.scenario.frequency_mhz:.1f}",
+                    f"{sampler.scenario.throughput_gbps:.1f}",
+                    f"{sampler.running_total_w:.3f}",
+                    f"{sampler.running_mw_per_gbps:.2f}",
+                ]
+            )
+            if args.verbose:
+                print(f"served {label} K={k}", file=sys.stderr)
+    print("live power telemetry (batch-driven, grade " + grade.name + ")")
+    print(render_table(rows))
+    spans = tracer.spans()
+    batches = registry.get("repro_serve_batches_total")
+    n_batches = sum(child.value for _, child in batches.samples()) if batches else 0
+    print(f"observed {int(n_batches)} batches, recorded {len(spans)} spans")
+    return 0
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scheme", choices=[s.name for s in Scheme], default="VS")
+    parser.add_argument("--k", type=int, default=3, help="virtual networks")
+    parser.add_argument("--batches", type=int, default=4)
+    parser.add_argument("--batch-size", type=int, default=512)
+    parser.add_argument(
+        "--prefixes", type=int, default=256, help="prefixes per served table"
+    )
+    parser.add_argument("--alpha", type=float, default=0.8, help="VM merge efficiency")
+    parser.add_argument("--grade", choices=[g.name for g in SpeedGrade], default="G2")
+    parser.add_argument("--seed", type=int, default=2012)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``repro-metrics`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro-metrics", description="Exercise and export observability data."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_snap = sub.add_parser("snapshot", help="run a workload, print the registry")
+    _add_workload_args(p_snap)
+    p_snap.add_argument("--format", choices=["prometheus", "jsonl"], default="prometheus")
+    p_snap.add_argument("--power", action="store_true", help="attach a power sampler")
+    p_snap.add_argument("--spans", metavar="FILE", help="also export spans as JSONL")
+    p_snap.set_defaults(func=_cmd_snapshot)
+
+    p_tail = sub.add_parser("tail", help="stream spans as JSONL while serving")
+    _add_workload_args(p_tail)
+    p_tail.add_argument("--power", action="store_true", help="attach a power sampler")
+    p_tail.add_argument("--no-metrics", action="store_true")
+    p_tail.set_defaults(func=_cmd_tail)
+
+    p_demo = sub.add_parser("demo", help="K sweep with live power telemetry")
+    p_demo.add_argument("--kmax", type=int, default=15)
+    p_demo.add_argument("--batch-size", type=int, default=512)
+    p_demo.add_argument("--prefixes", type=int, default=256)
+    p_demo.add_argument("--grade", choices=[g.name for g in SpeedGrade], default="G2")
+    p_demo.add_argument("--seed", type=int, default=2012)
+    p_demo.add_argument("--verbose", action="store_true")
+    p_demo.set_defaults(func=_cmd_demo)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,6 +30,7 @@ import numpy as np
 from repro.errors import MergeError
 from repro.iplookup.rib import NO_ROUTE
 from repro.iplookup.trie import NONE, TrieStats, UnibitTrie
+from repro.obs.registry import REGISTRY
 
 __all__ = [
     "MergedTrie",
@@ -225,7 +226,14 @@ class MergedTrie:
         childflat = self._childflat
         for lvl in range(stride, self._depth):
             node = childflat[(node << 1) | ((addr64 >> (31 - lvl)) & 1)]
-        return self._levels[node], self._nhi_matrix[node, vnids]
+        depths = self._levels[node]
+        if REGISTRY.enabled:  # one branch per batch; zero overhead off
+            REGISTRY.counter(
+                "repro_trie_node_visits_total",
+                "Trie nodes touched by batch walks (root included)",
+                labels=("structure",),
+            ).labels("merged").inc(int(depths.sum()) + len(addresses))
+        return depths, self._nhi_matrix[node, vnids]
 
     def lookup_batch(self, addresses: np.ndarray, vnids: np.ndarray) -> np.ndarray:
         """Vectorized merged lookup over (address, vnid) pairs."""

@@ -1,0 +1,49 @@
+"""Tier-1 gate: every relative link in the markdown docs must resolve.
+
+Runs the same checker as ``make docs-check`` and the CI ``docs`` job
+(:mod:`tools.check_links`) over README.md, EXPERIMENTS.md and
+``docs/*.md`` — a renamed file or heading breaks this test, not the
+reader.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load_checker():
+    """Import tools/check_links.py by path (tools/ is not a package)."""
+    spec = importlib.util.spec_from_file_location(
+        "check_links", REPO_ROOT / "tools" / "check_links.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_links", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_relative_links_resolve():
+    checker = _load_checker()
+    files = checker.collect(["README.md", "EXPERIMENTS.md", "docs"], REPO_ROOT)
+    assert len(files) >= 3, "link check walked suspiciously few files"
+    problems = []
+    for path in files:
+        problems.extend(checker.check_file(path, REPO_ROOT))
+    assert problems == [], "\n".join(problems)
+
+
+def test_anchor_slugging_matches_github_convention():
+    checker = _load_checker()
+    assert checker.github_anchor("Open items") == "open-items"
+    assert checker.github_anchor("Power model (Eqs. 2/4/6)") == "power-model-eqs-246"
+    assert checker.github_anchor("`repro-metrics` CLI") == "repro-metrics-cli"
+
+
+def test_checker_flags_broken_link(tmp_path):
+    checker = _load_checker()
+    doc = tmp_path / "doc.md"
+    doc.write_text("# Title\n\nsee [missing](nope.md) and [ok](#title)\n")
+    problems = checker.check_file(doc, tmp_path)
+    assert len(problems) == 1 and "nope.md" in problems[0]

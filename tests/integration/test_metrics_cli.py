@@ -1,0 +1,101 @@
+"""Integration tests: the ``repro-metrics`` CLI end to end.
+
+The acceptance hook: ``repro-metrics snapshot`` output must be valid
+Prometheus text exposition — validated by round-tripping through the
+strict bundled parser, not by eyeballing.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.export import parse_prometheus_text
+from repro.obs.registry import REGISTRY
+from repro.obs.tracing import TRACER
+from repro.tools.metrics_cli import main
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """The CLI enables the process-wide surfaces; reset them per test."""
+    yield
+    REGISTRY.disable()
+    REGISTRY.clear()
+    TRACER.disable()
+    TRACER.drain()
+    TRACER.attach_sink(None)
+
+
+FAST = ["--k", "2", "--batches", "2", "--batch-size", "64", "--prefixes", "64"]
+
+
+class TestSnapshot:
+    def test_exposition_parses_as_valid_prometheus(self, capsys):
+        assert main(["snapshot", *FAST]) == 0
+        families = parse_prometheus_text(capsys.readouterr().out)
+        assert "repro_serve_batches_total" in families
+        assert families["repro_serve_batches_total"]["type"] == "counter"
+        (sample,) = families["repro_serve_batches_total"]["samples"]
+        assert sample[1] == {"scheme": "VS"} and sample[2] == 2.0
+        assert families["repro_serve_batch_latency_seconds"]["type"] == "histogram"
+        assert "repro_trie_node_visits_total" in families
+
+    def test_power_flag_adds_power_gauges(self, capsys):
+        assert main(["snapshot", "--power", *FAST]) == 0
+        families = parse_prometheus_text(capsys.readouterr().out)
+        assert "repro_power_total_watts" in families
+        vn_samples = families["repro_power_vn_watts"]["samples"]
+        total = families["repro_power_total_watts"]["samples"][0][2]
+        assert sum(v for _, _, v in vn_samples) == pytest.approx(total, rel=1e-9)
+
+    def test_jsonl_format(self, capsys):
+        assert main(["snapshot", "--format", "jsonl", *FAST]) == 0
+        records = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        metrics = {r["metric"] for r in records}
+        assert "repro_serve_batches_total" in metrics
+        assert all("kind" in r and "labels" in r for r in records)
+
+    def test_span_export(self, capsys, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        assert main(["snapshot", "--spans", str(path), *FAST]) == 0
+        spans = [json.loads(line) for line in path.read_text().splitlines()]
+        assert sum(s["name"] == "serve.batch" for s in spans) == 2
+
+    def test_vm_scheme_workload(self, capsys):
+        assert main(["snapshot", "--scheme", "VM", *FAST]) == 0
+        families = parse_prometheus_text(capsys.readouterr().out)
+        (sample,) = families["repro_serve_batches_total"]["samples"]
+        assert sample[1] == {"scheme": "VM"}
+
+
+class TestTail:
+    def test_streams_spans_then_metrics(self, capsys):
+        assert main(["tail", *FAST]) == 0
+        out = capsys.readouterr().out
+        span_lines = [line for line in out.splitlines() if line.startswith("{")]
+        assert len(span_lines) == 2
+        assert all(json.loads(line)["name"] == "serve.batch" for line in span_lines)
+        text_tail = "\n".join(line for line in out.splitlines() if not line.startswith("{"))
+        assert "repro_serve_batches_total" in parse_prometheus_text(text_tail)
+
+    def test_no_metrics_flag(self, capsys):
+        assert main(["tail", "--no-metrics", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert all(line.startswith("{") for line in out.splitlines() if line.strip())
+
+
+class TestDemo:
+    def test_reduced_sweep_prints_live_table(self, capsys):
+        assert main(["demo", "--kmax", "2", "--prefixes", "64", "--batch-size", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "live power telemetry" in out
+        for label in ("NV", "VS", "VM(a=80%)"):
+            assert label in out
+        # 3 schemes x 2 Ks = 6 batches observed
+        assert "observed 6 batches" in out
+
+
+class TestErrors:
+    def test_unknown_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,132 @@
+"""Unit tests for span tracing (repro.obs.tracing)."""
+
+import json
+
+import pytest
+
+from repro.obs.tracing import Tracer
+
+
+@pytest.fixture()
+def tracer():
+    return Tracer(enabled=True)
+
+
+class TestSpanNesting:
+    def test_child_links_to_parent_and_shares_trace(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.trace_id == outer.trace_id
+        spans = tracer.spans()
+        assert [s.name for s in spans] == ["inner", "outer"]  # children close first
+        assert spans[1].parent_id is None
+
+    def test_siblings_share_trace_but_not_parentage(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b, root = tracer.spans()
+        assert a.parent_id == b.parent_id == root.span_id
+        assert a.trace_id == b.trace_id == root.trace_id
+        assert a.span_id != b.span_id
+
+    def test_separate_roots_get_separate_traces(self, tracer):
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        first, second = tracer.spans()
+        assert first.trace_id != second.trace_id
+
+    def test_current_span_tracks_innermost(self, tracer):
+        assert tracer.current_span() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current_span() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current_span() is inner
+            assert tracer.current_span() is outer
+        assert tracer.current_span() is None
+
+
+class TestSpanUnits:
+    def test_duration_nonnegative_and_contains_child(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans()
+        assert inner.duration_s >= 0.0
+        assert outer.duration_s >= inner.duration_s
+
+    def test_start_is_unix_wall_clock(self, tracer):
+        with tracer.span("s"):
+            pass
+        (span,) = tracer.spans()
+        assert span.start_unix_s > 1_500_000_000  # after 2017 — a UNIX stamp
+
+    def test_attributes_and_status(self, tracer):
+        with tracer.span("s", scheme="VS") as span:
+            span.set("n", 3)
+        (recorded,) = tracer.spans()
+        assert recorded.attributes == {"scheme": "VS", "n": 3}
+        assert recorded.status == "ok"
+
+    def test_error_status_on_exception(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("no")
+        (span,) = tracer.spans()
+        assert span.status == "error"
+
+
+class TestDisabledTracer:
+    def test_disabled_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("ignored") as span:
+            span.set("k", "v")  # no-op span accepts set()
+        assert tracer.spans() == ()
+
+    def test_starts_disabled_by_default(self):
+        assert not Tracer().enabled
+
+
+class TestExport:
+    def test_ring_buffer_drops_oldest(self):
+        tracer = Tracer(enabled=True, max_spans=2)
+        for name in ("a", "b", "c"):
+            with tracer.span(name):
+                pass
+        assert [s.name for s in tracer.spans()] == ["b", "c"]
+
+    def test_drain_empties_buffer(self, tracer):
+        with tracer.span("x"):
+            pass
+        assert len(tracer.drain()) == 1
+        assert tracer.spans() == ()
+
+    def test_export_jsonl_round_trips(self, tracer, tmp_path):
+        with tracer.span("outer", k=1):
+            with tracer.span("inner"):
+                pass
+        path = tmp_path / "spans.jsonl"
+        count = tracer.export_jsonl(str(path))
+        assert count == 2
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        by_name = {r["name"]: r for r in records}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+        assert by_name["outer"]["attributes"] == {"k": 1}
+
+    def test_attach_sink_streams_as_spans_close(self, tracer, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        with open(path, "w", encoding="utf-8") as sink:
+            tracer.attach_sink(sink)
+            with tracer.span("streamed"):
+                pass
+            tracer.attach_sink(None)
+            with tracer.span("not-streamed"):
+                pass
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["name"] == "streamed"

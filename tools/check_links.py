@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Validate relative links in the repository's markdown docs.
+
+Scans the markdown files and directories given on the command line for
+inline links and images (``[text](target)``), resolves every *relative*
+target against the linking file's directory, and fails when the target
+file does not exist or a ``#fragment`` does not match any heading
+anchor in the target document (GitHub's anchor convention: lowercase,
+spaces to dashes, punctuation stripped).
+
+External targets (``http://``, ``https://``, ``mailto:``) and bare
+anchors into third-party sites are not fetched — this is an offline,
+repository-consistency check, run by ``make docs-check`` and the CI
+``docs`` job.
+
+Exit status: 0 when every link resolves, 1 otherwise (one diagnostic
+line per broken link), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# inline markdown link/image: [text](target) — tolerates one level of
+# nested brackets in the text (e.g. badge images)
+_LINK = re.compile(r"!?\[(?:[^\[\]]|\[[^\]]*\])*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _strip_code(text: str) -> str:
+    """Remove fenced code blocks and inline code spans before scanning."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`]*`", "", text)
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's anchor slug for one heading line."""
+    # drop markdown emphasis/code markers, then lowercase, strip
+    # punctuation, and turn spaces into dashes
+    text = re.sub(r"[*_`]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path: Path) -> set[str]:
+    """All heading anchors defined in ``path`` (deduplicated GitHub-style)."""
+    anchors: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if match is None:
+            continue
+        slug = github_anchor(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    """All broken-link diagnostics for one markdown file."""
+    problems: list[str] = []
+    text = _strip_code(path.read_text(encoding="utf-8"))
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL) or target.startswith("<"):
+            continue
+        rel = path.relative_to(root)
+        if target.startswith("#"):
+            if github_anchor(target[1:]) not in heading_anchors(path):
+                problems.append(f"{rel}: broken anchor {target!r}")
+            continue
+        base, _, fragment = target.partition("#")
+        resolved = (path.parent / base).resolve()
+        if not resolved.exists():
+            problems.append(f"{rel}: broken link {target!r} -> {resolved}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in heading_anchors(resolved):
+                problems.append(
+                    f"{rel}: broken anchor {target!r} "
+                    f"(no heading #{fragment} in {resolved.name})"
+                )
+    return problems
+
+
+def collect(paths: list[str], root: Path) -> list[Path]:
+    """Expand CLI arguments into the markdown files to check."""
+    files: list[Path] = []
+    for arg in paths:
+        path = (root / arg).resolve() if not Path(arg).is_absolute() else Path(arg)
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.md")))
+        elif path.exists():
+            files.append(path)
+        else:
+            raise FileNotFoundError(arg)
+    return files
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths", nargs="+", help="markdown files or directories of *.md to check"
+    )
+    parser.add_argument(
+        "--root",
+        default=str(Path(__file__).resolve().parent.parent),
+        help="repository root that relative PATH arguments resolve against",
+    )
+    args = parser.parse_args(argv)
+    root = Path(args.root).resolve()
+    try:
+        files = collect(args.paths, root)
+    except FileNotFoundError as exc:
+        print(f"error: no such file or directory: {exc}", file=sys.stderr)
+        return 2
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path, root))
+    for problem in problems:
+        print(problem)
+    print(
+        f"checked {len(files)} file(s): "
+        + ("OK" if not problems else f"{len(problems)} broken link(s)")
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
