@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-smoke bench-figures figures experiments experiments-md examples obs-demo docs-check clean
+.PHONY: install test lint bench bench-smoke bench-figures figures experiments experiments-md examples obs-demo faults-smoke docs-check clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -48,6 +48,11 @@ examples:
 # live power/throughput telemetry over the paper's K = 1..15 sweep
 obs-demo:
 	$(PYTHON) -m repro.tools.metrics_cli demo --kmax 15
+
+# fault-injection smoke: headline stall agreement + a seeded chaos run
+faults-smoke:
+	$(PYTHON) -m pytest -q tests/integration/test_faults_smoke.py
+	$(PYTHON) -m repro.tools.metrics_cli faults --k 4 --batches 8 --n-faults 5 --power
 
 # validate relative links in the markdown docs
 docs-check:

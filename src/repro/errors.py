@@ -20,6 +20,9 @@ __all__ = [
     "CalibrationError",
     "ExperimentError",
     "ObservabilityError",
+    "FaultError",
+    "MalformedBatchError",
+    "TransientEngineError",
 ]
 
 
@@ -83,3 +86,36 @@ class ExperimentError(ReproError):
 
 class ObservabilityError(ReproError):
     """Invalid metric, span or telemetry registration or usage."""
+
+
+class FaultError(ReproError):
+    """Base class for the fault-injection and degradation layer."""
+
+
+class MalformedBatchError(FaultError):
+    """A serve batch was rejected by strict input validation.
+
+    Carries the rejection ``kind`` — one of ``shape``, ``truncated``,
+    ``dtype``, ``non_finite``, ``address_range``, ``vnid_range`` — so
+    the serving layer can attribute the rejection in its error-budget
+    counter (``repro_serve_errors_total{kind}``) and callers can
+    dispatch on the failure mode without parsing messages.
+    """
+
+    def __init__(self, kind: str, message: str):
+        self.kind = kind
+        super().__init__(f"malformed batch ({kind}): {message}")
+
+
+class TransientEngineError(FaultError):
+    """An engine walk failed transiently (injected or simulated).
+
+    The serving layer's degradation policy retries these with backoff;
+    only after the retry budget is exhausted does the engine's share of
+    the batch get shed.
+    """
+
+    def __init__(self, engine: int, attempt: int):
+        self.engine = engine
+        self.attempt = attempt
+        super().__init__(f"engine {engine} walk failed transiently (attempt {attempt})")

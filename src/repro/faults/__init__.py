@@ -1,0 +1,56 @@
+"""Fault injection and graceful degradation for the serving layer.
+
+The paper's transparency requirement (Section I) — virtualization must
+preserve "the throughput and latency requirements guaranteed
+originally" — is only meaningful if it survives contact with
+non-nominal operating points.  This package supplies the perturbations
+and the policy for surviving them:
+
+* :mod:`repro.faults.injectors` — composable fault value objects:
+  :class:`EngineStall`, :class:`BramWriteStorm`,
+  :class:`TransientWalkFailure`, plus the per-batch
+  :class:`ActiveFaults` composition.
+* :mod:`repro.faults.plan` — :class:`FaultPlan`: a deterministic
+  schedule of fault windows over batch indices, either hand-built or
+  derived from a seed (:meth:`FaultPlan.generate`).
+* :mod:`repro.faults.policy` — :class:`DegradationPolicy`: per-VN
+  admission shedding bounds, walk-retry budget and backoff.
+* :mod:`repro.faults.malformed` — the malformed-batch corruption
+  corpus driven against the serving layer's strict validation.
+
+:class:`repro.serve.LookupService` accepts a ``fault_plan`` and a
+``policy``; under active faults it sheds excess per-VN load (counted
+in ``repro_serve_shed_lookups_total``), retries transient walk
+failures, and reports the degraded M/D/1 latency and power-model
+activity in its :class:`~repro.serve.service.ServeTrace` — the closed
+loop validated by the chaos suite.  See ``docs/ROBUSTNESS.md``.
+"""
+
+from __future__ import annotations
+
+from repro.faults.injectors import (
+    FAULT_KINDS,
+    ActiveFaults,
+    BramWriteStorm,
+    EngineStall,
+    Fault,
+    TransientWalkFailure,
+)
+from repro.faults.malformed import MALFORMED_KINDS, corrupt_batch
+from repro.faults.plan import FaultPlan, FaultWindow
+from repro.faults.policy import SHED_RESULT, DegradationPolicy
+
+__all__ = [
+    "FAULT_KINDS",
+    "ActiveFaults",
+    "BramWriteStorm",
+    "EngineStall",
+    "Fault",
+    "TransientWalkFailure",
+    "MALFORMED_KINDS",
+    "corrupt_batch",
+    "FaultPlan",
+    "FaultWindow",
+    "SHED_RESULT",
+    "DegradationPolicy",
+]

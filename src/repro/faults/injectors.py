@@ -1,0 +1,237 @@
+"""Composable fault injectors for the serving layer.
+
+Three fault species, mirroring how shared-engine deployments actually
+diverge from their steady-state models (paper Section I's transparency
+requirement; Chen et al.'s call to validate power models at perturbed
+operating points):
+
+* :class:`EngineStall` — an engine's effective lookup-slot rate drops
+  to a fraction of nominal (``frequency_scale``), or the engine goes
+  offline entirely (``frequency_scale == 0``).  NV/VS bind engine *i*
+  to virtual network *i*, so a stalled engine cannot be rerouted — its
+  VN's excess traffic is shed by admission control instead.
+* :class:`BramWriteStorm` — a burst of table-update traffic that
+  inflates every stage memory's write rate (a power input of the
+  BRAM model, Table III) and steals a fraction of the lookup slots
+  device-wide (updates and lookups share the stage-memory port).
+* :class:`TransientWalkFailure` — the first ``n_failures`` walk
+  attempts against one engine fail with
+  :class:`~repro.errors.TransientEngineError` each batch, exercising
+  the serving layer's retry-with-backoff path.
+
+Injectors are frozen value objects; *when* they apply is decided by a
+:class:`~repro.faults.plan.FaultPlan`.  :class:`ActiveFaults` is the
+composed per-batch view the serving layer consumes: per-engine
+capacity scales, the storm's write rate, and the transient-failure
+schedule, reduced from however many windows overlap the batch.
+
+Units: ``frequency_scale``, ``slot_steal_fraction`` and admission
+fractions are dimensionless fractions in [0, 1]; ``write_rate`` is a
+per-cycle write probability in [0, 1] like
+:data:`repro.fpga.bram.PAPER_WRITE_RATE`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TransientEngineError
+
+__all__ = [
+    "FAULT_KINDS",
+    "EngineStall",
+    "BramWriteStorm",
+    "TransientWalkFailure",
+    "Fault",
+    "ActiveFaults",
+]
+
+#: the fault species, as they appear in metric labels and span names
+FAULT_KINDS: tuple[str, ...] = ("stall", "write_storm", "transient_walk")
+
+
+@dataclass(frozen=True)
+class EngineStall:
+    """One engine's effective slot rate drops (0 = offline).
+
+    Attributes
+    ----------
+    engine:
+        Index of the stalled engine (0-based; NV/VS bind engine *i*
+        to VN *i*, VM has the single engine 0).
+    frequency_scale:
+        Remaining fraction of the nominal lookup-slot rate in [0, 1];
+        0 takes the engine offline for the window.
+    """
+
+    engine: int
+    frequency_scale: float
+
+    #: metric/span label of this fault species
+    kind: ClassVar[str] = "stall"
+
+    def __post_init__(self) -> None:
+        if self.engine < 0:
+            raise ConfigurationError(f"engine index must be >= 0, got {self.engine}")
+        if not 0.0 <= self.frequency_scale < 1.0:
+            raise ConfigurationError(
+                "frequency_scale must be in [0, 1) — 1.0 would be no stall, "
+                f"got {self.frequency_scale}"
+            )
+
+    def label(self) -> str:
+        """Human/trace label, e.g. ``stall(engine=2, scale=0.25)``."""
+        return f"stall(engine={self.engine}, scale={self.frequency_scale:g})"
+
+
+@dataclass(frozen=True)
+class BramWriteStorm:
+    """A burst of update traffic against every stage memory.
+
+    Attributes
+    ----------
+    write_rate:
+        Per-cycle write probability applied to every stage memory
+        while the storm is active (the BRAM power model's write-rate
+        input; nominal is :data:`repro.fpga.bram.PAPER_WRITE_RATE`).
+    slot_steal_fraction:
+        Fraction of lookup admission slots the update traffic steals
+        device-wide, in [0, 1) — updates and lookups contend for the
+        same stage-memory port.
+    """
+
+    write_rate: float
+    slot_steal_fraction: float = 0.0
+
+    #: metric/span label of this fault species
+    kind: ClassVar[str] = "write_storm"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.write_rate <= 1.0:
+            raise ConfigurationError(
+                f"write_rate is a per-cycle probability, got {self.write_rate}"
+            )
+        if not 0.0 <= self.slot_steal_fraction < 1.0:
+            raise ConfigurationError(
+                "slot_steal_fraction must be in [0, 1); 1.0 would steal "
+                f"every lookup slot, got {self.slot_steal_fraction}"
+            )
+
+    def label(self) -> str:
+        """Human/trace label, e.g. ``write_storm(rate=0.3, steal=0.2)``."""
+        return (
+            f"write_storm(rate={self.write_rate:g}, "
+            f"steal={self.slot_steal_fraction:g})"
+        )
+
+
+@dataclass(frozen=True)
+class TransientWalkFailure:
+    """The first ``n_failures`` walk attempts on one engine fail.
+
+    The failure schedule is per batch and per attempt — attempt
+    numbers below ``n_failures`` raise
+    :class:`~repro.errors.TransientEngineError`, later attempts
+    succeed — so a retry budget of at least ``n_failures`` recovers
+    the batch, and a smaller budget sheds the engine's share.
+    """
+
+    engine: int
+    n_failures: int = 1
+
+    #: metric/span label of this fault species
+    kind: ClassVar[str] = "transient_walk"
+
+    def __post_init__(self) -> None:
+        if self.engine < 0:
+            raise ConfigurationError(f"engine index must be >= 0, got {self.engine}")
+        if self.n_failures < 1:
+            raise ConfigurationError(
+                f"n_failures must be >= 1, got {self.n_failures}"
+            )
+
+    def label(self) -> str:
+        """Human/trace label, e.g. ``transient_walk(engine=1, fails=2)``."""
+        return f"transient_walk(engine={self.engine}, fails={self.n_failures})"
+
+
+#: any injector accepted by a fault plan window
+Fault = EngineStall | BramWriteStorm | TransientWalkFailure
+
+
+class ActiveFaults:
+    """The faults overlapping one served batch, composed.
+
+    Reduction rules when windows overlap: engine capacity scales
+    multiply per engine (two stalls compound), slot-steal fractions
+    compose as ``1 - prod(1 - steal)``, the storm write rate is the
+    maximum, and transient failure counts per engine are the maximum.
+    """
+
+    __slots__ = ("faults", "_stall_scale", "_write_rate", "_slot_steal", "_transient")
+
+    def __init__(self, faults: tuple[Fault, ...]):
+        self.faults = faults
+        self._stall_scale: dict[int, float] = {}
+        self._write_rate: float | None = None
+        self._slot_steal = 0.0
+        self._transient: dict[int, int] = {}
+        for fault in faults:
+            if isinstance(fault, EngineStall):
+                prior = self._stall_scale.get(fault.engine, 1.0)
+                self._stall_scale[fault.engine] = prior * fault.frequency_scale
+            elif isinstance(fault, BramWriteStorm):
+                if self._write_rate is None or fault.write_rate > self._write_rate:
+                    self._write_rate = fault.write_rate
+                self._slot_steal = 1.0 - (1.0 - self._slot_steal) * (
+                    1.0 - fault.slot_steal_fraction
+                )
+            else:
+                prior_fails = self._transient.get(fault.engine, 0)
+                self._transient[fault.engine] = max(prior_fails, fault.n_failures)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    @property
+    def write_rate(self) -> float | None:
+        """Active storm write rate, or None when no storm is active."""
+        return self._write_rate
+
+    def labels(self) -> tuple[str, ...]:
+        """Stable labels of every active fault (for spans and traces)."""
+        return tuple(fault.label() for fault in self.faults)
+
+    def kind_counts(self) -> dict[str, int]:
+        """Active fault count per species (the ``repro_fault_active`` gauge)."""
+        counts = dict.fromkeys(FAULT_KINDS, 0)
+        for fault in self.faults:
+            counts[fault.kind] += 1
+        return counts
+
+    def capacity_scales(self, n_engines: int) -> np.ndarray:
+        """Per-engine remaining capacity fraction in [0, 1].
+
+        Combines per-engine stalls with the device-wide slot steal;
+        stalls targeting engines beyond ``n_engines`` are ignored (a
+        plan generated for one topology may be replayed on a smaller
+        one).
+        """
+        scales = np.ones(n_engines)
+        for engine, scale in self._stall_scale.items():
+            if engine < n_engines:
+                scales[engine] = scale
+        return scales * (1.0 - self._slot_steal)
+
+    def check_walk(self, engine: int, attempt: int) -> None:
+        """Raise :class:`TransientEngineError` if this attempt must fail.
+
+        ``attempt`` is 0-based; attempts below the engine's scheduled
+        failure count fail, later ones succeed.
+        """
+        failures = self._transient.get(engine, 0)
+        if attempt < failures:
+            raise TransientEngineError(engine, attempt)

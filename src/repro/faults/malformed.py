@@ -1,0 +1,85 @@
+"""Malformed-batch corpus: corrupt a well-formed batch on purpose.
+
+The serving layer must *strict-reject* malformed input with typed
+:class:`~repro.errors.MalformedBatchError`\\ s instead of letting
+``np.asarray`` silently coerce it (a NaN address cast to ``uint32``
+becomes a perfectly ordinary-looking lookup of address 0).  This
+module generates the corruption corpus the tests and the chaos CLI
+drive against that validation: each kind maps to the rejection
+``kind`` the validator must answer with.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["MALFORMED_KINDS", "corrupt_batch"]
+
+#: corruption kinds, keyed by the MalformedBatchError.kind they must
+#: provoke: value = the expected rejection kind
+MALFORMED_KINDS: dict[str, str] = {
+    "float_addresses": "dtype",
+    "nan_addresses": "non_finite",
+    "wrong_ndim": "shape",
+    "truncated": "truncated",
+    "vnid_below_range": "vnid_range",
+    "vnid_above_range": "vnid_range",
+    "address_overflow": "address_range",
+}
+
+
+def corrupt_batch(
+    addresses: np.ndarray,
+    vnids: np.ndarray,
+    kind: str,
+    rng: np.random.Generator,
+    *,
+    k: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return a corrupted copy of ``(addresses, vnids)``.
+
+    Parameters
+    ----------
+    addresses, vnids:
+        A well-formed batch (1-D, equal length, at least one pair).
+    kind:
+        One of :data:`MALFORMED_KINDS`.
+    rng:
+        Randomness source for picking corruption positions.
+    k:
+        Virtual networks of the target service (bounds for the
+        out-of-range vnid corruptions).
+    """
+    if kind not in MALFORMED_KINDS:
+        raise ConfigurationError(
+            f"unknown corruption kind {kind!r}; expected one of "
+            f"{sorted(MALFORMED_KINDS)}"
+        )
+    if len(addresses) == 0:
+        raise ConfigurationError("need at least one pair to corrupt")
+    addresses = np.array(addresses, copy=True)
+    vnids = np.array(vnids, copy=True)
+    position = int(rng.integers(0, len(addresses)))
+    if kind == "float_addresses":
+        return addresses.astype(np.float64), vnids
+    if kind == "nan_addresses":
+        floats = addresses.astype(np.float64)
+        floats[position] = np.nan
+        return floats, vnids
+    if kind == "wrong_ndim":
+        return addresses.reshape(1, -1), vnids
+    if kind == "truncated":
+        # mid-batch truncation: the address stream lost its tail
+        return addresses[: len(addresses) // 2], vnids
+    if kind == "vnid_below_range":
+        vnids[position] = -1
+        return addresses, vnids
+    if kind == "vnid_above_range":
+        vnids[position] = k
+        return addresses, vnids
+    # address_overflow: a value no uint32 address can hold
+    wide = addresses.astype(np.int64)
+    wide[position] = np.int64(2**32 + 7)
+    return wide, vnids

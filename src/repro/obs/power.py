@@ -38,6 +38,7 @@ from repro.core.config import ScenarioConfig
 from repro.core.estimator import ExperimentalPower, ScenarioResult
 from repro.core.metrics import mw_per_gbps
 from repro.errors import ConfigurationError, ObservabilityError
+from repro.fpga.bram import PAPER_WRITE_RATE
 from repro.fpga.power_report import XPowerAnalyzer
 from repro.fpga.speedgrade import SpeedGrade
 from repro.iplookup.synth import SyntheticTableConfig
@@ -61,7 +62,8 @@ class PowerSample:
     frequency_mhz:
         Operating clock of the placed design (achieved fmax).
     duty_cycle:
-        Offered-load fraction assumed for the reading (1 = line rate).
+        Offered-load fraction assumed for the reading (1 = line rate,
+        0 = idle: static power only, zero per-VN throughput).
     n_packets:
         Lookups in the batch behind this reading.
     static_w, logic_w, signal_w, bram_w:
@@ -187,17 +189,31 @@ class PowerTelemetrySampler:
                 return counts / counts.sum()
         return np.full(k, 1.0 / k)
 
-    def sample(self, trace: "ServeTrace", *, duty_cycle: float = 1.0) -> PowerSample:
+    def sample(
+        self,
+        trace: "ServeTrace",
+        *,
+        duty_cycle: float = 1.0,
+        write_rate: float | None = None,
+    ) -> PowerSample:
         """Evaluate the power model at the batch's measured activity.
 
         ``duty_cycle`` is the offered-load fraction the batch
         represents (1 = saturated line rate, the figures' operating
-        point); the per-engine activity is the engine's share of the
-        batch times this duty cycle — exactly the µᵢ·duty input of
-        Eqs. 2/4/6 and of the XPA-like experimental path.
+        point; 0 = an idle device, which still burns static power but
+        serves zero Gbps); the per-engine activity is the engine's
+        share of the batch times this duty cycle — exactly the µᵢ·duty
+        input of Eqs. 2/4/6 and of the XPA-like experimental path.
+        Under degraded admission the engine shares already carry the
+        shed fraction, so the reading tracks the degraded operating
+        point.  ``write_rate`` overrides the stage-memory update rate
+        (defaults to the paper's nominal
+        :data:`~repro.fpga.bram.PAPER_WRITE_RATE`; a write storm
+        passes its inflated rate here).
         """
-        if not 0.0 < duty_cycle <= 1.0:
-            raise ConfigurationError("duty_cycle must be in (0, 1]")
+        if not 0.0 <= duty_cycle <= 1.0:
+            raise ConfigurationError("duty_cycle must be in [0, 1]")
+        rate = PAPER_WRITE_RATE if write_rate is None else write_rate
         scheme, k = self.config.scheme, self.config.k
         if trace.scheme is not scheme:
             raise ObservabilityError(
@@ -216,21 +232,31 @@ class PowerTelemetrySampler:
         if scheme is Scheme.NV:
             # K identical devices: one report per device at its VN's load
             reports = [
-                self._analyzer.report(placed, f, np.array([load * duty_cycle]))
+                self._analyzer.report(
+                    placed, f, np.array([load * duty_cycle]), write_rate=rate
+                )
                 for load in loads
             ]
             power = ExperimentalPower.from_reports(reports)
             per_vn = tuple(r.static_w + r.dynamic_w for r in reports)
             shares = loads
         elif scheme is Scheme.VS:
-            report = self._analyzer.report(placed, f, loads * duty_cycle)
+            report = self._analyzer.report(
+                placed, f, loads * duty_cycle, write_rate=rate
+            )
             power = ExperimentalPower.from_reports([report])
             per_vn = tuple(
                 report.static_w / k + engine.dynamic_w for engine in report.engines
             )
             shares = loads
-        else:  # VM: one engine at the aggregate duty; attribute by VN share
-            report = self._analyzer.report(placed, f, np.array([duty_cycle]))
+        else:
+            # VM: the one engine's activity is its share of the offered
+            # batch (1 nominally, less under degraded admission) times
+            # the duty cycle; attribute dynamic power by VN share
+            served = loads[0] if trace.n_packets > 0 else 1.0
+            report = self._analyzer.report(
+                placed, f, np.array([served * duty_cycle]), write_rate=rate
+            )
             power = ExperimentalPower.from_reports([report])
             shares = self._vn_shares(trace)
             per_vn = tuple(
@@ -256,9 +282,15 @@ class PowerTelemetrySampler:
 
     # -- running telemetry --------------------------------------------------
 
-    def observe(self, trace: "ServeTrace", *, duty_cycle: float = 1.0) -> PowerSample:
+    def observe(
+        self,
+        trace: "ServeTrace",
+        *,
+        duty_cycle: float = 1.0,
+        write_rate: float | None = None,
+    ) -> PowerSample:
         """Sample, fold into the running estimate, and publish gauges."""
-        sample = self.sample(trace, duty_cycle=duty_cycle)
+        sample = self.sample(trace, duty_cycle=duty_cycle, write_rate=write_rate)
         self._batches += 1
         if sample.n_packets > 0:
             self._packets += sample.n_packets

@@ -19,18 +19,41 @@ and an M/D/1 queueing-latency estimate (:mod:`repro.virt.queueing`).
 Throughput, latency and the power models' duty-cycle inputs therefore
 all flow from one ``serve()`` call.
 
+Robustness
+----------
+Batches are **strictly validated**: wrong dtype, NaN floats,
+mis-shaped or truncated arrays and out-of-range vnids raise a typed
+:class:`~repro.errors.MalformedBatchError` instead of being silently
+coerced by numpy (a NaN cast to ``uint32`` looks like address 0).
+
+A service built with a :class:`~repro.faults.FaultPlan` degrades
+gracefully instead of failing: a stalled or storm-throttled engine
+that would saturate gets its virtual network's excess load **shed**
+(NV/VS bind engine *i* to VN *i*, so rerouting is impossible by
+construction — shed lookups answer :data:`~repro.faults.SHED_RESULT`
+and are counted in ``repro_serve_shed_lookups_total``), transient
+walk failures are retried with backoff per the
+:class:`~repro.faults.DegradationPolicy`, and the attached
+:class:`ServeTrace` carries the *degraded* per-engine activity and
+M/D/1 latency — which is what lets the chaos suite check the live
+power telemetry against the analytical model re-evaluated at the
+degraded operating point.  See ``docs/ROBUSTNESS.md``.
+
 Observability
 -------------
 When the process-wide observability layer is enabled
 (:func:`repro.obs.enable`), every ``serve()`` call additionally emits
-a ``serve.batch`` span, increments per-scheme batch and per-VN lookup
+a ``serve.batch`` span (plus one ``fault.<kind>`` child span per
+active fault), increments per-scheme batch and per-VN lookup
 counters, observes the host wall-clock batch latency into a
-fixed-bucket histogram (seconds), and sets the modeled M/D/1
-queue-depth and measured memory-duty-cycle gauges — see
-``docs/OBSERVABILITY.md`` for the catalog.  With observability
-disabled (the default) the serve path is byte-for-byte the
-uninstrumented hot path behind a single flag check, so there is no
-measurable overhead.
+fixed-bucket histogram (seconds), sets the modeled M/D/1 queue-depth
+and measured memory-duty-cycle gauges, and maintains the error-budget
+surface (``repro_serve_errors_total``,
+``repro_serve_shed_lookups_total``, ``repro_serve_retries_total``,
+``repro_fault_active``) — see ``docs/OBSERVABILITY.md`` for the
+catalog.  With observability disabled (the default) the serve path is
+byte-for-byte the uninstrumented hot path behind a single flag check,
+so there is no measurable overhead.
 
 Units: batch latency is recorded in seconds, queue depth in packets,
 duty cycle as a fraction in [0, 1].
@@ -39,13 +62,21 @@ duty cycle as a fraction in [0, 1].
 from __future__ import annotations
 
 import time
+from contextlib import ExitStack
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from repro.core.metrics import throughput_gbps
-from repro.errors import ConfigurationError, MergeError
+from repro.errors import (
+    ConfigurationError,
+    MalformedBatchError,
+    TransientEngineError,
+)
+from repro.faults.injectors import ActiveFaults, FAULT_KINDS
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import SHED_RESULT, DegradationPolicy
 from repro.iplookup.pipeline import PipelineTrace, trace_from_walk
 from repro.iplookup.rib import RoutingTable
 from repro.iplookup.trie import UnibitTrie
@@ -53,13 +84,17 @@ from repro.obs.registry import MetricsRegistry, default_registry
 from repro.obs.tracing import Tracer, default_tracer
 from repro.virt.distributor import Distributor
 from repro.virt.merged import MergedTrie, merge_tries
-from repro.virt.queueing import LatencyReport, scheme_latency_ns
+from repro.virt.queueing import LatencyReport, degraded_latency_ns, scheme_latency_ns
 from repro.virt.schemes import Scheme
 
 if TYPE_CHECKING:  # the sampler pulls in the experiment stack
     from repro.obs.power import PowerTelemetrySampler
 
 __all__ = ["LookupService", "ServeTrace"]
+
+#: address values are IPv4 words — anything above this cannot be cast
+#: to uint32 without silent wraparound
+_ADDRESS_MAX = 0xFFFFFFFF
 
 
 @dataclass(frozen=True)
@@ -71,21 +106,37 @@ class ServeTrace:
     scheme:
         Deployment scheme the batch was served under.
     n_packets:
-        Pairs in the batch.
+        Pairs *offered* in the batch (admitted + shed).
     engine_traces:
         One :class:`~repro.iplookup.pipeline.PipelineTrace` per engine
         (K for NV/VS, 1 for VM); empty engines produce empty traces.
+        Under active faults these cover only the *admitted* lookups.
     latency:
         M/D/1 pipeline + queueing latency estimate at the offered
-        load the service was asked to model.
+        load the service was asked to model; under active faults this
+        is the admitted-load-weighted degraded estimate
+        (:func:`repro.virt.queueing.degraded_latency_ns`).
     elapsed_s:
         Host wall-clock time spent answering the batch.
     vn_counts:
-        Lookups per virtual network in the batch (length K).
-        Populated only while observability is enabled — the bincount
-        is skipped on the uninstrumented fast path — and consumed by
-        the per-VN power attribution of
+        *Admitted* lookups per virtual network (length K).  Populated
+        only while observability is enabled — the bincount is skipped
+        on the uninstrumented fast path — and consumed by the per-VN
+        power attribution of
         :class:`repro.obs.power.PowerTelemetrySampler`.
+    vn_shed:
+        Lookups shed per virtual network by degraded admission
+        control (length K under active faults, empty otherwise).
+    retries:
+        Walk retry attempts performed while answering the batch.
+    walk_failures:
+        Transient engine-walk failures observed (each either retried
+        or, past the retry budget, converted into a shed engine).
+    failed_engines:
+        Engines whose walks still failed after the retry budget; their
+        admitted share was shed.
+    fault_labels:
+        Labels of the faults active while the batch was served.
     """
 
     scheme: Scheme
@@ -94,14 +145,29 @@ class ServeTrace:
     latency: LatencyReport
     elapsed_s: float
     vn_counts: tuple[int, ...] = ()
+    vn_shed: tuple[int, ...] = ()
+    retries: int = 0
+    walk_failures: int = 0
+    failed_engines: tuple[int, ...] = ()
+    fault_labels: tuple[str, ...] = ()
 
     @property
     def n_engines(self) -> int:
         return len(self.engine_traces)
 
     @property
+    def n_shed(self) -> int:
+        """Lookups shed by degraded admission control (0 when nominal)."""
+        return int(sum(self.vn_shed))
+
+    @property
+    def n_admitted(self) -> int:
+        """Lookups actually served (``n_packets - n_shed``)."""
+        return self.n_packets - self.n_shed
+
+    @property
     def host_ops_per_s(self) -> float:
-        """Measured host-side serving rate (pairs per second)."""
+        """Measured host-side serving rate (offered pairs per second)."""
         if self.elapsed_s <= 0.0:
             return 0.0
         return self.n_packets / self.elapsed_s
@@ -123,17 +189,25 @@ class ServeTrace:
         return float((duties * weights).sum() / weights.sum())
 
     def engine_loads(self) -> np.ndarray:
-        """Fraction of the batch each engine served."""
+        """Fraction of the *offered* batch each engine served.
+
+        Sums to 1 on a nominal batch; under degraded admission the
+        shortfall from 1 is exactly the shed fraction, which is what
+        makes the loads usable as the degraded activity vector of the
+        power models.
+        """
         counts = np.array([t.n_packets for t in self.engine_traces], dtype=float)
         if self.n_packets == 0:
             return np.zeros(self.n_engines)
         return counts / self.n_packets
 
     def vn_loads(self) -> np.ndarray:
-        """Fraction of the batch each virtual network contributed.
+        """Fraction of the offered batch each virtual network contributed.
 
-        Empty array when the trace was taken with observability
-        disabled (``vn_counts`` untracked).
+        Size-0 array when the trace was taken with observability
+        disabled (``vn_counts`` untracked); an all-zeros length-K
+        array for a tracked but empty batch (``vn_counts`` is
+        ``(0,) * K`` there, and no VN contributed anything).
         """
         counts = np.asarray(self.vn_counts, dtype=float)
         if counts.size == 0 or self.n_packets == 0:
@@ -159,6 +233,15 @@ class LookupService:
         Offered load, as a fraction of the scheme's aggregate lookup
         capacity, assumed for the M/D/1 queueing estimate attached to
         each :class:`ServeTrace`.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan`; each ``serve()``
+        call consults the plan at the service's running batch index
+        and degrades accordingly (admission shedding, walk retries,
+        degraded latency/activity accounting).
+    policy:
+        Degradation knobs (shed utilization bound, retry budget,
+        backoff); defaults to :class:`~repro.faults.DegradationPolicy`
+        defaults.
     registry:
         Metrics registry instrumented counters publish into; defaults
         to the process-wide registry (metrics fire only while it is
@@ -169,7 +252,9 @@ class LookupService:
     power_sampler:
         Optional :class:`repro.obs.power.PowerTelemetrySampler`; when
         set and observability is enabled, every served batch is also
-        folded into its running per-VN power estimate.
+        folded into its running per-VN power estimate (at the
+        service's configured offered-load duty cycle, storm write
+        rate included while one is active).
     """
 
     def __init__(
@@ -180,6 +265,8 @@ class LookupService:
         n_stages: int = 28,
         frequency_mhz: float = 200.0,
         offered_load_fraction: float = 0.5,
+        fault_plan: FaultPlan | None = None,
+        policy: DegradationPolicy | None = None,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         power_sampler: "PowerTelemetrySampler | None" = None,
@@ -199,6 +286,8 @@ class LookupService:
         self.n_stages = n_stages
         self.frequency_mhz = frequency_mhz
         self.offered_load_fraction = offered_load_fraction
+        self.fault_plan = fault_plan
+        self.policy = policy if policy is not None else DegradationPolicy()
         self._tables = tables
         self._registry = registry if registry is not None else default_registry()
         self._tracer = tracer if tracer is not None else default_tracer()
@@ -206,6 +295,8 @@ class LookupService:
         self.distributor = Distributor(k=self.k)
         self._tries: list[UnibitTrie] = [UnibitTrie(t) for t in tables]
         self._merged: MergedTrie | None = None
+        self._nominal_latency: LatencyReport | None = None
+        self.batches_served = 0
         if scheme.shares_engine:
             self._merged = merge_tries(self._tries)
             depth = self._merged.structure.depth()
@@ -240,32 +331,263 @@ class LookupService:
     def _validate_batch(
         self, addresses: np.ndarray, vnids: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
-        addresses = np.asarray(addresses, dtype=np.uint32)
-        vnids = np.asarray(vnids, dtype=np.int64)
-        if addresses.shape != vnids.shape:
-            raise ConfigurationError("addresses and vnids must have the same shape")
-        if addresses.ndim != 1:
-            raise ConfigurationError("batches must be one-dimensional")
-        if len(vnids) and (vnids.min() < 0 or vnids.max() >= self.k):
-            raise MergeError(f"vnid out of range 0..{self.k - 1}")
-        return addresses, vnids
+        """Strict batch validation: reject malformed input, never coerce.
 
-    def _latency_estimate(self) -> LatencyReport:
-        engine_capacity = throughput_gbps(self.frequency_mhz)
-        aggregate = self.offered_load_fraction * self.capacity_gbps()
-        return scheme_latency_ns(
-            str(self.scheme),
-            aggregate,
-            engine_capacity,
-            self.n_engines,
-            self.frequency_mhz,
-            self.n_stages,
+        Raises :class:`~repro.errors.MalformedBatchError` with a
+        ``kind`` of ``shape``, ``truncated``, ``dtype``,
+        ``non_finite``, ``address_range`` or ``vnid_range``; a batch
+        that passes is safely castable to ``(uint32, int64)``.
+        """
+        addresses = np.asarray(addresses)
+        vnids = np.asarray(vnids)
+        if addresses.ndim != 1 or vnids.ndim != 1:
+            raise MalformedBatchError(
+                "shape",
+                f"batches must be one-dimensional, got {addresses.ndim}-D "
+                f"addresses and {vnids.ndim}-D vnids",
+            )
+        if addresses.shape != vnids.shape:
+            raise MalformedBatchError(
+                "truncated",
+                f"{len(addresses)} addresses vs {len(vnids)} vnids",
+            )
+        if addresses.size:
+            if addresses.dtype.kind not in "iu":
+                if addresses.dtype.kind == "f" and np.isnan(addresses).any():
+                    raise MalformedBatchError(
+                        "non_finite", "address array contains NaN"
+                    )
+                raise MalformedBatchError(
+                    "dtype",
+                    f"addresses must be an integer array, got {addresses.dtype}",
+                )
+            if vnids.dtype.kind not in "iu":
+                raise MalformedBatchError(
+                    "dtype", f"vnids must be an integer array, got {vnids.dtype}"
+                )
+            if addresses.dtype != np.uint32 and (
+                int(addresses.max()) > _ADDRESS_MAX or int(addresses.min()) < 0
+            ):
+                raise MalformedBatchError(
+                    "address_range",
+                    "address outside the 32-bit range would wrap on cast",
+                )
+            if int(vnids.min()) < 0 or int(vnids.max()) >= self.k:
+                raise MalformedBatchError(
+                    "vnid_range", f"vnid out of range 0..{self.k - 1}"
+                )
+        return (
+            addresses.astype(np.uint32, copy=False),
+            vnids.astype(np.int64, copy=False),
         )
 
+    def _latency_estimate(self) -> LatencyReport:
+        """Nominal M/D/1 latency report (cached — its inputs are all
+        fixed at construction, so computing it per batch was pure
+        hot-path waste; see the note in benchmarks/test_perf_lookup.py)."""
+        if self._nominal_latency is None:
+            engine_capacity = throughput_gbps(self.frequency_mhz)
+            aggregate = self.offered_load_fraction * self.capacity_gbps()
+            self._nominal_latency = scheme_latency_ns(
+                str(self.scheme),
+                aggregate,
+                engine_capacity,
+                self.n_engines,
+                self.frequency_mhz,
+                self.n_stages,
+            )
+        return self._nominal_latency
+
+    # -- degradation ------------------------------------------------------
+
+    def _admission_fractions(self, capacity_scales: np.ndarray) -> np.ndarray:
+        """Admitted fraction of each engine's offered load under faults.
+
+        An engine whose remaining capacity would be driven past the
+        policy's shed-utilization bound sheds the excess; an offline
+        engine (scale 0) sheds everything.
+        """
+        rho = self.offered_load_fraction
+        bound = self.policy.shed_utilization
+        admit = np.ones(self.n_engines)
+        for i, scale in enumerate(capacity_scales):
+            if scale <= 0.0:
+                admit[i] = 0.0
+            elif rho > 0.0 and rho / scale > bound:
+                admit[i] = bound * scale / rho
+        return admit
+
+    def _walk_with_retry(
+        self,
+        engine: int,
+        faults: ActiveFaults,
+        walk: Callable[[], tuple[np.ndarray, np.ndarray]],
+    ) -> tuple[tuple[np.ndarray, np.ndarray] | None, int, int]:
+        """Run one engine walk under the retry policy.
+
+        Returns ``(result_or_None, retries, failures)``: the walk's
+        ``(depths, results)`` when it eventually succeeded, or ``None``
+        when the retry budget was exhausted.
+        """
+        retries = 0
+        failures = 0
+        attempt = 0
+        while True:
+            try:
+                faults.check_walk(engine, attempt)
+                return walk(), retries, failures
+            except TransientEngineError:
+                failures += 1
+                if attempt >= self.policy.max_retries:
+                    return None, retries, failures
+                self.policy.wait(attempt)
+                retries += 1
+                attempt += 1
+
+    def _serve_degraded(
+        self,
+        addresses: np.ndarray,
+        vnids: np.ndarray,
+        *,
+        track_vns: bool,
+        faults: ActiveFaults,
+    ) -> tuple[np.ndarray, ServeTrace]:
+        """Serve one batch under active faults (inputs already validated).
+
+        Implements the degradation policy: per-VN admission shedding
+        against the degraded per-engine capacity, retry-with-backoff
+        for transiently failing walks, shedding of engines whose
+        retry budget is exhausted, and degraded latency/activity
+        accounting in the returned trace.
+        """
+        start = time.perf_counter()
+        n = len(addresses)
+        scales = faults.capacity_scales(self.n_engines)
+        admit = self._admission_fractions(scales)
+        results = np.full(n, SHED_RESULT, dtype=np.int64)
+        vn_shed = np.zeros(self.k, dtype=np.int64)
+        retries = 0
+        walk_failures = 0
+        failed_engines: list[int] = []
+        empty = np.array([], dtype=np.int64)
+
+        if self._merged is not None:
+            kept = self._admit_indices(vnids, admit[0], vn_shed)
+            kept_addresses = addresses[kept]
+            kept_vnids = vnids[kept]
+            walked, walk_retries, failures = self._walk_with_retry(
+                0, faults, lambda: self._merged.walk_batch(kept_addresses, kept_vnids)
+            )
+            retries += walk_retries
+            walk_failures += failures
+            if walked is None:
+                failed_engines.append(0)
+                np.add.at(vn_shed, kept_vnids, 1)
+                traces = (trace_from_walk(empty, empty, self.n_stages),)
+            else:
+                depths, walk_results = walked
+                results[kept] = walk_results
+                traces = (trace_from_walk(depths, walk_results, self.n_stages),)
+        else:
+            engine_traces = []
+            for vn, indices in enumerate(self.distributor.route(vnids)):
+                kept = self._admit_prefix(indices, admit[vn], vn, vn_shed)
+                kept_addresses = addresses[kept]
+                trie = self._tries[vn]
+                walked, walk_retries, failures = self._walk_with_retry(
+                    vn, faults, lambda: trie.walk_batch(kept_addresses)
+                )
+                retries += walk_retries
+                walk_failures += failures
+                if walked is None:
+                    failed_engines.append(vn)
+                    vn_shed[vn] += len(kept)
+                    engine_traces.append(trace_from_walk(empty, empty, self.n_stages))
+                    continue
+                depths, engine_results = walked
+                results[kept] = engine_results
+                engine_traces.append(
+                    trace_from_walk(depths, engine_results, self.n_stages)
+                )
+            traces = tuple(engine_traces)
+
+        admitted_counts = np.array([t.n_packets for t in traces], dtype=np.int64)
+        rho = self.offered_load_fraction
+        utilizations = np.where(
+            scales > 0.0,
+            np.minimum(np.divide(rho, scales, where=scales > 0.0, out=np.ones_like(scales)),
+                       self.policy.shed_utilization),
+            0.0,
+        )
+        latency = degraded_latency_ns(
+            str(self.scheme),
+            utilizations,
+            scales * self.frequency_mhz,
+            admitted_counts,
+            self.n_stages,
+        )
+        elapsed = time.perf_counter() - start
+        vn_counts: tuple[int, ...] = ()
+        if track_vns:
+            offered = np.bincount(vnids, minlength=self.k)
+            vn_counts = tuple(int(c) for c in offered - vn_shed)
+        trace = ServeTrace(
+            scheme=self.scheme,
+            n_packets=n,
+            engine_traces=traces,
+            latency=latency,
+            elapsed_s=elapsed,
+            vn_counts=vn_counts,
+            vn_shed=tuple(int(c) for c in vn_shed),
+            retries=retries,
+            walk_failures=walk_failures,
+            failed_engines=tuple(failed_engines),
+            fault_labels=faults.labels(),
+        )
+        return results, trace
+
+    def _admit_prefix(
+        self, indices: np.ndarray, admit: float, vn: int, vn_shed: np.ndarray
+    ) -> np.ndarray:
+        """Admit the head of one VN's arrivals, shed (and count) the tail."""
+        if admit >= 1.0:
+            return indices
+        keep = int(admit * len(indices) + 0.5)
+        vn_shed[vn] += len(indices) - keep
+        return indices[:keep]
+
+    def _admit_indices(
+        self, vnids: np.ndarray, admit: float, vn_shed: np.ndarray
+    ) -> np.ndarray:
+        """Per-VN head admission for the shared engine (VM).
+
+        The merged engine's degradation hits every VN, so each VN
+        keeps the same admitted fraction of its own arrivals.
+        """
+        if admit >= 1.0:
+            return np.arange(len(vnids), dtype=np.int64)
+        mask = np.ones(len(vnids), dtype=bool)
+        for vn in range(self.k):
+            indices = np.flatnonzero(vnids == vn)
+            keep = int(admit * len(indices) + 0.5)
+            if keep < len(indices):
+                mask[indices[keep:]] = False
+                vn_shed[vn] += len(indices) - keep
+        return np.flatnonzero(mask)
+
     def _serve_inner(
-        self, addresses: np.ndarray, vnids: np.ndarray, *, track_vns: bool
+        self,
+        addresses: np.ndarray,
+        vnids: np.ndarray,
+        *,
+        track_vns: bool,
+        faults: ActiveFaults | None = None,
     ) -> tuple[np.ndarray, ServeTrace]:
         """The uninstrumented serve path (inputs already validated)."""
+        if faults:
+            return self._serve_degraded(
+                addresses, vnids, track_vns=track_vns, faults=faults
+            )
         start = time.perf_counter()
         if self._merged is not None:
             depths, results = self._merged.walk_batch(addresses, vnids)
@@ -332,33 +654,123 @@ class LookupService:
             labels=("scheme",),
         ).labels(scheme).set(trace.mean_duty_cycle())
 
+    def _record_fault_state(
+        self, trace: ServeTrace, faults: ActiveFaults | None
+    ) -> None:
+        """Publish the error-budget metrics for one (possibly degraded) batch.
+
+        Only called for services with a fault plan, so the gauge family
+        appears exactly when faults are in play — and decays back to 0
+        the batch after a window closes.
+        """
+        registry = self._registry
+        scheme = self.scheme.name
+        active = registry.gauge(
+            "repro_fault_active",
+            "Injected faults currently active, by kind (0 = nominal)",
+            labels=("kind",),
+        )
+        counts = faults.kind_counts() if faults else dict.fromkeys(FAULT_KINDS, 0)
+        for kind, count in counts.items():
+            active.labels(kind).set(count)
+        if trace.n_shed:
+            shed = registry.counter(
+                "repro_serve_shed_lookups_total",
+                "Lookups shed by degraded admission control",
+                labels=("scheme", "vn"),
+            )
+            for vn, count in enumerate(trace.vn_shed):
+                if count:
+                    shed.labels(scheme, vn).inc(count)
+        if trace.retries:
+            registry.counter(
+                "repro_serve_retries_total",
+                "Engine-walk retries performed",
+                labels=("scheme",),
+            ).labels(scheme).inc(trace.retries)
+        errors = registry.counter(
+            "repro_serve_errors_total",
+            "Serve-path errors by kind",
+            labels=("kind",),
+        )
+        if trace.walk_failures:
+            errors.labels("transient_walk").inc(trace.walk_failures)
+        if trace.failed_engines:
+            errors.labels("walk_failed").inc(len(trace.failed_engines))
+
+    def _count_malformed(self, exc: MalformedBatchError) -> None:
+        """Fold one strict-validation rejection into the error budget.
+
+        Deliberately the *only* metric a rejected batch touches: the
+        batch/lookup counters and the latency histogram stay silent,
+        so a malformed batch can never masquerade as served traffic.
+        """
+        if self._registry.enabled:
+            self._registry.counter(
+                "repro_serve_errors_total",
+                "Serve-path errors by kind",
+                labels=("kind",),
+            ).labels(exc.kind).inc()
+
     def serve(
         self, addresses: np.ndarray, vnids: np.ndarray
     ) -> tuple[np.ndarray, ServeTrace]:
         """Answer a batch of ``(address, vnid)`` lookups.
 
         Returns the per-pair next hops (arrival order preserved) and
-        the :class:`ServeTrace` measuring the batch.  While
-        observability is enabled the call also emits a ``serve.batch``
-        span, updates the serve counters/histograms/gauges, and feeds
-        the attached power sampler (see module docstring).
+        the :class:`ServeTrace` measuring the batch.  Malformed input
+        raises :class:`~repro.errors.MalformedBatchError` (counted in
+        ``repro_serve_errors_total`` while metrics are enabled, with
+        no other metric touched).  Under a fault plan, shed lookups
+        answer :data:`~repro.faults.SHED_RESULT`.  While observability
+        is enabled the call also emits a ``serve.batch`` span (with
+        ``fault.<kind>`` children for active faults), updates the
+        serve counters/histograms/gauges, and feeds the attached power
+        sampler (see module docstring).
         """
-        addresses, vnids = self._validate_batch(addresses, vnids)
+        try:
+            addresses, vnids = self._validate_batch(addresses, vnids)
+        except MalformedBatchError as exc:
+            self._count_malformed(exc)
+            raise
+        faults: ActiveFaults | None = None
+        if self.fault_plan is not None:
+            active = self.fault_plan.context_at(self.batches_served)
+            faults = active if active else None
+        self.batches_served += 1
         metrics_on = self._registry.enabled
         tracing_on = self._tracer.enabled
         if not metrics_on and not tracing_on:
-            return self._serve_inner(addresses, vnids, track_vns=False)
+            return self._serve_inner(addresses, vnids, track_vns=False, faults=faults)
         with self._tracer.span(
             "serve.batch", scheme=self.scheme.name, n_packets=int(len(addresses))
         ) as span:
-            results, trace = self._serve_inner(addresses, vnids, track_vns=True)
+            if faults:
+                span.set("faults", list(faults.labels()))
+                with ExitStack() as stack:
+                    for fault in faults.faults:
+                        fault_span = stack.enter_context(
+                            self._tracer.span(f"fault.{fault.kind}")
+                        )
+                        fault_span.set("label", fault.label())
+                    results, trace = self._serve_inner(
+                        addresses, vnids, track_vns=True, faults=faults
+                    )
+            else:
+                results, trace = self._serve_inner(addresses, vnids, track_vns=True)
             span.set("n_engines", trace.n_engines)
             span.set("elapsed_s", trace.elapsed_s)
+            if trace.n_shed:
+                span.set("n_shed", trace.n_shed)
             if metrics_on:
                 self._record_batch(trace)
+                if self.fault_plan is not None:
+                    self._record_fault_state(trace, faults)
                 if self.power_sampler is not None:
                     sample = self.power_sampler.observe(
-                        trace, duty_cycle=self.offered_load_fraction or 1.0
+                        trace,
+                        duty_cycle=self.offered_load_fraction,
+                        write_rate=faults.write_rate if faults else None,
                     )
                     span.set("power_total_w", sample.total_w)
         return results, trace
@@ -370,9 +782,17 @@ class LookupService:
     # -- verification -----------------------------------------------------
 
     def verify(self, addresses: np.ndarray, vnids: np.ndarray) -> bool:
-        """Cross-check served results against the linear-scan oracle."""
+        """Cross-check served results against the linear-scan oracle.
+
+        Verification traffic is *not* production traffic: the batch is
+        answered through the instrumentation-suppressed inner path
+        (and without fault degradation), so calling ``verify()`` never
+        inflates the serve counters, the latency histogram or the
+        running power estimate — the invariant pinned by
+        ``tests/unit/test_serve.py``.
+        """
         addresses, vnids = self._validate_batch(addresses, vnids)
-        results, _ = self.serve(addresses, vnids)
+        results, _ = self._serve_inner(addresses, vnids, track_vns=False)
         for vn in range(self.k):
             indices = np.flatnonzero(vnids == vn)
             if not len(indices):

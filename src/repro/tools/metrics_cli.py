@@ -18,6 +18,13 @@ Subcommands
     power/throughput table printed is read back from the sampler's
     running estimates — watts and mW/Gbps per scenario, the Fig. 5 /
     Fig. 8 quantities derived from traffic instead of offline sweeps.
+``faults [--fault-seed 2012] [--n-faults 4]``
+    Chaos run: derive a deterministic fault schedule from the seed
+    (:meth:`repro.faults.FaultPlan.generate`), serve the workload
+    through it and print the per-batch degradation ledger — active
+    faults, shed lookups, retries, degraded latency, live watts with
+    ``--power`` — followed by the error-budget counters.  The same
+    seed always produces the same ledger.  See ``docs/ROBUSTNESS.md``.
 
 The served tables are synthetic and deliberately small (``--prefixes``)
 — the live trace contributes only *activity*; the power model behind
@@ -32,6 +39,7 @@ import sys
 import numpy as np
 
 from repro.errors import ReproError
+from repro.faults import FaultPlan
 from repro.fpga.speedgrade import SpeedGrade
 from repro.iplookup.synth import SyntheticTableConfig, generate_virtual_tables
 from repro.obs.export import render_metrics_jsonl, render_prometheus
@@ -76,6 +84,7 @@ def _build_service(
     power: bool,
     grade: SpeedGrade,
     alpha: float | None,
+    fault_plan: FaultPlan | None = None,
 ) -> LookupService:
     tables = _served_tables(k, n_prefixes, seed)
     sampler = None
@@ -83,7 +92,9 @@ def _build_service(
         from repro.obs.power import PowerTelemetrySampler
 
         sampler = PowerTelemetrySampler(scheme, k, grade=grade, alpha=alpha)
-    return LookupService(tables, scheme, power_sampler=sampler)
+    return LookupService(
+        tables, scheme, power_sampler=sampler, fault_plan=fault_plan
+    )
 
 
 def _run_workload(args: argparse.Namespace, *, power: bool) -> LookupService:
@@ -182,6 +193,68 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    registry = default_registry()
+    tracer = default_tracer()
+    registry.enable()
+    tracer.enable()
+    scheme = Scheme[args.scheme]
+    alpha = args.alpha if scheme is Scheme.VM and args.k > 1 else None
+    plan = FaultPlan.generate(
+        args.fault_seed,
+        n_batches=args.batches,
+        n_engines=scheme.engines_required(args.k),
+        n_faults=args.n_faults,
+    )
+    service = _build_service(
+        scheme,
+        args.k,
+        n_prefixes=args.prefixes,
+        seed=args.seed,
+        power=args.power,
+        grade=SpeedGrade[args.grade],
+        alpha=alpha,
+        fault_plan=plan,
+    )
+    rng = np.random.default_rng(args.seed)
+    header = ["batch", "faults", "admitted", "shed", "retries", "latency_ns"]
+    if args.power:
+        header.append("watts")
+    rows = [header]
+    for batch_index in range(args.batches):
+        addresses, vnids = _uniform_batch(args.k, args.batch_size, rng)
+        _, trace = service.serve(addresses, vnids)
+        row = [
+            str(batch_index),
+            "; ".join(trace.fault_labels) or "-",
+            str(trace.n_admitted),
+            str(trace.n_shed),
+            str(trace.retries),
+            f"{trace.latency.total_ns:.1f}",
+        ]
+        if args.power:
+            assert service.power_sampler is not None
+            row.append(f"{service.power_sampler.running_total_w:.3f}")
+        rows.append(row)
+    print(
+        f"chaos run: scheme {scheme.name}, K={args.k}, "
+        f"fault seed {args.fault_seed}, {len(plan.windows)} window(s)"
+    )
+    print(render_table(rows))
+    print("error budget:")
+    for name in (
+        "repro_serve_errors_total",
+        "repro_serve_shed_lookups_total",
+        "repro_serve_retries_total",
+    ):
+        family = registry.get(name)
+        total = (
+            sum(child.value for _, child in family.samples()) if family else 0.0
+        )
+        print(f"  {name}: {total:g}")
+    return 0
+
+
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scheme", choices=[s.name for s in Scheme], default="VS")
     parser.add_argument("--k", type=int, default=3, help="virtual networks")
@@ -223,6 +296,19 @@ def main(argv: list[str] | None = None) -> int:
     p_demo.add_argument("--seed", type=int, default=2012)
     p_demo.add_argument("--verbose", action="store_true")
     p_demo.set_defaults(func=_cmd_demo)
+
+    p_faults = sub.add_parser(
+        "faults", help="chaos run: serve a workload under a seeded fault plan"
+    )
+    _add_workload_args(p_faults)
+    p_faults.add_argument(
+        "--fault-seed", type=int, default=2012, help="fault schedule seed"
+    )
+    p_faults.add_argument(
+        "--n-faults", type=int, default=4, help="fault windows to draw"
+    )
+    p_faults.add_argument("--power", action="store_true", help="attach a power sampler")
+    p_faults.set_defaults(func=_cmd_faults)
 
     args = parser.parse_args(argv)
     try:

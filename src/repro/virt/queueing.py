@@ -21,11 +21,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.metrics import lookup_latency_ns
 from repro.errors import CapacityError, ConfigurationError
 from repro.units import mhz_to_hz, s_to_ns
 
-__all__ = ["md1_wait_ns", "LatencyReport", "scheme_latency_ns"]
+__all__ = [
+    "md1_wait_ns",
+    "LatencyReport",
+    "scheme_latency_ns",
+    "degraded_latency_ns",
+]
 
 
 def md1_wait_ns(utilization: float, frequency_mhz: float) -> float:
@@ -89,4 +96,78 @@ def scheme_latency_ns(
         frequency_mhz=frequency_mhz,
         pipeline_ns=lookup_latency_ns(frequency_mhz, n_stages),
         queueing_ns=md1_wait_ns(utilization, frequency_mhz),
+    )
+
+
+def degraded_latency_ns(
+    scheme_label: str,
+    utilizations: np.ndarray,
+    frequencies_mhz: np.ndarray,
+    load_weights: np.ndarray,
+    n_stages: int = 28,
+) -> LatencyReport:
+    """Admitted-load-weighted latency of a *heterogeneously* loaded scheme.
+
+    Where :func:`scheme_latency_ns` assumes every engine sees the same
+    utilization at the same clock, a fault (engine stall, write storm)
+    breaks that symmetry: each engine now runs its own M/D/1 queue at
+    its own effective clock.  The mean admitted packet's latency is the
+    per-engine latency weighted by each engine's share of the admitted
+    load.
+
+    Parameters
+    ----------
+    scheme_label:
+        Scheme name carried into the report.
+    utilizations:
+        Per-engine M/D/1 utilization in [0, 1) — *after* admission
+        shedding, so always stable.
+    frequencies_mhz:
+        Per-engine effective clock; an offline engine may carry 0 but
+        must then also carry 0 weight.
+    load_weights:
+        Per-engine admitted lookup counts (or any proportional
+        measure).  Engines with zero weight serve nothing and are
+        excluded; if every weight is zero (the whole batch was shed)
+        the report degenerates to zero latency — nothing was admitted,
+        so no admitted packet has a latency.
+    n_stages:
+        Pipeline depth of every engine.
+    """
+    utilizations = np.asarray(utilizations, dtype=float)
+    frequencies_mhz = np.asarray(frequencies_mhz, dtype=float)
+    load_weights = np.asarray(load_weights, dtype=float)
+    if not utilizations.shape == frequencies_mhz.shape == load_weights.shape:
+        raise ConfigurationError(
+            "utilizations, frequencies and weights must have the same shape"
+        )
+    if utilizations.ndim != 1 or len(utilizations) == 0:
+        raise ConfigurationError("need at least one engine")
+    if (load_weights < 0).any():
+        raise ConfigurationError("load weights must be non-negative")
+    total = load_weights.sum()
+    if total == 0:
+        return LatencyReport(
+            scheme_label=scheme_label,
+            frequency_mhz=float(frequencies_mhz.max()),
+            pipeline_ns=0.0,
+            queueing_ns=0.0,
+        )
+    pipeline = 0.0
+    queueing = 0.0
+    for utilization, f, weight in zip(utilizations, frequencies_mhz, load_weights):
+        if weight == 0:
+            continue
+        if f <= 0:
+            raise ConfigurationError(
+                "an engine with admitted load must have a positive clock"
+            )
+        share = weight / total
+        pipeline += share * lookup_latency_ns(float(f), n_stages)
+        queueing += share * md1_wait_ns(float(utilization), float(f))
+    return LatencyReport(
+        scheme_label=scheme_label,
+        frequency_mhz=float(frequencies_mhz.max()),
+        pipeline_ns=float(pipeline),
+        queueing_ns=float(queueing),
     )

@@ -1,0 +1,129 @@
+"""Chaos smoke: degraded telemetry must track the analytical model.
+
+The headline acceptance criterion of the fault-injection layer: under
+an injected single-engine stall (VS, K = 8, G2), the *live* power
+telemetry and the degraded M/D/1 latency attached to the serve trace
+must match the analytical model re-evaluated at the degraded activity
+vector — within 1% relative.  The live side flows through admission
+shedding, the trace's engine loads and the
+:class:`~repro.obs.power.PowerTelemetrySampler`; the analytical side
+calls the XPA-like reporter and the queueing primitives directly with
+the activity the degradation policy *should* produce.  Agreement means
+the whole degradation path (shed arithmetic → trace accounting →
+power/latency evaluation) is self-consistent, not just plausible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import lookup_latency_ns
+from repro.faults import EngineStall, FaultPlan, FaultWindow
+from repro.fpga.power_report import XPowerAnalyzer
+from repro.fpga.speedgrade import SpeedGrade
+from repro.iplookup.synth import SyntheticTableConfig, generate_virtual_tables
+from repro.obs.power import PowerTelemetrySampler
+from repro.obs.registry import REGISTRY
+from repro.obs.tracing import TRACER
+from repro.serve import LookupService
+from repro.virt.queueing import md1_wait_ns
+from repro.virt.schemes import Scheme
+
+K = 8
+STALLED_ENGINE = 2
+FREQUENCY_SCALE = 0.25
+RHO = 0.5
+PER_VN = 1000
+RTOL = 0.01
+
+
+@pytest.fixture(scope="module")
+def stall_run():
+    """Serve one uniform batch under the stall, with live telemetry on."""
+    tables = generate_virtual_tables(
+        K, 0.5, SyntheticTableConfig(n_prefixes=150, seed=41)
+    )
+    plan = FaultPlan(
+        (FaultWindow(0, 10, EngineStall(STALLED_ENGINE, FREQUENCY_SCALE)),)
+    )
+    sampler = PowerTelemetrySampler(Scheme.VS, K, grade=SpeedGrade.G2)
+    service = LookupService(
+        tables,
+        Scheme.VS,
+        fault_plan=plan,
+        offered_load_fraction=RHO,
+        power_sampler=sampler,
+    )
+    rng = np.random.default_rng(13)
+    addresses = rng.integers(0, 1 << 32, size=PER_VN * K, dtype=np.uint64)
+    vnids = np.tile(np.arange(K, dtype=np.int64), PER_VN)
+    REGISTRY.enable()
+    TRACER.enable()
+    try:
+        _, trace = service.serve(addresses.astype(np.uint32), vnids)
+        live_watts = (
+            REGISTRY.get("repro_power_total_watts").labels("VS", "G2").value
+        )
+    finally:
+        REGISTRY.disable()
+        TRACER.disable()
+        REGISTRY.clear()
+        TRACER.drain()
+    return service, sampler, trace, live_watts
+
+
+def degraded_activity(service):
+    """The activity vector the stall should produce, from first principles."""
+    admit = service.policy.shed_utilization * FREQUENCY_SCALE / RHO
+    activity = np.full(K, RHO / K)
+    activity[STALLED_ENGINE] *= admit
+    return activity
+
+
+class TestHeadlineStall:
+    def test_live_power_tracks_analytical_model(self, stall_run):
+        service, sampler, _, live_watts = stall_run
+        report = XPowerAnalyzer().report(
+            sampler.scenario.placed,
+            sampler.scenario.frequency_mhz,
+            degraded_activity(service),
+        )
+        analytical = report.static_w + report.dynamic_w
+        assert live_watts == pytest.approx(analytical, rel=RTOL)
+
+    def test_degraded_power_below_nominal(self, stall_run):
+        _, sampler, _, live_watts = stall_run
+        report = XPowerAnalyzer().report(
+            sampler.scenario.placed,
+            sampler.scenario.frequency_mhz,
+            np.full(K, RHO / K),
+        )
+        assert live_watts < report.static_w + report.dynamic_w
+
+    def test_degraded_latency_tracks_md1_model(self, stall_run):
+        service, _, trace, _ = stall_run
+        f = service.frequency_mhz
+        admit = service.policy.shed_utilization * FREQUENCY_SCALE / RHO
+        # admitted-load weights: healthy engines serve PER_VN, the
+        # stalled one its admitted share
+        weights = np.full(K, float(PER_VN))
+        weights[STALLED_ENGINE] = round(admit * PER_VN)
+        healthy = lookup_latency_ns(f, service.n_stages) + md1_wait_ns(RHO, f)
+        stalled = lookup_latency_ns(
+            FREQUENCY_SCALE * f, service.n_stages
+        ) + md1_wait_ns(service.policy.shed_utilization, FREQUENCY_SCALE * f)
+        per_engine = np.full(K, healthy)
+        per_engine[STALLED_ENGINE] = stalled
+        analytical = float((per_engine * weights).sum() / weights.sum())
+        assert trace.latency.total_ns == pytest.approx(analytical, rel=RTOL)
+
+    def test_shed_confined_to_stalled_vn(self, stall_run):
+        service, _, trace, _ = stall_run
+        admit = service.policy.shed_utilization * FREQUENCY_SCALE / RHO
+        assert trace.vn_shed[STALLED_ENGINE] == PER_VN - round(admit * PER_VN)
+        assert sum(trace.vn_shed) == trace.vn_shed[STALLED_ENGINE]
+
+    def test_sampler_folded_the_degraded_batch(self, stall_run):
+        _, sampler, trace, live_watts = stall_run
+        assert sampler.batches_observed == 1
+        assert sampler.packets_observed == trace.n_packets
+        assert sampler.running_total_w == pytest.approx(live_watts)

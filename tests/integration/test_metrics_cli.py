@@ -95,6 +95,29 @@ class TestDemo:
         assert "observed 6 batches" in out
 
 
+class TestFaults:
+    CHAOS = ["faults", "--k", "4", "--batches", "6", "--batch-size", "64",
+             "--prefixes", "64", "--n-faults", "4", "--fault-seed", "7"]
+
+    def test_chaos_ledger_and_error_budget(self, capsys):
+        assert main(self.CHAOS) == 0
+        out = capsys.readouterr().out
+        assert "chaos run: scheme VS, K=4, fault seed 7" in out
+        # the ledger names at least one active fault window
+        assert any(kind in out for kind in ("stall(", "write_storm(", "transient_walk("))
+        assert "error budget:" in out
+        assert "repro_serve_shed_lookups_total" in out
+
+    def test_same_fault_seed_same_ledger(self, capsys):
+        """Chaos runs are replayable: same seeds, same printed ledger."""
+        assert main(self.CHAOS) == 0
+        first = capsys.readouterr().out
+        REGISTRY.clear()
+        TRACER.drain()
+        assert main(self.CHAOS) == 0
+        assert capsys.readouterr().out == first
+
+
 class TestErrors:
     def test_unknown_subcommand_rejected(self):
         with pytest.raises(SystemExit):

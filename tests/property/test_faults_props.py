@@ -1,0 +1,100 @@
+"""Property tests: strict batch validation and fault-plan determinism.
+
+Two guarantees worth pinning over a generated corpus rather than a few
+examples:
+
+* every corruption in the malformed-batch corpus is rejected with the
+  *typed* error kind the corpus promises — and the rejection is
+  metric-clean: nothing but ``repro_serve_errors_total`` moves, so a
+  rejected batch can never masquerade as served traffic;
+* a :class:`~repro.faults.FaultPlan` generated from a seed is a pure
+  function of its arguments (same seed → byte-identical trace), which
+  is what makes chaos runs replayable.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MalformedBatchError
+from repro.faults import MALFORMED_KINDS, FaultPlan, corrupt_batch
+from repro.iplookup.synth import SyntheticTableConfig, generate_virtual_tables
+from repro.obs.registry import MetricsRegistry
+from repro.serve import LookupService
+from repro.virt.schemes import Scheme
+
+K = 3
+
+#: one service per scheme, shared across examples (tables are immutable)
+_TABLES = generate_virtual_tables(K, 0.5, SyntheticTableConfig(n_prefixes=120, seed=29))
+_SERVICES = {scheme: LookupService(_TABLES, scheme) for scheme in Scheme}
+
+corruption_kinds = st.sampled_from(sorted(MALFORMED_KINDS))
+schemes = st.sampled_from([Scheme.NV, Scheme.VS, Scheme.VM])
+batch_sizes = st.integers(min_value=1, max_value=64)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def well_formed_batch(size, seed):
+    rng = np.random.default_rng(seed)
+    addresses = rng.integers(0, 1 << 32, size=size, dtype=np.uint64).astype(np.uint32)
+    vnids = rng.integers(0, K, size=size, dtype=np.int64)
+    return addresses, vnids
+
+
+class TestMalformedCorpus:
+    @settings(max_examples=150, deadline=None)
+    @given(kind=corruption_kinds, scheme=schemes, size=batch_sizes, seed=seeds)
+    def test_rejected_with_typed_error(self, kind, scheme, size, seed):
+        addresses, vnids = well_formed_batch(size, seed)
+        bad = corrupt_batch(addresses, vnids, kind, np.random.default_rng(seed), k=K)
+        with pytest.raises(MalformedBatchError) as err:
+            _SERVICES[scheme].serve(*bad)
+        assert err.value.kind == MALFORMED_KINDS[kind]
+
+    @settings(max_examples=60, deadline=None)
+    @given(kind=corruption_kinds, size=batch_sizes, seed=seeds)
+    def test_rejection_emits_no_partial_metrics(self, kind, size, seed):
+        """A rejected batch moves the error counter and nothing else."""
+        registry = MetricsRegistry(enabled=True)
+        service = LookupService(_TABLES, Scheme.VS, registry=registry)
+        addresses, vnids = well_formed_batch(size, seed)
+        bad = corrupt_batch(addresses, vnids, kind, np.random.default_rng(seed), k=K)
+        with pytest.raises(MalformedBatchError):
+            service.serve(*bad)
+        families = {f.name for f in registry.collect()}
+        assert families == {"repro_serve_errors_total"}
+        errors = registry.get("repro_serve_errors_total")
+        assert sum(c.value for _, c in errors.samples()) == 1.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(size=batch_sizes, seed=seeds, scheme=schemes)
+    def test_well_formed_batches_are_served(self, size, seed, scheme):
+        """The validator rejects only the corpus, never clean traffic."""
+        addresses, vnids = well_formed_batch(size, seed)
+        results, trace = _SERVICES[scheme].serve(addresses, vnids)
+        assert len(results) == size
+        assert trace.n_packets == size
+
+
+class TestPlanDeterminism:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=seeds,
+        n_batches=st.integers(min_value=1, max_value=200),
+        n_engines=st.integers(min_value=1, max_value=8),
+        n_faults=st.integers(min_value=0, max_value=10),
+    )
+    def test_same_seed_same_trace(self, seed, n_batches, n_engines, n_faults):
+        kwargs = dict(n_batches=n_batches, n_engines=n_engines, n_faults=n_faults)
+        first = FaultPlan.generate(seed, **kwargs)
+        second = FaultPlan.generate(seed, **kwargs)
+        assert first.trace(n_batches) == second.trace(n_batches)
+        assert first.windows == second.windows
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=seeds, n_batches=st.integers(min_value=1, max_value=100))
+    def test_windows_respect_horizon(self, seed, n_batches):
+        plan = FaultPlan.generate(seed, n_batches=n_batches, n_engines=4, n_faults=6)
+        assert all(w.stop <= n_batches for w in plan.windows)
+        assert plan.horizon <= n_batches

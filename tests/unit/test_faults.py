@@ -1,0 +1,333 @@
+"""Unit tests for fault injection and graceful degradation (repro.faults)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, MalformedBatchError, TransientEngineError
+from repro.faults import (
+    SHED_RESULT,
+    ActiveFaults,
+    BramWriteStorm,
+    DegradationPolicy,
+    EngineStall,
+    FaultPlan,
+    FaultWindow,
+    TransientWalkFailure,
+)
+from repro.iplookup.synth import SyntheticTableConfig, generate_virtual_tables
+from repro.obs.registry import REGISTRY, MetricsRegistry
+from repro.obs.tracing import TRACER
+from repro.serve import LookupService
+from repro.virt.schemes import Scheme
+
+K = 4
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return generate_virtual_tables(K, 0.5, SyntheticTableConfig(n_prefixes=250, seed=17))
+
+
+@pytest.fixture(scope="module")
+def batch():
+    rng = np.random.default_rng(3)
+    addresses = rng.integers(0, 1 << 32, size=800, dtype=np.uint64).astype(np.uint32)
+    vnids = rng.integers(0, K, size=800, dtype=np.int64)
+    return addresses, vnids
+
+
+def plan_for(fault, start=0, duration=1_000_000):
+    return FaultPlan((FaultWindow(start, duration, fault),))
+
+
+class TestInjectors:
+    def test_stall_validation(self):
+        with pytest.raises(ConfigurationError):
+            EngineStall(engine=-1, frequency_scale=0.5)
+        with pytest.raises(ConfigurationError):
+            EngineStall(engine=0, frequency_scale=1.0)  # 1.0 = no stall
+
+    def test_storm_validation(self):
+        with pytest.raises(ConfigurationError):
+            BramWriteStorm(write_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            BramWriteStorm(write_rate=0.1, slot_steal_fraction=1.0)
+
+    def test_transient_validation(self):
+        with pytest.raises(ConfigurationError):
+            TransientWalkFailure(engine=0, n_failures=0)
+
+    def test_labels_are_stable(self):
+        assert EngineStall(2, 0.25).label() == "stall(engine=2, scale=0.25)"
+        assert "write_storm" in BramWriteStorm(0.3, 0.2).label()
+        assert "transient_walk" in TransientWalkFailure(1, 2).label()
+
+
+class TestActiveFaults:
+    def test_empty_is_falsy(self):
+        assert not ActiveFaults(())
+        assert ActiveFaults((EngineStall(0, 0.5),))
+
+    def test_overlapping_stalls_compound(self):
+        active = ActiveFaults((EngineStall(1, 0.5), EngineStall(1, 0.5)))
+        assert active.capacity_scales(2)[1] == pytest.approx(0.25)
+
+    def test_slot_steal_composes(self):
+        active = ActiveFaults(
+            (BramWriteStorm(0.1, 0.5), BramWriteStorm(0.1, 0.5))
+        )
+        # 1 - (1-0.5)(1-0.5): storms contend independently for slots
+        assert active.capacity_scales(1)[0] == pytest.approx(0.25)
+
+    def test_write_rate_is_max(self):
+        active = ActiveFaults((BramWriteStorm(0.1), BramWriteStorm(0.4)))
+        assert active.write_rate == pytest.approx(0.4)
+        assert ActiveFaults((EngineStall(0, 0.5),)).write_rate is None
+
+    def test_stall_beyond_topology_ignored(self):
+        active = ActiveFaults((EngineStall(7, 0.0),))
+        assert np.all(active.capacity_scales(2) == 1.0)
+
+    def test_kind_counts(self):
+        active = ActiveFaults(
+            (EngineStall(0, 0.5), EngineStall(1, 0.5), BramWriteStorm(0.2))
+        )
+        assert active.kind_counts() == {
+            "stall": 2,
+            "write_storm": 1,
+            "transient_walk": 0,
+        }
+
+    def test_check_walk_schedule(self):
+        active = ActiveFaults((TransientWalkFailure(engine=1, n_failures=2),))
+        with pytest.raises(TransientEngineError):
+            active.check_walk(1, 0)
+        with pytest.raises(TransientEngineError):
+            active.check_walk(1, 1)
+        active.check_walk(1, 2)  # third attempt succeeds
+        active.check_walk(0, 0)  # other engines unaffected
+
+
+class TestFaultPlan:
+    def test_windows_sorted_and_active(self):
+        late = FaultWindow(10, 5, EngineStall(0, 0.5))
+        early = FaultWindow(0, 3, BramWriteStorm(0.2))
+        plan = FaultPlan((late, early))
+        assert plan.windows[0] is early
+        assert plan.horizon == 15
+        assert [f.kind for f in plan.active_at(1)] == ["write_storm"]
+        assert plan.active_at(3) == ()
+        assert [f.kind for f in plan.active_at(14)] == ["stall"]
+        assert plan.active_at(15) == ()
+
+    def test_context_outside_windows_is_falsy(self):
+        plan = plan_for(EngineStall(0, 0.5), start=5, duration=2)
+        assert not plan.context_at(0)
+        assert plan.context_at(6)
+
+    def test_generate_is_deterministic(self):
+        kwargs = dict(n_batches=200, n_engines=K, n_faults=5)
+        first = FaultPlan.generate(2012, **kwargs)
+        second = FaultPlan.generate(2012, **kwargs)
+        assert first.trace(200) == second.trace(200)
+        assert first.trace(200) != FaultPlan.generate(2013, **kwargs).trace(200)
+
+    def test_generate_covers_species(self):
+        plan = FaultPlan.generate(7, n_batches=500, n_engines=K, n_faults=40)
+        kinds = {w.fault.kind for w in plan.windows}
+        assert kinds == {"stall", "write_storm", "transient_walk"}
+
+
+class TestDegradationPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DegradationPolicy(shed_utilization=1.0)
+        with pytest.raises(ConfigurationError):
+            DegradationPolicy(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            DegradationPolicy(backoff_base_s=-0.1)
+
+    def test_backoff_doubles(self):
+        policy = DegradationPolicy(backoff_base_s=0.5)
+        assert policy.backoff_s(0) == pytest.approx(0.5)
+        assert policy.backoff_s(2) == pytest.approx(2.0)
+
+
+class TestDegradedServing:
+    def test_stalled_engine_sheds_expected_fraction(self, tables, batch):
+        addresses, vnids = batch
+        rho, scale = 0.5, 0.25
+        plan = plan_for(EngineStall(engine=2, frequency_scale=scale))
+        service = LookupService(
+            tables, Scheme.VS, fault_plan=plan, offered_load_fraction=rho
+        )
+        results, trace = service.serve(addresses, vnids)
+        offered = np.bincount(vnids, minlength=K)
+        # only VN 2 sheds, and exactly down to the policy's bound
+        expected_admit = service.policy.shed_utilization * scale / rho
+        assert trace.vn_shed[2] == offered[2] - int(expected_admit * offered[2] + 0.5)
+        assert all(trace.vn_shed[vn] == 0 for vn in (0, 1, 3))
+        assert (results == SHED_RESULT).sum() == trace.n_shed
+        assert trace.fault_labels == ("stall(engine=2, scale=0.25)",)
+
+    def test_admitted_results_match_nominal(self, tables, batch):
+        """Degradation sheds lookups; it never corrupts admitted answers."""
+        addresses, vnids = batch
+        plan = plan_for(EngineStall(engine=1, frequency_scale=0.1))
+        degraded = LookupService(tables, Scheme.VS, fault_plan=plan)
+        nominal = LookupService(tables, Scheme.VS)
+        got, _ = degraded.serve(addresses, vnids)
+        want = nominal.lookup_batch(addresses, vnids)
+        admitted = got != SHED_RESULT
+        assert np.array_equal(got[admitted], want[admitted])
+
+    def test_offline_engine_sheds_whole_vn(self, tables, batch):
+        addresses, vnids = batch
+        plan = plan_for(EngineStall(engine=1, frequency_scale=0.0))
+        service = LookupService(tables, Scheme.NV, fault_plan=plan)
+        results, trace = service.serve(addresses, vnids)
+        offered = np.bincount(vnids, minlength=K)
+        assert trace.vn_shed[1] == offered[1]
+        assert (results[vnids == 1] == SHED_RESULT).all()
+        assert trace.engine_traces[1].n_packets == 0
+
+    def test_vm_storm_sheds_every_vn(self, tables, batch):
+        addresses, vnids = batch
+        plan = plan_for(BramWriteStorm(write_rate=0.4, slot_steal_fraction=0.5))
+        service = LookupService(
+            tables, Scheme.VM, fault_plan=plan, offered_load_fraction=0.8
+        )
+        _, trace = service.serve(addresses, vnids)
+        assert all(s > 0 for s in trace.vn_shed)
+
+    def test_transient_failure_recovered_by_retry(self, tables, batch):
+        plan = plan_for(TransientWalkFailure(engine=0, n_failures=2))
+        service = LookupService(tables, Scheme.VM, fault_plan=plan)
+        results, trace = service.serve(*batch)
+        assert trace.retries == 2
+        assert trace.walk_failures == 2
+        assert trace.failed_engines == ()
+        assert trace.n_shed == 0
+        assert not (results == SHED_RESULT).any()
+
+    def test_exhausted_retries_shed_the_engine(self, tables, batch):
+        addresses, vnids = batch
+        plan = plan_for(TransientWalkFailure(engine=0, n_failures=3))
+        service = LookupService(
+            tables,
+            Scheme.VS,
+            fault_plan=plan,
+            policy=DegradationPolicy(max_retries=1),
+        )
+        results, trace = service.serve(addresses, vnids)
+        assert trace.failed_engines == (0,)
+        assert trace.vn_shed[0] == np.bincount(vnids, minlength=K)[0]
+        assert (results[vnids == 0] == SHED_RESULT).all()
+        # the other engines were untouched
+        assert all(trace.vn_shed[vn] == 0 for vn in (1, 2, 3))
+
+    def test_degraded_latency_exceeds_nominal(self, tables, batch):
+        plan = plan_for(EngineStall(engine=2, frequency_scale=0.25))
+        degraded = LookupService(tables, Scheme.VS, fault_plan=plan)
+        nominal = LookupService(tables, Scheme.VS)
+        _, degraded_trace = degraded.serve(*batch)
+        _, nominal_trace = nominal.serve(*batch)
+        assert degraded_trace.latency.total_ns > nominal_trace.latency.total_ns
+
+    def test_batches_outside_window_are_nominal(self, tables, batch):
+        plan = plan_for(EngineStall(engine=0, frequency_scale=0.0), start=1, duration=1)
+        service = LookupService(tables, Scheme.VS, fault_plan=plan)
+        _, first = service.serve(*batch)
+        _, second = service.serve(*batch)  # batch index 1: stalled
+        _, third = service.serve(*batch)
+        assert first.n_shed == 0 and first.fault_labels == ()
+        assert second.n_shed > 0
+        assert third.n_shed == 0 and third.fault_labels == ()
+
+    def test_engine_loads_carry_degraded_activity(self, tables, batch):
+        """engine_loads() under shed is the power model's activity vector."""
+        addresses, vnids = batch
+        plan = plan_for(EngineStall(engine=2, frequency_scale=0.25))
+        service = LookupService(tables, Scheme.VS, fault_plan=plan)
+        _, trace = service.serve(addresses, vnids)
+        offered = np.bincount(vnids, minlength=K)
+        expected = (offered - np.asarray(trace.vn_shed)) / len(addresses)
+        assert np.allclose(trace.engine_loads(), expected)
+
+
+class TestFaultObservability:
+    @pytest.fixture()
+    def obs_enabled(self):
+        REGISTRY.enable()
+        TRACER.enable()
+        yield REGISTRY
+        REGISTRY.disable()
+        TRACER.disable()
+        REGISTRY.clear()
+        TRACER.drain()
+
+    def test_error_budget_metrics_emitted(self, tables, batch, obs_enabled):
+        plan = plan_for(EngineStall(engine=2, frequency_scale=0.25))
+        service = LookupService(tables, Scheme.VS, fault_plan=plan)
+        _, trace = service.serve(*batch)
+        shed = obs_enabled.get("repro_serve_shed_lookups_total")
+        assert sum(c.value for _, c in shed.samples()) == trace.n_shed
+        gauge = obs_enabled.get("repro_fault_active")
+        assert gauge.labels("stall").value == 1.0
+        assert gauge.labels("write_storm").value == 0.0
+
+    def test_fault_gauge_decays_after_window(self, tables, batch, obs_enabled):
+        plan = plan_for(EngineStall(engine=0, frequency_scale=0.5), duration=1)
+        service = LookupService(tables, Scheme.VS, fault_plan=plan)
+        service.serve(*batch)
+        assert obs_enabled.get("repro_fault_active").labels("stall").value == 1.0
+        service.serve(*batch)  # window closed
+        assert obs_enabled.get("repro_fault_active").labels("stall").value == 0.0
+
+    def test_retry_and_error_counters(self, tables, batch, obs_enabled):
+        plan = plan_for(TransientWalkFailure(engine=0, n_failures=2))
+        service = LookupService(tables, Scheme.VM, fault_plan=plan)
+        service.serve(*batch)
+        retries = obs_enabled.get("repro_serve_retries_total").labels("VM")
+        assert retries.value == 2.0
+        errors = obs_enabled.get("repro_serve_errors_total")
+        assert errors.labels("transient_walk").value == 2.0
+
+    def test_walk_failed_counted(self, tables, batch, obs_enabled):
+        plan = plan_for(TransientWalkFailure(engine=0, n_failures=5))
+        service = LookupService(
+            tables, Scheme.VM, fault_plan=plan, policy=DegradationPolicy(max_retries=0)
+        )
+        service.serve(*batch)
+        errors = obs_enabled.get("repro_serve_errors_total")
+        assert errors.labels("walk_failed").value == 1.0
+
+    def test_fault_child_spans_emitted(self, tables, batch, obs_enabled):
+        plan = plan_for(EngineStall(engine=1, frequency_scale=0.5))
+        service = LookupService(tables, Scheme.VS, fault_plan=plan)
+        service.serve(*batch)
+        spans = {s.name for s in TRACER.spans()}
+        assert "serve.batch" in spans
+        assert "fault.stall" in spans
+
+    def test_malformed_rejection_counts_only_errors(self, tables, obs_enabled):
+        service = LookupService(tables, Scheme.VS)
+        with pytest.raises(MalformedBatchError):
+            service.serve(np.array([1.5, np.nan]), np.array([0, 1], dtype=np.int64))
+        errors = obs_enabled.get("repro_serve_errors_total")
+        assert errors.labels("non_finite").value == 1.0
+        # the rejected batch must not masquerade as served traffic
+        assert obs_enabled.get("repro_serve_batches_total") is None
+
+    def test_verify_does_not_inflate_serve_metrics(self, tables, batch, obs_enabled):
+        sampler_free = LookupService(tables, Scheme.VS)
+        assert sampler_free.verify(*batch)
+        assert obs_enabled.get("repro_serve_batches_total") is None
+        assert obs_enabled.get("repro_serve_lookups_total") is None
+        assert obs_enabled.get("repro_serve_batch_latency_seconds") is None
+
+    def test_verify_ignores_fault_plan(self, tables, batch):
+        """verify() is an oracle cross-check, not production traffic."""
+        plan = plan_for(EngineStall(engine=0, frequency_scale=0.0))
+        service = LookupService(tables, Scheme.VS, fault_plan=plan)
+        assert service.verify(*batch)

@@ -102,7 +102,17 @@ class TestSamplerValidation:
     def test_bad_duty_cycle_rejected(self, tables, batch):
         _, trace = LookupService(tables, Scheme.VS).serve(*batch)
         with pytest.raises(ConfigurationError):
-            make_sampler(Scheme.VS).sample(trace, duty_cycle=0.0)
+            make_sampler(Scheme.VS).sample(trace, duty_cycle=-0.1)
+        with pytest.raises(ConfigurationError):
+            make_sampler(Scheme.VS).sample(trace, duty_cycle=1.5)
+
+    def test_idle_duty_cycle_is_static_only(self, tables, batch):
+        """duty_cycle=0 models an idle device: static watts, zero Gbps."""
+        _, trace = LookupService(tables, Scheme.VS).serve(*batch)
+        sample = make_sampler(Scheme.VS).sample(trace, duty_cycle=0.0)
+        assert sample.static_w > 0.0
+        assert sample.dynamic_w == pytest.approx(0.0, abs=1e-9)
+        assert sample.per_vn_gbps == (0.0,) * K
 
     def test_vn_count_length_mismatch_rejected(self, tables, batch):
         REGISTRY.enable()

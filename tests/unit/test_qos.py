@@ -77,6 +77,43 @@ class TestScheduler:
         with pytest.raises(CapacityError):
             sched.verify_guarantee(np.array([0.7, 0.7]))
 
+    @staticmethod
+    def _starvation_workload():
+        """VN 0 saturates the engine before VN 1's burst arrives.
+
+        Admissible on average (rates sum to 1.0), but the temporal
+        structure matters: once VN 0's queue never empties, VN 1's
+        packets can only be served if the weights let it win contested
+        cycles.
+        """
+        arrivals = np.zeros((1000, 2), dtype=np.int64)
+        arrivals[20:, 0] = 1  # rate 0.98, always backlogged after cycle 20
+        arrivals[500:520, 1] = 1  # rate 0.02, arriving mid-run
+        return np.array([0.98, 0.02]), arrivals
+
+    def test_starved_vn_fails_guarantee(self):
+        """Regression: verify_guarantee used to credit the entire
+        end-of-run backlog as served.  simulate() conserves packets, so
+        the shortfall was identically zero and the check could never
+        return False — a weight vector that fully starves a VN
+        'passed'.  With the bounded in-flight allowance it must fail."""
+        demands, arrivals = self._starvation_workload()
+        starving = WeightedScheduler([1.0, 1e-6])
+        assert not starving.verify_guarantee(demands, arrivals=arrivals)
+        # the pre-fix arithmetic would have passed vacuously: nothing
+        # of VN 1's burst was served, it all sat in the backlog
+        out = starving.simulate(arrivals)
+        assert out["served"][1] == 0
+        assert out["backlog"][1] == arrivals[:, 1].sum()
+
+    def test_fair_weights_pass_same_workload(self):
+        """The same workload under fair weights is served: the failure
+        above is the weights' fault, not the traffic's."""
+        demands, arrivals = self._starvation_workload()
+        assert WeightedScheduler([0.5, 0.5]).verify_guarantee(
+            demands, arrivals=arrivals
+        )
+
     def test_rejects_bad_weights(self):
         with pytest.raises(ConfigurationError):
             WeightedScheduler([])

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError, MergeError
+from repro.errors import ConfigurationError, MalformedBatchError
 from repro.iplookup.synth import SyntheticTableConfig, generate_virtual_tables
 from repro.serve import LookupService
 from repro.virt.schemes import Scheme
@@ -104,13 +104,15 @@ class TestValidation:
 
     def test_rejects_mismatched_batch(self, tables):
         service = LookupService(tables, Scheme.VM)
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(MalformedBatchError) as err:
             service.serve(np.zeros(3, dtype=np.uint32), np.zeros(2, dtype=np.int64))
+        assert err.value.kind == "truncated"
 
     def test_rejects_out_of_range_vnid(self, tables):
         service = LookupService(tables, Scheme.VM)
-        with pytest.raises(MergeError):
+        with pytest.raises(MalformedBatchError) as err:
             service.serve(np.zeros(2, dtype=np.uint32), np.array([0, K], dtype=np.int64))
+        assert err.value.kind == "vnid_range"
 
     def test_merged_only_for_vm(self, tables):
         assert LookupService(tables, Scheme.VM).merged() is not None
