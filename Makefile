@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-smoke bench-figures figures experiments experiments-md examples obs-demo faults-smoke docs-check clean
+.PHONY: install test lint lint-drift lint-baseline bench bench-smoke bench-figures figures experiments experiments-md examples obs-demo faults-smoke docs-check clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -10,11 +10,28 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# every tree the gate covers (keep in sync with CI and
+# tests/integration/test_lint_clean.py)
+LINT_TREES = src/repro examples tools tests benchmarks
+LINT_CACHE = out/.lintcache/project.json
+
 # repro-lint is self-contained (stdlib only); ruff/mypy run when installed
 lint:
-	$(PYTHON) -m repro.tools.repro_lint --statistics src/repro examples
+	$(PYTHON) -m repro.tools.repro_lint --statistics \
+		--project-cache $(LINT_CACHE) $(LINT_TREES)
 	@command -v ruff >/dev/null 2>&1 && ruff check src/repro tests examples || echo "ruff not installed, skipped"
 	@command -v mypy >/dev/null 2>&1 && mypy || echo "mypy not installed, skipped"
+
+# CI drift gate: fail only on findings not in lint-baseline.json
+lint-drift:
+	$(PYTHON) -m repro.tools.repro_lint --format github \
+		--baseline lint-baseline.json \
+		--project-cache $(LINT_CACHE) $(LINT_TREES)
+
+# accept the current finding set as the new baseline
+lint-baseline:
+	$(PYTHON) -m repro.tools.repro_lint --write-baseline lint-baseline.json \
+		--project-cache $(LINT_CACHE) $(LINT_TREES)
 
 # lookup perf harness: writes BENCH_lookup.json at the repo root
 bench:

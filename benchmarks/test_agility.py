@@ -1,6 +1,5 @@
 """Bench: provisioning agility per scheme."""
 
-import numpy as np
 
 from conftest import record_result
 from repro.analysis.agility import run

@@ -1,6 +1,5 @@
 """Bench: B2 — braided vs plain merging efficiency."""
 
-import numpy as np
 
 from conftest import record_result
 from repro.experiments.braiding_gain import run

@@ -1,6 +1,5 @@
 """Bench: device exploration across the Virtex-6 catalog."""
 
-import numpy as np
 
 from conftest import record_result
 from repro.experiments.device_choice import run

@@ -1,6 +1,5 @@
 """Bench: model error bound across independent tables."""
 
-import numpy as np
 
 from conftest import record_result
 from repro.experiments.robustness import run

@@ -1,24 +1,43 @@
-"""repro-lint — units- and invariant-aware static analysis for the repro tree.
+"""repro-lint — units-, invariant- and whole-program-aware static analysis.
 
 The paper's power models (Eqs. 1–6) mix µW-per-stage, per-block mW and
 W-scale quantities that are only comparable because every module keeps
 the unit conventions of :mod:`repro.units`.  This package enforces
 those conventions mechanically: an AST visitor core drives a registry
-of small rules over every module, and each finding is either fixed or
-explicitly suppressed with ``# repro-lint: disable=RULE``.
+of small per-file rules over every module, and a second
+**whole-program pass** (:mod:`repro.staticcheck.project`) builds a
+module/symbol table, a conservative call graph and per-function effect
+summaries so that cross-module properties — cache determinism, frozen
+structures, metric hygiene, executor safety — can be linted too.
+Each finding is either fixed or explicitly suppressed with
+``# repro-lint: disable=RULE``.
 
-Shipped rules
--------------
-* ``UNIT001`` — bare conversion factors (``1e-6``, ``1e6``, ``8`` …)
-  in unit-bearing expressions must go through :mod:`repro.units`.
-* ``UNIT002`` — a function whose name claims a unit (``*_w``,
-  ``*_mhz`` …) must not return a conversion to a different unit.
+Shipped rules (see docs/LINTING.md for the full catalog)
+--------------------------------------------------------
+File scope:
+
+* ``UNIT001`` / ``UNIT002`` — unit-conversion hygiene.
 * ``FLT001`` — no ``==``/``!=`` against float literals in model code.
-* ``API001`` / ``API002`` — exported names need docstrings and full
-  type hints.
-* ``INV001`` — every ``@monotone_in``-annotated model equation needs a
-  matching hypothesis property test.
+* ``API001`` / ``API002`` — exported names need docstrings and hints.
+* ``INV001`` — ``@monotone_in`` equations need property tests.
 * ``IMP001`` / ``IMP002`` — dead imports and stale ``__all__`` entries.
+
+Project scope:
+
+* ``DET001``–``DET004`` — non-determinism (unseeded random, wall
+  clock, env reads, set-iteration order) reachable from ``@register``
+  experiment entry points poisons the content-addressed result cache.
+* ``FRZ001`` / ``FRZ002`` — mutation of frozen structures
+  (``MergedTrie`` …), directly or through helpers via the call graph.
+* ``OBS001``–``OBS004`` — metric/span names and label sets must match
+  the docs/OBSERVABILITY.md catalog; histograms take float values.
+* ``CONC001``–``CONC003`` — async/process-pool readiness (blocking
+  calls in ``async def``, shared-state mutation from executor-submitted
+  functions, unpicklable defaults).
+
+Post-run:
+
+* ``SUP001`` — disable comments that no longer silence anything.
 
 Programmatic use::
 
@@ -28,10 +47,12 @@ Programmatic use::
         print(finding.format())
 """
 
+from repro.staticcheck.baseline import Baseline, BaselineDrift, apply_baseline
 from repro.staticcheck.config import LintConfig, find_pyproject, load_config
 from repro.staticcheck.finding import Finding, Severity
+from repro.staticcheck.project import ProjectAnalysis, ProjectCache, build_project
 from repro.staticcheck.registry import Rule, all_rules, get_rule, register
-from repro.staticcheck.reporters import render_json, render_text
+from repro.staticcheck.reporters import render_github, render_json, render_text
 from repro.staticcheck.runner import LintReport, lint_file, lint_paths
 
 # rule modules self-register on import
@@ -50,6 +71,13 @@ __all__ = [
     "LintReport",
     "lint_file",
     "lint_paths",
+    "ProjectAnalysis",
+    "ProjectCache",
+    "build_project",
+    "Baseline",
+    "BaselineDrift",
+    "apply_baseline",
     "render_text",
     "render_json",
+    "render_github",
 ]

@@ -1,0 +1,105 @@
+"""Findings baseline: accept legacy findings, fail only on drift.
+
+A baseline is a JSON snapshot of known findings keyed by
+``(path, rule, message)`` — deliberately **not** by line number, so
+unrelated edits that shift code around do not invalidate it.  The CI
+drift gate loads the checked-in baseline, subtracts it from a fresh
+lint run, and fails only when *new* findings appear.  Entries that no
+longer match anything are reported as *stale* so the baseline cannot
+silently rot.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.staticcheck.finding import Finding
+from repro.staticcheck.runner import LintReport
+
+__all__ = ["Baseline", "BaselineDrift", "apply_baseline"]
+
+_KEY = tuple[str, str, str]
+
+
+@dataclass
+class Baseline:
+    """A set of accepted findings with per-key multiplicities."""
+
+    VERSION = 1
+
+    entries: Counter = field(default_factory=Counter)
+
+    @staticmethod
+    def key_for(finding: Finding) -> _KEY:
+        """Line-independent identity of a finding."""
+        return (finding.path, finding.rule, finding.message)
+
+    @classmethod
+    def from_report(cls, report: LintReport) -> "Baseline":
+        """Snapshot every unsuppressed finding of ``report``."""
+        baseline = cls()
+        for finding in report.findings:
+            baseline.entries[cls.key_for(finding)] += 1
+        return baseline
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline JSON written by :meth:`save`."""
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if data.get("version") != cls.VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}"
+            )
+        baseline = cls()
+        for entry in data.get("entries", []):
+            key = (entry["path"], entry["rule"], entry["message"])
+            baseline.entries[key] += int(entry.get("count", 1))
+        return baseline
+
+    def save(self, path: Path) -> None:
+        """Write the baseline as stable, diff-friendly JSON."""
+        entries = [
+            {"path": p, "rule": r, "message": m, "count": count}
+            for (p, r, m), count in sorted(self.entries.items())
+        ]
+        payload = {"version": self.VERSION, "entries": entries}
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+@dataclass
+class BaselineDrift:
+    """Outcome of subtracting a baseline from a report."""
+
+    #: findings not covered by the baseline (these fail the gate)
+    new_findings: list[Finding] = field(default_factory=list)
+    #: findings absorbed by the baseline
+    matched: list[Finding] = field(default_factory=list)
+    #: baseline keys that matched nothing (candidates for removal)
+    stale: list[_KEY] = field(default_factory=list)
+
+
+def apply_baseline(report: LintReport, baseline: Baseline) -> BaselineDrift:
+    """Partition ``report.findings`` against ``baseline`` **in place**.
+
+    Matched findings move to ``report.baselined``; ``report.findings``
+    keeps only the new ones, so ``report.exit_code`` becomes the drift
+    gate's verdict.
+    """
+    remaining = Counter(baseline.entries)
+    drift = BaselineDrift()
+    for finding in report.findings:
+        key = Baseline.key_for(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            drift.matched.append(finding)
+        else:
+            drift.new_findings.append(finding)
+    drift.stale = sorted(key for key, count in remaining.items() if count > 0)
+    report.findings = drift.new_findings
+    report.baselined.extend(drift.matched)
+    return drift

@@ -10,8 +10,15 @@ Configuration lives under ``[tool.repro-lint]`` in ``pyproject.toml``::
     [tool.repro-lint.rules.UNIT001]
     allow-modules = ["src/repro/units.py"]
 
+    # relaxed profile for whole subtrees (tests keep exact float
+    # assertions and need no public-API docstrings)
+    [[tool.repro-lint.overrides]]
+    paths = ["tests/**", "benchmarks/**"]
+    ignore = ["API001", "API002"]
+
 Rules declare their own option defaults (``Rule.default_options``);
-the TOML section overrides them key-by-key.
+the TOML section overrides them key-by-key.  ``overrides`` entries
+relax (never extend) the rule set for paths matching their globs.
 """
 
 from __future__ import annotations
@@ -39,6 +46,8 @@ class LintConfig:
     property_test_dirs: list[str] = field(default_factory=list)
     #: per-rule option overrides, keyed by rule id
     rule_options: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: per-path relaxations: (glob patterns, rule ids ignored there)
+    overrides: list[tuple[list[str], set[str]]] = field(default_factory=list)
     #: directory the config was loaded from (anchors relative paths)
     root: Path | None = None
 
@@ -47,6 +56,29 @@ class LintConfig:
         if rule_id in self.ignore:
             return False
         return not self.select or rule_id in self.select
+
+    def ignored_for_path(self, path: Path | str) -> set[str]:
+        """Rule ids relaxed for ``path`` by matching override entries."""
+        resolved = Path(path)
+        texts = [resolved.as_posix()]
+        if self.root is not None and resolved.is_absolute():
+            try:
+                texts.append(resolved.relative_to(self.root.resolve()).as_posix())
+            except ValueError:
+                pass
+        ignored: set[str] = set()
+        for patterns, rules in self.overrides:
+            if any(
+                fnmatch.fnmatch(text, pattern)
+                for text in texts
+                for pattern in patterns
+            ):
+                ignored |= rules
+        return ignored
+
+    def is_rule_enabled_for(self, rule_id: str, path: Path | str) -> bool:
+        """Rule enablement with per-path overrides applied."""
+        return self.is_rule_enabled(rule_id) and rule_id not in self.ignored_for_path(path)
 
     def is_path_excluded(self, path: Path) -> bool:
         """Whether ``path`` matches any exclude pattern."""
@@ -95,4 +127,9 @@ def load_config(pyproject: Path | None) -> LintConfig:
             for rule_id, options in rules.items()
             if isinstance(options, dict)
         }
+    for entry in section.get("overrides", []):
+        if isinstance(entry, dict):
+            config.overrides.append(
+                (list(entry.get("paths", [])), set(entry.get("ignore", [])))
+            )
     return config

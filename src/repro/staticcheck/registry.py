@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Any
 from repro.staticcheck.finding import Finding, Severity
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.staticcheck.project import ProjectAnalysis
     from repro.staticcheck.visitor import ModuleContext
 
 __all__ = ["Rule", "register", "all_rules", "get_rule"]
@@ -28,12 +29,19 @@ class Rule:
     short kebab-case slug) and ``description``, and may declare
     ``default_options`` which :class:`~repro.staticcheck.config.LintConfig`
     overlays from ``pyproject.toml``.
+
+    ``scope`` selects the driver: ``"file"`` rules ride the single-AST
+    walk (:mod:`.visitor`); ``"project"`` rules implement
+    :meth:`check_project` and see the whole-program analysis built by
+    :mod:`.project` instead of individual modules.
     """
 
     id: str = ""
     name: str = ""
     description: str = ""
     severity: Severity = Severity.ERROR
+    #: "file" (per-module AST walk) or "project" (whole-program pass)
+    scope: str = "file"
     default_options: dict[str, Any] = {}
 
     def __init__(self, options: dict[str, Any]):
@@ -48,13 +56,20 @@ class Rule:
     def finish_module(self, ctx: "ModuleContext") -> None:
         """Called after the AST walk completes."""
 
+    def check_project(self, project: "ProjectAnalysis") -> None:
+        """Project-scope hook: called once with the whole-program analysis."""
+
     # -- reporting -----------------------------------------------------------
 
     def report(self, ctx: "ModuleContext", line: int, col: int, message: str) -> None:
         """Record one finding at ``line``/``col`` of the current module."""
+        self.report_at(ctx.display_path, line, col, message)
+
+    def report_at(self, path: str, line: int, col: int, message: str) -> None:
+        """Record one finding at an explicit location (project rules)."""
         self.findings.append(
             Finding(
-                path=ctx.display_path,
+                path=path,
                 line=line,
                 col=col,
                 rule=self.id,

@@ -1,13 +1,14 @@
-"""Text and JSON reporters for lint runs."""
+"""Text, JSON and GitHub-annotation reporters for lint runs."""
 
 from __future__ import annotations
 
 import json
 from collections import Counter
 
+from repro.staticcheck.finding import Severity
 from repro.staticcheck.runner import LintReport
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_text", "render_json", "render_github"]
 
 
 def render_text(report: LintReport, show_suppressed: bool = False, statistics: bool = False) -> str:
@@ -20,6 +21,51 @@ def render_text(report: LintReport, show_suppressed: bool = False, statistics: b
         counts = Counter(finding.rule for finding in report.findings)
         for rule_id, count in sorted(counts.items()):
             lines.append(f"{count:5d}  {rule_id}")
+    summary = (
+        f"{len(report.findings)} finding(s), {len(report.suppressed)} suppressed, "
+        f"{report.files_checked} file(s) checked"
+    )
+    if report.baselined:
+        summary += f", {len(report.baselined)} baselined"
+    if statistics:
+        summary += (
+            f" in {report.duration_s:.2f}s"
+            f" (project pass {report.project_duration_s:.2f}s"
+        )
+        if report.project_cache_hits or report.project_cache_misses:
+            summary += (
+                f", cache {report.project_cache_hits} hit(s)"
+                f"/{report.project_cache_misses} miss(es)"
+            )
+        summary += ")"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _github_escape(value: str, *, property_value: bool = False) -> str:
+    """Escape per GitHub's workflow-command data rules."""
+    value = value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    if property_value:
+        value = value.replace(":", "%3A").replace(",", "%2C")
+    return value
+
+
+def render_github(report: LintReport) -> str:
+    """GitHub Actions workflow commands: one ``::error`` per finding.
+
+    Emitted to stdout in CI so findings surface as inline PR
+    annotations on the exact file and line.
+    """
+    lines = []
+    for finding in report.findings:
+        command = "error" if finding.severity is Severity.ERROR else "warning"
+        lines.append(
+            f"::{command} "
+            f"file={_github_escape(finding.path, property_value=True)},"
+            f"line={finding.line},col={finding.col + 1},"
+            f"title={_github_escape(finding.rule, property_value=True)}::"
+            f"{_github_escape(f'{finding.rule}: {finding.message}')}"
+        )
     lines.append(
         f"{len(report.findings)} finding(s), {len(report.suppressed)} suppressed, "
         f"{report.files_checked} file(s) checked"

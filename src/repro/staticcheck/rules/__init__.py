@@ -1,5 +1,27 @@
 """The shipped rule pack.  Importing this package registers every rule."""
 
-from repro.staticcheck.rules import api, floateq, imports, invariants, units
+from repro.staticcheck.rules import (
+    api,
+    concurrency,
+    determinism,
+    floateq,
+    frozen,
+    imports,
+    invariants,
+    obs,
+    suppress,
+    units,
+)
 
-__all__ = ["api", "floateq", "imports", "invariants", "units"]
+__all__ = [
+    "api",
+    "concurrency",
+    "determinism",
+    "floateq",
+    "frozen",
+    "imports",
+    "invariants",
+    "obs",
+    "suppress",
+    "units",
+]

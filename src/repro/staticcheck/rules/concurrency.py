@@ -1,0 +1,141 @@
+"""Async/process-pool readiness rules (CONC001–CONC003).
+
+The roadmap's sharded async serving tier will put ``async def``
+front-ends ahead of process-pool workers.  These rules pre-lint the
+codebase for the three classic ways that refactor goes wrong:
+
+* **CONC001** — a blocking call (``time.sleep``, ``open``,
+  ``subprocess`` …) reachable from an ``async def`` body stalls the
+  event loop for every connection, not just the caller;
+* **CONC002** — a function submitted to an executor mutates
+  module-level shared state: in a process pool the mutation silently
+  lands in the child's copy, in a thread pool it races;
+* **CONC003** — a function submitted to a process pool carries an
+  unpicklable default argument (``lambda``, ``threading.Lock()`` …),
+  which fails only at submit time, on the first call that relies on
+  the default.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.staticcheck.registry import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.staticcheck.project import ProjectAnalysis
+
+__all__ = ["BlockingInAsync", "ExecutorSharedState", "UnpicklableDefault"]
+
+_POOL_CLASSES = ("ProcessPoolExecutor", "ThreadPoolExecutor", "Pool")
+
+
+def _pool_hint(project: "ProjectAnalysis", summary, site) -> str | None:
+    """Constructor class of the submit receiver, when statically known."""
+    recv = site.pool_class
+    if recv is None:
+        return None
+    root = recv.split(".")[0]
+    for fn in summary.functions.values():
+        cls = fn.constructed.get(root)
+        if cls in _POOL_CLASSES:
+            return cls
+    if any(token in root.lower() for token in ("pool", "executor")):
+        return "executor"
+    return None
+
+
+@register
+class BlockingInAsync(Rule):
+    """CONC001: blocking calls reachable from ``async def`` bodies."""
+
+    id = "CONC001"
+    name = "blocking-in-async"
+    description = "async def bodies must not (transitively) block the event loop"
+    scope = "project"
+    default_options = {}
+
+    def check_project(self, project: "ProjectAnalysis") -> None:
+        """Flag blocking effects in the closure of every async function."""
+        for fn in sorted(project.functions.values(), key=lambda f: f.qualname):
+            if not fn.is_async:
+                continue
+            for holder, effect in project.effects_reachable_from(
+                fn.qualname, kinds={"blocking"}
+            ):
+                where = (
+                    "directly"
+                    if holder.qualname == fn.qualname
+                    else f"via '{holder.qualname}'"
+                )
+                self.report_at(
+                    project.modules[holder.module].path,
+                    effect.line,
+                    effect.col,
+                    f"{effect.detail} {where} inside async "
+                    f"'{fn.qualname}' blocks the event loop; await an "
+                    f"async equivalent or push it to an executor",
+                )
+
+
+@register
+class ExecutorSharedState(Rule):
+    """CONC002: executor-submitted functions mutating module state."""
+
+    id = "CONC002"
+    name = "executor-shared-state"
+    description = "functions submitted to executors must not mutate module-level state"
+    scope = "project"
+    default_options = {}
+
+    def check_project(self, project: "ProjectAnalysis") -> None:
+        """Flag submit sites whose target mutates globals (transitively)."""
+        for summary, site in project.submit_sites():
+            if site.via == "map" and _pool_hint(project, summary, site) is None:
+                continue  # bare ``.map`` is usually list/dict-like, not a pool
+            if site.target is None:
+                continue
+            target = project.resolve_in_module(summary, site.target)
+            if target is None:
+                continue
+            for holder, effect in project.effects_reachable_from(
+                target.qualname, kinds={"global_mut"}
+            ):
+                self.report_at(
+                    summary.path,
+                    site.line,
+                    site.col,
+                    f"'{site.target}' submitted to an executor {effect.detail} "
+                    f"(in '{holder.qualname}' at {holder.module}:{effect.line}); "
+                    f"shared state does not propagate across workers",
+                )
+
+
+@register
+class UnpicklableDefault(Rule):
+    """CONC003: unpicklable defaults on executor-submitted functions."""
+
+    id = "CONC003"
+    name = "unpicklable-default"
+    description = "process-pool targets must not carry unpicklable default arguments"
+    scope = "project"
+    default_options = {}
+
+    def check_project(self, project: "ProjectAnalysis") -> None:
+        """Flag submit targets whose defaults cannot cross pickling."""
+        for summary, site in project.submit_sites():
+            if site.target is None:
+                continue
+            target = project.resolve_in_module(summary, site.target)
+            if target is None or not target.unpicklable_defaults:
+                continue
+            target_path = project.modules[target.module].path
+            for param, line, reason in target.unpicklable_defaults:
+                self.report_at(
+                    target_path,
+                    line,
+                    target.col,
+                    f"'{target.qualname}' is submitted to an executor "
+                    f"({summary.path}:{site.line}) but parameter '{param}' has "
+                    f"an unpicklable {reason}",
+                )

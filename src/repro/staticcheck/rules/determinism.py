@@ -1,0 +1,103 @@
+"""Determinism / cache-safety rules (DET001–DET004).
+
+The experiment engine (PR 3) caches results content-addressed by
+``sha256(experiment id, params, model version)`` — the *inputs*, not
+the environment.  Any nondeterminism reachable from a registered
+experiment ``run`` function therefore poisons the cache: a stale entry
+is indistinguishable from a fresh one.  These rules walk the
+conservative call graph from every ``@register``-ed entry point and
+flag the four ways results silently stop being a function of their
+key:
+
+* **DET001** — unseeded random (``random.*`` globals, bare
+  ``numpy.random.*``, ``default_rng()`` with no seed);
+* **DET002** — wall-clock reads (``time.time``, ``datetime.now`` …);
+* **DET003** — environment reads (``os.environ``, ``os.getenv``);
+* **DET004** — iteration over a set (order depends on hash seeding).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.staticcheck.registry import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.staticcheck.project import ProjectAnalysis
+
+__all__ = ["UnseededRandom", "WallClockRead", "EnvironmentRead", "SetIterationOrder"]
+
+
+class _ReachableEffectRule(Rule):
+    """Shared driver: report one effect kind reachable from entry points."""
+
+    scope = "project"
+    effect_kind = ""
+    default_options = {"entrypoint-decorators": ["register"]}
+
+    def check_project(self, project: "ProjectAnalysis") -> None:
+        """Flag every ``effect_kind`` site reachable from an entry point."""
+        decorators = self.options.get("entrypoint-decorators", ["register"])
+        seen: set[tuple[str, int, int]] = set()
+        for decorator in decorators:
+            for entry in project.entry_points(decorator):
+                label = entry.entry_id or entry.qualname
+                for holder, effect in project.effects_reachable_from(
+                    entry.qualname, kinds={self.effect_kind}
+                ):
+                    site = (holder.module, effect.line, effect.col)
+                    if site in seen:
+                        continue
+                    seen.add(site)
+                    where = (
+                        f"in '{holder.qualname}'"
+                        if holder.qualname != entry.qualname
+                        else "directly"
+                    )
+                    self.report_at(
+                        project.modules[holder.module].path,
+                        effect.line,
+                        effect.col,
+                        f"{effect.detail} {where}, reachable from experiment "
+                        f"'{label}' — poisons the content-addressed result cache",
+                    )
+
+
+@register
+class UnseededRandom(_ReachableEffectRule):
+    """DET001: unseeded randomness reachable from an experiment entry point."""
+
+    id = "DET001"
+    name = "unseeded-random"
+    description = "experiment run() closures must not draw unseeded random numbers"
+    effect_kind = "random"
+
+
+@register
+class WallClockRead(_ReachableEffectRule):
+    """DET002: wall-clock reads reachable from an experiment entry point."""
+
+    id = "DET002"
+    name = "wall-clock-read"
+    description = "experiment run() closures must not read wall-clock time"
+    effect_kind = "time"
+
+
+@register
+class EnvironmentRead(_ReachableEffectRule):
+    """DET003: environment reads reachable from an experiment entry point."""
+
+    id = "DET003"
+    name = "environment-read"
+    description = "experiment run() closures must not read os.environ"
+    effect_kind = "env"
+
+
+@register
+class SetIterationOrder(_ReachableEffectRule):
+    """DET004: set-iteration-order dependence reachable from an entry point."""
+
+    id = "DET004"
+    name = "set-iteration-order"
+    description = "experiment run() closures must not iterate sets unsorted"
+    effect_kind = "set_iter"

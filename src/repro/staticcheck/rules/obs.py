@@ -1,0 +1,235 @@
+"""Metrics/span hygiene rules (OBS001–OBS004).
+
+docs/OBSERVABILITY.md (plus the fault-metric tables in
+docs/ROBUSTNESS.md) is the catalog of record for every metric family
+and span the runtime may emit; per-shard scrape-merging in the planned
+serving tier relies on names and label sets being consistent across
+processes.  These rules parse the markdown catalogs and check every
+registration site in code against them:
+
+* **OBS001** — a metric name used in code is missing from the catalog;
+* **OBS002** — a metric's label set disagrees with the catalog;
+* **OBS003** — a span name is missing from the span catalog
+  (f-string spans match catalog wildcards like ``fault.<kind>``);
+* **OBS004** — a histogram observed with a non-float literal.
+
+Catalog tables need a header row containing a ``label`` column; label
+cells may carry backticked label names with parenthesized value hints,
+e.g. ``` `outcome` (`hit`/`miss`) ``` — the hints are stripped.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.staticcheck.registry import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.staticcheck.project import ProjectAnalysis
+
+__all__ = [
+    "MetricNotInCatalog",
+    "MetricLabelMismatch",
+    "SpanNotInCatalog",
+    "HistogramIntLiteral",
+    "parse_metric_catalog",
+    "parse_span_catalog",
+]
+
+_BACKTICK = re.compile(r"`([^`]+)`")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_PARENS = re.compile(r"\([^)]*\)")
+
+_DEFAULT_OPTIONS = {
+    "catalog-files": ["docs/OBSERVABILITY.md", "docs/ROBUSTNESS.md"],
+    "metric-prefix": "repro_",
+}
+
+
+def _table_rows(text: str) -> list[list[str]]:
+    """All markdown table rows as stripped cell lists."""
+    rows = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line.startswith("|") and line.endswith("|"):
+            cells = [cell.strip() for cell in line.strip("|").split("|")]
+            rows.append(cells)
+    return rows
+
+
+def parse_metric_catalog(files: list[Path], prefix: str = "repro_") -> dict[str, set[str]]:
+    """``{metric name: label set}`` parsed from markdown catalog tables."""
+    catalog: dict[str, set[str]] = {}
+    for path in files:
+        if not path.is_file():
+            continue
+        rows = _table_rows(path.read_text(encoding="utf-8"))
+        label_col = 1
+        for cells in rows:
+            lowered = [cell.lower() for cell in cells]
+            if any("label" in cell for cell in lowered) and not any(
+                prefix in cell for cell in cells
+            ):
+                # header row: remember where the label column sits
+                for index, cell in enumerate(lowered):
+                    if "label" in cell:
+                        label_col = index
+                continue
+            if not cells:
+                continue
+            names = _BACKTICK.findall(cells[0])
+            if len(names) != 1 or not names[0].startswith(prefix):
+                continue
+            labels: set[str] = set()
+            if label_col < len(cells):
+                cell = _PARENS.sub("", cells[label_col])
+                for token in _BACKTICK.findall(cell):
+                    if _LABEL_NAME.match(token):
+                        labels.add(token)
+            catalog[names[0]] = labels
+    return catalog
+
+
+def parse_span_catalog(files: list[Path]) -> list[str]:
+    """Span-name patterns (``<var>`` placeholders become ``*`` globs)."""
+    patterns: list[str] = []
+    for path in files:
+        if not path.is_file():
+            continue
+        for cells in _table_rows(path.read_text(encoding="utf-8")):
+            if not cells:
+                continue
+            names = _BACKTICK.findall(cells[0])
+            if len(names) != 1:
+                continue
+            name = names[0]
+            if not re.match(r"^[a-z][a-z0-9_.]*(\.<[a-z_]+>)?$", name):
+                continue
+            if "." not in name:
+                continue
+            patterns.append(re.sub(r"<[a-z_]+>", "*", name))
+    return patterns
+
+
+class _CatalogRule(Rule):
+    """Shared catalog loading for the OBS pack."""
+
+    scope = "project"
+    default_options = dict(_DEFAULT_OPTIONS)
+
+    def catalog_files(self, project: "ProjectAnalysis") -> list[Path]:
+        """Configured catalog paths resolved against the project root."""
+        root = project.root or Path(".")
+        return [root / f for f in self.options.get("catalog-files", [])]
+
+
+@register
+class MetricNotInCatalog(_CatalogRule):
+    """OBS001: metric names used in code must appear in the docs catalog."""
+
+    id = "OBS001"
+    name = "metric-not-in-catalog"
+    description = "metric names must be catalogued in docs/OBSERVABILITY.md"
+
+    def check_project(self, project: "ProjectAnalysis") -> None:
+        """Flag registrations whose metric name is uncatalogued."""
+        catalog = parse_metric_catalog(
+            self.catalog_files(project), self.options.get("metric-prefix", "repro_")
+        )
+        if not catalog:
+            return  # no catalog found — stay quiet rather than flag everything
+        for summary, use in project.metric_uses():
+            if use.name not in catalog:
+                self.report_at(
+                    summary.path,
+                    use.line,
+                    use.col,
+                    f"metric '{use.name}' ({use.kind}) is not in the "
+                    f"observability catalog; document it or fix the name",
+                )
+
+
+@register
+class MetricLabelMismatch(_CatalogRule):
+    """OBS002: metric label sets must match the docs catalog."""
+
+    id = "OBS002"
+    name = "metric-label-mismatch"
+    description = "metric label sets must match the catalog entry"
+
+    def check_project(self, project: "ProjectAnalysis") -> None:
+        """Flag registrations whose labels disagree with the catalog."""
+        catalog = parse_metric_catalog(
+            self.catalog_files(project), self.options.get("metric-prefix", "repro_")
+        )
+        if not catalog:
+            return
+        for summary, use in project.metric_uses():
+            expected = catalog.get(use.name)
+            if expected is None:
+                continue  # OBS001's problem
+            if use.labels is None:
+                self.report_at(
+                    summary.path,
+                    use.line,
+                    use.col,
+                    f"metric '{use.name}' is registered with a dynamic label "
+                    f"set; the catalog requires {sorted(expected) or 'no labels'}",
+                )
+            elif set(use.labels) != expected:
+                self.report_at(
+                    summary.path,
+                    use.line,
+                    use.col,
+                    f"metric '{use.name}' labels {sorted(use.labels)} disagree "
+                    f"with the catalog {sorted(expected)}",
+                )
+
+
+@register
+class SpanNotInCatalog(_CatalogRule):
+    """OBS003: span names must appear in the span catalog."""
+
+    id = "OBS003"
+    name = "span-not-in-catalog"
+    description = "span names must be catalogued in docs/OBSERVABILITY.md"
+
+    def check_project(self, project: "ProjectAnalysis") -> None:
+        """Flag span starts whose name matches no catalog pattern."""
+        patterns = parse_span_catalog(self.catalog_files(project))
+        if not patterns:
+            return
+        for summary, use in project.span_uses():
+            if any(fnmatch.fnmatchcase(use.pattern, pattern) for pattern in patterns):
+                continue
+            kind = "dynamic span" if use.dynamic else "span"
+            self.report_at(
+                summary.path,
+                use.line,
+                use.col,
+                f"{kind} '{use.pattern}' is not in the span catalog; "
+                f"document it or fix the name",
+            )
+
+
+@register
+class HistogramIntLiteral(_CatalogRule):
+    """OBS004: histograms must be observed with float values."""
+
+    id = "OBS004"
+    name = "histogram-int-literal"
+    description = "observe() literals must be floats (unit-bearing seconds)"
+
+    def check_project(self, project: "ProjectAnalysis") -> None:
+        """Flag ``observe(<non-float literal>)`` call sites."""
+        for summary, use in project.observe_uses():
+            self.report_at(
+                summary.path,
+                use.line,
+                use.col,
+                f"histogram observed with a non-float literal ({use.literal}); "
+                f"write the value as a float so the unit is explicit",
+            )

@@ -1,0 +1,33 @@
+"""Suppression hygiene (SUP001).
+
+A ``# repro-lint: disable=RULE`` comment is a standing exception; once
+the underlying finding is fixed (or the rule retired) the comment is
+dead weight that hides future regressions at that line.  SUP001
+reports every suppression that silenced nothing during the run.
+
+The sweep itself lives in the runner (it must observe the *complete*
+finding set, per-file and project scope alike); this class gives the
+rule an id, a catalog entry and a configuration handle.  SUP001 is
+deliberately immune to inline ``disable`` comments — silencing the
+"your silencer is dead" message with another silencer would let
+suppressions rot forever.  Disable it via ``ignore = ["SUP001"]`` in
+``pyproject.toml`` if a tree really wants that.
+"""
+
+from __future__ import annotations
+
+from repro.staticcheck.registry import Rule, register
+
+__all__ = ["UnusedSuppression"]
+
+
+@register
+class UnusedSuppression(Rule):
+    """SUP001: a disable comment that no longer matches any finding."""
+
+    id = "SUP001"
+    name = "unused-suppression"
+    description = "disable comments must still match a finding (config-only disable)"
+    #: driven by the runner after all other rules have reported
+    scope = "post"
+    default_options = {}

@@ -1,18 +1,36 @@
-"""File discovery and the lint driver."""
+"""File discovery and the lint driver (per-file and project passes).
+
+A run has three phases:
+
+1. **per-file** — every module is parsed once and the ``scope="file"``
+   rules ride a single AST walk (unchanged from PR 1);
+2. **project** — if any ``scope="project"`` rules are active, the
+   parsed trees are summarized into a
+   :class:`~repro.staticcheck.project.ProjectAnalysis` (optionally via
+   the on-disk :class:`~repro.staticcheck.project.ProjectCache`) and
+   each project rule sees the whole program at once;
+3. **suppression sweep** — ``disable`` comments that silenced nothing
+   become SUP001 findings, so suppressions cannot rot.
+
+Findings from every phase flow through the same suppression and
+per-path override machinery; project findings are attributed to the
+file they land in and can be silenced with the usual inline comments.
+"""
 
 from __future__ import annotations
 
 import ast
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.staticcheck.config import LintConfig
 from repro.staticcheck.finding import Finding, Severity
-from repro.staticcheck.registry import all_rules
-from repro.staticcheck.suppressions import collect_suppressions
+from repro.staticcheck.registry import Rule, all_rules
+from repro.staticcheck.suppressions import Suppressions, collect_suppressions
 from repro.staticcheck.visitor import ModuleContext, walk_module
 
-__all__ = ["LintReport", "lint_file", "lint_paths", "iter_python_files"]
+__all__ = ["LintReport", "ParsedModule", "lint_file", "lint_paths", "iter_python_files"]
 
 
 @dataclass
@@ -21,24 +39,45 @@ class LintReport:
 
     findings: list[Finding] = field(default_factory=list)
     suppressed: list[Finding] = field(default_factory=list)
+    #: findings absorbed by a findings baseline (drift gate)
+    baselined: list[Finding] = field(default_factory=list)
     files_checked: int = 0
+    #: wall time of the whole run / of the project pass alone, seconds
+    duration_s: float = 0.0
+    project_duration_s: float = 0.0
+    #: parsed-project cache outcome (files reused / re-extracted)
+    project_cache_hits: int = 0
+    project_cache_misses: int = 0
 
     def extend(self, other: "LintReport") -> None:
         """Merge ``other`` into this report."""
         self.findings.extend(other.findings)
         self.suppressed.extend(other.suppressed)
+        self.baselined.extend(other.baselined)
         self.files_checked += other.files_checked
 
     def finalize(self) -> "LintReport":
         """Sort findings into stable display order."""
         self.findings.sort(key=Finding.sort_key)
         self.suppressed.sort(key=Finding.sort_key)
+        self.baselined.sort(key=Finding.sort_key)
         return self
 
     @property
     def exit_code(self) -> int:
         """0 when no unsuppressed findings remain, 1 otherwise."""
         return 1 if self.findings else 0
+
+
+@dataclass
+class ParsedModule:
+    """One successfully parsed module, retained for the project pass."""
+
+    path: Path
+    display_path: str
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions
 
 
 def iter_python_files(paths: list[Path], config: LintConfig) -> list[Path]:
@@ -52,24 +91,55 @@ def iter_python_files(paths: list[Path], config: LintConfig) -> list[Path]:
     return [f for f in files if not config.is_path_excluded(f)]
 
 
-def _active_rules(config: LintConfig):
-    rules = []
-    for rule_id, cls in sorted(all_rules().items()):
-        if config.is_rule_enabled(rule_id):
-            rules.append(cls(config.options_for(rule_id, cls.default_options)))
-    return rules
+def _rule_classes(config: LintConfig, scope: str) -> list[type[Rule]]:
+    return [
+        cls
+        for rule_id, cls in sorted(all_rules().items())
+        if cls.scope == scope and config.is_rule_enabled(rule_id)
+    ]
 
 
-def lint_file(path: Path, config: LintConfig, display_path: str | None = None) -> LintReport:
-    """Lint a single module and partition findings by suppression."""
-    report = LintReport(files_checked=1)
+def _instantiate(cls: type[Rule], config: LintConfig) -> Rule:
+    return cls(config.options_for(cls.id, cls.default_options))
+
+
+def _partition(
+    report: LintReport,
+    findings: list[Finding],
+    suppressions_by_path: dict[str, Suppressions],
+    config: LintConfig,
+) -> None:
+    """Route findings into ``findings``/``suppressed`` buckets."""
+    for finding in findings:
+        if finding.rule in config.ignored_for_path(finding.path):
+            continue
+        sup = suppressions_by_path.get(finding.path)
+        if sup is not None and sup.is_suppressed(finding.rule, finding.line):
+            report.suppressed.append(
+                Finding(
+                    path=finding.path,
+                    line=finding.line,
+                    col=finding.col,
+                    rule=finding.rule,
+                    message=finding.message,
+                    severity=finding.severity,
+                    suppressed=True,
+                )
+            )
+        else:
+            report.findings.append(finding)
+
+
+def _parse_one(
+    path: Path, display_path: str, report: LintReport
+) -> ParsedModule | None:
     source = path.read_text(encoding="utf-8")
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
         report.findings.append(
             Finding(
-                path=display_path or str(path),
+                path=display_path,
                 line=exc.lineno or 1,
                 col=(exc.offset or 1) - 1,
                 rule="PARSE",
@@ -77,41 +147,145 @@ def lint_file(path: Path, config: LintConfig, display_path: str | None = None) -
                 severity=Severity.ERROR,
             )
         )
-        return report
-    ctx = ModuleContext(
+        return None
+    return ParsedModule(
         path=path,
-        display_path=display_path or str(path),
+        display_path=display_path,
         source=source,
         tree=tree,
-        config=config,
         suppressions=collect_suppressions(source),
     )
-    rules = _active_rules(config)
+
+
+def _lint_module(
+    module: ParsedModule, config: LintConfig, report: LintReport
+) -> None:
+    """Run the per-file rules over one parsed module."""
+    ctx = ModuleContext(
+        path=module.path,
+        display_path=module.display_path,
+        source=module.source,
+        tree=module.tree,
+        config=config,
+        suppressions=module.suppressions,
+    )
+    ignored_here = config.ignored_for_path(module.display_path)
+    rules = [
+        _instantiate(cls, config)
+        for cls in _rule_classes(config, "file")
+        if cls.id not in ignored_here
+    ]
     walk_module(ctx, rules)
+    suppressions_by_path = {module.display_path: module.suppressions}
     for rule in rules:
-        for finding in rule.findings:
-            if ctx.suppressions.is_suppressed(finding.rule, finding.line):
-                report.suppressed.append(
-                    Finding(
-                        path=finding.path,
-                        line=finding.line,
-                        col=finding.col,
-                        rule=finding.rule,
-                        message=finding.message,
-                        severity=finding.severity,
-                        suppressed=True,
-                    )
-                )
-            else:
-                report.findings.append(finding)
+        _partition(report, rule.findings, suppressions_by_path, config)
+
+
+def lint_file(path: Path, config: LintConfig, display_path: str | None = None) -> LintReport:
+    """Lint a single module with the per-file rules only.
+
+    Project-scope rules need the whole tree; use :func:`lint_paths`
+    for runs that should include them.
+    """
+    report = LintReport(files_checked=1)
+    module = _parse_one(path, display_path or str(path), report)
+    if module is not None:
+        _lint_module(module, config, report)
     return report
 
 
-def lint_paths(paths: list[str | Path], config: LintConfig | None = None) -> LintReport:
-    """Lint every module under ``paths`` with ``config`` (or defaults)."""
+def _run_project_pass(
+    modules: list[ParsedModule],
+    config: LintConfig,
+    report: LintReport,
+    project_cache: Path | None,
+) -> None:
+    from repro.staticcheck.project import ProjectCache, build_project
+
+    rule_classes = _rule_classes(config, "project")
+    if not rule_classes:
+        return
+    started = time.perf_counter()
+    cache = ProjectCache(project_cache) if project_cache is not None else None
+    project = build_project(
+        [(m.display_path, m.tree, m.source) for m in modules],
+        root=config.root,
+        cache=cache,
+    )
+    if cache is not None:
+        report.project_cache_hits = cache.hits
+        report.project_cache_misses = cache.misses
+    suppressions_by_path = {m.display_path: m.suppressions for m in modules}
+    for cls in rule_classes:
+        rule = _instantiate(cls, config)
+        rule.check_project(project)
+        _partition(report, rule.findings, suppressions_by_path, config)
+    report.project_duration_s = time.perf_counter() - started
+
+
+def _sweep_unused_suppressions(
+    modules: list[ParsedModule], config: LintConfig, report: LintReport
+) -> None:
+    """SUP001: disable comments that silenced nothing this run."""
+    if not config.is_rule_enabled("SUP001"):
+        return
+    for module in modules:
+        if "SUP001" in config.ignored_for_path(module.display_path):
+            continue
+        for entry in module.suppressions.entries:
+            for rule_id in entry.unused_rules():
+                scope = "file-wide " if entry.scope == "file" else ""
+                report.findings.append(
+                    Finding(
+                        path=module.display_path,
+                        line=entry.line,
+                        col=0,
+                        rule="SUP001",
+                        message=(
+                            f"unused {scope}suppression for '{rule_id}': no finding "
+                            f"matched; remove the disable comment"
+                        ),
+                        severity=Severity.ERROR,
+                    )
+                )
+
+
+def lint_paths(
+    paths: list[str | Path],
+    config: LintConfig | None = None,
+    *,
+    project_cache: Path | None = None,
+    include_project: bool = True,
+) -> LintReport:
+    """Lint every module under ``paths`` with ``config`` (or defaults).
+
+    Runs the per-file rules, then (unless ``include_project=False``)
+    the whole-program pass, then the unused-suppression sweep.
+    ``project_cache`` points at the parsed-project JSON artifact reused
+    across invocations (the CI drift gate lints twice).
+    """
     config = config or LintConfig()
+    started = time.perf_counter()
     resolved = [Path(p) for p in paths]
     report = LintReport()
+    modules: list[ParsedModule] = []
+    # display paths are root-relative whenever possible so module
+    # names, override globs and baseline keys are invocation-stable
+    root = config.root.resolve() if config.root is not None else None
     for path in iter_python_files(resolved, config):
-        report.extend(lint_file(path, config, display_path=path.as_posix()))
+        display = path.as_posix()
+        if root is not None and path.is_absolute():
+            try:
+                display = path.resolve().relative_to(root).as_posix()
+            except ValueError:
+                pass
+        report.files_checked += 1
+        module = _parse_one(path, display, report)
+        if module is not None:
+            modules.append(module)
+            _lint_module(module, config, report)
+    if include_project:
+        _run_project_pass(modules, config, report, project_cache)
+    _sweep_unused_suppressions(modules, config, report)
+    report.duration_s = time.perf_counter() - started
     return report.finalize()

@@ -10,6 +10,11 @@ Two scopes are supported:
 ``disable=all`` (either scope) silences every rule.  Comments are
 found with :mod:`tokenize`, so the markers never match inside string
 literals.
+
+Every entry tracks which rules it actually silenced during a run, so
+the runner's SUP001 sweep can report suppressions that no longer match
+any finding (rotten suppressions).  SUP001 itself can only be disabled
+through configuration, never by another inline comment.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ import re
 import tokenize
 from dataclasses import dataclass, field
 
-__all__ = ["Suppressions", "collect_suppressions"]
+__all__ = ["Suppressions", "SuppressionEntry", "collect_suppressions"]
 
 _MARKER = re.compile(
     r"#\s*repro-lint:\s*(?P<scope>disable(?:-file)?)\s*=\s*(?P<rules>[A-Za-z0-9_,\s]+)"
@@ -28,26 +33,70 @@ _MARKER = re.compile(
 #: wildcard accepted in place of a rule id
 ALL = "all"
 
+#: the unused-suppression rule may not be silenced inline
+_INLINE_IMMUNE = frozenset({"SUP001"})
+
+
+@dataclass
+class SuppressionEntry:
+    """One ``disable`` comment and the rules it silenced this run."""
+
+    line: int
+    scope: str  #: ``line`` or ``file``
+    rules: frozenset[str]
+    used: set[str] = field(default_factory=set)
+
+    def matches(self, rule: str, line: int) -> bool:
+        """Whether this entry silences ``rule`` at ``line``."""
+        if rule in _INLINE_IMMUNE:
+            return False
+        if ALL not in self.rules and rule not in self.rules:
+            return False
+        return self.scope == "file" or self.line == line
+
+    def unused_rules(self) -> list[str]:
+        """Rule ids this entry names that silenced nothing."""
+        if ALL in self.rules:
+            return [] if self.used else [ALL]
+        return sorted(self.rules - self.used)
+
 
 @dataclass
 class Suppressions:
     """Parsed suppression state for one module."""
 
-    #: line number -> set of rule ids (or ``{"all"}``)
-    by_line: dict[int, set[str]] = field(default_factory=dict)
-    #: rule ids disabled for the entire file
-    file_wide: set[str] = field(default_factory=set)
+    entries: list[SuppressionEntry] = field(default_factory=list)
+
+    @property
+    def by_line(self) -> dict[int, set[str]]:
+        """line number -> rule ids (line-scope entries only)."""
+        out: dict[int, set[str]] = {}
+        for entry in self.entries:
+            if entry.scope == "line":
+                out.setdefault(entry.line, set()).update(entry.rules)
+        return out
+
+    @property
+    def file_wide(self) -> set[str]:
+        """Rule ids disabled for the entire file."""
+        out: set[str] = set()
+        for entry in self.entries:
+            if entry.scope == "file":
+                out.update(entry.rules)
+        return out
 
     def is_suppressed(self, rule: str, line: int) -> bool:
-        """Whether ``rule`` is silenced at ``line``."""
-        if ALL in self.file_wide or rule in self.file_wide:
-            return True
-        rules = self.by_line.get(line)
-        return rules is not None and (ALL in rules or rule in rules)
+        """Whether ``rule`` is silenced at ``line`` (marks entries used)."""
+        hit = False
+        for entry in self.entries:
+            if entry.matches(rule, line):
+                entry.used.add(ALL if ALL in entry.rules else rule)
+                hit = True
+        return hit
 
 
-def _parse_rules(raw: str) -> set[str]:
-    return {part for part in re.split(r"[,\s]+", raw) if part}
+def _parse_rules(raw: str) -> frozenset[str]:
+    return frozenset(part for part in re.split(r"[,\s]+", raw) if part)
 
 
 def collect_suppressions(source: str) -> Suppressions:
@@ -66,11 +115,10 @@ def collect_suppressions(source: str) -> Suppressions:
             if not match:
                 continue
             rules = _parse_rules(match.group("rules"))
-            if match.group("scope") == "disable-file":
-                result.file_wide |= rules
-            else:
-                line = token.start[0]
-                result.by_line.setdefault(line, set()).update(rules)
+            scope = "file" if match.group("scope") == "disable-file" else "line"
+            result.entries.append(
+                SuppressionEntry(line=token.start[0], scope=scope, rules=rules)
+            )
     except tokenize.TokenError:
         pass
     return result

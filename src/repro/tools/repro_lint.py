@@ -2,10 +2,13 @@
 
 Usage::
 
-    repro-lint src/repro                 # lint a tree, text report
-    repro-lint --format json src/repro   # machine-readable
-    repro-lint --list-rules              # what can fire
-    repro-lint --select UNIT001 file.py  # one rule only
+    repro-lint src/repro                    # lint a tree, text report
+    repro-lint --format json src/repro      # machine-readable
+    repro-lint --format github src/repro    # CI inline annotations
+    repro-lint --list-rules                 # what can fire
+    repro-lint --select UNIT001 file.py     # one rule only
+    repro-lint --baseline lint-baseline.json src    # drift gate
+    repro-lint --write-baseline lint-baseline.json src  # accept current
 
 Exit status: 0 clean, 1 findings, 2 usage error.  Configuration is
 read from the nearest ``pyproject.toml`` (``[tool.repro-lint]``)
@@ -19,10 +22,13 @@ import sys
 from pathlib import Path
 
 from repro.staticcheck import (
+    Baseline,
     all_rules,
+    apply_baseline,
     find_pyproject,
     lint_paths,
     load_config,
+    render_github,
     render_json,
     render_text,
 )
@@ -38,7 +44,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("paths", nargs="*", help="files or directories to lint")
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text", help="report format"
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="report format (github emits ::error workflow commands)",
     )
     parser.add_argument(
         "--select",
@@ -61,12 +70,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-config", action="store_true", help="ignore pyproject.toml configuration"
     )
     parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="JSON",
+        help="findings baseline: only findings NOT in this file fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=Path,
+        default=None,
+        metavar="JSON",
+        help="write the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--project-cache",
+        type=Path,
+        default=None,
+        metavar="JSON",
+        help="parsed-project cache reused across lint invocations",
+    )
+    parser.add_argument(
+        "--no-project",
+        action="store_true",
+        help="skip the whole-program pass (per-file rules only)",
+    )
+    parser.add_argument(
         "--show-suppressed",
         action="store_true",
         help="also list findings silenced by disable comments",
     )
     parser.add_argument(
-        "--statistics", action="store_true", help="append per-rule finding counts"
+        "--statistics",
+        action="store_true",
+        help="append per-rule finding counts and pass timings",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="list registered rules and exit"
@@ -77,7 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _list_rules() -> str:
     rows = []
     for rule_id, cls in sorted(all_rules().items()):
-        rows.append(f"{rule_id}  {cls.name:<24} {cls.description}")
+        rows.append(f"{rule_id}  {cls.name:<24} [{cls.scope:<7}] {cls.description}")
     return "\n".join(rows)
 
 
@@ -92,6 +129,12 @@ def main(argv: list[str] | None = None) -> int:
     if not args.paths:
         parser.print_usage(sys.stderr)
         print("repro-lint: error: no paths given", file=sys.stderr)
+        return 2
+    if args.baseline is not None and args.write_baseline is not None:
+        print(
+            "repro-lint: error: --baseline and --write-baseline are exclusive",
+            file=sys.stderr,
+        )
         return 2
 
     targets = [Path(p) for p in args.paths]
@@ -120,9 +163,37 @@ def main(argv: list[str] | None = None) -> int:
         print(f"repro-lint: error: unknown rule id(s): {sorted(unknown)}", file=sys.stderr)
         return 2
 
-    report = lint_paths(list(targets), config)
+    report = lint_paths(
+        list(targets),
+        config,
+        project_cache=args.project_cache,
+        include_project=not args.no_project,
+    )
+
+    if args.write_baseline is not None:
+        baseline = Baseline.from_report(report)
+        baseline.save(args.write_baseline)
+        print(
+            f"repro-lint: wrote baseline with {len(report.findings)} finding(s) "
+            f"to {args.write_baseline}"
+        )
+        return 0
+
+    drift = None
+    if args.baseline is not None:
+        if not args.baseline.is_file():
+            print(
+                f"repro-lint: error: baseline not found: {args.baseline}",
+                file=sys.stderr,
+            )
+            return 2
+        baseline = Baseline.load(args.baseline)
+        drift = apply_baseline(report, baseline)
+
     if args.format == "json":
         print(render_json(report, show_suppressed=args.show_suppressed))
+    elif args.format == "github":
+        print(render_github(report))
     else:
         print(
             render_text(
@@ -130,6 +201,13 @@ def main(argv: list[str] | None = None) -> int:
                 show_suppressed=args.show_suppressed,
                 statistics=args.statistics,
             )
+        )
+    if drift is not None and drift.stale:
+        print(
+            f"repro-lint: note: {len(drift.stale)} stale baseline entr"
+            f"{'y' if len(drift.stale) == 1 else 'ies'} no longer fire(s); "
+            f"refresh with --write-baseline",
+            file=sys.stderr,
         )
     return report.exit_code
 

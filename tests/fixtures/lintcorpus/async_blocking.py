@@ -1,0 +1,38 @@
+"""Corpus: async/process-pool readiness violations.
+
+Seeds one violation per CONC rule: a blocking call inside an
+``async def`` (directly and through a helper), an executor-submitted
+function that mutates module state, and an unpicklable default on a
+submitted function.
+"""
+
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+#: module-level shared state the submitted worker mutates
+PROGRESS = {"done": 0}
+
+
+def record(result, lock=threading.Lock()):
+    """CONC002 target (global mutation) + CONC003 (Lock default)."""
+    PROGRESS["done"] += 1
+    return result
+
+
+def _settle():
+    """Blocking helper reached from the async front-end."""
+    time.sleep(0.1)
+
+
+async def drain(queue):
+    """CONC001: blocks the event loop, directly and via ``_settle``."""
+    time.sleep(0.05)
+    _settle()
+    return queue
+
+
+def launch(jobs):
+    """Submits the unsafe worker to a process pool."""
+    pool = ProcessPoolExecutor()
+    return [pool.submit(record, job) for job in jobs]

@@ -1,0 +1,39 @@
+"""Corpus: nondeterminism reachable from a registered experiment.
+
+Every helper below injects one cache-poisoning effect into the closure
+of the ``@register``-ed ``run`` function; the DET pack must attribute
+each site to the ``corpus_cache_poison`` entry point.
+"""
+
+import os
+import random
+import time
+
+from repro.reporting.registry import register
+
+
+def jitter() -> float:
+    """DET001 (unseeded random) + DET002 (wall clock) live here."""
+    return random.random() + time.time()
+
+
+def env_flag() -> bool:
+    """DET003: result depends on the process environment."""
+    return bool(os.environ.get("REPRO_CORPUS_FAST"))
+
+
+def tally(items: set) -> float:
+    """DET004: float accumulation order follows set iteration order."""
+    total = 0.0
+    for item in {str(x) for x in items}:
+        total += hash(item) * 1e-9
+    return total
+
+
+@register("corpus_cache_poison")
+def run(params: dict) -> float:
+    """Entry point whose closure reaches all four effect kinds."""
+    total = jitter()
+    if env_flag():
+        total += 1.0
+    return total + tally(set(params))

@@ -1,0 +1,31 @@
+"""Corpus: metric/span hygiene violations against the real catalog.
+
+Linted with the repo root as project root, so the OBS pack checks
+these sites against the actual docs/OBSERVABILITY.md tables.
+"""
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+REGISTRY = MetricsRegistry()
+TRACER = Tracer()
+
+#: OBS001 — name not in the catalog
+BOGUS = REGISTRY.counter("repro_corpus_bogus_total", "undocumented", labels=("scheme",))
+
+#: OBS002 — catalogued name, wrong label set
+BATCHES = REGISTRY.counter(
+    "repro_serve_batches_total", "batches", labels=("scheme", "oops")
+)
+
+#: catalogued correctly — must NOT be flagged
+LATENCY = REGISTRY.histogram(
+    "repro_serve_batch_latency_seconds", "latency", labels=("scheme",)
+)
+
+
+def traced_lookup(addresses):
+    """OBS003 (unknown span) and OBS004 (int-literal observe)."""
+    with TRACER.span("corpus.unknown_span"):
+        LATENCY.observe(5)
+    return addresses

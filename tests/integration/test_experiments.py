@@ -12,7 +12,6 @@ from repro.experiments import (
     table3_bram_model,
     trie_stats,
 )
-from repro.fpga.speedgrade import SpeedGrade
 from repro.reporting.registry import all_experiments
 
 

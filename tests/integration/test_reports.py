@@ -4,7 +4,6 @@ import numpy as np
 
 from repro.experiments.report import build_experiments_md, main
 from repro.experiments.scalability import max_k, run as scalability_run
-from repro.fpga.speedgrade import SpeedGrade
 from repro.iplookup.synth import SyntheticTableConfig
 from repro.reporting.markdown import to_markdown_section, to_markdown_table
 from repro.reporting.result import ExperimentResult

@@ -1,0 +1,156 @@
+"""Findings-baseline and drift-gate coverage (baseline.py + CLI)."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.staticcheck import Baseline, LintConfig, apply_baseline, lint_paths
+from repro.staticcheck.finding import Finding
+from repro.staticcheck.runner import LintReport
+from repro.tools.repro_lint import main as lint_main
+
+
+def finding(path="m.py", line=3, rule="FLT001", message="msg"):
+    return Finding(path=path, line=line, col=0, rule=rule, message=message)
+
+
+class TestBaselineRoundTrip:
+    def test_save_load_preserves_entries_and_counts(self, tmp_path):
+        report = LintReport(findings=[finding(), finding(), finding(rule="UNIT001")])
+        baseline = Baseline.from_report(report)
+        target = tmp_path / "baseline.json"
+        baseline.save(target)
+
+        loaded = Baseline.load(target)
+        assert loaded.entries == baseline.entries
+        assert loaded.entries[("m.py", "FLT001", "msg")] == 2
+
+    def test_json_is_stable_and_versioned(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        Baseline.from_report(LintReport(findings=[finding()])).save(target)
+        data = json.loads(target.read_text())
+        assert data["version"] == Baseline.VERSION
+        assert data["entries"][0] == {
+            "path": "m.py",
+            "rule": "FLT001",
+            "message": "msg",
+            "count": 1,
+        }
+
+    def test_unknown_version_is_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(target)
+
+
+class TestApplyBaseline:
+    def test_matched_findings_move_to_baselined(self):
+        report = LintReport(findings=[finding()])
+        drift = apply_baseline(report, Baseline.from_report(LintReport(findings=[finding()])))
+        assert report.findings == []
+        assert len(report.baselined) == 1
+        assert drift.new_findings == [] and drift.stale == []
+        assert report.exit_code == 0
+
+    def test_matching_is_line_independent(self):
+        accepted = Baseline.from_report(LintReport(findings=[finding(line=3)]))
+        report = LintReport(findings=[finding(line=300)])
+        drift = apply_baseline(report, accepted)
+        assert drift.new_findings == []
+        assert report.exit_code == 0
+
+    def test_new_findings_fail_the_gate(self):
+        accepted = Baseline.from_report(LintReport(findings=[finding()]))
+        report = LintReport(findings=[finding(), finding(message="brand new")])
+        drift = apply_baseline(report, accepted)
+        assert [f.message for f in drift.new_findings] == ["brand new"]
+        assert report.exit_code == 1
+
+    def test_stale_entries_are_reported(self):
+        accepted = Baseline.from_report(
+            LintReport(findings=[finding(), finding(message="fixed since")])
+        )
+        report = LintReport(findings=[finding()])
+        drift = apply_baseline(report, accepted)
+        assert drift.stale == [("m.py", "FLT001", "fixed since")]
+        assert report.exit_code == 0
+
+    def test_multiplicity_is_respected(self):
+        accepted = Baseline.from_report(LintReport(findings=[finding()]))
+        report = LintReport(findings=[finding(), finding()])
+        drift = apply_baseline(report, accepted)
+        assert len(drift.matched) == 1 and len(drift.new_findings) == 1
+
+
+class TestDriftGateCli:
+    def write_dirty(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(
+            textwrap.dedent(
+                """
+                def check(x):
+                    return x == 1.0
+                """
+            )
+        )
+        return dirty
+
+    def test_write_then_check_is_clean(self, tmp_path, capsys):
+        dirty = self.write_dirty(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        args = ["--no-config", "--select", "FLT001", str(dirty)]
+
+        assert lint_main(["--write-baseline", str(baseline), *args]) == 0
+        assert "wrote baseline with 1 finding(s)" in capsys.readouterr().out
+        assert lint_main(["--baseline", str(baseline), *args]) == 0
+        capsys.readouterr()
+
+    def test_new_finding_fails_against_the_baseline(self, tmp_path, capsys):
+        dirty = self.write_dirty(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        args = ["--no-config", "--select", "FLT001", str(dirty)]
+        assert lint_main(["--write-baseline", str(baseline), *args]) == 0
+
+        dirty.write_text(dirty.read_text() + "\n\ndef more(y):\n    return y != 2.0\n")
+        assert lint_main(["--baseline", str(baseline), *args]) == 1
+        out = capsys.readouterr().out
+        assert "2.0" in out and "1.0" not in out
+
+    def test_stale_entries_are_noted_on_stderr(self, tmp_path, capsys):
+        dirty = self.write_dirty(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        args = ["--no-config", "--select", "FLT001", str(dirty)]
+        assert lint_main(["--write-baseline", str(baseline), *args]) == 0
+
+        dirty.write_text("def check(x):\n    return x > 1\n")
+        assert lint_main(["--baseline", str(baseline), *args]) == 0
+        assert "stale baseline" in capsys.readouterr().err
+
+    def test_baseline_and_write_baseline_are_exclusive(self, tmp_path, capsys):
+        dirty = self.write_dirty(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        code = lint_main(
+            ["--baseline", str(baseline), "--write-baseline", str(baseline), str(dirty)]
+        )
+        assert code == 2
+        capsys.readouterr()
+
+    def test_missing_baseline_file_is_a_usage_error(self, tmp_path, capsys):
+        dirty = self.write_dirty(tmp_path)
+        code = lint_main(["--baseline", str(tmp_path / "nope.json"), str(dirty)])
+        assert code == 2
+        capsys.readouterr()
+
+
+class TestBaselineThroughLintPaths:
+    def test_report_baselined_findings_surface_in_summary(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("def check(x):\n    return x == 1.0\n")
+        config = LintConfig(select={"FLT001"}, root=tmp_path)
+        report = lint_paths([tmp_path], config)
+        assert len(report.findings) == 1
+
+        apply_baseline(report, Baseline.from_report(report))
+        assert report.findings == [] and len(report.baselined) == 1

@@ -4,8 +4,6 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.fpga.bram import (
-    PAPER_READ_WIDTH,
-    PAPER_WRITE_RATE,
     BramKind,
     blocks_required,
     bram_dynamic_power_uw,

@@ -1,10 +1,9 @@
 """Scenario estimator (repro.core.estimator)."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import ScenarioConfig
-from repro.core.estimator import ExperimentalPower, base_trie_stats
+from repro.core.estimator import base_trie_stats
 from repro.errors import ConfigurationError, ResourceExhaustedError
 from repro.fpga.speedgrade import SpeedGrade
 from repro.iplookup.synth import SyntheticTableConfig

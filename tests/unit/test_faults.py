@@ -15,7 +15,7 @@ from repro.faults import (
     TransientWalkFailure,
 )
 from repro.iplookup.synth import SyntheticTableConfig, generate_virtual_tables
-from repro.obs.registry import REGISTRY, MetricsRegistry
+from repro.obs.registry import REGISTRY
 from repro.obs.tracing import TRACER
 from repro.serve import LookupService
 from repro.virt.schemes import Scheme

@@ -1,7 +1,6 @@
 """Leaf pushing (repro.iplookup.leafpush)."""
 
 import numpy as np
-import pytest
 
 from repro.iplookup.leafpush import leaf_push
 from repro.iplookup.prefix import parse_prefix

@@ -1,6 +1,5 @@
 """Virtual-router manager (repro.virt.manager)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError, MergeError

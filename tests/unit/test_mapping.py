@@ -1,6 +1,5 @@
 """Stage mapping and node encoding (repro.iplookup.mapping)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError, ObservabilityError
-from repro.fpga.speedgrade import SpeedGrade
 from repro.iplookup.synth import SyntheticTableConfig, generate_virtual_tables
 from repro.obs.power import PowerTelemetrySampler
 from repro.obs.registry import REGISTRY, MetricsRegistry

@@ -1,7 +1,6 @@
 """Path-compressed trie (repro.iplookup.patricia)."""
 
 import numpy as np
-import pytest
 
 from repro.iplookup.patricia import PatriciaTrie
 from repro.iplookup.rib import NO_ROUTE, RoutingTable

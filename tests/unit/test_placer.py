@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError, PlacementError, ResourceExhaustedError
-from repro.fpga.catalog import XC6VLX240T, XC6VLX760
-from repro.fpga.placer import ENGINE_IO_PINS, EngineNetlist, PlaceAndRoute
+from repro.fpga.catalog import XC6VLX240T
+from repro.fpga.placer import EngineNetlist, PlaceAndRoute
 from repro.fpga.speedgrade import SpeedGrade
 
 

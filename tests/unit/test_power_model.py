@@ -8,7 +8,7 @@ from repro.core.resources import engine_stage_map, merged_stage_map
 from repro.errors import ConfigurationError
 from repro.fpga.clocking import ClockGating
 from repro.fpga.speedgrade import SpeedGrade
-from repro.units import BRAM18K_BITS, BRAM36K_BITS
+from repro.units import BRAM36K_BITS
 
 
 @pytest.fixture(scope="module")

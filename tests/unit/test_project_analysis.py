@@ -1,0 +1,353 @@
+"""Unit coverage for the whole-program analysis pass (project.py).
+
+Projects are assembled from in-memory (display path, tree, source)
+triples — the same shape the runner hands to :func:`build_project` —
+so each test states its program as a dict of module sources.
+"""
+
+import ast
+import textwrap
+
+from repro.staticcheck.project import (
+    ModuleSummary,
+    ProjectCache,
+    build_project,
+    extract_module_summary,
+    module_name_for,
+    source_sha,
+)
+
+
+def build(files, *, root=None, cache=None):
+    """Build a ProjectAnalysis from ``{display_path: source}``."""
+    parsed = []
+    for display, source in files.items():
+        source = textwrap.dedent(source)
+        parsed.append((display, ast.parse(source), source))
+    return build_project(parsed, root=root, cache=cache)
+
+
+class TestModuleNames:
+    def test_src_prefix_is_stripped(self):
+        assert module_name_for("src/repro/virt/merged.py") == "repro.virt.merged"
+
+    def test_plain_tree_keeps_its_prefix(self):
+        assert module_name_for("tests/unit/test_x.py") == "tests.unit.test_x"
+
+    def test_package_init_collapses_to_the_package(self):
+        assert module_name_for("src/repro/obs/__init__.py") == "repro.obs"
+
+
+class TestExtraction:
+    def test_imports_instances_and_entry_ids_are_recorded(self):
+        source = textwrap.dedent(
+            """
+            import random
+            from pkg.registry import register
+
+            class Estimator:
+                def evaluate(self, cfg):
+                    return cfg
+
+            EST = Estimator()
+
+            @register("exp_one")
+            def run(params):
+                return EST.evaluate(params)
+            """
+        )
+        summary = extract_module_summary("src/pkg/mod.py", ast.parse(source))
+        assert summary.module == "pkg.mod"
+        assert summary.imports["register"] == ["symbol", "pkg.registry.register"]
+        assert summary.instances == {"EST": "Estimator"}
+        assert summary.functions["run"].entry_id == "exp_one"
+        assert "register" in summary.functions["run"].decorators
+
+    def test_effect_classification_covers_all_kinds(self):
+        source = textwrap.dedent(
+            """
+            import os
+            import random
+            import time
+
+            def f(xs):
+                total = random.random() + time.time()
+                flag = os.environ.get("X")
+                for x in {1, 2}:
+                    total += x
+                time.sleep(1)
+                return total, flag
+            """
+        )
+        summary = extract_module_summary("m.py", ast.parse(source))
+        kinds = {e.kind for e in summary.functions["f"].effects}
+        assert kinds == {"random", "time", "env", "set_iter", "blocking"}
+
+    def test_seeded_random_is_not_an_effect(self):
+        source = textwrap.dedent(
+            """
+            import random
+
+            def f(seed):
+                rng = random.Random(seed)
+                return rng.random()
+            """
+        )
+        summary = extract_module_summary("m.py", ast.parse(source))
+        assert [e for e in summary.functions["f"].effects if e.kind == "random"] == []
+
+    def test_json_round_trip_preserves_the_summary(self):
+        source = textwrap.dedent(
+            """
+            import time
+            from pkg.lib import helper
+
+            class C:
+                def __init__(self):
+                    self.x = 0
+
+            def g(a, b=1):
+                c = C()
+                c.items = helper(a)
+                return time.time()
+            """
+        )
+        summary = extract_module_summary("src/pkg/m.py", ast.parse(source))
+        summary.sha = source_sha(source)
+        clone = ModuleSummary.from_json(summary.to_json())
+        assert clone == summary
+
+
+class TestCallGraph:
+    def test_cross_module_resolution_through_imports(self):
+        project = build(
+            {
+                "src/pkg/lib.py": """
+                    import time
+
+                    def helper():
+                        return time.time()
+                    """,
+                "src/pkg/app.py": """
+                    from pkg.lib import helper
+
+                    def main():
+                        return helper()
+                    """,
+            }
+        )
+        assert "pkg.lib.helper" in project.callees("pkg.app.main")
+        reach = project.reachable_from("pkg.app.main")
+        assert {"pkg.app.main", "pkg.lib.helper"} <= reach
+
+    def test_method_resolution_via_constructed_local(self):
+        project = build(
+            {
+                "src/pkg/m.py": """
+                    class Engine:
+                        def step(self):
+                            return 1
+
+                    def drive():
+                        e = Engine()
+                        return e.step()
+                    """
+            }
+        )
+        assert "pkg.m.Engine.step" in project.callees("pkg.m.drive")
+
+    def test_method_resolution_via_module_level_instance(self):
+        project = build(
+            {
+                "src/pkg/m.py": """
+                    class Engine:
+                        def step(self):
+                            return 1
+
+                    ENGINE = Engine()
+
+                    def drive():
+                        return ENGINE.step()
+                    """
+            }
+        )
+        assert "pkg.m.Engine.step" in project.callees("pkg.m.drive")
+
+    def test_method_resolution_via_imported_instance(self):
+        project = build(
+            {
+                "src/pkg/core.py": """
+                    class Engine:
+                        def step(self):
+                            return 1
+
+                    ENGINE = Engine()
+                    """,
+                "src/pkg/app.py": """
+                    from pkg.core import ENGINE
+
+                    def drive():
+                        return ENGINE.step()
+                    """,
+            }
+        )
+        assert "pkg.core.Engine.step" in project.callees("pkg.app.drive")
+
+    def test_method_resolution_via_annotated_parameter(self):
+        project = build(
+            {
+                "src/pkg/m.py": """
+                    class Trie:
+                        def walk(self):
+                            return ()
+
+                    def scan(trie: Trie):
+                        return trie.walk()
+                    """
+            }
+        )
+        assert "pkg.m.Trie.walk" in project.callees("pkg.m.scan")
+
+    def test_self_calls_resolve_within_the_class(self):
+        project = build(
+            {
+                "src/pkg/m.py": """
+                    class C:
+                        def outer(self):
+                            return self.inner()
+
+                        def inner(self):
+                            return 1
+                    """
+            }
+        )
+        assert "pkg.m.C.inner" in project.callees("pkg.m.C.outer")
+
+    def test_unresolvable_receivers_get_no_edge(self):
+        project = build(
+            {
+                "src/pkg/m.py": """
+                    def f(thing):
+                        return thing.mystery()
+                    """
+            }
+        )
+        assert project.callees("pkg.m.f") == []
+
+    def test_entry_points_by_decorator(self):
+        project = build(
+            {
+                "src/pkg/m.py": """
+                    from pkg.registry import register
+
+                    @register("exp")
+                    def run():
+                        return 0
+
+                    def not_an_entry():
+                        return 1
+                    """
+            }
+        )
+        assert [f.qualname for f in project.entry_points()] == ["pkg.m.run"]
+
+
+class TestMutatedParams:
+    def test_direct_parameter_mutation(self):
+        project = build(
+            {
+                "src/pkg/m.py": """
+                    def push(box, item):
+                        box.items.append(item)
+                    """
+            }
+        )
+        assert project.mutated_params("pkg.m.push") == frozenset({"box"})
+
+    def test_mutation_propagates_through_forwarding(self):
+        project = build(
+            {
+                "src/pkg/m.py": """
+                    def inner(target):
+                        target.x = 1
+
+                    def outer(obj):
+                        inner(obj)
+
+                    def outermost(o):
+                        outer(o)
+                    """
+            }
+        )
+        assert project.mutated_params("pkg.m.outermost") == frozenset({"o"})
+
+    def test_keyword_forwarding_counts(self):
+        project = build(
+            {
+                "src/pkg/m.py": """
+                    def inner(target):
+                        target.x = 1
+
+                    def outer(obj):
+                        inner(target=obj)
+                    """
+            }
+        )
+        assert project.mutated_params("pkg.m.outer") == frozenset({"obj"})
+
+    def test_read_only_callee_does_not_propagate(self):
+        project = build(
+            {
+                "src/pkg/m.py": """
+                    def inner(target):
+                        return target.x
+
+                    def outer(obj):
+                        return inner(obj)
+                    """
+            }
+        )
+        assert project.mutated_params("pkg.m.outer") == frozenset()
+
+
+class TestProjectCache:
+    FILES = {
+        "src/pkg/m.py": """
+            import time
+
+            def f():
+                return time.time()
+            """
+    }
+
+    def test_cold_then_warm(self, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        cache = ProjectCache(cache_path)
+        build(self.FILES, cache=cache)
+        assert (cache.hits, cache.misses) == (0, 1)
+        assert cache_path.is_file()
+
+        warm = ProjectCache(cache_path)
+        project = build(self.FILES, cache=warm)
+        assert (warm.hits, warm.misses) == (1, 0)
+        # cached summaries answer queries identically
+        assert {e.kind for e in project.functions["pkg.m.f"].effects} == {"time"}
+
+    def test_changed_source_misses(self, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        build(self.FILES, cache=ProjectCache(cache_path))
+        changed = {
+            "src/pkg/m.py": self.FILES["src/pkg/m.py"].replace(
+                "time.time()", "time.time() + 1"
+            )
+        }
+        warm = ProjectCache(cache_path)
+        build(changed, cache=warm)
+        assert (warm.hits, warm.misses) == (0, 1)
+
+    def test_corrupt_cache_file_is_ignored(self, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        cache_path.write_text("{not json")
+        cache = ProjectCache(cache_path)
+        build(self.FILES, cache=cache)
+        assert cache.misses == 1

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import CapacityError, ConfigurationError
-from repro.virt.queueing import LatencyReport, md1_wait_ns, scheme_latency_ns
+from repro.virt.queueing import md1_wait_ns, scheme_latency_ns
 
 
 class TestMD1:

@@ -1,0 +1,78 @@
+"""GitHub-annotation reporter coverage (``--format github``)."""
+
+import textwrap
+
+from repro.staticcheck import LintConfig, lint_paths, render_github
+from repro.staticcheck.finding import Finding
+from repro.staticcheck.runner import LintReport
+from repro.tools.repro_lint import main as lint_main
+
+
+class TestRenderGithub:
+    def test_error_workflow_command_shape(self):
+        report = LintReport(
+            findings=[
+                Finding(path="src/m.py", line=7, col=4, rule="FLT001", message="no == floats")
+            ],
+            files_checked=1,
+        )
+        out = render_github(report)
+        assert (
+            "::error file=src/m.py,line=7,col=5,title=FLT001::FLT001: no == floats"
+            in out
+        )
+        assert "1 finding(s)" in out
+
+    def test_newlines_and_percent_are_escaped(self):
+        report = LintReport(
+            findings=[
+                Finding(path="m.py", line=1, col=0, rule="X001", message="50% bad\nreally")
+            ]
+        )
+        out = render_github(report)
+        assert "50%25 bad%0Areally" in out
+        assert "\nreally" not in out.splitlines()[0]
+
+    def test_clean_report_has_only_the_summary(self):
+        out = render_github(LintReport(files_checked=3))
+        assert out == "0 finding(s), 0 suppressed, 3 file(s) checked"
+
+
+class TestCliGithubFormat:
+    def test_cli_emits_workflow_commands(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("def check(x):\n    return x == 1.0\n")
+        code = lint_main(
+            ["--no-config", "--select", "FLT001", "--format", "github", str(dirty)]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert out.startswith("::error file=")
+        assert "FLT001" in out
+
+    def test_github_format_respects_suppressions(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text(
+            textwrap.dedent(
+                """
+                def check(x):
+                    return x == 1.0  # repro-lint: disable=FLT001
+                """
+            )
+        )
+        code = lint_main(
+            ["--no-config", "--select", "FLT001", "--format", "github", str(clean)]
+        )
+        assert code == 0
+        assert "::error" not in capsys.readouterr().out
+
+
+class TestStatisticsTimings:
+    def test_text_statistics_report_pass_timings(self, tmp_path):
+        (tmp_path / "m.py").write_text("X = 1\n")
+        from repro.staticcheck import render_text
+
+        report = lint_paths([tmp_path], LintConfig(root=tmp_path))
+        out = render_text(report, statistics=True)
+        assert "project pass" in out
+        assert report.duration_s >= report.project_duration_s >= 0.0

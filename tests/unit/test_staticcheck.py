@@ -12,7 +12,6 @@ import sys
 import textwrap
 from pathlib import Path
 
-import pytest
 
 from repro.staticcheck import (
     LintConfig,
@@ -601,8 +600,16 @@ class TestCli:
 
     def test_registry_exposes_the_documented_rule_pack(self):
         assert set(all_rules()) == {
+            # file scope
             "UNIT001", "UNIT002", "FLT001", "API001", "API002",
             "INV001", "IMP001", "IMP002",
+            # project scope (whole-program pass)
+            "DET001", "DET002", "DET003", "DET004",
+            "FRZ001", "FRZ002",
+            "OBS001", "OBS002", "OBS003", "OBS004",
+            "CONC001", "CONC002", "CONC003",
+            # post-run sweep
+            "SUP001",
         }
 
     def test_module_is_runnable_as_console_script(self, tmp_path):

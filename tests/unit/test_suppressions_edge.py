@@ -1,0 +1,146 @@
+"""Edge-case coverage for suppression comments (suppressions.py).
+
+Satellite coverage for the corners that bit real code: disables on
+decorated defs, comma lists naming several rules, file-level markers,
+usage tracking for the SUP001 sweep, and markers inside strings.
+"""
+
+import textwrap
+
+from repro.staticcheck import LintConfig, lint_paths
+from repro.staticcheck.suppressions import collect_suppressions
+
+
+def lint_source(tmp_path, source, select):
+    path = tmp_path / "mod.py"
+    path.write_text(textwrap.dedent(source))
+    return lint_paths([tmp_path], LintConfig(select=set(select), root=tmp_path))
+
+
+class TestParsing:
+    def test_comma_list_names_several_rules(self):
+        sup = collect_suppressions("x = 1  # repro-lint: disable=UNIT001,FLT001\n")
+        [entry] = sup.entries
+        assert entry.rules == frozenset({"UNIT001", "FLT001"})
+        assert entry.scope == "line" and entry.line == 1
+
+    def test_whitespace_separated_list_also_parses(self):
+        sup = collect_suppressions("x = 1  # repro-lint: disable=UNIT001, FLT001\n")
+        [entry] = sup.entries
+        assert entry.rules == frozenset({"UNIT001", "FLT001"})
+
+    def test_file_level_marker(self):
+        sup = collect_suppressions('"""Doc."""\n# repro-lint: disable-file=FLT001\n')
+        [entry] = sup.entries
+        assert entry.scope == "file"
+        assert sup.file_wide == {"FLT001"}
+
+    def test_marker_inside_a_string_is_not_a_suppression(self):
+        sup = collect_suppressions('text = "# repro-lint: disable=FLT001"\n')
+        assert sup.entries == []
+
+    def test_by_line_view_merges_same_line_entries(self):
+        sup = collect_suppressions(
+            "x = 1  # repro-lint: disable=UNIT001 # repro-lint: disable=FLT001\n"
+        )
+        assert sup.by_line.get(1, set()) >= {"UNIT001"}
+
+
+class TestMatching:
+    def test_line_scope_matches_only_its_line(self):
+        sup = collect_suppressions("a = 1\nb = 2  # repro-lint: disable=FLT001\n")
+        assert sup.is_suppressed("FLT001", 2)
+        assert not sup.is_suppressed("FLT001", 1)
+
+    def test_all_wildcard_silences_any_rule(self):
+        sup = collect_suppressions("x = 1  # repro-lint: disable=all\n")
+        assert sup.is_suppressed("FLT001", 1)
+        assert sup.is_suppressed("UNIT001", 1)
+
+    def test_usage_is_tracked_per_rule(self):
+        sup = collect_suppressions("x = 1  # repro-lint: disable=UNIT001,FLT001\n")
+        sup.is_suppressed("FLT001", 1)
+        [entry] = sup.entries
+        assert entry.used == {"FLT001"}
+        assert entry.unused_rules() == ["UNIT001"]
+
+    def test_sup001_never_matches_inline(self):
+        sup = collect_suppressions("x = 1  # repro-lint: disable=SUP001\n")
+        assert not sup.is_suppressed("SUP001", 1)
+
+
+class TestThroughTheRunner:
+    def test_inline_disable_on_a_decorated_def(self, tmp_path):
+        """The disable rides the line the finding lands on, not the decorator."""
+        report = lint_source(
+            tmp_path,
+            """
+            import functools
+
+            @functools.lru_cache(maxsize=None)
+            def check(x):
+                return x == 1.0  # repro-lint: disable=FLT001
+            """,
+            ["FLT001"],
+        )
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+    def test_disable_on_the_decorator_line_does_not_leak_downward(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            """
+            import functools
+
+            @functools.lru_cache(maxsize=None)  # repro-lint: disable=FLT001
+            def check(x):
+                return x == 1.0
+            """,
+            ["FLT001"],
+        )
+        assert [f.rule for f in report.findings] == ["FLT001"]
+
+    def test_file_level_disable_covers_every_line(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            """
+            # repro-lint: disable-file=FLT001
+
+            def check(x):
+                return x == 1.0 or x == 2.0
+            """,
+            ["FLT001"],
+        )
+        assert report.findings == []
+        assert len(report.suppressed) == 2
+
+    def test_comma_list_silences_both_named_rules(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            """
+            BYTES = 8 * 1024 * 1024 == 1.0  # repro-lint: disable=UNIT001,FLT001
+            """,
+            ["UNIT001", "FLT001"],
+        )
+        assert report.findings == []
+        assert {f.rule for f in report.suppressed} >= {"FLT001"}
+
+    def test_project_scope_findings_honor_inline_disables(self, tmp_path):
+        """Findings from the whole-program pass obey file suppressions too."""
+        path = tmp_path / "src" / "pkg" / "exp.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            textwrap.dedent(
+                """
+                import time
+                from pkg.registry import register
+
+                @register("exp")
+                def run():
+                    return time.time()  # repro-lint: disable=DET002
+                """
+            )
+        )
+        report = lint_paths([tmp_path], LintConfig(select={"DET002"}, root=tmp_path))
+        assert report.findings == []
+        assert [f.rule for f in report.suppressed] == ["DET002"]

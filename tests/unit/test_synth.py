@@ -1,6 +1,5 @@
 """Synthetic routing-table generator (repro.iplookup.synth)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import CalibrationError, ConfigurationError

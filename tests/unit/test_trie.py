@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import TrieError
 from repro.iplookup.prefix import parse_address, parse_prefix
-from repro.iplookup.rib import NO_ROUTE, RoutingTable
+from repro.iplookup.rib import NO_ROUTE
 from repro.iplookup.trie import NONE, UnibitTrie
 
 
