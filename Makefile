@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint lint-drift lint-baseline bench bench-smoke bench-figures figures experiments experiments-md examples obs-demo faults-smoke docs-check clean
+.PHONY: install test lint lint-drift lint-baseline bench bench-smoke bench-gate bench-figures figures experiments experiments-md examples obs-demo faults-smoke docs-check clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -40,6 +40,11 @@ bench:
 # reduced preset used by the bench-smoke CI job
 bench-smoke:
 	$(PYTHON) benchmarks/perf/bench_lookup.py --smoke
+
+# throughput regression gate: re-run the serve benches at the
+# committed BENCH_lookup.json's config, fail on a >10% ops/s drop
+bench-gate:
+	$(PYTHON) tools/bench_gate.py
 
 # pytest-benchmark figure reproductions (slow)
 bench-figures:

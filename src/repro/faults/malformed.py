@@ -27,6 +27,12 @@ MALFORMED_KINDS: dict[str, str] = {
     "vnid_below_range": "vnid_range",
     "vnid_above_range": "vnid_range",
     "address_overflow": "address_range",
+    # empty batches must hit the same dtype wall as full ones — the
+    # validator once guarded every dtype check behind ``if size:``,
+    # so a zero-length float64 batch (numpy's default for ``[]``)
+    # sailed through "strict, never coerce" validation
+    "empty_float_addresses": "dtype",
+    "empty_object_vnids": "dtype",
 }
 
 
@@ -79,6 +85,11 @@ def corrupt_batch(
     if kind == "vnid_above_range":
         vnids[position] = k
         return addresses, vnids
+    if kind == "empty_float_addresses":
+        # what ``np.array([])`` hands a caller: zero pairs, float64
+        return np.array([], dtype=np.float64), np.array([], dtype=np.int64)
+    if kind == "empty_object_vnids":
+        return np.array([], dtype=np.uint32), np.array([], dtype=object)
     # address_overflow: a value no uint32 address can hold
     wide = addresses.astype(np.int64)
     wide[position] = np.int64(2**32 + 7)

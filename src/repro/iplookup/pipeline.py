@@ -105,14 +105,17 @@ def trace_from_walk(
     n = len(depths)
     stride = inter_arrival_gap + 1
     total_cycles = (n - 1) * stride + n_stages + 1 if n else 0
-    stages = np.arange(n_stages)
-    # packets whose walk depth exceeds j access stage j
-    accesses = (depths[:, None] > stages[None, :]).sum(axis=0)
+    # packets whose walk depth exceeds j access stage j; counting via
+    # a depth histogram + cumulative sum is O(n + stages) where the
+    # former (n × stages) boolean matrix was the serve hot path's
+    # next bottleneck once the walks themselves were frozen
+    hist = np.bincount(depths, minlength=n_stages)
+    accesses = (n - np.cumsum(hist[:n_stages])).astype(np.int64)
     busy = np.full(n_stages, n, dtype=np.int64)
     return PipelineTrace(
         results=results,
         total_cycles=int(total_cycles),
-        accesses_per_stage=accesses.astype(np.int64),
+        accesses_per_stage=accesses,
         busy_cycles_per_stage=busy,
         n_packets=n,
     )

@@ -25,10 +25,42 @@ from repro.iplookup.prefix import Prefix
 from repro.iplookup.rib import NO_ROUTE, RoutingTable
 from repro.obs.registry import REGISTRY
 
-__all__ = ["UnibitTrie", "TrieStats", "NONE"]
+__all__ = ["UnibitTrie", "TrieStats", "FrozenWalk", "NONE"]
 
 #: sentinel child index meaning "no child"
 NONE = -1
+
+
+@dataclass(frozen=True, slots=True)
+class FrozenWalk:
+    """Immutable structure-of-arrays snapshot of a trie's lookup state.
+
+    Built once by :meth:`UnibitTrie._freeze` (and dropped on any
+    mutating insert/remove); every array is laid out so the batch walk
+    is one gather per level with no per-call setup:
+
+    * ``childflat`` — child indices indexed ``(node << 1) | bit``;
+      a missing child self-loops, so a lane whose walk terminated
+      parks on its last real node and needs no masking;
+    * ``best`` — per node, the NHI of the nearest ancestor-or-self
+      carrying one (the LPM answer for any lane parked there);
+    * ``levels`` — per node depth, which doubles as the walk depth of
+      a parked lane;
+    * ``jump`` — a ``2^jump_stride``-entry direct index over the top
+      address bits resolving the first ``jump_stride`` levels in one
+      gather (the :class:`~repro.virt.merged.MergedTrie` root jump
+      table, generalized to non-leaf-pushed tries).
+    """
+
+    left: np.ndarray
+    right: np.ndarray
+    nhi: np.ndarray
+    levels: np.ndarray
+    childflat: np.ndarray
+    best: np.ndarray
+    jump: np.ndarray
+    jump_stride: int
+    depth: int
 
 
 @dataclass(frozen=True, slots=True)
@@ -69,6 +101,9 @@ class UnibitTrie:
         scalar walks.
     """
 
+    #: root-stride of the frozen jump table (capped at the trie depth)
+    JUMP_STRIDE = 16
+
     __slots__ = (
         "_left",
         "_right",
@@ -89,7 +124,7 @@ class UnibitTrie:
         self._nhi: list[int] = [NO_ROUTE]
         self._level: list[int] = [0]
         self._prefix_count = 0
-        self._frozen: dict[str, np.ndarray] | None = None
+        self._frozen: FrozenWalk | None = None
         # indices of withdrawn (unlinked) nodes available for reuse —
         # route withdrawal recycles storage instead of compacting
         self._free: list[int] = []
@@ -262,14 +297,86 @@ class UnibitTrie:
         """
         return self._walk_scalar(address)[1]
 
-    def _freeze(self) -> dict[str, np.ndarray]:
+    def _freeze(self) -> FrozenWalk:
         if self._frozen is None:
-            self._frozen = {
-                "left": np.asarray(self._left, dtype=np.int64),
-                "right": np.asarray(self._right, dtype=np.int64),
-                "nhi": np.asarray(self._nhi, dtype=np.int64),
-            }
+            left = np.asarray(self._left, dtype=np.int64)
+            right = np.asarray(self._right, dtype=np.int64)
+            nhi = np.asarray(self._nhi, dtype=np.int64)
+            levels = np.asarray(self._level, dtype=np.int64)
+            n = len(left)
+            identity = np.arange(n, dtype=np.int64)
+            # parent pointers (root and freed slots point at themselves)
+            parent = identity.copy()
+            has_left = left != NONE
+            parent[left[has_left]] = identity[has_left]
+            has_right = right != NONE
+            parent[right[has_right]] = identity[has_right]
+            # best[node] = nearest ancestor-or-self NHI, propagated one
+            # level at a time (a child's parent is always one level up,
+            # so each level's gather reads already-final values).
+            depth = self.depth()
+            best = nhi.copy()
+            order = np.argsort(levels, kind="stable")
+            starts = np.searchsorted(levels[order], np.arange(depth + 2))
+            for lvl in range(1, depth + 1):
+                at = order[starts[lvl] : starts[lvl + 1]]
+                own = nhi[at]
+                best[at] = np.where(own != NO_ROUTE, own, best[parent[at]])
+            # child targets: a childless node self-loops (parking is
+            # safe — no bit can leave it), but a node with exactly one
+            # child must NOT self-loop on its missing side, or a later
+            # address bit would un-park the lane into the live child.
+            # Each such slot gets a dedicated parked node carrying the
+            # parent's level/best; parked nodes self-loop both ways.
+            # A full (leaf-pushed) trie has no such slots, so its
+            # childflat is exactly the merged-engine layout.
+            childless = (left == NONE) & (right == NONE)
+            lx = np.where(left == NONE, identity, left)
+            rx = np.where(right == NONE, identity, right)
+            miss_left = np.flatnonzero((left == NONE) & ~childless)
+            miss_right = np.flatnonzero((right == NONE) & ~childless)
+            parked_parents = np.concatenate([miss_left, miss_right])
+            m = len(parked_parents)
+            parked = n + np.arange(m, dtype=np.int64)
+            lx[miss_left] = parked[: len(miss_left)]
+            rx[miss_right] = parked[len(miss_left) :]
+            childflat = np.empty(2 * (n + m), dtype=np.int64)
+            childflat[0 : 2 * n : 2] = lx
+            childflat[1 : 2 * n : 2] = rx
+            childflat[2 * n :: 2] = parked
+            childflat[2 * n + 1 :: 2] = parked
+            levels_walk = np.concatenate([levels, levels[parked_parents]])
+            best_walk = np.concatenate([best, best[parked_parents]])
+            # jump table over the top stride bits: entry p is the node
+            # reached (or parked on) after walking bit pattern p.
+            stride = min(self.JUMP_STRIDE, depth)
+            patterns = np.arange(1 << stride, dtype=np.int64)
+            jump = np.zeros(1 << stride, dtype=np.int64)
+            for lvl in range(stride):
+                bits = (patterns >> (stride - 1 - lvl)) & 1
+                jump = childflat[(jump << 1) | bits]
+            self._frozen = FrozenWalk(
+                left=left,
+                right=right,
+                nhi=nhi,
+                levels=levels_walk,
+                childflat=childflat,
+                best=best_walk,
+                jump=jump,
+                jump_stride=stride,
+                depth=depth,
+            )
         return self._frozen
+
+    def freeze(self) -> FrozenWalk:
+        """Build (or return) the frozen structure-of-arrays walk state.
+
+        The serving layer calls this at service build time so the
+        first served batch does not pay the freeze cost; any mutating
+        :meth:`insert`/:meth:`remove` afterwards invalidates the
+        snapshot and the next batch re-freezes transparently.
+        """
+        return self._freeze()
 
     def _walk_scalar(self, address: int) -> tuple[int, int]:
         """Scalar walk returning ``(depth, result)`` for one address."""
@@ -289,13 +396,16 @@ class UnibitTrie:
     def walk_batch(self, addresses: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Vectorized walk: per-address depth reached and LPM result.
 
-        One gather per trie level across all addresses at once; lanes
-        whose walk has terminated park on a virtual "dead" node.  The
-        depth is the number of levels the walk descended — the
-        quantity the pipeline simulator converts into per-stage memory
-        accesses.  Tries wider than 32 bits (the IPv6 extension) fall
-        back to scalar walks — their addresses exceed the NumPy word
-        size.
+        Runs over the :class:`FrozenWalk` snapshot: the root jump
+        table resolves the first ``jump_stride`` levels with a single
+        gather, every remaining level is one gather over the flat
+        self-looping child array, and the per-lane depth and LPM
+        answer come from two final gathers (``levels`` / ``best``) —
+        no per-call array setup and no per-level masking.  The depth
+        is the number of levels the walk descended — the quantity the
+        pipeline simulator converts into per-stage memory accesses.
+        Tries wider than 32 bits (the IPv6 extension) fall back to
+        scalar walks — their addresses exceed the NumPy word size.
         """
         if self.width > 32:
             n = len(addresses)
@@ -310,35 +420,25 @@ class UnibitTrie:
                     labels=("structure",),
                 ).labels("unibit").inc(int(depths6.sum()) + n)
             return depths6, results6
-        arrays = self._freeze()
-        left, right, nhi = arrays["left"], arrays["right"], arrays["nhi"]
+        frozen = self._freeze()
         addresses = np.asarray(addresses, dtype=np.uint32)
-        n = addresses.shape[0]
-        # append a dead node at index len(trie): both children loop to
-        # itself, no NHI, so terminated lanes stay put harmlessly.
-        dead = len(left)
-        left_x = np.append(left, dead)
-        right_x = np.append(right, dead)
-        nhi_x = np.append(nhi, NO_ROUTE)
-        left_x[left_x == NONE] = dead
-        right_x[right_x == NONE] = dead
-        node = np.zeros(n, dtype=np.int64)
-        best = np.full(n, nhi[0], dtype=np.int64)
-        depths = np.zeros(n, dtype=np.int64)
-        for lvl in range(self.width):
-            bits = (addresses >> np.uint32(self.width - 1 - lvl)) & np.uint32(1)
-            node = np.where(bits == 1, right_x[node], left_x[node])
-            depths += node != dead
-            found = nhi_x[node]
-            best = np.where(found != NO_ROUTE, found, best)
-            if (node == dead).all():
-                break
+        addr64 = addresses.astype(np.int64)
+        stride = frozen.jump_stride
+        if stride:
+            node = frozen.jump[addr64 >> (self.width - stride)]
+        else:
+            node = np.zeros(len(addresses), dtype=np.int64)
+        childflat = frozen.childflat
+        for lvl in range(stride, frozen.depth):
+            node = childflat[(node << 1) | ((addr64 >> (self.width - 1 - lvl)) & 1)]
+        depths = frozen.levels[node]
+        best = frozen.best[node]
         if REGISTRY.enabled:  # one branch per batch; zero overhead off
             REGISTRY.counter(
                 "repro_trie_node_visits_total",
                 "Trie nodes touched by batch walks (root included)",
                 labels=("structure",),
-            ).labels("unibit").inc(int(depths.sum()) + n)
+            ).labels("unibit").inc(int(depths.sum()) + len(addresses))
         return depths, best
 
     def lookup_batch(self, addresses: np.ndarray) -> np.ndarray:

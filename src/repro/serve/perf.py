@@ -37,11 +37,19 @@ __all__ = [
     "time_callable",
     "legacy_merged_lookup_batch",
     "run_lookup_bench",
+    "run_gate_bench",
+    "evaluate_gate",
     "main",
+    "gate_main",
 ]
 
 #: bump when the JSON layout changes incompatibly
 SCHEMA_VERSION = 1
+
+#: the cases the regression gate re-measures (the serving hot paths;
+#: the slow pre-PR baseline is deliberately excluded — it exists to
+#: measure the speedup once, not to burn CI time every push)
+GATED_CASES = ("serve_NV", "serve_VS", "serve_VM")
 
 
 @dataclass(frozen=True)
@@ -137,6 +145,24 @@ def legacy_merged_lookup_batch(
     return result
 
 
+def _build_fixture(
+    *, pairs: int, k: int, n_prefixes: int, shared_fraction: float, seed: int
+) -> tuple[dict[Scheme, LookupService], np.ndarray, np.ndarray]:
+    """Build the benchmarked services and batch for one configuration."""
+    if pairs < 1:
+        raise ConfigurationError("pairs must be >= 1")
+    config = SyntheticTableConfig(n_prefixes=n_prefixes, seed=seed)
+    tables = generate_virtual_tables(k, shared_fraction, config)
+    rng = np.random.default_rng(seed)
+    addresses = rng.integers(0, 1 << 32, size=pairs, dtype=np.uint64).astype(np.uint32)
+    vnids = rng.integers(0, k, size=pairs, dtype=np.int64)
+    services = {
+        scheme: LookupService(tables, scheme)
+        for scheme in (Scheme.NV, Scheme.VS, Scheme.VM)
+    }
+    return services, addresses, vnids
+
+
 def run_lookup_bench(
     *,
     pairs: int = 100_000,
@@ -148,18 +174,13 @@ def run_lookup_bench(
     seed: int = 2012,
 ) -> dict:
     """Run the full lookup benchmark suite; return the JSON payload."""
-    if pairs < 1:
-        raise ConfigurationError("pairs must be >= 1")
-    config = SyntheticTableConfig(n_prefixes=n_prefixes, seed=seed)
-    tables = generate_virtual_tables(k, shared_fraction, config)
-    rng = np.random.default_rng(seed)
-    addresses = rng.integers(0, 1 << 32, size=pairs, dtype=np.uint64).astype(np.uint32)
-    vnids = rng.integers(0, k, size=pairs, dtype=np.int64)
-
-    services = {
-        scheme: LookupService(tables, scheme)
-        for scheme in (Scheme.NV, Scheme.VS, Scheme.VM)
-    }
+    services, addresses, vnids = _build_fixture(
+        pairs=pairs,
+        k=k,
+        n_prefixes=n_prefixes,
+        shared_fraction=shared_fraction,
+        seed=seed,
+    )
     merged = services[Scheme.VM].merged()
 
     records: list[BenchRecord] = []
@@ -229,6 +250,97 @@ def render_summary(payload: dict) -> str:
         f"merged batch speedup vs pre-PR baseline: {payload['speedup_vs_pre_pr']:.1f}x"
     )
     return "\n".join(lines)
+
+
+def run_gate_bench(config: dict) -> dict[str, BenchRecord]:
+    """Re-measure the gated serve cases at a committed baseline's config.
+
+    ``config`` is the ``config`` block of a ``BENCH_lookup.json``; the
+    same tables, batch and seed are rebuilt so the only variable is
+    the code under test.
+    """
+    services, addresses, vnids = _build_fixture(
+        pairs=int(config["pairs"]),
+        k=int(config["k"]),
+        n_prefixes=int(config["n_prefixes"]),
+        shared_fraction=float(config["shared_fraction"]),
+        seed=int(config["seed"]),
+    )
+    records: dict[str, BenchRecord] = {}
+    for scheme, service in services.items():
+        record = bench(
+            f"serve_{scheme.name}",
+            lambda s=service: s.serve(addresses, vnids),
+            int(config["pairs"]),
+            warmup=int(config["warmup"]),
+            repeats=int(config["repeats"]),
+        )
+        records[record.name] = record
+    return records
+
+
+def evaluate_gate(
+    baseline: dict, measured: dict[str, BenchRecord], tolerance: float
+) -> list[str]:
+    """Compare measured ops/s against a committed baseline payload.
+
+    Returns one diagnostic line per gated case; lines for cases whose
+    throughput dropped more than ``tolerance`` below the baseline are
+    prefixed ``FAIL``, the rest ``ok``.  A baseline missing a gated
+    case fails loudly — a silently shrinking gate is no gate.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ConfigurationError(f"tolerance must be in [0, 1), got {tolerance}")
+    lines = []
+    for name in GATED_CASES:
+        if name not in baseline.get("results", {}):
+            lines.append(f"FAIL {name}: not in the committed baseline")
+            continue
+        committed = float(baseline["results"][name]["ops_per_s"])
+        got = measured[name].ops_per_s
+        floor = committed * (1.0 - tolerance)
+        verdict = "ok  " if got >= floor else "FAIL"
+        lines.append(
+            f"{verdict} {name}: {got:,.0f} ops/s vs committed {committed:,.0f} "
+            f"(floor {floor:,.0f}, {got / committed - 1.0:+.1%})"
+        )
+    return lines
+
+
+def gate_main(argv: list[str] | None = None) -> int:
+    """CLI entry point: fail when throughput regressed vs the baseline."""
+    parser = argparse.ArgumentParser(
+        prog="bench_gate",
+        description=(
+            "Re-run the serve benchmarks at the committed BENCH_lookup.json "
+            "baseline's configuration and fail on an ops/s regression"
+        ),
+    )
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_lookup.json",
+        help="committed baseline JSON (default: repo root BENCH_lookup.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional ops/s drop before failing (default: 0.10)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    measured = run_gate_bench(baseline["config"])
+    lines = evaluate_gate(baseline, measured, args.tolerance)
+    print(f"bench gate vs {args.baseline} (tolerance {args.tolerance:.0%}):")
+    for line in lines:
+        print(f"  {line}")
+    failed = [line for line in lines if line.startswith("FAIL")]
+    if failed:
+        print(f"bench gate FAILED: {len(failed)} case(s) regressed")
+        return 1
+    print("bench gate passed")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -301,6 +301,13 @@ class LookupService:
             self._merged = merge_tries(self._tries)
             depth = self._merged.structure.depth()
         else:
+            # freeze the per-VN engines now (flat self-looping child
+            # arrays, root jump tables) so no served batch ever pays
+            # the freeze cost — the same build-time discipline as the
+            # merged engine, whose MergedTrie constructor freezes its
+            # union structure
+            for trie in self._tries:
+                trie.freeze()
             depth = max(trie.depth() for trie in self._tries)
         if depth > n_stages:
             raise ConfigurationError(
@@ -351,20 +358,27 @@ class LookupService:
                 "truncated",
                 f"{len(addresses)} addresses vs {len(vnids)} vnids",
             )
+        # dtype checks are unconditional: an empty float64 batch is
+        # just as malformed as a full one, and "strict, never coerce"
+        # must not depend on whether there happens to be data — the
+        # guard used to sit inside the size check, silently astype'ing
+        # empty float batches through
+        if addresses.dtype.kind not in "iu":
+            if (
+                addresses.dtype.kind == "f"
+                and addresses.size
+                and np.isnan(addresses).any()
+            ):
+                raise MalformedBatchError("non_finite", "address array contains NaN")
+            raise MalformedBatchError(
+                "dtype",
+                f"addresses must be an integer array, got {addresses.dtype}",
+            )
+        if vnids.dtype.kind not in "iu":
+            raise MalformedBatchError(
+                "dtype", f"vnids must be an integer array, got {vnids.dtype}"
+            )
         if addresses.size:
-            if addresses.dtype.kind not in "iu":
-                if addresses.dtype.kind == "f" and np.isnan(addresses).any():
-                    raise MalformedBatchError(
-                        "non_finite", "address array contains NaN"
-                    )
-                raise MalformedBatchError(
-                    "dtype",
-                    f"addresses must be an integer array, got {addresses.dtype}",
-                )
-            if vnids.dtype.kind not in "iu":
-                raise MalformedBatchError(
-                    "dtype", f"vnids must be an integer array, got {vnids.dtype}"
-                )
             if addresses.dtype != np.uint32 and (
                 int(addresses.max()) > _ADDRESS_MAX or int(addresses.min()) < 0
             ):
@@ -475,8 +489,15 @@ class LookupService:
             kept = self._admit_indices(vnids, admit[0], vn_shed)
             kept_addresses = addresses[kept]
             kept_vnids = vnids[kept]
+            # bind the walk inputs as defaults: a plain closure would
+            # re-read the enclosing names at call time (late binding),
+            # which the retry loop must never depend on
             walked, walk_retries, failures = self._walk_with_retry(
-                0, faults, lambda: self._merged.walk_batch(kept_addresses, kept_vnids)
+                0,
+                faults,
+                lambda m=self._merged, a=kept_addresses, v=kept_vnids: m.walk_batch(
+                    a, v
+                ),
             )
             retries += walk_retries
             walk_failures += failures
@@ -489,23 +510,35 @@ class LookupService:
                 results[kept] = walk_results
                 traces = (trace_from_walk(depths, walk_results, self.n_stages),)
         else:
+            # same structure-of-arrays discipline as the nominal path:
+            # admission sheds the *tail* of each engine's contiguous
+            # slice (arrival order within a VN is sort-stable), so the
+            # kept lookups stay a prefix of the slice and scatter back
+            # through the same permutation.
+            part = self.distributor.partition(vnids)
+            sorted_addresses = part.gather(addresses)
             engine_traces = []
-            for vn, indices in enumerate(self.distributor.route(vnids)):
-                kept = self._admit_prefix(indices, admit[vn], vn, vn_shed)
-                kept_addresses = addresses[kept]
-                trie = self._tries[vn]
+            for vn in range(self.k):
+                start_vn, stop_vn = part.engine_slice(vn).start, part.engine_slice(vn).stop
+                offered = stop_vn - start_vn
+                keep = self._admit_count(offered, admit[vn], vn, vn_shed)
+                kept_addresses = sorted_addresses[start_vn : start_vn + keep]
+                # default-arg binding: the thunk must capture *this*
+                # iteration's engine and slice, not the loop variables
                 walked, walk_retries, failures = self._walk_with_retry(
-                    vn, faults, lambda: trie.walk_batch(kept_addresses)
+                    vn,
+                    faults,
+                    lambda t=self._tries[vn], a=kept_addresses: t.walk_batch(a),
                 )
                 retries += walk_retries
                 walk_failures += failures
                 if walked is None:
                     failed_engines.append(vn)
-                    vn_shed[vn] += len(kept)
+                    vn_shed[vn] += keep
                     engine_traces.append(trace_from_walk(empty, empty, self.n_stages))
                     continue
                 depths, engine_results = walked
-                results[kept] = engine_results
+                results[part.order[start_vn : start_vn + keep]] = engine_results
                 engine_traces.append(
                     trace_from_walk(depths, engine_results, self.n_stages)
                 )
@@ -546,15 +579,21 @@ class LookupService:
         )
         return results, trace
 
-    def _admit_prefix(
-        self, indices: np.ndarray, admit: float, vn: int, vn_shed: np.ndarray
-    ) -> np.ndarray:
-        """Admit the head of one VN's arrivals, shed (and count) the tail."""
+    def _admit_count(
+        self, offered: int, admit: float, vn: int, vn_shed: np.ndarray
+    ) -> int:
+        """Admit the head of one VN's slice, shed (and count) the tail.
+
+        Slice-based twin of the old index-list ``_admit_prefix``: the
+        kept lookups are the first ``keep`` of the engine's contiguous
+        slice, which (by sort stability) are exactly the VN's earliest
+        arrivals — the set the index-list path admitted.
+        """
         if admit >= 1.0:
-            return indices
-        keep = int(admit * len(indices) + 0.5)
-        vn_shed[vn] += len(indices) - keep
-        return indices[:keep]
+            return offered
+        keep = int(admit * offered + 0.5)
+        vn_shed[vn] += offered - keep
+        return keep
 
     def _admit_indices(
         self, vnids: np.ndarray, admit: float, vn_shed: np.ndarray
@@ -593,14 +632,24 @@ class LookupService:
             depths, results = self._merged.walk_batch(addresses, vnids)
             traces = (trace_from_walk(depths, results, self.n_stages),)
         else:
-            results = np.empty(len(addresses), dtype=np.int64)
+            # structure-of-arrays batch path: one stable sort by VNID,
+            # each frozen engine walks its contiguous slice, and one
+            # scatter through the inverse permutation restores arrival
+            # order — no per-engine fancy indexing anywhere.
+            part = self.distributor.partition(vnids)
+            sorted_addresses = part.gather(addresses)
+            sorted_results = np.empty(len(addresses), dtype=np.int64)
             engine_traces = []
-            for vn, indices in enumerate(self.distributor.route(vnids)):
-                depths, engine_results = self._tries[vn].walk_batch(addresses[indices])
-                results[indices] = engine_results
+            for vn in range(self.k):
+                sl = part.engine_slice(vn)
+                depths, engine_results = self._tries[vn].walk_batch(
+                    sorted_addresses[sl]
+                )
+                sorted_results[sl] = engine_results
                 engine_traces.append(
                     trace_from_walk(depths, engine_results, self.n_stages)
                 )
+            results = part.scatter(sorted_results)
             traces = tuple(engine_traces)
         elapsed = time.perf_counter() - start
         vn_counts: tuple[int, ...] = ()

@@ -13,19 +13,31 @@ codebase for the three classic ways that refactor goes wrong:
 * **CONC003** — a function submitted to a process pool carries an
   unpicklable default argument (``lambda``, ``threading.Lock()`` …),
   which fails only at submit time, on the first call that relies on
-  the default.
+  the default;
+* **CONC004** — a closure defined inside a loop reads the loop
+  variable from the enclosing scope: the name is resolved at *call*
+  time, so every deferred callable sees the last iteration's value
+  (the retry-thunk bug fixed in the serving layer).  Bind the value
+  at definition time with a default argument (``lambda t=t: ...``).
 """
 
 from __future__ import annotations
 
+import ast
 from typing import TYPE_CHECKING
 
 from repro.staticcheck.registry import Rule, register
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.staticcheck.project import ProjectAnalysis
+    from repro.staticcheck.visitor import ModuleContext
 
-__all__ = ["BlockingInAsync", "ExecutorSharedState", "UnpicklableDefault"]
+__all__ = [
+    "BlockingInAsync",
+    "ExecutorSharedState",
+    "UnpicklableDefault",
+    "LateBindingClosure",
+]
 
 _POOL_CLASSES = ("ProcessPoolExecutor", "ThreadPoolExecutor", "Pool")
 
@@ -139,3 +151,84 @@ class UnpicklableDefault(Rule):
                     f"({summary.path}:{site.line}) but parameter '{param}' has "
                     f"an unpicklable {reason}",
                 )
+
+
+_FUNCTION_NODES = (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _param_names(args: ast.arguments) -> set[str]:
+    """Every name the function's own parameter list binds."""
+    names = {a.arg for a in args.posonlyargs + args.args + args.kwonlyargs}
+    if args.vararg is not None:
+        names.add(args.vararg.arg)
+    if args.kwarg is not None:
+        names.add(args.kwarg.arg)
+    return names
+
+
+@register
+class LateBindingClosure(Rule):
+    """CONC004: loop variables captured late by closures in the loop body."""
+
+    id = "CONC004"
+    name = "late-binding-closure"
+    description = (
+        "closures defined in a loop must bind loop variables at definition "
+        "time (default arguments), not read them at call time"
+    )
+    default_options = {}
+
+    def visit_For(self, node: ast.For, ctx: "ModuleContext") -> None:
+        """Check closures in a ``for`` body against its targets."""
+        self._check_loop(node, ctx)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor, ctx: "ModuleContext") -> None:
+        """Check closures in an ``async for`` body against its targets."""
+        self._check_loop(node, ctx)
+
+    def _check_loop(self, loop: ast.For | ast.AsyncFor, ctx: "ModuleContext") -> None:
+        targets = {
+            name.id
+            for name in ast.walk(loop.target)
+            if isinstance(name, ast.Name)
+        }
+        if not targets:
+            return
+        for stmt in loop.body + loop.orelse:
+            for inner in ast.walk(stmt):
+                if isinstance(inner, _FUNCTION_NODES):
+                    self._check_closure(inner, targets, ctx)
+
+    def _check_closure(
+        self,
+        fn: ast.Lambda | ast.FunctionDef | ast.AsyncFunctionDef,
+        targets: set[str],
+        ctx: "ModuleContext",
+    ) -> None:
+        # only the *body* is deferred to call time — default-argument
+        # expressions evaluate at definition, which is exactly the fix
+        # this rule prescribes, so they must stay out of the scan
+        body = [fn.body] if isinstance(fn, ast.Lambda) else list(fn.body)
+        bound = _param_names(fn.args)
+        stored: set[str] = set()
+        captured: dict[str, ast.Name] = {}
+        for part in body:
+            for sub in ast.walk(part):
+                if not isinstance(sub, ast.Name):
+                    continue
+                if isinstance(sub.ctx, ast.Load):
+                    if sub.id in targets:
+                        captured.setdefault(sub.id, sub)
+                else:  # Store / Del make the name function-local
+                    stored.add(sub.id)
+        for name in sorted(captured.keys() - bound - stored):
+            use = captured[name]
+            self.report(
+                ctx,
+                use.lineno,
+                use.col_offset,
+                f"closure reads loop variable '{name}' from the enclosing "
+                f"scope at call time, so every deferred call sees the last "
+                f"iteration's value; bind it at definition time "
+                f"('{name}={name}' in the parameter list)",
+            )

@@ -18,7 +18,71 @@ from repro.errors import ConfigurationError
 from repro.fpga.device import ResourceUsage
 from repro.units import nj_to_j
 
-__all__ = ["Distributor"]
+__all__ = ["BatchPartition", "Distributor"]
+
+
+@dataclass(frozen=True, slots=True)
+class BatchPartition:
+    """Structure-of-arrays partition of one batch by VNID.
+
+    One stable argsort of the VNIDs plus a ``bincount``/``cumsum``
+    offset table replaces the old per-engine ``flatnonzero`` scan
+    (O(n·k) passes over the batch): engine ``i``'s packets are the
+    contiguous slice ``order[offsets[i]:offsets[i+1]]`` of the sorted
+    batch, in arrival order (argsort stability), and a single scatter
+    through ``order`` restores batch order on the way out.
+
+    Attributes
+    ----------
+    order:
+        Stable permutation sorting the batch by VNID: position ``j``
+        of the sorted batch holds original index ``order[j]``.
+    offsets:
+        ``k + 1`` cumulative engine offsets into the sorted batch.
+    """
+
+    order: np.ndarray
+    offsets: np.ndarray
+
+    @property
+    def k(self) -> int:
+        """Number of engines partitioned over."""
+        return len(self.offsets) - 1
+
+    @property
+    def n_packets(self) -> int:
+        """Packets in the partitioned batch."""
+        return len(self.order)
+
+    def engine_slice(self, engine: int) -> slice:
+        """Contiguous slice of the *sorted* batch bound for ``engine``."""
+        return slice(int(self.offsets[engine]), int(self.offsets[engine + 1]))
+
+    def engine_count(self, engine: int) -> int:
+        """Packets bound for ``engine``."""
+        return int(self.offsets[engine + 1] - self.offsets[engine])
+
+    def engine_indices(self, engine: int) -> np.ndarray:
+        """Original batch indices bound for ``engine``, arrival order.
+
+        Equal to ``np.flatnonzero(vnids == engine)`` — the contract
+        pinned by the routing-parity property tests.
+        """
+        return self.order[self.engine_slice(engine)]
+
+    def gather(self, values: np.ndarray) -> np.ndarray:
+        """Reorder per-packet ``values`` into VNID-sorted batch order."""
+        return values[self.order]
+
+    def scatter(self, sorted_values: np.ndarray, fill: int = 0) -> np.ndarray:
+        """Scatter sorted-batch ``sorted_values`` back to arrival order.
+
+        The inverse permutation applied in one NumPy scatter — the
+        "single gather on the way out" of the SoA batch pipeline.
+        """
+        out = np.full(self.n_packets, fill, dtype=sorted_values.dtype)
+        out[self.order] = sorted_values
+        return out
 
 
 @dataclass(frozen=True, slots=True)
@@ -51,17 +115,46 @@ class Distributor:
         """Fabric resources consumed by the demux tree."""
         return ResourceUsage(luts_logic=self.luts_per_port * self.k)
 
-    def route(self, vnids: np.ndarray) -> list[np.ndarray]:
-        """Partition packet indices by VNID.
+    def partition(self, vnids: np.ndarray) -> BatchPartition:
+        """Partition one batch into contiguous per-engine slices.
 
-        Returns a list of ``k`` index arrays: entry ``i`` holds the
-        positions of the packets destined for engine ``i``, preserving
-        arrival order within each engine.
+        One stable argsort by VNID plus ``bincount``/``cumsum``
+        offsets — a single O(n) pass regardless of ``k``, replacing
+        the per-engine ``flatnonzero`` scan.  Within each engine the
+        arrival order is preserved (stable sort), so the slices are
+        index-for-index the old partition.
         """
         vnids = np.asarray(vnids, dtype=np.int64)
         if len(vnids) and (vnids.min() < 0 or vnids.max() >= self.k):
             raise ConfigurationError("vnid out of range for this distributor")
-        return [np.flatnonzero(vnids == i) for i in range(self.k)]
+        # sort the narrowest key that holds k: NumPy's stable argsort
+        # is an LSB radix sort for integers, so one byte of key means
+        # one counting pass instead of eight (~5x on 100k packets)
+        if self.k <= 1 << 8:
+            sort_key = vnids.astype(np.uint8)
+        elif self.k <= 1 << 16:
+            sort_key = vnids.astype(np.uint16)
+        else:
+            sort_key = vnids
+        order = np.argsort(sort_key, kind="stable")
+        counts = np.bincount(vnids, minlength=self.k)
+        offsets = np.empty(self.k + 1, dtype=np.int64)
+        offsets[0] = 0
+        np.cumsum(counts, out=offsets[1:])
+        return BatchPartition(order=order, offsets=offsets)
+
+    def route(self, vnids: np.ndarray) -> list[np.ndarray]:
+        """Partition packet indices by VNID (index-array view).
+
+        Returns a list of ``k`` index arrays: entry ``i`` holds the
+        positions of the packets destined for engine ``i``, preserving
+        arrival order within each engine.  Thin compatibility wrapper
+        over :meth:`partition`; hot paths should consume the
+        :class:`BatchPartition` directly and work on its contiguous
+        slices instead of fancy-indexing per engine.
+        """
+        part = self.partition(vnids)
+        return [part.engine_indices(i) for i in range(self.k)]
 
     def energy_j(self, n_packets: int) -> float:
         """Total distribution energy for ``n_packets`` packets."""

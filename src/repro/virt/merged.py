@@ -76,8 +76,12 @@ class MergedTrie:
 
     #: root-stride of the precomputed jump table (a 2^s-entry direct
     #: index over the top s address bits, skipping the first s levels
-    #: of the walk — the same idea as a multibit root table)
-    JUMP_STRIDE = 16
+    #: of the walk — the same idea as a multibit root table).  The
+    #: table itself now comes from the structure's shared
+    #: :class:`~repro.iplookup.trie.FrozenWalk`, whose stride is
+    #: :attr:`UnibitTrie.JUMP_STRIDE`; this mirror is kept for
+    #: documentation and so existing consumers can read the stride.
+    JUMP_STRIDE = UnibitTrie.JUMP_STRIDE
 
     __slots__ = (
         "structure",
@@ -111,19 +115,23 @@ class MergedTrie:
         self.sum_input_nodes = sum_input_nodes
         # freeze the lookup arrays once — the structure is immutable
         # (see class docstring), so no per-call revalidation is needed.
+        # The per-VN engines share the exact same FrozenWalk layout
+        # (flat self-looping child array, levels, root jump table);
+        # for a full trie the frozen arrays carry no parked nodes, so
+        # every walk lands on a real leaf index, which is what lets
+        # the 2-D NHI gather below index the leaf's vector directly.
         frozen = structure._freeze()
-        left, right = frozen["left"], frozen["right"]
-        self._leaf = left == NONE  # full trie: leaf iff left child missing
-        self._depth = structure.depth()
-        self._levels = np.asarray(structure._level, dtype=np.int64)
-        # flat child array indexed by (node << 1) | bit, with leaves
-        # self-looping: a lane that reaches its leaf parks there, so
-        # the walk needs one gather per level and no leaf masking.
+        left, right = frozen.left, frozen.right
         n_nodes = len(left)
-        identity = np.arange(n_nodes, dtype=np.int64)
-        self._childflat = np.empty(2 * n_nodes, dtype=np.int64)
-        self._childflat[0::2] = np.where(left == NONE, identity, left)
-        self._childflat[1::2] = np.where(right == NONE, identity, right)
+        if len(frozen.childflat) != 2 * n_nodes:
+            raise MergeError(
+                "merged structure must be full (leaf-pushed): a node with "
+                "exactly one child cannot carry a per-leaf NHI vector"
+            )
+        self._leaf = left == NONE  # full trie: leaf iff left child missing
+        self._depth = frozen.depth
+        self._levels = frozen.levels
+        self._childflat = frozen.childflat
         leaves = np.flatnonzero(self._leaf)
         self._nhi_matrix = np.full((n_nodes, k), NO_ROUTE, dtype=np.int64)
         for node in leaves:
@@ -134,15 +142,8 @@ class MergedTrie:
         # jump table over the top s bits: entry p is the node reached
         # after walking the s-bit pattern p from the root (or the leaf
         # the walk parked on above level s).
-        self._jump_stride = min(self.JUMP_STRIDE, self._depth)
-        patterns = np.arange(1 << self._jump_stride, dtype=np.uint32)
-        node = np.zeros(1 << self._jump_stride, dtype=np.int64)
-        for lvl in range(self._jump_stride):
-            bits = ((patterns >> np.uint32(self._jump_stride - 1 - lvl)) & 1).astype(
-                np.int64
-            )
-            node = self._childflat[(node << 1) | bits]
-        self._jump = node
+        self._jump_stride = frozen.jump_stride
+        self._jump = frozen.jump
 
     # -- merging efficiency ------------------------------------------------
 

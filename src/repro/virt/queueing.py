@@ -153,21 +153,32 @@ def degraded_latency_ns(
             pipeline_ns=0.0,
             queueing_ns=0.0,
         )
-    pipeline = 0.0
-    queueing = 0.0
-    for utilization, f, weight in zip(utilizations, frequencies_mhz, load_weights):
-        if weight == 0:
-            continue
-        if f <= 0:
-            raise ConfigurationError(
-                "an engine with admitted load must have a positive clock"
-            )
-        share = weight / total
-        pipeline += share * lookup_latency_ns(float(f), n_stages)
-        queueing += share * md1_wait_ns(float(utilization), float(f))
+    # vectorized over engines — this runs once per served batch under
+    # faults, so the per-engine Python loop it replaces was hot-path
+    # work.  Error semantics match the loop exactly: zero-weight
+    # engines are excluded *before* any validation, so an offline
+    # engine may carry a zero (or bogus) clock or utilization as long
+    # as it serves nothing, and only loaded engines are checked.
+    served = load_weights > 0
+    u = utilizations[served]
+    f = frequencies_mhz[served]
+    if (f <= 0).any():
+        raise ConfigurationError(
+            "an engine with admitted load must have a positive clock"
+        )
+    if ((u < 0.0) | (u >= 1.0)).any():
+        bad = float(u[(u < 0.0) | (u >= 1.0)][0])
+        raise CapacityError(
+            f"utilization must be in [0, 1) for a stable queue, got {bad}"
+        )
+    shares = load_weights[served] / total
+    # same expressions as lookup_latency_ns / md1_wait_ns, element-wise
+    service_ns = s_to_ns(1.0 / mhz_to_hz(f))  # one cycle per lookup
+    pipeline = shares * s_to_ns((n_stages + 1) / mhz_to_hz(f))
+    queueing = shares * (u * service_ns / (2.0 * (1.0 - u)))
     return LatencyReport(
         scheme_label=scheme_label,
         frequency_mhz=float(frequencies_mhz.max()),
-        pipeline_ns=float(pipeline),
-        queueing_ns=float(queueing),
+        pipeline_ns=float(pipeline.sum()),
+        queueing_ns=float(queueing.sum()),
     )

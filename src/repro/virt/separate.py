@@ -83,16 +83,25 @@ class SeparateVirtualRouter:
         return self.tries[vnid].lookup(address)
 
     def lookup_batch(self, addresses: np.ndarray, vnids: np.ndarray) -> np.ndarray:
-        """Distribute packets to engines and gather their results."""
+        """Distribute packets to engines and gather their results.
+
+        Structure-of-arrays routing: one stable sort by VNID, each
+        engine answers its contiguous slice, one scatter back through
+        the inverse permutation (see
+        :meth:`repro.virt.distributor.Distributor.partition`).
+        """
         addresses = np.asarray(addresses, dtype=np.uint32)
         vnids = np.asarray(vnids, dtype=np.int64)
         if addresses.shape != vnids.shape:
             raise ConfigurationError("addresses and vnids must have the same shape")
-        results = np.empty(len(addresses), dtype=np.int64)
-        for vn, indices in enumerate(self.distributor.route(vnids)):
-            if len(indices):
-                results[indices] = self.tries[vn].lookup_batch(addresses[indices])
-        return results
+        part = self.distributor.partition(vnids)
+        sorted_addresses = part.gather(addresses)
+        sorted_results = np.empty(len(addresses), dtype=np.int64)
+        for vn in range(self.k):
+            sl = part.engine_slice(vn)
+            if sl.stop > sl.start:
+                sorted_results[sl] = self.tries[vn].lookup_batch(sorted_addresses[sl])
+        return part.scatter(sorted_results)
 
     def engine_utilizations(self, vnids: np.ndarray) -> np.ndarray:
         """Observed per-engine load fractions from a packet stream.

@@ -1,0 +1,36 @@
+"""Corpus: late-binding closures over loop variables.
+
+Seeds CONC004 twice — a retry thunk built with a bare ``lambda`` and a
+nested ``def`` — mirroring the serving-layer bug where every deferred
+retry re-read the loop variable and replayed the *last* engine's
+batch.  The correctly bound variants at the bottom must stay quiet.
+"""
+
+
+def build_retries(engines, batches):
+    """Queue one retry thunk per engine."""
+    thunks = []
+    for vn, engine in enumerate(engines):
+        # CONC004: ``engine`` and ``vn`` resolve when the thunk runs,
+        # after the loop has finished — every thunk replays the last
+        # engine against the last batch
+        thunks.append(lambda: engine.walk_batch(batches[vn]))
+
+        def redo():
+            return engine.reset()
+
+        thunks.append(redo)
+    return thunks
+
+
+def build_retries_bound(engines, batches):
+    """The fix: defaults evaluate at definition time, one per iteration."""
+    thunks = []
+    for vn, engine in enumerate(engines):
+        thunks.append(lambda e=engine, b=batches[vn]: e.walk_batch(b))
+
+        def redo(e=engine):
+            return e.reset()
+
+        thunks.append(redo)
+    return thunks

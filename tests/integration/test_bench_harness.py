@@ -9,10 +9,14 @@ from repro.errors import ConfigurationError
 from repro.iplookup.synth import SyntheticTableConfig, generate_virtual_tables
 from repro.iplookup.trie import UnibitTrie
 from repro.serve.perf import (
+    GATED_CASES,
     SCHEMA_VERSION,
     bench,
+    evaluate_gate,
+    gate_main,
     legacy_merged_lookup_batch,
     main,
+    run_gate_bench,
     run_lookup_bench,
     time_callable,
 )
@@ -106,3 +110,58 @@ class TestHarness:
         assert payload["config"]["repeats"] <= 2
         stdout = capsys.readouterr().out
         assert "speedup" in stdout
+
+
+class TestThroughputGate:
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return run_lookup_bench(pairs=2000, repeats=2, warmup=0, k=3, n_prefixes=200)
+
+    def test_gate_bench_measures_exactly_the_serve_cases(self, baseline):
+        measured = run_gate_bench(baseline["config"])
+        assert set(measured) == set(GATED_CASES)
+        assert all(record.ops_per_s > 0 for record in measured.values())
+
+    def test_gate_passes_against_its_own_baseline(self, baseline):
+        measured = run_gate_bench(baseline["config"])
+        # generous tolerance: the re-run must match the numbers it was
+        # compared against up to timer noise
+        lines = evaluate_gate(baseline, measured, tolerance=0.9)
+        assert len(lines) == len(GATED_CASES)
+        assert not any(line.startswith("FAIL") for line in lines)
+
+    def test_gate_fails_on_regression(self, baseline):
+        measured = run_gate_bench(baseline["config"])
+        inflated = json.loads(json.dumps(baseline))
+        for name in GATED_CASES:
+            inflated["results"][name]["ops_per_s"] *= 1e6
+        lines = evaluate_gate(inflated, measured, tolerance=0.10)
+        assert all(line.startswith("FAIL") for line in lines)
+
+    def test_gate_fails_on_missing_case(self, baseline):
+        measured = run_gate_bench(baseline["config"])
+        pruned = json.loads(json.dumps(baseline))
+        del pruned["results"]["serve_VS"]
+        lines = evaluate_gate(pruned, measured, tolerance=0.10)
+        assert any("not in the committed baseline" in line for line in lines)
+
+    def test_gate_rejects_bad_tolerance(self, baseline):
+        with pytest.raises(ConfigurationError):
+            evaluate_gate(baseline, {}, tolerance=1.5)
+
+    def test_gate_main_end_to_end(self, tmp_path, baseline, capsys):
+        path = tmp_path / "BENCH_lookup.json"
+        path.write_text(json.dumps(baseline))
+        rc = gate_main(["--baseline", str(path), "--tolerance", "0.9"])
+        assert rc == 0
+        assert "bench gate passed" in capsys.readouterr().out
+
+    def test_gate_main_fails_on_regression(self, tmp_path, baseline, capsys):
+        inflated = json.loads(json.dumps(baseline))
+        for name in GATED_CASES:
+            inflated["results"][name]["ops_per_s"] *= 1e6
+        path = tmp_path / "BENCH_lookup.json"
+        path.write_text(json.dumps(inflated))
+        rc = gate_main(["--baseline", str(path)])
+        assert rc == 1
+        assert "FAILED" in capsys.readouterr().out

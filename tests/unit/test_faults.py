@@ -226,6 +226,44 @@ class TestDegradedServing:
         # the other engines were untouched
         assert all(trace.vn_shed[vn] == 0 for vn in (1, 2, 3))
 
+    def test_slice_admission_matches_index_list_reference(self, tables, batch):
+        """SoA shedding keeps exactly the old index-list admitted set.
+
+        The slice path admits the head of each VN's contiguous slice;
+        by sort stability that must equal the reference partition
+        ``np.flatnonzero(vnids == vn)[:keep]`` — earliest arrivals in,
+        latest arrivals shed.
+        """
+        addresses, vnids = batch
+        plan = plan_for(EngineStall(engine=2, frequency_scale=0.25))
+        degraded = LookupService(tables, Scheme.NV, fault_plan=plan)
+        nominal = LookupService(tables, Scheme.NV)
+        results, trace = degraded.serve(addresses, vnids)
+        want = nominal.lookup_batch(addresses, vnids)
+        for vn in range(K):
+            offered = np.flatnonzero(vnids == vn)
+            keep = len(offered) - trace.vn_shed[vn]
+            kept_ref, shed_ref = offered[:keep], offered[keep:]
+            assert np.array_equal(results[kept_ref], want[kept_ref])
+            assert (results[shed_ref] == SHED_RESULT).all()
+
+    def test_retry_replays_the_failing_engines_own_slice(self, tables, batch):
+        """Retry thunks must capture their own engine's slice.
+
+        A late-binding closure over the loop variables would make the
+        retried walk replay the *last* engine's batch; with the fault
+        on a middle engine, every admitted answer must still match the
+        nominal service.
+        """
+        addresses, vnids = batch
+        plan = plan_for(TransientWalkFailure(engine=1, n_failures=2))
+        degraded = LookupService(tables, Scheme.NV, fault_plan=plan)
+        nominal = LookupService(tables, Scheme.NV)
+        results, trace = degraded.serve(addresses, vnids)
+        assert trace.retries == 2
+        assert trace.n_shed == 0
+        assert np.array_equal(results, nominal.lookup_batch(addresses, vnids))
+
     def test_degraded_latency_exceeds_nominal(self, tables, batch):
         plan = plan_for(EngineStall(engine=2, frequency_scale=0.25))
         degraded = LookupService(tables, Scheme.VS, fault_plan=plan)

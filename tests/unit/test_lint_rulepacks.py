@@ -462,6 +462,71 @@ class TestConcurrencyPack:
         )
         assert report.findings == []
 
+    def test_conc004_bare_lambda_and_def_in_loop(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            {
+                "src/pkg/retry.py": """
+                    def plan(engines, batches):
+                        thunks = []
+                        for vn, engine in enumerate(engines):
+                            thunks.append(lambda: engine.walk(batches[vn]))
+
+                            def redo():
+                                return engine.reset()
+
+                            thunks.append(redo)
+                        return thunks
+                    """
+            },
+            ["CONC004"],
+        )
+        assert rules_fired(report) == ["CONC004"]
+        # bare lambda captures both names; the def captures the engine
+        named = sorted(f.message.split("'")[1] for f in report.findings)
+        assert named == ["engine", "engine", "vn"]
+
+    def test_conc004_default_bound_closure_stays_quiet(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            {
+                "src/pkg/retry.py": """
+                    def plan(engines, batches):
+                        thunks = []
+                        for vn, engine in enumerate(engines):
+                            thunks.append(lambda e=engine, b=batches[vn]: e.walk(b))
+
+                            def redo(e=engine):
+                                return e.reset()
+
+                            thunks.append(redo)
+                        return thunks
+                    """
+            },
+            ["CONC004"],
+        )
+        assert report.findings == []
+
+    def test_conc004_loop_local_rebinding_stays_quiet(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            {
+                "src/pkg/retry.py": """
+                    def plan(jobs):
+                        thunks = []
+                        for i in range(3):
+                            def reset():
+                                i = 0
+                                return i
+
+                            thunks.append(reset)
+                        return thunks
+                    """
+            },
+            ["CONC004"],
+        )
+        assert report.findings == []
+
 
 class TestUnusedSuppression:
     def test_sup001_fires_on_a_dead_disable(self, tmp_path):

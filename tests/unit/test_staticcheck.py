@@ -602,7 +602,7 @@ class TestCli:
         assert set(all_rules()) == {
             # file scope
             "UNIT001", "UNIT002", "FLT001", "API001", "API002",
-            "INV001", "IMP001", "IMP002",
+            "INV001", "IMP001", "IMP002", "CONC004",
             # project scope (whole-program pass)
             "DET001", "DET002", "DET003", "DET004",
             "FRZ001", "FRZ002",

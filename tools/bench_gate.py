@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""Launcher for the lookup throughput gate (see :mod:`repro.serve.perf`).
+
+Run from the repository root::
+
+    python tools/bench_gate.py [--baseline BENCH_lookup.json] [--tolerance 0.10]
+
+Re-runs the three ``serve_*`` benchmark cases at the committed
+baseline's exact configuration (same tables, batch and seed) and exits
+non-zero when any scheme's ops/s drops more than the tolerance below
+the committed number — the CI step that keeps the throughput
+trajectory monotone.  The gate logic lives in ``src/repro/serve/perf.py``
+so it is covered by the test suite, repro-lint, ruff and mypy; this
+file only makes it runnable without installing the package.
+"""
+
+import os
+import sys
+
+if __name__ == "__main__":
+    try:
+        from repro.serve.perf import gate_main
+    except ImportError:
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        sys.path.insert(0, os.path.join(repo_root, "src"))
+        from repro.serve.perf import gate_main
+    raise SystemExit(gate_main())
