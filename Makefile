@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint lint-drift lint-baseline bench bench-smoke bench-gate bench-figures figures experiments experiments-md examples obs-demo faults-smoke docs-check clean
+.PHONY: install test lint lint-drift lint-baseline bench bench-smoke bench-gate bench-figures figures experiments experiments-md examples obs-demo faults-smoke serve-smoke docs-check clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -75,6 +75,11 @@ obs-demo:
 faults-smoke:
 	$(PYTHON) -m pytest -q tests/integration/test_faults_smoke.py
 	$(PYTHON) -m repro.tools.metrics_cli faults --k 4 --batches 8 --n-faults 5 --power
+
+# sharded-tier smoke: 2 shard worker processes, ~50k lookups through
+# the async front end, clean shutdown, merged-metrics consistency
+serve-smoke:
+	$(PYTHON) -m repro.tools.serve_cli --shards 2 smoke --lookups 50000
 
 # validate relative links in the markdown docs
 docs-check:

@@ -23,6 +23,7 @@ __all__ = [
     "FaultError",
     "MalformedBatchError",
     "TransientEngineError",
+    "ShardError",
 ]
 
 
@@ -119,3 +120,14 @@ class TransientEngineError(FaultError):
         self.engine = engine
         self.attempt = attempt
         super().__init__(f"engine {engine} walk failed transiently (attempt {attempt})")
+
+
+class ShardError(ReproError):
+    """A shard worker of the sharded serving tier failed.
+
+    Raised by the frontend when a worker replies with an error (the
+    worker's formatted traceback is the message) or its process/pipe
+    dies mid-request.  Admission shedding and fault degradation are
+    *not* shard errors — they answer normally with
+    :data:`~repro.faults.SHED_RESULT`.
+    """

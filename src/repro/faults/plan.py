@@ -15,7 +15,7 @@ byte-identical :meth:`trace`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -109,6 +109,34 @@ class FaultPlan:
         if n_batches < 0:
             raise ConfigurationError(f"n_batches must be >= 0, got {n_batches}")
         return tuple(self.context_at(i).labels() for i in range(n_batches))
+
+    def scoped_to_engines(self, engines: tuple[int, ...]) -> "FaultPlan":
+        """Project this plan onto one shard's slice of the engines.
+
+        The sharded tier builds one service per worker process, each
+        owning a contiguous slice of the global engines; a plan
+        authored against the *global* topology must be re-expressed in
+        each shard's local indices.  Engine-targeted faults (stalls,
+        transient walk failures) aimed at ``engines[i]`` are remapped
+        to local engine ``i``; faults aimed at engines owned by other
+        shards are dropped; device-wide faults (BRAM write storms)
+        apply to every shard — the update traffic hits all stage
+        memories regardless of placement.  Windows keep their batch
+        intervals: every shard sees the same schedule clock, as the
+        frontend offers each batch to all shards at the same index.
+        """
+        local_index = {engine: i for i, engine in enumerate(engines)}
+        windows = []
+        for window in self.windows:
+            fault = window.fault
+            if isinstance(fault, BramWriteStorm):
+                windows.append(window)
+                continue
+            local = local_index.get(fault.engine)
+            if local is None:
+                continue
+            windows.append(replace(window, fault=replace(fault, engine=local)))
+        return FaultPlan(windows=tuple(windows))
 
     @classmethod
     def generate(

@@ -37,6 +37,14 @@ from repro.obs.registry import (
     MetricsRegistry,
     default_registry,
 )
+from repro.obs.snapshot import (
+    FamilySnapshot,
+    RegistrySnapshot,
+    SampleSnapshot,
+    merge_snapshots,
+    restore_registry,
+    snapshot_registry,
+)
 from repro.obs.tracing import TRACER, Span, Tracer, default_tracer
 
 # the two power names resolve lazily via __getattr__ (PEP 562)
@@ -56,6 +64,12 @@ __all__ = [  # repro-lint: disable=IMP002 (lazy PEP 562 re-exports)
     "render_prometheus",
     "render_metrics_jsonl",
     "parse_prometheus_text",
+    "SampleSnapshot",
+    "FamilySnapshot",
+    "RegistrySnapshot",
+    "snapshot_registry",
+    "restore_registry",
+    "merge_snapshots",
     "PowerSample",
     "PowerTelemetrySampler",
     "enable",

@@ -1,9 +1,19 @@
 """Batched data-plane serving layer.
 
-One front end — :class:`LookupService` — admits ``(addresses, vnids)``
-batches and routes them through the deployment scheme's engines:
-distributor → per-VN pipelines for NV/VS, the merged engine for VM.
-Every call returns the results plus a :class:`ServeTrace` carrying
+Two front ends over one stage pipeline (:mod:`repro.serve.stages`:
+validate → admit → partition → walk → scatter → account):
+
+* :class:`LookupService` — the synchronous library call: admits
+  ``(addresses, vnids)`` batches and routes them through the
+  deployment scheme's engines (distributor → per-VN pipelines for
+  NV/VS, the merged engine for VM) in-process.
+* :class:`ShardedLookupService` — the service tier: the same stages
+  behind an asyncio front end, with the walk fanned out across
+  shared-nothing shard worker processes (:mod:`repro.serve.shard`),
+  per-VN qos admission, bounded-queue backpressure, and shard-labeled
+  metric scrape-merge.  See ``docs/SERVING.md``.
+
+Every serve returns the results plus a :class:`ServeTrace` carrying
 per-stage activity and a queueing-latency estimate, so throughput,
 latency and the power models' duty-cycle inputs flow from one call.
 :mod:`repro.serve.perf` is the timing harness behind ``make bench``.
@@ -14,6 +24,24 @@ the serve path also publishes per-batch metrics, spans and — with a
 telemetry; see ``docs/OBSERVABILITY.md``.
 """
 
+from repro.serve.frontend import ShardedLookupService, shard_vn_bounds
 from repro.serve.service import LookupService, ServeTrace
+from repro.serve.shard import (
+    ShardBatchRequest,
+    ShardBatchResult,
+    ShardConfig,
+    ShardRuntime,
+    shard_worker,
+)
 
-__all__ = ["LookupService", "ServeTrace"]
+__all__ = [
+    "LookupService",
+    "ServeTrace",
+    "ShardedLookupService",
+    "shard_vn_bounds",
+    "ShardConfig",
+    "ShardBatchRequest",
+    "ShardBatchResult",
+    "ShardRuntime",
+    "shard_worker",
+]

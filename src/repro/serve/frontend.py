@@ -1,0 +1,805 @@
+"""Sharded asyncio serving tier: admission, backpressure, fan-out, merge.
+
+This is the "millions of users" face of the serving stack: the same
+stage pipeline as :class:`~repro.serve.service.LookupService`
+(validate → admit → partition → walk → scatter → account), with the
+walk fanned out across **shard worker processes**
+(:mod:`repro.serve.shard`) behind an asyncio front end.  One batch
+flows as:
+
+1. **validate** — :func:`repro.serve.stages.validate_batch`, same
+   strict typed rejection as the library call;
+2. **partition** — one global
+   :meth:`~repro.virt.distributor.Distributor.partition`; because
+   every shard owns a *contiguous VN range* and the partition sorts
+   by VNID, each shard's sub-batch is one contiguous slice of the
+   sorted batch — zero extra copies before the pipe;
+3. **admit** — per-VN admission via
+   :func:`repro.virt.qos.check_admission` against each shard's
+   fault-degraded capacity (head-of-slice shedding, exactly the
+   single-process discipline), then **backpressure**: each shard has
+   a bounded dispatch queue
+   (:attr:`~repro.faults.DegradationPolicy.max_queue_batches`); a
+   full queue sheds the whole sub-batch with
+   :data:`~repro.faults.SHED_RESULT` instead of queueing without
+   bound;
+4. **walk** — shards answer concurrently in their own processes (the
+   pipe round-trip runs in the default executor so the event loop
+   never blocks on a worker);
+5. **scatter / account** — results scatter back to arrival order and
+   the shard traces reassemble into one *global-shaped*
+   :class:`~repro.serve.service.ServeTrace`, so the frontend's single
+   :class:`~repro.obs.power.PowerTelemetrySampler` attributes power
+   exactly as a single-process service would — per-shard watts are
+   that sample cut along shard boundaries, which is why they sum to
+   the single-process total.
+
+Every shard also ships back a
+:class:`~repro.virt.queueing.QueueValidation` (its measured Lindley
+queue vs the M/D/1 prediction); the frontend keeps the latest per
+shard in :attr:`ShardedLookupService.queue_validations`.
+
+Metrics appear on two surfaces: shard-local registries (scraped and
+merged through shard-labeled snapshots — :meth:`ShardedLookupService.scrape`
+/ :meth:`~ShardedLookupService.merged_snapshot`) and the frontend's
+own ``repro_frontend_*`` / ``repro_shard_power_watts`` families on
+the process registry.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing as mp
+import threading
+import time
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.metrics import throughput_gbps
+from repro.errors import ConfigurationError, MalformedBatchError, ShardError
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import SHED_RESULT, DegradationPolicy
+from repro.iplookup.pipeline import PipelineTrace, trace_from_walk
+from repro.iplookup.rib import RoutingTable
+from repro.obs.registry import MetricsRegistry, default_registry
+from repro.obs.snapshot import RegistrySnapshot, merge_snapshots, snapshot_registry
+from repro.obs.tracing import Tracer, default_tracer
+from repro.serve.service import ServeTrace
+from repro.serve.shard import (
+    ShardBatchRequest,
+    ShardBatchResult,
+    ShardConfig,
+    ShardRuntime,
+    shard_worker,
+)
+from repro.serve.stages import admit_count, validate_batch
+from repro.virt.distributor import Distributor
+from repro.virt.qos import AdmissionReport, check_admission
+from repro.virt.queueing import LatencyReport, QueueValidation
+from repro.virt.schemes import Scheme
+
+if TYPE_CHECKING:  # the sampler pulls in the experiment stack
+    from repro.obs.power import PowerTelemetrySampler
+
+__all__ = ["ShardedLookupService", "shard_vn_bounds"]
+
+
+def shard_vn_bounds(k: int, n_shards: int) -> tuple[int, ...]:
+    """Contiguous VN split: boundaries of each shard's range.
+
+    Returns ``n_shards + 1`` offsets; shard *s* owns global VNs
+    ``bounds[s]..bounds[s+1]-1``.  VNs spread as evenly as possible,
+    earlier shards taking the remainder (the same convention as
+    :func:`numpy.array_split`).
+    """
+    if n_shards < 1:
+        raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+    if n_shards > k:
+        raise ConfigurationError(
+            f"cannot spread {k} virtual network(s) over {n_shards} shards"
+        )
+    base, extra = divmod(k, n_shards)
+    bounds = [0]
+    for s in range(n_shards):
+        bounds.append(bounds[-1] + base + (1 if s < extra else 0))
+    return tuple(bounds)
+
+
+class _ShardHandle:
+    """One shard's frontend-side state: config, transport, queue."""
+
+    def __init__(
+        self, config: ShardConfig, vn_lo: int, vn_hi: int, inline: bool = False
+    ):
+        self.config = config
+        self.vn_lo = vn_lo
+        self.vn_hi = vn_hi
+        self.inline = inline
+        self.queue: asyncio.Queue | None = None
+        self.task: asyncio.Task | None = None
+        # process transport state
+        self.process: mp.Process | None = None
+        self.conn = None
+        # inline transport state
+        self.runtime: ShardRuntime | None = None
+        # the pipe is strict request/reply; the dispatcher serializes
+        # all async traffic, and this lock keeps shutdown (which talks
+        # to the worker from outside the dispatcher) honest too
+        self.lock = threading.Lock()
+
+    @property
+    def k_local(self) -> int:
+        return self.vn_hi - self.vn_lo
+
+    @property
+    def n_engines(self) -> int:
+        return self.config.scheme.engines_required(self.k_local)
+
+    def start_transport(self) -> None:
+        """Boot the worker (process transport) or build it inline."""
+        if self.runtime is not None or self.process is not None:
+            return
+        if self.inline:
+            self.runtime = ShardRuntime(self.config)
+            return
+        parent, child = mp.Pipe(duplex=True)
+        process = mp.Process(
+            target=shard_worker,
+            args=(child, self.config),
+            daemon=True,
+            name=f"repro-shard-{self.config.shard_id}",
+        )
+        process.start()
+        child.close()
+        self.conn = parent
+        self.process = process
+
+    def roundtrip(self, message: tuple[str, object]) -> tuple[str, object]:
+        """One synchronous request/reply exchange (runs in the executor)."""
+        with self.lock:
+            if self.runtime is not None:
+                return self.runtime.handle(message)
+            if self.conn is None:
+                raise ShardError(
+                    f"shard {self.config.shard_id} transport is not started"
+                )
+            try:
+                self.conn.send(message)
+                return self.conn.recv()
+            except (EOFError, BrokenPipeError, OSError) as error:
+                raise ShardError(
+                    f"shard {self.config.shard_id} worker died: {error}"
+                ) from error
+
+    def close_transport(self) -> None:
+        """Stop the worker and reclaim the process (idempotent)."""
+        if self.runtime is not None:
+            self.runtime = None
+            return
+        if self.conn is not None:
+            try:
+                self.roundtrip(("stop", None))
+            except ShardError:
+                pass
+            self.conn.close()
+            self.conn = None
+        if self.process is not None:
+            self.process.join(timeout=5.0)
+            if self.process.is_alive():  # pragma: no cover - defensive
+                self.process.terminate()
+                self.process.join(timeout=5.0)
+            self.process = None
+
+
+class ShardedLookupService:
+    """Asyncio front end over shard worker processes.
+
+    The async twin of :class:`~repro.serve.service.LookupService`:
+    same constructor vocabulary plus sharding knobs, an ``async``
+    serve path, and explicit lifecycle (``start``/``stop``, or use it
+    as an async context manager).
+
+    Parameters
+    ----------
+    tables:
+        One routing table per virtual network (K = len(tables)).
+    scheme:
+        Deployment scheme.  NV/VS shards own contiguous VN ranges and
+        their per-VN engines; VM gives each shard a merged engine over
+        its own VN range.
+    n_shards:
+        Worker processes to fan out across (1 ≤ n_shards ≤ K).
+    transport:
+        ``"process"`` (default) boots one worker process per shard
+        over a pipe; ``"inline"`` hosts the shard runtimes in-process
+        — same code path minus the pipe, for deterministic tests.
+    fault_plan:
+        *Global* fault plan; engine-targeted faults are re-scoped to
+        each shard's local engines
+        (:meth:`~repro.faults.FaultPlan.scoped_to_engines`), while
+        device-wide storms reach every shard.
+    policy:
+        Degradation knobs; :attr:`~repro.faults.DegradationPolicy.max_queue_batches`
+        bounds each shard's dispatch queue (backpressure).
+    power_sampler:
+        Optional sampler fed the reassembled *global* trace each
+        batch, so per-VN/per-shard power attribution matches the
+        single-process value on the same workload.
+    metrics:
+        Enable each shard's private registry (per-shard counters for
+        the scrape-merge path).
+    Other parameters mirror :class:`~repro.serve.service.LookupService`.
+    """
+
+    def __init__(
+        self,
+        tables: list[RoutingTable],
+        scheme: Scheme = Scheme.VM,
+        *,
+        n_shards: int = 2,
+        n_stages: int = 28,
+        frequency_mhz: float = 200.0,
+        offered_load_fraction: float = 0.5,
+        fault_plan: FaultPlan | None = None,
+        policy: DegradationPolicy | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        power_sampler: "PowerTelemetrySampler | None" = None,
+        transport: str = "process",
+        metrics: bool = True,
+    ):
+        if not tables:
+            raise ConfigurationError("need at least one routing table")
+        if transport not in ("process", "inline"):
+            raise ConfigurationError(
+                f"transport must be 'process' or 'inline', got {transport!r}"
+            )
+        if frequency_mhz <= 0:
+            raise ConfigurationError("frequency_mhz must be positive")
+        if not 0.0 <= offered_load_fraction < 1.0:
+            raise ConfigurationError(
+                "offered_load_fraction must be in [0, 1) for a stable queue"
+            )
+        self.k = len(tables)
+        self.scheme = scheme
+        self.n_stages = n_stages
+        self.frequency_mhz = frequency_mhz
+        self.offered_load_fraction = offered_load_fraction
+        self.fault_plan = fault_plan
+        self.policy = policy if policy is not None else DegradationPolicy()
+        self._registry = registry if registry is not None else default_registry()
+        self._tracer = tracer if tracer is not None else default_tracer()
+        self.power_sampler = power_sampler
+        self.distributor = Distributor(k=self.k)
+        self.bounds = shard_vn_bounds(self.k, n_shards)
+        self.batches_served = 0
+        self.queue_validations: dict[int, QueueValidation] = {}
+        self.admission_reports: dict[int, AdmissionReport] = {}
+        self._started = False
+        self.shards: list[_ShardHandle] = []
+        for shard_id in range(n_shards):
+            lo, hi = self.bounds[shard_id], self.bounds[shard_id + 1]
+            plan = self._scoped_plan(fault_plan, lo, hi)
+            config = ShardConfig(
+                shard_id=shard_id,
+                vn_base=lo,
+                tables=tuple(tables[lo:hi]),
+                scheme=scheme,
+                n_stages=n_stages,
+                frequency_mhz=frequency_mhz,
+                offered_load_fraction=offered_load_fraction,
+                fault_plan=plan,
+                policy=self.policy,
+                metrics=metrics,
+            )
+            self.shards.append(
+                _ShardHandle(config, lo, hi, inline=transport == "inline")
+            )
+
+    def _scoped_plan(
+        self, plan: FaultPlan | None, lo: int, hi: int
+    ) -> FaultPlan | None:
+        """Project the global plan onto one shard's engines.
+
+        NV/VS bind global engine *i* to VN *i*, so the shard sees the
+        engines of its VN range rebased to local indices.  VM has one
+        merged engine per shard; engine-0 faults (the only valid VM
+        target) apply to every shard's merged engine — there is no
+        narrower addressable unit in that scheme.
+        """
+        if plan is None:
+            return None
+        if self.scheme.shares_engine:
+            return plan
+        return plan.scoped_to_engines(tuple(range(lo, hi)))
+
+    # -- capacity ---------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def n_engines(self) -> int:
+        """Engines across all shards (K for NV/VS, one merged per shard)."""
+        return sum(handle.n_engines for handle in self.shards)
+
+    def capacity_gbps(self) -> float:
+        """Aggregate lookup capacity across every shard's engines."""
+        return throughput_gbps(self.frequency_mhz, self.n_engines)
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> "ShardedLookupService":
+        """Boot the shard workers and their dispatchers."""
+        if self._started:
+            return self
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._start_transports)
+        for handle in self.shards:
+            handle.queue = asyncio.Queue(maxsize=self.policy.max_queue_batches)
+            handle.task = asyncio.create_task(self._dispatch_loop(handle))
+        self._started = True
+        return self
+
+    def _start_transports(self) -> None:
+        for handle in self.shards:
+            handle.start_transport()
+
+    async def stop(self) -> None:
+        """Drain the dispatchers and stop every worker (idempotent)."""
+        if not self._started:
+            return
+        for handle in self.shards:
+            if handle.queue is not None:
+                await handle.queue.put(None)
+        for handle in self.shards:
+            if handle.task is not None:
+                await handle.task
+                handle.task = None
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._close_transports)
+        self._started = False
+
+    def _close_transports(self) -> None:
+        for handle in self.shards:
+            handle.close_transport()
+
+    async def __aenter__(self) -> "ShardedLookupService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    async def _dispatch_loop(self, handle: _ShardHandle) -> None:
+        """Per-shard dispatcher: pop the bounded queue, run the pipe
+        round-trip in the executor, resolve the caller's future."""
+        loop = asyncio.get_running_loop()
+        assert handle.queue is not None
+        while True:
+            item = await handle.queue.get()
+            if item is None:
+                handle.queue.task_done()
+                return
+            message, future = item
+            try:
+                op, payload = await loop.run_in_executor(
+                    None, handle.roundtrip, message
+                )
+            except Exception as error:  # worker/pipe death
+                if not future.cancelled():
+                    future.set_exception(
+                        error
+                        if isinstance(error, ShardError)
+                        else ShardError(str(error))
+                    )
+            else:
+                if future.cancelled():
+                    pass
+                elif op == "error":
+                    future.set_exception(ShardError(str(payload)))
+                else:
+                    future.set_result(payload)
+            handle.queue.task_done()
+
+    # -- admission --------------------------------------------------------
+
+    def _shard_admission(
+        self,
+        handle: _ShardHandle,
+        offered: np.ndarray,
+        n_total: int,
+        batch_index: int,
+    ) -> np.ndarray:
+        """Per-VN admitted fractions for one shard's slice of the batch.
+
+        Interprets the batch's VN mix as the offered traffic at the
+        configured load fraction and runs
+        :func:`repro.virt.qos.check_admission` against the shard's
+        fault-degraded capacity.  An admissible shard admits
+        everything; an oversubscribed one admits each VN's head up to
+        the policy's shed-utilization bound of the remaining capacity;
+        an offline shard admits nothing.  The report lands in
+        :attr:`admission_reports` keyed by shard.
+        """
+        counts = offered[handle.vn_lo : handle.vn_hi].astype(float)
+        k_local = handle.k_local
+        if n_total == 0 or counts.sum() == 0:
+            return np.ones(k_local)
+        shares = counts / n_total
+        demands = shares * self.offered_load_fraction * self.capacity_gbps()
+        scales = np.ones(handle.n_engines)
+        if handle.config.fault_plan is not None:
+            scales = handle.config.fault_plan.context_at(
+                batch_index
+            ).capacity_scales(handle.n_engines)
+        effective = throughput_gbps(self.frequency_mhz, handle.n_engines) * float(
+            scales.mean()
+        )
+        if effective <= 0.0:
+            return np.zeros(k_local)
+        report = check_admission(effective, demands)
+        self.admission_reports[handle.config.shard_id] = report
+        if report.admissible:
+            return np.ones(k_local)
+        total_demand = float(sum(report.demands_gbps))
+        factor = self.policy.shed_utilization * effective / total_demand
+        return np.full(k_local, min(1.0, factor))
+
+    # -- serving ----------------------------------------------------------
+
+    async def serve(
+        self, addresses: np.ndarray, vnids: np.ndarray
+    ) -> tuple[np.ndarray, ServeTrace]:
+        """Answer one batch through the sharded tier.
+
+        Same contract as :meth:`LookupService.serve`, asynchronously:
+        next hops in arrival order plus a global-shaped
+        :class:`ServeTrace`; shed lookups (qos admission, backpressure
+        or shard-internal degradation) answer
+        :data:`~repro.faults.SHED_RESULT`.
+        """
+        if not self._started:
+            raise ShardError("service is not started; use 'async with' or start()")
+        try:
+            addresses, vnids = validate_batch(addresses, vnids, self.k)
+        except MalformedBatchError as exc:
+            self._count_malformed(exc)
+            raise
+        start = time.perf_counter()
+        batch_index = self.batches_served
+        self.batches_served += 1
+        n = len(addresses)
+        part = self.distributor.partition(vnids)
+        sorted_addresses = part.gather(addresses)
+        sorted_vnids = part.gather(vnids)
+        offered = np.bincount(vnids, minlength=self.k)
+        vn_shed = np.zeros(self.k, dtype=np.int64)
+        results = np.full(n, SHED_RESULT, dtype=np.int64)
+        loop = asyncio.get_running_loop()
+        pending: list[tuple[_ShardHandle, np.ndarray, asyncio.Future]] = []
+        for handle in self.shards:
+            admit = self._shard_admission(handle, offered, n, batch_index)
+            pieces_a: list[np.ndarray] = []
+            pieces_v: list[np.ndarray] = []
+            pieces_pos: list[np.ndarray] = []
+            for vn in range(handle.vn_lo, handle.vn_hi):
+                sl = part.engine_slice(vn)
+                keep = admit_count(
+                    sl.stop - sl.start, admit[vn - handle.vn_lo], vn, vn_shed
+                )
+                kept = slice(sl.start, sl.start + keep)
+                pieces_a.append(sorted_addresses[kept])
+                pieces_v.append(sorted_vnids[kept] - handle.vn_lo)
+                pieces_pos.append(part.order[kept])
+            sub_addresses = np.concatenate(pieces_a) if pieces_a else np.array([], dtype=np.uint32)
+            if len(sub_addresses) == 0:
+                continue
+            sub_vnids = np.concatenate(pieces_v)
+            positions = np.concatenate(pieces_pos)
+            request = ShardBatchRequest(
+                batch_index=batch_index,
+                addresses=sub_addresses,
+                vnids=sub_vnids,
+                queue_seed=batch_index * len(self.shards)
+                + handle.config.shard_id,
+            )
+            future: asyncio.Future = loop.create_future()
+            assert handle.queue is not None
+            try:
+                handle.queue.put_nowait((("serve", request), future))
+            except asyncio.QueueFull:
+                # backpressure: a saturated shard sheds the whole
+                # sub-batch (admission sheds included) instead of
+                # queueing without bound
+                future.cancel()
+                for vn in range(handle.vn_lo, handle.vn_hi):
+                    sl = part.engine_slice(vn)
+                    vn_shed[vn] = sl.stop - sl.start
+                self._record_backpressure(handle)
+                continue
+            self._record_queue_depth(handle)
+            pending.append((handle, positions, future))
+
+        shard_results: dict[int, ShardBatchResult] = {}
+        for handle, positions, future in pending:
+            outcome = await future
+            assert isinstance(outcome, ShardBatchResult)
+            shard_results[handle.config.shard_id] = outcome
+            results[positions] = outcome.results
+            self.queue_validations[handle.config.shard_id] = outcome.queue
+            # fold the shard's internal shedding (fault degradation)
+            # into the global per-VN ledger
+            for local_vn, count in enumerate(outcome.trace.vn_shed):
+                if count:
+                    vn_shed[handle.vn_lo + local_vn] += count
+        trace = self._account(
+            shard_results, offered, vn_shed, n, batch_index, start
+        )
+        self._publish(trace, shard_results, batch_index)
+        return results, trace
+
+    async def lookup_batch(
+        self, addresses: np.ndarray, vnids: np.ndarray
+    ) -> np.ndarray:
+        """Results-only convenience wrapper around :meth:`serve`."""
+        results, _ = await self.serve(addresses, vnids)
+        return results
+
+    # -- accounting -------------------------------------------------------
+
+    def _account(
+        self,
+        shard_results: dict[int, ShardBatchResult],
+        offered: np.ndarray,
+        vn_shed: np.ndarray,
+        n: int,
+        batch_index: int,
+        start: float,
+    ) -> ServeTrace:
+        """Reassemble shard traces into one global-shaped ServeTrace.
+
+        NV/VS: per-VN engine traces concatenate in global VN order (a
+        shard that answered nothing contributes empty traces).  VM:
+        the shards' merged-engine traces fold into a single engine
+        trace — the global topology has one engine, and the power
+        model attributes by lookup share, which summing preserves.
+        """
+        empty = np.array([], dtype=np.int64)
+        engine_traces: list[PipelineTrace] = []
+        retries = 0
+        walk_failures = 0
+        failed_engines: list[int] = []
+        fault_labels: list[str] = []
+        weights: list[float] = []
+        reports: list[LatencyReport] = []
+        for handle in self.shards:
+            outcome = shard_results.get(handle.config.shard_id)
+            if outcome is None:
+                if not self.scheme.shares_engine:
+                    engine_traces.extend(
+                        trace_from_walk(empty, empty, self.n_stages)
+                        for _ in range(handle.k_local)
+                    )
+                continue
+            shard_trace = outcome.trace
+            retries += shard_trace.retries
+            walk_failures += shard_trace.walk_failures
+            fault_labels.extend(shard_trace.fault_labels)
+            weights.append(float(shard_trace.n_admitted))
+            reports.append(shard_trace.latency)
+            if self.scheme.shares_engine:
+                failed_engines.extend(0 for _ in shard_trace.failed_engines)
+            else:
+                failed_engines.extend(
+                    handle.vn_lo + e for e in shard_trace.failed_engines
+                )
+                engine_traces.extend(shard_trace.engine_traces)
+        if self.scheme.shares_engine:
+            merged = [
+                t
+                for outcome in shard_results.values()
+                for t in outcome.trace.engine_traces
+            ]
+            engine_traces = [self._merge_engine_traces(merged)]
+        latency = self._blend_latency(reports, weights)
+        vn_counts = tuple(int(c) for c in (offered - vn_shed))
+        return ServeTrace(
+            scheme=self.scheme,
+            n_packets=n,
+            engine_traces=tuple(engine_traces),
+            latency=latency,
+            elapsed_s=time.perf_counter() - start,
+            vn_counts=vn_counts,
+            vn_shed=tuple(int(c) for c in vn_shed),
+            retries=retries,
+            walk_failures=walk_failures,
+            failed_engines=tuple(sorted(set(failed_engines))),
+            fault_labels=tuple(dict.fromkeys(fault_labels)),
+        )
+
+    def _merge_engine_traces(
+        self, traces: list[PipelineTrace]
+    ) -> PipelineTrace:
+        """Fold shard merged-engine traces into the global single engine."""
+        if not traces:
+            empty = np.array([], dtype=np.int64)
+            return trace_from_walk(empty, empty, self.n_stages)
+        return PipelineTrace(
+            results=np.concatenate([t.results for t in traces]),
+            total_cycles=int(sum(t.total_cycles for t in traces)),
+            accesses_per_stage=np.sum(
+                [t.accesses_per_stage for t in traces], axis=0
+            ),
+            busy_cycles_per_stage=np.sum(
+                [t.busy_cycles_per_stage for t in traces], axis=0
+            ),
+            n_packets=int(sum(t.n_packets for t in traces)),
+        )
+
+    def _blend_latency(
+        self, reports: list[LatencyReport], weights: list[float]
+    ) -> LatencyReport:
+        """Admitted-load-weighted mean of the shard latency reports."""
+        total = sum(weights)
+        if not reports or total == 0:
+            return LatencyReport(
+                scheme_label=str(self.scheme),
+                frequency_mhz=self.frequency_mhz,
+                pipeline_ns=0.0,
+                queueing_ns=0.0,
+            )
+        pipeline = sum(w * r.pipeline_ns for w, r in zip(weights, reports)) / total
+        queueing = sum(w * r.queueing_ns for w, r in zip(weights, reports)) / total
+        return LatencyReport(
+            scheme_label=str(self.scheme),
+            frequency_mhz=self.frequency_mhz,
+            pipeline_ns=pipeline,
+            queueing_ns=queueing,
+        )
+
+    # -- metrics ----------------------------------------------------------
+
+    def _count_malformed(self, exc: MalformedBatchError) -> None:
+        if self._registry.enabled:
+            self._registry.counter(
+                "repro_serve_errors_total",
+                "Serve-path errors by kind",
+                labels=("kind",),
+            ).labels(exc.kind).inc()
+
+    def _record_backpressure(self, handle: _ShardHandle) -> None:
+        if self._registry.enabled:
+            self._registry.counter(
+                "repro_frontend_shed_batches_total",
+                "Sub-batches shed by bounded-queue backpressure",
+                labels=("scheme", "shard"),
+            ).labels(self.scheme.name, handle.config.shard_id).inc()
+
+    def _record_queue_depth(self, handle: _ShardHandle) -> None:
+        if self._registry.enabled and handle.queue is not None:
+            self._registry.gauge(
+                "repro_frontend_queue_depth",
+                "Dispatch-queue depth per shard, batches",
+                labels=("scheme", "shard"),
+            ).labels(self.scheme.name, handle.config.shard_id).set(
+                handle.queue.qsize()
+            )
+
+    def _publish(
+        self,
+        trace: ServeTrace,
+        shard_results: dict[int, ShardBatchResult],
+        batch_index: int,
+    ) -> None:
+        """Frontend-side metrics, span and power for one served batch."""
+        metrics_on = self._registry.enabled
+        tracing_on = self._tracer.enabled
+        if not metrics_on and not tracing_on:
+            return
+        with self._tracer.span(
+            "frontend.batch",
+            scheme=self.scheme.name,
+            n_packets=trace.n_packets,
+            n_shards=self.n_shards,
+        ) as span:
+            span.set("n_shed", trace.n_shed)
+            span.set("elapsed_s", trace.elapsed_s)
+            if not metrics_on:
+                return
+            scheme = self.scheme.name
+            self._registry.counter(
+                "repro_frontend_batches_total",
+                "Batches served through the sharded frontend",
+                labels=("scheme",),
+            ).labels(scheme).inc()
+            self._registry.counter(
+                "repro_frontend_lookups_total",
+                "Lookups admitted through the sharded frontend",
+                labels=("scheme",),
+            ).labels(scheme).inc(trace.n_admitted)
+            if trace.n_shed:
+                shed = self._registry.counter(
+                    "repro_frontend_shed_lookups_total",
+                    "Lookups shed by frontend admission or shard degradation",
+                    labels=("scheme", "vn"),
+                )
+                for vn, count in enumerate(trace.vn_shed):
+                    if count:
+                        shed.labels(scheme, vn).inc(count)
+            if self.power_sampler is not None:
+                write_rate = None
+                if self.fault_plan is not None:
+                    write_rate = self.fault_plan.context_at(batch_index).write_rate
+                sample = self.power_sampler.observe(
+                    trace,
+                    duty_cycle=self.offered_load_fraction,
+                    write_rate=write_rate,
+                )
+                span.set("power_total_w", sample.total_w)
+                watts = self._registry.gauge(
+                    "repro_shard_power_watts",
+                    "Power attributed to each shard's virtual networks",
+                    labels=("scheme", "shard"),
+                )
+                for handle in self.shards:
+                    shard_w = float(
+                        sum(sample.per_vn_w[handle.vn_lo : handle.vn_hi])
+                    )
+                    watts.labels(scheme, handle.config.shard_id).set(shard_w)
+
+    # -- scrape-merge -----------------------------------------------------
+
+    async def scrape(self) -> list[RegistrySnapshot]:
+        """Collect every shard's shard-labeled registry snapshot.
+
+        Scrapes ride the same per-shard dispatch queue as traffic (the
+        pipe is strict request/reply), so a scrape never interleaves
+        with an in-flight batch; the frontend's own registry joins the
+        list labeled ``shard="frontend"``.
+        """
+        if not self._started:
+            raise ShardError("service is not started; use 'async with' or start()")
+        loop = asyncio.get_running_loop()
+        futures = []
+        for handle in self.shards:
+            future: asyncio.Future = loop.create_future()
+            assert handle.queue is not None
+            await handle.queue.put((("metrics", None), future))
+            futures.append(future)
+        snapshots = [await future for future in futures]
+        snapshots.append(snapshot_registry(self._registry, shard="frontend"))
+        return snapshots
+
+    async def merged_snapshot(self) -> RegistrySnapshot:
+        """One merged multi-shard snapshot (see :func:`merge_snapshots`)."""
+        return merge_snapshots(await self.scrape())
+
+    # -- verification -----------------------------------------------------
+
+    async def verify(
+        self, addresses: np.ndarray, vnids: np.ndarray
+    ) -> bool:
+        """Cross-check a nominal batch against per-VN linear-scan oracles.
+
+        Builds the oracle answers from the shard configs' tables (the
+        frontend keeps no engines of its own) and serves the batch
+        through the tier; admitted results must match the oracle
+        everywhere (shed lookups are excluded — a faulted tier can
+        still verify its admitted traffic).
+        """
+        results, _ = await self.serve(addresses, vnids)
+        addresses, vnids = validate_batch(addresses, vnids, self.k)
+        for handle in self.shards:
+            for local_vn, table in enumerate(handle.config.tables):
+                vn = handle.vn_lo + local_vn
+                indices = np.flatnonzero(
+                    (vnids == vn) & (results != SHED_RESULT)
+                )
+                if not len(indices):
+                    continue
+                oracle = table.lookup_linear_batch(addresses[indices])
+                if not np.array_equal(results[indices], oracle):
+                    return False
+        return True

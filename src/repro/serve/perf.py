@@ -54,7 +54,14 @@ GATED_CASES = ("serve_NV", "serve_VS", "serve_VM")
 
 @dataclass(frozen=True)
 class BenchRecord:
-    """Timing summary of one benchmarked callable."""
+    """Timing summary of one benchmarked callable.
+
+    ``p50_s``/``p99_s`` are batch-latency percentiles over the timed
+    runs (linear interpolation; with few repeats p99 tracks the max).
+    They ride along in the JSON for trend analysis — the regression
+    gate stays throughput-only (see :func:`evaluate_gate`), because
+    tail latency under a handful of repeats is too noisy to fail CI on.
+    """
 
     name: str
     pairs: int
@@ -62,6 +69,8 @@ class BenchRecord:
     times_s: tuple[float, ...]
     median_s: float
     ops_per_s: float
+    p50_s: float
+    p99_s: float
 
     def as_dict(self) -> dict:
         """JSON-serializable form of the record (sans its name key)."""
@@ -71,6 +80,8 @@ class BenchRecord:
             "times_s": list(self.times_s),
             "median_s": self.median_s,
             "ops_per_s": self.ops_per_s,
+            "p50_s": self.p50_s,
+            "p99_s": self.p99_s,
         }
 
 
@@ -108,6 +119,8 @@ def bench(
         times_s=tuple(times),
         median_s=median,
         ops_per_s=pairs / median if median > 0 else float("inf"),
+        p50_s=float(np.percentile(times, 50)),
+        p99_s=float(np.percentile(times, 99)),
     )
 
 
@@ -242,10 +255,15 @@ def render_summary(payload: dict) -> str:
         f"lookup bench: {payload['config']['pairs']} pairs, "
         f"k={payload['config']['k']}, "
         f"{payload['config']['n_prefixes']} prefixes/VN",
-        f"{'case':<28} {'median_s':>10} {'ops/s':>14}",
+        f"{'case':<28} {'median_s':>10} {'p50_s':>10} {'p99_s':>10} {'ops/s':>14}",
     ]
     for name, record in payload["results"].items():
-        lines.append(f"{name:<28} {record['median_s']:>10.4f} {record['ops_per_s']:>14,.0f}")
+        lines.append(
+            f"{name:<28} {record['median_s']:>10.4f} "
+            f"{record.get('p50_s', record['median_s']):>10.4f} "
+            f"{record.get('p99_s', max(record['times_s'])):>10.4f} "
+            f"{record['ops_per_s']:>14,.0f}"
+        )
     lines.append(
         f"merged batch speedup vs pre-PR baseline: {payload['speedup_vs_pre_pr']:.1f}x"
     )
@@ -302,7 +320,9 @@ def evaluate_gate(
         verdict = "ok  " if got >= floor else "FAIL"
         lines.append(
             f"{verdict} {name}: {got:,.0f} ops/s vs committed {committed:,.0f} "
-            f"(floor {floor:,.0f}, {got / committed - 1.0:+.1%})"
+            f"(floor {floor:,.0f}, {got / committed - 1.0:+.1%}; "
+            f"latency p50 {measured[name].p50_s:.4f}s "
+            f"p99 {measured[name].p99_s:.4f}s — trend only, not gated)"
         )
     return lines
 

@@ -12,6 +12,13 @@ enters once and is routed according to the deployment scheme —
 * **VM** — through the single merged engine (one vectorized walk of
   the union structure plus a 2-D NHI-vector gather).
 
+The service itself is a thin composition of the stage functions in
+:mod:`repro.serve.stages` (validate → admit → partition → walk →
+scatter → account) plus the instrumentation shell; the sharded async
+tier (:mod:`repro.serve.frontend` / :mod:`repro.serve.shard`) runs the
+*same* stages fanned out across worker processes, which is what keeps
+the library call and the service tier provably identical.
+
 Besides the results, every call returns a :class:`ServeTrace`: the
 per-stage activity each engine would exhibit (via the closed-form
 pipeline accounting of :func:`repro.iplookup.pipeline.trace_from_walk`)
@@ -63,27 +70,28 @@ from __future__ import annotations
 
 import time
 from contextlib import ExitStack
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.metrics import throughput_gbps
-from repro.errors import (
-    ConfigurationError,
-    MalformedBatchError,
-    TransientEngineError,
-)
+from repro.errors import ConfigurationError, MalformedBatchError
 from repro.faults.injectors import ActiveFaults, FAULT_KINDS
 from repro.faults.plan import FaultPlan
-from repro.faults.policy import SHED_RESULT, DegradationPolicy
-from repro.iplookup.pipeline import PipelineTrace, trace_from_walk
+from repro.faults.policy import DegradationPolicy
 from repro.iplookup.rib import RoutingTable
-from repro.iplookup.trie import UnibitTrie
 from repro.obs.registry import MetricsRegistry, default_registry
 from repro.obs.tracing import Tracer, default_tracer
-from repro.virt.distributor import Distributor
-from repro.virt.merged import MergedTrie, merge_tries
+from repro.serve.stages import (
+    EngineGroup,
+    ServeTrace,
+    degraded_utilizations,
+    plan_admission,
+    validate_batch,
+    walk_degraded,
+    walk_nominal,
+)
+from repro.virt.merged import MergedTrie
 from repro.virt.queueing import LatencyReport, degraded_latency_ns, scheme_latency_ns
 from repro.virt.schemes import Scheme
 
@@ -91,128 +99,6 @@ if TYPE_CHECKING:  # the sampler pulls in the experiment stack
     from repro.obs.power import PowerTelemetrySampler
 
 __all__ = ["LookupService", "ServeTrace"]
-
-#: address values are IPv4 words — anything above this cannot be cast
-#: to uint32 without silent wraparound
-_ADDRESS_MAX = 0xFFFFFFFF
-
-
-@dataclass(frozen=True)
-class ServeTrace:
-    """Measurement record of one served batch.
-
-    Attributes
-    ----------
-    scheme:
-        Deployment scheme the batch was served under.
-    n_packets:
-        Pairs *offered* in the batch (admitted + shed).
-    engine_traces:
-        One :class:`~repro.iplookup.pipeline.PipelineTrace` per engine
-        (K for NV/VS, 1 for VM); empty engines produce empty traces.
-        Under active faults these cover only the *admitted* lookups.
-    latency:
-        M/D/1 pipeline + queueing latency estimate at the offered
-        load the service was asked to model; under active faults this
-        is the admitted-load-weighted degraded estimate
-        (:func:`repro.virt.queueing.degraded_latency_ns`).
-    elapsed_s:
-        Host wall-clock time spent answering the batch.
-    vn_counts:
-        *Admitted* lookups per virtual network (length K).  Populated
-        only while observability is enabled — the bincount is skipped
-        on the uninstrumented fast path — and consumed by the per-VN
-        power attribution of
-        :class:`repro.obs.power.PowerTelemetrySampler`.
-    vn_shed:
-        Lookups shed per virtual network by degraded admission
-        control (length K under active faults, empty otherwise).
-    retries:
-        Walk retry attempts performed while answering the batch.
-    walk_failures:
-        Transient engine-walk failures observed (each either retried
-        or, past the retry budget, converted into a shed engine).
-    failed_engines:
-        Engines whose walks still failed after the retry budget; their
-        admitted share was shed.
-    fault_labels:
-        Labels of the faults active while the batch was served.
-    """
-
-    scheme: Scheme
-    n_packets: int
-    engine_traces: tuple[PipelineTrace, ...]
-    latency: LatencyReport
-    elapsed_s: float
-    vn_counts: tuple[int, ...] = ()
-    vn_shed: tuple[int, ...] = ()
-    retries: int = 0
-    walk_failures: int = 0
-    failed_engines: tuple[int, ...] = ()
-    fault_labels: tuple[str, ...] = ()
-
-    @property
-    def n_engines(self) -> int:
-        return len(self.engine_traces)
-
-    @property
-    def n_shed(self) -> int:
-        """Lookups shed by degraded admission control (0 when nominal)."""
-        return int(sum(self.vn_shed))
-
-    @property
-    def n_admitted(self) -> int:
-        """Lookups actually served (``n_packets - n_shed``)."""
-        return self.n_packets - self.n_shed
-
-    @property
-    def host_ops_per_s(self) -> float:
-        """Measured host-side serving rate (offered pairs per second)."""
-        if self.elapsed_s <= 0.0:
-            return 0.0
-        return self.n_packets / self.elapsed_s
-
-    def stage_accesses(self) -> np.ndarray:
-        """Total per-stage memory accesses summed over engines."""
-        return np.sum([t.accesses_per_stage for t in self.engine_traces], axis=0)
-
-    def mean_duty_cycle(self) -> float:
-        """Packet-weighted mean memory duty cycle across engines.
-
-        This is the duty-cycle input of the clock-gated power models:
-        a stage whose memory is idle dissipates no dynamic power.
-        """
-        weights = np.array([t.n_packets for t in self.engine_traces], dtype=float)
-        if weights.sum() == 0:
-            return 0.0
-        duties = np.array([t.mean_duty_cycle() for t in self.engine_traces])
-        return float((duties * weights).sum() / weights.sum())
-
-    def engine_loads(self) -> np.ndarray:
-        """Fraction of the *offered* batch each engine served.
-
-        Sums to 1 on a nominal batch; under degraded admission the
-        shortfall from 1 is exactly the shed fraction, which is what
-        makes the loads usable as the degraded activity vector of the
-        power models.
-        """
-        counts = np.array([t.n_packets for t in self.engine_traces], dtype=float)
-        if self.n_packets == 0:
-            return np.zeros(self.n_engines)
-        return counts / self.n_packets
-
-    def vn_loads(self) -> np.ndarray:
-        """Fraction of the offered batch each virtual network contributed.
-
-        Size-0 array when the trace was taken with observability
-        disabled (``vn_counts`` untracked); an all-zeros length-K
-        array for a tracked but empty batch (``vn_counts`` is
-        ``(0,) * K`` there, and no VN contributed anything).
-        """
-        counts = np.asarray(self.vn_counts, dtype=float)
-        if counts.size == 0 or self.n_packets == 0:
-            return np.zeros(len(self.vn_counts))
-        return counts / self.n_packets
 
 
 class LookupService:
@@ -271,17 +157,14 @@ class LookupService:
         tracer: Tracer | None = None,
         power_sampler: "PowerTelemetrySampler | None" = None,
     ):
-        if not tables:
-            raise ConfigurationError("need at least one routing table")
-        if n_stages < 1:
-            raise ConfigurationError(f"n_stages must be >= 1, got {n_stages}")
         if frequency_mhz <= 0:
             raise ConfigurationError("frequency_mhz must be positive")
         if not 0.0 <= offered_load_fraction < 1.0:
             raise ConfigurationError(
                 "offered_load_fraction must be in [0, 1) for a stable queue"
             )
-        self.k = len(tables)
+        self.group = EngineGroup(tables, scheme, n_stages)
+        self.k = self.group.k
         self.scheme = scheme
         self.n_stages = n_stages
         self.frequency_mhz = frequency_mhz
@@ -292,34 +175,16 @@ class LookupService:
         self._registry = registry if registry is not None else default_registry()
         self._tracer = tracer if tracer is not None else default_tracer()
         self.power_sampler = power_sampler
-        self.distributor = Distributor(k=self.k)
-        self._tries: list[UnibitTrie] = [UnibitTrie(t) for t in tables]
-        self._merged: MergedTrie | None = None
+        self.distributor = self.group.distributor
         self._nominal_latency: LatencyReport | None = None
         self.batches_served = 0
-        if scheme.shares_engine:
-            self._merged = merge_tries(self._tries)
-            depth = self._merged.structure.depth()
-        else:
-            # freeze the per-VN engines now (flat self-looping child
-            # arrays, root jump tables) so no served batch ever pays
-            # the freeze cost — the same build-time discipline as the
-            # merged engine, whose MergedTrie constructor freezes its
-            # union structure
-            for trie in self._tries:
-                trie.freeze()
-            depth = max(trie.depth() for trie in self._tries)
-        if depth > n_stages:
-            raise ConfigurationError(
-                f"trie depth {depth} exceeds pipeline depth {n_stages}"
-            )
 
     # -- capacity ---------------------------------------------------------
 
     @property
     def n_engines(self) -> int:
         """Engines instantiated (K for NV/VS, 1 for VM)."""
-        return self.scheme.engines_required(self.k)
+        return self.group.n_engines
 
     def capacity_gbps(self) -> float:
         """Aggregate lookup capacity at minimum packet size."""
@@ -327,73 +192,20 @@ class LookupService:
 
     def merged(self) -> MergedTrie:
         """The merged engine's union trie (VM scheme only)."""
-        if self._merged is None:
+        if self.group.merged is None:
             raise ConfigurationError(
                 f"scheme {self.scheme} has no merged engine; use Scheme.VM"
             )
-        return self._merged
+        return self.group.merged
 
     # -- serving ----------------------------------------------------------
 
     def _validate_batch(
         self, addresses: np.ndarray, vnids: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Strict batch validation: reject malformed input, never coerce.
-
-        Raises :class:`~repro.errors.MalformedBatchError` with a
-        ``kind`` of ``shape``, ``truncated``, ``dtype``,
-        ``non_finite``, ``address_range`` or ``vnid_range``; a batch
-        that passes is safely castable to ``(uint32, int64)``.
-        """
-        addresses = np.asarray(addresses)
-        vnids = np.asarray(vnids)
-        if addresses.ndim != 1 or vnids.ndim != 1:
-            raise MalformedBatchError(
-                "shape",
-                f"batches must be one-dimensional, got {addresses.ndim}-D "
-                f"addresses and {vnids.ndim}-D vnids",
-            )
-        if addresses.shape != vnids.shape:
-            raise MalformedBatchError(
-                "truncated",
-                f"{len(addresses)} addresses vs {len(vnids)} vnids",
-            )
-        # dtype checks are unconditional: an empty float64 batch is
-        # just as malformed as a full one, and "strict, never coerce"
-        # must not depend on whether there happens to be data — the
-        # guard used to sit inside the size check, silently astype'ing
-        # empty float batches through
-        if addresses.dtype.kind not in "iu":
-            if (
-                addresses.dtype.kind == "f"
-                and addresses.size
-                and np.isnan(addresses).any()
-            ):
-                raise MalformedBatchError("non_finite", "address array contains NaN")
-            raise MalformedBatchError(
-                "dtype",
-                f"addresses must be an integer array, got {addresses.dtype}",
-            )
-        if vnids.dtype.kind not in "iu":
-            raise MalformedBatchError(
-                "dtype", f"vnids must be an integer array, got {vnids.dtype}"
-            )
-        if addresses.size:
-            if addresses.dtype != np.uint32 and (
-                int(addresses.max()) > _ADDRESS_MAX or int(addresses.min()) < 0
-            ):
-                raise MalformedBatchError(
-                    "address_range",
-                    "address outside the 32-bit range would wrap on cast",
-                )
-            if int(vnids.min()) < 0 or int(vnids.max()) >= self.k:
-                raise MalformedBatchError(
-                    "vnid_range", f"vnid out of range 0..{self.k - 1}"
-                )
-        return (
-            addresses.astype(np.uint32, copy=False),
-            vnids.astype(np.int64, copy=False),
-        )
+        """The validate stage bound to this service's K (see
+        :func:`repro.serve.stages.validate_batch`)."""
+        return validate_batch(addresses, vnids, self.k)
 
     def _latency_estimate(self) -> LatencyReport:
         """Nominal M/D/1 latency report (cached — its inputs are all
@@ -414,50 +226,6 @@ class LookupService:
 
     # -- degradation ------------------------------------------------------
 
-    def _admission_fractions(self, capacity_scales: np.ndarray) -> np.ndarray:
-        """Admitted fraction of each engine's offered load under faults.
-
-        An engine whose remaining capacity would be driven past the
-        policy's shed-utilization bound sheds the excess; an offline
-        engine (scale 0) sheds everything.
-        """
-        rho = self.offered_load_fraction
-        bound = self.policy.shed_utilization
-        admit = np.ones(self.n_engines)
-        for i, scale in enumerate(capacity_scales):
-            if scale <= 0.0:
-                admit[i] = 0.0
-            elif rho > 0.0 and rho / scale > bound:
-                admit[i] = bound * scale / rho
-        return admit
-
-    def _walk_with_retry(
-        self,
-        engine: int,
-        faults: ActiveFaults,
-        walk: Callable[[], tuple[np.ndarray, np.ndarray]],
-    ) -> tuple[tuple[np.ndarray, np.ndarray] | None, int, int]:
-        """Run one engine walk under the retry policy.
-
-        Returns ``(result_or_None, retries, failures)``: the walk's
-        ``(depths, results)`` when it eventually succeeded, or ``None``
-        when the retry budget was exhausted.
-        """
-        retries = 0
-        failures = 0
-        attempt = 0
-        while True:
-            try:
-                faults.check_walk(engine, attempt)
-                return walk(), retries, failures
-            except TransientEngineError:
-                failures += 1
-                if attempt >= self.policy.max_retries:
-                    return None, retries, failures
-                self.policy.wait(attempt)
-                retries += 1
-                attempt += 1
-
     def _serve_degraded(
         self,
         addresses: np.ndarray,
@@ -468,89 +236,22 @@ class LookupService:
     ) -> tuple[np.ndarray, ServeTrace]:
         """Serve one batch under active faults (inputs already validated).
 
-        Implements the degradation policy: per-VN admission shedding
-        against the degraded per-engine capacity, retry-with-backoff
-        for transiently failing walks, shedding of engines whose
-        retry budget is exhausted, and degraded latency/activity
-        accounting in the returned trace.
+        Composes the degraded stages: :func:`~repro.serve.stages.plan_admission`
+        against the faulted per-engine capacity,
+        :func:`~repro.serve.stages.walk_degraded` (head-of-slice
+        shedding, retry-with-backoff, engine shed), and the degraded
+        latency/activity accounting in the returned trace.
         """
         start = time.perf_counter()
         n = len(addresses)
         scales = faults.capacity_scales(self.n_engines)
-        admit = self._admission_fractions(scales)
-        results = np.full(n, SHED_RESULT, dtype=np.int64)
-        vn_shed = np.zeros(self.k, dtype=np.int64)
-        retries = 0
-        walk_failures = 0
-        failed_engines: list[int] = []
-        empty = np.array([], dtype=np.int64)
-
-        if self._merged is not None:
-            kept = self._admit_indices(vnids, admit[0], vn_shed)
-            kept_addresses = addresses[kept]
-            kept_vnids = vnids[kept]
-            # bind the walk inputs as defaults: a plain closure would
-            # re-read the enclosing names at call time (late binding),
-            # which the retry loop must never depend on
-            walked, walk_retries, failures = self._walk_with_retry(
-                0,
-                faults,
-                lambda m=self._merged, a=kept_addresses, v=kept_vnids: m.walk_batch(
-                    a, v
-                ),
-            )
-            retries += walk_retries
-            walk_failures += failures
-            if walked is None:
-                failed_engines.append(0)
-                np.add.at(vn_shed, kept_vnids, 1)
-                traces = (trace_from_walk(empty, empty, self.n_stages),)
-            else:
-                depths, walk_results = walked
-                results[kept] = walk_results
-                traces = (trace_from_walk(depths, walk_results, self.n_stages),)
-        else:
-            # same structure-of-arrays discipline as the nominal path:
-            # admission sheds the *tail* of each engine's contiguous
-            # slice (arrival order within a VN is sort-stable), so the
-            # kept lookups stay a prefix of the slice and scatter back
-            # through the same permutation.
-            part = self.distributor.partition(vnids)
-            sorted_addresses = part.gather(addresses)
-            engine_traces = []
-            for vn in range(self.k):
-                start_vn, stop_vn = part.engine_slice(vn).start, part.engine_slice(vn).stop
-                offered = stop_vn - start_vn
-                keep = self._admit_count(offered, admit[vn], vn, vn_shed)
-                kept_addresses = sorted_addresses[start_vn : start_vn + keep]
-                # default-arg binding: the thunk must capture *this*
-                # iteration's engine and slice, not the loop variables
-                walked, walk_retries, failures = self._walk_with_retry(
-                    vn,
-                    faults,
-                    lambda t=self._tries[vn], a=kept_addresses: t.walk_batch(a),
-                )
-                retries += walk_retries
-                walk_failures += failures
-                if walked is None:
-                    failed_engines.append(vn)
-                    vn_shed[vn] += keep
-                    engine_traces.append(trace_from_walk(empty, empty, self.n_stages))
-                    continue
-                depths, engine_results = walked
-                results[part.order[start_vn : start_vn + keep]] = engine_results
-                engine_traces.append(
-                    trace_from_walk(depths, engine_results, self.n_stages)
-                )
-            traces = tuple(engine_traces)
-
-        admitted_counts = np.array([t.n_packets for t in traces], dtype=np.int64)
-        rho = self.offered_load_fraction
-        utilizations = np.where(
-            scales > 0.0,
-            np.minimum(np.divide(rho, scales, where=scales > 0.0, out=np.ones_like(scales)),
-                       self.policy.shed_utilization),
-            0.0,
+        admit = plan_admission(scales, self.offered_load_fraction, self.policy)
+        walk = walk_degraded(
+            self.group, addresses, vnids, admit, faults, self.policy
+        )
+        admitted_counts = np.array([t.n_packets for t in walk.traces], dtype=np.int64)
+        utilizations = degraded_utilizations(
+            scales, self.offered_load_fraction, self.policy
         )
         latency = degraded_latency_ns(
             str(self.scheme),
@@ -563,56 +264,21 @@ class LookupService:
         vn_counts: tuple[int, ...] = ()
         if track_vns:
             offered = np.bincount(vnids, minlength=self.k)
-            vn_counts = tuple(int(c) for c in offered - vn_shed)
+            vn_counts = tuple(int(c) for c in offered - walk.vn_shed)
         trace = ServeTrace(
             scheme=self.scheme,
             n_packets=n,
-            engine_traces=traces,
+            engine_traces=walk.traces,
             latency=latency,
             elapsed_s=elapsed,
             vn_counts=vn_counts,
-            vn_shed=tuple(int(c) for c in vn_shed),
-            retries=retries,
-            walk_failures=walk_failures,
-            failed_engines=tuple(failed_engines),
+            vn_shed=tuple(int(c) for c in walk.vn_shed),
+            retries=walk.retries,
+            walk_failures=walk.walk_failures,
+            failed_engines=tuple(walk.failed_engines),
             fault_labels=faults.labels(),
         )
-        return results, trace
-
-    def _admit_count(
-        self, offered: int, admit: float, vn: int, vn_shed: np.ndarray
-    ) -> int:
-        """Admit the head of one VN's slice, shed (and count) the tail.
-
-        Slice-based twin of the old index-list ``_admit_prefix``: the
-        kept lookups are the first ``keep`` of the engine's contiguous
-        slice, which (by sort stability) are exactly the VN's earliest
-        arrivals — the set the index-list path admitted.
-        """
-        if admit >= 1.0:
-            return offered
-        keep = int(admit * offered + 0.5)
-        vn_shed[vn] += offered - keep
-        return keep
-
-    def _admit_indices(
-        self, vnids: np.ndarray, admit: float, vn_shed: np.ndarray
-    ) -> np.ndarray:
-        """Per-VN head admission for the shared engine (VM).
-
-        The merged engine's degradation hits every VN, so each VN
-        keeps the same admitted fraction of its own arrivals.
-        """
-        if admit >= 1.0:
-            return np.arange(len(vnids), dtype=np.int64)
-        mask = np.ones(len(vnids), dtype=bool)
-        for vn in range(self.k):
-            indices = np.flatnonzero(vnids == vn)
-            keep = int(admit * len(indices) + 0.5)
-            if keep < len(indices):
-                mask[indices[keep:]] = False
-                vn_shed[vn] += len(indices) - keep
-        return np.flatnonzero(mask)
+        return walk.results, trace
 
     def _serve_inner(
         self,
@@ -628,29 +294,7 @@ class LookupService:
                 addresses, vnids, track_vns=track_vns, faults=faults
             )
         start = time.perf_counter()
-        if self._merged is not None:
-            depths, results = self._merged.walk_batch(addresses, vnids)
-            traces = (trace_from_walk(depths, results, self.n_stages),)
-        else:
-            # structure-of-arrays batch path: one stable sort by VNID,
-            # each frozen engine walks its contiguous slice, and one
-            # scatter through the inverse permutation restores arrival
-            # order — no per-engine fancy indexing anywhere.
-            part = self.distributor.partition(vnids)
-            sorted_addresses = part.gather(addresses)
-            sorted_results = np.empty(len(addresses), dtype=np.int64)
-            engine_traces = []
-            for vn in range(self.k):
-                sl = part.engine_slice(vn)
-                depths, engine_results = self._tries[vn].walk_batch(
-                    sorted_addresses[sl]
-                )
-                sorted_results[sl] = engine_results
-                engine_traces.append(
-                    trace_from_walk(depths, engine_results, self.n_stages)
-                )
-            results = part.scatter(sorted_results)
-            traces = tuple(engine_traces)
+        results, traces = walk_nominal(self.group, addresses, vnids)
         elapsed = time.perf_counter() - start
         vn_counts: tuple[int, ...] = ()
         if track_vns:

@@ -1,0 +1,530 @@
+"""Composable serving stages: validate → admit → partition → walk → scatter → account.
+
+The serving tier is built from a small set of pure(ish) stage
+functions over an :class:`EngineGroup` — the frozen engines one
+process walks.  The synchronous :class:`repro.serve.service.LookupService`
+composes every stage in-process; the sharded tier
+(:mod:`repro.serve.shard` / :mod:`repro.serve.frontend`) runs the same
+stages with the walk fanned out across shard worker processes.  Either
+way the pipeline is:
+
+    validate_batch          strict typed rejection, never coerce
+        │
+    plan_admission          per-engine admitted fraction under faults
+        │
+    walk_nominal /          SoA partition → per-engine frozen walk →
+    walk_degraded           single scatter (degraded: head-of-slice
+        │                   admission, retry-with-backoff, engine shed)
+        │
+    ServeTrace              account: per-engine activity + latency
+
+Keeping the stages free functions (state rides in the
+:class:`EngineGroup` argument) is what lets a shard worker process
+host exactly the same data path as the library call — shared-nothing,
+no hidden globals — and what keeps the two paths provably identical
+(the serve unit suite runs against the composition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import (
+    ConfigurationError,
+    MalformedBatchError,
+    TransientEngineError,
+)
+from repro.faults.injectors import ActiveFaults
+from repro.faults.policy import SHED_RESULT, DegradationPolicy
+from repro.iplookup.pipeline import PipelineTrace, trace_from_walk
+from repro.iplookup.rib import RoutingTable
+from repro.iplookup.trie import UnibitTrie
+from repro.virt.distributor import Distributor
+from repro.virt.merged import MergedTrie, merge_tries
+from repro.virt.queueing import LatencyReport
+from repro.virt.schemes import Scheme
+
+__all__ = [
+    "ADDRESS_MAX",
+    "DegradedWalk",
+    "EngineGroup",
+    "ServeTrace",
+    "admit_count",
+    "admit_indices",
+    "degraded_utilizations",
+    "plan_admission",
+    "validate_batch",
+    "walk_degraded",
+    "walk_nominal",
+    "walk_with_retry",
+]
+
+#: address values are IPv4 words — anything above this cannot be cast
+#: to uint32 without silent wraparound
+ADDRESS_MAX = 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class ServeTrace:
+    """Measurement record of one served batch (the *account* stage).
+
+    Attributes
+    ----------
+    scheme:
+        Deployment scheme the batch was served under.
+    n_packets:
+        Pairs *offered* in the batch (admitted + shed).
+    engine_traces:
+        One :class:`~repro.iplookup.pipeline.PipelineTrace` per engine
+        (K for NV/VS, 1 for VM); empty engines produce empty traces.
+        Under active faults these cover only the *admitted* lookups.
+    latency:
+        M/D/1 pipeline + queueing latency estimate at the offered
+        load the service was asked to model; under active faults this
+        is the admitted-load-weighted degraded estimate
+        (:func:`repro.virt.queueing.degraded_latency_ns`).
+    elapsed_s:
+        Host wall-clock time spent answering the batch.
+    vn_counts:
+        *Admitted* lookups per virtual network (length K).  Populated
+        only while observability is enabled — the bincount is skipped
+        on the uninstrumented fast path — and consumed by the per-VN
+        power attribution of
+        :class:`repro.obs.power.PowerTelemetrySampler`.
+    vn_shed:
+        Lookups shed per virtual network by degraded admission
+        control (length K under active faults, empty otherwise).
+    retries:
+        Walk retry attempts performed while answering the batch.
+    walk_failures:
+        Transient engine-walk failures observed (each either retried
+        or, past the retry budget, converted into a shed engine).
+    failed_engines:
+        Engines whose walks still failed after the retry budget; their
+        admitted share was shed.
+    fault_labels:
+        Labels of the faults active while the batch was served.
+    """
+
+    scheme: Scheme
+    n_packets: int
+    engine_traces: tuple[PipelineTrace, ...]
+    latency: LatencyReport
+    elapsed_s: float
+    vn_counts: tuple[int, ...] = ()
+    vn_shed: tuple[int, ...] = ()
+    retries: int = 0
+    walk_failures: int = 0
+    failed_engines: tuple[int, ...] = ()
+    fault_labels: tuple[str, ...] = ()
+
+    @property
+    def n_engines(self) -> int:
+        return len(self.engine_traces)
+
+    @property
+    def n_shed(self) -> int:
+        """Lookups shed by degraded admission control (0 when nominal)."""
+        return int(sum(self.vn_shed))
+
+    @property
+    def n_admitted(self) -> int:
+        """Lookups actually served (``n_packets - n_shed``)."""
+        return self.n_packets - self.n_shed
+
+    @property
+    def host_ops_per_s(self) -> float:
+        """Measured host-side serving rate (offered pairs per second)."""
+        if self.elapsed_s <= 0.0:
+            return 0.0
+        return self.n_packets / self.elapsed_s
+
+    def stage_accesses(self) -> np.ndarray:
+        """Total per-stage memory accesses summed over engines."""
+        return np.sum([t.accesses_per_stage for t in self.engine_traces], axis=0)
+
+    def mean_duty_cycle(self) -> float:
+        """Packet-weighted mean memory duty cycle across engines.
+
+        This is the duty-cycle input of the clock-gated power models:
+        a stage whose memory is idle dissipates no dynamic power.
+        """
+        weights = np.array([t.n_packets for t in self.engine_traces], dtype=float)
+        if weights.sum() == 0:
+            return 0.0
+        duties = np.array([t.mean_duty_cycle() for t in self.engine_traces])
+        return float((duties * weights).sum() / weights.sum())
+
+    def engine_loads(self) -> np.ndarray:
+        """Fraction of the *offered* batch each engine served.
+
+        Sums to 1 on a nominal batch; under degraded admission the
+        shortfall from 1 is exactly the shed fraction, which is what
+        makes the loads usable as the degraded activity vector of the
+        power models.
+        """
+        counts = np.array([t.n_packets for t in self.engine_traces], dtype=float)
+        if self.n_packets == 0:
+            return np.zeros(self.n_engines)
+        return counts / self.n_packets
+
+    def vn_loads(self) -> np.ndarray:
+        """Fraction of the offered batch each virtual network contributed.
+
+        Size-0 array when the trace was taken with observability
+        disabled (``vn_counts`` untracked); an all-zeros length-K
+        array for a tracked but empty batch (``vn_counts`` is
+        ``(0,) * K`` there, and no VN contributed anything).
+        """
+        counts = np.asarray(self.vn_counts, dtype=float)
+        if counts.size == 0 or self.n_packets == 0:
+            return np.zeros(len(self.vn_counts))
+        return counts / self.n_packets
+
+
+class EngineGroup:
+    """The *build* stage: one process's frozen lookup engines.
+
+    For NV/VS this is the K per-VN :class:`~repro.iplookup.trie.UnibitTrie`
+    engines (frozen at build time) behind a
+    :class:`~repro.virt.distributor.Distributor`; for VM it is the
+    single :class:`~repro.virt.merged.MergedTrie` union engine.  An
+    ``EngineGroup`` is shared-nothing by construction — building one
+    per shard worker process is exactly how the sharded tier fans out.
+    """
+
+    def __init__(
+        self,
+        tables: list[RoutingTable],
+        scheme: Scheme,
+        n_stages: int,
+    ):
+        if not tables:
+            raise ConfigurationError("need at least one routing table")
+        if n_stages < 1:
+            raise ConfigurationError(f"n_stages must be >= 1, got {n_stages}")
+        self.k = len(tables)
+        self.scheme = scheme
+        self.n_stages = n_stages
+        self.tables = tables
+        self.distributor = Distributor(k=self.k)
+        self.tries: list[UnibitTrie] = [UnibitTrie(t) for t in tables]
+        self.merged: MergedTrie | None = None
+        if scheme.shares_engine:
+            self.merged = merge_tries(self.tries)
+            depth = self.merged.structure.depth()
+        else:
+            # freeze the per-VN engines now (flat self-looping child
+            # arrays, root jump tables) so no served batch ever pays
+            # the freeze cost — the same build-time discipline as the
+            # merged engine, whose MergedTrie constructor freezes its
+            # union structure
+            for trie in self.tries:
+                trie.freeze()
+            depth = max(trie.depth() for trie in self.tries)
+        if depth > n_stages:
+            raise ConfigurationError(
+                f"trie depth {depth} exceeds pipeline depth {n_stages}"
+            )
+
+    @property
+    def n_engines(self) -> int:
+        """Engines instantiated (K for NV/VS, 1 for VM)."""
+        return self.scheme.engines_required(self.k)
+
+
+def validate_batch(
+    addresses: np.ndarray, vnids: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """The *validate* stage: reject malformed input, never coerce.
+
+    Raises :class:`~repro.errors.MalformedBatchError` with a ``kind``
+    of ``shape``, ``truncated``, ``dtype``, ``non_finite``,
+    ``address_range`` or ``vnid_range``; a batch that passes is safely
+    castable to ``(uint32, int64)``.
+    """
+    addresses = np.asarray(addresses)
+    vnids = np.asarray(vnids)
+    if addresses.ndim != 1 or vnids.ndim != 1:
+        raise MalformedBatchError(
+            "shape",
+            f"batches must be one-dimensional, got {addresses.ndim}-D "
+            f"addresses and {vnids.ndim}-D vnids",
+        )
+    if addresses.shape != vnids.shape:
+        raise MalformedBatchError(
+            "truncated",
+            f"{len(addresses)} addresses vs {len(vnids)} vnids",
+        )
+    # dtype checks are unconditional: an empty float64 batch is
+    # just as malformed as a full one, and "strict, never coerce"
+    # must not depend on whether there happens to be data — the
+    # guard used to sit inside the size check, silently astype'ing
+    # empty float batches through
+    if addresses.dtype.kind not in "iu":
+        if (
+            addresses.dtype.kind == "f"
+            and addresses.size
+            and np.isnan(addresses).any()
+        ):
+            raise MalformedBatchError("non_finite", "address array contains NaN")
+        raise MalformedBatchError(
+            "dtype",
+            f"addresses must be an integer array, got {addresses.dtype}",
+        )
+    if vnids.dtype.kind not in "iu":
+        raise MalformedBatchError(
+            "dtype", f"vnids must be an integer array, got {vnids.dtype}"
+        )
+    if addresses.size:
+        if addresses.dtype != np.uint32 and (
+            int(addresses.max()) > ADDRESS_MAX or int(addresses.min()) < 0
+        ):
+            raise MalformedBatchError(
+                "address_range",
+                "address outside the 32-bit range would wrap on cast",
+            )
+        if int(vnids.min()) < 0 or int(vnids.max()) >= k:
+            raise MalformedBatchError(
+                "vnid_range", f"vnid out of range 0..{k - 1}"
+            )
+    return (
+        addresses.astype(np.uint32, copy=False),
+        vnids.astype(np.int64, copy=False),
+    )
+
+
+def plan_admission(
+    capacity_scales: np.ndarray,
+    offered_load_fraction: float,
+    policy: DegradationPolicy,
+) -> np.ndarray:
+    """The *admit* stage: admitted fraction of each engine's offered load.
+
+    An engine whose remaining capacity would be driven past the
+    policy's shed-utilization bound sheds the excess; an offline
+    engine (scale 0) sheds everything.
+    """
+    rho = offered_load_fraction
+    bound = policy.shed_utilization
+    admit = np.ones(len(capacity_scales))
+    for i, scale in enumerate(capacity_scales):
+        if scale <= 0.0:
+            admit[i] = 0.0
+        elif rho > 0.0 and rho / scale > bound:
+            admit[i] = bound * scale / rho
+    return admit
+
+
+def degraded_utilizations(
+    scales: np.ndarray,
+    offered_load_fraction: float,
+    policy: DegradationPolicy,
+) -> np.ndarray:
+    """Per-engine utilization after admission under degraded capacity.
+
+    Shedding caps every engine at the policy's shed-utilization bound;
+    an offline engine runs at 0.
+    """
+    rho = offered_load_fraction
+    return np.where(
+        scales > 0.0,
+        np.minimum(
+            np.divide(rho, scales, where=scales > 0.0, out=np.ones_like(scales)),
+            policy.shed_utilization,
+        ),
+        0.0,
+    )
+
+
+def admit_count(
+    offered: int, admit: float, vn: int, vn_shed: np.ndarray
+) -> int:
+    """Admit the head of one VN's slice, shed (and count) the tail.
+
+    Slice-based twin of the old index-list ``_admit_prefix``: the
+    kept lookups are the first ``keep`` of the engine's contiguous
+    slice, which (by sort stability) are exactly the VN's earliest
+    arrivals — the set the index-list path admitted.
+    """
+    if admit >= 1.0:
+        return offered
+    keep = int(admit * offered + 0.5)
+    vn_shed[vn] += offered - keep
+    return keep
+
+
+def admit_indices(
+    vnids: np.ndarray, k: int, admit: float, vn_shed: np.ndarray
+) -> np.ndarray:
+    """Per-VN head admission for the shared engine (VM).
+
+    The merged engine's degradation hits every VN, so each VN
+    keeps the same admitted fraction of its own arrivals.
+    """
+    if admit >= 1.0:
+        return np.arange(len(vnids), dtype=np.int64)
+    mask = np.ones(len(vnids), dtype=bool)
+    for vn in range(k):
+        indices = np.flatnonzero(vnids == vn)
+        keep = int(admit * len(indices) + 0.5)
+        if keep < len(indices):
+            mask[indices[keep:]] = False
+            vn_shed[vn] += len(indices) - keep
+    return np.flatnonzero(mask)
+
+
+def walk_with_retry(
+    engine: int,
+    faults: ActiveFaults,
+    policy: DegradationPolicy,
+    walk: Callable[[], tuple[np.ndarray, np.ndarray]],
+) -> tuple[tuple[np.ndarray, np.ndarray] | None, int, int]:
+    """Run one engine walk under the retry policy.
+
+    Returns ``(result_or_None, retries, failures)``: the walk's
+    ``(depths, results)`` when it eventually succeeded, or ``None``
+    when the retry budget was exhausted.
+    """
+    retries = 0
+    failures = 0
+    attempt = 0
+    while True:
+        try:
+            faults.check_walk(engine, attempt)
+            return walk(), retries, failures
+        except TransientEngineError:
+            failures += 1
+            if attempt >= policy.max_retries:
+                return None, retries, failures
+            policy.wait(attempt)
+            retries += 1
+            attempt += 1
+
+
+def walk_nominal(
+    group: EngineGroup, addresses: np.ndarray, vnids: np.ndarray
+) -> tuple[np.ndarray, tuple[PipelineTrace, ...]]:
+    """The nominal *partition → walk → scatter* stages (no faults).
+
+    Structure-of-arrays batch path: one stable sort by VNID, each
+    frozen engine walks its contiguous slice, and one scatter through
+    the inverse permutation restores arrival order — no per-engine
+    fancy indexing anywhere.  VM walks the whole batch on the single
+    merged engine.
+    """
+    if group.merged is not None:
+        depths, results = group.merged.walk_batch(addresses, vnids)
+        return results, (trace_from_walk(depths, results, group.n_stages),)
+    part = group.distributor.partition(vnids)
+    sorted_addresses = part.gather(addresses)
+    sorted_results = np.empty(len(addresses), dtype=np.int64)
+    engine_traces = []
+    for vn in range(group.k):
+        sl = part.engine_slice(vn)
+        depths, engine_results = group.tries[vn].walk_batch(sorted_addresses[sl])
+        sorted_results[sl] = engine_results
+        engine_traces.append(
+            trace_from_walk(depths, engine_results, group.n_stages)
+        )
+    return part.scatter(sorted_results), tuple(engine_traces)
+
+
+@dataclass
+class DegradedWalk:
+    """Outcome of the degraded *admit → walk → scatter* stages."""
+
+    results: np.ndarray
+    traces: tuple[PipelineTrace, ...]
+    vn_shed: np.ndarray
+    retries: int = 0
+    walk_failures: int = 0
+    failed_engines: list[int] = field(default_factory=list)
+
+
+def walk_degraded(
+    group: EngineGroup,
+    addresses: np.ndarray,
+    vnids: np.ndarray,
+    admit: np.ndarray,
+    faults: ActiveFaults,
+    policy: DegradationPolicy,
+) -> DegradedWalk:
+    """The degraded *admit → walk → scatter* stages under active faults.
+
+    Implements the degradation policy: per-VN admission shedding
+    against the degraded per-engine capacity (``admit``, from
+    :func:`plan_admission`), retry-with-backoff for transiently
+    failing walks, and shedding of engines whose retry budget is
+    exhausted.  Shed lookups answer
+    :data:`~repro.faults.policy.SHED_RESULT`.
+    """
+    n = len(addresses)
+    results = np.full(n, SHED_RESULT, dtype=np.int64)
+    vn_shed = np.zeros(group.k, dtype=np.int64)
+    out = DegradedWalk(results=results, traces=(), vn_shed=vn_shed)
+    empty = np.array([], dtype=np.int64)
+
+    if group.merged is not None:
+        kept = admit_indices(vnids, group.k, admit[0], vn_shed)
+        kept_addresses = addresses[kept]
+        kept_vnids = vnids[kept]
+        # bind the walk inputs as defaults: a plain closure would
+        # re-read the enclosing names at call time (late binding),
+        # which the retry loop must never depend on
+        walked, walk_retries, failures = walk_with_retry(
+            0,
+            faults,
+            policy,
+            lambda m=group.merged, a=kept_addresses, v=kept_vnids: m.walk_batch(a, v),
+        )
+        out.retries += walk_retries
+        out.walk_failures += failures
+        if walked is None:
+            out.failed_engines.append(0)
+            np.add.at(vn_shed, kept_vnids, 1)
+            out.traces = (trace_from_walk(empty, empty, group.n_stages),)
+        else:
+            depths, walk_results = walked
+            results[kept] = walk_results
+            out.traces = (trace_from_walk(depths, walk_results, group.n_stages),)
+        return out
+
+    # same structure-of-arrays discipline as the nominal path:
+    # admission sheds the *tail* of each engine's contiguous
+    # slice (arrival order within a VN is sort-stable), so the
+    # kept lookups stay a prefix of the slice and scatter back
+    # through the same permutation.
+    part = group.distributor.partition(vnids)
+    sorted_addresses = part.gather(addresses)
+    engine_traces = []
+    for vn in range(group.k):
+        start_vn, stop_vn = part.engine_slice(vn).start, part.engine_slice(vn).stop
+        offered = stop_vn - start_vn
+        keep = admit_count(offered, admit[vn], vn, vn_shed)
+        kept_addresses = sorted_addresses[start_vn : start_vn + keep]
+        # default-arg binding: the thunk must capture *this*
+        # iteration's engine and slice, not the loop variables
+        walked, walk_retries, failures = walk_with_retry(
+            vn,
+            faults,
+            policy,
+            lambda t=group.tries[vn], a=kept_addresses: t.walk_batch(a),
+        )
+        out.retries += walk_retries
+        out.walk_failures += failures
+        if walked is None:
+            out.failed_engines.append(vn)
+            vn_shed[vn] += keep
+            engine_traces.append(trace_from_walk(empty, empty, group.n_stages))
+            continue
+        depths, engine_results = walked
+        results[part.order[start_vn : start_vn + keep]] = engine_results
+        engine_traces.append(
+            trace_from_walk(depths, engine_results, group.n_stages)
+        )
+    out.traces = tuple(engine_traces)
+    return out

@@ -76,8 +76,18 @@ BLOCKING_CALLS = frozenset({
 #: bare builtins that block (only when the name is not locally rebound)
 BLOCKING_BUILTINS = frozenset({"open", "input"})
 
-#: method names that read/write files regardless of receiver type
-BLOCKING_METHODS = frozenset({"read_text", "read_bytes", "write_text", "write_bytes"})
+#: method names that block regardless of receiver type: file I/O helpers,
+#: pipe/socket receives, and the CPU-bound trie walk of the serving tier
+#: (an event loop hosting any of these stalls every connection; ``send``
+#: and ``join`` stay out — too many innocent receivers share those names)
+BLOCKING_METHODS = frozenset({
+    "read_text",
+    "read_bytes",
+    "write_text",
+    "write_bytes",
+    "recv",
+    "walk_batch",
+})
 
 #: method names that mutate their receiver in place
 MUTATOR_METHODS = frozenset({
@@ -181,12 +191,18 @@ class ObserveUse:
 
 @dataclass
 class SubmitSite:
-    """An ``executor.submit(f, ...)`` / ``pool.map(f, ...)`` call."""
+    """A call handing a function to another worker.
+
+    ``executor.submit(f, ...)`` / ``pool.map(f, ...)`` plus the sharded
+    serving tier's two fan-out shapes: ``Process(target=f, ...)``
+    (the callable and its defaults must pickle into the child) and
+    ``loop.run_in_executor(pool, f, ...)``.
+    """
 
     target: str | None  #: bare name of the submitted callable, if a plain name
     line: int
     col: int
-    via: str  #: ``submit`` | ``map``
+    via: str  #: ``submit`` | ``map`` | ``process`` | ``run_in_executor``
     pool_class: str | None  #: constructor class of the receiver, when known
 
 
@@ -589,6 +605,33 @@ def _scan_module_level_uses(
         if not isinstance(node, ast.Call):
             continue
         func = node.func
+        # worker-process constructors submit their target across a
+        # pickle boundary exactly like an executor does
+        callee = (
+            func.attr
+            if isinstance(func, ast.Attribute)
+            else func.id
+            if isinstance(func, ast.Name)
+            else None
+        )
+        if callee == "Process":
+            target = None
+            for kw in node.keywords:
+                if (
+                    kw.arg == "target"
+                    and isinstance(kw.value, ast.Name)
+                ):
+                    target = kw.value.id
+            summary.submit_sites.append(
+                SubmitSite(
+                    target=target,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    via="process",
+                    pool_class="Process",
+                )
+            )
+            continue
         if not isinstance(func, ast.Attribute):
             continue
         attr = func.attr
@@ -648,6 +691,20 @@ def _scan_module_level_uses(
                     col=node.col_offset,
                     via=attr,
                     pool_class=recv,  # resolved to a constructor class later
+                )
+            )
+        elif attr == "run_in_executor":
+            # loop.run_in_executor(pool, f, *args): f is argument 1
+            target = None
+            if len(node.args) >= 2 and isinstance(node.args[1], ast.Name):
+                target = node.args[1].id
+            summary.submit_sites.append(
+                SubmitSite(
+                    target=target,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    via="run_in_executor",
+                    pool_class="executor",
                 )
             )
 
@@ -770,7 +827,7 @@ def extract_module_summary(
 class ProjectCache:
     """Per-file summary cache keyed by source sha (JSON on disk)."""
 
-    VERSION = 1
+    VERSION = 2  # v2: recv/walk_batch blocking; Process/run_in_executor submits
 
     def __init__(self, path: Path | None = None):
         self.path = path

@@ -1,19 +1,21 @@
 """Async/process-pool readiness rules (CONC001–CONC003).
 
-The roadmap's sharded async serving tier will put ``async def``
-front-ends ahead of process-pool workers.  These rules pre-lint the
-codebase for the three classic ways that refactor goes wrong:
+The sharded serving tier (:mod:`repro.serve.frontend`) puts an
+``async def`` front-end ahead of shard worker processes.  These rules
+lint the codebase for the classic ways that architecture goes wrong:
 
 * **CONC001** — a blocking call (``time.sleep``, ``open``,
-  ``subprocess`` …) reachable from an ``async def`` body stalls the
+  ``subprocess`` …, a pipe ``.recv()``, or the CPU-bound trie
+  ``.walk_batch()``) reachable from an ``async def`` body stalls the
   event loop for every connection, not just the caller;
 * **CONC002** — a function submitted to an executor mutates
   module-level shared state: in a process pool the mutation silently
   lands in the child's copy, in a thread pool it races;
-* **CONC003** — a function submitted to a process pool carries an
-  unpicklable default argument (``lambda``, ``threading.Lock()`` …),
-  which fails only at submit time, on the first call that relies on
-  the default;
+* **CONC003** — a function handed to another worker — via
+  ``executor.submit``, ``pool.map``, ``Process(target=...)`` or
+  ``loop.run_in_executor`` — carries an unpicklable default argument
+  (``lambda``, ``threading.Lock()`` …), which fails only at submit
+  time, on the first call that relies on the default;
 * **CONC004** — a closure defined inside a loop reads the loop
   variable from the enclosing scope: the name is resolved at *call*
   time, so every deferred callable sees the last iteration's value

@@ -7,7 +7,14 @@ Subcommands
     and print the resulting metrics registry in the chosen wire format.
     With ``--power`` the workload also attaches a
     :class:`~repro.obs.power.PowerTelemetrySampler`, so the power gauges
-    (``repro_power_*``) appear in the exposition.
+    (``repro_power_*``) appear in the exposition.  With ``--write FILE``
+    the registry is instead frozen to a portable snapshot JSON document
+    (optionally ``--shard``-labeled); with ``--merge FILE...`` no
+    workload runs at all — the given snapshot files (one per shard, as
+    written by ``--write`` or scraped from the sharded serving tier) are
+    merged losslessly into one exposition and rendered.  This is the
+    offline face of the scrape-merge pipeline in
+    :mod:`repro.obs.snapshot`.
 ``tail``
     Run the same workload but stream every span as a JSONL line to
     stdout the moment it closes (the ``attach_sink`` pipeline); metrics
@@ -44,6 +51,12 @@ from repro.fpga.speedgrade import SpeedGrade
 from repro.iplookup.synth import SyntheticTableConfig, generate_virtual_tables
 from repro.obs.export import render_metrics_jsonl, render_prometheus
 from repro.obs.registry import default_registry
+from repro.obs.snapshot import (
+    RegistrySnapshot,
+    merge_snapshots,
+    restore_registry,
+    snapshot_registry,
+)
 from repro.obs.tracing import default_tracer
 from repro.reporting.tables import render_table
 from repro.serve.service import LookupService
@@ -117,16 +130,42 @@ def _run_workload(args: argparse.Namespace, *, power: bool) -> LookupService:
     return service
 
 
+def _render(registry, fmt: str) -> None:
+    if fmt == "jsonl":
+        sys.stdout.write(render_metrics_jsonl(registry))
+    else:
+        sys.stdout.write(render_prometheus(registry))
+
+
 def _cmd_snapshot(args: argparse.Namespace) -> int:
+    if args.merge:
+        # offline merge path: no workload, just union the shard files
+        snapshots = []
+        for path in args.merge:
+            with open(path, encoding="utf-8") as handle:
+                snapshots.append(RegistrySnapshot.from_json(handle.read()))
+        merged = merge_snapshots(snapshots)
+        _render(restore_registry(merged), args.format)
+        shards = sorted({s.shard for s in snapshots if s.shard is not None})
+        print(
+            f"merged {len(snapshots)} snapshot(s)"
+            + (f" from shards {', '.join(shards)}" if shards else ""),
+            file=sys.stderr,
+        )
+        return 0
     registry = default_registry()
     tracer = default_tracer()
     registry.enable()
     tracer.enable()
     _run_workload(args, power=args.power)
-    if args.format == "jsonl":
-        sys.stdout.write(render_metrics_jsonl(registry))
+    if args.write:
+        snapshot = snapshot_registry(registry, shard=args.shard)
+        with open(args.write, "w", encoding="utf-8") as handle:
+            handle.write(snapshot.to_json())
+            handle.write("\n")
+        print(f"wrote snapshot to {args.write}", file=sys.stderr)
     else:
-        sys.stdout.write(render_prometheus(registry))
+        _render(registry, args.format)
     if args.spans:
         count = tracer.export_jsonl(args.spans)
         print(f"wrote {count} span(s) to {args.spans}", file=sys.stderr)
@@ -280,6 +319,22 @@ def main(argv: list[str] | None = None) -> int:
     p_snap.add_argument("--format", choices=["prometheus", "jsonl"], default="prometheus")
     p_snap.add_argument("--power", action="store_true", help="attach a power sampler")
     p_snap.add_argument("--spans", metavar="FILE", help="also export spans as JSONL")
+    p_snap.add_argument(
+        "--write",
+        metavar="FILE",
+        help="freeze the registry to a snapshot JSON file instead of rendering",
+    )
+    p_snap.add_argument(
+        "--shard",
+        metavar="LABEL",
+        help="shard label stamped on a --write snapshot's samples",
+    )
+    p_snap.add_argument(
+        "--merge",
+        metavar="FILE",
+        nargs="+",
+        help="merge snapshot JSON files and render them (no workload is run)",
+    )
     p_snap.set_defaults(func=_cmd_snapshot)
 
     p_tail = sub.add_parser("tail", help="stream spans as JSONL while serving")

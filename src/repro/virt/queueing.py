@@ -32,6 +32,9 @@ __all__ = [
     "LatencyReport",
     "scheme_latency_ns",
     "degraded_latency_ns",
+    "simulate_md1_waits",
+    "QueueValidation",
+    "validate_md1",
 ]
 
 
@@ -181,4 +184,89 @@ def degraded_latency_ns(
         frequency_mhz=float(frequencies_mhz.max()),
         pipeline_ns=float(pipeline.sum()),
         queueing_ns=float(queueing.sum()),
+    )
+
+
+def simulate_md1_waits(
+    utilization: float,
+    frequency_mhz: float,
+    n_arrivals: int,
+    seed: int,
+) -> np.ndarray:
+    """Measured per-packet M/D/1 queueing waits via the Lindley recursion.
+
+    Where :func:`md1_wait_ns` gives the *model's* steady-state mean,
+    this simulates the queue itself: Poisson arrivals at rate
+    ``utilization × frequency`` against a deterministic one-cycle
+    server, through the Lindley recursion
+
+        W_k = max(0, W_{k-1} + S − A_k)
+
+    with service time ``S = 1/f`` and exponential inter-arrival gaps
+    ``A_k``.  Vectorized as the reflected random walk
+    ``W_k = C_k − min_{j≤k} C_j`` over ``C = cumsum(S − A)``, so a
+    shard can simulate tens of thousands of arrivals per batch at
+    numpy speed.  Deterministic in ``seed`` — the sharded tier derives
+    one seed per (shard, batch), keeping the whole measured-queue
+    surface replayable.
+
+    Returns the per-arrival waits in nanoseconds (length
+    ``n_arrivals``); their mean is the *observed* counterpart of
+    :func:`md1_wait_ns` that :func:`validate_md1` compares against.
+    """
+    if not 0.0 <= utilization < 1.0:
+        raise CapacityError(
+            f"utilization must be in [0, 1) for a stable queue, got {utilization}"
+        )
+    if frequency_mhz <= 0:
+        raise ConfigurationError("frequency must be positive")
+    if n_arrivals < 1:
+        raise ConfigurationError(f"n_arrivals must be >= 1, got {n_arrivals}")
+    service_ns = s_to_ns(1.0 / mhz_to_hz(frequency_mhz))  # one cycle
+    if utilization <= 0.0:
+        return np.zeros(n_arrivals)
+    rng = np.random.default_rng(seed)
+    # inter-arrival gaps ~ Exp(rate), rate = utilization / service time
+    gaps_ns = rng.exponential(service_ns / utilization, size=n_arrivals)
+    steps = service_ns - gaps_ns
+    walk = np.concatenate(([0.0], np.cumsum(steps)))
+    waits = walk - np.minimum.accumulate(walk)
+    return waits[1:]
+
+
+@dataclass(frozen=True)
+class QueueValidation:
+    """Model-vs-measured comparison of one engine queue's mean wait.
+
+    The sharded tier publishes one of these per shard per batch: the
+    M/D/1 *predicted* mean wait at the shard's utilization, the
+    *observed* mean wait of the simulated (or measured) queue, and the
+    relative error between them — the quantity the acceptance gate
+    bounds at 15% for ρ ≤ 0.8.
+    """
+
+    utilization: float
+    predicted_wait_ns: float
+    observed_wait_ns: float
+
+    @property
+    def relative_error(self) -> float:
+        """``|observed − predicted| / predicted`` (0 when both are 0)."""
+        if self.predicted_wait_ns <= 0.0:
+            return 0.0 if self.observed_wait_ns <= 0.0 else float("inf")
+        return abs(self.observed_wait_ns - self.predicted_wait_ns) / (
+            self.predicted_wait_ns
+        )
+
+
+def validate_md1(
+    utilization: float,
+    frequency_mhz: float,
+    observed_wait_ns: float,
+) -> QueueValidation:
+    """Score an observed mean queue wait against the M/D/1 prediction."""
+    return QueueValidation(
+        utilization=utilization,
+        predicted_wait_ns=md1_wait_ns(utilization, frequency_mhz),
+        observed_wait_ns=float(observed_wait_ns),
     )

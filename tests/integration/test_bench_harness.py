@@ -56,7 +56,12 @@ class TestTiming:
             "times_s",
             "median_s",
             "ops_per_s",
+            "p50_s",
+            "p99_s",
         }
+        # percentiles bracket the timed runs; the gate never reads them
+        assert min(record.times_s) <= record.p50_s <= record.p99_s
+        assert record.p99_s <= max(record.times_s)
 
 
 class TestLegacyBaseline:

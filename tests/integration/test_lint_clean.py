@@ -62,6 +62,7 @@ def test_seeded_corpus_trips_every_project_pack():
     assert by_file["frozen_mutation.py"] == {"FRZ001", "FRZ002"}
     assert by_file["undocumented_metric.py"] == {"OBS001", "OBS002", "OBS003", "OBS004"}
     assert by_file["async_blocking.py"] == {"CONC001", "CONC002", "CONC003"}
+    assert by_file["async_shard.py"] == {"CONC001", "CONC003"}
     assert by_file["late_binding.py"] == {"CONC004"}
 
 

@@ -1,0 +1,289 @@
+"""Acceptance tests for the sharded async serving tier.
+
+Pins the tier's contract from the sharded-service milestone:
+
+* results through the tier are identical to the synchronous
+  :class:`~repro.serve.LookupService` on the same batch (both
+  transports, all schemes);
+* each shard's *measured* M/D/1 queue agrees with the analytical
+  prediction within 15% at ρ ≤ 0.8;
+* a saturated shard sheds with :data:`~repro.faults.SHED_RESULT`
+  markers and error-budget metrics behind a *bounded* dispatch queue;
+* per-shard power attribution sums to the single-process sampler's
+  total within 1%;
+* the merged multi-shard exposition is consistent: the sum of the
+  shard lookup counters equals the client-observed admitted count.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShardError
+from repro.faults.injectors import EngineStall
+from repro.faults.plan import FaultPlan, FaultWindow
+from repro.faults.policy import SHED_RESULT, DegradationPolicy
+from repro.iplookup.synth import SyntheticTableConfig, generate_virtual_tables
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.serve import LookupService, ShardedLookupService, shard_vn_bounds
+from repro.virt.schemes import Scheme
+
+K = 4
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture(scope="module")
+def tables():
+    config = SyntheticTableConfig(n_prefixes=300, seed=11)
+    return generate_virtual_tables(K, 0.5, config)
+
+
+def _batch(n, seed=99, k=K):
+    rng = np.random.default_rng(seed)
+    addresses = rng.integers(0, 1 << 32, size=n, dtype=np.uint64).astype(np.uint32)
+    vnids = rng.integers(0, k, size=n, dtype=np.int64)
+    return addresses, vnids
+
+
+def _service(tables, scheme=Scheme.VS, **kwargs):
+    kwargs.setdefault("transport", "inline")
+    kwargs.setdefault("registry", MetricsRegistry(enabled=True))
+    kwargs.setdefault("tracer", Tracer(enabled=False))
+    return ShardedLookupService(tables, scheme, **kwargs)
+
+
+class TestBounds:
+    def test_even_split(self):
+        assert shard_vn_bounds(4, 2) == (0, 2, 4)
+
+    def test_remainder_to_early_shards(self):
+        assert shard_vn_bounds(5, 2) == (0, 3, 5)
+        assert shard_vn_bounds(7, 3) == (0, 3, 5, 7)
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ConfigurationError):
+            shard_vn_bounds(2, 3)
+        with pytest.raises(ConfigurationError):
+            shard_vn_bounds(2, 0)
+
+
+class TestParityWithSyncService:
+    @pytest.mark.parametrize("scheme", [Scheme.NV, Scheme.VS, Scheme.VM])
+    def test_inline_matches_sync(self, tables, scheme):
+        addresses, vnids = _batch(4000)
+
+        async def go():
+            async with _service(tables, scheme) as svc:
+                return await svc.serve(addresses, vnids)
+
+        results, trace = run(go())
+        expected, _ = LookupService(tables, scheme).serve(addresses, vnids)
+        assert np.array_equal(results, expected)
+        assert trace.n_shed == 0
+        assert trace.n_packets == len(addresses)
+
+    def test_process_transport_matches_sync(self, tables):
+        addresses, vnids = _batch(4000)
+
+        async def go():
+            async with _service(tables, transport="process") as svc:
+                first = await svc.serve(addresses, vnids)
+                assert await svc.verify(addresses, vnids)
+                return first
+
+        results, _ = run(go())
+        expected, _ = LookupService(tables, Scheme.VS).serve(addresses, vnids)
+        assert np.array_equal(results, expected)
+
+    def test_serve_requires_start(self, tables):
+        svc = _service(tables)
+        addresses, vnids = _batch(10)
+        with pytest.raises(ShardError):
+            run(svc.serve(addresses, vnids))
+
+
+class TestQueueAgreement:
+    @pytest.mark.parametrize("rho", [0.5, 0.8])
+    def test_measured_queue_within_15pct_of_md1(self, tables, rho):
+        """Acceptance: per-shard mean queue delay within 15% of the
+        M/D/1 prediction at the configured utilization, ρ ≤ 0.8."""
+        addresses, vnids = _batch(100_000)
+
+        async def go():
+            async with _service(tables, offered_load_fraction=rho) as svc:
+                await svc.serve(addresses, vnids)
+                return dict(svc.queue_validations)
+
+        validations = run(go())
+        assert set(validations) == {0, 1}
+        for shard, validation in validations.items():
+            assert validation.utilization == pytest.approx(rho)
+            assert validation.relative_error <= 0.15, (
+                f"shard {shard}: {validation.relative_error:.1%} "
+                f"(observed {validation.observed_wait_ns:.1f}ns vs "
+                f"predicted {validation.predicted_wait_ns:.1f}ns)"
+            )
+
+
+class TestSaturationShedding:
+    def test_offline_shard_sheds_with_markers_and_metrics(self, tables):
+        """Acceptance: a shard driven past saturation answers its VNs
+        with SHED_RESULT and error-budget metrics — never an error,
+        never an unbounded queue."""
+        # stall both of shard 1's engines to zero: its effective
+        # capacity is 0, every offered lookup is inadmissible
+        plan = FaultPlan(
+            (
+                FaultWindow(0, 100, EngineStall(2, 0.0)),
+                FaultWindow(0, 100, EngineStall(3, 0.0)),
+            )
+        )
+        registry = MetricsRegistry(enabled=True)
+        addresses, vnids = _batch(8000)
+
+        async def go():
+            async with _service(tables, fault_plan=plan, registry=registry) as svc:
+                return await svc.serve(addresses, vnids)
+
+        results, trace = run(go())
+        shard1 = vnids >= 2
+        assert np.all(results[shard1] == SHED_RESULT)
+        assert np.all(results[~shard1] != SHED_RESULT)
+        assert trace.n_shed == int(shard1.sum())
+        assert trace.vn_shed[0] == 0 and trace.vn_shed[1] == 0
+        shed = registry.get("repro_frontend_shed_lookups_total")
+        assert shed is not None
+        total = sum(child.value for _, child in shed.samples())
+        assert total == trace.n_shed
+
+    def test_partial_stall_sheds_only_the_degraded_shard(self, tables):
+        plan = FaultPlan((FaultWindow(0, 100, EngineStall(2, 0.0)),))
+        addresses, vnids = _batch(8000)
+
+        async def go():
+            async with _service(tables, fault_plan=plan) as svc:
+                return await svc.serve(addresses, vnids)
+
+        results, trace = run(go())
+        # shard 0 (VNs 0-1) is untouched; the stalled engine's VN sheds
+        assert not np.any(results[vnids < 2] == SHED_RESULT)
+        assert np.all(results[vnids == 2] == SHED_RESULT)
+        assert trace.n_shed >= int((vnids == 2).sum())
+
+    def test_dispatch_queue_is_bounded_and_full_queue_sheds(self, tables):
+        policy = DegradationPolicy(max_queue_batches=2)
+        registry = MetricsRegistry(enabled=True)
+        addresses, vnids = _batch(2000)
+
+        async def go():
+            async with _service(tables, policy=policy, registry=registry) as svc:
+                handle = svc.shards[0]
+                assert handle.queue.maxsize == 2
+                # wedge shard 0: park its dispatcher and fill the queue
+                handle.task.cancel()
+                try:
+                    await handle.task
+                except asyncio.CancelledError:
+                    pass
+                loop = asyncio.get_running_loop()
+                parked = []
+                while not handle.queue.full():
+                    future = loop.create_future()
+                    parked.append(future)
+                    handle.queue.put_nowait((("metrics", None), future))
+                results, trace = await svc.serve(addresses, vnids)
+                # un-wedge so shutdown can drain cleanly
+                while not handle.queue.empty():
+                    handle.queue.get_nowait()
+                    handle.queue.task_done()
+                handle.task = asyncio.create_task(svc._dispatch_loop(handle))
+                return results, trace
+
+        results, trace = run(go())
+        shard0 = vnids < 2
+        assert np.all(results[shard0] == SHED_RESULT)
+        assert np.all(results[~shard0] != SHED_RESULT)
+        backpressure = registry.get("repro_frontend_shed_batches_total")
+        assert backpressure is not None
+        assert sum(child.value for _, child in backpressure.samples()) == 1
+
+
+class TestPowerAttribution:
+    @pytest.mark.parametrize(
+        "scheme,alpha",
+        [(Scheme.NV, None), (Scheme.VS, None), (Scheme.VM, 0.8)],
+    )
+    def test_per_shard_watts_sum_to_single_process_total(self, tables, scheme, alpha):
+        """Acceptance: the per-shard power gauges sum to what one
+        single-process sampler reports on the same workload, within 1%."""
+        from repro.obs.power import PowerTelemetrySampler
+
+        addresses, vnids = _batch(20_000)
+        registry = MetricsRegistry(enabled=True)
+        sampler = PowerTelemetrySampler(scheme, K, alpha=alpha)
+
+        async def go():
+            async with _service(
+                tables, scheme, registry=registry, power_sampler=sampler
+            ) as svc:
+                await svc.serve(addresses, vnids)
+
+        run(go())
+        gauge = registry.get("repro_shard_power_watts")
+        assert gauge is not None
+        shard_sum = sum(child.value for _, child in gauge.samples())
+
+        reference = PowerTelemetrySampler(scheme, K, alpha=alpha)
+        ref_registry = MetricsRegistry(enabled=True)
+        service = LookupService(
+            tables, scheme, power_sampler=reference, registry=ref_registry
+        )
+        service.serve(addresses, vnids)
+        expected = reference.running_total_w
+        assert shard_sum == pytest.approx(expected, rel=0.01)
+
+
+class TestMergedMetricsConsistency:
+    def test_shard_counters_sum_to_client_observed_count(self, tables):
+        """Acceptance: the merged exposition's shard lookup counters
+        account for exactly the lookups the client saw answered."""
+        n_batches, n = 5, 4000
+
+        async def go():
+            served = 0
+            async with _service(tables) as svc:
+                for i in range(n_batches):
+                    addresses, vnids = _batch(n, seed=100 + i)
+                    results, _ = await svc.serve(addresses, vnids)
+                    served += int(np.count_nonzero(results != SHED_RESULT))
+                merged = await svc.merged_snapshot()
+            return served, merged
+
+        served, merged = run(go())
+        assert served == n_batches * n  # nominal run sheds nothing
+        assert merged.counter_total("repro_serve_lookups_total") == served
+        # both shards contributed under their own label
+        family = next(
+            f for f in merged.families if f.name == "repro_serve_lookups_total"
+        )
+        label_index = family.label_names.index("shard")
+        shards = {s.labels[label_index] for s in family.samples}
+        assert shards == {"0", "1"}
+
+    def test_scrape_includes_frontend_registry(self, tables):
+        async def go():
+            async with _service(tables) as svc:
+                addresses, vnids = _batch(1000)
+                await svc.serve(addresses, vnids)
+                return await svc.scrape()
+
+        snapshots = run(go())
+        assert [s.shard for s in snapshots] == ["0", "1", "frontend"]
+        frontend = snapshots[-1]
+        assert frontend.counter_total("repro_frontend_batches_total") == 1
+        assert frontend.counter_total("repro_frontend_lookups_total") == 1000

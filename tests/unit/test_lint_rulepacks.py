@@ -462,6 +462,86 @@ class TestConcurrencyPack:
         )
         assert report.findings == []
 
+    def test_conc001_pipe_recv_and_trie_walk_block_the_loop(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            {
+                "src/pkg/frontend.py": """
+                    async def serve(conn, engine, batch):
+                        conn.send(batch)
+                        reply = conn.recv()
+                        return reply, engine.walk_batch(batch)
+                    """
+            },
+            ["CONC001"],
+        )
+        assert len(report.findings) == 2
+        assert any(".recv()" in f.message for f in report.findings)
+        assert any(".walk_batch()" in f.message for f in report.findings)
+
+    def test_conc001_executor_offload_stays_quiet(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            {
+                "src/pkg/frontend.py": """
+                    import asyncio
+
+                    def roundtrip(conn, batch):
+                        conn.send(batch)
+                        return conn.recv()
+
+                    async def serve(conn, batch):
+                        loop = asyncio.get_running_loop()
+                        return await loop.run_in_executor(None, roundtrip, conn, batch)
+                    """
+            },
+            ["CONC001"],
+        )
+        assert report.findings == []
+
+    def test_conc003_process_target_with_unpicklable_default(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            {
+                "src/pkg/shard.py": """
+                    import threading
+                    from multiprocessing import Pipe, Process
+
+                    def worker(conn, lock=threading.Lock()):
+                        conn.send(conn.recv())
+
+                    def boot():
+                        parent, child = Pipe()
+                        process = Process(target=worker, args=(child,))
+                        process.start()
+                        return parent
+                    """
+            },
+            ["CONC003"],
+        )
+        assert rules_fired(report) == ["CONC003"]
+        assert "'lock'" in report.findings[0].message
+
+    def test_conc003_run_in_executor_with_lambda_default(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            {
+                "src/pkg/frontend.py": """
+                    import asyncio
+
+                    def roundtrip(batch, encode=lambda b: b):
+                        return encode(batch)
+
+                    async def serve(batch):
+                        loop = asyncio.get_running_loop()
+                        return await loop.run_in_executor(None, roundtrip, batch)
+                    """
+            },
+            ["CONC003"],
+        )
+        assert rules_fired(report) == ["CONC003"]
+        assert "'encode'" in report.findings[0].message
+
     def test_conc004_bare_lambda_and_def_in_loop(self, tmp_path):
         report = lint_fixture(
             tmp_path,

@@ -38,6 +38,37 @@ class TestAdmission:
         ks = [k for k in range(1, 20) if admissible(capacity, [per_vn] * k)]
         assert max(ks) == 8  # 9 × 12 > 100
 
+    def test_zero_capacity_rejected_even_for_zero_demand(self):
+        """An offline shard has no admissible configuration — the
+        frontend must special-case ρ_eff = 0 before calling in."""
+        with pytest.raises(ConfigurationError):
+            check_admission(0.0, [0.0])
+        with pytest.raises(ConfigurationError):
+            check_admission(-5.0, [1.0])
+
+    def test_single_oversubscribed_vn_sinks_the_vector(self):
+        """One VN above line rate is inadmissible no matter how much
+        headroom the rest of the vector leaves."""
+        report = check_admission(100.0, [150.0, 0.0, 0.0])
+        assert not report.admissible
+        assert report.utilization == pytest.approx(1.5)
+        assert report.headroom_gbps == pytest.approx(-50.0)
+
+    def test_exact_boundary_admits_with_zero_headroom(self):
+        """Total == capacity and max == capacity are both admissible:
+        the guarantee is ≤, not <."""
+        report = check_admission(100.0, [100.0])
+        assert report.admissible
+        assert report.headroom_gbps == pytest.approx(0.0)
+        assert report.utilization == pytest.approx(1.0)
+        # one epsilon over the boundary flips it
+        assert not admissible(100.0, [100.0 + 1e-9])
+
+    def test_all_zero_demands_are_admissible(self):
+        report = check_admission(50.0, [0.0, 0.0, 0.0])
+        assert report.admissible
+        assert report.utilization == pytest.approx(0.0)
+
 
 class TestScheduler:
     def test_work_conserving(self):
@@ -133,3 +164,59 @@ class TestScheduler:
         arrivals[0, 0] = 4
         out = sched.simulate(arrivals)
         assert out["max_backlog"][0] == 4
+
+    @staticmethod
+    def _bursty_arrivals(cycles, k, rate, burst, period, seed):
+        """Admissible mean rate delivered in periodic bursts."""
+        rng = np.random.default_rng(seed)
+        arrivals = np.zeros((cycles, k), dtype=np.int64)
+        for vn in range(k):
+            burst_cycles = np.arange(vn, cycles, period)
+            per_burst = int(round(rate * period))
+            arrivals[burst_cycles, vn] = per_burst
+            # jitter a few packets around so bursts are not identical
+            extra = rng.integers(0, cycles, size=burst)
+            for c in extra:
+                arrivals[c, vn] += 1
+        return arrivals
+
+    def test_bursty_admissible_load_conserves_packets(self):
+        """Bursts queue but never lose packets: served + backlog
+        accounts for every arrival, per VN."""
+        sched = WeightedScheduler([1, 1, 1])
+        arrivals = self._bursty_arrivals(3000, 3, rate=0.25, burst=30, period=20, seed=7)
+        out = sched.simulate(arrivals)
+        totals = arrivals.sum(axis=0)
+        assert np.array_equal(out["served"] + out["backlog"], totals)
+
+    def test_bursty_backlog_peaks_at_burst_size_then_drains(self):
+        """A periodic burst under admissible mean load drains before
+        the next one: the high-water mark is the burst amplitude, and
+        the end-of-run backlog is (near) zero."""
+        sched = WeightedScheduler([1])
+        arrivals = np.zeros((1000, 1), dtype=np.int64)
+        arrivals[::100, 0] = 50  # rate 0.5, amplitude 50
+        out = sched.simulate(arrivals)
+        assert out["max_backlog"][0] == 50
+        assert out["backlog"][0] == 0
+
+    def test_bursty_guarantee_holds_for_weighted_shares(self):
+        """Weighted guarantee survives bursty (not fluid) arrivals as
+        long as the mean demand vector stays admissible."""
+        sched = WeightedScheduler([2, 1, 1])
+        arrivals = self._bursty_arrivals(4000, 3, rate=0.3, burst=20, period=10, seed=11)
+        demands = arrivals.sum(axis=0) / len(arrivals)
+        assert demands.sum() < 1.0
+        assert sched.verify_guarantee(demands, arrivals=arrivals)
+
+    def test_simultaneous_bursts_split_by_weight(self):
+        """When every VN bursts in the same cycle, contested cycles
+        resolve by weight: over a horizon too short to drain both
+        queues, the 3-weight VN gets ~3x the service."""
+        sched = WeightedScheduler([3, 1])
+        arrivals = np.zeros((60, 2), dtype=np.int64)
+        arrivals[0] = [90, 90]  # joint burst, engine saturated throughout
+        out = sched.simulate(arrivals)
+        assert out["served"].sum() + out["backlog"].sum() == 180
+        ratio = out["served"][0] / out["served"][1]
+        assert 2.5 < ratio < 3.5

@@ -1,0 +1,133 @@
+"""Shard worker runtime and fault-plan scoping (repro.serve.shard)."""
+
+import numpy as np
+import pytest
+
+from repro.faults.injectors import BramWriteStorm, EngineStall, TransientWalkFailure
+from repro.faults.plan import FaultPlan, FaultWindow
+from repro.iplookup.synth import SyntheticTableConfig, generate_virtual_tables
+from repro.serve.shard import ShardBatchRequest, ShardConfig, ShardRuntime
+from repro.virt.schemes import Scheme
+
+K = 4
+
+
+@pytest.fixture(scope="module")
+def tables():
+    config = SyntheticTableConfig(n_prefixes=200, seed=5)
+    return generate_virtual_tables(K, 0.5, config)
+
+
+def _config(tables, lo, hi, **kwargs):
+    return ShardConfig(
+        shard_id=lo,
+        vn_base=lo,
+        tables=tuple(tables[lo:hi]),
+        scheme=kwargs.pop("scheme", Scheme.VS),
+        **kwargs,
+    )
+
+
+def _request(k_local, n=400, seed=9, batch_index=0):
+    rng = np.random.default_rng(seed)
+    return ShardBatchRequest(
+        batch_index=batch_index,
+        addresses=rng.integers(0, 1 << 32, size=n, dtype=np.uint64).astype(np.uint32),
+        vnids=rng.integers(0, k_local, size=n, dtype=np.int64),
+        queue_seed=seed,
+    )
+
+
+class TestShardRuntime:
+    def test_serves_local_vn_range(self, tables):
+        runtime = ShardRuntime(_config(tables, 2, 4))
+        request = _request(2)
+        result = runtime.serve(request)
+        for local_vn in (0, 1):
+            mask = request.vnids == local_vn
+            oracle = tables[2 + local_vn].lookup_linear_batch(
+                request.addresses[mask]
+            )
+            assert np.array_equal(result.results[mask], oracle)
+
+    def test_deterministic_replay(self, tables):
+        a = ShardRuntime(_config(tables, 0, 2)).serve(_request(2))
+        b = ShardRuntime(_config(tables, 0, 2)).serve(_request(2))
+        assert np.array_equal(a.results, b.results)
+        assert a.queue == b.queue
+        assert a.trace.vn_counts == b.trace.vn_counts
+
+    def test_queue_validation_published(self, tables):
+        runtime = ShardRuntime(_config(tables, 0, 2))
+        result = runtime.serve(_request(2, n=20_000))
+        assert result.queue.utilization == pytest.approx(0.5)
+        assert result.queue.relative_error < 0.5
+        snapshot = runtime.snapshot()
+        names = {f.name for f in snapshot.families}
+        assert "repro_shard_queue_wait_ns" in names
+        assert "repro_shard_queue_error" in names
+
+    def test_batch_clock_pinned_to_frontend_index(self, tables):
+        """The same shard must consult its fault plan at the frontend's
+        batch index, not its own serve count."""
+        plan = FaultPlan(
+            (FaultWindow(start=5, duration=1, fault=EngineStall(0, 0.0)),)
+        )
+        runtime = ShardRuntime(_config(tables, 0, 2, fault_plan=plan))
+        nominal = runtime.serve(_request(2, batch_index=0))
+        assert nominal.trace.n_shed == 0
+        faulted = runtime.serve(_request(2, batch_index=5))
+        assert faulted.trace.n_shed > 0
+
+    def test_handle_protocol(self, tables):
+        runtime = ShardRuntime(_config(tables, 0, 2))
+        op, payload = runtime.handle(("serve", _request(2)))
+        assert op == "ok"
+        op, snapshot = runtime.handle(("metrics", None))
+        assert op == "ok" and snapshot.shard == "0"
+        assert runtime.handle(("stop", None)) == ("bye", None)
+        op, message = runtime.handle(("unknown", None))
+        assert op == "error" and "unknown" in message
+
+    def test_handle_wraps_failures_as_error_replies(self, tables):
+        runtime = ShardRuntime(_config(tables, 0, 2))
+        bad = ShardBatchRequest(
+            batch_index=0,
+            addresses=np.zeros(3, dtype=np.uint32),
+            vnids=np.zeros(2, dtype=np.int64),  # truncated
+            queue_seed=0,
+        )
+        op, message = runtime.handle(("serve", bad))
+        assert op == "error"
+        assert "truncated" in message
+
+
+class TestScopedPlans:
+    def test_engine_faults_rebased_to_local_indices(self):
+        plan = FaultPlan(
+            (
+                FaultWindow(0, 2, EngineStall(2, 0.5)),
+                FaultWindow(1, 2, TransientWalkFailure(3, 1)),
+            )
+        )
+        scoped = plan.scoped_to_engines((2, 3))
+        kinds = {(w.fault.kind, w.fault.engine) for w in scoped.windows}
+        assert kinds == {("stall", 0), ("transient_walk", 1)}
+
+    def test_other_shards_faults_dropped(self):
+        plan = FaultPlan((FaultWindow(0, 2, EngineStall(0, 0.5)),))
+        scoped = plan.scoped_to_engines((2, 3))
+        assert scoped.windows == ()
+
+    def test_device_wide_storm_reaches_every_shard(self):
+        storm = BramWriteStorm(write_rate=0.2, slot_steal_fraction=0.3)
+        plan = FaultPlan((FaultWindow(0, 3, storm),))
+        scoped = plan.scoped_to_engines((5, 6))
+        assert len(scoped.windows) == 1
+        assert scoped.windows[0].fault == storm
+
+    def test_windows_keep_their_batch_intervals(self):
+        plan = FaultPlan((FaultWindow(7, 4, EngineStall(1, 0.0)),))
+        scoped = plan.scoped_to_engines((1,))
+        assert scoped.windows[0].start == 7
+        assert scoped.windows[0].duration == 4
