@@ -13,6 +13,7 @@ __all__ = [
     "ResourceExhaustedError",
     "CapacityError",
     "PrefixError",
+    "MrtError",
     "TrieError",
     "MergeError",
     "PlacementError",
@@ -59,6 +60,15 @@ class CapacityError(ReproError):
 
 class PrefixError(ReproError):
     """Malformed or out-of-range IPv4 prefix."""
+
+
+class MrtError(ReproError):
+    """Malformed MRT/TABLE_DUMP2 input (binary record or bgpdump line).
+
+    Carries enough position context (line number or byte offset) in
+    the message to locate the offending record in a multi-hundred-MB
+    RIB dump.
+    """
 
 
 class TrieError(ReproError):

@@ -23,6 +23,7 @@ from repro.experiments import (  # noqa: F401  (imported for registration)
     fig8_power_efficiency,
     ipv6_outlook,
     latency,
+    real_rib,
     robustness,
     scalability,
     table2_device,
@@ -46,6 +47,7 @@ __all__ = [
     "fig8_power_efficiency",
     "ipv6_outlook",
     "latency",
+    "real_rib",
     "robustness",
     "scalability",
     "table2_device",

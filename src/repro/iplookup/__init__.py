@@ -5,7 +5,9 @@ are built on (Section V-D): IPv4 prefixes, routing tables (RIBs), the
 uni-bit binary trie with leaf pushing, the trie-level → pipeline-stage
 mapping, and a cycle-level linear pipeline simulator.  Synthetic
 BGP-like routing tables (:mod:`repro.iplookup.synth`) substitute for
-the potaroo.net tables used in the paper (see DESIGN.md §2).
+the potaroo.net tables used in the paper (see DESIGN.md §2), and
+:mod:`repro.iplookup.mrt` ingests real MRT/``TABLE_DUMP2`` RIB dumps
+(see docs/TABLES.md).
 """
 
 from repro.iplookup.prefix import Prefix, parse_prefix, format_address
@@ -27,6 +29,18 @@ from repro.iplookup.updates import (
 from repro.iplookup.patricia import PatriciaTrie
 from repro.iplookup.balancing import BalancedMapping, balance_factor, balanced_stage_map
 from repro.iplookup.prefix6 import Prefix6, parse_prefix6, Synthetic6Config, generate_table6
+from repro.iplookup.mrt import (
+    NextHopInterner,
+    RibDataset,
+    RibEntry,
+    dataset_from_entries,
+    downsample,
+    load_dataset,
+    load_rib,
+    parse_bgpdump_text,
+    parse_mrt_bytes,
+    virtual_tables_from_table,
+)
 
 __all__ = [
     "Prefix",
@@ -60,4 +74,14 @@ __all__ = [
     "parse_prefix6",
     "Synthetic6Config",
     "generate_table6",
+    "NextHopInterner",
+    "RibDataset",
+    "RibEntry",
+    "dataset_from_entries",
+    "downsample",
+    "load_dataset",
+    "load_rib",
+    "parse_bgpdump_text",
+    "parse_mrt_bytes",
+    "virtual_tables_from_table",
 ]

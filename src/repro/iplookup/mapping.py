@@ -120,7 +120,7 @@ class StageMemoryMap:
 
 def map_trie_to_stages(
     stats: TrieStats,
-    n_stages: int = PAPER_PIPELINE_STAGES,
+    n_stages: int | None = PAPER_PIPELINE_STAGES,
     node_format: NodeFormat = DEFAULT_NODE_FORMAT,
     nhi_vector_width: int = 1,
 ) -> StageMemoryMap:
@@ -133,13 +133,18 @@ def map_trie_to_stages(
     n_stages:
         Pipeline depth.  Must be at least ``stats.depth`` (the root
         level is not a stage); otherwise the trie cannot be mapped and
-        a :class:`ConfigurationError` is raised.
+        a :class:`ConfigurationError` is raised.  ``None`` sizes the
+        pipeline to the trie (``max(stats.depth, 1)`` stages) — real
+        RIB snapshots carry /31–/32 more-specifics, so their tries are
+        deeper than the paper's 28-stage synthetic tables.
     node_format:
         Bit-level node encoding.
     nhi_vector_width:
         NHI entries per leaf (1 for NV/VS engines, K for a merged
         engine's VNID-indexed leaf vectors).
     """
+    if n_stages is None:
+        n_stages = max(stats.depth, 1)
     if n_stages < 1:
         raise ConfigurationError(f"n_stages must be >= 1, got {n_stages}")
     if stats.depth > n_stages:

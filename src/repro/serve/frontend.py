@@ -238,7 +238,7 @@ class ShardedLookupService:
         scheme: Scheme = Scheme.VM,
         *,
         n_shards: int = 2,
-        n_stages: int = 28,
+        n_stages: int | None = 28,
         frequency_mhz: float = 200.0,
         offered_load_fraction: float = 0.5,
         fault_plan: FaultPlan | None = None,
@@ -263,6 +263,13 @@ class ShardedLookupService:
             )
         self.k = len(tables)
         self.scheme = scheme
+        if n_stages is None:
+            # auto-depth, resolved *before* the shard configs so every
+            # shard builds the same pipeline depth: a unibit trie is
+            # exactly as deep as its longest prefix, so the deepest
+            # table fixes the fleet-wide stage count (real RIB
+            # snapshots carry /32s — deeper than the paper's 28)
+            n_stages = max(max(t.max_length() for t in tables), 1)
         self.n_stages = n_stages
         self.frequency_mhz = frequency_mhz
         self.offered_load_fraction = offered_load_fraction

@@ -113,6 +113,9 @@ class LookupService:
         behind a distributor, VM through the single merged engine.
     n_stages:
         Pipeline depth of every engine (one trie level per stage).
+        ``None`` sizes the pipeline to the deepest table served —
+        required for real RIB snapshots, whose /31–/32 more-specifics
+        exceed the paper's 28-stage synthetic depth.
     frequency_mhz:
         Modeled engine clock, used for capacity and latency figures.
     offered_load_fraction:
@@ -148,7 +151,7 @@ class LookupService:
         tables: list[RoutingTable],
         scheme: Scheme = Scheme.VM,
         *,
-        n_stages: int = 28,
+        n_stages: int | None = 28,
         frequency_mhz: float = 200.0,
         offered_load_fraction: float = 0.5,
         fault_plan: FaultPlan | None = None,
@@ -166,7 +169,7 @@ class LookupService:
         self.group = EngineGroup(tables, scheme, n_stages)
         self.k = self.group.k
         self.scheme = scheme
-        self.n_stages = n_stages
+        self.n_stages = self.group.n_stages
         self.frequency_mhz = frequency_mhz
         self.offered_load_fraction = offered_load_fraction
         self.fault_plan = fault_plan

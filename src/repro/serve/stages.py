@@ -200,15 +200,14 @@ class EngineGroup:
         self,
         tables: list[RoutingTable],
         scheme: Scheme,
-        n_stages: int,
+        n_stages: int | None,
     ):
         if not tables:
             raise ConfigurationError("need at least one routing table")
-        if n_stages < 1:
+        if n_stages is not None and n_stages < 1:
             raise ConfigurationError(f"n_stages must be >= 1, got {n_stages}")
         self.k = len(tables)
         self.scheme = scheme
-        self.n_stages = n_stages
         self.tables = tables
         self.distributor = Distributor(k=self.k)
         self.tries: list[UnibitTrie] = [UnibitTrie(t) for t in tables]
@@ -225,10 +224,15 @@ class EngineGroup:
             for trie in self.tries:
                 trie.freeze()
             depth = max(trie.depth() for trie in self.tries)
-        if depth > n_stages:
+        if n_stages is None:
+            # size the pipeline to the tables: real RIB snapshots have
+            # /31-/32 more-specifics, deeper than the paper's 28 stages
+            n_stages = max(depth, 1)
+        elif depth > n_stages:
             raise ConfigurationError(
                 f"trie depth {depth} exceeds pipeline depth {n_stages}"
             )
+        self.n_stages = n_stages
 
     @property
     def n_engines(self) -> int:

@@ -251,7 +251,12 @@ def merge_tries(tries: list[UnibitTrie]) -> MergedTrie:
     if not tries:
         raise MergeError("need at least one trie to merge")
     k = len(tries)
-    structure = UnibitTrie()
+    widths = {t.width for t in tries}
+    if len(widths) > 1:
+        raise MergeError(f"cannot merge tries of mixed widths {sorted(widths)}")
+    # inherit the input width: merging 128-bit (IPv6) tries must build
+    # a 128-bit union structure, not the 32-bit default
+    structure = UnibitTrie(width=widths.pop())
     vectors: list[np.ndarray | None] = [None]
     union_input_nodes = 0
     sum_input_nodes = sum(t.num_nodes for t in tries)

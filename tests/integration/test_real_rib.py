@@ -1,0 +1,90 @@
+"""Real-RIB experiments: fixture → engine → α/BRAM/power, end to end."""
+
+import numpy as np
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.engine import ExperimentEngine, run_experiment
+from repro.experiments.real_rib import FIXTURE_PATH, FIXTURE_SHA, fixture_dataset
+from repro.reporting.registry import get_spec
+
+
+class TestRealRibExperiment:
+    def test_runs_end_to_end_from_the_committed_fixture(self):
+        """Acceptance: parse → virtual tables → builds → α/BRAM/power rows."""
+        assert FIXTURE_PATH.exists()
+        results = run_experiment("real_rib")
+        assert "edge slice" in results[0].title
+        assert "core slice" in results[1].title
+        for result in results:
+            for series in (
+                "memory_Mb",
+                "bram_blocks18",
+                "fmax_MHz",
+                "total_W",
+                "mW_per_Gbps",
+                "alpha",
+            ):
+                values = result.get(series)
+                assert len(values) == 2, series
+            # row 0 separate, row 1 merged: merging must shrink memory
+            memory = result.get("memory_Mb")
+            assert 0 < memory[1] < memory[0]
+            assert result.get("bram_blocks18")[1] < result.get("bram_blocks18")[0]
+            alpha = result.get("alpha")[1]
+            assert 0.5 < alpha < 7 / 8 + 1e-9  # bounded by (K-1)/K for K=8
+            assert any(FIXTURE_SHA in note for note in result.notes)
+            assert all(result.get("total_W") > 0)
+
+    def test_real_depth_exceeds_paper_pipeline(self):
+        """The fixture carries /32 more-specifics: depth 32 > 28 stages."""
+        assert fixture_dataset().v4.max_length() == 32
+        (edge, _) = run_experiment("real_rib")
+        assert any("depth 32" in note for note in edge.notes)
+
+    def test_fixture_sha_axis_folds_content_into_the_cache_key(self):
+        spec = get_spec("real_rib")
+        axes = {axis.name: axis.values for axis in spec.axes}
+        assert axes["fixture_sha"] == (FIXTURE_SHA,)
+        requests = ExperimentEngine(cache=None).expand([spec])
+        assert all(dict(r.params)["fixture_sha"] == FIXTURE_SHA for r in requests)
+
+    def test_cold_then_warm_cache(self, tmp_path):
+        engine = ExperimentEngine(cache=ResultCache(str(tmp_path / "cache")))
+        cold = engine.run_ids(["real_rib"])
+        warm = engine.run_ids(["real_rib"])
+        assert [r.cache_hit for r in cold] == [False, False]
+        assert [r.cache_hit for r in warm] == [True, True]
+        for c, w in zip(cold, warm):
+            assert w.result.to_rows() == c.result.to_rows()
+            assert w.result.notes == c.result.notes
+
+
+class TestRealRibChurn:
+    def test_live_vs_analytical_agreement_within_one_percent(self):
+        """The PR-5 degraded-model bound holds for real-RIB traffic."""
+        (result,) = run_experiment("real_rib_churn")
+        agreement = result.get("agreement_pct")
+        assert float(np.max(agreement)) < 1.0
+        live = result.get("live_running_W")
+        analytical = result.get("analytical_W")
+        assert np.all(live > 0) and np.all(analytical > 0)
+        # churn write power comes on top of the serve-only estimate
+        assert np.all(result.get("churn_total_W") >= analytical * 0.99)
+        assert any("bound: 1%" in note for note in result.notes)
+
+    def test_churn_notes_record_the_replay(self):
+        (result,) = run_experiment("real_rib_churn")
+        note = next(n for n in result.notes if "announces" in n)
+        assert "writes per update" in note
+        assert FIXTURE_SHA in note
+
+
+class TestRealRibV6:
+    def test_v6_costs_more_than_v4_at_equal_route_count(self):
+        (result,) = run_experiment("real_rib_v6")
+        stages = result.get("stages")
+        assert stages[1] > stages[0]  # v6 tries are deeper than v4
+        power = result.get("merged_total_W")
+        assert power[1] > power[0]
+        alpha = result.get("alpha")
+        assert np.all((alpha > 0) & (alpha < 1))

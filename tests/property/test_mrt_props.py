@@ -1,0 +1,173 @@
+"""Property tests: MRT round-trips and fixture-vs-oracle agreement."""
+
+import os
+from functools import lru_cache
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.iplookup.mrt import (
+    RibEntry,
+    dataset_from_entries,
+    downsample,
+    load_dataset,
+    parse_bgpdump_text,
+    parse_mrt_bytes,
+    render_bgpdump_line,
+    render_mrt_bytes,
+    virtual_tables_from_table,
+)
+from repro.iplookup.prefix import Prefix, format_address
+from repro.iplookup.prefix6 import Prefix6
+from repro.iplookup.rib import RoutingTable
+from repro.serve.service import LookupService
+from repro.virt.schemes import Scheme
+
+FIXTURE = os.path.join(
+    os.path.dirname(__file__), "..", "..", "examples", "data",
+    "ris_sample.bgpdump.txt",
+)
+
+# -- strategies ----------------------------------------------------------
+
+v4_addresses = st.integers(min_value=0, max_value=0xFFFFFFFF).map(format_address)
+v6_addresses = st.integers(min_value=0, max_value=(1 << 128) - 1).map(
+    lambda value: str(Prefix6(value, 128)).rsplit("/", 1)[0]
+)
+
+v4_prefixes = st.builds(
+    Prefix.normalized,
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    st.integers(min_value=0, max_value=32),
+).map(lambda p: f"{format_address(p.value)}/{p.length}")
+
+v6_prefixes = st.builds(
+    Prefix6.normalized,
+    st.integers(min_value=0, max_value=(1 << 128) - 1),
+    st.integers(min_value=0, max_value=128),
+).map(str)
+
+asns = st.integers(min_value=1, max_value=0xFFFFFFFF)
+as_paths = st.lists(
+    st.one_of(
+        asns.map(str),
+        st.lists(asns, min_size=1, max_size=3).map(
+            lambda members: "{" + ",".join(map(str, members)) + "}"
+        ),
+    ),
+    min_size=0,
+    max_size=6,
+).map(" ".join)
+
+
+def _entries(prefix_strategy, address_strategy):
+    """Entries of one address family (binary NEXT_HOP is per-family)."""
+    return st.builds(
+        RibEntry,
+        timestamp=st.integers(min_value=1, max_value=0xFFFFFFFF),
+        peer_ip=address_strategy,
+        peer_as=asns,
+        prefix=prefix_strategy,
+        as_path=as_paths,
+        next_hop=address_strategy,
+    )
+
+
+entry_lists = st.lists(
+    st.one_of(_entries(v4_prefixes, v4_addresses), _entries(v6_prefixes, v6_addresses)),
+    min_size=0,
+    max_size=20,
+)
+
+
+# -- round trips ---------------------------------------------------------
+
+
+@given(entry_lists)
+@settings(max_examples=150, deadline=None)
+def test_text_round_trip(entries):
+    text = "\n".join(render_bgpdump_line(e) for e in entries)
+    assert list(parse_bgpdump_text(text)) == entries
+
+
+@given(entry_lists, st.booleans())
+@settings(max_examples=100, deadline=None)
+def test_binary_round_trip(entries, compress):
+    blob = render_mrt_bytes(entries, compress=compress)
+    back = list(parse_mrt_bytes(blob))
+    # the renderer groups entries by prefix, so compare as multisets
+    assert sorted(map(repr, back)) == sorted(map(repr, entries))
+
+
+@given(entry_lists)
+@settings(max_examples=60, deadline=None)
+def test_text_and_binary_reductions_agree(entries):
+    """Both wire formats must reduce to identical routing tables."""
+    text = "\n".join(render_bgpdump_line(e) for e in entries)
+    from_text = dataset_from_entries(parse_bgpdump_text(text))
+    from_binary = dataset_from_entries(parse_mrt_bytes(render_mrt_bytes(entries)))
+    assert from_text.v4.prefixes() == from_binary.v4.prefixes()
+    assert from_text.v6.prefixes() == from_binary.v6.prefixes()
+    assert set(from_text.next_hops) == set(from_binary.next_hops)
+
+
+# -- downsampling --------------------------------------------------------
+
+route_tables = st.lists(
+    st.tuples(
+        st.builds(
+            Prefix.normalized,
+            st.integers(min_value=0, max_value=0xFFFFFFFF),
+            st.integers(min_value=0, max_value=32),
+        ),
+        st.integers(min_value=0, max_value=15),
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+@given(route_tables, st.integers(min_value=0, max_value=80), st.integers(0, 2**31 - 1))
+@settings(max_examples=150, deadline=None)
+def test_downsample_is_deterministic_and_a_subset(routes, target, seed):
+    table = RoutingTable()
+    for prefix, nh in routes:
+        table.add(prefix, nh)
+    once = downsample(table, target, seed=seed)
+    again = downsample(table, target, seed=seed)
+    assert once.routes() == again.routes()
+    assert len(once) == min(target, len(table))
+    assert set(once.routes()) <= set(table.routes())
+    default = Prefix.normalized(0, 0)
+    if default in table and target > 0:
+        assert default in once
+
+
+# -- committed fixture vs the linear-scan oracle -------------------------
+
+
+@lru_cache(maxsize=1)
+def _fixture_virtuals():
+    """A small multi-VN slice of the committed fixture (built once)."""
+    dataset = load_dataset(FIXTURE, name="fixture")
+    edge = downsample(dataset.v4, 300, seed=11)
+    return virtual_tables_from_table(edge, 3, shared_fraction=0.5, seed=11)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=0xFFFFFFFF), min_size=1, max_size=40),
+    st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=40),
+)
+@settings(max_examples=25, deadline=None)
+def test_fixture_serving_matches_oracle_across_schemes(addresses, vnids):
+    """Real-dump tables answer identically through NV, VS and VM."""
+    tables = _fixture_virtuals()
+    n = min(len(addresses), len(vnids))
+    addrs = np.array(addresses[:n], dtype=np.uint32)
+    vns = np.array(vnids[:n], dtype=np.int64)
+    expected = np.stack([t.lookup_linear_batch(addrs) for t in tables])[
+        vns, np.arange(n)
+    ]
+    for scheme in (Scheme.NV, Scheme.VS, Scheme.VM):
+        service = LookupService(tables, scheme, n_stages=None)
+        assert np.array_equal(service.lookup_batch(addrs, vns), expected), scheme

@@ -89,3 +89,37 @@ class TestMapping:
         assert m.occupied_stages() == sum(
             1 for level in range(1, stats.depth + 1) if stats.nodes_per_level[level]
         )
+
+
+class TestAutoDepth:
+    """``n_stages=None`` sizes the pipeline to the trie itself.
+
+    Real RIB dumps carry /32 more-specifics, so their tries are deeper
+    than the paper's 28-stage pipeline; auto-depth is how the real-RIB
+    experiments build valid stage maps (regression for the ingest PR).
+    """
+
+    def test_none_resolves_to_trie_depth(self, small_pushed):
+        auto = map_trie_to_stages(small_pushed.stats(), None)
+        assert auto.n_stages == small_pushed.depth()
+        explicit = map_trie_to_stages(small_pushed.stats(), small_pushed.depth())
+        assert auto.total_bits == explicit.total_bits
+
+    def test_none_on_a_trivial_trie_keeps_one_stage(self):
+        from repro.iplookup.rib import RoutingTable
+        from repro.iplookup.trie import UnibitTrie
+
+        stats = UnibitTrie(RoutingTable()).stats()
+        assert map_trie_to_stages(stats, None).n_stages == 1
+
+    def test_depth_32_table_maps_without_explicit_stages(self):
+        from repro.iplookup.rib import RoutingTable
+        from repro.iplookup.trie import UnibitTrie
+
+        table = RoutingTable.from_strings(
+            [("0.0.0.0/0", 0), ("203.0.113.7/32", 1), ("10.0.0.0/8", 2)]
+        )
+        stage_map = map_trie_to_stages(UnibitTrie(table).stats(), None)
+        assert stage_map.n_stages == 32
+        with pytest.raises(ConfigurationError):
+            map_trie_to_stages(UnibitTrie(table).stats(), 28)

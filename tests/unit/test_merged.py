@@ -130,3 +130,31 @@ class TestMergedStats:
             m = merge_tries([UnibitTrie(t) for t in tables])
             alphas.append(m.global_alpha)
         assert alphas[0] < alphas[1] < alphas[2]
+
+
+class TestMergeWidths:
+    """Width handling regressions from the real-RIB ingest path."""
+
+    def _v6_tables(self):
+        from repro.iplookup.prefix6 import parse_prefix6
+
+        t1 = RoutingTable(name="a")
+        t1.add(parse_prefix6("2001:db8::/32"), 1)
+        t1.add(parse_prefix6("2001:db8:1::/48"), 2)
+        t2 = RoutingTable(name="b")
+        t2.add(parse_prefix6("2001:db8::/32"), 3)
+        t2.add(parse_prefix6("::/0"), 4)
+        return t1, t2
+
+    def test_v6_merge_inherits_the_128_bit_width(self):
+        t1, t2 = self._v6_tables()
+        merged = merge_tries([UnibitTrie(t, width=128) for t in (t1, t2)])
+        assert merged.structure.width == 128
+        assert merged.structure.depth() == 48
+        assert 0.0 < merged.global_alpha <= 0.5
+
+    def test_mixed_width_merge_is_rejected(self):
+        t1, _ = self._v6_tables()
+        v4 = RoutingTable.from_strings([("10.0.0.0/8", 1)])
+        with pytest.raises(MergeError, match="mixed widths"):
+            merge_tries([UnibitTrie(v4), UnibitTrie(t1, width=128)])

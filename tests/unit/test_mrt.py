@@ -1,0 +1,275 @@
+"""Unit tests for the MRT/TABLE_DUMP2 ingest path."""
+
+import gzip
+import os
+
+import pytest
+
+from repro.errors import MrtError, PrefixError
+from repro.iplookup.mrt import (
+    NextHopInterner,
+    RibEntry,
+    _parse_prefix_text,
+    dataset_from_entries,
+    downsample,
+    file_sha256,
+    load_dataset,
+    load_rib,
+    parse_as_path,
+    parse_bgpdump_text,
+    parse_mrt_bytes,
+    render_bgpdump_line,
+    render_mrt_bytes,
+    virtual_tables_from_table,
+)
+from repro.iplookup.prefix import parse_prefix
+from repro.iplookup.rib import RoutingTable
+
+LINE = (
+    "TABLE_DUMP2|1702742400|B|80.77.16.114|34549|1.0.0.0/24|"
+    "34549 13335|IGP|80.77.16.114||0|||"
+)
+
+ENTRIES = [
+    RibEntry(1702742400, "80.77.16.114", 34549, "0.0.0.0/0", "34549 3356", "80.77.16.114"),
+    RibEntry(1702742400, "80.77.16.114", 34549, "1.0.0.0/24", "34549 13335", "80.77.16.114"),
+    RibEntry(1702742401, "192.0.2.9", 64500, "1.0.0.0/24", "64500 13335", "192.0.2.9"),
+    RibEntry(1702742401, "192.0.2.9", 64500, "203.0.113.7/32", "64500 65001", "192.0.2.9"),
+    RibEntry(1702742402, "2001:db8::9", 64501, "2001:db8:1::/48", "64501 13335", "2001:db8::9"),
+    RibEntry(1702742402, "2001:db8::9", 64501, "::/0", "64501", "2001:db8::9"),
+]
+
+
+class TestTextParser:
+    def test_parses_the_canonical_bgpdump_line(self):
+        (entry,) = parse_bgpdump_text(LINE)
+        assert entry.prefix == "1.0.0.0/24"
+        assert entry.peer_as == 34549
+        assert entry.next_hop == "80.77.16.114"
+        assert entry.origin == "IGP"
+        assert not entry.is_ipv6
+
+    def test_skips_non_rib_and_comment_lines(self):
+        text = "\n".join(
+            [
+                "# comment",
+                "",
+                "BGP4MP|1702742400|A|80.77.16.114|34549|1.0.0.0/24|34549|IGP",
+                "TABLE_DUMP2|1702742400|STATE|80.77.16.114|34549",
+                LINE,
+            ]
+        )
+        assert len(list(parse_bgpdump_text(text))) == 1
+
+    def test_strict_raises_with_line_number(self):
+        text = LINE + "\nTABLE_DUMP2|oops|B|1.2.3.4|x"
+        with pytest.raises(MrtError, match="line 2"):
+            list(parse_bgpdump_text(text))
+
+    def test_lenient_mode_skips_malformed_lines(self):
+        text = LINE + "\nTABLE_DUMP2|notanumber|B|1.2.3.4|65000|9.0.0.0/8|65000|IGP|1.2.3.4"
+        assert len(list(parse_bgpdump_text(text, strict=False))) == 1
+
+    def test_render_parse_round_trip(self):
+        for entry in ENTRIES:
+            assert list(parse_bgpdump_text(render_bgpdump_line(entry))) == [entry]
+
+
+class TestBinaryParser:
+    def test_round_trip_plain_and_gzip(self):
+        for compress in (False, True):
+            blob = render_mrt_bytes(ENTRIES, compress=compress)
+            back = list(parse_mrt_bytes(blob))
+            assert sorted(back, key=str) == sorted(ENTRIES, key=str)
+
+    def test_truncated_header_raises(self):
+        blob = render_mrt_bytes(ENTRIES)
+        with pytest.raises(MrtError, match="truncated|overruns"):
+            list(parse_mrt_bytes(blob[: len(blob) - 3]))
+
+    def test_rib_before_peer_index_raises_in_strict_mode(self):
+        blob = render_mrt_bytes(ENTRIES)
+        # peel off the PEER_INDEX_TABLE record (12-byte header + body)
+        import struct
+
+        length = struct.unpack(">I", blob[8:12])[0]
+        headless = blob[12 + length :]
+        with pytest.raises(MrtError, match="PEER_INDEX_TABLE"):
+            list(parse_mrt_bytes(headless))
+        assert list(parse_mrt_bytes(headless, strict=False)) == []
+
+    def test_non_table_dump2_records_are_skipped(self):
+        import struct
+
+        alien = struct.pack(">IHHI", 0, 16, 1, 4) + b"\x00" * 4
+        blob = alien + render_mrt_bytes(ENTRIES[:2])
+        assert len(list(parse_mrt_bytes(blob))) == 2
+
+
+class TestLoadRib:
+    def test_autodetects_text_binary_and_gzip(self, tmp_path):
+        text_path = tmp_path / "dump.txt"
+        text_path.write_text(
+            "\n".join(render_bgpdump_line(e) for e in ENTRIES) + "\n"
+        )
+        bin_path = tmp_path / "dump.mrt"
+        bin_path.write_bytes(render_mrt_bytes(ENTRIES))
+        gz_path = tmp_path / "dump.txt.gz"
+        gz_path.write_bytes(gzip.compress(text_path.read_bytes()))
+        assert load_rib(str(text_path)) == ENTRIES
+        assert sorted(load_rib(str(bin_path)), key=str) == sorted(ENTRIES, key=str)
+        assert load_rib(str(gz_path)) == ENTRIES
+
+    def test_load_dataset_names_and_counts(self, tmp_path):
+        path = tmp_path / "dump.txt"
+        path.write_text("\n".join(render_bgpdump_line(e) for e in ENTRIES) + "\n")
+        dataset = load_dataset(str(path), name="unit")
+        assert dataset.v4.name == "unit-v4"
+        assert dataset.n_entries == len(ENTRIES)
+
+
+class TestDatasetReduction:
+    def test_interner_is_first_seen_stable(self):
+        interner = NextHopInterner()
+        assert interner.intern("10.0.0.1") == 0
+        assert interner.intern("10.0.0.2") == 1
+        assert interner.intern("10.0.0.1") == 0
+        assert interner.table == ("10.0.0.1", "10.0.0.2")
+
+    def test_duplicate_announcements_dedup_last_write_wins(self):
+        dataset = dataset_from_entries(ENTRIES)
+        assert dataset.n_duplicates == 1
+        # the later peer's announcement of 1.0.0.0/24 wins
+        winner = dataset.next_hops.index("192.0.2.9")
+        assert dataset.v4.next_hop_of(parse_prefix("1.0.0.0/24")) == winner
+
+    def test_families_split(self):
+        dataset = dataset_from_entries(ENTRIES)
+        assert len(dataset.v4) == 3
+        assert len(dataset.v6) == 2
+        assert dataset.v4.max_length() == 32
+
+    def test_default_route_ingests(self):
+        dataset = dataset_from_entries(ENTRIES)
+        assert parse_prefix("0.0.0.0/0") in dataset.v4
+        assert dataset.v4.lookup_linear(0xDEADBEEF) != -1
+
+    def test_host_bits_are_normalized_not_rejected(self):
+        # binary NLRI cannot carry host bits, but buggy text dumps can
+        assert _parse_prefix_text("1.2.3.5/24") == parse_prefix("1.2.3.0/24")
+        with pytest.raises(PrefixError):
+            _parse_prefix_text("1.2.3.0/33")
+        with pytest.raises(PrefixError):
+            _parse_prefix_text("1.2.3.0/x")
+
+
+class TestDownsample:
+    def _table(self, n=50):
+        table = RoutingTable(name="t")
+        table.add(parse_prefix("0.0.0.0/0"), 0)
+        for i in range(n - 1):
+            table.add(parse_prefix(f"10.{i // 256}.{i % 256}.0/24"), i % 8)
+        return table
+
+    def test_deterministic_under_fixed_seed(self):
+        table = self._table()
+        a = downsample(table, 20, seed=7)
+        b = downsample(table, 20, seed=7)
+        assert a.routes() == b.routes()
+        assert len(a) == 20
+
+    def test_keeps_the_default_route(self):
+        small = downsample(self._table(), 5, seed=1)
+        assert parse_prefix("0.0.0.0/0") in small
+
+    def test_target_at_or_above_size_copies(self):
+        table = self._table(10)
+        assert downsample(table, 10).routes() == table.routes()
+        assert downsample(table, 99).routes() == table.routes()
+
+    def test_target_zero_and_negative(self):
+        assert len(downsample(self._table(), 0)) == 0
+        with pytest.raises(PrefixError):
+            downsample(self._table(), -1)
+
+
+class TestVirtualTables:
+    def test_shared_plus_private_partition(self):
+        table = self._table()
+        virtuals = virtual_tables_from_table(table, 4, shared_fraction=0.5, seed=3)
+        assert len(virtuals) == 4
+        union = set()
+        for vt in virtuals:
+            union.update(vt.prefixes())
+        assert union == set(table.prefixes())
+        shared = set(virtuals[0].prefixes())
+        for vt in virtuals[1:]:
+            shared &= set(vt.prefixes())
+        assert len(shared) >= round(0.5 * len(table)) - 1
+
+    def test_next_hops_preserved(self):
+        table = self._table()
+        for vt in virtual_tables_from_table(table, 3, seed=1):
+            for route in vt:
+                assert route.next_hop == table.next_hop_of(route.prefix)
+
+    def test_bad_arguments_raise(self):
+        with pytest.raises(PrefixError):
+            virtual_tables_from_table(self._table(), 0)
+        with pytest.raises(PrefixError):
+            virtual_tables_from_table(self._table(), 2, shared_fraction=1.5)
+
+    def _table(self, n=60):
+        table = RoutingTable(name="t")
+        for i in range(n):
+            table.add(parse_prefix(f"10.{i // 256}.{i % 256}.0/24"), i % 8)
+        return table
+
+
+class TestAsPath:
+    def test_prepending_collapses(self):
+        assert parse_as_path("64500 65001 65001 65001") == (64500, 65001)
+
+    def test_as_sets_contribute_first_member(self):
+        assert parse_as_path("64500 {13335,2914} 13335") == (64500, 13335)
+
+    def test_garbage_tokens_are_ignored(self):
+        assert parse_as_path("64500 ? 65001") == (64500, 65001)
+
+
+class TestFileSha:
+    def test_hash_tracks_content(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"one")
+        first = file_sha256(str(path))
+        path.write_bytes(b"two")
+        assert file_sha256(str(path)) != first
+        assert len(first) == 64
+
+
+class TestCommittedFixture:
+    FIXTURE = os.path.join(
+        os.path.dirname(__file__), "..", "..", "examples", "data",
+        "ris_sample.bgpdump.txt",
+    )
+    BINARY = os.path.join(
+        os.path.dirname(__file__), "..", "..", "examples", "data",
+        "ris_sample_head.mrt.gz",
+    )
+
+    def test_fixture_parses_with_realistic_shape(self):
+        dataset = load_dataset(self.FIXTURE, name="fixture")
+        assert len(dataset.v4) >= 2000
+        assert len(dataset.v6) >= 500
+        assert dataset.n_duplicates > 0
+        assert parse_prefix("0.0.0.0/0") in dataset.v4
+        assert dataset.v4.max_length() == 32
+        hist = dataset.v4.length_histogram()
+        # /24 dominates the DFZ, as in every real collector snapshot
+        assert hist[24] == hist.max()
+
+    def test_binary_head_matches_text_head(self):
+        text = load_rib(self.FIXTURE)
+        head = load_rib(self.BINARY)
+        assert text[: len(head)] == head
+        assert len(head) > 0

@@ -132,3 +132,47 @@ class TestFileIO:
         table = RoutingTable.from_file(sample)
         assert len(table) == 250
         assert table.max_length() <= 28
+
+
+class TestRealDumpEdgeCases:
+    """Shapes every collector snapshot contains (real-RIB ingest PR)."""
+
+    def _table(self):
+        table = RoutingTable()
+        table.add(parse_prefix("0.0.0.0/0"), 0)
+        table.add(parse_prefix("203.0.113.0/24"), 1)
+        table.add(parse_prefix("203.0.113.7/32"), 2)
+        table.add(parse_prefix("255.255.255.255/32"), 3)
+        return table
+
+    def test_max_length_host_route_wins_over_its_covering_prefix(self):
+        table = self._table()
+        assert table.lookup_linear(parse_address("203.0.113.7")) == 2
+        assert table.lookup_linear(parse_address("203.0.113.8")) == 1
+        assert table.lookup_linear(0xFFFFFFFF) == 3
+
+    def test_default_route_catches_everything_else(self):
+        table = self._table()
+        assert table.lookup_linear(parse_address("198.51.100.1")) == 0
+        assert table.max_length() == 32
+
+    def test_duplicate_peer_announcements_keep_the_last_next_hop(self):
+        table = self._table()
+        table.add(parse_prefix("203.0.113.0/24"), 9)  # second peer, same prefix
+        assert len(table) == 4
+        assert table.next_hop_of(parse_prefix("203.0.113.0/24")) == 9
+
+    def test_batch_oracle_agrees_on_the_edge_cases(self):
+        table = self._table()
+        addresses = np.array(
+            [0, 0xFFFFFFFF, parse_address("203.0.113.7"), parse_address("8.8.8.8")],
+            dtype=np.uint32,
+        )
+        expected = [table.lookup_linear(int(a)) for a in addresses]
+        assert table.lookup_linear_batch(addresses).tolist() == expected
+
+    def test_parse_prefix_accepts_the_extremes(self):
+        assert parse_prefix("0.0.0.0/0").length == 0
+        assert parse_prefix("255.255.255.255/32").length == 32
+        with pytest.raises(PrefixError):
+            parse_prefix("1.2.3.4/33")

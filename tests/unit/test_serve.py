@@ -118,3 +118,40 @@ class TestValidation:
         assert LookupService(tables, Scheme.VM).merged() is not None
         with pytest.raises(ConfigurationError):
             LookupService(tables, Scheme.NV).merged()
+
+
+class TestRealDumpDepths:
+    """``n_stages=None`` regressions: real dumps carry /32 host routes."""
+
+    def _real_shaped_tables(self):
+        from repro.iplookup.rib import RoutingTable
+
+        # default route + nested aggregates + a /32 blackhole, the
+        # shapes a collector snapshot always contains
+        t0 = RoutingTable.from_strings(
+            [
+                ("0.0.0.0/0", 0),
+                ("10.0.0.0/8", 1),
+                ("10.1.0.0/16", 2),
+                ("203.0.113.7/32", 3),
+            ]
+        )
+        t1 = RoutingTable.from_strings(
+            [("0.0.0.0/0", 4), ("203.0.113.0/24", 5), ("203.0.113.7/32", 6)]
+        )
+        return [t0, t1]
+
+    @pytest.mark.parametrize("scheme", [Scheme.NV, Scheme.VS, Scheme.VM])
+    def test_auto_depth_service_matches_oracle(self, scheme):
+        tables = self._real_shaped_tables()
+        service = LookupService(tables, scheme, n_stages=None)
+        assert service.n_stages == 32
+        rng = np.random.default_rng(7)
+        addresses = rng.integers(0, 1 << 32, size=500, dtype=np.uint64).astype(np.uint32)
+        addresses[:3] = [0xCB007107, 0xCB007100, 0]  # /32 hit, /24 hit, default
+        vnids = rng.integers(0, len(tables), size=500, dtype=np.int64)
+        assert service.verify(addresses, vnids)
+
+    def test_explicit_28_stages_still_rejected_for_depth_32(self):
+        with pytest.raises(ConfigurationError, match="exceeds"):
+            LookupService(self._real_shaped_tables(), Scheme.VM, n_stages=28)

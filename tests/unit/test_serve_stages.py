@@ -147,3 +147,38 @@ class TestShedResult:
     def test_sentinel_is_reserved(self):
         # SHED_RESULT must never collide with a real next hop
         assert SHED_RESULT < 0
+
+
+class TestAutoDepthEngineGroup:
+    """``n_stages=None`` regression: real tables carry /32 routes."""
+
+    def _tables(self):
+        from repro.iplookup.rib import RoutingTable
+
+        return [
+            RoutingTable.from_strings(
+                [("0.0.0.0/0", 0), ("203.0.113.7/32", 1), ("10.0.0.0/8", 2)]
+            ),
+            RoutingTable.from_strings([("10.0.0.0/8", 3)]),
+        ]
+
+    def test_none_resolves_to_deepest_table(self):
+        group = EngineGroup(self._tables(), Scheme.NV, n_stages=None)
+        assert group.n_stages == 32
+
+    def test_explicit_shallow_pipeline_still_rejected(self):
+        with pytest.raises(ConfigurationError, match="exceeds"):
+            EngineGroup(self._tables(), Scheme.NV, n_stages=28)
+
+    def test_auto_depth_answers_match_the_oracle(self):
+        tables = self._tables()
+        group = EngineGroup(tables, Scheme.VM, n_stages=None)
+        rng = np.random.default_rng(3)
+        addresses = rng.integers(0, 1 << 32, size=400, dtype=np.uint64).astype(np.uint32)
+        addresses[:4] = [0, 0xFFFFFFFF, 0xCB007107, 0x0A000001]
+        vnids = rng.integers(0, 2, size=400, dtype=np.int64)
+        results, _ = walk_nominal(group, addresses, vnids)
+        expected = np.stack([t.lookup_linear_batch(addresses) for t in tables])[
+            vnids, np.arange(len(addresses))
+        ]
+        assert np.array_equal(results, expected)

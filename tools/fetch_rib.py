@@ -1,0 +1,258 @@
+#!/usr/bin/env python
+"""Fetch a RIPE RIS RIB snapshot — or regenerate the offline fixture.
+
+Two subcommands:
+
+``fetch``
+    Download a ``bview`` MRT dump from a RIS collector
+    (``https://data.ris.ripe.net/<collector>/latest-bview.gz``, or a
+    dated ``YYYY.MM/bview.YYYYMMDD.HHMM.gz`` path) and optionally
+    reduce it to a downsampled ``bgpdump -m``-style text snapshot via
+    :mod:`repro.iplookup.mrt`.  Needs network access — CI never runs
+    this; the committed fixture is the hermetic input there.
+
+``synthesize``
+    Regenerate the committed fixture deterministically, offline.  The
+    fixture mirrors the *statistical shape* of a real rrc00 ``bview``
+    (prefix-length histogram, multi-peer duplicate announcements,
+    default routes, AS-path prepending and AS-sets, /32 blackhole
+    more-specifics) without containing actual announced routes — the
+    build environment has no network access, so a true snapshot cannot
+    be committed from here.  Provenance: docs/TABLES.md.
+
+The fixture files written by ``synthesize`` (and consumed by the
+``real_rib*`` experiments) are::
+
+    examples/data/ris_sample.bgpdump.txt   text fixture (v4 + v6)
+    examples/data/ris_sample_head.mrt.gz   binary MRT head (same head
+                                           entries, TABLE_DUMP_V2)
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.iplookup.mrt import (  # noqa: E402
+    RibEntry,
+    dataset_from_entries,
+    render_bgpdump_line,
+    render_mrt_bytes,
+)
+
+DEFAULT_TEXT = os.path.join("examples", "data", "ris_sample.bgpdump.txt")
+DEFAULT_BINARY = os.path.join("examples", "data", "ris_sample_head.mrt.gz")
+DEFAULT_SEED = 20260808
+SNAPSHOT_TS = 1765756800  # 2025-12-15 00:00:00 UTC, the mirrored bview slot
+
+# share of the global v4 table at each prefix length, shaped after the
+# published rrc00/potaroo distribution (normalized below); /24 dominates
+_V4_LENGTH_SHARE = {
+    8: 0.004, 9: 0.002, 10: 0.003, 11: 0.006, 12: 0.012, 13: 0.014,
+    14: 0.020, 15: 0.022, 16: 0.055, 17: 0.030, 18: 0.048, 19: 0.065,
+    20: 0.075, 21: 0.075, 22: 0.115, 23: 0.095, 24: 0.545,
+    25: 0.002, 26: 0.001, 27: 0.001, 28: 0.001, 29: 0.001, 30: 0.001,
+    32: 0.004,  # blackhole / host-route more-specifics
+}
+_V6_LENGTH_SHARE = {
+    29: 0.04, 32: 0.25, 33: 0.02, 36: 0.05, 40: 0.07, 44: 0.05,
+    46: 0.03, 47: 0.02, 48: 0.40, 56: 0.03, 64: 0.04, 128: 0.01,
+}
+
+# unicast first octets a DFZ prefix can start with (no reserved space)
+_V4_FIRST_OCTETS = [
+    o for o in range(1, 224) if o not in (0, 10, 100, 127, 169, 172, 192, 198)
+]
+# RIR /12-ish v6 super-blocks, as (top-16-bit value) choices
+_V6_BLOCKS = [0x2001, 0x2400, 0x2600, 0x2800, 0x2A00, 0x2C00, 0x2408, 0x2A02]
+
+# (peer_ip, peer_as) rows of the synthetic collector, v4 then v6 peers
+_PEERS_V4 = [("80.77.16.114", 34549), ("12.0.1.63", 7018), ("198.32.160.61", 3257)]
+_PEERS_V6 = [("2001:7f8:4::86f5:1", 34549), ("2001:504:1::a500:7018:1", 7018)]
+
+_TRANSIT_AS = [3356, 1299, 174, 2914, 6939, 6461, 3257, 6762, 1273, 9002]
+
+
+def _as_path(rng: np.random.Generator, peer_as: int, origin_as: int) -> str:
+    """A plausible AS path: peer, 1-3 transits, maybe prepended origin."""
+    hops = [peer_as]
+    for _ in range(int(rng.integers(1, 4))):
+        candidate = _TRANSIT_AS[int(rng.integers(0, len(_TRANSIT_AS)))]
+        if candidate != hops[-1]:
+            hops.append(candidate)
+    prepend = int(rng.integers(1, 4)) if rng.random() < 0.08 else 1
+    hops.extend([origin_as] * prepend)
+    if rng.random() < 0.005:  # the odd AS-set from aggregation
+        partner = _TRANSIT_AS[int(rng.integers(0, len(_TRANSIT_AS)))]
+        hops[-1:] = []
+        return " ".join(map(str, hops)) + " {" + f"{origin_as},{partner}" + "}"
+    return " ".join(map(str, hops))
+
+
+def _sample_lengths(rng: np.random.Generator, share: dict, n: int) -> np.ndarray:
+    lengths = np.array(sorted(share), dtype=np.int64)
+    weights = np.array([share[int(l)] for l in lengths], dtype=float)
+    return rng.choice(lengths, size=n, p=weights / weights.sum())
+
+
+def _v4_prefixes(rng: np.random.Generator, n: int) -> list[str]:
+    prefixes: set[str] = set()
+    lengths = _sample_lengths(rng, _V4_LENGTH_SHARE, 4 * n)
+    octets = rng.choice(np.array(_V4_FIRST_OCTETS), size=4 * n)
+    for length, first in zip(lengths, octets):
+        length = int(length)
+        value = (int(first) << 24) | int(rng.integers(0, 1 << 24))
+        value &= ((1 << 32) - 1) << (32 - length) if length else 0
+        a, b, c, d = (value >> 24) & 255, (value >> 16) & 255, (value >> 8) & 255, value & 255
+        prefixes.add(f"{a}.{b}.{c}.{d}/{length}")
+        if len(prefixes) == n:
+            break
+    return sorted(prefixes)
+
+
+def _v6_prefixes(rng: np.random.Generator, n: int) -> list[str]:
+    from repro.iplookup.prefix6 import Prefix6
+
+    prefixes: set[str] = set()
+    lengths = _sample_lengths(rng, _V6_LENGTH_SHARE, 4 * n)
+    blocks = rng.choice(np.array(_V6_BLOCKS), size=4 * n)
+    for length, block in zip(lengths, blocks):
+        length = int(length)
+        value = (int(block) << 112) | int(rng.integers(0, 1 << 62)) << 50
+        prefixes.add(str(Prefix6.normalized(value, length)))
+        if len(prefixes) == n:
+            break
+    return sorted(prefixes)
+
+
+def synthesize_entries(
+    seed: int = DEFAULT_SEED, n_v4: int = 3000, n_v6: int = 700
+) -> list[RibEntry]:
+    """The deterministic entry stream behind the committed fixture."""
+    rng = np.random.default_rng(seed)
+    entries: list[RibEntry] = []
+
+    def announce(peers, prefix: str, *, duplicate_p: float) -> None:
+        origin_as = int(rng.integers(1000, 400000))
+        first = int(rng.integers(0, len(peers)))
+        chosen = [peers[first]]
+        # multi-peer duplicate announcements of the same prefix — the
+        # dedup path the dataset reduction must collapse
+        chosen.extend(p for p in peers if p not in chosen and rng.random() < duplicate_p)
+        for peer_ip, peer_as in chosen:
+            entries.append(
+                RibEntry(
+                    timestamp=SNAPSHOT_TS,
+                    peer_ip=peer_ip,
+                    peer_as=peer_as,
+                    prefix=prefix,
+                    as_path=_as_path(rng, peer_as, origin_as),
+                    next_hop=peer_ip,
+                )
+            )
+
+    announce(_PEERS_V4, "0.0.0.0/0", duplicate_p=0.0)
+    for prefix in _v4_prefixes(rng, n_v4 - 1):
+        announce(_PEERS_V4, prefix, duplicate_p=0.25)
+    announce(_PEERS_V6, "::/0", duplicate_p=0.0)
+    for prefix in _v6_prefixes(rng, n_v6 - 1):
+        announce(_PEERS_V6, prefix, duplicate_p=0.25)
+    return entries
+
+
+def cmd_synthesize(args: argparse.Namespace) -> int:
+    entries = synthesize_entries(args.seed, args.v4, args.v6)
+    header = (
+        f"# synthetic RIS-shaped RIB fixture: seed {args.seed}, "
+        f"{args.v4} v4 + {args.v6} v6 prefixes\n"
+        "# regenerate: python tools/fetch_rib.py synthesize\n"
+        "# provenance and license note: docs/TABLES.md\n"
+    )
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(header)
+        for entry in entries:
+            handle.write(render_bgpdump_line(entry) + "\n")
+    with open(args.binary_head, "wb") as handle:
+        handle.write(render_mrt_bytes(entries[: args.head], compress=True))
+    dataset = dataset_from_entries(entries, name="ris_sample")
+    print(
+        f"wrote {args.output}: {len(entries)} entries -> "
+        f"{len(dataset.v4)} v4 + {len(dataset.v6)} v6 unique prefixes, "
+        f"{dataset.n_duplicates} multi-peer duplicates, "
+        f"{len(dataset.next_hops)} next hops"
+    )
+    print(f"wrote {args.binary_head}: first {args.head} entries as binary MRT")
+    return 0
+
+
+def cmd_fetch(args: argparse.Namespace) -> int:
+    import urllib.request
+
+    url = f"https://data.ris.ripe.net/{args.collector}/{args.path}"
+    print(f"fetching {url} ...")
+    request = urllib.request.Request(url, headers={"User-Agent": "repro-fetch-rib"})
+    with urllib.request.urlopen(request, timeout=args.timeout) as response:
+        data = response.read()
+    with open(args.output, "wb") as handle:
+        handle.write(data)
+    print(f"wrote {args.output}: {len(data)} bytes")
+    if args.sample:
+        from repro.iplookup.mrt import downsample, load_dataset
+
+        dataset = load_dataset(args.output, name=args.collector, strict=False)
+        table = downsample(dataset.v4, args.sample, seed=args.seed)
+        sample_path = args.output + ".sample.txt"
+        table.to_file(sample_path)
+        print(f"wrote {sample_path}: {len(table)} of {len(dataset.v4)} v4 prefixes")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="fetch_rib", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fetch = sub.add_parser("fetch", help="download a bview dump (needs network)")
+    fetch.add_argument("--collector", default="rrc00", help="RIS collector id")
+    fetch.add_argument(
+        "--path",
+        default="latest-bview.gz",
+        help="path under the collector, e.g. 2024.12/bview.20241215.0000.gz",
+    )
+    fetch.add_argument("-o", "--output", default="bview.gz")
+    fetch.add_argument("--timeout", type=float, default=120.0)
+    fetch.add_argument(
+        "--sample",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also write an N-prefix downsampled text snapshot",
+    )
+    fetch.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    fetch.set_defaults(func=cmd_fetch)
+
+    synth = sub.add_parser(
+        "synthesize", help="regenerate the committed offline fixture"
+    )
+    synth.add_argument("-o", "--output", default=DEFAULT_TEXT)
+    synth.add_argument("--binary-head", default=DEFAULT_BINARY)
+    synth.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    synth.add_argument("--v4", type=int, default=3000, help="unique v4 prefixes")
+    synth.add_argument("--v6", type=int, default=700, help="unique v6 prefixes")
+    synth.add_argument(
+        "--head", type=int, default=200, help="entries in the binary MRT head fixture"
+    )
+    synth.set_defaults(func=cmd_synthesize)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Print the real-RIB α/BRAM/power comparison (``make tables-demo``).
+
+Parses the committed RIS-shaped fixture through the MRT ingest path,
+runs the ``real_rib`` experiment on both table slices, and prints the
+separate-vs-merged comparison the paper makes — measured merging
+efficiency α, 18 Kb BRAM blocks, fmax and total power — plus the
+churn/agreement and IPv6 headlines.  See docs/TABLES.md for the full
+pipeline this demonstrates.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments.engine import run_experiment  # noqa: E402
+from repro.experiments.real_rib import FIXTURE_PATH, FIXTURE_SHA, fixture_dataset  # noqa: E402
+
+_ROW_LABELS = ("separate engines (VS)", "merged engine (VM)")
+
+
+def main() -> int:
+    dataset = fixture_dataset()
+    print(f"fixture: {FIXTURE_PATH.name} (sha256 {FIXTURE_SHA})")
+    print(
+        f"  {dataset.n_entries} entries -> {len(dataset.v4)} IPv4 + "
+        f"{len(dataset.v6)} IPv6 prefixes, {len(dataset.next_hops)} next hops, "
+        f"{dataset.n_duplicates} multi-peer duplicates collapsed"
+    )
+
+    for result in run_experiment("real_rib"):
+        print(f"\n{result.title}")
+        header = f"  {'organisation':<24}{'alpha':>7}{'BRAM18':>8}{'fmax':>9}{'power':>9}{'mW/Gbps':>10}"
+        print(header)
+        for row, label in enumerate(_ROW_LABELS):
+            alpha = result.get("alpha")[row]
+            print(
+                f"  {label:<24}"
+                f"{alpha:>7.3f}"
+                f"{int(result.get('bram_blocks18')[row]):>8d}"
+                f"{result.get('fmax_MHz')[row]:>6.0f}MHz"
+                f"{result.get('total_W')[row]:>8.2f}W"
+                f"{result.get('mW_per_Gbps')[row]:>10.1f}"
+            )
+
+    for experiment_id in ("real_rib_churn", "real_rib_v6"):
+        (result,) = run_experiment(experiment_id)
+        print(f"\n{result.title}")
+        for note in result.notes:
+            print(f"  {note}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
