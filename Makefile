@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint lint-drift lint-baseline bench bench-smoke bench-gate bench-figures figures experiments experiments-md examples obs-demo faults-smoke serve-smoke tables-demo docs-check clean
+.PHONY: install test lint lint-drift lint-baseline bench bench-smoke bench-gate bench-figures figures experiments experiments-md examples obs-demo faults-smoke serve-smoke governor-demo tables-demo docs-check clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -80,6 +80,12 @@ faults-smoke:
 # the async front end, clean shutdown, merged-metrics consistency
 serve-smoke:
 	$(PYTHON) -m repro.tools.serve_cli --shards 2 smoke --lookups 50000
+
+# closed-loop DVS governor demo: governed load ramp with a fault
+# window, energy per lookup against both static grades
+governor-demo:
+	$(PYTHON) -m repro.tools.metrics_cli governor
+	$(PYTHON) -m repro.experiments.runner --tag governor
 
 # real-RIB pipeline demo: parse the committed fixture, print the
 # measured alpha / BRAM / power comparison (see docs/TABLES.md)

@@ -21,6 +21,7 @@ from repro.experiments import (  # noqa: F401  (imported for registration)
     fig6_virtualized_power,
     fig7_model_error,
     fig8_power_efficiency,
+    governor,
     ipv6_outlook,
     latency,
     real_rib,
@@ -45,6 +46,7 @@ __all__ = [
     "fig6_virtualized_power",
     "fig7_model_error",
     "fig8_power_efficiency",
+    "governor",
     "ipv6_outlook",
     "latency",
     "real_rib",

@@ -1,0 +1,308 @@
+"""Closed-loop DVS governor: energy per lookup against the static grades.
+
+The voltage experiment (:mod:`repro.experiments.voltage`) asks what a
+*static* derate buys; this one closes the loop.  A
+:class:`~repro.power.DvsGovernor` drives a live
+:class:`~repro.serve.LookupService` through a deterministic offered-load
+ramp with an injected engine stall in the middle, re-picking the
+operating voltage from the *measured* duty cycle and queue wait each
+batch.  Per batch we record the realized energy per served lookup and
+the energy the two static policies — the -2 baseline (V = 1.0) and the
+fitted -1L derate (:func:`repro.fpga.dvs.fit_voltage`) — would burn
+serving the *same* admitted work, via the exact factoring of the DVS
+scaling laws.
+
+A static grade only *meets* a load point when the demand fits inside
+the governor's own headroom target at that grade's clock; beyond that
+it would shed traffic, so it is marked infeasible there rather than
+credited with an energy number for work it did not serve.  The
+acceptance claim is that the governed trajectory never burns more per
+lookup than the best *feasible* static grade at any load point — and
+that inside the fault window the governor demonstrably trades
+throughput for watts (served rate falls with the shed, voltage and
+power follow it down).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metrics import energy_per_packet_nj
+from repro.faults.injectors import EngineStall
+from repro.faults.plan import FaultPlan, FaultWindow
+from repro.fpga.dvs import (
+    NOMINAL_VOLTAGE,
+    OperatingPoint,
+    fit_voltage,
+    frequency_scale,
+)
+from repro.iplookup.synth import SyntheticTableConfig, generate_virtual_tables
+from repro.obs.power import PowerTelemetrySampler
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.power.governor import DvsGovernor, GovernorPolicy
+from repro.reporting.registry import register
+from repro.reporting.result import ExperimentResult
+from repro.serve.service import LookupService
+from repro.virt.schemes import Scheme
+
+__all__ = ["BatchRecord", "ramp_run", "run"]
+
+#: offered-load ramp: up through the band, down again (fractions of
+#: nominal capacity); each step serves ``batches_per_step`` batches
+DEFAULT_RAMP = (0.3, 0.45, 0.6, 0.75, 0.6, 0.4)
+
+#: the stall covers the step after the peak: engine 1 at quarter speed
+_STALL_ENGINE = 1
+_STALL_SCALE = 0.25
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One governed batch of the ramp, with its static counterfactuals.
+
+    ``static_nominal_nj`` / ``static_derate_nj`` are energy per served
+    lookup had the same admitted work been served at the fixed -2 /
+    fitted -1L operating point; a static grade whose headroom-adjusted
+    capacity cannot carry the batch's demand is infeasible there and
+    carries ``None`` instead.
+    """
+
+    batch_index: int
+    offered_load: float
+    voltage: float
+    frequency_mhz: float
+    duty_cycle: float
+    served_fraction: float
+    total_w: float
+    governed_nj: float
+    static_nominal_nj: float | None
+    static_derate_nj: float | None
+    in_fault_window: bool
+
+
+def _static_energy_nj(
+    sampler: PowerTelemetrySampler,
+    point: OperatingPoint,
+    static_point: OperatingPoint,
+    rate_mhz: float,
+    demand_fraction: float,
+    headroom: float,
+    n_engines: int,
+) -> float | None:
+    """Energy/lookup of a static policy serving the same admitted work.
+
+    The sampler's scaling laws factor exactly (static x V³, dynamic x
+    V²·fmax with the fmax factor cancelling for fixed absolute work),
+    so the static point's power is recoverable from the live sample.
+    Returns ``None`` when the demand does not fit the static grade's
+    headroom-adjusted capacity — it would shed, so it does not meet
+    this load point.
+    """
+    if demand_fraction > headroom * frequency_scale(static_point.voltage):
+        return None
+    sample = sampler.last_sample
+    if sample is None or rate_mhz <= 0.0:
+        return None
+    dynamic_w = sample.total_w - sample.static_w
+    static_w = (
+        sample.static_w / point.static_scale * static_point.static_scale
+    )
+    dynamic_w = (
+        dynamic_w / point.dynamic_scale * static_point.dynamic_scale
+    )
+    return energy_per_packet_nj(static_w + dynamic_w, rate_mhz, n_engines)
+
+
+def ramp_run(
+    k: int = 4,
+    ramp: Sequence[float] = DEFAULT_RAMP,
+    batches_per_step: int = 3,
+    batch_size: int = 600,
+    n_prefixes: int = 150,
+    seed: int = 23,
+    policy: GovernorPolicy | None = None,
+    warmup_batches: int = 6,
+) -> tuple[list[BatchRecord], LookupService, DvsGovernor]:
+    """Serve the governed load ramp and record every batch.
+
+    Deterministic: tables, batches and the fault schedule all derive
+    from ``seed``; the stall covers the step after the peak.  The
+    ``warmup_batches`` unrecorded batches at the first load let the
+    slew-limited descent from the nominal cold-start voltage finish
+    before scoring begins.  Returns the per-batch records plus the
+    service and governor for callers that want the registry or the
+    decision log.
+    """
+    ramp = tuple(ramp)
+    policy = policy or GovernorPolicy()
+    # the stall covers the step right after the peak: the clean peak
+    # exercises the raise path, the stalled descent the shed path
+    peak = max(range(len(ramp)), key=lambda i: ramp[i])
+    fault_step = min(peak + 1, len(ramp) - 1)
+    fault_lo = warmup_batches + fault_step * batches_per_step
+    fault_hi = fault_lo + batches_per_step
+    plan = FaultPlan(
+        (
+            FaultWindow(
+                fault_lo,
+                batches_per_step,
+                EngineStall(_STALL_ENGINE, _STALL_SCALE),
+            ),
+        )
+    )
+    tables = generate_virtual_tables(
+        k, 0.5, SyntheticTableConfig(n_prefixes=n_prefixes, seed=seed)
+    )
+    sampler = PowerTelemetrySampler(Scheme.VS, k)
+    service = LookupService(
+        tables,
+        Scheme.VS,
+        offered_load_fraction=ramp[0],
+        fault_plan=plan,
+        power_sampler=sampler,
+        registry=MetricsRegistry(enabled=True),
+        tracer=Tracer(enabled=False),
+    )
+    governor = DvsGovernor(policy=policy)
+    governor.attach(service)
+    derate_point = OperatingPoint(fit_voltage()[0])
+    nominal_point = OperatingPoint(NOMINAL_VOLTAGE)
+    rng = np.random.default_rng(seed)
+    records: list[BatchRecord] = []
+    per_vn = max(1, batch_size // k)
+    for _ in range(warmup_batches):
+        addresses = rng.integers(0, 2**32, size=per_vn * k, dtype=np.uint32)
+        vnids = np.repeat(np.arange(k, dtype=np.int64), per_vn)
+        service.serve(addresses, vnids)
+    for load in ramp:
+        service.set_offered_load(load)
+        for _ in range(batches_per_step):
+            addresses = rng.integers(0, 2**32, size=per_vn * k, dtype=np.uint32)
+            vnids = np.repeat(np.arange(k, dtype=np.int64), per_vn)
+            batch_index = service.batches_served
+            _, trace = service.serve(addresses, vnids)
+            point = service.operating_point
+            served = (
+                trace.n_admitted / trace.n_packets if trace.n_packets else 0.0
+            )
+            # served rate in "MHz of lookups" per engine: invariant
+            # under the governor's re-clocking (f·fs x rho/fs = f·rho)
+            rate_mhz = service.frequency_mhz * service.offered_load_fraction * served
+            demand = load * served
+            governed = governor.realized_energy_nj(service, trace)
+            records.append(
+                BatchRecord(
+                    batch_index=batch_index,
+                    offered_load=load,
+                    voltage=point.voltage,
+                    frequency_mhz=service.frequency_mhz,
+                    duty_cycle=trace.mean_duty_cycle(),
+                    served_fraction=served,
+                    total_w=sampler.last_sample.total_w
+                    if sampler.last_sample
+                    else 0.0,
+                    governed_nj=governed if governed is not None else 0.0,
+                    static_nominal_nj=_static_energy_nj(
+                        sampler, point, nominal_point, rate_mhz, demand,
+                        policy.headroom, service.n_engines,
+                    ),
+                    static_derate_nj=_static_energy_nj(
+                        sampler, point, derate_point, rate_mhz, demand,
+                        policy.headroom, service.n_engines,
+                    ),
+                    in_fault_window=fault_lo <= batch_index < fault_hi,
+                )
+            )
+    return records, service, governor
+
+
+@register("governor", tags=("governor",))
+def run(
+    k: int = 4,
+    ramp: Sequence[float] = DEFAULT_RAMP,
+    batches_per_step: int = 3,
+    batch_size: int = 600,
+    n_prefixes: int = 150,
+    seed: int = 23,
+) -> ExperimentResult:
+    """Governed ramp: voltage trace and energy vs both static grades."""
+    records, service, governor = ramp_run(
+        k=k,
+        ramp=ramp,
+        batches_per_step=batches_per_step,
+        batch_size=batch_size,
+        n_prefixes=n_prefixes,
+        seed=seed,
+    )
+    derate_v = fit_voltage()[0]
+    result = ExperimentResult(
+        experiment_id="governor",
+        title=(
+            f"Closed-loop DVS governor: K={k} VS load ramp with an "
+            f"engine stall on the post-peak step"
+        ),
+        x_label="batch",
+        x_values=np.array([float(r.batch_index) for r in records]),
+    )
+    result.add_series("offered_load", [r.offered_load for r in records])
+    result.add_series("volts", [r.voltage for r in records])
+    result.add_series("frequency_mhz", [r.frequency_mhz for r in records])
+    result.add_series("served_fraction", [r.served_fraction for r in records])
+    result.add_series("total_w", [r.total_w for r in records])
+    result.add_series("governed_nj", [r.governed_nj for r in records])
+    result.add_series(
+        "static_nominal_nj",
+        [r.static_nominal_nj if r.static_nominal_nj is not None else float("nan")
+         for r in records],
+    )
+    result.add_series(
+        "static_derate_nj",
+        [r.static_derate_nj if r.static_derate_nj is not None else float("nan")
+         for r in records],
+    )
+    # the acceptance claim, scored at each load point's steady state
+    # (the last batch of each step — earlier batches may still be
+    # slewing toward the step's target voltage)
+    steady = records[batches_per_step - 1 :: batches_per_step]
+    worst_margin = min(
+        min(
+            b
+            for b in (r.static_nominal_nj, r.static_derate_nj)
+            if b is not None
+        )
+        - r.governed_nj
+        for r in steady
+    )
+    fault = [r for r in records if r.in_fault_window]
+    pre_fault = [r for r in records if not r.in_fault_window and r.batch_index > 0]
+    result.add_note(
+        f"governor band {governor.policy.v_min:.2f}-"
+        f"{governor.policy.v_max:.2f} V, headroom "
+        f"{governor.policy.headroom:.2f}; static derate fitted at "
+        f"{derate_v:.4f} V"
+    )
+    result.add_note(
+        f"worst energy margin vs best feasible static grade: "
+        f"{worst_margin:+.3f} nJ/lookup "
+        f"({'governed never worse' if worst_margin >= 0 else 'VIOLATED'})"
+    )
+    if fault:
+        result.add_note(
+            f"fault window (engine {_STALL_ENGINE} at x{_STALL_SCALE} "
+            f"speed) served {min(r.served_fraction for r in fault):.3f} of "
+            f"offered load at {min(r.total_w for r in fault):.3f} W floor "
+            f"vs {max(r.total_w for r in pre_fault):.3f} W peak outside — "
+            f"throughput traded for watts"
+        )
+    actions = [d.action for d in governor.decisions]
+    result.add_note(
+        f"{len(governor.decisions)} decisions: "
+        f"{actions.count('raise')} raise / {actions.count('lower')} lower / "
+        f"{actions.count('hold')} hold"
+    )
+    del service
+    return result

@@ -280,9 +280,13 @@ def run_real_rib_churn(
         REGISTRY.clear()
 
     # analytical side: the XPA-like reporter at the measured activity
+    # (engine shares times the batch's measured duty cycle — the same
+    # inputs the live sampler observes)
     loads = np.asarray(trace.engine_loads(), dtype=float)
     report = XPowerAnalyzer().report(
-        sampler.scenario.placed, sampler.scenario.frequency_mhz, loads * rho
+        sampler.scenario.placed,
+        sampler.scenario.frequency_mhz,
+        loads * trace.mean_duty_cycle(),
     )
     analytical_w = report.static_w + report.dynamic_w
     agreement_pct = 100.0 * abs(live_w - analytical_w) / analytical_w

@@ -19,12 +19,27 @@ the "voltage that explains the low-power grade" analysis of the
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.fpga.speedgrade import GradeData, SpeedGrade, grade_data
 
-__all__ = ["NOMINAL_VOLTAGE", "THRESHOLD_VOLTAGE", "synthetic_grade", "fit_voltage"]
+__all__ = [
+    "NOMINAL_VOLTAGE",
+    "THRESHOLD_VOLTAGE",
+    "PLAUSIBLE_V_MIN",
+    "PLAUSIBLE_V_MAX",
+    "OperatingPoint",
+    "NOMINAL_POINT",
+    "dynamic_scale",
+    "static_scale",
+    "frequency_scale",
+    "voltage_for_frequency_scale",
+    "synthetic_grade",
+    "fit_voltage",
+]
 
 #: Virtex-6 nominal Vccint for speed grade -2
 NOMINAL_VOLTAGE = 1.0
@@ -32,12 +47,15 @@ NOMINAL_VOLTAGE = 1.0
 #: effective threshold voltage of the delay model
 THRESHOLD_VOLTAGE = 0.35
 
+#: full Vccint range the scaling laws stay physically plausible over
+PLAUSIBLE_V_MIN, PLAUSIBLE_V_MAX = 0.5, 1.1
+
 #: V range a -1L-class derate could plausibly occupy
 _V_MIN, _V_MAX = 0.7, 1.0
 
 
 def _check_voltage(voltage: float) -> None:
-    if not 0.5 <= voltage <= 1.1:
+    if not PLAUSIBLE_V_MIN <= voltage <= PLAUSIBLE_V_MAX:
         raise ConfigurationError(f"voltage out of plausible range: {voltage} V")
 
 
@@ -61,6 +79,65 @@ def frequency_scale(voltage: float) -> float:
     return drive / nominal_drive
 
 
+def voltage_for_frequency_scale(scale: float) -> float:
+    """Minimum Vccint sustaining an fmax factor of ``scale``.
+
+    Closed-form inverse of :func:`frequency_scale`: solving
+    ``(V - V_t)/V = scale * (1 - V_t)`` for ``V`` gives
+    ``V = V_t / (1 - scale*(1 - V_t))``.  Raises
+    :class:`~repro.errors.ConfigurationError` when no plausible
+    voltage achieves the target (caller clamps demand to the
+    achievable band first — see :class:`repro.power.DvsGovernor`).
+    """
+    nominal_drive = (NOMINAL_VOLTAGE - THRESHOLD_VOLTAGE) / NOMINAL_VOLTAGE
+    denominator = 1.0 - scale * nominal_drive
+    if denominator <= 0.0:
+        raise ConfigurationError(
+            f"frequency scale {scale} unreachable at any finite voltage"
+        )
+    voltage = THRESHOLD_VOLTAGE / denominator
+    _check_voltage(voltage)
+    return voltage
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One DVS operating point: a core voltage and its derived scales.
+
+    The serving tier and the power sampler exchange this rather than a
+    bare float so the scale factors are computed once, consistently,
+    from the same CMOS laws that built the synthetic grades.
+    """
+
+    voltage: float = NOMINAL_VOLTAGE
+
+    def __post_init__(self) -> None:
+        _check_voltage(self.voltage)
+
+    @property
+    def frequency_scale(self) -> float:
+        """fmax factor vs the -2 baseline at this voltage."""
+        return frequency_scale(self.voltage)
+
+    @property
+    def dynamic_scale(self) -> float:
+        """Dynamic-power factor vs the -2 baseline at this voltage."""
+        return dynamic_scale(self.voltage)
+
+    @property
+    def static_scale(self) -> float:
+        """Static-power factor vs the -2 baseline at this voltage."""
+        return static_scale(self.voltage)
+
+    @property
+    def is_nominal(self) -> bool:
+        return self.voltage == NOMINAL_VOLTAGE
+
+
+#: the identity operating point (speed grade -2 at published Vccint)
+NOMINAL_POINT = OperatingPoint()
+
+
 def synthetic_grade(voltage: float) -> GradeData:
     """A continuous-voltage grade derived from the -2 baseline."""
     base = grade_data(SpeedGrade.G2)
@@ -74,6 +151,25 @@ def synthetic_grade(voltage: float) -> GradeData:
     )
 
 
+def _fit_error(voltage: float, targets: np.ndarray) -> float:
+    dyn = dynamic_scale(voltage)
+    predicted = np.array(
+        [static_scale(voltage), dyn, dyn, dyn, frequency_scale(voltage)]
+    )
+    return float(np.sqrt(np.mean(((predicted - targets) / targets) ** 2)))
+
+
+def _grid_minimum(
+    lo: float, hi: float, steps: int, targets: np.ndarray
+) -> tuple[float, float]:
+    best_v, best_err = lo, float("inf")
+    for voltage in np.linspace(lo, hi, steps):
+        err = _fit_error(float(voltage), targets)
+        if err < best_err:
+            best_v, best_err = float(voltage), err
+    return best_v, best_err
+
+
 def fit_voltage(target: GradeData | None = None, steps: int = 601) -> tuple[float, float]:
     """Voltage whose scaling laws best reproduce a grade's constants.
 
@@ -81,6 +177,15 @@ def fit_voltage(target: GradeData | None = None, steps: int = 601) -> tuple[floa
     relative distance between the synthetic grade and ``target``
     (default: the published -1L constants) across all five published
     quantities.
+
+    The search starts on the -1L-plausible ``0.7..1.0`` bracket; when
+    the minimum converges onto a bracket edge (historically it was
+    silently clamped there) the search widens to the full plausible
+    ``0.5..1.1`` range and refines locally, so
+    ``fit_voltage(synthetic_grade(v))`` round-trips to ``v`` anywhere
+    in the plausible band.  A target whose best explanation still sits
+    on the plausible edge with material residual error is outside the
+    model and raises :class:`~repro.errors.ConfigurationError`.
     """
     target = target or grade_data(SpeedGrade.G1L)
     base = grade_data(SpeedGrade.G2)
@@ -93,14 +198,29 @@ def fit_voltage(target: GradeData | None = None, steps: int = 601) -> tuple[floa
             target.base_fmax_mhz / base.base_fmax_mhz,
         ]
     )
-    best_v, best_err = NOMINAL_VOLTAGE, float("inf")
-    for voltage in np.linspace(_V_MIN, _V_MAX, steps):
-        v = float(voltage)
-        dyn = dynamic_scale(v)
-        predicted = np.array(
-            [static_scale(v), dyn, dyn, dyn, frequency_scale(v)]
+    lo, hi = _V_MIN, _V_MAX
+    step = (hi - lo) / (steps - 1)
+    best_v, best_err = _grid_minimum(lo, hi, steps, targets)
+    if best_v - lo < step / 2 or hi - best_v < step / 2:
+        # boundary convergence: the true minimum may lie outside the
+        # -1L bracket — widen to the full plausible range and re-search
+        lo, hi = PLAUSIBLE_V_MIN, PLAUSIBLE_V_MAX
+        step = (hi - lo) / (steps - 1)
+        best_v, best_err = _grid_minimum(lo, hi, steps, targets)
+    # local refinement so the round-trip lands on the exact voltage
+    span = step
+    while span > 1e-12:
+        fine_lo = max(lo, best_v - span)
+        fine_hi = min(hi, best_v + span)
+        best_v, best_err = _grid_minimum(fine_lo, fine_hi, 33, targets)
+        span = (fine_hi - fine_lo) / 16.0
+    at_plausible_edge = (
+        best_v - PLAUSIBLE_V_MIN < 1e-9 or PLAUSIBLE_V_MAX - best_v < 1e-9
+    )
+    if at_plausible_edge and best_err > 1e-6:
+        raise ConfigurationError(
+            f"no plausible voltage explains the target grade "
+            f"(best fit {best_v:.4f} V at the {PLAUSIBLE_V_MIN}..{PLAUSIBLE_V_MAX} "
+            f"edge, rms error {best_err:.3g})"
         )
-        err = float(np.sqrt(np.mean(((predicted - targets) / targets) ** 2)))
-        if err < best_err:
-            best_v, best_err = v, err
     return best_v, best_err

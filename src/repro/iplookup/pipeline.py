@@ -81,6 +81,8 @@ def trace_from_walk(
     results: np.ndarray,
     n_stages: int,
     inter_arrival_gap: int = 0,
+    admission_rate: float = 1.0,
+    window_packets: int | None = None,
 ) -> PipelineTrace:
     """Closed-form pipeline accounting from a completed trie walk.
 
@@ -93,18 +95,36 @@ def trace_from_walk(
     O(n × stages).  Shared by :meth:`LookupPipeline.run` and the
     batched serving layer (:mod:`repro.serve`), which derives the
     same activity trace from the merged engine's walk.
+
+    ``admission_rate`` stretches the arrival spacing to model an
+    offered load below line rate: a fraction ``r`` of cycles carries
+    an admission, so the effective stride becomes ``(gap+1)/r`` and
+    the measured duty cycle shrinks proportionally.
+    ``window_packets`` sizes the arrival window by *offered* lookups
+    rather than walked ones: lookups shed by admission control leave
+    their arrival slots idle, so the duty cycle reflects the work the
+    engine actually did over the window the load was offered in.
     """
     if n_stages < 1:
         raise ConfigurationError(f"n_stages must be >= 1, got {n_stages}")
     if inter_arrival_gap < 0:
         raise ConfigurationError("inter_arrival_gap must be non-negative")
+    if not 0.0 < admission_rate <= 1.0:
+        raise ConfigurationError(
+            f"admission_rate must be in (0, 1], got {admission_rate}"
+        )
     depths = np.asarray(depths, dtype=np.int64)
     results = np.asarray(results, dtype=np.int64)
     if depths.shape != results.shape:
         raise ConfigurationError("depths and results must have the same shape")
     n = len(depths)
-    stride = inter_arrival_gap + 1
-    total_cycles = (n - 1) * stride + n_stages + 1 if n else 0
+    window = n if window_packets is None else int(window_packets)
+    if window < n:
+        raise ConfigurationError(
+            f"window_packets ({window}) smaller than walked packets ({n})"
+        )
+    stride = (inter_arrival_gap + 1) / admission_rate
+    total_cycles = int(round((window - 1) * stride)) + n_stages + 1 if window else 0
     # packets whose walk depth exceeds j access stage j; counting via
     # a depth histogram + cumulative sum is O(n + stages) where the
     # former (n × stages) boolean matrix was the serve hot path's

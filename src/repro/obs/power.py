@@ -39,6 +39,7 @@ from repro.core.estimator import ExperimentalPower, ScenarioResult
 from repro.core.metrics import mw_per_gbps
 from repro.errors import ConfigurationError, ObservabilityError
 from repro.fpga.bram import PAPER_WRITE_RATE
+from repro.fpga.dvs import NOMINAL_POINT, NOMINAL_VOLTAGE, OperatingPoint
 from repro.fpga.power_report import XPowerAnalyzer
 from repro.fpga.speedgrade import SpeedGrade
 from repro.iplookup.synth import SyntheticTableConfig
@@ -76,6 +77,9 @@ class PowerSample:
     per_vn_gbps:
         Offered per-VN throughput share, Gbps
         (``capacity x duty x share``).
+    voltage:
+        Core voltage the reading was scaled to (DVS operating point;
+        1.0 is the unscaled -2 baseline).
     """
 
     scheme: Scheme
@@ -91,6 +95,7 @@ class PowerSample:
     throughput_gbps: float
     per_vn_w: tuple[float, ...]
     per_vn_gbps: tuple[float, ...]
+    voltage: float = NOMINAL_VOLTAGE
 
     @property
     def dynamic_w(self) -> float:
@@ -173,6 +178,32 @@ class PowerTelemetrySampler:
         self._packets = 0
         self._weighted_total_w = 0.0
         self._weighted_vn_w = np.zeros(k)
+        self._point = NOMINAL_POINT
+        #: most recent reading folded in by :meth:`observe` (None until
+        #: the first batch); the DVS governor reads it for the
+        #: energy-per-lookup surface
+        self.last_sample: PowerSample | None = None
+
+    # -- DVS operating point ------------------------------------------------
+
+    @property
+    def operating_point(self) -> OperatingPoint:
+        """The DVS operating point readings are currently scaled to."""
+        return self._point
+
+    def set_operating_point(self, point: OperatingPoint) -> None:
+        """Rescale subsequent readings to a DVS operating point.
+
+        The CMOS scaling laws of :mod:`repro.fpga.dvs` factor exactly
+        out of the XPA-like reporter — static power is multiplicative
+        in the grade's static watts, dynamic power is linear in both
+        the per-MHz coefficients (x V²) and the clock (x fmax scale) —
+        so scaling the evaluated components is *identical* to
+        re-placing the design on :func:`repro.fpga.dvs.synthetic_grade`
+        at the scaled clock, without re-running the evaluation.  At
+        the nominal point every factor is 1 and readings are untouched.
+        """
+        self._point = point
 
     # -- sampling -----------------------------------------------------------
 
@@ -228,6 +259,11 @@ class PowerTelemetrySampler:
         loads = np.asarray(trace.engine_loads(), dtype=float)
         placed = self.scenario.placed
         f = self.scenario.frequency_mhz
+        # DVS scaling factors of the current operating point; each
+        # component of the base-grade evaluation scales independently
+        # (see set_operating_point), static by V³, dynamic by V²·fmax
+        ss = self._point.static_scale
+        ds = self._point.dynamic_scale * self._point.frequency_scale
 
         if scheme is Scheme.NV:
             # K identical devices: one report per device at its VN's load
@@ -238,7 +274,7 @@ class PowerTelemetrySampler:
                 for load in loads
             ]
             power = ExperimentalPower.from_reports(reports)
-            per_vn = tuple(r.static_w + r.dynamic_w for r in reports)
+            per_vn = tuple(r.static_w * ss + r.dynamic_w * ds for r in reports)
             shares = loads
         elif scheme is Scheme.VS:
             report = self._analyzer.report(
@@ -246,7 +282,8 @@ class PowerTelemetrySampler:
             )
             power = ExperimentalPower.from_reports([report])
             per_vn = tuple(
-                report.static_w / k + engine.dynamic_w for engine in report.engines
+                report.static_w * ss / k + engine.dynamic_w * ds
+                for engine in report.engines
             )
             shares = loads
         else:
@@ -260,24 +297,26 @@ class PowerTelemetrySampler:
             power = ExperimentalPower.from_reports([report])
             shares = self._vn_shares(trace)
             per_vn = tuple(
-                report.static_w / k + report.dynamic_w * share for share in shares
+                report.static_w * ss / k + report.dynamic_w * ds * share
+                for share in shares
             )
 
-        capacity = self.scenario.throughput_gbps
+        capacity = self.scenario.throughput_gbps * self._point.frequency_scale
         return PowerSample(
             scheme=scheme,
             k=k,
             grade=self.config.grade,
-            frequency_mhz=f,
+            frequency_mhz=f * self._point.frequency_scale,
             duty_cycle=duty_cycle,
             n_packets=trace.n_packets,
-            static_w=power.static_w,
-            logic_w=power.logic_w,
-            signal_w=power.signal_w,
-            bram_w=power.bram_w,
+            static_w=power.static_w * ss,
+            logic_w=power.logic_w * ds,
+            signal_w=power.signal_w * ds,
+            bram_w=power.bram_w * ds,
             throughput_gbps=capacity,
             per_vn_w=per_vn,
             per_vn_gbps=tuple(capacity * duty_cycle * float(s) for s in shares),
+            voltage=self._point.voltage,
         )
 
     # -- running telemetry --------------------------------------------------
@@ -291,6 +330,7 @@ class PowerTelemetrySampler:
     ) -> PowerSample:
         """Sample, fold into the running estimate, and publish gauges."""
         sample = self.sample(trace, duty_cycle=duty_cycle, write_rate=write_rate)
+        self.last_sample = sample
         self._batches += 1
         if sample.n_packets > 0:
             self._packets += sample.n_packets

@@ -60,12 +60,13 @@ from repro.core.metrics import throughput_gbps
 from repro.errors import ConfigurationError, MalformedBatchError, ShardError
 from repro.faults.plan import FaultPlan
 from repro.faults.policy import SHED_RESULT, DegradationPolicy
+from repro.fpga.dvs import NOMINAL_POINT, OperatingPoint
 from repro.iplookup.pipeline import PipelineTrace, trace_from_walk
 from repro.iplookup.rib import RoutingTable
 from repro.obs.registry import MetricsRegistry, default_registry
 from repro.obs.snapshot import RegistrySnapshot, merge_snapshots, snapshot_registry
 from repro.obs.tracing import Tracer, default_tracer
-from repro.serve.service import ServeTrace
+from repro.serve.service import ServeTrace, effective_load_fraction
 from repro.serve.shard import (
     ShardBatchRequest,
     ShardBatchResult,
@@ -79,8 +80,9 @@ from repro.virt.qos import AdmissionReport, check_admission
 from repro.virt.queueing import LatencyReport, QueueValidation
 from repro.virt.schemes import Scheme
 
-if TYPE_CHECKING:  # the sampler pulls in the experiment stack
+if TYPE_CHECKING:  # the sampler/governor pull in the experiment stack
     from repro.obs.power import PowerTelemetrySampler
+    from repro.power.governor import DvsGovernor
 
 __all__ = ["ShardedLookupService", "shard_vn_bounds"]
 
@@ -272,7 +274,12 @@ class ShardedLookupService:
             n_stages = max(max(t.max_length() for t in tables), 1)
         self.n_stages = n_stages
         self.frequency_mhz = frequency_mhz
+        self.base_frequency_mhz = frequency_mhz
         self.offered_load_fraction = offered_load_fraction
+        self._nominal_load_fraction = offered_load_fraction
+        self._operating_point = NOMINAL_POINT
+        self._pending_reconfig: tuple[OperatingPoint, float] | None = None
+        self._governor: "DvsGovernor | None" = None
         self.fault_plan = fault_plan
         self.policy = policy if policy is not None else DegradationPolicy()
         self._registry = registry if registry is not None else default_registry()
@@ -320,6 +327,58 @@ class ShardedLookupService:
         if self.scheme.shares_engine:
             return plan
         return plan.scoped_to_engines(tuple(range(lo, hi)))
+
+    # -- DVS operating point ----------------------------------------------
+
+    @property
+    def operating_point(self) -> OperatingPoint:
+        """The DVS operating point the tier currently runs at."""
+        return self._operating_point
+
+    def apply_operating_point(self, point: OperatingPoint) -> None:
+        """Re-clock the whole tier to a DVS operating point.
+
+        The voltage rail is device-wide, so one point re-clocks every
+        shard.  Frontend bookkeeping (capacity, admission demands,
+        power sampler) updates immediately; the shard broadcast rides
+        the dispatch queues at the *start of the next served batch* —
+        the pipe protocol is strict request/reply, and a decision made
+        while a batch is accounted must never interleave with it.
+        """
+        scale = point.frequency_scale
+        self._operating_point = point
+        self.frequency_mhz = self.base_frequency_mhz * scale
+        self.offered_load_fraction = effective_load_fraction(
+            self._nominal_load_fraction, scale
+        )
+        self._pending_reconfig = (point, self._nominal_load_fraction)
+        if self.power_sampler is not None:
+            self.power_sampler.set_operating_point(point)
+
+    def set_offered_load(self, fraction: float) -> None:
+        """Change the modeled offered load (fraction of *base* capacity)."""
+        if not 0.0 <= fraction < 1.0:
+            raise ConfigurationError(
+                "offered_load_fraction must be in [0, 1) for a stable queue"
+            )
+        self._nominal_load_fraction = fraction
+        self.apply_operating_point(self._operating_point)
+
+    async def _flush_reconfig(self) -> None:
+        """Broadcast a pending operating point to every shard runtime."""
+        if self._pending_reconfig is None:
+            return
+        payload = self._pending_reconfig
+        self._pending_reconfig = None
+        loop = asyncio.get_running_loop()
+        futures = []
+        for handle in self.shards:
+            future: asyncio.Future = loop.create_future()
+            assert handle.queue is not None
+            await handle.queue.put((("reconfig", payload), future))
+            futures.append(future)
+        for future in futures:
+            await future
 
     # -- capacity ---------------------------------------------------------
 
@@ -474,6 +533,7 @@ class ShardedLookupService:
         except MalformedBatchError as exc:
             self._count_malformed(exc)
             raise
+        await self._flush_reconfig()
         start = time.perf_counter()
         batch_index = self.batches_served
         self.batches_served += 1
@@ -735,13 +795,35 @@ class ShardedLookupService:
                 for vn, count in enumerate(trace.vn_shed):
                     if count:
                         shed.labels(scheme, vn).inc(count)
+            # the same tier-level gauges the single-process service
+            # publishes, so the DVS governor samples one surface on
+            # either tier: the reassembled global duty cycle and the
+            # worst shard's measured queue wait
+            self._registry.gauge(
+                "repro_serve_duty_cycle",
+                "Packet-weighted mean memory duty cycle of the last batch",
+                labels=("scheme",),
+            ).labels(scheme).set(trace.mean_duty_cycle())
+            if self.queue_validations:
+                worst_wait = max(
+                    v.observed_wait_ns for v in self.queue_validations.values()
+                )
+                self._registry.gauge(
+                    "repro_serve_queue_wait_ns",
+                    "Measured mean M/D/1 input-queue wait of the last batch "
+                    "at the realized (post-shedding) load",
+                    labels=("scheme",),
+                ).labels(scheme).set(worst_wait)
             if self.power_sampler is not None:
                 write_rate = None
                 if self.fault_plan is not None:
                     write_rate = self.fault_plan.context_at(batch_index).write_rate
+                # measured duty, not the configured fraction — the
+                # same satellite fix as LookupService.serve: live
+                # power must track the load actually carried
                 sample = self.power_sampler.observe(
                     trace,
-                    duty_cycle=self.offered_load_fraction,
+                    duty_cycle=trace.mean_duty_cycle(),
                     write_rate=write_rate,
                 )
                 span.set("power_total_w", sample.total_w)
@@ -755,6 +837,8 @@ class ShardedLookupService:
                         sum(sample.per_vn_w[handle.vn_lo : handle.vn_hi])
                     )
                     watts.labels(scheme, handle.config.shard_id).set(shard_w)
+            if self._governor is not None:
+                self._governor.on_batch(self, trace)
 
     # -- scrape-merge -----------------------------------------------------
 

@@ -79,6 +79,7 @@ from repro.errors import ConfigurationError, MalformedBatchError
 from repro.faults.injectors import ActiveFaults, FAULT_KINDS
 from repro.faults.plan import FaultPlan
 from repro.faults.policy import DegradationPolicy
+from repro.fpga.dvs import NOMINAL_POINT, OperatingPoint
 from repro.iplookup.rib import RoutingTable
 from repro.obs.registry import MetricsRegistry, default_registry
 from repro.obs.tracing import Tracer, default_tracer
@@ -91,14 +92,43 @@ from repro.serve.stages import (
     walk_degraded,
     walk_nominal,
 )
+from repro.units import mhz_to_hz, s_to_ns
 from repro.virt.merged import MergedTrie
-from repro.virt.queueing import LatencyReport, degraded_latency_ns, scheme_latency_ns
+from repro.virt.queueing import (
+    LatencyReport,
+    degraded_latency_ns,
+    scheme_latency_ns,
+    simulate_md1_waits,
+)
 from repro.virt.schemes import Scheme
 
-if TYPE_CHECKING:  # the sampler pulls in the experiment stack
+if TYPE_CHECKING:  # the sampler/governor pull in the experiment stack
     from repro.obs.power import PowerTelemetrySampler
+    from repro.power.governor import DvsGovernor
 
 __all__ = ["LookupService", "ServeTrace"]
+
+#: effective-load ceiling the operating point may rescale up to: the
+#: M/D/1 estimate needs rho < 1 strictly, and a governor pushing the
+#: clock down must not be able to model a saturated queue as stable
+_LOAD_CEILING = 0.97
+
+#: arrivals simulated per batch for the measured-queue gauge
+_QUEUE_SIM_ARRIVALS = 4096
+
+
+def effective_load_fraction(nominal: float, scale: float) -> float:
+    """Offered-load fraction after re-clocking the device by ``scale``.
+
+    The absolute offered load is a property of the traffic, so scaling
+    the clock by ``scale`` rescales the load *fraction* by ``1/scale``
+    — capped below 1 (the M/D/1 estimate needs a stable queue; past
+    the cap admission sheds instead).  At ``scale == 1`` this is
+    exactly the configured fraction, preserving every nominal-path
+    invariant.  Shared by :class:`LookupService` and the sharded
+    frontend so both tiers re-clock identically.
+    """
+    return min(nominal / scale, max(nominal, _LOAD_CEILING))
 
 
 class LookupService:
@@ -171,7 +201,10 @@ class LookupService:
         self.scheme = scheme
         self.n_stages = self.group.n_stages
         self.frequency_mhz = frequency_mhz
+        self.base_frequency_mhz = frequency_mhz
         self.offered_load_fraction = offered_load_fraction
+        self._nominal_load_fraction = offered_load_fraction
+        self._operating_point = NOMINAL_POINT
         self.fault_plan = fault_plan
         self.policy = policy if policy is not None else DegradationPolicy()
         self._tables = tables
@@ -180,7 +213,48 @@ class LookupService:
         self.power_sampler = power_sampler
         self.distributor = self.group.distributor
         self._nominal_latency: LatencyReport | None = None
+        self._governor: "DvsGovernor | None" = None
         self.batches_served = 0
+
+    # -- DVS operating point ----------------------------------------------
+
+    @property
+    def operating_point(self) -> OperatingPoint:
+        """The DVS operating point the service currently runs at."""
+        return self._operating_point
+
+    def apply_operating_point(self, point: OperatingPoint) -> None:
+        """Re-clock the service to a DVS operating point.
+
+        The engine clock scales by the point's fmax factor; the
+        *absolute* offered load is unchanged, so the offered-load
+        *fraction* rescales inversely (the same packets per second
+        are a larger slice of a slower clock), capped below 1 so the
+        M/D/1 estimate stays finite — past the cap the admission
+        stages shed, which is the throughput-for-watts trade the
+        governor makes explicit.  At the nominal point this restores
+        the constructed configuration exactly.  The attached power
+        sampler is rescaled in the same call so live telemetry and
+        capacity always describe the same operating point.
+        """
+        scale = point.frequency_scale
+        self._operating_point = point
+        self.frequency_mhz = self.base_frequency_mhz * scale
+        self.offered_load_fraction = effective_load_fraction(
+            self._nominal_load_fraction, scale
+        )
+        self._nominal_latency = None
+        if self.power_sampler is not None:
+            self.power_sampler.set_operating_point(point)
+
+    def set_offered_load(self, fraction: float) -> None:
+        """Change the modeled offered load (fraction of *base* capacity)."""
+        if not 0.0 <= fraction < 1.0:
+            raise ConfigurationError(
+                "offered_load_fraction must be in [0, 1) for a stable queue"
+            )
+        self._nominal_load_fraction = fraction
+        self.apply_operating_point(self._operating_point)
 
     # -- capacity ---------------------------------------------------------
 
@@ -209,6 +283,14 @@ class LookupService:
         """The validate stage bound to this service's K (see
         :func:`repro.serve.stages.validate_batch`)."""
         return validate_batch(addresses, vnids, self.k)
+
+    def _admission_rate(self) -> float:
+        """Arrival spacing for the activity traces: the effective
+        offered-load fraction, or full rate for an idle-load config
+        (a zero fraction means "no modeled load", not "no arrivals" —
+        the batch still has to be walked at some spacing)."""
+        rho = self.offered_load_fraction
+        return rho if rho > 0.0 else 1.0
 
     def _latency_estimate(self) -> LatencyReport:
         """Nominal M/D/1 latency report (cached — its inputs are all
@@ -250,7 +332,13 @@ class LookupService:
         scales = faults.capacity_scales(self.n_engines)
         admit = plan_admission(scales, self.offered_load_fraction, self.policy)
         walk = walk_degraded(
-            self.group, addresses, vnids, admit, faults, self.policy
+            self.group,
+            addresses,
+            vnids,
+            admit,
+            faults,
+            self.policy,
+            admission_rate=self._admission_rate(),
         )
         admitted_counts = np.array([t.n_packets for t in walk.traces], dtype=np.int64)
         utilizations = degraded_utilizations(
@@ -297,7 +385,9 @@ class LookupService:
                 addresses, vnids, track_vns=track_vns, faults=faults
             )
         start = time.perf_counter()
-        results, traces = walk_nominal(self.group, addresses, vnids)
+        results, traces = walk_nominal(
+            self.group, addresses, vnids, admission_rate=self._admission_rate()
+        )
         elapsed = time.perf_counter() - start
         vn_counts: tuple[int, ...] = ()
         if track_vns:
@@ -341,9 +431,41 @@ class LookupService:
         queue_depth = self.n_engines * rho * rho / (2.0 * (1.0 - rho))
         registry.gauge(
             "repro_serve_queue_depth",
-            "Modeled M/D/1 mean queue occupancy, packets (all engines)",
+            "Modeled M/D/1 mean queue occupancy at the configured "
+            "offered load, packets (all engines); see "
+            "repro_serve_queue_depth_measured for the realized queue",
             labels=("scheme",),
         ).labels(scheme).set(queue_depth)
+        # realized queue, from the load the batch *actually* carried:
+        # the configured rho times the admitted fraction (degraded
+        # admission sheds arrivals), simulated through the same Lindley
+        # recursion the shards validate against, then converted to
+        # occupancy via Little's law (arrivals/ns x mean wait)
+        served_fraction = (
+            trace.n_admitted / trace.n_packets if trace.n_packets else 0.0
+        )
+        realized_rho = rho * served_fraction
+        waits = simulate_md1_waits(
+            realized_rho,
+            self.frequency_mhz,
+            max(1, min(trace.n_packets, _QUEUE_SIM_ARRIVALS)),
+            seed=self.batches_served,
+        )
+        wait_ns = float(waits.mean())
+        service_ns = s_to_ns(1.0 / mhz_to_hz(self.frequency_mhz))  # one cycle
+        arrivals_per_ns = realized_rho / service_ns
+        registry.gauge(
+            "repro_serve_queue_wait_ns",
+            "Measured mean M/D/1 input-queue wait of the last batch "
+            "at the realized (post-shedding) load",
+            labels=("scheme",),
+        ).labels(scheme).set(wait_ns)
+        registry.gauge(
+            "repro_serve_queue_depth_measured",
+            "Measured mean queue occupancy at the realized load, "
+            "packets (all engines, Little's law over simulated waits)",
+            labels=("scheme",),
+        ).labels(scheme).set(self.n_engines * arrivals_per_ns * wait_ns)
         registry.gauge(
             "repro_serve_duty_cycle",
             "Packet-weighted mean memory duty cycle of the last batch",
@@ -463,12 +585,19 @@ class LookupService:
                 if self.fault_plan is not None:
                     self._record_fault_state(trace, faults)
                 if self.power_sampler is not None:
+                    # the *measured* duty cycle, not the configured
+                    # offered-load fraction: live power must track the
+                    # load the batch actually carried (shedding, load
+                    # ramps), which is the signal the DVS governor
+                    # closes its loop against
                     sample = self.power_sampler.observe(
                         trace,
-                        duty_cycle=self.offered_load_fraction,
+                        duty_cycle=trace.mean_duty_cycle(),
                         write_rate=faults.write_rate if faults else None,
                     )
                     span.set("power_total_w", sample.total_w)
+                if self._governor is not None:
+                    self._governor.on_batch(self, trace)
         return results, trace
 
     def lookup_batch(self, addresses: np.ndarray, vnids: np.ndarray) -> np.ndarray:

@@ -27,6 +27,8 @@ request                   reply
 ========================  =============================================
 ``("serve", payload)``    ``("ok", ShardBatchResult)``
 ``("metrics", None)``     ``("ok", RegistrySnapshot)`` (shard-labeled)
+``("reconfig", payload)`` ``("ok", None)``; payload is
+                          ``(OperatingPoint, nominal_load_fraction)``
 ``("stop", None)``        ``("bye", None)`` then the worker exits
 any, on failure           ``("error", formatted traceback)``
 ========================  =============================================
@@ -151,17 +153,22 @@ class ShardRuntime:
         )
 
     def _measure_queue(self, request: ShardBatchRequest) -> QueueValidation:
-        """Simulate this batch's input queue and score it against M/D/1."""
-        rho = self.config.offered_load_fraction
+        """Simulate this batch's input queue and score it against M/D/1.
+
+        Reads the *live* service state, not the frozen config — a
+        governor reconfig changes both the offered fraction and the
+        clock, and the measured queue must track the operating point
+        actually in force.
+        """
+        rho = self.service.offered_load_fraction
+        frequency_mhz = self.service.frequency_mhz
         waits = simulate_md1_waits(
             rho,
-            self.config.frequency_mhz,
+            frequency_mhz,
             max(1, len(request.addresses)),
             request.queue_seed,
         )
-        validation = validate_md1(
-            rho, self.config.frequency_mhz, float(waits.mean())
-        )
+        validation = validate_md1(rho, frequency_mhz, float(waits.mean()))
         if self.registry.enabled:
             self.registry.gauge(
                 "repro_shard_queue_wait_ns",
@@ -188,6 +195,12 @@ class ShardRuntime:
                 return ("ok", self.serve(payload))
             if op == "metrics":
                 return ("ok", self.snapshot())
+            if op == "reconfig":
+                assert isinstance(payload, tuple) and len(payload) == 2
+                point, nominal = payload
+                self.service.set_offered_load(nominal)
+                self.service.apply_operating_point(point)
+                return ("ok", None)
             if op == "stop":
                 return ("bye", None)
             return ("error", f"unknown shard op {op!r}")

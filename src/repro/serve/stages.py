@@ -410,7 +410,10 @@ def walk_with_retry(
 
 
 def walk_nominal(
-    group: EngineGroup, addresses: np.ndarray, vnids: np.ndarray
+    group: EngineGroup,
+    addresses: np.ndarray,
+    vnids: np.ndarray,
+    admission_rate: float = 1.0,
 ) -> tuple[np.ndarray, tuple[PipelineTrace, ...]]:
     """The nominal *partition → walk → scatter* stages (no faults).
 
@@ -419,10 +422,19 @@ def walk_nominal(
     the inverse permutation restores arrival order — no per-engine
     fancy indexing anywhere.  VM walks the whole batch on the single
     merged engine.
+
+    ``admission_rate`` is the offered load fraction the batch arrives
+    at: it stretches the modeled arrival window so the measured duty
+    cycle tracks the load actually offered, not a back-to-back replay
+    (see :func:`repro.iplookup.pipeline.trace_from_walk`).
     """
     if group.merged is not None:
         depths, results = group.merged.walk_batch(addresses, vnids)
-        return results, (trace_from_walk(depths, results, group.n_stages),)
+        return results, (
+            trace_from_walk(
+                depths, results, group.n_stages, admission_rate=admission_rate
+            ),
+        )
     part = group.distributor.partition(vnids)
     sorted_addresses = part.gather(addresses)
     sorted_results = np.empty(len(addresses), dtype=np.int64)
@@ -432,7 +444,9 @@ def walk_nominal(
         depths, engine_results = group.tries[vn].walk_batch(sorted_addresses[sl])
         sorted_results[sl] = engine_results
         engine_traces.append(
-            trace_from_walk(depths, engine_results, group.n_stages)
+            trace_from_walk(
+                depths, engine_results, group.n_stages, admission_rate=admission_rate
+            )
         )
     return part.scatter(sorted_results), tuple(engine_traces)
 
@@ -456,6 +470,7 @@ def walk_degraded(
     admit: np.ndarray,
     faults: ActiveFaults,
     policy: DegradationPolicy,
+    admission_rate: float = 1.0,
 ) -> DegradedWalk:
     """The degraded *admit → walk → scatter* stages under active faults.
 
@@ -465,6 +480,11 @@ def walk_degraded(
     failing walks, and shedding of engines whose retry budget is
     exhausted.  Shed lookups answer
     :data:`~repro.faults.policy.SHED_RESULT`.
+
+    Every engine trace is windowed over the lookups *offered* to that
+    engine at ``admission_rate`` (shed arrival slots stay idle), so
+    the measured duty cycle visibly drops when admission control
+    sheds — the signal the DVS governor trades voltage against.
     """
     n = len(addresses)
     results = np.full(n, SHED_RESULT, dtype=np.int64)
@@ -490,11 +510,27 @@ def walk_degraded(
         if walked is None:
             out.failed_engines.append(0)
             np.add.at(vn_shed, kept_vnids, 1)
-            out.traces = (trace_from_walk(empty, empty, group.n_stages),)
+            out.traces = (
+                trace_from_walk(
+                    empty,
+                    empty,
+                    group.n_stages,
+                    admission_rate=admission_rate,
+                    window_packets=n,
+                ),
+            )
         else:
             depths, walk_results = walked
             results[kept] = walk_results
-            out.traces = (trace_from_walk(depths, walk_results, group.n_stages),)
+            out.traces = (
+                trace_from_walk(
+                    depths,
+                    walk_results,
+                    group.n_stages,
+                    admission_rate=admission_rate,
+                    window_packets=n,
+                ),
+            )
         return out
 
     # same structure-of-arrays discipline as the nominal path:
@@ -523,12 +559,26 @@ def walk_degraded(
         if walked is None:
             out.failed_engines.append(vn)
             vn_shed[vn] += keep
-            engine_traces.append(trace_from_walk(empty, empty, group.n_stages))
+            engine_traces.append(
+                trace_from_walk(
+                    empty,
+                    empty,
+                    group.n_stages,
+                    admission_rate=admission_rate,
+                    window_packets=offered,
+                )
+            )
             continue
         depths, engine_results = walked
         results[part.order[start_vn : start_vn + keep]] = engine_results
         engine_traces.append(
-            trace_from_walk(depths, engine_results, group.n_stages)
+            trace_from_walk(
+                depths,
+                engine_results,
+                group.n_stages,
+                admission_rate=admission_rate,
+                window_packets=offered,
+            )
         )
     out.traces = tuple(engine_traces)
     return out

@@ -294,6 +294,51 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_governor(args: argparse.Namespace) -> int:
+    from repro.experiments.governor import ramp_run
+
+    records, service, governor = ramp_run(
+        k=args.k,
+        batches_per_step=args.batches,
+        batch_size=args.batch_size,
+        n_prefixes=args.prefixes,
+        seed=args.seed,
+    )
+    rows = [
+        [
+            "batch", "load", "volts", "f_MHz", "served",
+            "watts", "gov_nJ", "G2_nJ", "G1L_nJ",
+        ]
+    ]
+    for r in records:
+        rows.append(
+            [
+                str(r.batch_index),
+                f"{r.offered_load:.2f}",
+                f"{r.voltage:.4f}",
+                f"{r.frequency_mhz:.1f}",
+                f"{r.served_fraction:.3f}" + ("*" if r.in_fault_window else ""),
+                f"{r.total_w:.3f}",
+                f"{r.governed_nj:.2f}",
+                "-" if r.static_nominal_nj is None else f"{r.static_nominal_nj:.2f}",
+                "-" if r.static_derate_nj is None else f"{r.static_derate_nj:.2f}",
+            ]
+        )
+    print(
+        f"governed load ramp: K={args.k} VS, band "
+        f"{governor.policy.v_min:.2f}-{governor.policy.v_max:.2f} V "
+        f"(* = fault window; - = static grade infeasible at that demand)"
+    )
+    print(render_table(rows))
+    actions = [d.action for d in governor.decisions]
+    print(
+        f"{len(governor.decisions)} decisions: {actions.count('raise')} raise"
+        f" / {actions.count('lower')} lower / {actions.count('hold')} hold; "
+        f"final point {service.operating_point.voltage:.4f} V"
+    )
+    return 0
+
+
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scheme", choices=[s.name for s in Scheme], default="VS")
     parser.add_argument("--k", type=int, default=3, help="virtual networks")
@@ -364,6 +409,21 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_faults.add_argument("--power", action="store_true", help="attach a power sampler")
     p_faults.set_defaults(func=_cmd_faults)
+
+    p_gov = sub.add_parser(
+        "governor",
+        help="closed-loop DVS ramp: measured duty drives the voltage",
+    )
+    p_gov.add_argument("--k", type=int, default=4, help="virtual networks")
+    p_gov.add_argument(
+        "--batches", type=int, default=3, help="batches per load step"
+    )
+    p_gov.add_argument("--batch-size", type=int, default=600)
+    p_gov.add_argument(
+        "--prefixes", type=int, default=150, help="prefixes per served table"
+    )
+    p_gov.add_argument("--seed", type=int, default=23)
+    p_gov.set_defaults(func=_cmd_governor)
 
     args = parser.parse_args(argv)
     try:

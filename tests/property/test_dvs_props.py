@@ -1,0 +1,102 @@
+"""Property tests: CMOS voltage-scaling laws (repro.fpga.dvs)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.fpga.dvs import (
+    NOMINAL_VOLTAGE,
+    PLAUSIBLE_V_MAX,
+    PLAUSIBLE_V_MIN,
+    OperatingPoint,
+    dynamic_scale,
+    fit_voltage,
+    frequency_scale,
+    static_scale,
+    synthetic_grade,
+    voltage_for_frequency_scale,
+)
+
+plausible_volts = st.floats(
+    min_value=PLAUSIBLE_V_MIN, max_value=PLAUSIBLE_V_MAX, allow_nan=False
+)
+
+volt_pairs = st.tuples(plausible_volts, plausible_volts).map(sorted)
+
+implausible_volts = st.one_of(
+    st.floats(min_value=0.0, max_value=PLAUSIBLE_V_MIN, exclude_max=True),
+    st.floats(min_value=PLAUSIBLE_V_MAX, max_value=5.0, exclude_min=True),
+)
+
+SCALES = (dynamic_scale, static_scale, frequency_scale)
+
+
+@given(volt_pairs)
+@settings(max_examples=200, deadline=None)
+def test_all_scales_monotone_in_voltage(pair):
+    lo, hi = pair
+    for scale in SCALES:
+        assert scale(lo) <= scale(hi)
+
+
+@given(plausible_volts)
+@settings(max_examples=200, deadline=None)
+def test_nominal_ordering(voltage):
+    # below nominal every factor is a saving; above, every one a cost
+    for scale in SCALES:
+        if voltage <= NOMINAL_VOLTAGE:
+            assert scale(voltage) <= scale(NOMINAL_VOLTAGE) == pytest.approx(1.0)
+        else:
+            assert scale(voltage) >= 1.0
+
+
+def test_all_unity_at_nominal():
+    for scale in SCALES:
+        assert scale(NOMINAL_VOLTAGE) == pytest.approx(1.0)
+
+
+@given(plausible_volts)
+@settings(max_examples=200, deadline=None)
+def test_static_saves_at_least_dynamic_below_nominal(voltage):
+    # V³ vs V²: leakage drops faster than switching under the rail
+    if voltage <= NOMINAL_VOLTAGE:
+        assert static_scale(voltage) <= dynamic_scale(voltage)
+    else:
+        assert static_scale(voltage) >= dynamic_scale(voltage)
+
+
+@given(implausible_volts)
+@settings(max_examples=100, deadline=None)
+def test_rejects_outside_plausible_range(voltage):
+    for scale in SCALES:
+        with pytest.raises(ConfigurationError):
+            scale(voltage)
+    with pytest.raises(ConfigurationError):
+        OperatingPoint(voltage)
+
+
+@given(plausible_volts)
+@settings(max_examples=200, deadline=None)
+def test_frequency_scale_round_trips_through_inverse(voltage):
+    assert voltage_for_frequency_scale(frequency_scale(voltage)) == pytest.approx(
+        voltage, rel=1e-9
+    )
+
+
+@given(plausible_volts)
+@settings(max_examples=200, deadline=None)
+def test_operating_point_agrees_with_module_functions(voltage):
+    point = OperatingPoint(voltage)
+    assert point.frequency_scale == pytest.approx(frequency_scale(voltage))
+    assert point.dynamic_scale == pytest.approx(dynamic_scale(voltage))
+    assert point.static_scale == pytest.approx(static_scale(voltage))
+
+
+@given(st.floats(min_value=0.55, max_value=PLAUSIBLE_V_MAX, allow_nan=False))
+@settings(max_examples=30, deadline=None)
+def test_fit_round_trips_synthetic_grades(voltage):
+    # a grade manufactured at any plausible voltage is recovered
+    # exactly — including outside the historical 0.7..1.0 bracket
+    fitted, err = fit_voltage(synthetic_grade(voltage))
+    assert fitted == pytest.approx(voltage, abs=1e-6)
+    assert err < 1e-6

@@ -1,15 +1,20 @@
 """Voltage scaling (repro.fpga.dvs)."""
 
+import dataclasses
+
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.fpga.dvs import (
+    NOMINAL_POINT,
     NOMINAL_VOLTAGE,
+    OperatingPoint,
     dynamic_scale,
     fit_voltage,
     frequency_scale,
     static_scale,
     synthetic_grade,
+    voltage_for_frequency_scale,
 )
 from repro.fpga.speedgrade import SpeedGrade, grade_data
 
@@ -68,3 +73,49 @@ class TestFit:
         v, err = fit_voltage(grade_data(SpeedGrade.G2))
         assert v == pytest.approx(1.0, abs=1e-6)
         assert err < 1e-9
+
+    def test_round_trips_below_old_bracket(self):
+        # 0.62 V sits below the historical 0.7..1.0 search bracket;
+        # the widened boundary search must recover it instead of
+        # silently clamping to the bracket edge
+        for voltage in (0.62, 0.7, 1.0, 1.05):
+            fitted, err = fit_voltage(synthetic_grade(voltage))
+            assert fitted == pytest.approx(voltage, abs=1e-6)
+            assert err < 1e-9
+
+    def test_out_of_model_target_raises(self):
+        # a grade manufactured far outside the plausible band cannot
+        # be explained by any plausible voltage: the best fit pins to
+        # the plausible edge with material error, which must raise
+        base = grade_data(SpeedGrade.G2)
+        absurd = dataclasses.replace(
+            base,
+            static_power_w=base.static_power_w * 8.0,
+            bram18_uw_per_mhz=base.bram18_uw_per_mhz * 6.0,
+            bram36_uw_per_mhz=base.bram36_uw_per_mhz * 6.0,
+            logic_stage_uw_per_mhz=base.logic_stage_uw_per_mhz * 6.0,
+            base_fmax_mhz=base.base_fmax_mhz * 3.0,
+        )
+        with pytest.raises(ConfigurationError):
+            fit_voltage(absurd)
+
+
+class TestOperatingPoint:
+    def test_nominal_point_is_identity(self):
+        assert NOMINAL_POINT.is_nominal
+        assert NOMINAL_POINT.frequency_scale == pytest.approx(1.0)
+        assert NOMINAL_POINT.dynamic_scale == pytest.approx(1.0)
+        assert NOMINAL_POINT.static_scale == pytest.approx(1.0)
+
+    def test_rejects_implausible_voltage(self):
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(0.2)
+
+    def test_inverse_frequency_scale(self):
+        for voltage in (0.7, 0.85, 1.0):
+            scale = frequency_scale(voltage)
+            assert voltage_for_frequency_scale(scale) == pytest.approx(voltage)
+
+    def test_inverse_rejects_unreachable_scale(self):
+        with pytest.raises(ConfigurationError):
+            voltage_for_frequency_scale(2.0)
